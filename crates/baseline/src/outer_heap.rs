@@ -1,0 +1,194 @@
+//! Outer-product SpGEMM with heap-based merging.
+//!
+//! The other outer-product formulation Table I mentions (Buluç & Gilbert,
+//! reference [23] of the paper): every outer product `A(:, i) × B(i, :)`
+//! yields its tuples already in `(row, col)` order, so the `k` outer products
+//! form `k` sorted runs that a binary heap can merge into the final CSR
+//! output in one pass, accumulating duplicates as they surface.
+//!
+//! The paper dismisses this algorithm as "too expensive" because the heap
+//! adds a `log k` factor to every one of the `flop` tuples and the merge is
+//! inherently sequential; it is implemented here exactly so the benchmark
+//! suite can quantify that claim against PB-SpGEMM's sort-based merging.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::{Csc, Csr, Index};
+
+/// Cursor into one outer product's sorted run of tuples.
+///
+/// The run for inner index `i` enumerates `(r, c)` for every `r` in
+/// `A(:, i)` (ascending) crossed with every `c` in `B(i, :)` (ascending),
+/// which is exactly `(row, col)`-sorted order.
+#[derive(Debug, Clone, Copy)]
+struct RunCursor {
+    /// Inner index (column of `A` / row of `B`).
+    inner: usize,
+    /// Position within `A(:, inner)`.
+    a_pos: usize,
+    /// Position within `B(inner, :)`.
+    b_pos: usize,
+}
+
+/// Computes `C = A·B` by merging the `k` outer-product runs with a binary
+/// heap, under an arbitrary semiring.  `A` is taken in CSC and `B` in CSR,
+/// the same operand formats as PB-SpGEMM.
+pub fn outer_heap_spgemm_with<S: Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+) -> Csr<S::Elem> {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "outer-product SpGEMM shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (nrows, ncols) = (a.nrows(), b.ncols());
+    let k = a.ncols();
+
+    // Key helper: (row, col) packed so the heap orders tuples row-major.
+    let key_of = |r: Index, c: Index| ((r as u64) << 32) | c as u64;
+
+    // Seed the heap with the first tuple of every non-empty run.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut cursors: Vec<RunCursor> = Vec::with_capacity(k);
+    for i in 0..k {
+        if a.col_nnz(i) > 0 && b.row_nnz(i) > 0 {
+            let cursor = RunCursor { inner: i, a_pos: 0, b_pos: 0 };
+            let r = a.col(i).0[0];
+            let c = b.row(i).0[0];
+            heap.push(Reverse((key_of(r, c), cursors.len())));
+            cursors.push(cursor);
+        }
+    }
+
+    let mut rowptr = vec![0usize; nrows + 1];
+    let mut colidx: Vec<Index> = Vec::new();
+    let mut values: Vec<S::Elem> = Vec::new();
+    let mut last_key: Option<u64> = None;
+
+    while let Some(Reverse((key, run))) = heap.pop() {
+        let cursor = &mut cursors[run];
+        let i = cursor.inner;
+        let (a_rows, a_vals) = a.col(i);
+        let (b_cols, b_vals) = b.row(i);
+        let val = S::mul(a_vals[cursor.a_pos], b_vals[cursor.b_pos]);
+        let (r, c) = (a_rows[cursor.a_pos], b_cols[cursor.b_pos]);
+
+        if last_key == Some(key) {
+            // Same (row, col) as the previous tuple: accumulate in place.
+            let last = values.last_mut().expect("a previous tuple exists when keys repeat");
+            *last = S::add(*last, val);
+        } else {
+            rowptr[r as usize + 1] += 1;
+            colidx.push(c);
+            values.push(val);
+            last_key = Some(key);
+        }
+
+        // Advance this run: next column of B, wrapping to the next row of A.
+        cursor.b_pos += 1;
+        if cursor.b_pos == b_cols.len() {
+            cursor.b_pos = 0;
+            cursor.a_pos += 1;
+        }
+        if cursor.a_pos < a_rows.len() {
+            let nr = a_rows[cursor.a_pos];
+            let nc = b_cols[cursor.b_pos];
+            heap.push(Reverse((key_of(nr, nc), run)));
+        }
+    }
+
+    // Per-row counts -> prefix sums.
+    for r in 0..nrows {
+        rowptr[r + 1] += rowptr[r];
+    }
+    Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}
+
+/// Heap-merged outer-product SpGEMM with ordinary `+`/`×`.
+pub fn outer_heap_spgemm<T: Numeric + Default>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    outer_heap_spgemm_with::<PlusTimes<T>>(&a.to_csc(), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::{erdos_renyi_square, rmat_square};
+    use pb_sparse::reference::{csr_approx_eq, multiply_csr, multiply_csr_with};
+    use pb_sparse::semiring::{MinPlus, OrAnd};
+    use pb_sparse::Coo;
+
+    #[test]
+    fn matches_the_reference_on_random_matrices() {
+        for seed in [1u64, 2, 3] {
+            let a = erdos_renyi_square(6, 5, seed);
+            let c = outer_heap_spgemm(&a, &a);
+            assert!(csr_approx_eq(&c, &multiply_csr(&a, &a), 1e-9), "seed {seed}");
+            assert!(c.has_sorted_indices());
+            assert!(!c.has_duplicates());
+        }
+        let a = rmat_square(7, 6, 4);
+        assert!(csr_approx_eq(&outer_heap_spgemm(&a, &a), &multiply_csr(&a, &a), 1e-9));
+    }
+
+    #[test]
+    fn duplicates_across_runs_are_accumulated() {
+        // C(0, 0) receives one contribution from each of the two inner
+        // indices.
+        let a = Coo::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0)]).unwrap().to_csr();
+        let b = Coo::from_entries(2, 2, vec![(0, 0, 5.0), (1, 0, 7.0)]).unwrap().to_csr();
+        let c = outer_heap_spgemm_with::<PlusTimes<f64>>(&a.to_csc(), &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), Some(2.0 * 5.0 + 3.0 * 7.0));
+    }
+
+    #[test]
+    fn rectangular_and_empty_products() {
+        let a = pb_gen::erdos_renyi(&pb_gen::ErConfig {
+            nrows: 30,
+            ncols: 20,
+            nnz_per_col: 3,
+            seed: 6,
+            random_values: true,
+        });
+        let b = pb_gen::erdos_renyi(&pb_gen::ErConfig {
+            nrows: 20,
+            ncols: 45,
+            nnz_per_col: 2,
+            seed: 7,
+            random_values: true,
+        });
+        let c = outer_heap_spgemm_with::<PlusTimes<f64>>(&a.to_csc(), &b);
+        assert_eq!(c.shape(), (30, 45));
+        assert!(csr_approx_eq(&c, &multiply_csr(&a, &b), 1e-9));
+
+        let empty = Csr::<f64>::empty(8, 8);
+        assert_eq!(outer_heap_spgemm(&empty, &empty).nnz(), 0);
+    }
+
+    #[test]
+    fn other_semirings() {
+        let a = erdos_renyi_square(6, 4, 11);
+        let pattern = a.map_values(|_| true);
+        let c = outer_heap_spgemm_with::<OrAnd>(&pattern.to_csc(), &pattern);
+        let want = multiply_csr_with::<OrAnd>(&pattern, &pattern);
+        assert_eq!(c.rowptr(), want.rowptr());
+        assert_eq!(c.colidx(), want.colidx());
+
+        let c = outer_heap_spgemm_with::<MinPlus>(&a.to_csc(), &a);
+        let want = multiply_csr_with::<MinPlus>(&a, &a);
+        assert!(csr_approx_eq(&c, &want, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let a: Csr<f64> = Csr::empty(4, 5);
+        let b: Csr<f64> = Csr::empty(6, 4);
+        let _ = outer_heap_spgemm_with::<PlusTimes<f64>>(&a.to_csc(), &b);
+    }
+}

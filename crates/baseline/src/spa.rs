@@ -1,0 +1,123 @@
+//! SpaSpGEMM: column/row SpGEMM with a dense sparse-accumulator (SPA),
+//! the formulation of Gilbert, Moler & Schreiber used by MATLAB and
+//! CombBLAS.
+//!
+//! Each thread owns a dense value array of length `ncols(B)`, a dense
+//! "occupied" marker array and a list of the columns touched by the current
+//! row.  Scattering a product is O(1); gathering the output row costs one
+//! pass over the touched columns plus a sort.  The SPA costs O(ncols)
+//! memory per thread, which is exactly the drawback the paper attributes to
+//! the approach for very large matrices.
+
+use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::{Csr, Index};
+
+use crate::util::rowwise_multiply;
+
+/// Thread-private dense accumulator.
+#[derive(Debug)]
+struct Spa<V> {
+    values: Vec<V>,
+    occupied: Vec<bool>,
+    touched: Vec<Index>,
+}
+
+impl<V: Copy> Spa<V> {
+    fn new(ncols: usize, zero: V) -> Self {
+        Spa { values: vec![zero; ncols], occupied: vec![false; ncols], touched: Vec::new() }
+    }
+}
+
+/// SpaSpGEMM under an arbitrary semiring.
+pub fn spa_spgemm_with<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
+    let ncols = b.ncols();
+    rowwise_multiply::<S, Spa<S::Elem>, _, _>(
+        a,
+        b,
+        move || Spa::new(ncols, S::zero()),
+        |spa, i| {
+            let (a_cols, a_vals) = a.row(i);
+            for (&k, &a_ik) in a_cols.iter().zip(a_vals) {
+                let (b_cols, b_vals) = b.row(k as usize);
+                for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                    let product = S::mul(a_ik, b_kj);
+                    let j_us = j as usize;
+                    if spa.occupied[j_us] {
+                        spa.values[j_us] = S::add(spa.values[j_us], product);
+                    } else {
+                        spa.occupied[j_us] = true;
+                        spa.values[j_us] = product;
+                        spa.touched.push(j);
+                    }
+                }
+            }
+            // Gather and reset the touched entries.
+            spa.touched.sort_unstable();
+            let cols = std::mem::take(&mut spa.touched);
+            let vals: Vec<S::Elem> = cols
+                .iter()
+                .map(|&j| {
+                    let j = j as usize;
+                    spa.occupied[j] = false;
+                    spa.values[j]
+                })
+                .collect();
+            (cols, vals)
+        },
+    )
+}
+
+/// SpaSpGEMM with ordinary `+`/`×`.
+pub fn spa_spgemm<T: Numeric>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    spa_spgemm_with::<PlusTimes<T>>(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::{banded, erdos_renyi_square, rmat_square};
+    use pb_sparse::reference::{csr_approx_eq, multiply_csr, multiply_csr_with};
+    use pb_sparse::semiring::MinPlus;
+
+    #[test]
+    fn matches_reference_on_random_matrices() {
+        for (scale, ef, seed) in [(7u32, 4u32, 1u64), (8, 8, 2)] {
+            let a = erdos_renyi_square(scale, ef, seed);
+            let expected = multiply_csr(&a, &a);
+            assert!(csr_approx_eq(&spa_spgemm(&a, &a), &expected, 1e-9));
+        }
+        let rm = rmat_square(8, 8, 3);
+        assert!(csr_approx_eq(&spa_spgemm(&rm, &rm), &multiply_csr(&rm, &rm), 1e-9));
+    }
+
+    #[test]
+    fn matches_reference_on_banded_matrix() {
+        let a = banded(300, 15, 4);
+        assert!(csr_approx_eq(&spa_spgemm(&a, &a), &multiply_csr(&a, &a), 1e-9));
+    }
+
+    #[test]
+    fn output_is_canonical() {
+        let a = rmat_square(7, 6, 5);
+        let c = spa_spgemm(&a, &a);
+        assert!(c.has_sorted_indices());
+        assert!(!c.has_duplicates());
+    }
+
+    #[test]
+    fn min_plus_semiring() {
+        let a = erdos_renyi_square(6, 3, 7);
+        let c = spa_spgemm_with::<MinPlus>(&a, &a);
+        let expected = multiply_csr_with::<MinPlus>(&a, &a);
+        assert!(csr_approx_eq(&c, &expected, 1e-12));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let empty: Csr<f64> = Csr::empty(4, 6);
+        let b: Csr<f64> = Csr::empty(6, 3);
+        let c = spa_spgemm(&empty, &b);
+        assert_eq!(c.shape(), (4, 3));
+        assert_eq!(c.nnz(), 0);
+    }
+}

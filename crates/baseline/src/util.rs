@@ -1,0 +1,129 @@
+//! Shared machinery for the row-parallel column SpGEMM baselines.
+
+use pb_sparse::semiring::Semiring;
+use pb_sparse::{Csr, Index, Scalar};
+use rayon::prelude::*;
+
+/// Assembles per-row `(columns, values)` pairs into a CSR matrix.
+pub fn assemble_rows<T: Scalar>(
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<(Vec<Index>, Vec<T>)>,
+) -> Csr<T> {
+    debug_assert_eq!(rows.len(), nrows);
+    let nnz: usize = rows.iter().map(|(c, _)| c.len()).sum();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for (cols, vals) in rows {
+        debug_assert_eq!(cols.len(), vals.len());
+        colidx.extend(cols);
+        values.extend(vals);
+        rowptr.push(colidx.len());
+    }
+    Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}
+
+/// Runs a row-wise Gustavson SpGEMM in parallel: `row_kernel` computes one
+/// output row given a thread-private scratch structure created by
+/// `make_scratch`.
+///
+/// The kernel must return the row's column indices sorted and
+/// duplicate-free; `assemble_rows` then stitches the rows together.
+pub fn rowwise_multiply<S, SC, M, K>(
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    make_scratch: M,
+    row_kernel: K,
+) -> Csr<S::Elem>
+where
+    S: Semiring,
+    SC: Send,
+    M: Fn() -> SC + Sync + Send,
+    K: Fn(&mut SC, usize) -> (Vec<Index>, Vec<S::Elem>) + Sync + Send,
+{
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "SpGEMM shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let rows: Vec<(Vec<Index>, Vec<S::Elem>)> = (0..a.nrows())
+        .into_par_iter()
+        .map_init(&make_scratch, |scratch, i| row_kernel(scratch, i))
+        .collect();
+    assemble_rows(a.nrows(), b.ncols(), rows)
+}
+
+/// Upper bound on the number of products contributing to row `i` of `C`
+/// (the paper's per-row flop), used to size per-row accumulators.
+#[inline]
+pub fn row_flop<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>, i: usize) -> usize {
+    let (cols, _) = a.row(i);
+    cols.iter().map(|&k| b.row_nnz(k as usize)).sum()
+}
+
+/// The smallest power of two that is `>= n.max(1)`.
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_sparse::{Coo, PlusTimes};
+
+    #[test]
+    fn assemble_rows_builds_valid_csr() {
+        let rows = vec![
+            (vec![0, 2], vec![1.0, 2.0]),
+            (vec![], vec![]),
+            (vec![1], vec![3.0]),
+        ];
+        let m = assemble_rows(3, 3, rows);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 2), Some(2.0));
+        assert_eq!(m.get(2, 1), Some(3.0));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn row_flop_matches_manual_count() {
+        let a = Coo::from_entries(2, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)])
+            .unwrap()
+            .to_csr();
+        let b = Coo::from_entries(3, 2, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 1, 1.0)])
+            .unwrap()
+            .to_csr();
+        assert_eq!(row_flop(&a, &b, 0), 3);
+        assert_eq!(row_flop(&a, &b, 1), 1);
+    }
+
+    #[test]
+    fn next_pow2_rounds_up() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(16), 16);
+        assert_eq!(next_pow2(17), 32);
+    }
+
+    #[test]
+    fn rowwise_multiply_runs_kernel_per_row() {
+        // A trivial kernel that emits the diagonal with the row index as the
+        // value proves the plumbing works.
+        let a: Csr<f64> = Csr::identity(4);
+        let b: Csr<f64> = Csr::identity(4);
+        let c = rowwise_multiply::<PlusTimes<f64>, (), _, _>(
+            &a,
+            &b,
+            || (),
+            |_, i| (vec![i as Index], vec![i as f64]),
+        );
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.get(3, 3), Some(3.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the expand-phase ablations: reserved
+//! (unsafe, paper design) vs thread-local flushing, range vs modulo bin
+//! mapping, and the effect of the local-bin width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pb_gen::erdos_renyi_square;
+use pb_spgemm::{BinMapping, ExpandStrategy, PbConfig};
+
+fn bench_expand_strategies(c: &mut Criterion) {
+    let a = erdos_renyi_square(12, 8, 11);
+    let a_csc = a.to_csc();
+    let mut group = c.benchmark_group("expand_strategy");
+    group.sample_size(10);
+    for (name, strategy) in
+        [("reserved", ExpandStrategy::Reserved), ("thread_local", ExpandStrategy::ThreadLocal)]
+    {
+        for (map_name, mapping) in [("range", BinMapping::Range), ("modulo", BinMapping::Modulo)] {
+            let cfg = PbConfig::default().with_expand(strategy).with_bin_mapping(mapping);
+            group.bench_function(BenchmarkId::new(name, map_name), |bench| {
+                bench.iter(|| black_box(pb_spgemm::multiply(&a_csc, &a, &cfg)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_local_bin_width(c: &mut Criterion) {
+    let a = erdos_renyi_square(12, 8, 12);
+    let a_csc = a.to_csc();
+    let mut group = c.benchmark_group("local_bin_width");
+    group.sample_size(10);
+    for width in [64usize, 256, 512, 2048] {
+        let cfg = PbConfig::default().with_local_bin_bytes(width);
+        group.bench_function(BenchmarkId::from_parameter(width), |bench| {
+            bench.iter(|| black_box(pb_spgemm::multiply(&a_csc, &a, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expand_strategies, bench_local_bin_width);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Smoke run of every table/figure harness at reduced scale.
+//!
+//! `cargo bench -p pb-bench --bench figures` regenerates (small versions of)
+//! all the paper's tables and figures in one go and prints them to stdout,
+//! so `cargo bench --workspace | tee bench_output.txt` captures the whole
+//! evaluation.  Run the individual `--bin figN_*` binaries for the
+//! full-scale versions.
+
+use pb_bench::figures::{performance_vs_scale, real_matrices, scaling, scaling_breakdown, MatrixFamily};
+use pb_bench::workloads::er_matrix;
+use pb_bench::{print_table, Table};
+use pb_model::access::access_table;
+use pb_model::roofline::RooflineModel;
+use pb_model::stream::{run as run_stream, StreamConfig};
+use pb_model::MachineInfo;
+use pb_spgemm::{PbConfig, Phase};
+
+fn main() {
+    // Criterion-style CLI arguments (--bench, filters) are ignored; this
+    // harness always runs everything once at smoke scale.
+    println!("PB-SpGEMM paper figure smoke run (quick mode; see DESIGN.md for the full index)\n");
+
+    // Table IV — machine.
+    let info = MachineInfo::detect();
+    let mut t4 = Table::new("Table IV — machine", &["field", "value"]);
+    for (k, v) in info.table_rows() {
+        t4.push_row(vec![k, v]);
+    }
+    print_table(&t4);
+
+    // Table V — STREAM.
+    let stream = run_stream(&StreamConfig::quick());
+    let mut t5 = Table::new("Table V — STREAM (quick)", &["Copy", "Scale", "Add", "Triad"]);
+    t5.push_row(vec![
+        format!("{:.2}", stream.copy),
+        format!("{:.2}", stream.scale),
+        format!("{:.2}", stream.add),
+        format!("{:.2}", stream.triad),
+    ]);
+    print_table(&t5);
+
+    // Fig. 3 — roofline markers for cf = 1.
+    let model = RooflineModel::new(stream.beta_gbps());
+    let mut f3 = Table::new("Fig. 3 — roofline markers (cf = 1)", &["bound", "GFLOPS"]);
+    f3.push_row(vec!["column (Eq.3)".into(), format!("{:.3}", model.column_predicted_gflops(1.0))]);
+    f3.push_row(vec!["outer (Eq.4)".into(), format!("{:.3}", model.outer_predicted_gflops(1.0))]);
+    f3.push_row(vec!["upper (Eq.1)".into(), format!("{:.3}", model.peak_gflops(1.0))]);
+    print_table(&f3);
+
+    // Table II — access patterns (d = 8).
+    let mut t2 = Table::new(
+        "Table II — access patterns (d = 8)",
+        &["class", "reads A", "Chat accesses", "streams A"],
+    );
+    for row in access_table(8.0) {
+        t2.push_row(vec![
+            row.class.name().to_string(),
+            format!("{}", row.reads_a),
+            format!("{}", row.accesses_chat),
+            row.streams_a.to_string(),
+        ]);
+    }
+    print_table(&t2);
+
+    // Table III — phase profile on a small ER workload.
+    let w = er_matrix(12, 8, 3);
+    let p = pb_bench::measure_pb_profile(&w, &PbConfig::default());
+    let mut t3 = Table::new("Table III — PB-SpGEMM phases (ER s=12 ef=8)", &["phase", "ms", "GB/s"]);
+    for phase in [Phase::Symbolic, Phase::Expand, Phase::Sort, Phase::Compress, Phase::Assemble] {
+        t3.push_row(vec![
+            phase.name().to_string(),
+            format!("{:.3}", p.phase_time(phase).as_secs_f64() * 1e3),
+            format!("{:.2}", p.phase_bandwidth_gbps(phase)),
+        ]);
+    }
+    print_table(&t3);
+
+    // Figs. 7 and 9 — ER / RMAT performance (quick grid).
+    let fig7 = performance_vs_scale(MatrixFamily::Er, true, 1);
+    print_table(&fig7.performance);
+    print_table(&fig7.bandwidth);
+    let fig9 = performance_vs_scale(MatrixFamily::Rmat, true, 1);
+    print_table(&fig9.performance);
+    print_table(&fig9.bandwidth);
+
+    // Fig. 11 — real matrices at 1% scale.
+    let fig11 = real_matrices(0.01, 1);
+    print_table(&fig11.performance);
+
+    // Figs. 12 and 13 — scaling and breakdown.
+    let (fig12, _) = scaling(true, 1);
+    print_table(&fig12);
+    print_table(&scaling_breakdown(true));
+
+    println!("smoke run complete — run the individual pb-bench binaries for full-scale figures.");
+}

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the in-bin sorting ablation: LSD radix vs
+//! American-flag vs comparison sort, at the key widths produced by the
+//! paper's key-compression optimisation (4-byte keys) and without it
+//! (8-byte keys).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pb_gen::Xoshiro256pp;
+use pb_spgemm::sort::sort_slice;
+use pb_spgemm::{Entry, SortAlgorithm};
+
+fn make_entries(n: usize, key_bits: u32, seed: u64) -> Vec<Entry<f64>> {
+    let mut rng = Xoshiro256pp::new(seed);
+    (0..n)
+        .map(|_| Entry {
+            key: rng.next_u64() & ((1u64 << key_bits) - 1),
+            val: rng.next_f64(),
+        })
+        .collect()
+}
+
+fn bench_sorters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_sort");
+    group.sample_size(20);
+    // 16K tuples of 16 bytes = 256 KiB: the in-L2 bin size the paper targets.
+    let n = 16 * 1024;
+    for &(label, bits) in &[("packed_30bit_keys", 30u32), ("full_60bit_keys", 60u32)] {
+        let data = make_entries(n, bits, bits as u64);
+        let key_bytes = (bits as usize).div_ceil(8);
+        for (name, algo) in [
+            ("lsd_radix", SortAlgorithm::LsdRadix),
+            ("american_flag", SortAlgorithm::AmericanFlag),
+            ("comparison", SortAlgorithm::Comparison),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, label), &data, |bench, data| {
+                bench.iter(|| {
+                    let mut copy = data.clone();
+                    sort_slice(&mut copy, key_bytes, algo);
+                    black_box(copy.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorters);
+criterion_main!(benches);

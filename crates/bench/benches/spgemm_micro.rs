@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks: PB-SpGEMM against every column baseline on
+//! fixed ER / R-MAT / banded workloads (the micro-scale counterpart of
+//! Figs. 7, 9 and 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pb_baseline::Baseline;
+use pb_gen::{banded, erdos_renyi_square, rmat_square};
+use pb_sparse::Csr;
+use pb_spgemm::PbConfig;
+
+fn workloads() -> Vec<(&'static str, Csr<f64>)> {
+    vec![
+        ("er_s12_ef8", erdos_renyi_square(12, 8, 1)),
+        ("rmat_s12_ef8", rmat_square(12, 8, 2)),
+        ("banded_4096_w33", banded(4096, 33, 3)),
+    ]
+}
+
+fn bench_spgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm");
+    group.sample_size(10);
+    for (name, a) in workloads() {
+        let a_csc = a.to_csc();
+        group.bench_with_input(BenchmarkId::new("PB-SpGEMM", name), &a, |bench, a| {
+            let cfg = PbConfig::default();
+            bench.iter(|| black_box(pb_spgemm::multiply(&a_csc, a, &cfg)));
+        });
+        for baseline in Baseline::paper_set() {
+            group.bench_with_input(BenchmarkId::new(baseline.name(), name), &a, |bench, a| {
+                bench.iter(|| black_box(baseline.multiply(a, a)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

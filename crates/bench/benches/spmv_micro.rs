@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the SpMV kernels: the row-parallel CSR
+//! kernel (random reads of `x`), the column scatter kernel (per-thread `y`
+//! copies), and the propagation-blocking kernel the paper's technique
+//! originates from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pb_gen::rmat_square;
+use pb_spmv::{csc_spmv, csr_spmv, pb_spmv, PbSpmvConfig};
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(15);
+
+    for &(scale, ef) in &[(13u32, 8u32), (15, 8)] {
+        let a = rmat_square(scale, ef, 99);
+        let a_csc = a.to_csc();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 31) as f64 * 0.1).collect();
+        let label = format!("rmat_s{scale}_ef{ef}");
+
+        group.bench_with_input(BenchmarkId::new("csr_row_parallel", &label), &x, |b, x| {
+            b.iter(|| black_box(csr_spmv(&a, x)));
+        });
+        group.bench_with_input(BenchmarkId::new("csc_scatter", &label), &x, |b, x| {
+            b.iter(|| black_box(csc_spmv(&a_csc, x)));
+        });
+        let cfg = PbSpmvConfig::default();
+        group.bench_with_input(BenchmarkId::new("propagation_blocking", &label), &x, |b, x| {
+            b.iter(|| black_box(pb_spmv(&a_csc, x, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

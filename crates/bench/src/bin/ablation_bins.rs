@@ -1,0 +1,66 @@
+//! Ablation of the PB-SpGEMM design choices DESIGN.md calls out: the
+//! row→bin mapping (uniform ranges, modulo, flop-balanced variable ranges),
+//! and the expand strategy (reserved unsafe writes vs safe thread-local
+//! buffers).
+//!
+//! ER matrices have uniform row flop, so all mappings should tie there;
+//! R-MAT matrices are skewed, which is where the balanced mapping (the
+//! paper's "variable ranges of rows") is expected to help the sort/compress
+//! load balance, at the cost of a boundary search in the expand phase.
+//!
+//! ```bash
+//! cargo run --release -p pb-bench --bin ablation_bins
+//! ```
+
+use pb_bench::runner::{measure, Algorithm};
+use pb_bench::workloads::{er_matrix, rmat_matrix};
+use pb_bench::{fmt, print_table, quick_mode, repetitions, write_json, Table};
+use pb_spgemm::{BinMapping, ExpandStrategy, PbConfig};
+
+fn main() {
+    let quick = quick_mode();
+    let reps = repetitions();
+    let (scale, ef) = if quick { (11, 8) } else { (13, 8) };
+
+    let configs: Vec<(&str, PbConfig)> = vec![
+        ("range bins", PbConfig::default().with_bin_mapping(BinMapping::Range)),
+        ("modulo bins", PbConfig::default().with_bin_mapping(BinMapping::Modulo)),
+        ("balanced bins", PbConfig::default().with_bin_mapping(BinMapping::Balanced)),
+        (
+            "range + safe expand",
+            PbConfig::default()
+                .with_bin_mapping(BinMapping::Range)
+                .with_expand(ExpandStrategy::ThreadLocal),
+        ),
+    ];
+
+    let workloads = vec![er_matrix(scale, ef, 7), rmat_matrix(scale, ef, 7)];
+
+    let mut table = Table::new(
+        "Bin-mapping and expand-strategy ablation",
+        &["workload", "configuration", "time ms", "MFLOPS", "cf"],
+    );
+    let mut measurements = Vec::new();
+    for workload in &workloads {
+        for (label, cfg) in &configs {
+            let m = measure(workload, &Algorithm::Pb(*cfg), reps, None);
+            table.push_row(vec![
+                workload.name.clone(),
+                (*label).to_string(),
+                fmt(m.seconds * 1e3, 2),
+                fmt(m.mflops, 1),
+                fmt(m.cf, 2),
+            ]);
+            measurements.push(m);
+        }
+    }
+
+    print_table(&table);
+    write_json("ablation_bins", &measurements);
+    println!(
+        "expected shape: on the uniform ER workload all bin mappings perform alike; on the \
+         skewed R-MAT workload the balanced mapping narrows the gap the paper attributes to \
+         load-imbalanced bins (Sec. V-C), and the safe thread-local expand pays for its extra \
+         concatenation pass relative to the reserved-write expand."
+    );
+}

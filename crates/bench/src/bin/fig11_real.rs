@@ -1,0 +1,19 @@
+//! Fig. 11: squaring the Table VI matrices (stand-ins), sorted by ascending
+//! compression factor.
+
+use pb_bench::figures::real_matrices;
+use pb_bench::workloads::standin_fraction;
+use pb_bench::{print_table, quick_mode, repetitions, write_json};
+
+fn main() {
+    let fraction = standin_fraction(quick_mode());
+    let fig = real_matrices(fraction, repetitions());
+    print_table(&fig.performance);
+    print_table(&fig.bandwidth);
+    write_json("fig11_real", &fig.measurements);
+    println!(
+        "expected shape (paper Fig. 11 and conclusions 5-6): PB-SpGEMM wins on matrices with \
+         cf < 4 (the left side of the table); HashSpGEMM takes over for the high-cf FEM \
+         matrices (cant, hood)."
+    );
+}

@@ -1,0 +1,54 @@
+//! Fig. 3: the Roofline model for SpGEMM on this machine.
+//!
+//! Measures the STREAM bandwidth `β`, then prints the attainable-performance
+//! diagonal `β·AI` together with the three AI markers for ER matrices
+//! (cf = 1): the column-SpGEMM lower bound (Eq. 3), the outer-product lower
+//! bound (Eq. 4) and the overall upper bound (Eq. 1).
+
+use pb_bench::{fmt, print_table, quick_mode, write_json, Table};
+use pb_model::roofline::RooflineModel;
+use pb_model::stream::{run, StreamConfig};
+
+fn main() {
+    let stream_cfg = if quick_mode() { StreamConfig::quick() } else { StreamConfig::default() };
+    let stream = run(&stream_cfg);
+    let beta = stream.beta_gbps();
+    let model = RooflineModel::new(beta);
+
+    println!("measured STREAM Triad bandwidth beta = {beta:.2} GB/s\n");
+
+    let mut curve_table = Table::new(
+        "Fig. 3 — attainable performance vs arithmetic intensity (beta * AI)",
+        &["AI (flop/byte)", "attainable GFLOPS"],
+    );
+    let curve = model.curve(1.0 / 128.0, 0.25, 9);
+    for p in &curve {
+        curve_table.push_row(vec![format!("1/{:.0}", 1.0 / p.ai), fmt(p.gflops, 3)]);
+    }
+    print_table(&curve_table);
+
+    let mut marker_table = Table::new(
+        "Fig. 3 — AI markers for ER matrices (cf = 1, b = 16 bytes)",
+        &["bound", "AI", "attainable GFLOPS"],
+    );
+    let cf = 1.0;
+    let rows = [
+        ("Column SpGEMM lower bound (Eq. 3)", model.ai_column_lower_bound(cf)),
+        ("Outer SpGEMM lower bound (Eq. 4)", model.ai_outer_lower_bound(cf)),
+        ("SpGEMM upper bound (Eq. 1)", model.ai_upper_bound(cf)),
+    ];
+    for (name, ai) in rows {
+        marker_table.push_row(vec![
+            name.to_string(),
+            format!("1/{:.0}", 1.0 / ai),
+            fmt(model.attainable_gflops(ai), 3),
+        ]);
+    }
+    print_table(&marker_table);
+
+    write_json("fig3_roofline", &(beta, curve, model.markers(cf)));
+    println!(
+        "paper (50 GB/s Skylake socket): upper bound 3.13 GFLOPS, outer bound 0.625 GFLOPS; \
+         the same ratios apply at beta = {beta:.1} GB/s."
+    );
+}

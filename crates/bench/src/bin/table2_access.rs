@@ -1,0 +1,50 @@
+//! Table II: data-access patterns of the SpGEMM algorithm classes, plus the
+//! concrete memory-traffic estimates for an example ER multiplication.
+
+use pb_bench::{fmt, print_table, write_json, Table};
+use pb_gen::erdos_renyi_square;
+use pb_model::access::{access_table, traffic_estimates};
+use pb_sparse::stats::MultiplyStats;
+
+fn main() {
+    for d in [4.0, 8.0, 16.0] {
+        let mut table = Table::new(
+            format!("Table II — access patterns, ER matrices with d = {d}"),
+            &["algorithm", "reads A", "reads B", "accesses Chat", "writes C", "streams A", "streams Chat", "full lines A"],
+        );
+        for row in access_table(d) {
+            table.push_row(vec![
+                row.class.name().to_string(),
+                fmt(row.reads_a, 0),
+                fmt(row.reads_b, 0),
+                fmt(row.accesses_chat, 0),
+                fmt(row.writes_c, 0),
+                row.streams_a.to_string(),
+                row.streams_chat.to_string(),
+                row.full_lines_a.to_string(),
+            ]);
+        }
+        print_table(&table);
+    }
+
+    // Concrete traffic estimate for one ER multiplication.
+    let a = erdos_renyi_square(13, 8, 7);
+    let stats = MultiplyStats::compute(&a, &a);
+    let est = traffic_estimates(&stats);
+    let mut table = Table::new(
+        format!(
+            "Estimated memory traffic for ER s=13 ef=8 (flop = {}, cf = {:.2})",
+            stats.flop, stats.cf
+        ),
+        &["algorithm class", "bytes moved (MB)", "arithmetic intensity"],
+    );
+    for e in &est {
+        table.push_row(vec![
+            e.class.name().to_string(),
+            fmt(e.bytes as f64 / 1e6, 1),
+            format!("1/{:.0}", 1.0 / e.ai),
+        ]);
+    }
+    print_table(&table);
+    write_json("table2_access", &est);
+}

@@ -1,0 +1,67 @@
+//! Table III: computational complexity and data-access costs of every
+//! PB-SpGEMM phase, with the measured time, modelled bytes and sustained
+//! bandwidth on a concrete workload.
+
+use pb_bench::workloads::er_matrix;
+use pb_bench::{fmt, print_table, quick_mode, write_json, Table};
+use pb_spgemm::{PbConfig, Phase};
+
+fn main() {
+    let (scale, ef) = if quick_mode() { (12, 8) } else { (15, 8) };
+    let w = er_matrix(scale, ef, 3);
+    let profile = pb_bench::measure_pb_profile(&w, &PbConfig::default());
+
+    let analytic = |phase: Phase| -> (&'static str, String) {
+        match phase {
+            Phase::Symbolic => ("O(n)", "streams the two offset arrays".into()),
+            Phase::Expand => (
+                "O(flop)",
+                format!("reads b·(nnz(A)+nnz(B)), writes t·flop = {} MB", profile.phase_bytes(phase) / 1_000_000),
+            ),
+            Phase::Sort => (
+                "O(flop)",
+                format!("reads t·flop = {} MB (shuffles stay in cache)", profile.phase_bytes(phase) / 1_000_000),
+            ),
+            Phase::Compress => (
+                "O(flop)",
+                format!("reads t·flop, writes t·nnz(C) = {} MB", profile.phase_bytes(phase) / 1_000_000),
+            ),
+            Phase::Assemble => ("O(nnz(C))", "writes the CSR arrays".into()),
+        }
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Table III — PB-SpGEMM phases on {} (flop = {:.1}M, nnz(C) = {:.1}M)",
+            w.name,
+            profile.flop as f64 / 1e6,
+            profile.nnz_c as f64 / 1e6
+        ),
+        &["phase", "complexity", "data movement (model)", "time (ms)", "bandwidth (GB/s)"],
+    );
+    for phase in [Phase::Symbolic, Phase::Expand, Phase::Sort, Phase::Compress, Phase::Assemble] {
+        let (complexity, movement) = analytic(phase);
+        table.push_row(vec![
+            phase.name().to_string(),
+            complexity.to_string(),
+            movement,
+            fmt(profile.phase_time(phase).as_secs_f64() * 1e3, 2),
+            fmt(profile.phase_bandwidth_gbps(phase), 2),
+        ]);
+    }
+    print_table(&table);
+    let records: Vec<(&str, f64, u64, f64)> =
+        [Phase::Symbolic, Phase::Expand, Phase::Sort, Phase::Compress, Phase::Assemble]
+            .iter()
+            .map(|&p| {
+                (
+                    p.name(),
+                    profile.phase_time(p).as_secs_f64(),
+                    profile.phase_bytes(p),
+                    profile.phase_bandwidth_gbps(p),
+                )
+            })
+            .collect();
+    write_json("table3_phases", &records);
+    println!("{}", profile.summary());
+}

@@ -1,0 +1,22 @@
+//! Table IV: hardware configuration of the evaluation platform.
+//!
+//! The paper lists the Skylake-SP and POWER9 testbeds; this binary prints
+//! the equivalent description of the machine actually running the
+//! reproduction.
+
+use pb_bench::{print_table, write_json, Table};
+use pb_model::MachineInfo;
+
+fn main() {
+    let info = MachineInfo::detect();
+    let mut table = Table::new("Table IV — evaluation platform (this machine)", &["field", "value"]);
+    for (k, v) in info.table_rows() {
+        table.push_row(vec![k, v]);
+    }
+    print_table(&table);
+    write_json("table4_machine", &info);
+    println!(
+        "note: the paper used a 2x24-core Skylake-SP (100 GB/s) and a 2x20-core POWER9 \
+         (250 GB/s); absolute numbers in the other figures scale with this machine's bandwidth."
+    );
+}

@@ -1,0 +1,42 @@
+//! Table V: STREAM benchmark (Copy / Scale / Add / Triad).
+//!
+//! The paper reports single-socket and dual-socket rates; this machine has a
+//! single memory domain, so the table reports the full machine and a
+//! half-thread run (the closest analogue of "one socket of two").
+
+use pb_bench::{fmt, print_table, quick_mode, write_json, Table};
+use pb_model::stream::{run, StreamConfig};
+
+fn main() {
+    let base = if quick_mode() { StreamConfig::quick() } else { StreamConfig::default() };
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let full = run(&StreamConfig { threads: None, ..base });
+    let half = run(&StreamConfig { threads: Some((threads / 2).max(1)), ..base });
+
+    let mut table = Table::new(
+        "Table V — STREAM sustainable bandwidth (GB/s)",
+        &["threads", "Copy", "Scale", "Add", "Triad"],
+    );
+    table.push_row(vec![
+        format!("{} (half machine)", (threads / 2).max(1)),
+        fmt(half.copy, 2),
+        fmt(half.scale, 2),
+        fmt(half.add, 2),
+        fmt(half.triad, 2),
+    ]);
+    table.push_row(vec![
+        format!("{threads} (full machine)"),
+        fmt(full.copy, 2),
+        fmt(full.scale, 2),
+        fmt(full.add, 2),
+        fmt(full.triad, 2),
+    ]);
+    print_table(&table);
+    write_json("table5_stream", &[("half", half), ("full", full)]);
+    println!(
+        "beta (Roofline bandwidth) = {:.2} GB/s; the paper measured 57.04 / 108.42 GB/s Triad \
+         on one/two Skylake sockets.",
+        full.beta_gbps()
+    );
+}

@@ -1,0 +1,32 @@
+//! Table VII: local vs. remote memory bandwidth and latency.
+//!
+//! The evaluation machine has a single NUMA domain, so the "remote socket"
+//! is emulated by a prefetch-defeating strided stream and a larger
+//! pointer-chase working set (see `pb_model::numa`); the point being
+//! reproduced is that a degraded memory domain exists and hurts
+//! bandwidth-bound algorithms most (Fig. 14).
+
+use pb_bench::{fmt, print_table, quick_mode, write_json, Table};
+use pb_model::numa::{probe, NumaConfig};
+
+fn main() {
+    let cfg = if quick_mode() { NumaConfig::quick() } else { NumaConfig::default() };
+    let p = probe(&cfg);
+
+    let mut table = Table::new(
+        "Table VII — local vs. far memory (far domain emulated; see DESIGN.md)",
+        &["domain", "bandwidth (GB/s)", "latency (ns)"],
+    );
+    table.push_row(vec!["local".into(), fmt(p.local_bandwidth_gbps, 2), fmt(p.local_latency_ns, 1)]);
+    table.push_row(vec![
+        "far (emulated)".into(),
+        fmt(p.far_bandwidth_gbps, 2),
+        fmt(p.far_latency_ns, 1),
+    ]);
+    print_table(&table);
+    write_json("table7_numa", &p);
+    println!(
+        "far/local bandwidth ratio = {:.2} (paper: 33.4/50.3 = 0.66 across Skylake sockets)",
+        p.bandwidth_ratio()
+    );
+}

@@ -1,0 +1,238 @@
+//! Shared implementations of the paper's performance figures, used both by
+//! the standalone figure binaries and by the `figures` smoke bench.
+
+use pb_spgemm::{PbConfig, Phase};
+use serde::Serialize;
+
+use crate::report::{fmt, Table};
+use crate::runner::{measure, measure_pb_profile, Algorithm, Measurement};
+use crate::workloads::{er_matrix, fig7_grid, rmat_matrix, standin_matrix, Workload};
+
+/// The two random-matrix families of Figs. 7–10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MatrixFamily {
+    /// Erdős–Rényi matrices (Figs. 7 and 8).
+    Er,
+    /// Graph500 R-MAT matrices (Figs. 9 and 10).
+    Rmat,
+}
+
+impl MatrixFamily {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatrixFamily::Er => "ER",
+            MatrixFamily::Rmat => "RMAT",
+        }
+    }
+
+    /// Builds the squaring workload for a scale / edge-factor point.
+    pub fn workload(&self, scale: u32, edge_factor: u32, seed: u64) -> Workload {
+        match self {
+            MatrixFamily::Er => er_matrix(scale, edge_factor, seed),
+            MatrixFamily::Rmat => rmat_matrix(scale, edge_factor, seed),
+        }
+    }
+}
+
+/// Output of one performance figure: the MFLOPS table (Fig. 7a/9a), the
+/// PB-SpGEMM bandwidth table (Fig. 7b/9b) and the raw measurements.
+#[derive(Debug)]
+pub struct PerformanceFigure {
+    /// MFLOPS of every algorithm on every workload.
+    pub performance: Table,
+    /// Sustained bandwidth of each PB-SpGEMM phase on every workload.
+    pub bandwidth: Table,
+    /// Raw measurements (for JSON dumps).
+    pub measurements: Vec<Measurement>,
+}
+
+/// Figs. 7a/7b (ER) and 9a/9b (RMAT): performance and sustained bandwidth
+/// across scales and edge factors.
+pub fn performance_vs_scale(family: MatrixFamily, quick: bool, reps: usize) -> PerformanceFigure {
+    let algorithms = Algorithm::paper_set();
+    let mut performance = Table::new(
+        format!("{} matrices — achieved MFLOPS (higher is better)", family.name()),
+        &["workload", "flop", "cf", "PB-SpGEMM", "HeapSpGEMM", "HashSpGEMM", "HashVecSpGEMM"],
+    );
+    let mut bandwidth = Table::new(
+        format!("{} matrices — PB-SpGEMM sustained bandwidth (GB/s)", family.name()),
+        &["workload", "expand", "sort", "compress", "overall"],
+    );
+    let mut measurements = Vec::new();
+
+    for (scale, ef) in fig7_grid(quick) {
+        let w = family.workload(scale, ef, 1000 + scale as u64 * 31 + ef as u64);
+        let mut row = vec![
+            w.name.clone(),
+            format!("{:.1}M", w.stats.flop as f64 / 1e6),
+            fmt(w.stats.cf, 2),
+        ];
+        for algo in &algorithms {
+            let m = measure(&w, algo, reps, None);
+            row.push(fmt(m.mflops, 0));
+            measurements.push(m);
+        }
+        performance.push_row(row);
+
+        let p = measure_pb_profile(&w, &PbConfig::default());
+        bandwidth.push_row(vec![
+            w.name.clone(),
+            fmt(p.phase_bandwidth_gbps(Phase::Expand), 2),
+            fmt(p.phase_bandwidth_gbps(Phase::Sort), 2),
+            fmt(p.phase_bandwidth_gbps(Phase::Compress), 2),
+            fmt(p.overall_bandwidth_gbps(), 2),
+        ]);
+    }
+
+    PerformanceFigure { performance, bandwidth, measurements }
+}
+
+/// Fig. 11: squaring the Table VI matrices, sorted by ascending compression
+/// factor.
+pub fn real_matrices(fraction: f64, reps: usize) -> PerformanceFigure {
+    let algorithms = Algorithm::paper_set();
+    let mut workloads: Vec<Workload> = pb_gen::standin_names()
+        .iter()
+        .map(|name| standin_matrix(name, fraction, 77))
+        .collect();
+    workloads.sort_by(|a, b| a.stats.cf.partial_cmp(&b.stats.cf).unwrap());
+
+    let mut performance = Table::new(
+        "Real matrices (stand-ins, ascending cf) — achieved MFLOPS",
+        &["matrix", "cf", "PB-SpGEMM", "HeapSpGEMM", "HashSpGEMM", "HashVecSpGEMM", "winner"],
+    );
+    let mut bandwidth = Table::new(
+        "Real matrices — PB-SpGEMM sustained bandwidth (GB/s)",
+        &["matrix", "expand", "sort", "compress", "overall"],
+    );
+    let mut measurements = Vec::new();
+
+    for w in &workloads {
+        let mut row = vec![w.name.clone(), fmt(w.stats.cf, 2)];
+        let mut best: Option<(String, f64)> = None;
+        for algo in &algorithms {
+            let m = measure(w, algo, reps, None);
+            row.push(fmt(m.mflops, 0));
+            if best.as_ref().map_or(true, |(_, v)| m.mflops > *v) {
+                best = Some((m.algorithm.clone(), m.mflops));
+            }
+            measurements.push(m);
+        }
+        row.push(best.map(|(n, _)| n).unwrap_or_default());
+        performance.push_row(row);
+
+        let p = measure_pb_profile(w, &PbConfig::default());
+        bandwidth.push_row(vec![
+            w.name.clone(),
+            fmt(p.phase_bandwidth_gbps(Phase::Expand), 2),
+            fmt(p.phase_bandwidth_gbps(Phase::Sort), 2),
+            fmt(p.phase_bandwidth_gbps(Phase::Compress), 2),
+            fmt(p.overall_bandwidth_gbps(), 2),
+        ]);
+    }
+
+    PerformanceFigure { performance, bandwidth, measurements }
+}
+
+/// Fig. 12: strong scaling of every algorithm over thread counts, on ER and
+/// RMAT matrices of the same scale / edge factor.
+pub fn scaling(quick: bool, reps: usize) -> (Table, Vec<Measurement>) {
+    let (scale, ef) = if quick { (11, 8) } else { (14, 16) };
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut threads = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+    if *threads.last().unwrap() != max_threads {
+        threads.push(max_threads);
+    }
+
+    let algorithms = Algorithm::paper_set();
+    let mut table = Table::new(
+        format!("Strong scaling (scale {scale}, edge factor {ef}) — MFLOPS per thread count"),
+        &["family", "algorithm", "threads", "MFLOPS", "speedup vs 1 thread"],
+    );
+    let mut measurements = Vec::new();
+
+    for family in [MatrixFamily::Er, MatrixFamily::Rmat] {
+        let w = family.workload(scale, ef, 4242);
+        for algo in &algorithms {
+            let mut base = None;
+            for &t in &threads {
+                let m = measure(&w, algo, reps, Some(t));
+                let speedup = match base {
+                    None => {
+                        base = Some(m.seconds);
+                        1.0
+                    }
+                    Some(b) => b / m.seconds,
+                };
+                table.push_row(vec![
+                    family.name().to_string(),
+                    m.algorithm.clone(),
+                    t.to_string(),
+                    fmt(m.mflops, 0),
+                    fmt(speedup, 2),
+                ]);
+                measurements.push(m);
+            }
+        }
+    }
+    (table, measurements)
+}
+
+/// Fig. 13: per-phase scaling breakdown of PB-SpGEMM.
+pub fn scaling_breakdown(quick: bool) -> Table {
+    let (scale, ef) = if quick { (11, 8) } else { (14, 16) };
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut threads = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+    if *threads.last().unwrap() != max_threads {
+        threads.push(max_threads);
+    }
+
+    let mut table = Table::new(
+        format!("PB-SpGEMM per-phase times (ms), scale {scale} edge factor {ef}"),
+        &["family", "threads", "symbolic", "expand", "sort", "compress", "assemble", "total"],
+    );
+    for family in [MatrixFamily::Er, MatrixFamily::Rmat] {
+        let w = family.workload(scale, ef, 999);
+        for &t in &threads {
+            let cfg = PbConfig::default().with_threads(t);
+            let p = measure_pb_profile(&w, &cfg);
+            let ms = |d: std::time::Duration| fmt(d.as_secs_f64() * 1e3, 2);
+            table.push_row(vec![
+                family.name().to_string(),
+                t.to_string(),
+                ms(p.timings.symbolic),
+                ms(p.timings.expand),
+                ms(p.timings.sort),
+                ms(p.timings.compress),
+                ms(p.timings.assemble),
+                ms(p.timings.total()),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_helpers() {
+        assert_eq!(MatrixFamily::Er.name(), "ER");
+        assert_eq!(MatrixFamily::Rmat.name(), "RMAT");
+        let w = MatrixFamily::Rmat.workload(7, 4, 1);
+        assert!(w.name.contains("RMAT"));
+        assert_eq!(w.a.nrows(), 128);
+    }
+}

@@ -1,0 +1,48 @@
+//! # pb-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper regenerates that table/figure on
+//! the local machine (see `DESIGN.md` for the full index):
+//!
+//! ```text
+//! cargo run --release -p pb-bench --bin fig7_er          # Fig. 7a/7b
+//! cargo run --release -p pb-bench --bin fig11_real       # Fig. 11
+//! cargo run --release -p pb-bench --bin table5_stream    # Table V
+//! ...
+//! ```
+//!
+//! Every binary honours two environment variables:
+//!
+//! * `PB_BENCH_QUICK=1` — shrink the workloads so the whole suite finishes
+//!   in seconds (used by `cargo bench` smoke runs and CI);
+//! * `PB_BENCH_JSON=dir` — additionally dump each figure's data points as
+//!   JSON into `dir`.
+//!
+//! This library crate holds the shared machinery: workload construction
+//! ([`workloads`]), timed algorithm runs ([`runner`]) and table/JSON output
+//! ([`report`]).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod workloads;
+
+pub use report::{fmt, print_table, write_json, Table};
+pub use runner::{measure, measure_pb_profile, Algorithm, Measurement};
+pub use workloads::{er_matrix, rmat_matrix, standin_matrix, Workload, WorkloadSet};
+
+/// Returns `true` when the quick (smoke-test) mode is requested via
+/// `PB_BENCH_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("PB_BENCH_QUICK").map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+}
+
+/// Number of repetitions per measurement (the minimum time is reported).
+pub fn repetitions() -> usize {
+    if quick_mode() {
+        1
+    } else {
+        std::env::var("PB_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+    }
+}

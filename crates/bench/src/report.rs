@@ -1,0 +1,125 @@
+//! Plain-text table rendering and optional JSON dumps for the figure
+//! binaries.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should have `headers.len()` entries).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as a string with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints a table to stdout.
+pub fn print_table(table: &Table) {
+    println!("{}", table.render());
+}
+
+/// Writes `data` as pretty JSON into `$PB_BENCH_JSON/<name>.json` if the
+/// `PB_BENCH_JSON` environment variable is set; returns the path written.
+pub fn write_json<T: Serialize>(name: &str, data: &T) -> Option<PathBuf> {
+    let dir = std::env::var("PB_BENCH_JSON").ok()?;
+    let dir = Path::new(&dir);
+    fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("{name}.json"));
+    let text = serde_json::to_string_pretty(data).ok()?;
+    fs::write(&path, text).ok()?;
+    Some(path)
+}
+
+/// Formats a float with the given number of decimals (helper for the
+/// binaries).
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["short".into(), "1".into()]);
+        t.push_row(vec!["a much longer name".into(), "2.5".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("a much longer name"));
+        // Header columns are padded to the widest cell.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[1].len() >= "a much longer name".len());
+    }
+
+    #[test]
+    fn json_dump_respects_env_var() {
+        let dir = std::env::temp_dir().join("pb_bench_json_test");
+        std::env::set_var("PB_BENCH_JSON", &dir);
+        let path = write_json("unit_test", &vec![1, 2, 3]).expect("json written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains('2'));
+        std::env::remove_var("PB_BENCH_JSON");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(write_json("unit_test", &vec![1]).is_none());
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+}

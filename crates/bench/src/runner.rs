@@ -1,0 +1,163 @@
+//! Timed algorithm runs shared by all figure/table binaries.
+
+use std::time::Instant;
+
+use pb_baseline::Baseline;
+use pb_spgemm::{PbConfig, SpGemmProfile};
+use serde::Serialize;
+
+use crate::workloads::Workload;
+
+/// An algorithm under test: PB-SpGEMM with a particular configuration, or
+/// one of the column baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// PB-SpGEMM with the given configuration.
+    Pb(PbConfig),
+    /// A column SpGEMM baseline.
+    Baseline(Baseline),
+}
+
+impl Algorithm {
+    /// The four algorithms the paper's performance figures compare.
+    pub fn paper_set() -> Vec<Algorithm> {
+        let mut v = vec![Algorithm::Pb(PbConfig::default())];
+        v.extend(Baseline::paper_set().iter().map(|&b| Algorithm::Baseline(b)));
+        v
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Pb(_) => "PB-SpGEMM",
+            Algorithm::Baseline(b) => b.name(),
+        }
+    }
+}
+
+/// One timed measurement of one algorithm on one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// Best wall-clock time over the repetitions, in seconds.
+    pub seconds: f64,
+    /// Achieved MFLOPS (`flop / seconds / 1e6`).
+    pub mflops: f64,
+    /// flop of the multiplication.
+    pub flop: u64,
+    /// nnz of the output.
+    pub nnz_c: usize,
+    /// Compression factor.
+    pub cf: f64,
+}
+
+/// Runs `algorithm` on `workload` `reps` times and reports the best run.
+///
+/// `threads = None` uses the global rayon pool (all cores); otherwise a
+/// dedicated pool of that size is used for baselines and the PB
+/// configuration is updated accordingly.
+pub fn measure(
+    workload: &Workload,
+    algorithm: &Algorithm,
+    reps: usize,
+    threads: Option<usize>,
+) -> Measurement {
+    let reps = reps.max(1);
+    let mut best = f64::MAX;
+    let mut nnz_c = 0usize;
+    for _ in 0..reps {
+        let (dt, nnz) = run_once(workload, algorithm, threads);
+        best = best.min(dt);
+        nnz_c = nnz;
+    }
+    let flop = workload.stats.flop;
+    Measurement {
+        workload: workload.name.clone(),
+        algorithm: algorithm.name().to_string(),
+        threads: threads.unwrap_or_else(rayon::current_num_threads),
+        seconds: best,
+        mflops: flop as f64 / best / 1e6,
+        flop,
+        nnz_c,
+        cf: workload.stats.cf,
+    }
+}
+
+fn run_once(workload: &Workload, algorithm: &Algorithm, threads: Option<usize>) -> (f64, usize) {
+    match algorithm {
+        Algorithm::Pb(cfg) => {
+            let cfg = match threads {
+                Some(t) => cfg.with_threads(t),
+                None => *cfg,
+            };
+            let t = Instant::now();
+            let c = pb_spgemm::multiply(&workload.a_csc, &workload.a, &cfg);
+            (t.elapsed().as_secs_f64(), c.nnz())
+        }
+        Algorithm::Baseline(b) => {
+            let run = || {
+                let t = Instant::now();
+                let c = b.multiply(&workload.a, &workload.a);
+                (t.elapsed().as_secs_f64(), c.nnz())
+            };
+            match threads {
+                Some(t) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(t.max(1))
+                    .build()
+                    .expect("rayon pool")
+                    .install(run),
+                None => run(),
+            }
+        }
+    }
+}
+
+/// Runs PB-SpGEMM once and returns its per-phase profile (used by the
+/// bandwidth and breakdown figures).
+pub fn measure_pb_profile(workload: &Workload, config: &PbConfig) -> SpGemmProfile {
+    let (_, profile) = pb_spgemm::multiply_with_profile::<pb_sparse::PlusTimes<f64>>(
+        &workload.a_csc,
+        &workload.a,
+        config,
+    );
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::er_matrix;
+
+    #[test]
+    fn measurements_are_positive_and_consistent() {
+        let w = er_matrix(8, 4, 5);
+        for algo in Algorithm::paper_set() {
+            let m = measure(&w, &algo, 1, Some(1));
+            assert!(m.seconds > 0.0);
+            assert!(m.mflops > 0.0);
+            assert_eq!(m.flop, w.stats.flop);
+            assert_eq!(m.nnz_c, w.stats.nnz_c, "{} produced the wrong nnz", m.algorithm);
+            assert_eq!(m.threads, 1);
+        }
+    }
+
+    #[test]
+    fn paper_set_has_pb_and_three_baselines() {
+        let set = Algorithm::paper_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set[0].name(), "PB-SpGEMM");
+    }
+
+    #[test]
+    fn profile_measurement_reports_phases() {
+        let w = er_matrix(8, 4, 6);
+        let p = measure_pb_profile(&w, &PbConfig::default());
+        assert_eq!(p.flop, w.stats.flop);
+        assert!(p.timings.total().as_nanos() > 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Workload construction: the matrix families the paper evaluates on.
+
+use pb_gen::{erdos_renyi_square, rmat_square, standin_scaled};
+use pb_sparse::stats::MultiplyStats;
+use pb_sparse::{Csc, Csr};
+
+/// One multiplication workload: square the matrix `a` (the paper squares
+/// every matrix; `a_csc` is the column-wise copy PB-SpGEMM needs).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name (e.g. `"ER s=16 ef=8"` or a Table VI matrix name).
+    pub name: String,
+    /// The matrix in CSR (used by the column baselines and as `B`).
+    pub a: Csr<f64>,
+    /// The matrix in CSC (used as `A` by PB-SpGEMM).
+    pub a_csc: Csc<f64>,
+    /// Multiplication statistics (flop, nnz(C), cf).
+    pub stats: MultiplyStats,
+}
+
+impl Workload {
+    /// Builds a workload (and its statistics) from a CSR matrix.
+    pub fn from_matrix(name: impl Into<String>, a: Csr<f64>) -> Self {
+        let stats = MultiplyStats::compute(&a, &a);
+        let a_csc = a.to_csc();
+        Workload { name: name.into(), a, a_csc, stats }
+    }
+}
+
+/// A named set of workloads (one figure's x-axis).
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadSet {
+    /// The workloads in presentation order.
+    pub workloads: Vec<Workload>,
+}
+
+impl WorkloadSet {
+    /// Adds a workload.
+    pub fn push(&mut self, w: Workload) {
+        self.workloads.push(w);
+    }
+
+    /// Iterates over the workloads.
+    pub fn iter(&self) -> impl Iterator<Item = &Workload> {
+        self.workloads.iter()
+    }
+
+    /// Number of workloads.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+}
+
+/// An Erdős–Rényi squaring workload at the given scale / edge factor.
+pub fn er_matrix(scale: u32, edge_factor: u32, seed: u64) -> Workload {
+    Workload::from_matrix(
+        format!("ER s={scale} ef={edge_factor}"),
+        erdos_renyi_square(scale, edge_factor, seed),
+    )
+}
+
+/// A Graph500 R-MAT squaring workload at the given scale / edge factor.
+pub fn rmat_matrix(scale: u32, edge_factor: u32, seed: u64) -> Workload {
+    Workload::from_matrix(
+        format!("RMAT s={scale} ef={edge_factor}"),
+        rmat_square(scale, edge_factor, seed),
+    )
+}
+
+/// A Table VI stand-in squaring workload, scaled to `fraction` of the
+/// original dimension.
+pub fn standin_matrix(name: &str, fraction: f64, seed: u64) -> Workload {
+    Workload::from_matrix(name.to_string(), standin_scaled(name, fraction, seed))
+}
+
+/// The ER workload grid of Fig. 7 (scales × edge factors), sized for the
+/// current machine.
+pub fn fig7_grid(quick: bool) -> Vec<(u32, u32)> {
+    let (scales, efs): (Vec<u32>, Vec<u32>) = if quick {
+        (vec![11, 12], vec![4, 8])
+    } else {
+        (vec![13, 14, 15, 16], vec![4, 8, 16])
+    };
+    let mut grid = Vec::new();
+    for &s in &scales {
+        for &e in &efs {
+            grid.push((s, e));
+        }
+    }
+    grid
+}
+
+/// The fraction at which Table VI stand-ins are generated: full size on big
+/// machines is unnecessary for shape reproduction, so the harness uses a
+/// fraction that keeps every squaring under ~100 M flop.
+pub fn standin_fraction(quick: bool) -> f64 {
+    if quick {
+        0.01
+    } else {
+        std::env::var("PB_BENCH_STANDIN_FRACTION")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0625)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_workload_carries_consistent_stats() {
+        let w = er_matrix(8, 4, 1);
+        assert_eq!(w.a.nrows(), 256);
+        assert_eq!(w.stats.nnz_a, w.a.nnz());
+        assert!(w.stats.flop > 0);
+        assert_eq!(w.a_csc.nnz(), w.a.nnz());
+        assert!(w.name.contains("ER"));
+    }
+
+    #[test]
+    fn grids_and_sets() {
+        assert_eq!(fig7_grid(true).len(), 4);
+        assert_eq!(fig7_grid(false).len(), 12);
+        let mut set = WorkloadSet::default();
+        assert!(set.is_empty());
+        set.push(er_matrix(7, 4, 2));
+        set.push(rmat_matrix(7, 4, 2));
+        assert_eq!(set.len(), 2);
+        assert!(set.iter().any(|w| w.name.contains("RMAT")));
+    }
+
+    #[test]
+    fn standin_workload_scales_down() {
+        let w = standin_matrix("scircuit", 0.01, 3);
+        assert!(w.a.nrows() < 10_000);
+        assert!(w.stats.cf > 1.0);
+        assert!(standin_fraction(true) < standin_fraction(false));
+    }
+}

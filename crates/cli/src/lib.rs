@@ -1,0 +1,384 @@
+//! # pb-cli — command-line front end for the PB-SpGEMM suite
+//!
+//! The `pb-spgemm` binary exposes the workspace's functionality to shell
+//! users:
+//!
+//! ```text
+//! pb-spgemm generate er --scale 14 --edge-factor 8 --out a.mtx
+//! pb-spgemm stats a.mtx
+//! pb-spgemm multiply a.mtx a.mtx --algorithm pb --out c.mtx --profile
+//! pb-spgemm compare a.mtx                # race all algorithms on A·A
+//! ```
+//!
+//! The argument parsing is hand-rolled (no extra dependencies) and lives in
+//! this library crate so it can be unit-tested; `main.rs` is a thin wrapper.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pb_baseline::Baseline;
+use pb_sparse::io::{read_matrix_market, write_matrix_market};
+use pb_sparse::stats::MultiplyStats;
+use pb_sparse::{Coo, Csr, PlusTimes};
+use pb_spgemm::PbConfig;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<pb_sparse::SparseError> for CliError {
+    fn from(e: pb_sparse::SparseError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The algorithms selectable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliAlgorithm {
+    /// PB-SpGEMM (the paper's algorithm).
+    Pb,
+    /// HeapSpGEMM baseline.
+    Heap,
+    /// HashSpGEMM baseline.
+    Hash,
+    /// HashVecSpGEMM baseline.
+    HashVec,
+    /// SPA baseline.
+    Spa,
+}
+
+impl CliAlgorithm {
+    /// Parses an algorithm name.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s.to_ascii_lowercase().as_str() {
+            "pb" | "pb-spgemm" | "outer" => Ok(CliAlgorithm::Pb),
+            "heap" => Ok(CliAlgorithm::Heap),
+            "hash" => Ok(CliAlgorithm::Hash),
+            "hashvec" | "hash-vec" => Ok(CliAlgorithm::HashVec),
+            "spa" => Ok(CliAlgorithm::Spa),
+            other => Err(err(format!(
+                "unknown algorithm {other:?} (expected pb, heap, hash, hashvec or spa)"
+            ))),
+        }
+    }
+
+    /// Runs the selected algorithm.
+    pub fn run(&self, a: &Csr<f64>, b: &Csr<f64>, threads: Option<usize>) -> Csr<f64> {
+        match self {
+            CliAlgorithm::Pb => {
+                let mut cfg = PbConfig::default();
+                if let Some(t) = threads {
+                    cfg = cfg.with_threads(t);
+                }
+                pb_spgemm::multiply(&a.to_csc(), b, &cfg)
+            }
+            CliAlgorithm::Heap => Baseline::Heap.multiply(a, b),
+            CliAlgorithm::Hash => Baseline::Hash.multiply(a, b),
+            CliAlgorithm::HashVec => Baseline::HashVec.multiply(a, b),
+            CliAlgorithm::Spa => Baseline::Spa.multiply(a, b),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CliAlgorithm::Pb => "PB-SpGEMM",
+            CliAlgorithm::Heap => "HeapSpGEMM",
+            CliAlgorithm::Hash => "HashSpGEMM",
+            CliAlgorithm::HashVec => "HashVecSpGEMM",
+            CliAlgorithm::Spa => "SpaSpGEMM",
+        }
+    }
+}
+
+/// Looks up the value following a `--flag` in the argument list.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+/// Whether a boolean `--flag` is present.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| err(format!("invalid value {v:?} for {flag}"))),
+    }
+}
+
+/// The usage text printed by `pb-spgemm help`.
+pub fn usage() -> String {
+    "pb-spgemm — sparse matrix-matrix multiplication with propagation blocking\n\
+     \n\
+     USAGE:\n\
+     \x20 pb-spgemm generate <er|rmat|standin> [--scale S] [--edge-factor E] [--name N]\n\
+     \x20                    [--seed X] --out FILE.mtx\n\
+     \x20 pb-spgemm stats    A.mtx\n\
+     \x20 pb-spgemm multiply A.mtx [B.mtx] [--algorithm pb|heap|hash|hashvec|spa]\n\
+     \x20                    [--threads T] [--out C.mtx] [--profile]\n\
+     \x20 pb-spgemm compare  A.mtx [--threads T]\n\
+     \x20 pb-spgemm help\n"
+        .to_string()
+}
+
+/// Runs the CLI with the given arguments (without the program name) and
+/// returns the text to print.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(|s| s.as_str()) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(usage()),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("multiply") => cmd_multiply(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some(other) => Err(err(format!("unknown command {other:?}\n\n{}", usage()))),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let family = args.first().ok_or_else(|| err("generate: missing family (er|rmat|standin)"))?;
+    let out = flag_value(args, "--out").ok_or_else(|| err("generate: missing --out FILE.mtx"))?;
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let matrix: Csr<f64> = match family.as_str() {
+        "er" => {
+            let scale: u32 = parse_num(args, "--scale", 12)?;
+            let ef: u32 = parse_num(args, "--edge-factor", 8)?;
+            pb_gen::erdos_renyi_square(scale, ef, seed)
+        }
+        "rmat" => {
+            let scale: u32 = parse_num(args, "--scale", 12)?;
+            let ef: u32 = parse_num(args, "--edge-factor", 8)?;
+            pb_gen::rmat_square(scale, ef, seed)
+        }
+        "standin" => {
+            let name = flag_value(args, "--name")
+                .ok_or_else(|| err("generate standin: missing --name <Table VI matrix>"))?;
+            let fraction: f64 = parse_num(args, "--fraction", 0.0625)?;
+            pb_gen::standin_scaled(name, fraction, seed)
+        }
+        other => return Err(err(format!("generate: unknown family {other:?}"))),
+    };
+    write_matrix_market(out, &matrix.to_coo())?;
+    Ok(format!(
+        "wrote {} x {} matrix with {} nonzeros to {out}\n",
+        matrix.nrows(),
+        matrix.ncols(),
+        matrix.nnz()
+    ))
+}
+
+fn load(path: &str) -> Result<Csr<f64>, CliError> {
+    let coo: Coo<f64> = read_matrix_market(path)?;
+    Ok(coo.to_csr())
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let path = args.first().ok_or_else(|| err("stats: missing matrix file"))?;
+    let a = load(path)?;
+    let stats = MultiplyStats::compute(&a, &a);
+    let mut out = String::new();
+    let _ = writeln!(out, "matrix            : {path}");
+    let _ = writeln!(out, "shape             : {} x {}", a.nrows(), a.ncols());
+    let _ = writeln!(out, "nnz               : {}", a.nnz());
+    let _ = writeln!(out, "avg degree        : {:.3}", a.avg_degree());
+    let _ = writeln!(out, "max degree        : {}", a.max_degree());
+    let _ = writeln!(out, "squaring flop     : {}", stats.flop);
+    let _ = writeln!(out, "squaring nnz(C)   : {}", stats.nnz_c);
+    let _ = writeln!(out, "compression factor: {:.3}", stats.cf);
+    let _ = writeln!(
+        out,
+        "regime            : {}",
+        if stats.cf < 4.0 { "cf < 4 (PB-SpGEMM expected to win)" } else { "cf > 4 (HashSpGEMM expected to win)" }
+    );
+    Ok(out)
+}
+
+fn cmd_multiply(args: &[String]) -> Result<String, CliError> {
+    let a_path = args.first().ok_or_else(|| err("multiply: missing matrix file"))?;
+    let b_path = args.get(1).filter(|s| !s.starts_with("--"));
+    let a = load(a_path)?;
+    let b = match b_path {
+        Some(p) => load(p)?,
+        None => a.clone(),
+    };
+    let algorithm = CliAlgorithm::parse(flag_value(args, "--algorithm").unwrap_or("pb"))?;
+    let threads = flag_value(args, "--threads").map(|t| t.parse().map_err(|_| err("bad --threads"))).transpose()?;
+    let stats = MultiplyStats::compute(&a, &b);
+
+    let mut out = String::new();
+    let c = if algorithm == CliAlgorithm::Pb && has_flag(args, "--profile") {
+        let mut cfg = PbConfig::default();
+        if let Some(t) = threads {
+            cfg = cfg.with_threads(t);
+        }
+        let (c, profile) =
+            pb_spgemm::multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &b, &cfg);
+        let _ = writeln!(out, "{}", profile.summary());
+        c
+    } else {
+        let t = Instant::now();
+        let c = algorithm.run(&a, &b, threads);
+        let dt = t.elapsed().as_secs_f64();
+        let _ = writeln!(
+            out,
+            "{}: {:.1} ms, {:.0} MFLOPS",
+            algorithm.name(),
+            dt * 1e3,
+            stats.flop as f64 / dt / 1e6
+        );
+        c
+    };
+    let _ = writeln!(out, "C: {} x {}, nnz = {}, cf = {:.3}", c.nrows(), c.ncols(), c.nnz(), stats.cf);
+    if let Some(path) = flag_value(args, "--out") {
+        write_matrix_market(path, &c.to_coo())?;
+        let _ = writeln!(out, "wrote result to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_compare(args: &[String]) -> Result<String, CliError> {
+    let a_path = args.first().ok_or_else(|| err("compare: missing matrix file"))?;
+    let a = load(a_path)?;
+    let threads = flag_value(args, "--threads").map(|t| t.parse().map_err(|_| err("bad --threads"))).transpose()?;
+    let stats = MultiplyStats::compute(&a, &a);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "squaring {a_path}: flop = {}, nnz(C) = {}, cf = {:.2}",
+        stats.flop, stats.nnz_c, stats.cf
+    );
+    for algo in [
+        CliAlgorithm::Pb,
+        CliAlgorithm::Heap,
+        CliAlgorithm::Hash,
+        CliAlgorithm::HashVec,
+        CliAlgorithm::Spa,
+    ] {
+        let t = Instant::now();
+        let c = algo.run(&a, &a, threads);
+        let dt = t.elapsed().as_secs_f64();
+        let _ = writeln!(
+            out,
+            "{:>15}: {:9.1} ms   {:8.0} MFLOPS   nnz(C) = {}",
+            algo.name(),
+            dt * 1e3,
+            stats.flop as f64 / dt / 1e6,
+            c.nnz()
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("pb_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_cli(&[]).unwrap().contains("USAGE"));
+        assert!(run_cli(&strs(&["help"])).unwrap().contains("generate"));
+        let e = run_cli(&strs(&["frobnicate"])).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn algorithm_parsing() {
+        assert_eq!(CliAlgorithm::parse("pb").unwrap(), CliAlgorithm::Pb);
+        assert_eq!(CliAlgorithm::parse("HASHVEC").unwrap(), CliAlgorithm::HashVec);
+        assert!(CliAlgorithm::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let args = strs(&["--scale", "14", "--profile"]);
+        assert_eq!(flag_value(&args, "--scale"), Some("14"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+        assert!(has_flag(&args, "--profile"));
+        assert!(!has_flag(&args, "--quiet"));
+    }
+
+    #[test]
+    fn generate_stats_multiply_compare_roundtrip() {
+        let mtx = temp_path("roundtrip_er.mtx");
+        let out = run_cli(&strs(&[
+            "generate", "er", "--scale", "7", "--edge-factor", "4", "--seed", "3", "--out", &mtx,
+        ]))
+        .unwrap();
+        assert!(out.contains("128 x 128"));
+
+        let stats = run_cli(&strs(&["stats", &mtx])).unwrap();
+        assert!(stats.contains("compression factor"));
+        assert!(stats.contains("PB-SpGEMM expected to win"));
+
+        let c_path = temp_path("roundtrip_c.mtx");
+        for algo in ["pb", "heap", "hash", "hashvec", "spa"] {
+            let out = run_cli(&strs(&["multiply", &mtx, "--algorithm", algo, "--out", &c_path]))
+                .unwrap();
+            assert!(out.contains("MFLOPS"), "{algo} output missing MFLOPS: {out}");
+            assert!(out.contains("wrote result"));
+        }
+        // The written product re-loads and matches the in-process product.
+        let a = load(&mtx).unwrap();
+        let c = load(&c_path).unwrap();
+        let expected = pb_sparse::reference::multiply_csr(&a, &a);
+        assert_eq!(c.nnz(), expected.nnz());
+
+        let cmp = run_cli(&strs(&["compare", &mtx, "--threads", "1"])).unwrap();
+        assert!(cmp.contains("HeapSpGEMM") && cmp.contains("PB-SpGEMM"));
+
+        let profiled =
+            run_cli(&strs(&["multiply", &mtx, "--algorithm", "pb", "--profile"])).unwrap();
+        assert!(profiled.contains("nbins="));
+    }
+
+    #[test]
+    fn generate_standin_and_rmat() {
+        let mtx = temp_path("standin.mtx");
+        let out = run_cli(&strs(&[
+            "generate", "standin", "--name", "scircuit", "--fraction", "0.005", "--out", &mtx,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let rmat = temp_path("rmat.mtx");
+        run_cli(&strs(&["generate", "rmat", "--scale", "7", "--out", &rmat])).unwrap();
+        assert!(run_cli(&strs(&["stats", &rmat])).unwrap().contains("avg degree"));
+    }
+
+    #[test]
+    fn error_paths_are_reported() {
+        assert!(run_cli(&strs(&["generate", "er"])).is_err(), "missing --out must fail");
+        assert!(run_cli(&strs(&["generate", "cube", "--out", "/tmp/x.mtx"])).is_err());
+        assert!(run_cli(&strs(&["stats"])).is_err());
+        assert!(run_cli(&strs(&["stats", "/nonexistent/file.mtx"])).is_err());
+        assert!(run_cli(&strs(&["multiply", "/nonexistent/file.mtx"])).is_err());
+        let mtx = temp_path("err_algo.mtx");
+        run_cli(&strs(&["generate", "er", "--scale", "6", "--out", &mtx])).unwrap();
+        assert!(run_cli(&strs(&["multiply", &mtx, "--algorithm", "quantum"])).is_err());
+        assert!(run_cli(&strs(&["generate", "er", "--scale", "bad", "--out", &mtx])).is_err());
+    }
+}

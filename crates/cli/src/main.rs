@@ -1,0 +1,13 @@
+//! `pb-spgemm` — command-line front end (see the library crate for the
+//! implementation and `pb-spgemm help` for usage).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pb_cli::run_cli(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

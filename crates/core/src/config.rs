@@ -1,0 +1,204 @@
+//! Tuning knobs of PB-SpGEMM.
+//!
+//! The paper exposes two tunables (Sec. V-A): the number of propagation
+//! bins (`nbins`, chosen so one bin's tuples fit in L2 cache) and the local
+//! bin width (512 bytes by default, a few cache lines).  This reproduction
+//! additionally exposes the bin→row mapping, the expand strategy and the
+//! sort algorithm so they can be ablated in the benchmark suite.
+
+/// How output rows are mapped onto propagation bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinMapping {
+    /// Contiguous row ranges: `bin = row / rows_per_bin` (default).
+    ///
+    /// This is what the paper's key-compression discussion (Sec. III-D)
+    /// assumes — rows within a bin form a small contiguous range, so the row
+    /// part of the sort key needs only `log2(rows_per_bin)` bits.
+    Range,
+    /// Round-robin: `bin = row % nbins`, as literally written in
+    /// Algorithm 2.  Spreads skewed rows more evenly across bins but defeats
+    /// key compression (the full row index must be kept in the key).
+    Modulo,
+    /// Contiguous row ranges with *data-dependent* boundaries chosen by the
+    /// symbolic phase so that every bin receives roughly the same number of
+    /// expanded tuples — the paper's "bins with variable ranges of rows"
+    /// answer to skewed (R-MAT-like) degree distributions (Sec. III-D and
+    /// the scalability discussion in Sec. V-C).  Keeps the key-compression
+    /// property of [`BinMapping::Range`] because every bin still covers a
+    /// contiguous row range.
+    Balanced,
+}
+
+/// How expanded tuples travel from the generating thread to the global bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpandStrategy {
+    /// The paper's design: the symbolic phase sizes every global bin
+    /// exactly, threads buffer tuples in small local bins and flush them
+    /// with an atomically reserved range + `memcpy` into uninitialised
+    /// global-bin memory.
+    Reserved,
+    /// Safe fallback used for differential testing: every thread keeps
+    /// per-bin `Vec`s which are concatenated after the parallel loop.
+    ThreadLocal,
+}
+
+/// Which sorting algorithm orders the tuples inside a bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortAlgorithm {
+    /// Least-significant-digit radix sort with a scratch buffer, one pass
+    /// per significant key byte (default; matches the paper's byte-wise
+    /// radix sort with the adaptive number of passes).
+    LsdRadix,
+    /// In-place American-flag (MSD) radix sort, as cited by the paper
+    /// (McIlroy et al.).
+    AmericanFlag,
+    /// `slice::sort_unstable_by_key` — a comparison sort used as the
+    /// correctness oracle and as an ablation point.
+    Comparison,
+}
+
+/// Configuration of a PB-SpGEMM multiplication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PbConfig {
+    /// Number of global bins.  `None` (default) derives it from the flop
+    /// count and [`PbConfig::l2_bytes`] exactly as the paper's symbolic
+    /// phase does: `nbins = ceil(flop · bytes_per_tuple / L2)`.
+    pub nbins: Option<usize>,
+    /// Size of each thread-private local bin in bytes (default 512, the
+    /// paper's choice — a handful of cache lines).
+    pub local_bin_bytes: usize,
+    /// Assumed L2 cache capacity per core in bytes, used to auto-derive
+    /// `nbins` (default 1 MiB, the Skylake-SP value from Table IV).
+    pub l2_bytes: usize,
+    /// Row→bin mapping (default [`BinMapping::Range`]).
+    pub bin_mapping: BinMapping,
+    /// Expand strategy (default [`ExpandStrategy::Reserved`]).
+    pub expand: ExpandStrategy,
+    /// In-bin sort algorithm (default [`SortAlgorithm::LsdRadix`]).
+    pub sort: SortAlgorithm,
+    /// Number of rayon worker threads; `None` uses the global pool.
+    pub threads: Option<usize>,
+}
+
+impl Default for PbConfig {
+    fn default() -> Self {
+        PbConfig {
+            nbins: None,
+            local_bin_bytes: 512,
+            l2_bytes: 1024 * 1024,
+            bin_mapping: BinMapping::Range,
+            expand: ExpandStrategy::Reserved,
+            sort: SortAlgorithm::LsdRadix,
+            threads: None,
+        }
+    }
+}
+
+impl PbConfig {
+    /// The paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an explicit number of global bins.
+    pub fn with_nbins(mut self, nbins: usize) -> Self {
+        self.nbins = Some(nbins.max(1));
+        self
+    }
+
+    /// Sets the local bin width in bytes.
+    pub fn with_local_bin_bytes(mut self, bytes: usize) -> Self {
+        self.local_bin_bytes = bytes.max(16);
+        self
+    }
+
+    /// Sets the assumed per-core L2 capacity used to auto-size bins.
+    pub fn with_l2_bytes(mut self, bytes: usize) -> Self {
+        self.l2_bytes = bytes.max(4096);
+        self
+    }
+
+    /// Sets the row→bin mapping.
+    pub fn with_bin_mapping(mut self, mapping: BinMapping) -> Self {
+        self.bin_mapping = mapping;
+        self
+    }
+
+    /// Sets the expand strategy.
+    pub fn with_expand(mut self, strategy: ExpandStrategy) -> Self {
+        self.expand = strategy;
+        self
+    }
+
+    /// Sets the in-bin sort algorithm.
+    pub fn with_sort(mut self, sort: SortAlgorithm) -> Self {
+        self.sort = sort;
+        self
+    }
+
+    /// Sets the number of worker threads (a dedicated rayon pool is built
+    /// for the multiplication).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Derives the number of global bins for a multiplication with `flop`
+    /// expanded tuples of `tuple_bytes` bytes each over `nrows` output rows,
+    /// following the paper's rule (`flop · bytes / L2`), clamped so that
+    /// every bin covers at least one row.
+    pub fn resolve_nbins(&self, flop: u64, tuple_bytes: usize, nrows: usize) -> usize {
+        let nbins = match self.nbins {
+            Some(n) => n,
+            None => {
+                let bytes = flop.saturating_mul(tuple_bytes as u64);
+                (bytes.div_ceil(self.l2_bytes.max(1) as u64) as usize).max(1)
+            }
+        };
+        nbins.clamp(1, nrows.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = PbConfig::default();
+        assert_eq!(c.local_bin_bytes, 512);
+        assert_eq!(c.bin_mapping, BinMapping::Range);
+        assert_eq!(c.expand, ExpandStrategy::Reserved);
+        assert_eq!(c.sort, SortAlgorithm::LsdRadix);
+        assert_eq!(c.nbins, None);
+        assert_eq!(c.threads, None);
+    }
+
+    #[test]
+    fn builder_methods_clamp_inputs() {
+        let c = PbConfig::new()
+            .with_nbins(0)
+            .with_local_bin_bytes(1)
+            .with_l2_bytes(1)
+            .with_threads(0);
+        assert_eq!(c.nbins, Some(1));
+        assert_eq!(c.local_bin_bytes, 16);
+        assert_eq!(c.l2_bytes, 4096);
+        assert_eq!(c.threads, Some(1));
+    }
+
+    #[test]
+    fn resolve_nbins_follows_the_papers_rule() {
+        let c = PbConfig::new().with_l2_bytes(1 << 20);
+        // 16M tuples of 16 bytes = 256 MiB -> 256 bins.
+        assert_eq!(c.resolve_nbins(16 << 20, 16, 1 << 20), 256);
+        // Tiny multiplications collapse to a single bin.
+        assert_eq!(c.resolve_nbins(10, 16, 1 << 20), 1);
+        // Explicit nbins wins but is clamped to the number of rows.
+        let c = PbConfig::new().with_nbins(4096);
+        assert_eq!(c.resolve_nbins(1 << 30, 16, 100), 100);
+        assert_eq!(c.resolve_nbins(1 << 30, 16, 1 << 20), 4096);
+        // Zero-flop products still get one bin.
+        assert_eq!(PbConfig::new().resolve_nbins(0, 16, 8), 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! Expand phase with propagation blocking (lines 5–18 of Algorithm 2).
+//!
+//! Threads walk the outer products `A(:, i) × B(i, :)` in parallel.  Each
+//! generated tuple is appended to a small *local bin* private to the thread;
+//! when a local bin fills up, its contents are flushed to the corresponding
+//! *global bin* in one contiguous write, so global-memory traffic happens in
+//! multiples of whole cache lines — the propagation-blocking idea.
+//!
+//! Two flush mechanisms are provided (selected by
+//! [`ExpandStrategy`](crate::config::ExpandStrategy)):
+//!
+//! * **Reserved** (default, the paper's design): the symbolic phase has
+//!   already computed the exact number of tuples per global bin, so the
+//!   global buffer is allocated once, uninitialised, and every flush
+//!   reserves a disjoint range with a relaxed `fetch_add` and copies into it
+//!   with `ptr::copy_nonoverlapping`.  No locks, no initialisation, no
+//!   reallocation.
+//! * **ThreadLocal** (safe fallback): every thread accumulates per-bin
+//!   `Vec`s which are concatenated after the parallel loop.  Used for
+//!   differential testing and as an ablation point for the benchmarks.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pb_sparse::semiring::Semiring;
+use pb_sparse::{Csc, Csr};
+use rayon::prelude::*;
+
+use crate::bins::{BinnedTuples, Entry};
+use crate::config::{ExpandStrategy, PbConfig};
+use crate::symbolic::Symbolic;
+
+/// Runs the expand phase, producing the binned expanded matrix `Ĉ`.
+pub fn expand<S: Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    sym: &Symbolic,
+    config: &PbConfig,
+) -> BinnedTuples<S::Elem> {
+    match config.expand {
+        ExpandStrategy::Reserved => expand_reserved::<S>(a, b, sym, config),
+        ExpandStrategy::ThreadLocal => expand_thread_local::<S>(a, b, sym),
+    }
+}
+
+/// Number of tuples a local bin of `local_bin_bytes` bytes can hold (at
+/// least one so the algorithm still works with absurdly small settings).
+fn local_bin_capacity<V>(local_bin_bytes: usize) -> usize {
+    (local_bin_bytes / std::mem::size_of::<Entry<V>>()).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Reserved strategy
+// ---------------------------------------------------------------------------
+
+/// Shared pointer to the uninitialised global tuple buffer.
+///
+/// Safety: every flush writes a range `[start, start + n)` obtained from a
+/// `fetch_add(n)` on that bin's cursor, and the symbolic phase guarantees
+/// that the total number of tuples produced for a bin equals the bin's
+/// segment size, so (a) ranges handed to different flushes never overlap and
+/// (b) no write ever leaves a bin's segment.  Every slot of the buffer is
+/// therefore written exactly once before the buffer is read.
+struct SharedBuf<V> {
+    ptr: *mut MaybeUninit<Entry<V>>,
+    len: usize,
+}
+
+unsafe impl<V: Send> Send for SharedBuf<V> {}
+unsafe impl<V: Send> Sync for SharedBuf<V> {}
+
+/// Thread-private local bins: a flat `nbins × capacity` tuple array plus a
+/// fill level per bin (Fig. 5 of the paper).
+struct LocalBins<'a, V> {
+    data: Vec<Entry<V>>,
+    len: Vec<u32>,
+    capacity: usize,
+    buf: &'a SharedBuf<V>,
+    cursors: &'a [AtomicUsize],
+    bin_ends: &'a [usize],
+}
+
+impl<'a, V: Copy> LocalBins<'a, V> {
+    fn new(
+        nbins: usize,
+        capacity: usize,
+        buf: &'a SharedBuf<V>,
+        cursors: &'a [AtomicUsize],
+        bin_ends: &'a [usize],
+        zero: Entry<V>,
+    ) -> Self {
+        LocalBins {
+            data: vec![zero; nbins * capacity],
+            len: vec![0u32; nbins],
+            capacity,
+            buf,
+            cursors,
+            bin_ends,
+        }
+    }
+
+    /// Appends one tuple to local bin `bin`, flushing it first if full.
+    #[inline]
+    fn push(&mut self, bin: usize, entry: Entry<V>) {
+        let len = self.len[bin] as usize;
+        if len == self.capacity {
+            self.flush(bin);
+            self.data[bin * self.capacity] = entry;
+            self.len[bin] = 1;
+        } else {
+            self.data[bin * self.capacity + len] = entry;
+            self.len[bin] = len as u32 + 1;
+        }
+    }
+
+    /// Flushes local bin `bin` to its global bin segment.
+    fn flush(&mut self, bin: usize) {
+        let n = self.len[bin] as usize;
+        if n == 0 {
+            return;
+        }
+        // Reserve a disjoint destination range in this bin's segment.
+        let start = self.cursors[bin].fetch_add(n, Ordering::Relaxed);
+        debug_assert!(
+            start + n <= self.bin_ends[bin],
+            "expand overflowed bin {bin}: symbolic phase under-counted"
+        );
+        debug_assert!(start + n <= self.buf.len);
+        let src = &self.data[bin * self.capacity..bin * self.capacity + n];
+        // SAFETY: `start + n <= bin_ends[bin] <= buf.len` (the symbolic phase
+        // sized the segment to the exact tuple count and the fetch_add hands
+        // out disjoint ranges), `src` and the destination cannot overlap
+        // (the destination is uninitialised heap memory owned by the global
+        // buffer), and `Entry<V>` is `Copy`.
+        unsafe {
+            let dst = self.buf.ptr.add(start);
+            std::ptr::copy_nonoverlapping(src.as_ptr() as *const MaybeUninit<Entry<V>>, dst, n);
+        }
+        self.len[bin] = 0;
+    }
+
+    /// Flushes every non-empty local bin (lines 15–18 of Algorithm 2).
+    fn flush_all(&mut self) {
+        for bin in 0..self.len.len() {
+            self.flush(bin);
+        }
+    }
+}
+
+fn expand_reserved<S: Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    sym: &Symbolic,
+    config: &PbConfig,
+) -> BinnedTuples<S::Elem> {
+    let flop = sym.flop as usize;
+    let nbins = sym.layout.nbins;
+    let layout = &sym.layout;
+
+    // Allocate the global tuple buffer without initialising it.
+    let mut raw: Vec<MaybeUninit<Entry<S::Elem>>> = Vec::with_capacity(flop);
+    // SAFETY: MaybeUninit contents never require initialisation; the length
+    // only exposes uninitialised `MaybeUninit` slots, which is sound.
+    unsafe { raw.set_len(flop) };
+    let shared = SharedBuf { ptr: raw.as_mut_ptr(), len: flop };
+
+    let cursors: Vec<AtomicUsize> =
+        sym.bin_offsets[..nbins].iter().map(|&o| AtomicUsize::new(o)).collect();
+    let bin_ends: Vec<usize> = sym.bin_offsets[1..].to_vec();
+
+    let capacity = local_bin_capacity::<S::Elem>(config.local_bin_bytes);
+    let zero_entry = Entry { key: 0, val: S::zero() };
+
+    let k = a.ncols();
+    (0..k)
+        .into_par_iter()
+        .fold(
+            || LocalBins::new(nbins, capacity, &shared, &cursors, &bin_ends, zero_entry),
+            |mut local, i| {
+                let (b_cols, b_vals) = b.row(i);
+                if !b_cols.is_empty() {
+                    let (a_rows, a_vals) = a.col(i);
+                    for (&r, &a_ri) in a_rows.iter().zip(a_vals) {
+                        let bin = layout.bin_of(r);
+                        let row_key = layout.pack_row(r);
+                        for (&c, &b_ic) in b_cols.iter().zip(b_vals) {
+                            local.push(
+                                bin,
+                                Entry { key: row_key | c as u64, val: S::mul(a_ri, b_ic) },
+                            );
+                        }
+                    }
+                }
+                local
+            },
+        )
+        .for_each(|mut local| local.flush_all());
+
+    // Every cursor must have reached the end of its segment: the buffer is
+    // fully initialised.
+    debug_assert!(cursors
+        .iter()
+        .zip(&bin_ends)
+        .all(|(c, &end)| c.load(Ordering::Relaxed) == end));
+
+    // SAFETY: all `flop` slots were written exactly once (see SharedBuf's
+    // invariant), so the buffer is fully initialised `Entry<V>` values;
+    // `MaybeUninit<Entry<V>>` and `Entry<V>` have identical layout.
+    let entries: Vec<Entry<S::Elem>> = unsafe {
+        let mut raw = std::mem::ManuallyDrop::new(raw);
+        Vec::from_raw_parts(raw.as_mut_ptr() as *mut Entry<S::Elem>, raw.len(), raw.capacity())
+    };
+
+    BinnedTuples {
+        entries,
+        bin_offsets: sym.bin_offsets.clone(),
+        compressed_len: sym.bin_flop.iter().map(|&f| f as usize).collect(),
+        layout: sym.layout.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadLocal strategy
+// ---------------------------------------------------------------------------
+
+fn expand_thread_local<S: Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    sym: &Symbolic,
+) -> BinnedTuples<S::Elem> {
+    let nbins = sym.layout.nbins;
+    let layout = &sym.layout;
+    let k = a.ncols();
+
+    // Each rayon fold segment accumulates its own per-bin vectors.
+    let partials: Vec<Vec<Vec<Entry<S::Elem>>>> = (0..k)
+        .into_par_iter()
+        .fold(
+            || vec![Vec::new(); nbins],
+            |mut local: Vec<Vec<Entry<S::Elem>>>, i| {
+                let (b_cols, b_vals) = b.row(i);
+                if !b_cols.is_empty() {
+                    let (a_rows, a_vals) = a.col(i);
+                    for (&r, &a_ri) in a_rows.iter().zip(a_vals) {
+                        let bin = layout.bin_of(r);
+                        let row_key = layout.pack_row(r);
+                        for (&c, &b_ic) in b_cols.iter().zip(b_vals) {
+                            local[bin]
+                                .push(Entry { key: row_key | c as u64, val: S::mul(a_ri, b_ic) });
+                        }
+                    }
+                }
+                local
+            },
+        )
+        .collect();
+
+    // Concatenate the partial bins in a deterministic order.
+    let mut entries: Vec<Entry<S::Elem>> = Vec::with_capacity(sym.flop as usize);
+    let mut bin_offsets = Vec::with_capacity(nbins + 1);
+    bin_offsets.push(0usize);
+    let mut compressed_len = Vec::with_capacity(nbins);
+    for bin in 0..nbins {
+        let before = entries.len();
+        for part in &partials {
+            entries.extend_from_slice(&part[bin]);
+        }
+        let produced = entries.len() - before;
+        debug_assert_eq!(produced as u64, sym.bin_flop[bin], "bin {bin} flop mismatch");
+        compressed_len.push(produced);
+        bin_offsets.push(entries.len());
+    }
+    debug_assert_eq!(entries.len() as u64, sym.flop);
+
+    BinnedTuples { entries, bin_offsets, compressed_len, layout: sym.layout.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BinMapping;
+    use crate::symbolic::symbolic;
+    use pb_gen::{erdos_renyi_square, rmat_square};
+    use pb_sparse::{Coo, PlusTimes};
+
+    type S = PlusTimes<f64>;
+
+    fn run(
+        a: &Csr<f64>,
+        cfg: &PbConfig,
+    ) -> (BinnedTuples<f64>, Symbolic) {
+        let a_csc = a.to_csc();
+        let sym = symbolic(&a_csc, a, cfg, BinnedTuples::<f64>::tuple_bytes());
+        let tuples = expand::<S>(&a_csc, a, &sym, cfg);
+        (tuples, sym)
+    }
+
+    /// Collects (row, col, val) triplets from the binned tuples, sorted.
+    fn collect_tuples(t: &BinnedTuples<f64>) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::with_capacity(t.flop());
+        for b in 0..t.nbins() {
+            for e in t.bin(b) {
+                let (r, c) = t.layout.unpack(b, e.key);
+                out.push((r, c, e.val));
+            }
+        }
+        out.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        out
+    }
+
+    /// Expected expanded tuples computed naively from the definition.
+    fn expected_tuples(a: &Csr<f64>) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::new();
+        for i in 0..a.nrows() {
+            let (a_cols, a_vals) = a.row(i);
+            for (&k, &aik) in a_cols.iter().zip(a_vals) {
+                let (b_cols, b_vals) = a.row(k as usize);
+                for (&j, &bkj) in b_cols.iter().zip(b_vals) {
+                    out.push((i as u32, j, aik * bkj));
+                }
+            }
+        }
+        out.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        out
+    }
+
+    #[test]
+    fn reserved_expansion_produces_exactly_the_outer_product_tuples() {
+        let a = Coo::from_entries(
+            4,
+            4,
+            vec![(0, 1, 2.0), (1, 2, 3.0), (1, 3, 0.5), (2, 0, 1.0), (3, 3, 4.0), (0, 0, 1.5)],
+        )
+        .unwrap()
+        .to_csr();
+        let cfg = PbConfig::default().with_nbins(2);
+        let (tuples, sym) = run(&a, &cfg);
+        assert_eq!(tuples.flop() as u64, sym.flop);
+        assert_eq!(collect_tuples(&tuples), expected_tuples(&a));
+    }
+
+    #[test]
+    fn reserved_and_thread_local_produce_the_same_multiset() {
+        let a = erdos_renyi_square(7, 6, 42);
+        for mapping in [BinMapping::Range, BinMapping::Modulo, BinMapping::Balanced] {
+            let reserved_cfg = PbConfig::default()
+                .with_nbins(13)
+                .with_bin_mapping(mapping)
+                .with_expand(ExpandStrategy::Reserved);
+            let safe_cfg = reserved_cfg.with_expand(ExpandStrategy::ThreadLocal);
+            let (t1, _) = run(&a, &reserved_cfg);
+            let (t2, _) = run(&a, &safe_cfg);
+            assert_eq!(collect_tuples(&t1), collect_tuples(&t2));
+            assert_eq!(collect_tuples(&t1), expected_tuples(&a));
+        }
+    }
+
+    #[test]
+    fn tuples_land_in_the_bin_of_their_row() {
+        let a = rmat_square(7, 4, 3);
+        let cfg = PbConfig::default().with_nbins(9);
+        let (tuples, _) = run(&a, &cfg);
+        for b in 0..tuples.nbins() {
+            for e in tuples.bin(b) {
+                let (r, _) = tuples.layout.unpack(b, e.key);
+                assert_eq!(tuples.layout.bin_of(r), b, "tuple for row {r} filed in bin {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bin_sizes_match_symbolic_counts() {
+        let a = erdos_renyi_square(8, 4, 9);
+        let cfg = PbConfig::default().with_nbins(32);
+        let (tuples, sym) = run(&a, &cfg);
+        for b in 0..tuples.nbins() {
+            assert_eq!(tuples.bin(b).len() as u64, sym.bin_flop[b]);
+        }
+    }
+
+    #[test]
+    fn tiny_local_bins_force_many_flushes_and_still_work() {
+        let a = erdos_renyi_square(7, 8, 10);
+        // 16-byte local bins hold exactly one f64 tuple: every push flushes.
+        let cfg = PbConfig::default().with_nbins(8).with_local_bin_bytes(16);
+        let (tuples, sym) = run(&a, &cfg);
+        assert_eq!(tuples.flop() as u64, sym.flop);
+        assert_eq!(collect_tuples(&tuples), expected_tuples(&a));
+    }
+
+    #[test]
+    fn empty_matrix_expansion() {
+        let a: Csr<f64> = Csr::empty(8, 8);
+        let (tuples, _) = run(&a, &PbConfig::default());
+        assert_eq!(tuples.flop(), 0);
+        assert_eq!(tuples.nbins(), 1);
+        assert_eq!(tuples.bin(0).len(), 0);
+    }
+
+    #[test]
+    fn single_bin_configuration() {
+        let a = erdos_renyi_square(6, 4, 2);
+        let cfg = PbConfig::default().with_nbins(1);
+        let (tuples, _) = run(&a, &cfg);
+        assert_eq!(tuples.nbins(), 1);
+        assert_eq!(collect_tuples(&tuples), expected_tuples(&a));
+    }
+}

@@ -1,0 +1,354 @@
+//! # pb-spgemm — bandwidth-optimised SpGEMM with propagation blocking
+//!
+//! This crate implements **PB-SpGEMM**, the outer-product
+//! expand–sort–compress sparse matrix–matrix multiplication of
+//!
+//! > Gu, Moreira, Edelsohn, Azad — *Bandwidth-Optimized Parallel Algorithms
+//! > for Sparse Matrix-Matrix Multiplication using Propagation Blocking*,
+//! > SPAA 2020.
+//!
+//! The multiplication `C = A·B` proceeds in four phases (Algorithm 2 of the
+//! paper), each of which streams memory and therefore runs at close to the
+//! machine's STREAM bandwidth:
+//!
+//! 1. **Symbolic** ([`symbolic`]) — a streaming pass over the offset arrays
+//!    counts the flop of the multiplication, derives the number of
+//!    propagation bins so that one bin fits in L2 cache, and sizes each bin
+//!    exactly.
+//! 2. **Expand** ([`expand`]) — outer products `A(:,i) × B(i,:)` generate
+//!    `(row, col, value)` tuples which are *propagation-blocked*: buffered
+//!    in small thread-private local bins and flushed to the per-row-range
+//!    global bins in cache-line-sized chunks.
+//! 3. **Sort** ([`sort`]) — every bin is radix-sorted in cache on a packed
+//!    `(row, col)` key whose width adapts to the bin geometry.
+//! 4. **Compress** ([`compress`]) + **assemble** ([`assemble`]) — duplicates
+//!    are merged with a two-pointer scan and the result is written out as
+//!    CSR.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pb_spgemm::{multiply, PbConfig};
+//! use pb_sparse::{Coo, Csr};
+//!
+//! // A tiny matrix; A is needed column-wise (CSC), B row-wise (CSR).
+//! let a: Csr<f64> = Coo::from_entries(4, 4, vec![
+//!     (0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0), (3, 0, 5.0),
+//! ]).unwrap().to_csr();
+//!
+//! let c = multiply(&a.to_csc(), &a, &PbConfig::default());
+//! assert_eq!(c.nnz(), 4);                  // a permutation squared
+//! assert_eq!(c.get(0, 2), Some(6.0));      // 2.0 * 3.0 along 0 -> 1 -> 2
+//! ```
+//!
+//! The algorithm is generic over a [`pb_sparse::Semiring`], so the same
+//! kernel serves numeric SpGEMM, boolean reachability, tropical (min-plus)
+//! products and counting semirings — see [`multiply_with`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assemble;
+pub mod bins;
+pub mod compress;
+pub mod config;
+pub mod expand;
+pub mod masked;
+pub mod partitioned;
+pub mod profile;
+pub mod sort;
+pub mod symbolic;
+
+pub use bins::{BinLayout, BinnedTuples, Entry};
+pub use config::{BinMapping, ExpandStrategy, PbConfig, SortAlgorithm};
+pub use masked::{multiply_masked, multiply_masked_with};
+pub use partitioned::{multiply_partitioned, multiply_partitioned_with};
+pub use profile::{Phase, PhaseTimings, SpGemmProfile};
+
+use std::time::Instant;
+
+use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::{Csc, Csr};
+
+/// Runs PB-SpGEMM under an arbitrary semiring and returns the result
+/// together with the per-phase profile.
+///
+/// `A` must be provided in CSC (column access for the outer product) and `B`
+/// in CSR (row access); the output is CSR.  If
+/// [`PbConfig::threads`] is set, a dedicated rayon pool of that size is used
+/// for the whole multiplication.
+pub fn multiply_with_profile<S: Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    config: &PbConfig,
+) -> (Csr<S::Elem>, SpGemmProfile) {
+    match config.threads {
+        Some(t) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("failed to build rayon pool");
+            pool.install(|| run_phases::<S>(a, b, config))
+        }
+        None => run_phases::<S>(a, b, config),
+    }
+}
+
+fn run_phases<S: Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    config: &PbConfig,
+) -> (Csr<S::Elem>, SpGemmProfile) {
+    let tuple_bytes = BinnedTuples::<S::Elem>::tuple_bytes();
+
+    let t0 = Instant::now();
+    let sym = symbolic::symbolic(a, b, config, tuple_bytes);
+    let t_symbolic = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut tuples = expand::expand::<S>(a, b, &sym, config);
+    let t_expand = t1.elapsed();
+
+    let t2 = Instant::now();
+    sort::sort_bins(&mut tuples, config.sort);
+    let t_sort = t2.elapsed();
+
+    let t3 = Instant::now();
+    compress::compress_bins::<S>(&mut tuples);
+    let t_compress = t3.elapsed();
+
+    let t4 = Instant::now();
+    let c = assemble::assemble(&tuples);
+    let t_assemble = t4.elapsed();
+
+    let profile = SpGemmProfile {
+        timings: PhaseTimings {
+            symbolic: t_symbolic,
+            expand: t_expand,
+            sort: t_sort,
+            compress: t_compress,
+            assemble: t_assemble,
+        },
+        flop: sym.flop,
+        nnz_a: a.nnz(),
+        nnz_b: b.nnz(),
+        nnz_c: c.nnz(),
+        nbins: sym.layout.nbins,
+        key_bytes: sym.layout.key_bytes(),
+        tuple_bytes,
+        coo_bytes: pb_sparse::stats::bytes_per_tuple::<S::Elem>(),
+    };
+    (c, profile)
+}
+
+/// Runs PB-SpGEMM under an arbitrary semiring.
+pub fn multiply_with<S: Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    config: &PbConfig,
+) -> Csr<S::Elem> {
+    multiply_with_profile::<S>(a, b, config).0
+}
+
+/// Runs PB-SpGEMM with ordinary `+`/`×` over a numeric type.
+pub fn multiply<T: Numeric>(a: &Csc<T>, b: &Csr<T>, config: &PbConfig) -> Csr<T> {
+    multiply_with::<PlusTimes<T>>(a, b, config)
+}
+
+/// Convenience wrapper taking both operands in CSR: `A` is converted to CSC
+/// internally (one counting-sort transpose), then PB-SpGEMM runs as usual.
+///
+/// Use [`multiply`] directly when `A` is already available column-wise — the
+/// conversion is not free and the paper assumes CSC input for `A`.
+pub fn multiply_csr<T: Numeric + Default>(a: &Csr<T>, b: &Csr<T>, config: &PbConfig) -> Csr<T> {
+    multiply(&a.to_csc(), b, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_baseline::Baseline;
+    use pb_gen::{banded, erdos_renyi_square, rmat_square, standin_scaled};
+    use pb_sparse::reference::{csr_approx_eq, multiply_csr as reference_multiply, multiply_csr_with};
+    use pb_sparse::semiring::{MinPlus, OrAnd};
+    use pb_sparse::Coo;
+
+    fn check_against_reference(a: &Csr<f64>, config: &PbConfig) {
+        let expected = reference_multiply(a, a);
+        let c = multiply(&a.to_csc(), a, config);
+        assert!(
+            csr_approx_eq(&c, &expected, 1e-9),
+            "PB-SpGEMM disagrees with the reference (config {config:?})"
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_er_matrices() {
+        for (scale, ef, seed) in [(7u32, 4u32, 1u64), (8, 8, 2), (9, 2, 3)] {
+            let a = erdos_renyi_square(scale, ef, seed);
+            check_against_reference(&a, &PbConfig::default());
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_rmat_and_banded_matrices() {
+        let rm = rmat_square(8, 8, 4);
+        check_against_reference(&rm, &PbConfig::default());
+        let bd = banded(300, 19, 5);
+        check_against_reference(&bd, &PbConfig::default());
+    }
+
+    #[test]
+    fn matches_reference_on_table_vi_standins() {
+        for name in ["scircuit", "mc2depi"] {
+            let a = standin_scaled(name, 0.005, 6);
+            check_against_reference(&a, &PbConfig::default());
+        }
+    }
+
+    #[test]
+    fn all_configuration_combinations_agree() {
+        let a = erdos_renyi_square(7, 6, 7);
+        let expected = reference_multiply(&a, &a);
+        for mapping in [BinMapping::Range, BinMapping::Modulo, BinMapping::Balanced] {
+            for strategy in [ExpandStrategy::Reserved, ExpandStrategy::ThreadLocal] {
+                for sort in
+                    [SortAlgorithm::LsdRadix, SortAlgorithm::AmericanFlag, SortAlgorithm::Comparison]
+                {
+                    for nbins in [1usize, 3, 16, 128] {
+                        let cfg = PbConfig::default()
+                            .with_bin_mapping(mapping)
+                            .with_expand(strategy)
+                            .with_sort(sort)
+                            .with_nbins(nbins);
+                        let c = multiply(&a.to_csc(), &a, &cfg);
+                        assert!(
+                            csr_approx_eq(&c, &expected, 1e-9),
+                            "mismatch for {mapping:?}/{strategy:?}/{sort:?}/nbins={nbins}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_all_baselines() {
+        let a = rmat_square(8, 6, 8);
+        let pb = multiply(&a.to_csc(), &a, &PbConfig::default());
+        for baseline in Baseline::all() {
+            let other = baseline.multiply(&a, &a);
+            assert!(
+                csr_approx_eq(&pb, &other, 1e-9),
+                "PB-SpGEMM disagrees with {}",
+                baseline.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_multiplication() {
+        // 128x64 times 64x32.
+        let a = pb_gen::erdos_renyi(&pb_gen::ErConfig {
+            nrows: 128,
+            ncols: 64,
+            nnz_per_col: 4,
+            seed: 9,
+            random_values: true,
+        });
+        let b = pb_gen::erdos_renyi(&pb_gen::ErConfig {
+            nrows: 64,
+            ncols: 32,
+            nnz_per_col: 3,
+            seed: 10,
+            random_values: true,
+        });
+        let expected = reference_multiply(&a, &b);
+        let c = multiply(&a.to_csc(), &b, &PbConfig::default());
+        assert_eq!(c.shape(), (128, 32));
+        assert!(csr_approx_eq(&c, &expected, 1e-9));
+    }
+
+    #[test]
+    fn other_semirings() {
+        let a = erdos_renyi_square(7, 4, 11);
+        let a_csc = a.to_csc();
+
+        let bool_a = a.map_values(|_| true);
+        let pattern = multiply_with::<OrAnd>(&bool_a.to_csc(), &bool_a, &PbConfig::default());
+        let expected = multiply_csr_with::<OrAnd>(&bool_a, &bool_a);
+        assert_eq!(pattern.rowptr(), expected.rowptr());
+        assert_eq!(pattern.colidx(), expected.colidx());
+
+        let dist = multiply_with::<MinPlus>(&a_csc, &a, &PbConfig::default());
+        let expected = multiply_csr_with::<MinPlus>(&a, &a);
+        assert!(csr_approx_eq(&dist, &expected, 1e-12));
+    }
+
+    #[test]
+    fn explicit_thread_counts_give_identical_structure() {
+        let a = erdos_renyi_square(8, 4, 12);
+        let expected = reference_multiply(&a, &a);
+        for threads in [1usize, 2, 4] {
+            let cfg = PbConfig::default().with_threads(threads);
+            let c = multiply(&a.to_csc(), &a, &cfg);
+            assert!(csr_approx_eq(&c, &expected, 1e-9), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn profile_reports_consistent_statistics() {
+        let a = erdos_renyi_square(8, 8, 13);
+        let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(
+            &a.to_csc(),
+            &a,
+            &PbConfig::default().with_nbins(32),
+        );
+        assert_eq!(profile.nnz_c, c.nnz());
+        assert_eq!(profile.nnz_a, a.nnz());
+        assert_eq!(profile.flop, pb_sparse::stats::flop_csr(&a, &a));
+        assert_eq!(profile.nbins, 32);
+        assert!(profile.cf() >= 1.0);
+        assert!(profile.timings.total().as_nanos() > 0);
+        assert!(profile.gflops() > 0.0);
+        assert!(profile.summary().contains("nbins=32"));
+    }
+
+    #[test]
+    fn multiply_csr_convenience_matches_csc_entry_point() {
+        let a = erdos_renyi_square(7, 4, 14);
+        let via_csr = multiply_csr(&a, &a, &PbConfig::default());
+        let via_csc = multiply(&a.to_csc(), &a, &PbConfig::default());
+        assert!(csr_approx_eq(&via_csr, &via_csc, 1e-12));
+    }
+
+    #[test]
+    fn identity_and_permutation_products() {
+        let id = Csr::<f64>::identity(64);
+        let a = erdos_renyi_square(6, 4, 15);
+        let c = multiply(&id.to_csc(), &a, &PbConfig::default());
+        assert!(csr_approx_eq(&c, &a, 1e-12));
+        let c = multiply(&a.to_csc(), &id, &PbConfig::default());
+        assert!(csr_approx_eq(&c, &a, 1e-12));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Csr<f64> = Csr::empty(10, 10);
+        let c = multiply(&empty.to_csc(), &empty, &PbConfig::default());
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.shape(), (10, 10));
+
+        let single = Coo::from_entries(1, 1, vec![(0, 0, 3.0)]).unwrap().to_csr();
+        let c = multiply(&single.to_csc(), &single, &PbConfig::default());
+        assert_eq!(c.get(0, 0), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let a: Csr<f64> = Csr::empty(4, 5);
+        let b: Csr<f64> = Csr::empty(6, 4);
+        let _ = multiply(&a.to_csc(), &b, &PbConfig::default());
+    }
+}

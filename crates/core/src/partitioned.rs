@@ -1,0 +1,175 @@
+//! Row-partitioned PB-SpGEMM.
+//!
+//! Section V-D of the paper discusses a dual-socket variant that splits `A`
+//! into row blocks and multiplies each block with `B` independently, so that
+//! every block's bins stay local to one memory domain at the cost of reading
+//! `B` once per partition.  This module implements that variant: it is used
+//! by the NUMA-contention experiments and doubles as a simple
+//! out-of-core-style driver (each partition's expanded tuples are only
+//! `flop / parts` large).
+//!
+//! Because the output rows of different partitions are disjoint, the partial
+//! results concatenate directly into the final CSR matrix.
+
+use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::{Csr, Index};
+
+use crate::config::PbConfig;
+use crate::multiply_with;
+
+/// Splits `a` (CSR) into `parts` contiguous row blocks.
+fn row_blocks<T: pb_sparse::Scalar>(a: &Csr<T>, parts: usize) -> Vec<Csr<T>> {
+    let parts = parts.clamp(1, a.nrows().max(1));
+    let rows_per_part = a.nrows().div_ceil(parts);
+    let mut blocks = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    while start < a.nrows() {
+        let end = (start + rows_per_part).min(a.nrows());
+        let base = a.rowptr()[start];
+        let rowptr: Vec<usize> = a.rowptr()[start..=end].iter().map(|&p| p - base).collect();
+        let colidx = a.colidx()[a.rowptr()[start]..a.rowptr()[end]].to_vec();
+        let values = a.values()[a.rowptr()[start]..a.rowptr()[end]].to_vec();
+        blocks.push(Csr::from_parts_unchecked(end - start, a.ncols(), rowptr, colidx, values));
+        start = end;
+    }
+    if blocks.is_empty() {
+        blocks.push(Csr::empty(0, a.ncols()));
+    }
+    blocks
+}
+
+/// Stacks CSR blocks with identical column counts on top of each other.
+fn vstack<T: pb_sparse::Scalar>(blocks: &[Csr<T>], ncols: usize) -> Csr<T> {
+    let nrows: usize = blocks.iter().map(|b| b.nrows()).sum();
+    let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut colidx: Vec<Index> = Vec::with_capacity(nnz);
+    let mut values: Vec<T> = Vec::with_capacity(nnz);
+    for block in blocks {
+        for i in 0..block.nrows() {
+            let (cols, vals) = block.row(i);
+            colidx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            rowptr.push(colidx.len());
+        }
+    }
+    Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}
+
+/// Row-partitioned PB-SpGEMM under an arbitrary semiring: `A` (CSR) is split
+/// into `parts` row blocks, each block is multiplied with `B` by the regular
+/// PB-SpGEMM pipeline, and the partial outputs are stacked.
+pub fn multiply_partitioned_with<S: Semiring>(
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    config: &PbConfig,
+    parts: usize,
+) -> Csr<S::Elem> {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "partitioned PB-SpGEMM shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let blocks = row_blocks(a, parts);
+    let partials: Vec<Csr<S::Elem>> = blocks
+        .into_iter()
+        .map(|block| multiply_with::<S>(&block.to_csc_generic(), b, config))
+        .collect();
+    vstack(&partials, b.ncols())
+}
+
+/// Row-partitioned PB-SpGEMM with ordinary `+`/`×`.
+pub fn multiply_partitioned<T: Numeric + Default>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    config: &PbConfig,
+    parts: usize,
+) -> Csr<T> {
+    multiply_partitioned_with::<PlusTimes<T>>(a, b, config, parts)
+}
+
+/// Small extension trait: CSC conversion that does not require `T: Default`
+/// (uses the transpose-reinterpretation of the block's transpose).
+trait ToCscGeneric<T: pb_sparse::Scalar> {
+    fn to_csc_generic(self) -> pb_sparse::Csc<T>;
+}
+
+impl<T: pb_sparse::Scalar> ToCscGeneric<T> for Csr<T> {
+    fn to_csc_generic(self) -> pb_sparse::Csc<T> {
+        // Counting-sort transpose without needing Default: go through COO.
+        let coo = self.to_coo();
+        let (nrows, ncols, rows, cols, vals) = coo.into_parts();
+        // Sort entries by (col, row) with a stable counting sort on col.
+        let mut counts = vec![0usize; ncols + 1];
+        for &c in &cols {
+            counts[c as usize + 1] += 1;
+        }
+        for j in 0..ncols {
+            counts[j + 1] += counts[j];
+        }
+        let colptr = counts.clone();
+        let mut rowidx = vec![0 as Index; rows.len()];
+        let mut values: Vec<T> = Vec::with_capacity(vals.len());
+        // Two passes: indices via cursor, then values gathered in the same
+        // order (avoids requiring Default for placeholder values).
+        let mut order = vec![0usize; rows.len()];
+        let mut cursor = counts;
+        for i in 0..rows.len() {
+            let c = cols[i] as usize;
+            let dst = cursor[c];
+            rowidx[dst] = rows[i];
+            order[dst] = i;
+            cursor[c] += 1;
+        }
+        for &src in &order {
+            values.push(vals[src]);
+        }
+        pb_sparse::Csc::from_parts_unchecked(nrows, ncols, colptr, rowidx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::{erdos_renyi_square, rmat_square};
+    use pb_sparse::reference::{csr_approx_eq, multiply_csr};
+
+    #[test]
+    fn partitioned_matches_unpartitioned_for_various_part_counts() {
+        let a = rmat_square(8, 6, 31);
+        let expected = multiply_csr(&a, &a);
+        for parts in [1usize, 2, 3, 7, 64, 10_000] {
+            let c = multiply_partitioned(&a, &a, &PbConfig::default(), parts);
+            assert!(
+                csr_approx_eq(&c, &expected, 1e-9),
+                "partitioned multiply wrong with {parts} parts"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_handles_rectangular_and_empty_inputs() {
+        let a = erdos_renyi_square(7, 4, 32);
+        let expected = multiply_csr(&a, &a);
+        let c = multiply_partitioned(&a, &a, &PbConfig::default().with_nbins(4), 5);
+        assert!(csr_approx_eq(&c, &expected, 1e-9));
+
+        let empty: Csr<f64> = Csr::empty(10, 10);
+        let c = multiply_partitioned(&empty, &empty, &PbConfig::default(), 3);
+        assert_eq!(c.shape(), (10, 10));
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn row_blocks_partition_the_rows_exactly() {
+        let a = erdos_renyi_square(7, 4, 33);
+        let blocks = row_blocks(&a, 5);
+        assert_eq!(blocks.iter().map(|b| b.nrows()).sum::<usize>(), a.nrows());
+        assert_eq!(blocks.iter().map(|b| b.nnz()).sum::<usize>(), a.nnz());
+        let restacked = vstack(&blocks, a.ncols());
+        assert_eq!(restacked, a);
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-phase instrumentation: wall-clock timings, the data-movement model of
+//! Table III, and the derived bandwidth / FLOPS rates used throughout the
+//! paper's evaluation (Figs. 6, 7b, 9b, 13).
+
+use std::time::Duration;
+
+/// Wall-clock time spent in each phase of one PB-SpGEMM multiplication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Symbolic phase (flop counting + bin sizing).
+    pub symbolic: Duration,
+    /// Expand phase (outer products + propagation blocking).
+    pub expand: Duration,
+    /// Sort phase (per-bin radix sort).
+    pub sort: Duration,
+    /// Compress phase (per-bin two-pointer merge).
+    pub compress: Duration,
+    /// CSR assembly.
+    pub assemble: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.symbolic + self.expand + self.sort + self.compress + self.assemble
+    }
+}
+
+/// The phases of PB-SpGEMM, used to index per-phase reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Symbolic phase.
+    Symbolic,
+    /// Expand phase.
+    Expand,
+    /// Sort phase.
+    Sort,
+    /// Compress phase.
+    Compress,
+    /// CSR assembly.
+    Assemble,
+}
+
+impl Phase {
+    /// The three data-movement-heavy phases the paper reports bandwidth for.
+    pub fn paper_phases() -> &'static [Phase] {
+        &[Phase::Expand, Phase::Sort, Phase::Compress]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Symbolic => "symbolic",
+            Phase::Expand => "expand",
+            Phase::Sort => "sort",
+            Phase::Compress => "compress",
+            Phase::Assemble => "assemble",
+        }
+    }
+}
+
+/// Everything measured and derived from one PB-SpGEMM multiplication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpGemmProfile {
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+    /// Number of scalar multiplications performed.
+    pub flop: u64,
+    /// `nnz(A)`.
+    pub nnz_a: usize,
+    /// `nnz(B)`.
+    pub nnz_b: usize,
+    /// `nnz(C)`.
+    pub nnz_c: usize,
+    /// Number of propagation bins used.
+    pub nbins: usize,
+    /// Significant bytes per packed sort key (radix passes).
+    pub key_bytes: u32,
+    /// Bytes per expanded tuple in memory.
+    pub tuple_bytes: usize,
+    /// Bytes per nonzero used by the Roofline model (`b` in the paper, 16
+    /// for `u32` indices + `f64` values in COO).
+    pub coo_bytes: usize,
+}
+
+impl SpGemmProfile {
+    /// Compression factor `flop / nnz(C)` (1.0 for empty products).
+    pub fn cf(&self) -> f64 {
+        if self.nnz_c == 0 {
+            1.0
+        } else {
+            self.flop as f64 / self.nnz_c as f64
+        }
+    }
+
+    /// Achieved GFLOPS (`flop / total time`), the paper's headline metric.
+    pub fn gflops(&self) -> f64 {
+        let t = self.timings.total().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.flop as f64 / t / 1e9
+        }
+    }
+
+    /// Bytes moved to/from memory by a phase according to the model of
+    /// Table III.
+    pub fn phase_bytes(&self, phase: Phase) -> u64 {
+        let b = self.coo_bytes as u64;
+        let t = self.tuple_bytes as u64;
+        match phase {
+            // Streams the offset arrays only; negligible, modelled as the two
+            // pointer arrays.
+            Phase::Symbolic => 8 * (self.nnz_a.min(self.nnz_b)) as u64,
+            // Reads both inputs, writes flop tuples.
+            Phase::Expand => b * (self.nnz_a + self.nnz_b) as u64 + t * self.flop,
+            // Reads flop tuples (in-cache shuffles not counted as memory
+            // traffic, as in the paper).
+            Phase::Sort => t * self.flop,
+            // Writes nnz(C) merged tuples; the reads happen on data the sort
+            // just brought into cache, so Table III does not charge them to
+            // memory traffic.
+            Phase::Compress => t * self.nnz_c as u64,
+            // Reads nnz(C) tuples, writes the CSR arrays.
+            Phase::Assemble => t * self.nnz_c as u64 + b * self.nnz_c as u64,
+        }
+    }
+
+    /// Time spent in a phase.
+    pub fn phase_time(&self, phase: Phase) -> Duration {
+        match phase {
+            Phase::Symbolic => self.timings.symbolic,
+            Phase::Expand => self.timings.expand,
+            Phase::Sort => self.timings.sort,
+            Phase::Compress => self.timings.compress,
+            Phase::Assemble => self.timings.assemble,
+        }
+    }
+
+    /// Sustained bandwidth of a phase in GB/s under the Table III model.
+    pub fn phase_bandwidth_gbps(&self, phase: Phase) -> f64 {
+        let t = self.phase_time(phase).as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.phase_bytes(phase) as f64 / t / 1e9
+        }
+    }
+
+    /// Sustained bandwidth over the whole multiplication (total modelled
+    /// bytes / total time).
+    pub fn overall_bandwidth_gbps(&self) -> f64 {
+        let t = self.timings.total().as_secs_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        let bytes: u64 = [Phase::Expand, Phase::Sort, Phase::Compress, Phase::Assemble]
+            .iter()
+            .map(|&p| self.phase_bytes(p))
+            .sum();
+        bytes as f64 / t / 1e9
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "flop={} nnz(C)={} cf={:.2} nbins={} keyB={} | total={:.3}ms ({:.0} MFLOPS) | \
+             expand {:.3}ms sort {:.3}ms compress {:.3}ms | bw e/s/c = {:.1}/{:.1}/{:.1} GB/s",
+            self.flop,
+            self.nnz_c,
+            self.cf(),
+            self.nbins,
+            self.key_bytes,
+            self.timings.total().as_secs_f64() * 1e3,
+            self.gflops() * 1e3,
+            self.timings.expand.as_secs_f64() * 1e3,
+            self.timings.sort.as_secs_f64() * 1e3,
+            self.timings.compress.as_secs_f64() * 1e3,
+            self.phase_bandwidth_gbps(Phase::Expand),
+            self.phase_bandwidth_gbps(Phase::Sort),
+            self.phase_bandwidth_gbps(Phase::Compress),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpGemmProfile {
+        SpGemmProfile {
+            timings: PhaseTimings {
+                symbolic: Duration::from_millis(1),
+                expand: Duration::from_millis(10),
+                sort: Duration::from_millis(5),
+                compress: Duration::from_millis(4),
+                assemble: Duration::from_millis(2),
+            },
+            flop: 16_000_000,
+            nnz_a: 4_000_000,
+            nnz_b: 4_000_000,
+            nnz_c: 14_000_000,
+            nbins: 1024,
+            key_bytes: 4,
+            tuple_bytes: 16,
+            coo_bytes: 16,
+        }
+    }
+
+    #[test]
+    fn totals_and_cf() {
+        let p = sample();
+        assert_eq!(p.timings.total(), Duration::from_millis(22));
+        assert!((p.cf() - 16.0 / 14.0).abs() < 1e-12);
+        // 16 Mflop / 22 ms ~= 0.727 GFLOPS.
+        assert!((p.gflops() - 16.0e6 / 0.022 / 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_bytes_follow_table_iii() {
+        let p = sample();
+        // Expand: reads A and B (16 bytes each nnz), writes 16 bytes per flop.
+        assert_eq!(p.phase_bytes(Phase::Expand), 16 * 8_000_000 + 16 * 16_000_000);
+        // Sort: reads flop tuples.
+        assert_eq!(p.phase_bytes(Phase::Sort), 16 * 16_000_000);
+        // Compress: writes nnz(C) tuples (its reads stay in cache).
+        assert_eq!(p.phase_bytes(Phase::Compress), 16 * 14_000_000);
+    }
+
+    #[test]
+    fn bandwidths_are_consistent_with_bytes_and_time() {
+        let p = sample();
+        let bw = p.phase_bandwidth_gbps(Phase::Sort);
+        let expected = (16.0 * 16.0e6) / 0.005 / 1e9;
+        assert!((bw - expected).abs() < 1e-9);
+        assert!(p.overall_bandwidth_gbps() > 0.0);
+        // Zero-duration phases report zero bandwidth instead of dividing by
+        // zero.
+        let mut zeroed = p;
+        zeroed.timings.sort = Duration::ZERO;
+        assert_eq!(zeroed.phase_bandwidth_gbps(Phase::Sort), 0.0);
+    }
+
+    #[test]
+    fn empty_product_degenerate_values() {
+        let p = SpGemmProfile {
+            timings: PhaseTimings::default(),
+            flop: 0,
+            nnz_a: 0,
+            nnz_b: 0,
+            nnz_c: 0,
+            nbins: 1,
+            key_bytes: 1,
+            tuple_bytes: 16,
+            coo_bytes: 16,
+        };
+        assert_eq!(p.cf(), 1.0);
+        assert_eq!(p.gflops(), 0.0);
+        assert_eq!(p.overall_bandwidth_gbps(), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_key_quantities() {
+        let s = sample().summary();
+        assert!(s.contains("cf=1.14"));
+        assert!(s.contains("nbins=1024"));
+        assert!(s.contains("GB/s"));
+    }
+
+    #[test]
+    fn phase_helpers() {
+        assert_eq!(Phase::paper_phases().len(), 3);
+        assert_eq!(Phase::Expand.name(), "expand");
+        let p = sample();
+        assert_eq!(p.phase_time(Phase::Assemble), Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,296 @@
+//! In-cache sorting of the binned tuples (Sec. III-D of the paper).
+//!
+//! Every bin is sorted independently — bins never share a `(row, col)` key —
+//! so threads pick up whole bins in parallel and sort them while the bin is
+//! resident in cache.  The sort key is the packed `(row-in-bin, col)` integer
+//! produced by [`BinLayout::pack`](crate::bins::BinLayout::pack); the number
+//! of radix passes adapts to the number of significant key bytes, which is
+//! the paper's key-compression optimisation (usually 4 bytes or fewer, so 4
+//! passes instead of 8).
+//!
+//! Three sorters are provided:
+//!
+//! * [`SortAlgorithm::LsdRadix`] — least-significant-digit radix sort with a
+//!   scratch buffer (default);
+//! * [`SortAlgorithm::AmericanFlag`] — in-place MSD byte sort (McIlroy,
+//!   Bostic & McIlroy), the variant the paper cites;
+//! * [`SortAlgorithm::Comparison`] — `sort_unstable_by_key`, the correctness
+//!   oracle and an ablation point.
+
+use rayon::prelude::*;
+
+use crate::bins::{BinnedTuples, Entry};
+use crate::config::SortAlgorithm;
+
+/// Sorts every bin of the expanded matrix by its packed key.
+pub fn sort_bins<V: Copy + Send + Sync>(tuples: &mut BinnedTuples<V>, algorithm: SortAlgorithm) {
+    let key_bytes = tuples.layout.key_bytes() as usize;
+    let offsets = tuples.bin_offsets.clone();
+    let nbins = tuples.nbins();
+
+    // Carve the entry buffer into disjoint per-bin slices so rayon can sort
+    // them in parallel.
+    let mut slices: Vec<&mut [Entry<V>]> = Vec::with_capacity(nbins);
+    let mut rest: &mut [Entry<V>] = &mut tuples.entries;
+    let mut consumed = 0usize;
+    for b in 0..nbins {
+        let len = offsets[b + 1] - offsets[b];
+        debug_assert_eq!(consumed, offsets[b]);
+        let (seg, r) = rest.split_at_mut(len);
+        slices.push(seg);
+        rest = r;
+        consumed += len;
+    }
+
+    slices.into_par_iter().for_each(|seg| sort_slice(seg, key_bytes, algorithm));
+}
+
+/// Sorts one bin's tuples by key with the selected algorithm.
+pub fn sort_slice<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize, algorithm: SortAlgorithm) {
+    match algorithm {
+        SortAlgorithm::Comparison => seg.sort_unstable_by_key(|e| e.key),
+        SortAlgorithm::LsdRadix => lsd_radix_sort(seg, key_bytes),
+        SortAlgorithm::AmericanFlag => american_flag_sort(seg, key_bytes),
+    }
+}
+
+/// Threshold below which radix sorters fall back to insertion sort.
+const SMALL_SORT: usize = 48;
+
+fn insertion_sort<V: Copy>(seg: &mut [Entry<V>]) {
+    for i in 1..seg.len() {
+        let item = seg[i];
+        let mut j = i;
+        while j > 0 && seg[j - 1].key > item.key {
+            seg[j] = seg[j - 1];
+            j -= 1;
+        }
+        seg[j] = item;
+    }
+}
+
+/// LSD radix sort: one stable counting-sort pass per significant key byte,
+/// ping-ponging between the bin and a scratch buffer.
+pub fn lsd_radix_sort<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize) {
+    if seg.len() <= SMALL_SORT {
+        insertion_sort(seg);
+        return;
+    }
+    let key_bytes = key_bytes.clamp(1, 8);
+    let mut scratch: Vec<Entry<V>> = seg.to_vec();
+    // Tracks whether the current data lives in `seg` (true) or `scratch`.
+    let mut data_in_seg = true;
+    {
+        let mut src: &mut [Entry<V>] = seg;
+        let mut dst: &mut [Entry<V>] = &mut scratch;
+        for pass in 0..key_bytes {
+            let shift = 8 * pass as u32;
+            let mut counts = [0usize; 256];
+            for e in src.iter() {
+                counts[((e.key >> shift) & 0xFF) as usize] += 1;
+            }
+            // Skip passes where every key shares the same byte value.
+            if counts.contains(&src.len()) {
+                continue;
+            }
+            let mut offsets = [0usize; 256];
+            let mut acc = 0usize;
+            for (o, &c) in offsets.iter_mut().zip(&counts) {
+                *o = acc;
+                acc += c;
+            }
+            for e in src.iter() {
+                let b = ((e.key >> shift) & 0xFF) as usize;
+                dst[offsets[b]] = *e;
+                offsets[b] += 1;
+            }
+            std::mem::swap(&mut src, &mut dst);
+            data_in_seg = !data_in_seg;
+        }
+    }
+    if !data_in_seg {
+        seg.copy_from_slice(&scratch);
+    }
+}
+
+/// In-place MSD radix sort ("American flag sort"): permutes entries into 256
+/// buckets of the most significant byte, then recurses into each bucket.
+pub fn american_flag_sort<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize) {
+    let key_bytes = key_bytes.clamp(1, 8);
+    flag_sort_level(seg, (key_bytes - 1) as u32);
+}
+
+fn flag_sort_level<V: Copy>(seg: &mut [Entry<V>], byte: u32) {
+    if seg.len() <= SMALL_SORT {
+        insertion_sort(seg);
+        return;
+    }
+    let shift = 8 * byte;
+    let mut counts = [0usize; 256];
+    for e in seg.iter() {
+        counts[((e.key >> shift) & 0xFF) as usize] += 1;
+    }
+    let mut starts = [0usize; 256];
+    let mut ends = [0usize; 256];
+    let mut acc = 0usize;
+    for i in 0..256 {
+        starts[i] = acc;
+        acc += counts[i];
+        ends[i] = acc;
+    }
+    // Cycle-following permutation: place every element into its bucket.
+    let mut heads = starts;
+    for bucket in 0..256 {
+        while heads[bucket] < ends[bucket] {
+            let mut e = seg[heads[bucket]];
+            loop {
+                let target = ((e.key >> shift) & 0xFF) as usize;
+                if target == bucket {
+                    break;
+                }
+                let dst = heads[target];
+                heads[target] += 1;
+                std::mem::swap(&mut seg[dst], &mut e);
+            }
+            seg[heads[bucket]] = e;
+            heads[bucket] += 1;
+        }
+    }
+    if byte > 0 {
+        for bucket in 0..256 {
+            let (lo, hi) = (starts[bucket], ends[bucket]);
+            if hi - lo > 1 {
+                flag_sort_level(&mut seg[lo..hi], byte - 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::BinLayout;
+    use crate::config::BinMapping;
+    use pb_gen::Xoshiro256pp;
+
+    fn random_entries(n: usize, key_bits: u32, seed: u64) -> Vec<Entry<u64>> {
+        let mut rng = Xoshiro256pp::new(seed);
+        (0..n)
+            .map(|i| {
+                let key = rng.next_u64() & ((1u64 << key_bits) - 1);
+                Entry { key, val: i as u64 }
+            })
+            .collect()
+    }
+
+    fn is_sorted<V>(seg: &[Entry<V>]) -> bool {
+        seg.windows(2).all(|w| w[0].key <= w[1].key)
+    }
+
+    #[test]
+    fn all_sorters_agree_with_comparison_sort() {
+        for &bits in &[8u32, 20, 31, 48, 63] {
+            let original = random_entries(3000, bits, bits as u64);
+            let key_bytes = (bits as usize).div_ceil(8);
+
+            let mut expected = original.clone();
+            expected.sort_by_key(|e| e.key);
+            let expected_keys: Vec<u64> = expected.iter().map(|e| e.key).collect();
+
+            for algo in [
+                SortAlgorithm::LsdRadix,
+                SortAlgorithm::AmericanFlag,
+                SortAlgorithm::Comparison,
+            ] {
+                let mut data = original.clone();
+                sort_slice(&mut data, key_bytes, algo);
+                assert!(is_sorted(&data), "{algo:?} failed to sort {bits}-bit keys");
+                let keys: Vec<u64> = data.iter().map(|e| e.key).collect();
+                assert_eq!(keys, expected_keys, "{algo:?} produced a different permutation");
+            }
+        }
+    }
+
+    #[test]
+    fn radix_sorts_keep_key_value_pairs_together() {
+        // Values encode the original key so any mismatch is detected.
+        let mut rng = Xoshiro256pp::new(3);
+        let original: Vec<Entry<u64>> = (0..5000)
+            .map(|_| {
+                let key = rng.next_u64() & 0xFFFF_FFFF;
+                Entry { key, val: key ^ 0xDEAD_BEEF }
+            })
+            .collect();
+        for algo in [SortAlgorithm::LsdRadix, SortAlgorithm::AmericanFlag] {
+            let mut data = original.clone();
+            sort_slice(&mut data, 4, algo);
+            assert!(data.iter().all(|e| e.val == e.key ^ 0xDEAD_BEEF));
+        }
+    }
+
+    #[test]
+    fn small_and_degenerate_inputs() {
+        for algo in [
+            SortAlgorithm::LsdRadix,
+            SortAlgorithm::AmericanFlag,
+            SortAlgorithm::Comparison,
+        ] {
+            let mut empty: Vec<Entry<f64>> = Vec::new();
+            sort_slice(&mut empty, 4, algo);
+
+            let mut one = vec![Entry { key: 7, val: 1.0 }];
+            sort_slice(&mut one, 4, algo);
+            assert_eq!(one[0].key, 7);
+
+            let mut dup = vec![Entry { key: 5, val: 1.0 }; 100];
+            sort_slice(&mut dup, 4, algo);
+            assert!(is_sorted(&dup));
+
+            let mut rev: Vec<Entry<u32>> =
+                (0..200).rev().map(|k| Entry { key: k as u64, val: k }).collect();
+            sort_slice(&mut rev, 1, algo);
+            assert!(is_sorted(&rev));
+            assert_eq!(rev[0].val, 0);
+        }
+    }
+
+    #[test]
+    fn sort_bins_sorts_each_bin_independently() {
+        // Three bins with interleaved keys; after sorting, each bin is
+        // ordered but bins keep their own ranges.
+        // 4 row bits + 4 column bits per key: one significant key byte.
+        let layout = BinLayout::new(30, 16, 3, BinMapping::Range);
+        assert_eq!(layout.key_bytes(), 1);
+        let mut rng = Xoshiro256pp::new(9);
+        let mut entries = Vec::new();
+        let mut bin_offsets = vec![0usize];
+        for _bin in 0..3 {
+            for _ in 0..200 {
+                entries.push(Entry { key: rng.next_u64() & 0xFF, val: 1.0f64 });
+            }
+            bin_offsets.push(entries.len());
+        }
+        let mut tuples = BinnedTuples {
+            entries,
+            bin_offsets: bin_offsets.clone(),
+            compressed_len: vec![200, 200, 200],
+            layout,
+        };
+        sort_bins(&mut tuples, SortAlgorithm::LsdRadix);
+        for b in 0..3 {
+            assert!(is_sorted(&tuples.entries[bin_offsets[b]..bin_offsets[b + 1]]));
+        }
+    }
+
+    #[test]
+    fn adaptive_pass_count_handles_keys_wider_than_declared() {
+        // Keys fit in 3 bytes; telling the sorter 3 bytes must be enough.
+        let original = random_entries(2000, 24, 77);
+        let mut a = original.clone();
+        lsd_radix_sort(&mut a, 3);
+        let mut b = original.clone();
+        american_flag_sort(&mut b, 3);
+        assert!(is_sorted(&a));
+        assert!(is_sorted(&b));
+    }
+}

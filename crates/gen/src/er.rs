@@ -1,0 +1,164 @@
+//! Erdős–Rényi random sparse matrices.
+//!
+//! The paper's ER matrices have exactly `d` nonzeros *uniformly distributed
+//! in each column* (Sec. II-A), which makes the expected compression factor
+//! of `A²` close to 1 and the flop count almost exactly `n·d²`.  The
+//! generator reproduces that construction: for every column it samples `d`
+//! distinct row indices uniformly at random.
+
+use rayon::prelude::*;
+
+use pb_sparse::{Coo, Csc, Csr, Index};
+
+use crate::rng::Xoshiro256pp;
+use crate::ScaleSpec;
+
+/// Configuration of the ER generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErConfig {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Nonzeros per column (clamped to `nrows`).
+    pub nnz_per_col: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// If `true`, values are uniform in `[0, 1)`; otherwise every stored
+    /// value is `1.0`.
+    pub random_values: bool,
+}
+
+impl ErConfig {
+    /// Square ER matrix in Graph500 `scale`/`edge_factor` notation.
+    pub fn from_scale(spec: ScaleSpec, seed: u64) -> Self {
+        ErConfig {
+            nrows: spec.dim(),
+            ncols: spec.dim(),
+            nnz_per_col: spec.edge_factor as usize,
+            seed,
+            random_values: true,
+        }
+    }
+}
+
+/// Generates an ER matrix in COO form (exactly `nnz_per_col` entries per
+/// column, no duplicates).
+pub fn erdos_renyi_coo(config: &ErConfig) -> Coo<f64> {
+    let d = config.nnz_per_col.min(config.nrows);
+    let per_column: Vec<(Vec<Index>, Vec<f64>)> = (0..config.ncols)
+        .into_par_iter()
+        .map(|j| {
+            let mut rng = Xoshiro256pp::from_stream(config.seed, j as u64);
+            let mut rows: Vec<Index> =
+                rng.sample_distinct(config.nrows, d).into_iter().map(|r| r as Index).collect();
+            rows.sort_unstable();
+            let vals: Vec<f64> = if config.random_values {
+                rows.iter().map(|_| rng.next_f64()).collect()
+            } else {
+                vec![1.0; rows.len()]
+            };
+            (rows, vals)
+        })
+        .collect();
+
+    let nnz = per_column.iter().map(|(r, _)| r.len()).sum();
+    let mut rows = Vec::with_capacity(nnz);
+    let mut cols = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for (j, (r, v)) in per_column.into_iter().enumerate() {
+        cols.extend(std::iter::repeat_n(j as Index, r.len()));
+        rows.extend(r);
+        vals.extend(v);
+    }
+    Coo::from_parts_unchecked(config.nrows, config.ncols, rows, cols, vals)
+}
+
+/// Generates an ER matrix in CSR form.
+pub fn erdos_renyi(config: &ErConfig) -> Csr<f64> {
+    erdos_renyi_coo(config).to_csr()
+}
+
+/// Generates an ER matrix in CSC form (the layout PB-SpGEMM wants for `A`).
+pub fn erdos_renyi_csc(config: &ErConfig) -> Csc<f64> {
+    erdos_renyi_coo(config).to_csc()
+}
+
+/// Convenience: square ER matrix of dimension `2^scale` with `edge_factor`
+/// nonzeros per column, random values.
+pub fn erdos_renyi_square(scale: u32, edge_factor: u32, seed: u64) -> Csr<f64> {
+    erdos_renyi(&ErConfig::from_scale(ScaleSpec::new(scale, edge_factor), seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_sparse::stats::MultiplyStats;
+
+    #[test]
+    fn every_column_has_exactly_d_nonzeros() {
+        let cfg = ErConfig { nrows: 256, ncols: 256, nnz_per_col: 8, seed: 1, random_values: true };
+        let m = erdos_renyi_csc(&cfg);
+        assert_eq!(m.nnz(), 256 * 8);
+        for j in 0..m.ncols() {
+            assert_eq!(m.col_nnz(j), 8, "column {j} does not have d nonzeros");
+            // No duplicate rows within a column.
+            let (rows, _) = m.col(j);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn d_larger_than_nrows_is_clamped() {
+        let cfg = ErConfig { nrows: 4, ncols: 6, nnz_per_col: 10, seed: 2, random_values: false };
+        let m = erdos_renyi(&cfg);
+        assert_eq!(m.nnz(), 4 * 6);
+        assert!(m.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let cfg = ErConfig { nrows: 128, ncols: 128, nnz_per_col: 4, seed: 7, random_values: true };
+        let a = erdos_renyi(&cfg);
+        let b = erdos_renyi(&cfg);
+        assert_eq!(a, b);
+        let c = erdos_renyi(&ErConfig { seed: 8, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rows_are_spread_roughly_uniformly() {
+        let cfg =
+            ErConfig { nrows: 512, ncols: 512, nnz_per_col: 8, seed: 3, random_values: true };
+        let m = erdos_renyi(&cfg);
+        // Row degrees follow Binomial(n*d, 1/n); the maximum should stay far
+        // below a pathological concentration (say 5x the mean).
+        let mean = m.avg_degree();
+        assert!((mean - 8.0).abs() < 1e-9);
+        assert!(m.max_degree() < 40, "max degree {} looks non-uniform", m.max_degree());
+    }
+
+    #[test]
+    fn squaring_er_has_small_compression_factor() {
+        // The paper (Sec. II-C) notes cf ~= 1 for ER matrices when d is small
+        // relative to n; allow some slack for a small test matrix.
+        let a = erdos_renyi_square(9, 4, 11);
+        let s = MultiplyStats::compute(&a, &a);
+        assert!(s.cf >= 1.0 && s.cf < 1.3, "unexpected compression factor {}", s.cf);
+        // flop is exactly n * d^2 because every column has exactly d entries.
+        assert_eq!(s.flop, 512 * 16);
+    }
+
+    #[test]
+    fn from_scale_matches_manual_config() {
+        let via_scale = erdos_renyi_square(6, 3, 21);
+        let manual = erdos_renyi(&ErConfig {
+            nrows: 64,
+            ncols: 64,
+            nnz_per_col: 3,
+            seed: 21,
+            random_values: true,
+        });
+        assert_eq!(via_scale, manual);
+    }
+}

@@ -1,0 +1,71 @@
+//! # pb-gen — deterministic sparse-matrix generators
+//!
+//! The PB-SpGEMM paper evaluates on three matrix families:
+//!
+//! * **Erdős–Rényi (ER)** random matrices with `d` nonzeros uniformly
+//!   distributed in each column (R-MAT with a=b=c=d=0.25), see [`er`];
+//! * **R-MAT / Graph500** matrices with a skewed degree distribution
+//!   (a=0.57, b=c=0.19, d=0.05), see [`rmat`];
+//! * **12 real matrices** from the SuiteSparse collection (Table VI).  This
+//!   reproduction has no network access to SuiteSparse, so [`standins`]
+//!   generates synthetic stand-ins matched on dimension, nnz, average degree
+//!   and (approximately) the compression factor of the original matrices;
+//!   the substitution is documented in `DESIGN.md`.
+//!
+//! All generators are deterministic given a seed and produce identical
+//! matrices regardless of thread count: parallel loops derive a private RNG
+//! per column/edge-block from the seed with [`rng::SplitMix64`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod er;
+pub mod rmat;
+pub mod rng;
+pub mod standins;
+pub mod structured;
+
+pub use er::{erdos_renyi, erdos_renyi_square, ErConfig};
+pub use rmat::{rmat, rmat_square, RmatConfig, GRAPH500_PARAMS, UNIFORM_PARAMS};
+pub use rng::{SplitMix64, Xoshiro256pp};
+pub use standins::{standin, standin_names, standin_scaled, StandinClass, StandinSpec, STANDINS};
+pub use structured::{banded, block_diagonal, diagonal, tridiagonal};
+
+/// A scale/edge-factor pair in Graph500 notation: the matrix has `2^scale`
+/// rows and columns and `edge_factor` nonzeros per row on average.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleSpec {
+    /// log2 of the matrix dimension.
+    pub scale: u32,
+    /// Average nonzeros per row/column.
+    pub edge_factor: u32,
+}
+
+impl ScaleSpec {
+    /// Creates a new scale specification.
+    pub fn new(scale: u32, edge_factor: u32) -> Self {
+        ScaleSpec { scale, edge_factor }
+    }
+
+    /// Matrix dimension `n = 2^scale`.
+    pub fn dim(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Expected number of nonzeros `n * edge_factor`.
+    pub fn expected_nnz(&self) -> usize {
+        self.dim() * self.edge_factor as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_spec_arithmetic() {
+        let s = ScaleSpec::new(10, 8);
+        assert_eq!(s.dim(), 1024);
+        assert_eq!(s.expected_nnz(), 8192);
+    }
+}

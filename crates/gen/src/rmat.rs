@@ -1,0 +1,241 @@
+//! R-MAT (recursive matrix) generator.
+//!
+//! The paper generates skewed matrices with the Graph500 R-MAT parameters
+//! `a=0.57, b=c=0.19, d=0.05` (Sec. IV-C) and uniform ER-like matrices with
+//! `a=b=c=d=0.25`.  Each nonzero is placed by recursively descending `scale`
+//! levels of a 2×2 quadrant subdivision; duplicates generated along the way
+//! are merged, so the delivered nnz is slightly below
+//! `edge_factor · 2^scale` for skewed parameter sets (as in Graph500).
+
+use rayon::prelude::*;
+
+use pb_sparse::{Coo, Csc, Csr, Index};
+
+use crate::rng::Xoshiro256pp;
+use crate::ScaleSpec;
+
+/// Quadrant probabilities `(a, b, c, d)` of the R-MAT recursion.
+///
+/// `a` is the top-left quadrant, `b` top-right, `c` bottom-left, `d`
+/// bottom-right; they must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of the bottom-right quadrant.
+    pub d: f64,
+}
+
+/// The Graph500 parameter set used for the paper's "RMAT" matrices.
+pub const GRAPH500_PARAMS: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+/// The uniform parameter set (`a=b=c=d=0.25`), which degenerates to an
+/// Erdős–Rényi-like matrix.
+pub const UNIFORM_PARAMS: RmatParams = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+
+/// Configuration of the R-MAT generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the matrix dimension.
+    pub scale: u32,
+    /// Average nonzeros per row before deduplication.
+    pub edge_factor: u32,
+    /// Quadrant probabilities.
+    pub params: RmatParams,
+    /// RNG seed.
+    pub seed: u64,
+    /// If `true`, values are uniform in `[0, 1)`; otherwise duplicates are
+    /// merged by addition of ones (i.e. values are edge multiplicities).
+    pub random_values: bool,
+    /// If `true`, apply the Graph500 noise factor that perturbs the quadrant
+    /// probabilities at every level, reducing self-similarity artifacts.
+    pub noise: bool,
+}
+
+impl RmatConfig {
+    /// Graph500-parameter configuration for the given scale and edge factor.
+    pub fn graph500(scale: u32, edge_factor: u32, seed: u64) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            params: GRAPH500_PARAMS,
+            seed,
+            random_values: true,
+            noise: true,
+        }
+    }
+
+    /// Scale specification of this configuration.
+    pub fn spec(&self) -> ScaleSpec {
+        ScaleSpec::new(self.scale, self.edge_factor)
+    }
+}
+
+fn sample_edge(rng: &mut Xoshiro256pp, scale: u32, p: RmatParams, noise: bool) -> (Index, Index) {
+    let mut row = 0u64;
+    let mut col = 0u64;
+    for _ in 0..scale {
+        let (mut a, mut b, mut c, mut d) = (p.a, p.b, p.c, p.d);
+        if noise {
+            // Graph500 reference implementation: multiply each probability by
+            // a factor uniform in [0.95, 1.05], then renormalise.
+            a *= 0.95 + 0.1 * rng.next_f64();
+            b *= 0.95 + 0.1 * rng.next_f64();
+            c *= 0.95 + 0.1 * rng.next_f64();
+            d *= 0.95 + 0.1 * rng.next_f64();
+            let norm = a + b + c + d;
+            a /= norm;
+            b /= norm;
+            c /= norm;
+        }
+        let r = rng.next_f64();
+        let (row_bit, col_bit) = if r < a {
+            (0, 0)
+        } else if r < a + b {
+            (0, 1)
+        } else if r < a + b + c {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        row = (row << 1) | row_bit;
+        col = (col << 1) | col_bit;
+    }
+    (row as Index, col as Index)
+}
+
+/// Generates an R-MAT matrix in COO form (duplicates already merged).
+pub fn rmat_coo(config: &RmatConfig) -> Coo<f64> {
+    let n = 1usize << config.scale;
+    let nedges = n * config.edge_factor as usize;
+    // Generate edges in blocks so the work parallelises while staying
+    // deterministic: block `b` uses stream `b` of the seed.
+    let block = 1usize << 14;
+    let nblocks = nedges.div_ceil(block);
+    let mut chunks: Vec<(Vec<Index>, Vec<Index>, Vec<f64>)> = (0..nblocks)
+        .into_par_iter()
+        .map(|bi| {
+            let mut rng = Xoshiro256pp::from_stream(config.seed, bi as u64);
+            let count = block.min(nedges - bi * block);
+            let mut rows = Vec::with_capacity(count);
+            let mut cols = Vec::with_capacity(count);
+            let mut vals = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (r, c) = sample_edge(&mut rng, config.scale, config.params, config.noise);
+                rows.push(r);
+                cols.push(c);
+                vals.push(if config.random_values { rng.next_f64() } else { 1.0 });
+            }
+            (rows, cols, vals)
+        })
+        .collect();
+
+    let mut rows = Vec::with_capacity(nedges);
+    let mut cols = Vec::with_capacity(nedges);
+    let mut vals = Vec::with_capacity(nedges);
+    for (r, c, v) in chunks.drain(..) {
+        rows.extend(r);
+        cols.extend(c);
+        vals.extend(v);
+    }
+    let mut coo = Coo::from_parts_unchecked(n, n, rows, cols, vals);
+    // Merge duplicate coordinates (keep the sum, as Graph500 does for
+    // weighted graphs).
+    coo.sum_duplicates_with::<pb_sparse::PlusTimes<f64>>();
+    coo
+}
+
+/// Generates an R-MAT matrix in CSR form.
+pub fn rmat(config: &RmatConfig) -> Csr<f64> {
+    rmat_coo(config).to_csr()
+}
+
+/// Generates an R-MAT matrix in CSC form.
+pub fn rmat_csc(config: &RmatConfig) -> Csc<f64> {
+    rmat_coo(config).to_csc()
+}
+
+/// Convenience: Graph500-parameter R-MAT matrix of dimension `2^scale` with
+/// `edge_factor` edges per row (before deduplication).
+pub fn rmat_square(scale: u32, edge_factor: u32, seed: u64) -> Csr<f64> {
+    rmat(&RmatConfig::graph500(scale, edge_factor, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_sparse::stats::degree_gini;
+
+    #[test]
+    fn dimensions_and_nnz_are_plausible() {
+        let cfg = RmatConfig::graph500(10, 8, 42);
+        let m = rmat(&cfg);
+        assert_eq!(m.shape(), (1024, 1024));
+        // Duplicates reduce nnz below n*ef but not catastrophically.
+        assert!(m.nnz() <= 1024 * 8);
+        assert!(m.nnz() > 1024 * 8 / 2, "too many duplicates: nnz = {}", m.nnz());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RmatConfig::graph500(9, 4, 5);
+        assert_eq!(rmat(&cfg), rmat(&cfg));
+        let other = RmatConfig { seed: 6, ..cfg };
+        assert_ne!(rmat(&cfg), rmat(&other));
+    }
+
+    #[test]
+    fn graph500_parameters_produce_skewed_degrees() {
+        let skewed = rmat(&RmatConfig::graph500(11, 8, 3));
+        let uniform = rmat(&RmatConfig {
+            scale: 11,
+            edge_factor: 8,
+            params: UNIFORM_PARAMS,
+            seed: 3,
+            random_values: true,
+            noise: false,
+        });
+        let g_skewed = degree_gini(&skewed);
+        let g_uniform = degree_gini(&uniform);
+        assert!(
+            g_skewed > g_uniform + 0.15,
+            "Graph500 R-MAT should be clearly more skewed: {g_skewed} vs {g_uniform}"
+        );
+    }
+
+    #[test]
+    fn uniform_parameters_resemble_er() {
+        let m = rmat(&RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            params: UNIFORM_PARAMS,
+            seed: 1,
+            random_values: true,
+            noise: false,
+        });
+        // Max degree stays small for a uniform distribution.
+        assert!(m.max_degree() < 30, "max degree {} too large for uniform R-MAT", m.max_degree());
+    }
+
+    #[test]
+    fn all_indices_in_bounds_and_csc_roundtrip() {
+        let cfg = RmatConfig::graph500(8, 6, 13);
+        let coo = rmat_coo(&cfg);
+        let n = 1usize << cfg.scale;
+        assert!(coo.iter().all(|(r, c, _)| (r as usize) < n && (c as usize) < n));
+        let csr = rmat(&cfg);
+        let csc = rmat_csc(&cfg);
+        assert_eq!(csc.to_csr(), csr);
+    }
+
+    #[test]
+    fn params_constants_sum_to_one() {
+        for p in [GRAPH500_PARAMS, UNIFORM_PARAMS] {
+            assert!((p.a + p.b + p.c + p.d - 1.0).abs() < 1e-12);
+        }
+    }
+}

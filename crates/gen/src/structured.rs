@@ -1,0 +1,214 @@
+//! Structured matrix generators: diagonal, banded and block-diagonal
+//! matrices.
+//!
+//! These are the building blocks of the SuiteSparse stand-ins
+//! ([`crate::standins`]): finite-element matrices such as `cant` or `hood`
+//! are dominated by dense bands around the diagonal (high compression
+//! factor when squared), while circuit or epidemiology matrices look like
+//! narrow bands plus a sprinkle of random long-range entries.
+
+use rayon::prelude::*;
+
+use pb_sparse::{Coo, Csr, Index};
+
+use crate::rng::Xoshiro256pp;
+
+/// An `n x n` diagonal matrix with the given value on every diagonal entry.
+pub fn diagonal(n: usize, value: f64) -> Csr<f64> {
+    Csr::from_parts_unchecked(
+        n,
+        n,
+        (0..=n).collect(),
+        (0..n as Index).collect(),
+        vec![value; n],
+    )
+}
+
+/// An `n x n` tridiagonal matrix (`sub`, `diag`, `super` values).
+pub fn tridiagonal(n: usize, sub: f64, diag: f64, sup: f64) -> Csr<f64> {
+    let mut coo = Coo::with_capacity(n, n, 3 * n).expect("dims fit u32");
+    for i in 0..n {
+        if i > 0 {
+            coo.push(i, i - 1, sub).unwrap();
+        }
+        coo.push(i, i, diag).unwrap();
+        if i + 1 < n {
+            coo.push(i, i + 1, sup).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+/// An `n x n` banded matrix with `band` stored entries per row, centred on
+/// the diagonal, with values drawn uniformly from `[0, 1)`.
+///
+/// Rows near the matrix border are clipped to stay in bounds, so the first
+/// and last few rows may have fewer than `band` entries.
+pub fn banded(n: usize, band: usize, seed: u64) -> Csr<f64> {
+    let band = band.max(1).min(n);
+    let half = band / 2;
+    let rows: Vec<(Vec<Index>, Vec<f64>)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = Xoshiro256pp::from_stream(seed, i as u64);
+            let lo = i.saturating_sub(half);
+            let hi = (lo + band).min(n);
+            let lo = hi.saturating_sub(band);
+            let cols: Vec<Index> = (lo..hi).map(|c| c as Index).collect();
+            let vals: Vec<f64> = cols.iter().map(|_| rng.next_f64()).collect();
+            (cols, vals)
+        })
+        .collect();
+    assemble_rows(n, n, rows)
+}
+
+/// A block-diagonal matrix with `nblocks` dense blocks of size
+/// `block_size x block_size` (the last block is clipped to the matrix edge).
+pub fn block_diagonal(nblocks: usize, block_size: usize, seed: u64) -> Csr<f64> {
+    let n = nblocks * block_size;
+    let rows: Vec<(Vec<Index>, Vec<f64>)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = Xoshiro256pp::from_stream(seed, i as u64);
+            let block = i / block_size;
+            let lo = block * block_size;
+            let hi = ((block + 1) * block_size).min(n);
+            let cols: Vec<Index> = (lo..hi).map(|c| c as Index).collect();
+            let vals: Vec<f64> = cols.iter().map(|_| rng.next_f64()).collect();
+            (cols, vals)
+        })
+        .collect();
+    assemble_rows(n, n, rows)
+}
+
+/// A banded matrix plus `extra_per_row` uniformly random off-band entries per
+/// row — a crude model of meshes with long-range couplings.
+pub fn banded_with_random(
+    n: usize,
+    band: usize,
+    extra_per_row: usize,
+    seed: u64,
+) -> Csr<f64> {
+    let band = band.max(1).min(n);
+    let half = band / 2;
+    let rows: Vec<(Vec<Index>, Vec<f64>)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = Xoshiro256pp::from_stream(seed, i as u64);
+            let lo = i.saturating_sub(half);
+            let hi = (lo + band).min(n);
+            let lo = hi.saturating_sub(band);
+            let mut cols: Vec<Index> = (lo..hi).map(|c| c as Index).collect();
+            for _ in 0..extra_per_row {
+                cols.push(rng.gen_index(n) as Index);
+            }
+            cols.sort_unstable();
+            cols.dedup();
+            let vals: Vec<f64> = cols.iter().map(|_| rng.next_f64()).collect();
+            (cols, vals)
+        })
+        .collect();
+    assemble_rows(n, n, rows)
+}
+
+/// Stitches per-row `(cols, vals)` pairs into a CSR matrix.
+pub(crate) fn assemble_rows(
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<(Vec<Index>, Vec<f64>)>,
+) -> Csr<f64> {
+    let nnz: usize = rows.iter().map(|(c, _)| c.len()).sum();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for (cols, vals) in rows {
+        colidx.extend(cols);
+        values.extend(vals);
+        rowptr.push(colidx.len());
+    }
+    Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_sparse::stats::MultiplyStats;
+
+    #[test]
+    fn diagonal_is_identity_like() {
+        let d = diagonal(5, 2.0);
+        assert_eq!(d.nnz(), 5);
+        for i in 0..5 {
+            assert_eq!(d.get(i, i), Some(2.0));
+        }
+    }
+
+    #[test]
+    fn tridiagonal_structure() {
+        let t = tridiagonal(4, -1.0, 2.0, -1.0);
+        assert_eq!(t.nnz(), 3 * 4 - 2);
+        assert_eq!(t.get(0, 0), Some(2.0));
+        assert_eq!(t.get(1, 0), Some(-1.0));
+        assert_eq!(t.get(0, 1), Some(-1.0));
+        assert_eq!(t.get(0, 2), None);
+        assert_eq!(t.get(3, 3), Some(2.0));
+    }
+
+    #[test]
+    fn banded_has_requested_bandwidth() {
+        let b = banded(100, 9, 3);
+        assert_eq!(b.nrows(), 100);
+        // Interior rows have exactly `band` entries.
+        assert_eq!(b.row_nnz(50), 9);
+        // Every entry stays within the band.
+        for (r, c, _) in b.iter() {
+            assert!((r as i64 - c as i64).abs() <= 9);
+        }
+        assert!(b.has_sorted_indices());
+        // Deterministic.
+        assert_eq!(b, banded(100, 9, 3));
+        assert_ne!(b, banded(100, 9, 4));
+    }
+
+    #[test]
+    fn banded_squaring_has_high_compression_factor() {
+        // Squaring a dense band multiplies overlapping rows, so flop per
+        // output nonzero is roughly the band width: cf >> 1, like the
+        // paper's FEM matrices (cant, hood).
+        let b = banded(512, 17, 1);
+        let s = MultiplyStats::compute(&b, &b);
+        assert!(s.cf > 6.0, "expected high cf for banded matrix, got {}", s.cf);
+    }
+
+    #[test]
+    fn block_diagonal_blocks_do_not_mix() {
+        let m = block_diagonal(4, 8, 9);
+        assert_eq!(m.shape(), (32, 32));
+        assert_eq!(m.nnz(), 4 * 8 * 8);
+        for (r, c, _) in m.iter() {
+            assert_eq!(r / 8, c / 8, "entry ({r},{c}) leaks outside its block");
+        }
+    }
+
+    #[test]
+    fn banded_with_random_adds_long_range_entries() {
+        let m = banded_with_random(256, 5, 3, 17);
+        let outside_band = m
+            .iter()
+            .filter(|&(r, c, _)| (r as i64 - c as i64).abs() > 5)
+            .count();
+        assert!(outside_band > 0, "expected some off-band entries");
+        assert!(m.avg_degree() > 5.0);
+        assert!(m.avg_degree() <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn small_and_degenerate_sizes() {
+        assert_eq!(diagonal(0, 1.0).nnz(), 0);
+        assert_eq!(tridiagonal(1, -1.0, 2.0, -1.0).nnz(), 1);
+        let tiny = banded(3, 10, 0);
+        assert_eq!(tiny.shape(), (3, 3));
+        assert_eq!(tiny.nnz(), 9, "band wider than matrix becomes dense");
+    }
+}

@@ -1,0 +1,216 @@
+//! Algebraic multigrid (AMG) setup: aggregation coarsening and the Galerkin
+//! triple product.
+//!
+//! The Galerkin coarse-grid operator `A_c = Pᵀ·A·P` is the canonical
+//! scientific-computing use of SpGEMM (Ballard, Siefert, Hu — reference [6]
+//! of the paper): every AMG setup phase performs a chain of sparse
+//! matrix–matrix products.  This module provides a simple greedy aggregation
+//! coarsening (good enough to generate realistic `P` operators) and the
+//! triple product itself, parameterised by the SpGEMM engine.
+
+use pb_sparse::{Coo, Csr};
+
+use crate::engine::SpGemmEngine;
+
+/// One level of an AMG hierarchy: the piecewise-constant prolongation matrix
+/// and the Galerkin coarse operator it produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmgLevel {
+    /// Prolongation operator `P` (`n_fine × n_coarse`, one unit entry per row).
+    pub prolongation: Csr<f64>,
+    /// Coarse-grid operator `Pᵀ·A·P`.
+    pub coarse: Csr<f64>,
+}
+
+impl AmgLevel {
+    /// Number of fine-grid unknowns.
+    pub fn fine_size(&self) -> usize {
+        self.prolongation.nrows()
+    }
+
+    /// Number of coarse-grid unknowns.
+    pub fn coarse_size(&self) -> usize {
+        self.prolongation.ncols()
+    }
+
+    /// Coarsening ratio `n_fine / n_coarse`.
+    pub fn coarsening_ratio(&self) -> f64 {
+        self.fine_size() as f64 / self.coarse_size().max(1) as f64
+    }
+}
+
+/// Greedy aggregation coarsening.
+///
+/// Vertices are visited in order; every still-unaggregated vertex seeds a new
+/// aggregate together with its unaggregated strongly-connected neighbours
+/// (here: every stored off-diagonal neighbour).  Leftover vertices join the
+/// aggregate of an already-aggregated neighbour, or become singletons.
+///
+/// Returns the piecewise-constant prolongation matrix `P` with
+/// `P(i, aggregate(i)) = 1`.
+pub fn aggregate_coarsening(a: &Csr<f64>) -> Csr<f64> {
+    assert_eq!(a.nrows(), a.ncols(), "coarsening needs a square operator");
+    let n = a.nrows();
+    let mut aggregate: Vec<Option<usize>> = vec![None; n];
+    let mut next_aggregate = 0usize;
+
+    // Pass 1: seed aggregates from unaggregated vertices and their
+    // unaggregated neighbours.
+    for i in 0..n {
+        if aggregate[i].is_some() {
+            continue;
+        }
+        aggregate[i] = Some(next_aggregate);
+        for &j in a.row(i).0 {
+            let j = j as usize;
+            if j != i && aggregate[j].is_none() {
+                aggregate[j] = Some(next_aggregate);
+            }
+        }
+        next_aggregate += 1;
+    }
+
+    // Pass 2 is unnecessary with this seeding rule (every vertex is assigned
+    // in pass 1), but keep a defensive sweep for isolated vertices.
+    for agg in aggregate.iter_mut() {
+        if agg.is_none() {
+            *agg = Some(next_aggregate);
+            next_aggregate += 1;
+        }
+    }
+
+    let entries: Vec<(usize, usize, f64)> = aggregate
+        .iter()
+        .enumerate()
+        .map(|(i, agg)| (i, agg.expect("all vertices are aggregated"), 1.0))
+        .collect();
+    Coo::from_entries(n, next_aggregate.max(1), entries)
+        .expect("aggregate ids are dense and in bounds")
+        .to_csr()
+}
+
+/// The Galerkin triple product `Pᵀ·A·P`, computed as two SpGEMMs with the
+/// given engine.
+pub fn galerkin_product(a: &Csr<f64>, p: &Csr<f64>, engine: &SpGemmEngine) -> Csr<f64> {
+    assert_eq!(a.nrows(), a.ncols(), "the fine operator must be square");
+    assert_eq!(a.ncols(), p.nrows(), "P must map coarse unknowns to fine unknowns");
+    let ap = engine.multiply(a, p);
+    let pt = p.transpose();
+    engine.multiply(&pt, &ap)
+}
+
+/// Builds one coarsening level: aggregates the fine operator and forms the
+/// Galerkin coarse operator.
+pub fn coarsen(a: &Csr<f64>, engine: &SpGemmEngine) -> AmgLevel {
+    let prolongation = aggregate_coarsening(a);
+    let coarse = galerkin_product(a, &prolongation, engine);
+    AmgLevel { prolongation, coarse }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::erdos_renyi_square;
+    use pb_sparse::{ops, reference};
+
+    /// 1-D Poisson operator: tridiag(-1, 2, -1).
+    fn laplacian_1d(n: usize) -> Csr<f64> {
+        let mut entries = Vec::new();
+        for i in 0..n {
+            entries.push((i, i, 2.0));
+            if i + 1 < n {
+                entries.push((i, i + 1, -1.0));
+                entries.push((i + 1, i, -1.0));
+            }
+        }
+        Coo::from_entries(n, n, entries).unwrap().to_csr()
+    }
+
+    #[test]
+    fn prolongation_is_a_partition() {
+        let a = laplacian_1d(20);
+        let p = aggregate_coarsening(&a);
+        assert_eq!(p.nrows(), 20);
+        assert!(p.ncols() < 20, "coarsening must reduce the problem size");
+        // Exactly one unit entry per fine row.
+        for i in 0..p.nrows() {
+            assert_eq!(p.row_nnz(i), 1, "row {i}");
+            assert_eq!(p.row(i).1, &[1.0]);
+        }
+        // Every aggregate is non-empty.
+        let col_counts = ops::col_sums(&p);
+        assert!(col_counts.iter().all(|&c| c >= 1.0));
+    }
+
+    #[test]
+    fn galerkin_operator_matches_the_dense_reference() {
+        let a = laplacian_1d(16);
+        let p = aggregate_coarsening(&a);
+        let engine = SpGemmEngine::pb();
+        let coarse = galerkin_product(&a, &p, &engine);
+        let expected = reference::multiply_csr(&p.transpose(), &reference::multiply_csr(&a, &p));
+        assert!(reference::csr_approx_eq(&coarse, &expected, 1e-9));
+    }
+
+    #[test]
+    fn laplacian_structure_is_preserved_on_the_coarse_grid() {
+        let a = laplacian_1d(64);
+        let level = coarsen(&a, &SpGemmEngine::pb());
+        let coarse = &level.coarse;
+        assert!(level.coarse_size() < level.fine_size());
+        assert!(level.coarsening_ratio() >= 2.0);
+        // The Galerkin operator of a symmetric fine operator is symmetric.
+        assert!(ops::pattern_is_symmetric(coarse));
+        let diff = ops::add(&coarse.map_values(|v| -v), &coarse.transpose());
+        assert!(ops::max_abs(&diff) < 1e-9, "coarse operator must stay numerically symmetric");
+        // A 1-D Laplacian has zero row sums except at the two boundary rows;
+        // piecewise-constant aggregation preserves that null-space property.
+        let row_sums = ops::row_sums(&coarse);
+        let interior_nonzero =
+            row_sums[1..row_sums.len() - 1].iter().filter(|s| s.abs() > 1e-9).count();
+        assert_eq!(interior_nonzero, 0, "interior row sums must vanish: {row_sums:?}");
+    }
+
+    #[test]
+    fn all_engines_build_the_same_coarse_operator() {
+        let a = {
+            // Symmetrise a random sparse matrix to make it operator-like.
+            let r = erdos_renyi_square(6, 4, 31);
+            ops::add(&r, &r.transpose())
+        };
+        let p = aggregate_coarsening(&a);
+        let reference_coarse = galerkin_product(&a, &p, &SpGemmEngine::Reference);
+        for engine in SpGemmEngine::paper_set() {
+            let coarse = galerkin_product(&a, &p, &engine);
+            assert!(
+                reference::csr_approx_eq(&coarse, &reference_coarse, 1e-9),
+                "{} disagrees",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_coarsening_shrinks_to_a_handful_of_unknowns() {
+        let mut current = laplacian_1d(200);
+        let mut sizes = vec![current.nrows()];
+        for _ in 0..6 {
+            if current.nrows() <= 4 {
+                break;
+            }
+            let level = coarsen(&current, &SpGemmEngine::pb());
+            sizes.push(level.coarse_size());
+            current = level.coarse;
+        }
+        assert!(sizes.windows(2).all(|w| w[1] < w[0]), "sizes must strictly decrease: {sizes:?}");
+        assert!(*sizes.last().unwrap() <= 10);
+    }
+
+    #[test]
+    fn isolated_vertices_become_singleton_aggregates() {
+        let a = Coo::from_entries(3, 3, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap().to_csr();
+        let p = aggregate_coarsening(&a);
+        assert_eq!(p.ncols(), 2);
+        assert_eq!(p.get(2, 1), Some(1.0));
+    }
+}

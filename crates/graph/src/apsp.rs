@@ -1,0 +1,178 @@
+//! All-pairs shortest paths by min-plus matrix squaring.
+//!
+//! Under the tropical semiring `(min, +)`, `D ⊗ D` relaxes every path by one
+//! doubling of its hop count, so `⌈log₂ n⌉` squarings of the one-hop distance
+//! matrix yield all-pairs shortest path lengths.  Each squaring is one
+//! SpGEMM, making this a compact stress test of the semiring-generic kernels
+//! (the output densifies quickly, so it is only sensible for small graphs —
+//! see [`APSP_DENSE_LIMIT`]).
+
+use pb_sparse::semiring::MinPlus;
+use pb_sparse::{ops, Coo, Csr};
+
+use crate::engine::SpGemmEngine;
+
+/// Above this many vertices the distance matrix is essentially dense and the
+/// repeated-squaring approach stops being sensible; callers get a debug
+/// assertion rather than silent quadratic memory use.
+pub const APSP_DENSE_LIMIT: usize = 4096;
+
+/// Computes all-pairs shortest path distances for the non-negatively weighted
+/// directed graph `weights` (`weights(u, v)` = length of edge `u → v`).
+///
+/// Returns a CSR matrix whose entry `(u, v)` is the distance from `u` to `v`;
+/// unreachable pairs are simply not stored.  Diagonal entries are stored with
+/// distance zero.
+pub fn apsp_minplus(weights: &Csr<f64>, engine: &SpGemmEngine) -> Csr<f64> {
+    assert_eq!(weights.nrows(), weights.ncols(), "APSP needs a square matrix");
+    debug_assert!(
+        weights.nrows() <= APSP_DENSE_LIMIT,
+        "min-plus APSP on {} vertices would densify; use a per-source algorithm instead",
+        weights.nrows()
+    );
+    let n = weights.nrows();
+    if n == 0 {
+        return Csr::empty(0, 0);
+    }
+
+    // One-hop distance matrix with an explicit zero diagonal (the min-plus
+    // multiplicative identity lives on the diagonal).
+    let diag: Csr<f64> = Coo::from_entries(n, n, (0..n).map(|i| (i, i, 0.0)).collect::<Vec<_>>())
+        .expect("diagonal indices are in bounds")
+        .to_csr_with::<MinPlus>();
+    let mut dist = ops::add_with::<MinPlus>(&ops::remove_diagonal(weights), &diag);
+
+    // Repeated squaring: after k rounds, paths of up to 2^k hops are exact.
+    let mut hops = 1usize;
+    while hops < n.saturating_sub(1) {
+        let squared = engine.multiply_with::<MinPlus>(&dist, &dist);
+        // Keep the entry-wise minimum with the previous estimate (squaring
+        // under min-plus already includes the identity via the zero diagonal,
+        // but merging defends against explicit +inf entries).
+        let next = ops::add_with::<MinPlus>(&squared, &dist);
+        let done = matrices_equal(&next, &dist);
+        dist = next;
+        if done {
+            break;
+        }
+        hops *= 2;
+    }
+    // Drop the unreachable (+inf) entries that min-plus merges may have kept.
+    dist.prune(|_, _, v| v.is_finite())
+}
+
+fn matrices_equal(a: &Csr<f64>, b: &Csr<f64>) -> bool {
+    a.shape() == b.shape()
+        && a.rowptr() == b.rowptr()
+        && a.colidx() == b.colidx()
+        && a.values().iter().zip(b.values()).all(|(x, y)| (x - y).abs() < 1e-12 || (x.is_infinite() && y.is_infinite()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::erdos_renyi_square;
+
+    /// Floyd–Warshall oracle on a dense matrix.
+    fn oracle(weights: &Csr<f64>) -> Vec<Vec<f64>> {
+        let n = weights.nrows();
+        let mut d = vec![vec![f64::INFINITY; n]; n];
+        for i in 0..n {
+            d[i][i] = 0.0;
+        }
+        for (u, v, w) in weights.iter() {
+            if u != v {
+                let (u, v) = (u as usize, v as usize);
+                d[u][v] = d[u][v].min(w);
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if d[i][k] + d[k][j] < d[i][j] {
+                        d[i][j] = d[i][k] + d[k][j];
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    fn check_against_oracle(weights: &Csr<f64>, engine: &SpGemmEngine) {
+        let dist = apsp_minplus(weights, engine);
+        let expected = oracle(weights);
+        let n = weights.nrows();
+        for i in 0..n {
+            for j in 0..n {
+                let got = dist.get(i, j).unwrap_or(f64::INFINITY);
+                assert!(
+                    (got - expected[i][j]).abs() < 1e-9
+                        || (got.is_infinite() && expected[i][j].is_infinite()),
+                    "({i}, {j}): got {got}, expected {}",
+                    expected[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_cycle_distances() {
+        // Directed 4-cycle with weights 1, 2, 3, 4.
+        let g = Coo::from_entries(
+            4,
+            4,
+            vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)],
+        )
+        .unwrap()
+        .to_csr();
+        let dist = apsp_minplus(&g, &SpGemmEngine::pb());
+        assert_eq!(dist.get(0, 3), Some(6.0)); // 1 + 2 + 3
+        assert_eq!(dist.get(3, 2), Some(7.0)); // 4 + 1 + 2
+        assert_eq!(dist.get(2, 2), Some(0.0));
+        check_against_oracle(&g, &SpGemmEngine::pb());
+    }
+
+    #[test]
+    fn shortcut_beats_the_long_way_round() {
+        let g = Coo::from_entries(
+            3,
+            3,
+            vec![(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)],
+        )
+        .unwrap()
+        .to_csr();
+        let dist = apsp_minplus(&g, &SpGemmEngine::pb());
+        assert_eq!(dist.get(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn unreachable_pairs_are_not_stored() {
+        let g = Coo::from_entries(4, 4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap().to_csr();
+        let dist = apsp_minplus(&g, &SpGemmEngine::pb());
+        assert_eq!(dist.get(0, 3), None);
+        assert_eq!(dist.get(1, 0), None);
+        assert_eq!(dist.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn matches_floyd_warshall_on_random_graphs_for_all_engines() {
+        for seed in [3u64, 8] {
+            // Small random digraphs with weights in (0, 1].
+            let g = erdos_renyi_square(4, 3, seed).map_values(|v| v.abs().max(0.05));
+            for engine in SpGemmEngine::paper_set() {
+                check_against_oracle(&g, &engine);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_and_empty_graphs() {
+        let g = Coo::from_entries(2, 2, vec![(0, 0, 5.0), (0, 1, 2.0)]).unwrap().to_csr();
+        let dist = apsp_minplus(&g, &SpGemmEngine::pb());
+        assert_eq!(dist.get(0, 0), Some(0.0), "self loops never beat the empty path");
+        assert_eq!(dist.get(0, 1), Some(2.0));
+
+        let empty = Csr::<f64>::empty(0, 0);
+        assert_eq!(apsp_minplus(&empty, &SpGemmEngine::pb()).nnz(), 0);
+    }
+}

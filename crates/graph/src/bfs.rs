@@ -1,0 +1,245 @@
+//! Breadth-first search: single-source (SpMSpV) and multi-source (SpGEMM).
+//!
+//! Multi-source BFS is one of the paper's motivating applications (Gilbert,
+//! Reinhardt, Shah — reference [3]): a batch of `s` searches advances all
+//! frontiers at once by multiplying the transposed adjacency matrix with an
+//! `n × s` boolean frontier matrix under the `(∨, ∧)` semiring.  Each
+//! iteration is one SpGEMM, so the kernel exercises tall-and-skinny products
+//! rather than the square products of the other kernels.
+
+use pb_sparse::semiring::OrAnd;
+use pb_sparse::vector::SparseVec;
+use pb_sparse::{Coo, Csr, Index};
+use pb_spmv::spmspv::spmspv_with;
+
+use crate::engine::SpGemmEngine;
+
+/// Result of a (multi-source) breadth-first search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfsResult {
+    /// `levels[k][v]` is the BFS depth of vertex `v` from the `k`-th source
+    /// (`None` if unreachable).  Sources themselves have depth 0.
+    pub levels: Vec<Vec<Option<u32>>>,
+    /// Number of frontier-expansion steps performed (the eccentricity of the
+    /// deepest search).
+    pub iterations: usize,
+}
+
+impl BfsResult {
+    /// Number of vertices reached (including the source) by search `k`.
+    pub fn reached(&self, k: usize) -> usize {
+        self.levels[k].iter().filter(|l| l.is_some()).count()
+    }
+}
+
+/// Single-source BFS over the directed graph `adjacency` (`adjacency(u, v)`
+/// stored ⇔ edge `u → v`), implemented with sparse matrix–sparse vector
+/// products.
+pub fn single_source_bfs<T: pb_sparse::Scalar>(
+    adjacency: &Csr<T>,
+    source: usize,
+) -> Vec<Option<u32>> {
+    assert_eq!(adjacency.nrows(), adjacency.ncols(), "BFS needs a square adjacency matrix");
+    let n = adjacency.nrows();
+    assert!(source < n, "source vertex {source} is out of bounds for {n} vertices");
+    // Aᵀ pushes the frontier along out-edges.
+    let at = adjacency.map_values(|_| true).transpose().to_csc();
+
+    let mut levels: Vec<Option<u32>> = vec![None; n];
+    levels[source] = Some(0);
+    let mut frontier = SparseVec::from_entries_with::<OrAnd>(n, vec![(source, true)])
+        .expect("source index is validated above");
+
+    let mut depth = 0u32;
+    while frontier.nnz() > 0 && (depth as usize) <= n {
+        depth += 1;
+        let next = spmspv_with::<OrAnd>(&at, &frontier);
+        // Keep only newly discovered vertices.
+        let fresh = next.filter(|v, _| levels[v as usize].is_none());
+        for (v, _) in fresh.iter() {
+            levels[v as usize] = Some(depth);
+        }
+        frontier = fresh;
+    }
+    levels
+}
+
+/// Multi-source BFS: runs one search per entry of `sources`, advancing all
+/// frontiers simultaneously with one SpGEMM per depth level.
+pub fn multi_source_bfs<T: pb_sparse::Scalar>(
+    adjacency: &Csr<T>,
+    sources: &[usize],
+    engine: &SpGemmEngine,
+) -> BfsResult {
+    assert_eq!(adjacency.nrows(), adjacency.ncols(), "BFS needs a square adjacency matrix");
+    let n = adjacency.nrows();
+    let s = sources.len();
+    for &src in sources {
+        assert!(src < n, "source vertex {src} is out of bounds for {n} vertices");
+    }
+
+    let at: Csr<bool> = adjacency.map_values(|_| true).transpose();
+
+    let mut levels: Vec<Vec<Option<u32>>> = vec![vec![None; n]; s];
+    for (k, &src) in sources.iter().enumerate() {
+        levels[k][src] = Some(0);
+    }
+    if s == 0 || n == 0 {
+        return BfsResult { levels, iterations: 0 };
+    }
+
+    // Frontier matrix F (n × s): F(v, k) = true when vertex v is on the
+    // current frontier of search k.
+    let mut frontier: Csr<bool> = Coo::from_entries(
+        n,
+        s,
+        sources.iter().enumerate().map(|(k, &src)| (src, k, true)).collect::<Vec<_>>(),
+    )
+    .expect("sources are validated above")
+    .to_csr_with::<OrAnd>();
+
+    let mut depth = 0u32;
+    let mut iterations = 0usize;
+    while frontier.nnz() > 0 && (depth as usize) <= n {
+        depth += 1;
+        let advanced = engine.multiply_with::<OrAnd>(&at, &frontier);
+        // Keep only (vertex, search) pairs not seen before and record them.
+        let fresh = advanced.prune(|v, k, _| levels[k as usize][v as usize].is_none());
+        if fresh.nnz() == 0 {
+            break;
+        }
+        for (v, k, _) in fresh.iter() {
+            levels[k as usize][v as usize] = Some(depth);
+        }
+        frontier = fresh;
+        iterations += 1;
+    }
+
+    BfsResult { levels, iterations }
+}
+
+/// Convenience: BFS levels from every vertex in `0..k` (used by examples and
+/// benches to build a tall-and-skinny workload deterministically).
+pub fn multi_source_bfs_first_k<T: pb_sparse::Scalar>(
+    adjacency: &Csr<T>,
+    k: usize,
+    engine: &SpGemmEngine,
+) -> BfsResult {
+    let sources: Vec<usize> = (0..k.min(adjacency.nrows())).collect();
+    multi_source_bfs(adjacency, &sources, engine)
+}
+
+/// Index type re-exported for frontier-matrix construction in user code.
+pub type VertexId = Index;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::rmat_square;
+
+    /// Textbook queue-based BFS used as the oracle.
+    fn oracle_bfs(adjacency: &Csr<f64>, source: usize) -> Vec<Option<u32>> {
+        let n = adjacency.nrows();
+        let mut levels = vec![None; n];
+        levels[source] = Some(0);
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            let d = levels[u].expect("queued vertices have levels");
+            for &v in adjacency.row(u).0 {
+                if levels[v as usize].is_none() {
+                    levels[v as usize] = Some(d + 1);
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+        levels
+    }
+
+    fn path_graph(n: usize) -> Csr<f64> {
+        let entries: Vec<(usize, usize, f64)> = (0..n - 1).map(|u| (u, u + 1, 1.0)).collect();
+        Coo::from_entries(n, n, entries).unwrap().to_csr()
+    }
+
+    #[test]
+    fn single_source_on_a_path() {
+        let g = path_graph(6);
+        let levels = single_source_bfs(&g, 0);
+        assert_eq!(levels, (0..6).map(|d| Some(d as u32)).collect::<Vec<_>>());
+        // From the last vertex nothing is reachable (edges are directed).
+        let levels = single_source_bfs(&g, 5);
+        assert_eq!(levels.iter().filter(|l| l.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn single_source_matches_the_oracle_on_random_graphs() {
+        for seed in [4u64, 9] {
+            let g = rmat_square(6, 4, seed);
+            for source in [0usize, 7, 31] {
+                assert_eq!(single_source_bfs(&g, source), oracle_bfs(&g, source), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_agrees_with_repeated_single_source() {
+        let g = rmat_square(6, 5, 13);
+        let sources = [0usize, 3, 17, 40];
+        for engine in SpGemmEngine::paper_set() {
+            let result = multi_source_bfs(&g, &sources, &engine);
+            for (k, &src) in sources.iter().enumerate() {
+                assert_eq!(
+                    result.levels[k],
+                    oracle_bfs(&g, src),
+                    "engine {} source {src}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        // Two components: 0-1-2 and 3-4.
+        let g = Coo::from_entries(
+            5,
+            5,
+            vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (3, 4, 1.0), (4, 3, 1.0)],
+        )
+        .unwrap()
+        .to_csr();
+        let result = multi_source_bfs(&g, &[0, 3], &SpGemmEngine::pb());
+        assert_eq!(result.reached(0), 3);
+        assert_eq!(result.reached(1), 2);
+        assert_eq!(result.levels[0][3], None);
+        assert_eq!(result.levels[1][0], None);
+    }
+
+    #[test]
+    fn zero_sources_and_tiny_graphs() {
+        let g = path_graph(4);
+        let result = multi_source_bfs(&g, &[], &SpGemmEngine::pb());
+        assert_eq!(result.iterations, 0);
+        assert!(result.levels.is_empty());
+
+        let single = Csr::<f64>::empty(1, 1);
+        let levels = single_source_bfs(&single, 0);
+        assert_eq!(levels, vec![Some(0)]);
+    }
+
+    #[test]
+    fn first_k_helper_uses_the_first_vertices() {
+        let g = rmat_square(5, 4, 2);
+        let result = multi_source_bfs_first_k(&g, 3, &SpGemmEngine::pb());
+        assert_eq!(result.levels.len(), 3);
+        for (k, lv) in result.levels.iter().enumerate() {
+            assert_eq!(lv[k], Some(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn invalid_source_panics() {
+        let g = path_graph(3);
+        let _ = single_source_bfs(&g, 10);
+    }
+}

@@ -1,0 +1,116 @@
+//! Engine selection: every graph kernel is parameterised by *which* SpGEMM
+//! implementation performs its matrix products, so the application-level
+//! benchmarks can compare PB-SpGEMM against the column-SpGEMM baselines on
+//! identical workloads.
+
+use pb_baseline::Baseline;
+use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::{reference, Csr};
+use pb_spgemm::PbConfig;
+
+/// Which SpGEMM implementation a graph kernel uses for its matrix products.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpGemmEngine {
+    /// The paper's outer-product propagation-blocking algorithm.
+    PropagationBlocking(PbConfig),
+    /// One of the column-SpGEMM baselines (heap / hash / hashvec / SPA /
+    /// column ESC).
+    Baseline(Baseline),
+    /// The sequential Gustavson reference implementation — the correctness
+    /// oracle, useful for small cross-checks.
+    Reference,
+}
+
+impl Default for SpGemmEngine {
+    fn default() -> Self {
+        SpGemmEngine::PropagationBlocking(PbConfig::default())
+    }
+}
+
+impl SpGemmEngine {
+    /// PB-SpGEMM with its default configuration.
+    pub fn pb() -> Self {
+        SpGemmEngine::default()
+    }
+
+    /// A representative set of engines for application-level sweeps:
+    /// PB-SpGEMM plus the three baselines the paper plots.
+    pub fn paper_set() -> Vec<SpGemmEngine> {
+        let mut engines = vec![SpGemmEngine::pb()];
+        engines.extend(Baseline::paper_set().iter().map(|&b| SpGemmEngine::Baseline(b)));
+        engines
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpGemmEngine::PropagationBlocking(_) => "PB-SpGEMM",
+            SpGemmEngine::Baseline(b) => b.name(),
+            SpGemmEngine::Reference => "Reference",
+        }
+    }
+
+    /// Computes `A·B` under an arbitrary semiring with this engine.
+    ///
+    /// Operands are taken in CSR; the PB engine converts `A` to CSC
+    /// internally (its outer-product formulation needs column access).
+    pub fn multiply_with<S: Semiring>(
+        &self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+    ) -> Csr<S::Elem>
+    where
+        S::Elem: Default,
+    {
+        match self {
+            SpGemmEngine::PropagationBlocking(cfg) => {
+                pb_spgemm::multiply_with::<S>(&a.to_csc(), b, cfg)
+            }
+            SpGemmEngine::Baseline(baseline) => baseline.multiply_with::<S>(a, b),
+            SpGemmEngine::Reference => reference::multiply_csr_with::<S>(a, b),
+        }
+    }
+
+    /// Computes `A·B` with ordinary `+`/`×` over a numeric type.
+    pub fn multiply<T: Numeric + Default>(&self, a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+        self.multiply_with::<PlusTimes<T>>(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::rmat_square;
+    use pb_sparse::reference::csr_approx_eq;
+    use pb_sparse::semiring::OrAnd;
+
+    #[test]
+    fn every_engine_computes_the_same_product() {
+        let a = rmat_square(7, 5, 3);
+        let expected = reference::multiply_csr(&a, &a);
+        for engine in SpGemmEngine::paper_set() {
+            let c = engine.multiply(&a, &a);
+            assert!(csr_approx_eq(&c, &expected, 1e-9), "{} disagrees", engine.name());
+        }
+        let c = SpGemmEngine::Reference.multiply(&a, &a);
+        assert!(csr_approx_eq(&c, &expected, 1e-12));
+    }
+
+    #[test]
+    fn boolean_products_agree_across_engines() {
+        let a = rmat_square(6, 4, 9).map_values(|_| true);
+        let expected = reference::multiply_csr_with::<OrAnd>(&a, &a);
+        for engine in SpGemmEngine::paper_set() {
+            let c = engine.multiply_with::<OrAnd>(&a, &a);
+            assert_eq!(c.rowptr(), expected.rowptr(), "{}", engine.name());
+            assert_eq!(c.colidx(), expected.colidx(), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn names_and_default() {
+        assert_eq!(SpGemmEngine::default().name(), "PB-SpGEMM");
+        assert_eq!(SpGemmEngine::Baseline(Baseline::Hash).name(), "HashSpGEMM");
+        assert_eq!(SpGemmEngine::paper_set().len(), 4);
+    }
+}

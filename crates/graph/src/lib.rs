@@ -1,0 +1,33 @@
+//! # pb-graph — graph analytics on top of PB-SpGEMM
+//!
+//! The paper motivates SpGEMM with a list of graph and data-analytics
+//! workloads: triangle counting and clustering coefficients, multi-source
+//! breadth-first search, Markov clustering, betweenness centrality, algebraic
+//! multigrid and cycle detection.  This crate implements those kernels in
+//! terms of the workspace's SpGEMM engines so they double as end-to-end,
+//! application-level exercises of the public API.
+//!
+//! Every kernel takes a [`SpGemmEngine`], so the same application code can
+//! run on PB-SpGEMM or on any of the column-SpGEMM baselines — which is how
+//! the application-level benchmarks compare them.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod amg;
+pub mod apsp;
+pub mod bc;
+pub mod bfs;
+pub mod cycles;
+pub mod engine;
+pub mod mcl;
+pub mod triangles;
+
+pub use amg::{aggregate_coarsening, coarsen, galerkin_product, AmgLevel};
+pub use apsp::{apsp_minplus, APSP_DENSE_LIMIT};
+pub use bc::betweenness_centrality;
+pub use bfs::{multi_source_bfs, single_source_bfs, BfsResult};
+pub use cycles::{count_closed_walks, has_cycle_of_length};
+pub use engine::SpGemmEngine;
+pub use mcl::{markov_cluster, MclConfig, MclResult};
+pub use triangles::{clustering_coefficients, count_triangles, triangle_counts_per_vertex};

@@ -1,0 +1,288 @@
+//! Markov clustering (MCL).
+//!
+//! MCL (van Dongen; HipMCL is reference [9] of the paper) alternates two
+//! operations on a column-stochastic matrix until it reaches a fixed point:
+//!
+//! * **Expansion** — squaring the matrix (one SpGEMM per iteration), which
+//!   spreads probability mass along longer random walks;
+//! * **Inflation** — raising entries to a power `r > 1` and re-normalising
+//!   columns, which sharpens the distribution towards attractors.
+//!
+//! Entries below a pruning threshold are dropped each iteration, keeping the
+//! matrix sparse.  At convergence, vertices that end up sending their mass to
+//! the same attractor rows form a cluster.  Expansion dominates the runtime,
+//! which is why MCL is a flagship SpGEMM application.
+
+use pb_sparse::{ops, Csr};
+
+use crate::engine::SpGemmEngine;
+
+/// Configuration of the Markov clustering iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MclConfig {
+    /// Inflation exponent `r` (> 1 sharpens; the classic default is 2).
+    pub inflation: f64,
+    /// Entries below this value are dropped after every iteration.
+    pub prune_threshold: f64,
+    /// Convergence threshold on the largest entry-wise change.
+    pub tolerance: f64,
+    /// Hard cap on the number of expansion/inflation rounds.
+    pub max_iterations: usize,
+    /// SpGEMM engine used for the expansion step.
+    pub engine: SpGemmEngine,
+    /// Weight added to the diagonal before normalisation (self loops make
+    /// the iteration numerically robust; the classic choice is 1).
+    pub self_loop_weight: f64,
+}
+
+impl Default for MclConfig {
+    fn default() -> Self {
+        MclConfig {
+            inflation: 2.0,
+            prune_threshold: 1e-5,
+            tolerance: 1e-8,
+            max_iterations: 60,
+            engine: SpGemmEngine::pb(),
+            self_loop_weight: 1.0,
+        }
+    }
+}
+
+/// Result of a Markov clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MclResult {
+    /// Cluster id of every vertex (ids are contiguous from 0).
+    pub clusters: Vec<usize>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+    /// Number of expansion/inflation rounds performed.
+    pub iterations: usize,
+    /// Whether the iteration reached the tolerance before the cap.
+    pub converged: bool,
+}
+
+/// Raises every stored value to the power `r` and re-normalises columns.
+fn inflate(m: &Csr<f64>, r: f64) -> Csr<f64> {
+    let powered = m.map_values(|v| v.abs().powf(r));
+    ops::column_stochastic(&powered)
+}
+
+/// Runs Markov clustering on the graph whose (symmetric or not, weighted or
+/// not) adjacency matrix is `adjacency`.
+pub fn markov_cluster(adjacency: &Csr<f64>, config: &MclConfig) -> MclResult {
+    assert_eq!(adjacency.nrows(), adjacency.ncols(), "MCL needs a square adjacency matrix");
+    let n = adjacency.nrows();
+    if n == 0 {
+        return MclResult { clusters: Vec::new(), num_clusters: 0, iterations: 0, converged: true };
+    }
+
+    // Symmetrise, add self loops, normalise columns.
+    let sym = ops::add(&adjacency.map_values(|v| v.abs()), &adjacency.map_values(|v| v.abs()).transpose());
+    let with_loops = ops::add(
+        &ops::remove_diagonal(&sym),
+        &Csr::<f64>::identity(n).map_values(|_| config.self_loop_weight),
+    );
+    let mut m = ops::column_stochastic(&with_loops);
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    while iterations < config.max_iterations {
+        // Expansion: M ← M·M (one SpGEMM).
+        let expanded = config.engine.multiply(&m, &m);
+        // Inflation + pruning + re-normalisation.
+        let inflated = inflate(&expanded, config.inflation);
+        let pruned = inflated.prune(|_, _, v| v >= config.prune_threshold);
+        let next = ops::column_stochastic(&pruned);
+
+        iterations += 1;
+        let delta = max_entry_difference(&m, &next);
+        m = next;
+        if delta < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    let (clusters, num_clusters) = extract_clusters(&m);
+    MclResult { clusters, num_clusters, iterations, converged }
+}
+
+/// Largest absolute difference between entries of two matrices with possibly
+/// different sparsity patterns.
+fn max_entry_difference(a: &Csr<f64>, b: &Csr<f64>) -> f64 {
+    let mut delta = 0.0f64;
+    for i in 0..a.nrows() {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() || q < bc.len() {
+            match (ac.get(p), bc.get(q)) {
+                (Some(&ca), Some(&cb)) if ca == cb => {
+                    delta = delta.max((av[p] - bv[q]).abs());
+                    p += 1;
+                    q += 1;
+                }
+                (Some(&ca), Some(&cb)) if ca < cb => {
+                    delta = delta.max(av[p].abs());
+                    p += 1;
+                }
+                (Some(_), Some(_)) => {
+                    delta = delta.max(bv[q].abs());
+                    q += 1;
+                }
+                (Some(_), None) => {
+                    delta = delta.max(av[p].abs());
+                    p += 1;
+                }
+                (None, Some(_)) => {
+                    delta = delta.max(bv[q].abs());
+                    q += 1;
+                }
+                (None, None) => break,
+            }
+        }
+    }
+    delta
+}
+
+/// Interprets the converged matrix: column `j` is attracted to the rows where
+/// it keeps mass; vertices sharing an attractor (transitively) form a
+/// cluster.  Implemented as connected components over the attractor relation
+/// with a union–find.
+fn extract_clusters(m: &Csr<f64>) -> (Vec<usize>, usize) {
+    let n = m.nrows();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+
+    for (r, c, v) in m.iter() {
+        if v > 1e-9 {
+            union(&mut parent, r as usize, c as usize);
+        }
+    }
+
+    let mut label_of_root = std::collections::HashMap::new();
+    let mut clusters = vec![0usize; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        let root = find(&mut parent, v);
+        let label = *label_of_root.entry(root).or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        });
+        clusters[v] = label;
+    }
+    (clusters, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_sparse::Coo;
+
+    /// Two dense 4-cliques joined by a single weak edge.
+    fn two_cliques() -> Csr<f64> {
+        let mut entries = Vec::new();
+        for block in 0..2usize {
+            let base = block * 4;
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        entries.push((base + i, base + j, 1.0));
+                    }
+                }
+            }
+        }
+        entries.push((3, 4, 0.1));
+        entries.push((4, 3, 0.1));
+        Coo::from_entries(8, 8, entries).unwrap().to_csr()
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let g = two_cliques();
+        let result = markov_cluster(&g, &MclConfig::default());
+        assert!(result.converged, "MCL did not converge in {} iterations", result.iterations);
+        assert_eq!(result.num_clusters, 2);
+        // All of the first clique shares a label, all of the second shares the
+        // other label.
+        let first = result.clusters[0];
+        let second = result.clusters[4];
+        assert_ne!(first, second);
+        assert!(result.clusters[..4].iter().all(|&c| c == first));
+        assert!(result.clusters[4..].iter().all(|&c| c == second));
+    }
+
+    #[test]
+    fn all_engines_find_the_same_clustering() {
+        let g = two_cliques();
+        let reference = markov_cluster(&g, &MclConfig::default());
+        for engine in SpGemmEngine::paper_set() {
+            let cfg = MclConfig { engine, ..MclConfig::default() };
+            let result = markov_cluster(&g, &cfg);
+            assert_eq!(result.num_clusters, reference.num_clusters, "{}", engine.name());
+            assert_eq!(result.clusters, reference.clusters, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn disconnected_components_become_separate_clusters() {
+        // Three isolated edges -> three clusters.
+        let g = Coo::from_entries(
+            6,
+            6,
+            vec![(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0), (4, 5, 1.0), (5, 4, 1.0)],
+        )
+        .unwrap()
+        .to_csr();
+        let result = markov_cluster(&g, &MclConfig::default());
+        assert_eq!(result.num_clusters, 3);
+    }
+
+    #[test]
+    fn isolated_vertices_form_singleton_clusters() {
+        let g = Coo::from_entries(4, 4, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap().to_csr();
+        let result = markov_cluster(&g, &MclConfig::default());
+        assert_eq!(result.num_clusters, 3); // {0,1}, {2}, {3}
+        assert_eq!(result.clusters[0], result.clusters[1]);
+        assert_ne!(result.clusters[2], result.clusters[3]);
+    }
+
+    #[test]
+    fn higher_inflation_never_merges_more() {
+        let g = two_cliques();
+        let soft = markov_cluster(&g, &MclConfig { inflation: 1.4, ..MclConfig::default() });
+        let sharp = markov_cluster(&g, &MclConfig { inflation: 3.0, ..MclConfig::default() });
+        assert!(sharp.num_clusters >= soft.num_clusters);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::<f64>::empty(0, 0);
+        let result = markov_cluster(&g, &MclConfig::default());
+        assert_eq!(result.num_clusters, 0);
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let g = two_cliques();
+        let cfg = MclConfig { max_iterations: 1, tolerance: 0.0, ..MclConfig::default() };
+        let result = markov_cluster(&g, &cfg);
+        assert_eq!(result.iterations, 1);
+        assert!(!result.converged);
+    }
+}

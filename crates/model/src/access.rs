@@ -1,0 +1,223 @@
+//! Access-pattern characterisation of SpGEMM algorithm classes (Table II)
+//! and the memory-traffic estimates behind the practical AI bounds.
+
+use pb_sparse::stats::MultiplyStats;
+use serde::Serialize;
+
+use crate::BYTES_PER_NONZERO;
+
+/// The three algorithm classes of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AlgorithmClass {
+    /// Column SpGEMM with heap / hash / SPA accumulators.
+    ColumnAccumulator,
+    /// Column-wise expand–sort–compress.
+    ColumnEsc,
+    /// Outer-product expand–sort–compress with propagation blocking
+    /// (PB-SpGEMM).
+    OuterEsc,
+}
+
+impl AlgorithmClass {
+    /// All classes in Table II order.
+    pub fn all() -> &'static [AlgorithmClass] {
+        &[AlgorithmClass::ColumnAccumulator, AlgorithmClass::ColumnEsc, AlgorithmClass::OuterEsc]
+    }
+
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmClass::ColumnAccumulator => "Column SpGEMM (Heap/Hash/SPA)",
+            AlgorithmClass::ColumnEsc => "ESC (column-wise)",
+            AlgorithmClass::OuterEsc => "ESC (outer product)",
+        }
+    }
+}
+
+/// One row of Table II: how many times each matrix is accessed, whether the
+/// accesses stream, and whether full cache lines are used, when multiplying
+/// two ER matrices with `d` nonzeros per column.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AccessRow {
+    /// Algorithm class this row describes.
+    pub class: AlgorithmClass,
+    /// Number of times `A` is read (in units of `nnz(A)`).
+    pub reads_a: f64,
+    /// Number of times `B` is read.
+    pub reads_b: f64,
+    /// Number of times the expanded matrix `Ĉ` is read or written from
+    /// memory.
+    pub accesses_chat: f64,
+    /// Number of times `C` is written.
+    pub writes_c: f64,
+    /// Whether accesses to `A` stream (sequential, latency-free).
+    pub streams_a: bool,
+    /// Whether accesses to `Ĉ` stream.
+    pub streams_chat: bool,
+    /// Whether reads of `A` use full cache lines (false when `d < 8` for
+    /// column algorithms, which fetch short columns at random).
+    pub full_lines_a: bool,
+}
+
+/// Builds Table II for ER matrices with `d` nonzeros per column.
+pub fn access_table(d: f64) -> Vec<AccessRow> {
+    vec![
+        AccessRow {
+            class: AlgorithmClass::ColumnAccumulator,
+            reads_a: d,
+            reads_b: 1.0,
+            accesses_chat: 0.0,
+            writes_c: 1.0,
+            streams_a: false,
+            streams_chat: true,
+            full_lines_a: d >= 8.0,
+        },
+        AccessRow {
+            class: AlgorithmClass::ColumnEsc,
+            reads_a: d,
+            reads_b: 1.0,
+            accesses_chat: 2.0,
+            writes_c: 1.0,
+            streams_a: false,
+            streams_chat: false,
+            full_lines_a: d >= 8.0,
+        },
+        AccessRow {
+            class: AlgorithmClass::OuterEsc,
+            reads_a: 1.0,
+            reads_b: 1.0,
+            accesses_chat: 2.0,
+            writes_c: 1.0,
+            streams_a: true,
+            streams_chat: true,
+            full_lines_a: true,
+        },
+    ]
+}
+
+/// Estimated memory traffic (bytes) and arithmetic intensity of a concrete
+/// multiplication under each algorithm class's worst-case access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TrafficEstimate {
+    /// Algorithm class.
+    pub class: AlgorithmClass,
+    /// Estimated bytes moved to/from memory.
+    pub bytes: u64,
+    /// Resulting arithmetic intensity (flop / bytes).
+    pub ai: f64,
+}
+
+/// Computes the Table II traffic estimates for a concrete multiplication.
+///
+/// * Column accumulator (Eq. 3's numerator): `A` is read once per flop, `B`
+///   and `C` once.
+/// * Column ESC: additionally writes and reads `Ĉ`.
+/// * Outer ESC (Eq. 4): `A` and `B` once, `Ĉ` written + read, `C` once.
+pub fn traffic_estimates(stats: &MultiplyStats) -> Vec<TrafficEstimate> {
+    let b = BYTES_PER_NONZERO as u64;
+    let flop = stats.flop;
+    let nnz_a = stats.nnz_a as u64;
+    let nnz_b = stats.nnz_b as u64;
+    let nnz_c = stats.nnz_c as u64;
+
+    let column = b * (flop + nnz_b + nnz_c);
+    let column_esc = b * (flop + nnz_b + 2 * flop + nnz_c);
+    let outer = b * (nnz_a + nnz_b + 2 * flop + nnz_c);
+
+    [
+        (AlgorithmClass::ColumnAccumulator, column),
+        (AlgorithmClass::ColumnEsc, column_esc),
+        (AlgorithmClass::OuterEsc, outer),
+    ]
+    .into_iter()
+    .map(|(class, bytes)| TrafficEstimate {
+        class,
+        bytes,
+        ai: if bytes == 0 { 0.0 } else { flop as f64 / bytes as f64 },
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::erdos_renyi_square;
+
+    #[test]
+    fn table_ii_structure_matches_the_paper() {
+        let rows = access_table(4.0);
+        assert_eq!(rows.len(), 3);
+        let column = &rows[0];
+        let esc = &rows[1];
+        let outer = &rows[2];
+
+        // Column algorithms read A d times; outer product reads it once.
+        assert_eq!(column.reads_a, 4.0);
+        assert_eq!(outer.reads_a, 1.0);
+        // Only the ESC variants touch the expanded matrix from memory.
+        assert_eq!(column.accesses_chat, 0.0);
+        assert_eq!(esc.accesses_chat, 2.0);
+        assert_eq!(outer.accesses_chat, 2.0);
+        // Outer product streams everything; column algorithms do not stream A.
+        assert!(outer.streams_a && outer.streams_chat && outer.full_lines_a);
+        assert!(!column.streams_a);
+        assert!(!esc.streams_chat);
+        // With d = 4 < 8, column algorithms waste cache lines on A.
+        assert!(!column.full_lines_a);
+        // With d = 16 they do not.
+        assert!(access_table(16.0)[0].full_lines_a);
+    }
+
+    #[test]
+    fn traffic_estimates_respect_the_ai_bounds() {
+        // The closed-form Eq. 3 / Eq. 4 expressions are *lower* bounds (they
+        // over-count `nnz(B)` as `nnz(C)`), and Eq. 1 is the upper bound; the
+        // per-matrix traffic estimates must fall between them.
+        let a = erdos_renyi_square(10, 4, 3);
+        let stats = MultiplyStats::compute(&a, &a);
+        let est = traffic_estimates(&stats);
+        let outer = est.iter().find(|e| e.class == AlgorithmClass::OuterEsc).unwrap();
+        let column = est.iter().find(|e| e.class == AlgorithmClass::ColumnAccumulator).unwrap();
+
+        let cf = stats.cf;
+        let eq1 = cf / 16.0;
+        let eq3 = cf / ((2.0 + cf) * 16.0);
+        let eq4 = cf / ((3.0 + 2.0 * cf) * 16.0);
+        assert!(column.ai >= eq3 * 0.999 && column.ai <= eq1, "column AI {} vs Eq.3 {eq3}", column.ai);
+        assert!(outer.ai >= eq4 * 0.999 && outer.ai <= eq1, "outer AI {} vs Eq.4 {eq4}", outer.ai);
+        // The column estimate has strictly higher AI than the outer estimate
+        // (it does not pay for Ĉ), which is why column SpGEMM has the higher
+        // roofline in Fig. 3.
+        assert!(column.ai > outer.ai);
+        // Outer ESC always moves more bytes than column accumulators when
+        // cf is small.
+        assert!(outer.bytes > column.bytes);
+    }
+
+    #[test]
+    fn class_names_are_distinct() {
+        let names: Vec<_> = AlgorithmClass::all().iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.iter().all(|n| !n.is_empty()));
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+    }
+
+    #[test]
+    fn empty_multiplication_yields_zero_ai() {
+        let stats = MultiplyStats {
+            nrows: 0,
+            ncols: 0,
+            inner: 0,
+            nnz_a: 0,
+            nnz_b: 0,
+            flop: 0,
+            nnz_c: 0,
+            cf: 1.0,
+            d_a: 0.0,
+        };
+        let est = traffic_estimates(&stats);
+        assert!(est.iter().all(|e| e.ai == 0.0 && e.bytes == 0));
+    }
+}

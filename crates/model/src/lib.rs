@@ -1,0 +1,44 @@
+//! # pb-model — Roofline performance model and machine probes
+//!
+//! The analytical half of the PB-SpGEMM paper (Sec. II): given the
+//! compression factor of a multiplication and the bytes needed to store a
+//! nonzero, the arithmetic intensity of an SpGEMM algorithm is bounded, and
+//! multiplying by the machine's STREAM bandwidth bounds the attainable
+//! FLOPS.
+//!
+//! * [`roofline`] — Equations 1, 3 and 4 and the attainable-performance
+//!   curves of Fig. 3.
+//! * [`stream`] — a rayon-parallel STREAM benchmark (Copy/Scale/Add/Triad,
+//!   Table V) used to measure the bandwidth `β` that feeds the model.
+//! * [`access`] — the per-matrix access-pattern model of Table II and the
+//!   memory-traffic estimates behind the practical AI bounds.
+//! * [`machine`] — hardware description (Table IV) read from the running
+//!   system.
+//! * [`numa`] — local vs. far memory probes standing in for the paper's
+//!   dual-socket NUMA measurements (Table VII); this environment has a
+//!   single NUMA domain, so "far" memory is emulated by strided access.
+//! * [`cachesim`] — an LRU set-associative cache simulator that replays the
+//!   access streams Table II reasons about, so the "A is read d times by
+//!   column SpGEMM / once by the outer product" claim is validated rather
+//!   than assumed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod access;
+pub mod cachesim;
+pub mod machine;
+pub mod numa;
+pub mod roofline;
+pub mod stream;
+
+pub use access::{access_table, AccessRow, AlgorithmClass, TrafficEstimate};
+pub use cachesim::{CacheConfig, CacheSim, TrafficReport};
+pub use machine::MachineInfo;
+pub use numa::{NumaConfig, NumaProbe};
+pub use roofline::{RooflineModel, RooflinePoint};
+pub use stream::{StreamConfig, StreamResult};
+
+/// The paper's per-nonzero storage constant `b` in bytes: two 4-byte indices
+/// plus one 8-byte value (COO format).
+pub const BYTES_PER_NONZERO: usize = 16;

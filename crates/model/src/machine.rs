@@ -1,0 +1,161 @@
+//! Hardware description of the machine running the experiments (Table IV).
+//!
+//! The paper reports CPU model, socket/core counts, clock, cache sizes and
+//! memory size for its Skylake-SP and POWER9 testbeds.  This module collects
+//! the same quantities from the running Linux system (with conservative
+//! fallbacks when a value is unavailable, e.g. inside a container).
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A description of the machine, mirroring the rows of Table IV.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MachineInfo {
+    /// CPU model string (from `/proc/cpuinfo`), or "unknown".
+    pub cpu_model: String,
+    /// Target architecture the binary was compiled for.
+    pub architecture: &'static str,
+    /// Logical CPUs available to this process.
+    pub logical_cpus: usize,
+    /// L2 cache size per core in bytes, if discoverable.
+    pub l2_bytes: Option<usize>,
+    /// Last-level (L3) cache size in bytes, if discoverable.
+    pub l3_bytes: Option<usize>,
+    /// Total system memory in bytes, if discoverable.
+    pub memory_bytes: Option<u64>,
+}
+
+impl MachineInfo {
+    /// Collects the machine description from the running system.
+    pub fn detect() -> Self {
+        MachineInfo {
+            cpu_model: read_cpu_model().unwrap_or_else(|| "unknown".to_string()),
+            architecture: std::env::consts::ARCH,
+            logical_cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            l2_bytes: read_cache_size("/sys/devices/system/cpu/cpu0/cache", 2),
+            l3_bytes: read_cache_size("/sys/devices/system/cpu/cpu0/cache", 3),
+            memory_bytes: read_total_memory(),
+        }
+    }
+
+    /// Renders the machine description as Table IV-style rows.
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        let fmt_bytes = |b: Option<usize>| match b {
+            Some(v) if v >= 1024 * 1024 => format!("{} MiB", v / (1024 * 1024)),
+            Some(v) => format!("{} KiB", v / 1024),
+            None => "unknown".to_string(),
+        };
+        vec![
+            ("CPU Model".to_string(), self.cpu_model.clone()),
+            ("Architecture".to_string(), self.architecture.to_string()),
+            ("Logical CPUs".to_string(), self.logical_cpus.to_string()),
+            ("L2 cache".to_string(), fmt_bytes(self.l2_bytes)),
+            ("L3 cache".to_string(), fmt_bytes(self.l3_bytes)),
+            (
+                "Memory Size".to_string(),
+                match self.memory_bytes {
+                    Some(b) => format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64),
+                    None => "unknown".to_string(),
+                },
+            ),
+        ]
+    }
+
+    /// The L2 capacity to use for bin sizing: the detected value or the
+    /// paper's Skylake default of 1 MiB.
+    pub fn l2_or_default(&self) -> usize {
+        self.l2_bytes.unwrap_or(1024 * 1024)
+    }
+}
+
+fn read_cpu_model() -> Option<String> {
+    let text = fs::read_to_string("/proc/cpuinfo").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("model name") {
+            return Some(rest.trim_start_matches([' ', '\t', ':']).trim().to_string());
+        }
+    }
+    None
+}
+
+fn read_total_memory() -> Option<u64> {
+    let text = fs::read_to_string("/proc/meminfo").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("MemTotal:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Reads the size of the cache at `level` from the sysfs cache directory.
+fn read_cache_size(base: &str, level: u32) -> Option<usize> {
+    let base = Path::new(base);
+    for idx in 0..8 {
+        let dir = base.join(format!("index{idx}"));
+        let lvl: u32 = fs::read_to_string(dir.join("level")).ok()?.trim().parse().ok()?;
+        if lvl != level {
+            continue;
+        }
+        let size = fs::read_to_string(dir.join("size")).ok()?;
+        return parse_cache_size(size.trim());
+    }
+    None
+}
+
+/// Parses strings like "1024K", "32M" or "65536" into bytes.
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    if let Some(num) = s.strip_suffix(['K', 'k']) {
+        return num.trim().parse::<usize>().ok().map(|v| v * 1024);
+    }
+    if let Some(num) = s.strip_suffix(['M', 'm']) {
+        return num.trim().parse::<usize>().ok().map(|v| v * 1024 * 1024);
+    }
+    s.parse::<usize>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_never_panics_and_reports_at_least_one_cpu() {
+        let info = MachineInfo::detect();
+        assert!(info.logical_cpus >= 1);
+        assert!(!info.architecture.is_empty());
+        assert!(info.l2_or_default() >= 4096);
+        let rows = info.table_rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|(k, _)| k == "CPU Model"));
+    }
+
+    #[test]
+    fn cache_size_strings_parse() {
+        assert_eq!(parse_cache_size("1024K"), Some(1024 * 1024));
+        assert_eq!(parse_cache_size("32M"), Some(32 * 1024 * 1024));
+        assert_eq!(parse_cache_size("65536"), Some(65536));
+        assert_eq!(parse_cache_size("512k"), Some(512 * 1024));
+        assert_eq!(parse_cache_size("junk"), None);
+    }
+
+    #[test]
+    fn table_rows_format_memory_in_gib() {
+        let info = MachineInfo {
+            cpu_model: "Test CPU".into(),
+            architecture: "x86_64",
+            logical_cpus: 8,
+            l2_bytes: Some(1024 * 1024),
+            l3_bytes: Some(32 * 1024 * 1024),
+            memory_bytes: Some(16 * (1u64 << 30)),
+        };
+        let rows = info.table_rows();
+        let mem = rows.iter().find(|(k, _)| k == "Memory Size").unwrap();
+        assert!(mem.1.contains("16.0 GiB"));
+        let l2 = rows.iter().find(|(k, _)| k == "L2 cache").unwrap();
+        assert_eq!(l2.1, "1 MiB");
+    }
+}

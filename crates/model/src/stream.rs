@@ -1,0 +1,173 @@
+//! A rayon-parallel STREAM benchmark (McCalpin), reproducing Table V.
+//!
+//! The four kernels touch three arrays much larger than the last-level
+//! cache:
+//!
+//! | kernel | operation            | bytes per element |
+//! |--------|----------------------|-------------------|
+//! | Copy   | `c[i] = a[i]`        | 16 |
+//! | Scale  | `b[i] = s·c[i]`      | 16 |
+//! | Add    | `c[i] = a[i] + b[i]` | 24 |
+//! | Triad  | `a[i] = b[i] + s·c[i]` | 24 |
+//!
+//! Each kernel runs `ntimes` times; the best rate is reported, exactly as
+//! the reference STREAM benchmark does.  The resulting Triad/Add figure is
+//! the `β` the Roofline model multiplies with.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Configuration of a STREAM run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Elements per array (default 2²⁴ doubles = 128 MiB per array).
+    pub elements: usize,
+    /// Repetitions per kernel; the best time is kept (default 5).
+    pub ntimes: usize,
+    /// Number of rayon threads; `None` uses the global pool.
+    pub threads: Option<usize>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { elements: 1 << 24, ntimes: 5, threads: None }
+    }
+}
+
+impl StreamConfig {
+    /// A faster configuration for smoke runs: 16 MiB arrays are still well
+    /// beyond any L3 cache but keep the run under a second.
+    pub fn quick() -> Self {
+        StreamConfig { elements: 1 << 21, ntimes: 2, threads: None }
+    }
+
+    /// A tiny configuration for unit tests only (arrays may fit in cache, so
+    /// the resulting figure is not a memory bandwidth).
+    pub fn tiny() -> Self {
+        StreamConfig { elements: 1 << 16, ntimes: 1, threads: None }
+    }
+}
+
+/// Sustained bandwidth of the four STREAM kernels in GB/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StreamResult {
+    /// Copy kernel bandwidth (GB/s).
+    pub copy: f64,
+    /// Scale kernel bandwidth (GB/s).
+    pub scale: f64,
+    /// Add kernel bandwidth (GB/s).
+    pub add: f64,
+    /// Triad kernel bandwidth (GB/s).
+    pub triad: f64,
+}
+
+impl StreamResult {
+    /// The bandwidth figure used as `β` in the Roofline model: the Triad
+    /// rate (the paper quotes Triad as the per-socket sustainable
+    /// bandwidth).
+    pub fn beta_gbps(&self) -> f64 {
+        self.triad
+    }
+
+    /// The best rate across all four kernels.
+    pub fn best_gbps(&self) -> f64 {
+        self.copy.max(self.scale).max(self.add).max(self.triad)
+    }
+}
+
+fn timed_best<F: FnMut()>(ntimes: usize, bytes: f64, mut kernel: F) -> f64 {
+    // One untimed warm-up pass, as in the reference STREAM benchmark, so the
+    // first timed iteration does not pay for page faults or a cold TLB.
+    kernel();
+    let mut best = f64::MAX;
+    for _ in 0..ntimes.max(1) {
+        let t = Instant::now();
+        kernel();
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+    }
+    bytes / best / 1e9
+}
+
+fn run_kernels(config: &StreamConfig) -> StreamResult {
+    let n = config.elements.max(1024);
+    let scalar = 3.0f64;
+    let mut a = vec![1.0f64; n];
+    let mut b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+
+    let copy = timed_best(config.ntimes, 16.0 * n as f64, || {
+        c.par_iter_mut().zip(a.par_iter()).for_each(|(ci, &ai)| *ci = ai);
+    });
+    let scale = timed_best(config.ntimes, 16.0 * n as f64, || {
+        b.par_iter_mut().zip(c.par_iter()).for_each(|(bi, &ci)| *bi = scalar * ci);
+    });
+    let add = timed_best(config.ntimes, 24.0 * n as f64, || {
+        c.par_iter_mut()
+            .zip(a.par_iter().zip(b.par_iter()))
+            .for_each(|(ci, (&ai, &bi))| *ci = ai + bi);
+    });
+    let triad = timed_best(config.ntimes, 24.0 * n as f64, || {
+        a.par_iter_mut()
+            .zip(b.par_iter().zip(c.par_iter()))
+            .for_each(|(ai, (&bi, &ci))| *ai = bi + scalar * ci);
+    });
+    // Defeat dead-code elimination of the arrays.
+    let checksum: f64 = a[0] + b[n / 2] + c[n - 1];
+    assert!(checksum.is_finite());
+
+    StreamResult { copy, scale, add, triad }
+}
+
+/// Runs the STREAM benchmark with the given configuration.
+pub fn run(config: &StreamConfig) -> StreamResult {
+    match config.threads {
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t.max(1))
+            .build()
+            .expect("failed to build rayon pool")
+            .install(|| run_kernels(config)),
+        None => run_kernels(config),
+    }
+}
+
+/// Runs STREAM with the default configuration (the Table V measurement).
+pub fn measure() -> StreamResult {
+    run(&StreamConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_positive_bandwidths() {
+        let r = run(&StreamConfig::tiny());
+        for v in [r.copy, r.scale, r.add, r.triad] {
+            assert!(v.is_finite() && v > 0.0, "bandwidth must be positive, got {v}");
+            // Sanity: no machine moves more than 10 TB/s from DRAM-ish
+            // buffers, and even a tiny VM should exceed 0.01 GB/s.
+            assert!(v < 10_000.0 && v > 0.01);
+        }
+        assert!(r.beta_gbps() > 0.0);
+        assert!(r.best_gbps() >= r.triad);
+    }
+
+    #[test]
+    fn single_thread_run_works() {
+        let cfg = StreamConfig { elements: 1 << 16, ntimes: 1, threads: Some(1) };
+        let r = run(&cfg);
+        assert!(r.copy > 0.0 && r.triad > 0.0);
+    }
+
+    #[test]
+    fn default_config_is_larger_than_quick() {
+        let d = StreamConfig::default();
+        let q = StreamConfig::quick();
+        assert!(d.elements > q.elements);
+        assert!(d.ntimes >= q.ntimes);
+        assert!(q.elements > StreamConfig::tiny().elements);
+    }
+}

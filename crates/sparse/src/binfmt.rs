@@ -1,0 +1,306 @@
+//! A small binary on-disk format for CSR matrices.
+//!
+//! The benchmark harness regenerates synthetic matrices for every figure; for
+//! the larger scales that regeneration dominates the run time.  This module
+//! provides a compact little-endian binary format so generated matrices (and
+//! SpGEMM results) can be cached on disk and memory-streamed back without the
+//! Matrix Market text-parsing overhead.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      4 bytes   b"PBSM"
+//! version    u32       currently 1
+//! type tag   u32       element type (see [`value_tag`])
+//! nrows      u64
+//! ncols      u64
+//! nnz        u64
+//! rowptr     (nrows + 1) × u64
+//! colidx     nnz × u32
+//! values     nnz × sizeof(T)
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::{Index, Scalar};
+
+/// File magic identifying the format.
+pub const MAGIC: &[u8; 4] = b"PBSM";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// A scalar type that can be serialised into the binary matrix format.
+pub trait BinaryScalar: Scalar {
+    /// Unique tag identifying the element type in the file header.
+    const TAG: u32;
+    /// Size of one encoded element in bytes.
+    const WIDTH: usize;
+    /// Encodes `self` into little-endian bytes appended to `out`.
+    fn write_le(&self, out: &mut Vec<u8>);
+    /// Decodes one element from `bytes` (exactly [`BinaryScalar::WIDTH`] bytes).
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_binary_scalar {
+    ($($t:ty => $tag:expr),* $(,)?) => {
+        $(
+            impl BinaryScalar for $t {
+                const TAG: u32 = $tag;
+                const WIDTH: usize = std::mem::size_of::<$t>();
+                #[inline]
+                fn write_le(&self, out: &mut Vec<u8>) {
+                    out.extend_from_slice(&self.to_le_bytes());
+                }
+                #[inline]
+                fn read_le(bytes: &[u8]) -> Self {
+                    <$t>::from_le_bytes(bytes.try_into().expect("caller slices WIDTH bytes"))
+                }
+            }
+        )*
+    };
+}
+
+impl_binary_scalar!(
+    f64 => 1,
+    f32 => 2,
+    u64 => 3,
+    u32 => 4,
+    i64 => 5,
+    i32 => 6,
+);
+
+fn bin_err(detail: impl Into<String>) -> SparseError {
+    SparseError::Binary { detail: detail.into() }
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), SparseError> {
+    r.read_exact(buf).map_err(|e| bin_err(format!("short read while reading {what}: {e}")))
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &str) -> Result<u32, SparseError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, what)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R, what: &str) -> Result<u64, SparseError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b, what)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serialises a CSR matrix to any writer.
+pub fn write_csr_to<W: Write, T: BinaryScalar>(mut w: W, m: &Csr<T>) -> Result<(), SparseError> {
+    let mut header = Vec::with_capacity(4 + 4 + 4 + 24);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&T::TAG.to_le_bytes());
+    header.extend_from_slice(&(m.nrows() as u64).to_le_bytes());
+    header.extend_from_slice(&(m.ncols() as u64).to_le_bytes());
+    header.extend_from_slice(&(m.nnz() as u64).to_le_bytes());
+    w.write_all(&header)?;
+
+    // rowptr, colidx and values are written in chunks to bound the staging
+    // buffer for very large matrices.
+    const CHUNK: usize = 1 << 16;
+    let mut buf = Vec::with_capacity(CHUNK * 8);
+    for chunk in m.rowptr().chunks(CHUNK) {
+        buf.clear();
+        for &p in chunk {
+            buf.extend_from_slice(&(p as u64).to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    for chunk in m.colidx().chunks(CHUNK) {
+        buf.clear();
+        for &c in chunk {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    for chunk in m.values().chunks(CHUNK) {
+        buf.clear();
+        for v in chunk {
+            v.write_le(&mut buf);
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserialises a CSR matrix from any reader.
+pub fn read_csr_from<R: Read, T: BinaryScalar>(mut r: R) -> Result<Csr<T>, SparseError> {
+    let mut magic = [0u8; 4];
+    read_exact(&mut r, &mut magic, "magic")?;
+    if &magic != MAGIC {
+        return Err(bin_err(format!("bad magic {magic:?}, expected {MAGIC:?}")));
+    }
+    let version = read_u32(&mut r, "version")?;
+    if version != VERSION {
+        return Err(bin_err(format!("unsupported version {version} (this build reads {VERSION})")));
+    }
+    let tag = read_u32(&mut r, "type tag")?;
+    if tag != T::TAG {
+        return Err(bin_err(format!(
+            "element type mismatch: file stores tag {tag}, caller requested tag {}",
+            T::TAG
+        )));
+    }
+    let nrows = read_u64(&mut r, "nrows")? as usize;
+    let ncols = read_u64(&mut r, "ncols")? as usize;
+    let nnz = read_u64(&mut r, "nnz")? as usize;
+
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    let mut buf = vec![0u8; 8];
+    for _ in 0..=nrows {
+        read_exact(&mut r, &mut buf, "rowptr")?;
+        rowptr.push(u64::from_le_bytes(buf[..8].try_into().expect("8-byte buffer")) as usize);
+    }
+
+    let mut colidx: Vec<Index> = Vec::with_capacity(nnz);
+    let mut cbuf = [0u8; 4];
+    for _ in 0..nnz {
+        read_exact(&mut r, &mut cbuf, "colidx")?;
+        colidx.push(Index::from_le_bytes(cbuf));
+    }
+
+    let mut values: Vec<T> = Vec::with_capacity(nnz);
+    let mut vbuf = vec![0u8; T::WIDTH];
+    for _ in 0..nnz {
+        read_exact(&mut r, &mut vbuf, "values")?;
+        values.push(T::read_le(&vbuf));
+    }
+
+    Csr::from_parts(nrows, ncols, rowptr, colidx, values)
+}
+
+/// Writes a CSR matrix to `path` (buffered).
+pub fn write_csr<T: BinaryScalar>(path: impl AsRef<Path>, m: &Csr<T>) -> Result<(), SparseError> {
+    let file = File::create(path)?;
+    write_csr_to(BufWriter::new(file), m)
+}
+
+/// Reads a CSR matrix from `path` (buffered).
+pub fn read_csr<T: BinaryScalar>(path: impl AsRef<Path>) -> Result<Csr<T>, SparseError> {
+    let file = File::open(path)?;
+    read_csr_from(BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr<f64> {
+        Coo::from_entries(
+            5,
+            7,
+            vec![(0, 0, 1.5), (0, 6, -2.0), (2, 3, 0.25), (4, 1, 1e300), (4, 6, -0.0)],
+        )
+        .unwrap()
+        .to_csr()
+    }
+
+    #[test]
+    fn roundtrip_f64_in_memory() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &m).unwrap();
+        let back: Csr<f64> = read_csr_from(buf.as_slice()).unwrap();
+        assert_eq!(back.shape(), m.shape());
+        assert_eq!(back.rowptr(), m.rowptr());
+        assert_eq!(back.colidx(), m.colidx());
+        assert_eq!(back.values(), m.values());
+    }
+
+    #[test]
+    fn roundtrip_integer_values() {
+        let m: Csr<u64> = sample().map_values(|v| v.abs() as u64);
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &m).unwrap();
+        let back: Csr<u64> = read_csr_from(buf.as_slice()).unwrap();
+        assert_eq!(back.values(), m.values());
+
+        let m: Csr<i32> = sample().map_values(|v| v as i32);
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &m).unwrap();
+        let back: Csr<i32> = read_csr_from(buf.as_slice()).unwrap();
+        assert_eq!(back.colidx(), m.colidx());
+    }
+
+    #[test]
+    fn roundtrip_empty_matrix() {
+        let m: Csr<f32> = Csr::empty(3, 9);
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &m).unwrap();
+        let back: Csr<f32> = read_csr_from(buf.as_slice()).unwrap();
+        assert_eq!(back.shape(), (3, 9));
+        assert_eq!(back.nnz(), 0);
+    }
+
+    #[test]
+    fn roundtrip_through_a_file() {
+        let dir = std::env::temp_dir().join("pb_sparse_binfmt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.pbsm");
+        let m = sample();
+        write_csr(&path, &m).unwrap();
+        let back: Csr<f64> = read_csr(&path).unwrap();
+        assert_eq!(back.values(), m.values());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &sample()).unwrap();
+        buf[0] = b'X';
+        let err = read_csr_from::<_, f64>(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SparseError::Binary { .. }));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn wrong_element_type_is_rejected() {
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &sample()).unwrap();
+        let err = read_csr_from::<_, u32>(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("type mismatch"));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &sample()).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let err = read_csr_from::<_, f64>(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_csr_from::<_, f64>(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SparseError::Binary { .. }));
+    }
+
+    #[test]
+    fn corrupted_structure_is_caught_by_validation() {
+        // Corrupt a rowptr entry so it is non-monotonic; from_parts must
+        // refuse to build the matrix.
+        let m = sample();
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &m).unwrap();
+        let rowptr_start = 4 + 4 + 4 + 24;
+        buf[rowptr_start + 8..rowptr_start + 16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_csr_from::<_, f64>(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedOffsets { .. }));
+    }
+}

@@ -1,0 +1,461 @@
+//! Coordinate (triplet) format.
+//!
+//! The expanded intermediate matrix `Ĉ` of an expand–sort–compress SpGEMM is
+//! naturally a stream of `(row, col, value)` tuples, which is exactly what
+//! this type stores (structure-of-arrays, so the index and value streams can
+//! be moved independently).  It is also the interchange format used by the
+//! Matrix Market reader and the generators.
+
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::error::SparseError;
+use crate::semiring::{Numeric, PlusTimes, Semiring};
+use crate::{Index, Scalar, MAX_DIM};
+
+/// A sparse matrix in coordinate (COO / triplet) format.
+///
+/// Entries are stored in three parallel arrays and may be unsorted and may
+/// contain duplicates; [`Coo::sort_row_major`] and the conversion routines
+/// bring them into canonical form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo<T> {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<Index>,
+    cols: Vec<Index>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> Coo<T> {
+    /// Creates an empty matrix with the given shape.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::DimensionTooLarge`] if either dimension exceeds
+    /// the `u32` index space.
+    pub fn new(nrows: usize, ncols: usize) -> Result<Self, SparseError> {
+        Self::with_capacity(nrows, ncols, 0)
+    }
+
+    /// Creates an empty matrix with room for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Result<Self, SparseError> {
+        check_dims(nrows, ncols)?;
+        Ok(Coo {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        })
+    }
+
+    /// Builds a matrix from `(row, col, value)` entries, validating bounds.
+    pub fn from_entries(
+        nrows: usize,
+        ncols: usize,
+        entries: Vec<(usize, usize, T)>,
+    ) -> Result<Self, SparseError> {
+        let mut m = Self::with_capacity(nrows, ncols, entries.len())?;
+        for (r, c, v) in entries {
+            m.push(r, c, v)?;
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from parallel index/value arrays, validating bounds.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<Index>,
+        cols: Vec<Index>,
+        vals: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        check_dims(nrows, ncols)?;
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(SparseError::LengthMismatch {
+                rows: rows.len(),
+                cols: cols.len(),
+                vals: vals.len(),
+            });
+        }
+        for (&r, &c) in rows.iter().zip(&cols) {
+            if r as usize >= nrows || c as usize >= ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r as usize,
+                    col: c as usize,
+                    nrows,
+                    ncols,
+                });
+            }
+        }
+        Ok(Coo { nrows, ncols, rows, cols, vals })
+    }
+
+    /// Builds a matrix from parallel arrays without validating entry bounds.
+    ///
+    /// The caller must guarantee that every index is within `nrows`/`ncols`;
+    /// the shape itself is still checked against [`MAX_DIM`].  Generators use
+    /// this to avoid an O(nnz) validation pass on data they constructed
+    /// in-bounds by design.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<Index>,
+        cols: Vec<Index>,
+        vals: Vec<T>,
+    ) -> Self {
+        debug_assert!(nrows <= MAX_DIM && ncols <= MAX_DIM);
+        debug_assert_eq!(rows.len(), cols.len());
+        debug_assert_eq!(rows.len(), vals.len());
+        debug_assert!(rows.iter().all(|&r| (r as usize) < nrows));
+        debug_assert!(cols.iter().all(|&c| (c as usize) < ncols));
+        Coo { nrows, ncols, rows, cols, vals }
+    }
+
+    /// Appends one entry.
+    pub fn push(&mut self, row: usize, col: usize, val: T) -> Result<(), SparseError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row as Index);
+        self.cols.push(col as Index);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Number of stored entries (including any duplicates).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Row indices of the stored entries.
+    #[inline]
+    pub fn row_indices(&self) -> &[Index] {
+        &self.rows
+    }
+
+    /// Column indices of the stored entries.
+    #[inline]
+    pub fn col_indices(&self) -> &[Index] {
+        &self.cols
+    }
+
+    /// Values of the stored entries.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Iterates over `(row, col, value)` entries in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Consumes the matrix and returns `(nrows, ncols, rows, cols, vals)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<Index>, Vec<Index>, Vec<T>) {
+        (self.nrows, self.ncols, self.rows, self.cols, self.vals)
+    }
+
+    /// Sorts entries by `(row, col)`.
+    pub fn sort_row_major(&mut self) {
+        let mut order: Vec<usize> = (0..self.nnz()).collect();
+        order.sort_unstable_by_key(|&i| (self.rows[i], self.cols[i]));
+        self.apply_order(&order);
+    }
+
+    /// Sorts entries by `(col, row)`.
+    pub fn sort_col_major(&mut self) {
+        let mut order: Vec<usize> = (0..self.nnz()).collect();
+        order.sort_unstable_by_key(|&i| (self.cols[i], self.rows[i]));
+        self.apply_order(&order);
+    }
+
+    fn apply_order(&mut self, order: &[usize]) {
+        self.rows = order.iter().map(|&i| self.rows[i]).collect();
+        self.cols = order.iter().map(|&i| self.cols[i]).collect();
+        self.vals = order.iter().map(|&i| self.vals[i]).collect();
+    }
+
+    /// Returns `true` if the entries are sorted by `(row, col)` with no
+    /// duplicate coordinates.
+    pub fn is_canonical(&self) -> bool {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(self.rows.iter().zip(&self.cols).skip(1))
+            .all(|((r0, c0), (r1, c1))| (r0, c0) < (r1, c1))
+    }
+
+    /// Merges duplicate coordinates using the semiring's `add`.
+    ///
+    /// The result is sorted row-major and free of duplicates.
+    pub fn sum_duplicates_with<S>(&mut self)
+    where
+        S: Semiring<Elem = T>,
+    {
+        if self.nnz() == 0 {
+            return;
+        }
+        self.sort_row_major();
+        let mut write = 0usize;
+        for read in 1..self.nnz() {
+            if self.rows[read] == self.rows[write] && self.cols[read] == self.cols[write] {
+                self.vals[write] = S::add(self.vals[write], self.vals[read]);
+            } else {
+                write += 1;
+                self.rows[write] = self.rows[read];
+                self.cols[write] = self.cols[read];
+                self.vals[write] = self.vals[read];
+            }
+        }
+        self.rows.truncate(write + 1);
+        self.cols.truncate(write + 1);
+        self.vals.truncate(write + 1);
+    }
+
+    /// Transposes the matrix (swaps rows and columns) in place.
+    pub fn transpose_inplace(&mut self) {
+        std::mem::swap(&mut self.rows, &mut self.cols);
+        std::mem::swap(&mut self.nrows, &mut self.ncols);
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Self {
+        let mut t = self.clone();
+        t.transpose_inplace();
+        t
+    }
+
+    /// Converts to CSR, merging duplicates with the given semiring.
+    pub fn to_csr_with<S>(&self) -> Csr<T>
+    where
+        S: Semiring<Elem = T>,
+    {
+        // Counting sort by row: stable, O(nnz + nrows).
+        let nnz = self.nnz();
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let rowptr = counts.clone();
+        let mut colidx = vec![0 as Index; nnz];
+        let mut values = vec![S::zero(); nnz];
+        let mut cursor = counts;
+        for i in 0..nnz {
+            let r = self.rows[i] as usize;
+            let dst = cursor[r];
+            colidx[dst] = self.cols[i];
+            values[dst] = self.vals[i];
+            cursor[r] += 1;
+        }
+        let mut csr = Csr::from_parts_unchecked(self.nrows, self.ncols, rowptr, colidx, values);
+        csr.sort_indices();
+        csr.sum_duplicates_with::<S>();
+        csr
+    }
+
+    /// Converts to CSC, merging duplicates with the given semiring.
+    pub fn to_csc_with<S>(&self) -> Csc<T>
+    where
+        S: Semiring<Elem = T>,
+    {
+        self.transpose().to_csr_with::<S>().transpose_into_csc()
+    }
+
+    /// Converts to a dense matrix, merging duplicates with the semiring.
+    pub fn to_dense_with<S>(&self) -> Dense<T>
+    where
+        S: Semiring<Elem = T>,
+    {
+        let mut d = Dense::filled(self.nrows, self.ncols, S::zero());
+        for (r, c, v) in self.iter() {
+            let cur = d[(r as usize, c as usize)];
+            d[(r as usize, c as usize)] = S::add(cur, v);
+        }
+        d
+    }
+}
+
+impl<T: Numeric> Coo<T> {
+    /// Converts to CSR, summing duplicates with ordinary addition.
+    pub fn to_csr(&self) -> Csr<T> {
+        self.to_csr_with::<PlusTimes<T>>()
+    }
+
+    /// Converts to CSC, summing duplicates with ordinary addition.
+    pub fn to_csc(&self) -> Csc<T> {
+        self.to_csc_with::<PlusTimes<T>>()
+    }
+
+    /// Converts to a dense matrix, summing duplicates.
+    pub fn to_dense(&self) -> Dense<T> {
+        self.to_dense_with::<PlusTimes<T>>()
+    }
+}
+
+fn check_dims(nrows: usize, ncols: usize) -> Result<(), SparseError> {
+    if nrows > MAX_DIM {
+        return Err(SparseError::DimensionTooLarge { dim: nrows });
+    }
+    if ncols > MAX_DIM {
+        return Err(SparseError::DimensionTooLarge { dim: ncols });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimes;
+
+    fn sample() -> Coo<f64> {
+        Coo::from_entries(
+            3,
+            4,
+            vec![(2, 1, 3.0), (0, 0, 1.0), (1, 3, 2.0), (0, 0, 4.0), (2, 3, -1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_bounds() {
+        let mut m: Coo<f64> = Coo::new(2, 2).unwrap();
+        m.push(0, 1, 1.0).unwrap();
+        m.push(1, 1, 2.0).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert!(m.push(2, 0, 1.0).is_err());
+        assert!(m.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let err = Coo::<f64>::from_parts(2, 2, vec![0, 5], vec![0, 0], vec![1.0, 1.0]);
+        assert!(matches!(err, Err(SparseError::IndexOutOfBounds { .. })));
+        let err = Coo::<f64>::from_parts(2, 2, vec![0], vec![0, 0], vec![1.0, 1.0]);
+        assert!(matches!(err, Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn sort_and_canonical() {
+        let mut m = sample();
+        assert!(!m.is_canonical());
+        m.sort_row_major();
+        let coords: Vec<_> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        let mut sorted = coords.clone();
+        sorted.sort_unstable();
+        assert_eq!(coords, sorted);
+        // Still has the duplicate (0,0) so not canonical yet.
+        assert!(!m.is_canonical());
+        m.sum_duplicates_with::<PlusTimes<f64>>();
+        assert!(m.is_canonical());
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.iter().next().unwrap(), (0, 0, 5.0));
+    }
+
+    #[test]
+    fn sort_col_major_orders_by_column() {
+        let mut m = sample();
+        m.sort_col_major();
+        let coords: Vec<_> = m.iter().map(|(r, c, _)| (c, r)).collect();
+        let mut sorted = coords.clone();
+        sorted.sort_unstable();
+        assert_eq!(coords, sorted);
+    }
+
+    #[test]
+    fn transpose_swaps_shape_and_coords() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        assert_eq!(t.nnz(), m.nnz());
+        for ((r, c, v), (tr, tc, tv)) in m.iter().zip(t.iter()) {
+            assert_eq!((r, c, v), (tc, tr, tv));
+        }
+    }
+
+    #[test]
+    fn conversion_to_dense_sums_duplicates() {
+        let d = sample().to_dense();
+        assert_eq!(d[(0, 0)], 5.0);
+        assert_eq!(d[(2, 1)], 3.0);
+        assert_eq!(d[(1, 3)], 2.0);
+        assert_eq!(d[(2, 3)], -1.0);
+        assert_eq!(d[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn conversion_to_csr_matches_dense() {
+        let m = sample();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.to_dense(), m.to_dense());
+        assert!(csr.has_sorted_indices());
+    }
+
+    #[test]
+    fn conversion_to_csc_matches_dense() {
+        let m = sample();
+        let csc = m.to_csc();
+        assert_eq!(csc.nnz(), 4);
+        assert_eq!(csc.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn empty_matrix_conversions() {
+        let m: Coo<f64> = Coo::new(5, 7).unwrap();
+        assert_eq!(m.nnz(), 0);
+        let csr = m.to_csr();
+        assert_eq!(csr.shape(), (5, 7));
+        assert_eq!(csr.nnz(), 0);
+        let csc = m.to_csc();
+        assert_eq!(csc.shape(), (5, 7));
+        assert_eq!(csc.nnz(), 0);
+    }
+
+    #[test]
+    fn dimension_limit_enforced() {
+        assert!(Coo::<f64>::new(MAX_DIM + 1, 2).is_err());
+        assert!(Coo::<f64>::new(2, MAX_DIM + 1).is_err());
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let m = sample();
+        let nnz = m.nnz();
+        let (nr, nc, rows, cols, vals) = m.clone().into_parts();
+        let back = Coo::from_parts(nr, nc, rows, cols, vals).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.nnz(), nnz);
+    }
+}

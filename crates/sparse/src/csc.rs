@@ -1,0 +1,368 @@
+//! Compressed Sparse Column (CSC) format.
+//!
+//! The outer-product formulation of SpGEMM streams `A` column by column, so
+//! PB-SpGEMM takes its first operand in CSC.  Internally CSC is the mirror
+//! image of [`Csr`]: `A` stored in CSC is exactly `Aᵀ` stored in CSR, and the
+//! implementation leans on that duality for conversions.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::error::SparseError;
+use crate::semiring::{Numeric, PlusTimes, Semiring};
+use crate::{Index, Scalar};
+
+/// A sparse matrix in Compressed Sparse Column format.
+///
+/// Invariants mirror those of [`Csr`]: `colptr.len() == ncols + 1`,
+/// `colptr[0] == 0`, non-decreasing offsets, `colptr[ncols] == nnz`, and all
+/// row indices `< nrows`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc<T> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<Index>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csc<T> {
+    /// Creates an empty `nrows x ncols` matrix.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Csc {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowidx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSC matrix from raw arrays, validating all invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<Index>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        // Validate by viewing the arrays as the CSR representation of the
+        // transpose, then undo the reinterpretation.
+        let csr = Csr::from_parts(ncols, nrows, colptr, rowidx, values)?;
+        let (ncols, nrows, colptr, rowidx, values) = csr.into_parts();
+        Ok(Csc { nrows, ncols, colptr, rowidx, values })
+    }
+
+    /// Builds a CSC matrix from raw arrays without validation (checked in
+    /// debug builds).
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<Index>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(colptr.len(), ncols + 1);
+        debug_assert_eq!(*colptr.last().unwrap_or(&0), rowidx.len());
+        debug_assert_eq!(rowidx.len(), values.len());
+        debug_assert!(rowidx.iter().all(|&r| (r as usize) < nrows || nrows == 0));
+        Csc { nrows, ncols, colptr, rowidx, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// Average number of stored entries per column.
+    pub fn avg_degree(&self) -> f64 {
+        if self.ncols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.ncols as f64
+        }
+    }
+
+    /// The column-offset array (`ncols + 1` entries).
+    #[inline]
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// The row-index array.
+    #[inline]
+    pub fn rowidx(&self) -> &[Index] {
+        &self.rowidx
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of stored entries in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.colptr[j + 1] - self.colptr[j]
+    }
+
+    /// The row indices and values of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[Index], &[T]) {
+        let lo = self.colptr[j];
+        let hi = self.colptr[j + 1];
+        (&self.rowidx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Looks up entry `(i, j)`; returns `None` if it is not stored.
+    pub fn get(&self, i: usize, j: usize) -> Option<T> {
+        let (rows, vals) = self.col(j);
+        let i = i as Index;
+        if rows.windows(2).all(|w| w[0] <= w[1]) {
+            rows.binary_search(&i).ok().map(|k| vals[k])
+        } else {
+            rows.iter().position(|&r| r == i).map(|k| vals[k])
+        }
+    }
+
+    /// Iterates over all `(row, col, value)` entries in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        (0..self.ncols).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, j as Index, v))
+        })
+    }
+
+    /// Consumes the matrix and returns `(nrows, ncols, colptr, rowidx, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<Index>, Vec<T>) {
+        (self.nrows, self.ncols, self.colptr, self.rowidx, self.values)
+    }
+
+    /// Reinterprets this CSC matrix as the CSR representation of its
+    /// transpose (no data movement).
+    pub fn transpose_into_csr(self) -> Csr<T> {
+        Csr::from_parts_unchecked(self.ncols, self.nrows, self.colptr, self.rowidx, self.values)
+    }
+
+    /// Borrows this CSC matrix as the CSR representation of its transpose.
+    ///
+    /// Handy for reusing row-oriented kernels on column data without cloning.
+    pub fn as_transposed_csr(&self) -> Csr<T> {
+        Csr::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.colptr.clone(),
+            self.rowidx.clone(),
+            self.values.clone(),
+        )
+    }
+
+    /// Converts to CSR (out-of-place transpose of the underlying arrays).
+    pub fn to_csr(&self) -> Csr<T>
+    where
+        T: Default,
+    {
+        // self viewed as CSR of the transpose, transposed again.
+        self.as_transposed_csr().transpose()
+    }
+
+    /// Converts to COO format.
+    pub fn to_coo(&self) -> Coo<T> {
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for (r, c, v) in self.iter() {
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        Coo::from_parts_unchecked(self.nrows, self.ncols, rows, cols, vals)
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> Dense<T>
+    where
+        T: Default,
+    {
+        let mut d = Dense::filled(self.nrows, self.ncols, T::default());
+        for (r, c, v) in self.iter() {
+            d[(r as usize, c as usize)] = v;
+        }
+        d
+    }
+
+    /// Returns `true` if row indices are sorted within every column.
+    pub fn has_sorted_indices(&self) -> bool {
+        (0..self.ncols).all(|j| self.col(j).0.windows(2).all(|w| w[0] <= w[1]))
+    }
+
+    /// Sorts row indices (and matching values) within every column.
+    pub fn sort_indices(&mut self) {
+        let this = std::mem::replace(self, Csc::empty(0, 0));
+        let mut csr = this.transpose_into_csr();
+        csr.sort_indices();
+        *self = csr.transpose_into_csc();
+    }
+
+    /// Merges duplicate row indices within each column using the semiring.
+    pub fn sum_duplicates_with<S>(&mut self)
+    where
+        S: Semiring<Elem = T>,
+    {
+        let this = std::mem::replace(self, Csc::empty(0, 0));
+        let mut csr = this.transpose_into_csr();
+        csr.sum_duplicates_with::<S>();
+        *self = csr.transpose_into_csc();
+    }
+
+    /// Validates all structural invariants.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        Csc::from_parts(
+            self.nrows,
+            self.ncols,
+            self.colptr.clone(),
+            self.rowidx.clone(),
+            self.values.clone(),
+        )
+        .map(|_| ())
+    }
+}
+
+impl<T: Numeric> Csc<T> {
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Csr::<T>::identity(n).transpose_into_csc()
+    }
+
+    /// Merges duplicate row indices by ordinary addition.
+    pub fn sum_duplicates(&mut self) {
+        self.sum_duplicates_with::<PlusTimes<T>>();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Same 3x4 matrix as the CSR tests:
+    /// ```text
+    /// [ 1 0 2 0 ]
+    /// [ 0 0 0 3 ]
+    /// [ 4 5 0 6 ]
+    /// ```
+    fn sample_csr() -> Csr<f64> {
+        Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 3, 6],
+            vec![0, 2, 3, 0, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    fn sample() -> Csc<f64> {
+        sample_csr().to_csc()
+    }
+
+    #[test]
+    fn accessors_and_column_views() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.col_nnz(0), 2);
+        assert_eq!(m.col_nnz(2), 1);
+        assert_eq!(m.col(3).0, &[1, 2]);
+        assert_eq!(m.col(3).1, &[3.0, 6.0]);
+        assert_eq!(m.get(2, 1), Some(5.0));
+        assert_eq!(m.get(0, 1), None);
+        assert!((m.avg_degree() - 1.5).abs() < 1e-12);
+        assert!(m.has_sorted_indices());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn roundtrips_preserve_content() {
+        let csr = sample_csr();
+        let csc = csr.to_csc();
+        assert_eq!(csc.to_csr(), csr);
+        assert_eq!(csc.to_dense(), csr.to_dense());
+        assert_eq!(csc.to_coo().to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn transpose_reinterpretations_are_inverse() {
+        let csc = sample();
+        let dense = csc.to_dense();
+        let csr_of_t = csc.clone().transpose_into_csr();
+        assert_eq!(csr_of_t.shape(), (4, 3));
+        let back = csr_of_t.transpose_into_csc();
+        assert_eq!(back.to_dense(), dense);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // Row index out of bounds.
+        assert!(Csc::<f64>::from_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]).is_err());
+        // Bad colptr.
+        assert!(Csc::<f64>::from_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let id = Csc::<f64>::identity(3);
+        assert_eq!(id.nnz(), 3);
+        for i in 0..3 {
+            assert_eq!(id.get(i, i), Some(1.0));
+        }
+        assert_eq!(id.get(0, 1), None);
+    }
+
+    #[test]
+    fn sort_and_sum_duplicates() {
+        // Column 0 has entries (1, 2.0), (0, 1.0), (1, 5.0) -> unsorted + dup.
+        let mut m = Csc::<f64>::from_parts_unchecked(
+            2,
+            1,
+            vec![0, 3],
+            vec![1, 0, 1],
+            vec![2.0, 1.0, 5.0],
+        );
+        assert!(!m.has_sorted_indices());
+        m.sort_indices();
+        assert!(m.has_sorted_indices());
+        m.sum_duplicates();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(1, 0), Some(7.0));
+        assert_eq!(m.get(0, 0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m: Csc<f64> = Csc::empty(4, 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.avg_degree(), 0.0);
+        let m: Csc<f64> = Csc::empty(0, 4);
+        assert_eq!(m.iter().count(), 0);
+    }
+}

@@ -1,0 +1,671 @@
+//! Compressed Sparse Row (CSR) format.
+//!
+//! CSR is the output format of every SpGEMM implementation in this workspace
+//! and the row-access input format (`B` in the outer-product formulation,
+//! both operands in the row-wise Gustavson baselines).
+
+use rayon::prelude::*;
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::dense::Dense;
+use crate::error::SparseError;
+use crate::semiring::{Numeric, PlusTimes, Semiring};
+use crate::{Index, Scalar, MAX_DIM};
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// Invariants maintained by safe constructors:
+///
+/// * `rowptr.len() == nrows + 1`, `rowptr[0] == 0`, non-decreasing,
+///   `rowptr[nrows] == colidx.len() == values.len()`;
+/// * every column index is `< ncols`.
+///
+/// Column indices within a row are *usually* sorted and duplicate-free
+/// (canonical form); the algorithm crates always produce canonical output,
+/// and [`Csr::sort_indices`] / [`Csr::sum_duplicates_with`] restore the
+/// property when needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<Index>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Creates an empty `nrows x ncols` matrix with no stored entries.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Csr {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from raw arrays, validating all invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<Index>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if nrows > MAX_DIM {
+            return Err(SparseError::DimensionTooLarge { dim: nrows });
+        }
+        if ncols > MAX_DIM {
+            return Err(SparseError::DimensionTooLarge { dim: ncols });
+        }
+        if rowptr.len() != nrows + 1 {
+            return Err(SparseError::MalformedOffsets {
+                detail: format!("rowptr length {} != nrows + 1 = {}", rowptr.len(), nrows + 1),
+            });
+        }
+        if rowptr[0] != 0 {
+            return Err(SparseError::MalformedOffsets {
+                detail: format!("rowptr[0] = {} (expected 0)", rowptr[0]),
+            });
+        }
+        if rowptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SparseError::MalformedOffsets {
+                detail: "rowptr is not monotonically non-decreasing".to_string(),
+            });
+        }
+        if *rowptr.last().unwrap() != colidx.len() {
+            return Err(SparseError::MalformedOffsets {
+                detail: format!(
+                    "rowptr[nrows] = {} but colidx has {} entries",
+                    rowptr.last().unwrap(),
+                    colidx.len()
+                ),
+            });
+        }
+        if colidx.len() != values.len() {
+            return Err(SparseError::LengthMismatch {
+                rows: colidx.len(),
+                cols: colidx.len(),
+                vals: values.len(),
+            });
+        }
+        if let Some((pos, &c)) = colidx.iter().enumerate().find(|&(_, &c)| c as usize >= ncols) {
+            // Recover the row containing `pos` for a useful error message.
+            let row = rowptr.partition_point(|&p| p <= pos).saturating_sub(1);
+            return Err(SparseError::IndexOutOfBounds { row, col: c as usize, nrows, ncols });
+        }
+        Ok(Csr { nrows, ncols, rowptr, colidx, values })
+    }
+
+    /// Builds a CSR matrix from raw arrays without validation.
+    ///
+    /// Intended for hot paths that construct the arrays in a way that
+    /// guarantees the invariants (e.g. the assembly phase of PB-SpGEMM).
+    /// Invariants are still checked in debug builds.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<Index>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(rowptr.len(), nrows + 1);
+        debug_assert_eq!(rowptr[0], 0);
+        debug_assert_eq!(*rowptr.last().unwrap(), colidx.len());
+        debug_assert_eq!(colidx.len(), values.len());
+        debug_assert!(colidx.iter().all(|&c| (c as usize) < ncols || ncols == 0));
+        Csr { nrows, ncols, rowptr, colidx, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Average number of stored entries per row (the paper's `d(A)`).
+    pub fn avg_degree(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Maximum number of stored entries in any row.
+    pub fn max_degree(&self) -> usize {
+        (0..self.nrows).map(|i| self.row_nnz(i)).max().unwrap_or(0)
+    }
+
+    /// Fraction of entries that are stored (`nnz / (nrows * ncols)`).
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+        }
+    }
+
+    /// The row-offset array (`nrows + 1` entries).
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// The column-index array.
+    #[inline]
+    pub fn colidx(&self) -> &[Index] {
+        &self.colidx
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable access to the value array (structure is immutable).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// The column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[Index], &[T]) {
+        let lo = self.rowptr[i];
+        let hi = self.rowptr[i + 1];
+        (&self.colidx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Looks up entry `(i, j)`; returns `None` if it is not stored.
+    ///
+    /// Requires sorted column indices for O(log nnz_row) lookup; falls back
+    /// to a linear scan otherwise.
+    pub fn get(&self, i: usize, j: usize) -> Option<T> {
+        let (cols, vals) = self.row(i);
+        let j = j as Index;
+        if cols.windows(2).all(|w| w[0] <= w[1]) {
+            cols.binary_search(&j).ok().map(|k| vals[k])
+        } else {
+            cols.iter().position(|&c| c == j).map(|k| vals[k])
+        }
+    }
+
+    /// Iterates over all `(row, col, value)` entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&c, &v)| (i as Index, c, v))
+        })
+    }
+
+    /// Consumes the matrix and returns `(nrows, ncols, rowptr, colidx, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<Index>, Vec<T>) {
+        (self.nrows, self.ncols, self.rowptr, self.colidx, self.values)
+    }
+
+    /// Returns `true` if column indices are sorted within every row.
+    pub fn has_sorted_indices(&self) -> bool {
+        (0..self.nrows).all(|i| self.row(i).0.windows(2).all(|w| w[0] <= w[1]))
+    }
+
+    /// Returns `true` if some row stores the same column more than once.
+    pub fn has_duplicates(&self) -> bool {
+        (0..self.nrows).any(|i| {
+            let (cols, _) = self.row(i);
+            if cols.windows(2).all(|w| w[0] <= w[1]) {
+                cols.windows(2).any(|w| w[0] == w[1])
+            } else {
+                let mut seen: Vec<Index> = cols.to_vec();
+                seen.sort_unstable();
+                seen.windows(2).any(|w| w[0] == w[1])
+            }
+        })
+    }
+
+    /// Sorts the column indices (and the matching values) within every row.
+    ///
+    /// Rows are processed in parallel.
+    pub fn sort_indices(&mut self) {
+        let nrows = self.nrows;
+        let rowptr = std::mem::take(&mut self.rowptr);
+        // Split the storage into per-row slices so rayon can sort them
+        // independently.
+        {
+            let mut col_rest: &mut [Index] = &mut self.colidx;
+            let mut val_rest: &mut [T] = &mut self.values;
+            let mut row_slices: Vec<(&mut [Index], &mut [T])> = Vec::with_capacity(nrows);
+            for i in 0..nrows {
+                let len = rowptr[i + 1] - rowptr[i];
+                let (c, cr) = col_rest.split_at_mut(len);
+                let (v, vr) = val_rest.split_at_mut(len);
+                col_rest = cr;
+                val_rest = vr;
+                row_slices.push((c, v));
+            }
+            row_slices.par_iter_mut().for_each(|(cols, vals)| {
+                if cols.windows(2).all(|w| w[0] <= w[1]) {
+                    return;
+                }
+                let mut order: Vec<usize> = (0..cols.len()).collect();
+                order.sort_unstable_by_key(|&k| cols[k]);
+                let new_cols: Vec<Index> = order.iter().map(|&k| cols[k]).collect();
+                let new_vals: Vec<T> = order.iter().map(|&k| vals[k]).collect();
+                cols.copy_from_slice(&new_cols);
+                vals.copy_from_slice(&new_vals);
+            });
+        }
+        self.rowptr = rowptr;
+    }
+
+    /// Merges duplicate column indices within each row using the semiring's
+    /// `add`.  Requires sorted indices (call [`Csr::sort_indices`] first if
+    /// needed); sorts defensively in debug builds.
+    pub fn sum_duplicates_with<S>(&mut self)
+    where
+        S: Semiring<Elem = T>,
+    {
+        debug_assert!(self.has_sorted_indices(), "sum_duplicates_with requires sorted indices");
+        if !self.has_duplicates() {
+            return;
+        }
+        let mut new_rowptr = Vec::with_capacity(self.nrows + 1);
+        new_rowptr.push(0usize);
+        let mut new_cols: Vec<Index> = Vec::with_capacity(self.nnz());
+        let mut new_vals: Vec<T> = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let mut k = 0;
+            while k < cols.len() {
+                let c = cols[k];
+                let mut acc = vals[k];
+                let mut j = k + 1;
+                while j < cols.len() && cols[j] == c {
+                    acc = S::add(acc, vals[j]);
+                    j += 1;
+                }
+                new_cols.push(c);
+                new_vals.push(acc);
+                k = j;
+            }
+            new_rowptr.push(new_cols.len());
+        }
+        self.rowptr = new_rowptr;
+        self.colidx = new_cols;
+        self.values = new_vals;
+    }
+
+    /// Applies a function to every stored value, keeping the structure.
+    pub fn map_values<U: Scalar>(&self, f: impl Fn(T) -> U + Sync) -> Csr<U> {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr: self.rowptr.clone(),
+            colidx: self.colidx.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Removes stored entries for which the predicate returns `false`.
+    pub fn prune(&self, keep: impl Fn(Index, Index, T) -> bool) -> Csr<T> {
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if keep(i as Index, c, v) {
+                    colidx.push(c);
+                    values.push(v);
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colidx, values }
+    }
+
+    /// Converts to COO (triplet) format, preserving entry order.
+    pub fn to_coo(&self) -> Coo<T> {
+        let mut rows = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            rows.extend(std::iter::repeat_n(i as Index, self.row_nnz(i)));
+        }
+        Coo::from_parts_unchecked(
+            self.nrows,
+            self.ncols,
+            rows,
+            self.colidx.clone(),
+            self.values.clone(),
+        )
+    }
+
+    /// Converts to CSC by an out-of-place counting-sort transpose.
+    pub fn to_csc(&self) -> Csc<T>
+    where
+        T: Default,
+    {
+        let (colptr, rowidx, values) = transpose_arrays(
+            self.nrows,
+            self.ncols,
+            &self.rowptr,
+            &self.colidx,
+            &self.values,
+        );
+        Csc::from_parts_unchecked(self.nrows, self.ncols, colptr, rowidx, values)
+    }
+
+    /// Returns the transpose as a CSR matrix.
+    pub fn transpose(&self) -> Csr<T>
+    where
+        T: Default,
+    {
+        let (rowptr, colidx, values) = transpose_arrays(
+            self.nrows,
+            self.ncols,
+            &self.rowptr,
+            &self.colidx,
+            &self.values,
+        );
+        Csr::from_parts_unchecked(self.ncols, self.nrows, rowptr, colidx, values)
+    }
+
+    /// Reinterprets this CSR matrix as the CSC representation of its
+    /// transpose (no data movement: `A` in CSR is `Aᵀ` in CSC).
+    pub fn transpose_into_csc(self) -> Csc<T> {
+        Csc::from_parts_unchecked(self.ncols, self.nrows, self.rowptr, self.colidx, self.values)
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> Dense<T>
+    where
+        T: Default,
+    {
+        let mut d = Dense::filled(self.nrows, self.ncols, T::default());
+        for (r, c, v) in self.iter() {
+            d[(r as usize, c as usize)] = v;
+        }
+        d
+    }
+
+    /// Validates all structural invariants, returning a detailed error.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        Csr::from_parts(
+            self.nrows,
+            self.ncols,
+            self.rowptr.clone(),
+            self.colidx.clone(),
+            self.values.clone(),
+        )
+        .map(|_| ())
+    }
+}
+
+impl<T: Numeric> Csr<T> {
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            rowptr: (0..=n).collect(),
+            colidx: (0..n as Index).collect(),
+            values: vec![T::one_value(); n],
+        }
+    }
+
+    /// Merges duplicate column indices by ordinary addition.
+    pub fn sum_duplicates(&mut self) {
+        self.sum_duplicates_with::<PlusTimes<T>>();
+    }
+
+    /// Scales every stored value by `factor`.
+    pub fn scale(&mut self, factor: T) {
+        for v in &mut self.values {
+            *v = *v * factor;
+        }
+    }
+}
+
+/// Shared kernel for CSR→CSC conversion and CSR transpose: a counting sort of
+/// the entries by column index.
+fn transpose_arrays<T: Scalar + Default>(
+    nrows: usize,
+    ncols: usize,
+    rowptr: &[usize],
+    colidx: &[Index],
+    values: &[T],
+) -> (Vec<usize>, Vec<Index>, Vec<T>) {
+    let nnz = colidx.len();
+    let mut counts = vec![0usize; ncols + 1];
+    for &c in colidx {
+        counts[c as usize + 1] += 1;
+    }
+    for j in 0..ncols {
+        counts[j + 1] += counts[j];
+    }
+    let out_ptr = counts.clone();
+    let mut out_idx = vec![0 as Index; nnz];
+    let mut out_val = vec![T::default(); nnz];
+    let mut cursor = counts;
+    for i in 0..nrows {
+        for k in rowptr[i]..rowptr[i + 1] {
+            let c = colidx[k] as usize;
+            let dst = cursor[c];
+            out_idx[dst] = i as Index;
+            out_val[dst] = values[k];
+            cursor[c] += 1;
+        }
+    }
+    (out_ptr, out_idx, out_val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3x4 matrix used throughout:
+    /// ```text
+    /// [ 1 0 2 0 ]
+    /// [ 0 0 0 3 ]
+    /// [ 4 5 0 6 ]
+    /// ```
+    fn sample() -> Csr<f64> {
+        Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 3, 6],
+            vec![0, 2, 3, 0, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.row(2).0, &[0, 1, 3]);
+        assert_eq!(m.get(2, 1), Some(5.0));
+        assert_eq!(m.get(1, 1), None);
+        assert!((m.avg_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(m.max_degree(), 3);
+        assert!((m.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        // Wrong rowptr length.
+        assert!(Csr::<f64>::from_parts(3, 3, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // Non-monotone rowptr.
+        assert!(
+            Csr::<f64>::from_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
+        // rowptr does not start at zero.
+        assert!(Csr::<f64>::from_parts(1, 3, vec![1, 1], vec![], vec![]).is_err());
+        // Last rowptr entry disagrees with nnz.
+        assert!(Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![0], vec![1.0]).is_err());
+        // Column out of bounds.
+        assert!(
+            Csr::<f64>::from_parts(2, 3, vec![0, 1, 2], vec![0, 7], vec![1.0, 1.0]).is_err()
+        );
+        // Value / index length mismatch.
+        assert!(Csr::<f64>::from_parts(1, 3, vec![0, 1], vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn iter_visits_all_entries_in_order() {
+        let m = sample();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(
+            entries,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+                (2, 3, 6.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        assert_eq!(t.get(3, 1), Some(3.0));
+        assert_eq!(t.get(0, 2), Some(4.0));
+        let tt = t.transpose();
+        assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn csc_conversion_matches_dense() {
+        let m = sample();
+        let csc = m.to_csc();
+        assert_eq!(csc.to_dense(), m.to_dense());
+        assert_eq!(csc.col(0).0, &[0, 2]);
+        assert_eq!(csc.col(0).1, &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_into_csc_is_zero_copy_reinterpretation() {
+        let m = sample();
+        let csc_of_transpose = m.clone().transpose_into_csc();
+        // A (CSR) reinterpreted as CSC is the transpose of A.
+        assert_eq!(csc_of_transpose.to_dense(), m.transpose().to_dense());
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let m = sample();
+        let coo = m.to_coo();
+        assert_eq!(coo.nnz(), m.nnz());
+        assert_eq!(coo.to_csr(), m);
+    }
+
+    #[test]
+    fn sort_indices_and_duplicates() {
+        let mut m = Csr::from_parts(
+            2,
+            4,
+            vec![0, 3, 5],
+            vec![2, 0, 2, 3, 1],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
+        assert!(!m.has_sorted_indices());
+        assert!(m.has_duplicates());
+        m.sort_indices();
+        assert!(m.has_sorted_indices());
+        m.sum_duplicates();
+        assert!(!m.has_duplicates());
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 2), Some(4.0));
+    }
+
+    #[test]
+    fn identity_and_scale() {
+        let mut id = Csr::<f64>::identity(4);
+        assert_eq!(id.nnz(), 4);
+        assert_eq!(id.get(2, 2), Some(1.0));
+        assert_eq!(id.get(2, 3), None);
+        id.scale(3.0);
+        assert_eq!(id.get(1, 1), Some(3.0));
+    }
+
+    #[test]
+    fn map_values_and_prune() {
+        let m = sample();
+        let doubled = m.map_values(|v| v * 2.0);
+        assert_eq!(doubled.get(2, 3), Some(12.0));
+        let big_only = m.prune(|_, _, v| v >= 4.0);
+        assert_eq!(big_only.nnz(), 3);
+        assert_eq!(big_only.get(0, 0), None);
+        assert_eq!(big_only.get(2, 0), Some(4.0));
+        assert_eq!(big_only.shape(), m.shape());
+    }
+
+    #[test]
+    fn empty_matrix_behaviour() {
+        let m: Csr<f64> = Csr::empty(0, 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.avg_degree(), 0.0);
+        assert_eq!(m.density(), 0.0);
+        assert!(m.validate().is_ok());
+
+        let m: Csr<f64> = Csr::empty(5, 3);
+        assert_eq!(m.shape(), (5, 3));
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.transpose().shape(), (3, 5));
+        assert_eq!(m.to_coo().nnz(), 0);
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let m = sample();
+        assert!(m.validate().is_ok());
+        let (nr, nc, mut rowptr, colidx, values) = m.into_parts();
+        rowptr[1] = 5; // corrupt
+        let bad = Csr::from_parts(nr, nc, rowptr, colidx, values);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn values_mut_allows_in_place_updates() {
+        let mut m = sample();
+        m.values_mut()[0] = 42.0;
+        assert_eq!(m.get(0, 0), Some(42.0));
+    }
+}

@@ -1,0 +1,245 @@
+//! Dense matrices, used only as an obviously-correct reference in tests and
+//! examples (they are O(n²) in memory and never appear on a hot path).
+
+use std::ops::{Index as StdIndex, IndexMut};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::semiring::{Numeric, Semiring};
+use crate::Scalar;
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense<T> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Dense<T> {
+    /// Creates a matrix with every element equal to `fill`.
+    pub fn filled(nrows: usize, ncols: usize, fill: T) -> Self {
+        Dense { nrows, ncols, data: vec![fill; nrows * ncols] }
+    }
+
+    /// Builds a dense matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense data length must equal nrows * ncols");
+        Dense { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Counts elements different from `zero`.
+    pub fn count_nonzero(&self, zero: T) -> usize {
+        self.data.iter().filter(|&&v| v != zero).count()
+    }
+
+    /// Converts to COO, keeping only elements different from `zero`.
+    pub fn to_coo(&self, zero: T) -> Coo<T> {
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.count_nonzero(zero))
+            .expect("dense dims already validated");
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                let v = self[(i, j)];
+                if v != zero {
+                    coo.push(i, j, v).expect("in-bounds by construction");
+                }
+            }
+        }
+        coo
+    }
+
+    /// Dense matrix product under an arbitrary semiring (triple loop).
+    pub fn multiply_with<S>(&self, other: &Dense<T>) -> Dense<T>
+    where
+        S: Semiring<Elem = T>,
+    {
+        assert_eq!(
+            self.ncols, other.nrows,
+            "dense multiply shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Dense::filled(self.nrows, other.ncols, S::zero());
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self[(i, k)];
+                if S::is_zero(&a) {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    let b = other[(k, j)];
+                    if S::is_zero(&b) {
+                        continue;
+                    }
+                    let cur = out[(i, j)];
+                    out[(i, j)] = S::add(cur, S::mul(a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<T: Numeric> Dense<T> {
+    /// Dense matrix product with ordinary `+`/`×`.
+    pub fn multiply(&self, other: &Dense<T>) -> Dense<T> {
+        self.multiply_with::<crate::semiring::PlusTimes<T>>(other)
+    }
+
+    /// Converts to CSR, dropping ordinary zeros.
+    pub fn to_csr(&self) -> Csr<T> {
+        self.to_coo(T::zero_value()).to_csr()
+    }
+}
+
+impl Dense<f64> {
+    /// Element-wise comparison within an absolute tolerance.
+    pub fn approx_eq(&self, other: &Dense<f64>, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+    }
+}
+
+impl<T: Scalar> StdIndex<(usize, usize)> for Dense<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Dense<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlus, OrAnd};
+
+    #[test]
+    fn indexing_and_rows() {
+        let mut d = Dense::filled(2, 3, 0.0);
+        d[(0, 1)] = 5.0;
+        d[(1, 2)] = -2.0;
+        assert_eq!(d.row(0), &[0.0, 5.0, 0.0]);
+        assert_eq!(d.row(1), &[0.0, 0.0, -2.0]);
+        assert_eq!(d.count_nonzero(0.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nrows * ncols")]
+    fn from_vec_checks_length() {
+        let _ = Dense::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn multiply_matches_hand_computation() {
+        // [1 2]   [5 6]   [19 22]
+        // [3 4] x [7 8] = [43 50]
+        let a = Dense::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Dense::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.multiply(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn multiply_rectangular() {
+        let a = Dense::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        let b = Dense::from_vec(3, 2, vec![1.0, 1.0, 0.0, 2.0, 4.0, 0.0]);
+        let c = a.multiply(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[9.0, 1.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn multiply_boolean_semiring_is_reachability() {
+        // Path graph 0 -> 1 -> 2; two-hop reachability is only 0 -> 2.
+        let a = Dense::from_vec(3, 3, vec![
+            false, true, false,
+            false, false, true,
+            false, false, false,
+        ]);
+        let c = a.multiply_with::<OrAnd>(&a);
+        assert!(c[(0, 2)]);
+        assert_eq!(c.data().iter().filter(|&&v| v).count(), 1);
+    }
+
+    #[test]
+    fn multiply_min_plus_finds_shortest_two_hop_path() {
+        let inf = f64::INFINITY;
+        // 0 -> 1 (cost 1), 1 -> 2 (cost 2), 0 -> 2 direct is not an edge.
+        let a = Dense::from_vec(3, 3, vec![
+            inf, 1.0, inf,
+            inf, inf, 2.0,
+            inf, inf, inf,
+        ]);
+        let c = a.multiply_with::<MinPlus>(&a);
+        assert_eq!(c[(0, 2)], 3.0);
+        assert_eq!(c[(0, 1)], inf);
+    }
+
+    #[test]
+    fn sparse_dense_roundtrip() {
+        let d = Dense::from_vec(2, 3, vec![0.0, 1.0, 0.0, 2.0, 0.0, 3.0]);
+        let csr = d.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.to_dense(), d);
+        let coo = d.to_coo(0.0);
+        assert_eq!(coo.nnz(), 3);
+        assert_eq!(coo.to_dense(), d);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        let a = Dense::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Dense::from_vec(1, 2, vec![1.0 + 1e-12, 2.0 - 1e-12]);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+        let c = Dense::from_vec(2, 1, vec![1.0, 2.0]);
+        assert!(!a.approx_eq(&c, 1.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Error type shared by the sparse-matrix substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting or parsing sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A matrix dimension exceeded [`crate::MAX_DIM`] (indices are `u32`).
+    DimensionTooLarge {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// An entry referenced a row or column outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows of the matrix.
+        nrows: usize,
+        /// Number of columns of the matrix.
+        ncols: usize,
+    },
+    /// The offset (`rowptr`/`colptr`) array of a compressed format is
+    /// malformed: wrong length, not monotonically non-decreasing, or its last
+    /// element does not equal the number of stored entries.
+    MalformedOffsets {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// Two matrices had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+        /// Operation being attempted (e.g. `"multiply"`).
+        op: &'static str,
+    },
+    /// The parallel arrays of a triplet/COO matrix had different lengths.
+    LengthMismatch {
+        /// Length of the row-index array.
+        rows: usize,
+        /// Length of the column-index array.
+        cols: usize,
+        /// Length of the value array.
+        vals: usize,
+    },
+    /// A Matrix Market file could not be parsed.
+    MatrixMarket {
+        /// 1-based line number where parsing failed (0 if unknown).
+        line: usize,
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// A binary matrix file (see [`crate::binfmt`]) could not be decoded.
+    Binary {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// An I/O error occurred while reading or writing a matrix file.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionTooLarge { dim } => {
+                write!(f, "matrix dimension {dim} exceeds the u32 index space")
+            }
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix bounds"
+            ),
+            SparseError::MalformedOffsets { detail } => {
+                write!(f, "malformed offset array: {detail}")
+            }
+            SparseError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch for {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::LengthMismatch { rows, cols, vals } => write!(
+                f,
+                "triplet arrays have mismatched lengths: rows={rows}, cols={cols}, vals={vals}"
+            ),
+            SparseError::MatrixMarket { line, detail } => {
+                if *line == 0 {
+                    write!(f, "Matrix Market parse error: {detail}")
+                } else {
+                    write!(f, "Matrix Market parse error at line {line}: {detail}")
+                }
+            }
+            SparseError::Binary { detail } => {
+                write!(f, "binary matrix format error: {detail}")
+            }
+            SparseError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 4, ncols: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("(5, 7)"));
+        assert!(msg.contains("4x4"));
+
+        let e = SparseError::ShapeMismatch { left: (3, 4), right: (5, 6), op: "multiply" };
+        assert!(e.to_string().contains("multiply"));
+
+        let e = SparseError::MatrixMarket { line: 12, detail: "bad header".into() };
+        assert!(e.to_string().contains("line 12"));
+
+        let e = SparseError::MatrixMarket { line: 0, detail: "empty file".into() };
+        assert!(!e.to_string().contains("line 0"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.mtx");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("missing.mtx"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper's real-matrix experiments use matrices from the SuiteSparse
+//! collection, which are distributed in the Matrix Market coordinate format.
+//! This module implements a reader and writer for the subset of the format
+//! needed for SpGEMM experiments: `matrix coordinate
+//! {real|integer|pattern} {general|symmetric|skew-symmetric}`.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::coo::Coo;
+use crate::error::SparseError;
+
+/// Symmetry declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle is stored; `(i, j)` implies `(j, i)` with the
+    /// same value.
+    Symmetric,
+    /// Only the lower triangle is stored; `(i, j)` implies `(j, i)` with the
+    /// negated value.
+    SkewSymmetric,
+}
+
+/// Value field declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmField {
+    /// Double-precision values.
+    Real,
+    /// Integer values (parsed into `f64`).
+    Integer,
+    /// No values; every stored entry is 1.0.
+    Pattern,
+}
+
+/// Metadata parsed from a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmHeader {
+    /// Value field of the file.
+    pub field: MmField,
+    /// Symmetry of the file.
+    pub symmetry: MmSymmetry,
+}
+
+/// Reads a Matrix Market file from disk into a COO matrix.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<Coo<f64>, SparseError> {
+    let file = File::open(path)?;
+    read_matrix_market_from(BufReader::new(file)).map(|(m, _)| m)
+}
+
+/// Reads a Matrix Market stream, returning the matrix and the parsed header.
+pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<(Coo<f64>, MmHeader), SparseError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // --- Header line -------------------------------------------------------
+    let (line_no, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (i + 1, line);
+                }
+            }
+            None => {
+                return Err(SparseError::MatrixMarket { line: 0, detail: "empty file".into() })
+            }
+        }
+    };
+    let tokens: Vec<String> =
+        header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::MatrixMarket {
+            line: line_no,
+            detail: format!("invalid header line: {header:?}"),
+        });
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::MatrixMarket {
+            line: line_no,
+            detail: format!("unsupported format {:?} (only 'coordinate' is supported)", tokens[2]),
+        });
+    }
+    let field = match tokens[3].as_str() {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(SparseError::MatrixMarket {
+                line: line_no,
+                detail: format!("unsupported field {other:?}"),
+            })
+        }
+    };
+    let symmetry = match tokens[4].as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
+        other => {
+            return Err(SparseError::MatrixMarket {
+                line: line_no,
+                detail: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+
+    // --- Size line (after comments) ---------------------------------------
+    let (size_line_no, size_line) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let trimmed = line.trim().to_string();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break (i + 1, trimmed);
+            }
+            None => {
+                return Err(SparseError::MatrixMarket {
+                    line: 0,
+                    detail: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>().map_err(|_| SparseError::MatrixMarket {
+                line: size_line_no,
+                detail: format!("invalid size token {t:?}"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::MatrixMarket {
+            line: size_line_no,
+            detail: format!("size line must have 3 fields, got {}", dims.len()),
+        });
+    }
+    let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    // --- Entries ------------------------------------------------------------
+    let mut coo = Coo::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == MmSymmetry::General { declared_nnz } else { declared_nnz * 2 },
+    )?;
+    let mut seen = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse_idx = |tok: Option<&str>| -> Result<usize, SparseError> {
+            tok.ok_or_else(|| SparseError::MatrixMarket {
+                line: i + 1,
+                detail: "missing index".into(),
+            })?
+            .parse::<usize>()
+            .map_err(|_| SparseError::MatrixMarket {
+                line: i + 1,
+                detail: "invalid index".into(),
+            })
+        };
+        let r = parse_idx(it.next())?;
+        let c = parse_idx(it.next())?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::MatrixMarket {
+                line: i + 1,
+                detail: "Matrix Market indices are 1-based; found 0".into(),
+            });
+        }
+        let v = match field {
+            MmField::Pattern => 1.0,
+            MmField::Real | MmField::Integer => it
+                .next()
+                .ok_or_else(|| SparseError::MatrixMarket {
+                    line: i + 1,
+                    detail: "missing value".into(),
+                })?
+                .parse::<f64>()
+                .map_err(|_| SparseError::MatrixMarket {
+                    line: i + 1,
+                    detail: "invalid value".into(),
+                })?,
+        };
+        coo.push(r - 1, c - 1, v)?;
+        match symmetry {
+            MmSymmetry::General => {}
+            MmSymmetry::Symmetric => {
+                if r != c {
+                    coo.push(c - 1, r - 1, v)?;
+                }
+            }
+            MmSymmetry::SkewSymmetric => {
+                if r != c {
+                    coo.push(c - 1, r - 1, -v)?;
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::MatrixMarket {
+            line: 0,
+            detail: format!("header declares {declared_nnz} entries but file contains {seen}"),
+        });
+    }
+    Ok((coo, MmHeader { field, symmetry }))
+}
+
+/// Writes a COO matrix to disk in Matrix Market `coordinate real general`
+/// format.
+pub fn write_matrix_market(path: impl AsRef<Path>, m: &Coo<f64>) -> Result<(), SparseError> {
+    let file = File::create(path)?;
+    write_matrix_market_to(BufWriter::new(file), m)
+}
+
+/// Writes a COO matrix to any writer in Matrix Market format.
+pub fn write_matrix_market_to<W: Write>(mut w: W, m: &Coo<f64>) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by pb-sparse")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {:e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<(Coo<f64>, MmHeader), SparseError> {
+        read_matrix_market_from(text.as_bytes())
+    }
+
+    #[test]
+    fn reads_general_real_matrix() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 4 3\n\
+                    1 1 1.5\n\
+                    2 4 -2.0\n\
+                    3 2 7\n";
+        let (m, header) = parse(text).unwrap();
+        assert_eq!(header.field, MmField::Real);
+        assert_eq!(header.symmetry, MmSymmetry::General);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 3);
+        let d = m.to_dense();
+        assert_eq!(d[(0, 0)], 1.5);
+        assert_eq!(d[(1, 3)], -2.0);
+        assert_eq!(d[(2, 1)], 7.0);
+    }
+
+    #[test]
+    fn reads_symmetric_pattern_matrix() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 3\n\
+                    1 1\n\
+                    2 1\n\
+                    3 2\n";
+        let (m, header) = parse(text).unwrap();
+        assert_eq!(header.field, MmField::Pattern);
+        assert_eq!(header.symmetry, MmSymmetry::Symmetric);
+        // Diagonal entry is not mirrored, off-diagonals are.
+        assert_eq!(m.nnz(), 5);
+        let d = m.to_dense();
+        assert_eq!(d[(0, 1)], 1.0);
+        assert_eq!(d[(1, 0)], 1.0);
+        assert_eq!(d[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn reads_skew_symmetric_and_integer() {
+        let text = "%%MatrixMarket matrix coordinate integer skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 4\n";
+        let (m, _) = parse(text).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d[(1, 0)], 4.0);
+        assert_eq!(d[(0, 1)], -4.0);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(parse("").is_err());
+        assert!(parse("%%MatrixMarket matrix array real general\n1 1\n1.0\n").is_err());
+        assert!(parse("not a header\n1 1 0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3.0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate complex general\n1 1 0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n").is_err());
+        assert!(
+            parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n").is_err(),
+            "out-of-bounds index must be rejected"
+        );
+    }
+
+    #[test]
+    fn write_read_roundtrip_preserves_matrix() {
+        let m = Coo::from_entries(
+            4,
+            3,
+            vec![(0, 0, 1.25), (1, 2, -3.5), (3, 1, 1e-8), (2, 2, 4.0)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market_to(&mut buf, &m).unwrap();
+        let (back, header) = read_matrix_market_from(buf.as_slice()).unwrap();
+        assert_eq!(header.symmetry, MmSymmetry::General);
+        assert_eq!(back.shape(), m.shape());
+        assert_eq!(back.nnz(), m.nnz());
+        assert!(back.to_dense().approx_eq(&m.to_dense(), 1e-12));
+    }
+
+    #[test]
+    fn file_roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join("pb_sparse_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mtx");
+        let m = Coo::from_entries(2, 2, vec![(0, 1, 2.0), (1, 0, -1.0)]).unwrap();
+        write_matrix_market(&path, &m).unwrap();
+        let back = read_matrix_market(&path).unwrap();
+        assert!(back.to_dense().approx_eq(&m.to_dense(), 1e-12));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_matrix_market("/nonexistent/path/matrix.mtx").unwrap_err();
+        assert!(matches!(err, SparseError::Io(_)));
+    }
+}

@@ -1,0 +1,92 @@
+//! # pb-sparse — sparse-matrix substrate for the PB-SpGEMM reproduction
+//!
+//! This crate provides the sparse matrix data structures and utilities that
+//! every other crate in the workspace builds on:
+//!
+//! * [`Csr`], [`Csc`] and [`Coo`] storage formats with conversions between
+//!   them (the paper feeds `A` in CSC and `B` in CSR into the outer-product
+//!   algorithm and produces `C` in CSR; the expanded matrix `Ĉ` is COO).
+//! * [`Dense`] matrices and slow-but-obviously-correct reference SpGEMM
+//!   implementations ([`reference`]) used as oracles by the test suites of
+//!   the algorithm crates.
+//! * [`Semiring`] abstractions so that the same multiplication kernels serve
+//!   numerical SpGEMM (`+`/`×` over `f64`), graph kernels (boolean,
+//!   min-plus) and counting kernels (triangle counting).
+//! * Matrix Market I/O ([`io`]) for loading real matrices.
+//! * Multiplication statistics ([`stats`]): `flop`, `nnz(C)` and the
+//!   compression factor `cf = flop / nnz(C)` that drive the paper's Roofline
+//!   model.
+//!
+//! Index type: all matrices use 32-bit column/row indices ([`Index`]) and
+//! `usize` offset arrays, matching the paper's assumption of 4-byte indices
+//! and 8-byte values (16 bytes per COO tuple).
+//!
+//! ```
+//! use pb_sparse::{Coo, Csr, reference};
+//!
+//! // Build a small matrix from triplets and square it with the reference
+//! // implementation.
+//! let a = Coo::from_entries(4, 4, vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]).unwrap();
+//! let a: Csr<f64> = a.to_csr();
+//! let c = reference::multiply_csr(&a, &a);
+//! assert_eq!(c.nnz(), 2); // paths of length two: (0,2) and (1,3)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod binfmt;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod io;
+pub mod ops;
+pub mod permute;
+pub mod reference;
+pub mod semiring;
+pub mod stats;
+pub mod vector;
+
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dense::Dense;
+pub use error::SparseError;
+pub use semiring::{MaxTimes, MinPlus, OrAnd, PlusTimes, Semiring};
+pub use stats::MultiplyStats;
+pub use vector::SparseVec;
+
+/// Row/column index type used throughout the workspace.
+///
+/// The paper assumes 4-byte indices when computing the bytes-per-nonzero
+/// constant `b = 16` (two 4-byte indices + one 8-byte value), so we fix
+/// indices to `u32`.  Matrices with more than `u32::MAX` rows or columns are
+/// rejected at construction time.
+pub type Index = u32;
+
+/// Maximum supported dimension (rows or columns) of a sparse matrix.
+pub const MAX_DIM: usize = u32::MAX as usize;
+
+/// Scalar values storable in a sparse matrix.
+///
+/// This is intentionally minimal: algorithm crates put additional arithmetic
+/// requirements on values through [`Semiring`] rather than through the
+/// storage types, so matrices can hold any plain-old-data payload.
+pub trait Scalar: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {}
+
+impl<T> Scalar for T where T: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {}
+
+/// Convenience prelude re-exporting the types needed by most downstream code.
+pub mod prelude {
+    pub use crate::coo::Coo;
+    pub use crate::csc::Csc;
+    pub use crate::csr::Csr;
+    pub use crate::dense::Dense;
+    pub use crate::error::SparseError;
+    pub use crate::semiring::{MinPlus, OrAnd, PlusTimes, Semiring};
+    pub use crate::stats::MultiplyStats;
+    pub use crate::vector::SparseVec;
+    pub use crate::{Index, Scalar};
+}

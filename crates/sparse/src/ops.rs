@@ -1,0 +1,502 @@
+//! Parallel element-wise and structural operations on CSR matrices.
+//!
+//! These are the "vector-like" building blocks that the graph kernels
+//! ([`pb-graph`]) and the iterative examples (Markov clustering, PageRank)
+//! need around SpGEMM itself: element-wise sums and products, triangular and
+//! diagonal extraction, row/column scaling and reductions.  All operations
+//! parallelise over rows with rayon and expect canonical inputs (sorted,
+//! duplicate-free column indices within every row) — which is what every
+//! multiplication kernel in this workspace produces.
+//!
+//! The sequential [`crate::reference`] versions of `add` and `hadamard` are
+//! kept as oracles; the unit tests here compare against them.
+
+use rayon::prelude::*;
+
+use crate::csr::Csr;
+use crate::semiring::{Numeric, PlusTimes, Semiring};
+use crate::{Index, Scalar};
+
+/// Merges the per-row outputs produced by a parallel row pass into one CSR
+/// matrix.
+fn assemble_rows<T: Scalar>(
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<(Vec<Index>, Vec<T>)>,
+) -> Csr<T> {
+    let nnz: usize = rows.iter().map(|(c, _)| c.len()).sum();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    let mut colidx = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    rowptr.push(0usize);
+    for (cols, vals) in rows {
+        colidx.extend_from_slice(&cols);
+        values.extend_from_slice(&vals);
+        rowptr.push(colidx.len());
+    }
+    Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}
+
+/// Element-wise sum `A ⊕ B` under a semiring's `add`.
+///
+/// The output stores every coordinate stored in either input; coordinates
+/// present in both are merged with `S::add`.  Both inputs must have the same
+/// shape and canonical (sorted) rows.
+pub fn add_with<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
+    assert_eq!(a.shape(), b.shape(), "element-wise add requires equal shapes");
+    debug_assert!(a.has_sorted_indices() && b.has_sorted_indices());
+    let rows: Vec<(Vec<Index>, Vec<S::Elem>)> = (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b.row(i);
+            let mut cols = Vec::with_capacity(ac.len() + bc.len());
+            let mut vals = Vec::with_capacity(ac.len() + bc.len());
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() && q < bc.len() {
+                match ac[p].cmp(&bc[q]) {
+                    std::cmp::Ordering::Less => {
+                        cols.push(ac[p]);
+                        vals.push(av[p]);
+                        p += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        cols.push(bc[q]);
+                        vals.push(bv[q]);
+                        q += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        cols.push(ac[p]);
+                        vals.push(S::add(av[p], bv[q]));
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            cols.extend_from_slice(&ac[p..]);
+            vals.extend_from_slice(&av[p..]);
+            cols.extend_from_slice(&bc[q..]);
+            vals.extend_from_slice(&bv[q..]);
+            (cols, vals)
+        })
+        .collect();
+    assemble_rows(a.nrows(), a.ncols(), rows)
+}
+
+/// Element-wise sum with ordinary `+` over a numeric type.
+pub fn add<T: Numeric>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    add_with::<PlusTimes<T>>(a, b)
+}
+
+/// Element-wise (Hadamard) product `A ⊗ B` under a semiring's `mul`.
+///
+/// Only coordinates stored in **both** inputs appear in the output.  Both
+/// inputs must have the same shape and canonical rows.
+pub fn hadamard_with<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
+    assert_eq!(a.shape(), b.shape(), "hadamard product requires equal shapes");
+    debug_assert!(a.has_sorted_indices() && b.has_sorted_indices());
+    let rows: Vec<(Vec<Index>, Vec<S::Elem>)> = (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b.row(i);
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() && q < bc.len() {
+                match ac[p].cmp(&bc[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        cols.push(ac[p]);
+                        vals.push(S::mul(av[p], bv[q]));
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            (cols, vals)
+        })
+        .collect();
+    assemble_rows(a.nrows(), a.ncols(), rows)
+}
+
+/// Element-wise product with ordinary `×` over a numeric type.
+pub fn hadamard<T: Numeric>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    hadamard_with::<PlusTimes<T>>(a, b)
+}
+
+/// Restricts `A` to the sparsity pattern of `mask`: keeps `A(i, j)` only when
+/// `mask` stores an entry at `(i, j)` (regardless of its value).
+///
+/// This is the element-wise mask used by masked SpGEMM and by the
+/// triangle-counting kernel (`(A·A) ∘ A`).
+pub fn mask_by_pattern<T: Scalar, M: Scalar>(a: &Csr<T>, mask: &Csr<M>) -> Csr<T> {
+    assert_eq!(a.shape(), mask.shape(), "mask requires equal shapes");
+    debug_assert!(a.has_sorted_indices() && mask.has_sorted_indices());
+    let rows: Vec<(Vec<Index>, Vec<T>)> = (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let (ac, av) = a.row(i);
+            let (mc, _) = mask.row(i);
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() && q < mc.len() {
+                match ac[p].cmp(&mc[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        cols.push(ac[p]);
+                        vals.push(av[p]);
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            (cols, vals)
+        })
+        .collect();
+    assemble_rows(a.nrows(), a.ncols(), rows)
+}
+
+/// Scales row `i` of `A` by `factors[i]` (`A(i, j) ← factors[i] × A(i, j)`).
+pub fn scale_rows<T: Numeric>(a: &Csr<T>, factors: &[T]) -> Csr<T> {
+    assert_eq!(factors.len(), a.nrows(), "one scale factor per row is required");
+    let rows: Vec<(Vec<Index>, Vec<T>)> = (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let (cols, vals) = a.row(i);
+            (cols.to_vec(), vals.iter().map(|&v| factors[i] * v).collect())
+        })
+        .collect();
+    assemble_rows(a.nrows(), a.ncols(), rows)
+}
+
+/// Scales column `j` of `A` by `factors[j]` (`A(i, j) ← A(i, j) × factors[j]`).
+pub fn scale_cols<T: Numeric>(a: &Csr<T>, factors: &[T]) -> Csr<T> {
+    assert_eq!(factors.len(), a.ncols(), "one scale factor per column is required");
+    let rows: Vec<(Vec<Index>, Vec<T>)> = (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let (cols, vals) = a.row(i);
+            (
+                cols.to_vec(),
+                cols.iter().zip(vals).map(|(&c, &v)| v * factors[c as usize]).collect(),
+            )
+        })
+        .collect();
+    assemble_rows(a.nrows(), a.ncols(), rows)
+}
+
+/// The main diagonal of `A` as a dense vector of length `min(nrows, ncols)`;
+/// missing diagonal entries are the numeric zero.
+pub fn diagonal<T: Numeric>(a: &Csr<T>) -> Vec<T> {
+    let n = a.nrows().min(a.ncols());
+    (0..n)
+        .into_par_iter()
+        .map(|i| a.get(i, i).unwrap_or_else(T::zero_value))
+        .collect()
+}
+
+/// Drops every stored entry on the main diagonal.
+pub fn remove_diagonal<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    a.prune(|r, c, _| r != c)
+}
+
+/// The upper triangle of `A`: entries with `col ≥ row + k` (so `k = 0` keeps
+/// the diagonal and `k = 1` is strictly upper triangular).
+pub fn triu<T: Scalar>(a: &Csr<T>, k: i64) -> Csr<T> {
+    a.prune(move |r, c, _| c as i64 >= r as i64 + k)
+}
+
+/// The lower triangle of `A`: entries with `col ≤ row - k` (so `k = 0` keeps
+/// the diagonal and `k = 1` is strictly lower triangular).
+pub fn tril<T: Scalar>(a: &Csr<T>, k: i64) -> Csr<T> {
+    a.prune(move |r, c, _| c as i64 <= r as i64 - k)
+}
+
+/// Per-row reduction of the stored values with a semiring's `add`.
+pub fn row_sums_with<S: Semiring>(a: &Csr<S::Elem>) -> Vec<S::Elem> {
+    (0..a.nrows())
+        .into_par_iter()
+        .map(|i| a.row(i).1.iter().fold(S::zero(), |acc, &v| S::add(acc, v)))
+        .collect()
+}
+
+/// Per-row sum of stored values with ordinary `+`.
+pub fn row_sums<T: Numeric>(a: &Csr<T>) -> Vec<T> {
+    row_sums_with::<PlusTimes<T>>(a)
+}
+
+/// Per-column reduction of the stored values with a semiring's `add`.
+///
+/// Columns are reduced by folding thread-local accumulators, so the result is
+/// deterministic only up to the semiring's associativity (exact for integer
+/// semirings, tolerance-level differences for floating point).
+pub fn col_sums_with<S: Semiring>(a: &Csr<S::Elem>) -> Vec<S::Elem> {
+    let ncols = a.ncols();
+    (0..a.nrows())
+        .into_par_iter()
+        .fold(
+            || vec![S::zero(); ncols],
+            |mut acc, i| {
+                let (cols, vals) = a.row(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc[c as usize] = S::add(acc[c as usize], v);
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![S::zero(); ncols],
+            |mut x, y| {
+                for (xi, yi) in x.iter_mut().zip(y) {
+                    *xi = S::add(*xi, yi);
+                }
+                x
+            },
+        )
+}
+
+/// Per-column sum of stored values with ordinary `+`.
+pub fn col_sums<T: Numeric>(a: &Csr<T>) -> Vec<T> {
+    col_sums_with::<PlusTimes<T>>(a)
+}
+
+/// Frobenius norm `sqrt(Σ A(i,j)²)` of a real matrix.
+pub fn frobenius_norm(a: &Csr<f64>) -> f64 {
+    a.values().par_iter().map(|&v| v * v).sum::<f64>().sqrt()
+}
+
+/// Largest absolute stored value of a real matrix (`0` for an empty matrix).
+pub fn max_abs(a: &Csr<f64>) -> f64 {
+    a.values().par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
+}
+
+/// Symmetrises `A` structurally and numerically: `A ⊕ Aᵀ` under the
+/// semiring's `add`.
+pub fn symmetrize_with<S: Semiring>(a: &Csr<S::Elem>) -> Csr<S::Elem>
+where
+    S::Elem: Default,
+{
+    assert_eq!(a.nrows(), a.ncols(), "symmetrize requires a square matrix");
+    let at = a.transpose();
+    add_with::<S>(a, &at)
+}
+
+/// Returns `true` when the sparsity pattern of `A` is symmetric
+/// (`A(i, j)` stored iff `A(j, i)` stored).  Values are ignored.
+pub fn pattern_is_symmetric<T: Scalar + Default>(a: &Csr<T>) -> bool {
+    if a.nrows() != a.ncols() {
+        return false;
+    }
+    let at = a.transpose();
+    a.rowptr() == at.rowptr() && a.colidx() == at.colidx()
+}
+
+/// Converts a non-negative matrix to column-stochastic form: every non-empty
+/// column is scaled so its entries sum to one.  Empty columns are left empty.
+///
+/// This is the normalisation step of Markov clustering and PageRank.
+pub fn column_stochastic(a: &Csr<f64>) -> Csr<f64> {
+    let sums = col_sums::<f64>(a);
+    let inv: Vec<f64> = sums.iter().map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 }).collect();
+    scale_cols(a, &inv)
+}
+
+/// Converts a non-negative matrix to row-stochastic form: every non-empty row
+/// is scaled so its entries sum to one.  Empty rows are left empty.
+pub fn row_stochastic(a: &Csr<f64>) -> Csr<f64> {
+    let sums = row_sums::<f64>(a);
+    let inv: Vec<f64> = sums.iter().map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 }).collect();
+    scale_rows(a, &inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::reference;
+    use crate::semiring::{MinPlus, OrAnd};
+
+    fn sample_a() -> Csr<f64> {
+        Coo::from_entries(
+            4,
+            4,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 3, -1.0), (3, 3, 5.0)],
+        )
+        .unwrap()
+        .to_csr()
+    }
+
+    fn sample_b() -> Csr<f64> {
+        Coo::from_entries(
+            4,
+            4,
+            vec![(0, 0, 10.0), (0, 1, 1.0), (1, 1, -3.0), (2, 3, 2.0), (3, 0, 7.0)],
+        )
+        .unwrap()
+        .to_csr()
+    }
+
+    #[test]
+    fn add_matches_reference() {
+        let (a, b) = (sample_a(), sample_b());
+        let fast = add(&a, &b);
+        let slow = reference::add_csr_with::<PlusTimes<f64>>(&a, &b);
+        assert!(reference::csr_approx_eq(&fast, &slow, 1e-12));
+        assert_eq!(fast.get(0, 0), Some(11.0));
+        assert_eq!(fast.get(1, 1), Some(0.0), "cancellation keeps an explicit zero");
+        assert_eq!(fast.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn add_is_commutative() {
+        let (a, b) = (sample_a(), sample_b());
+        assert!(reference::csr_exact_eq(&add(&a, &b), &add(&b, &a)));
+    }
+
+    #[test]
+    fn hadamard_matches_reference() {
+        let (a, b) = (sample_a(), sample_b());
+        let fast = hadamard(&a, &b);
+        let slow = reference::hadamard_csr_with::<PlusTimes<f64>>(&a, &b);
+        assert!(reference::csr_approx_eq(&fast, &slow, 1e-12));
+        assert_eq!(fast.nnz(), 3); // (0,0), (1,1) and (2,3) are the shared coordinates
+        assert_eq!(fast.get(0, 0), Some(10.0));
+        assert_eq!(fast.get(1, 1), Some(-9.0));
+        assert_eq!(fast.get(2, 3), Some(-2.0));
+    }
+
+    #[test]
+    fn add_under_other_semirings() {
+        let a = sample_a().map_values(|v| v.abs());
+        let b = sample_b().map_values(|v| v.abs());
+        // Min-plus add is `min`; shared coordinate (0,0) keeps min(1, 10) = 1.
+        let m = add_with::<MinPlus>(&a, &b);
+        assert_eq!(m.get(0, 0), Some(1.0));
+        // Boolean union.
+        let pa = a.map_values(|_| true);
+        let pb = b.map_values(|_| true);
+        let u = add_with::<OrAnd>(&pa, &pb);
+        assert_eq!(u.nnz(), 8);
+    }
+
+    #[test]
+    fn mask_by_pattern_keeps_only_mask_coordinates() {
+        let (a, b) = (sample_a(), sample_b());
+        let masked = mask_by_pattern(&a, &b);
+        assert_eq!(masked.nnz(), 3);
+        assert_eq!(masked.get(0, 0), Some(1.0), "value comes from A, structure from the mask");
+        assert_eq!(masked.get(1, 1), Some(3.0));
+        assert_eq!(masked.get(2, 3), Some(-1.0));
+        assert_eq!(masked.get(0, 2), None);
+    }
+
+    #[test]
+    fn scaling_rows_and_columns() {
+        let a = sample_a();
+        let scaled = scale_rows(&a, &[1.0, 2.0, 0.0, -1.0]);
+        assert_eq!(scaled.get(1, 1), Some(6.0));
+        assert_eq!(scaled.get(2, 0), Some(0.0));
+        assert_eq!(scaled.get(3, 3), Some(-5.0));
+
+        let scaled = scale_cols(&a, &[2.0, 1.0, 1.0, 10.0]);
+        assert_eq!(scaled.get(0, 0), Some(2.0));
+        assert_eq!(scaled.get(2, 3), Some(-10.0));
+        assert_eq!(scaled.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn diagonal_and_triangles() {
+        let a = sample_a();
+        assert_eq!(diagonal(&a), vec![1.0, 3.0, 0.0, 5.0]);
+
+        let no_diag = remove_diagonal(&a);
+        assert_eq!(no_diag.nnz(), 3);
+        assert_eq!(no_diag.get(0, 0), None);
+
+        let up = triu(&a, 0);
+        assert!(up.iter().all(|(r, c, _)| c >= r));
+        assert_eq!(up.nnz(), 5);
+        let strict_up = triu(&a, 1);
+        assert_eq!(strict_up.nnz(), 2);
+
+        let lo = tril(&a, 0);
+        assert!(lo.iter().all(|(r, c, _)| c <= r));
+        let strict_lo = tril(&a, 1);
+        assert_eq!(strict_lo.nnz(), 1);
+        // Strict upper + diagonal entries + strict lower partition the nonzeros.
+        assert_eq!(strict_up.nnz() + strict_lo.nnz() + 3, a.nnz());
+    }
+
+    #[test]
+    fn row_and_column_reductions() {
+        let a = sample_a();
+        assert_eq!(row_sums(&a), vec![3.0, 3.0, 3.0, 5.0]);
+        assert_eq!(col_sums(&a), vec![5.0, 3.0, 2.0, 4.0]);
+        let ones = a.map_values(|_| 1u64);
+        assert_eq!(row_sums(&ones), vec![2, 1, 2, 1]);
+        assert_eq!(col_sums(&ones), vec![2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = sample_a();
+        let expected: f64 = a.values().iter().map(|v| v * v).sum::<f64>();
+        assert!((frobenius_norm(&a) - expected.sqrt()).abs() < 1e-12);
+        assert_eq!(max_abs(&a), 5.0);
+        assert_eq!(frobenius_norm(&Csr::<f64>::empty(3, 3)), 0.0);
+        assert_eq!(max_abs(&Csr::<f64>::empty(3, 3)), 0.0);
+    }
+
+    #[test]
+    fn symmetrisation() {
+        let a = sample_a();
+        let s = symmetrize_with::<PlusTimes<f64>>(&a);
+        assert!(pattern_is_symmetric(&s));
+        // (2,0) and (0,2) both exist in A, so the symmetrised entry sums them.
+        assert_eq!(s.get(0, 2), Some(6.0));
+        assert_eq!(s.get(2, 0), Some(6.0));
+        assert!(!pattern_is_symmetric(&a));
+        assert!(!pattern_is_symmetric(&Csr::<f64>::empty(2, 3)));
+    }
+
+    #[test]
+    fn stochastic_normalisation() {
+        let a = sample_a().map_values(|v| v.abs());
+        let cs = column_stochastic(&a);
+        for (j, s) in col_sums(&cs).iter().enumerate() {
+            let original = col_sums(&a)[j];
+            if original != 0.0 {
+                assert!((s - 1.0).abs() < 1e-12, "column {j} sums to {s}");
+            } else {
+                assert_eq!(*s, 0.0);
+            }
+        }
+        let rs = row_stochastic(&a);
+        for s in row_sums(&rs) {
+            assert!((s - 1.0).abs() < 1e-12 || s == 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_matrices_are_handled() {
+        let e = Csr::<f64>::empty(5, 5);
+        assert_eq!(add(&e, &e).nnz(), 0);
+        assert_eq!(hadamard(&e, &e).nnz(), 0);
+        assert_eq!(diagonal(&e), vec![0.0; 5]);
+        assert_eq!(row_sums(&e), vec![0.0; 5]);
+        assert_eq!(col_sums(&e), vec![0.0; 5]);
+        assert!(pattern_is_symmetric(&e));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn mismatched_shapes_panic() {
+        let a = Csr::<f64>::empty(3, 3);
+        let b = Csr::<f64>::empty(3, 4);
+        let _ = add(&a, &b);
+    }
+}

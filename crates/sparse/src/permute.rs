@@ -1,0 +1,186 @@
+//! Row/column permutations.
+//!
+//! Used by the generators (to shuffle structured matrices) and by the
+//! load-balance experiments (a random row permutation spreads skewed rows
+//! across PB-SpGEMM's propagation bins).
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::{Index, Scalar};
+
+/// A permutation of `n` items: `perm[new_index] = old_index`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<Index>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` items.
+    pub fn identity(n: usize) -> Self {
+        Permutation { forward: (0..n as Index).collect() }
+    }
+
+    /// Builds a permutation from `perm[new] = old`, validating that it is a
+    /// bijection on `0..perm.len()`.
+    pub fn from_vec(perm: Vec<Index>) -> Result<Self, SparseError> {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            let p = p as usize;
+            if p >= n || seen[p] {
+                return Err(SparseError::MalformedOffsets {
+                    detail: format!("permutation vector is not a bijection on 0..{n}"),
+                });
+            }
+            seen[p] = true;
+        }
+        Ok(Permutation { forward: perm })
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// `perm[new] = old` mapping as a slice.
+    pub fn as_slice(&self) -> &[Index] {
+        &self.forward
+    }
+
+    /// The inverse permutation (`inv[old] = new`).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0 as Index; self.len()];
+        for (new, &old) in self.forward.iter().enumerate() {
+            inv[old as usize] = new as Index;
+        }
+        Permutation { forward: inv }
+    }
+
+    /// Whether this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.forward.iter().enumerate().all(|(i, &p)| i as Index == p)
+    }
+}
+
+/// Permutes the rows of a CSR matrix: row `i` of the result is row
+/// `perm[i]` of the input.
+pub fn permute_rows<T: Scalar>(m: &Csr<T>, perm: &Permutation) -> Csr<T> {
+    assert_eq!(perm.len(), m.nrows(), "row permutation length must equal nrows");
+    let mut rowptr = Vec::with_capacity(m.nrows() + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::with_capacity(m.nnz());
+    let mut values = Vec::with_capacity(m.nnz());
+    for &old in perm.as_slice() {
+        let (cols, vals) = m.row(old as usize);
+        colidx.extend_from_slice(cols);
+        values.extend_from_slice(vals);
+        rowptr.push(colidx.len());
+    }
+    Csr::from_parts_unchecked(m.nrows(), m.ncols(), rowptr, colidx, values)
+}
+
+/// Permutes the columns of a CSR matrix: column `j` of the input becomes
+/// column `inv(perm)[j]` of the result, so that
+/// `permute_cols(M, p).get(i, new) == M.get(i, p[new])`.
+pub fn permute_cols<T: Scalar>(m: &Csr<T>, perm: &Permutation) -> Csr<T> {
+    assert_eq!(perm.len(), m.ncols(), "column permutation length must equal ncols");
+    let inv = perm.inverse();
+    let mut out = m.clone();
+    let (nrows, ncols, rowptr, mut colidx, values) = out.into_parts();
+    for c in &mut colidx {
+        *c = inv.as_slice()[*c as usize];
+    }
+    out = Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values);
+    out.sort_indices();
+    out
+}
+
+/// Applies the same permutation to rows and columns (symmetric relabeling of
+/// a graph's vertices).
+pub fn permute_symmetric<T: Scalar>(m: &Csr<T>, perm: &Permutation) -> Csr<T> {
+    permute_cols(&permute_rows(m, perm), perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr<f64> {
+        // [ 1 2 0 ]
+        // [ 0 3 0 ]
+        // [ 0 0 4 ]
+        Coo::from_entries(3, 3, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0), (2, 2, 4.0)])
+            .unwrap()
+            .to_csr()
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let m = sample();
+        let p = Permutation::identity(3);
+        assert!(p.is_identity());
+        assert_eq!(permute_rows(&m, &p), m);
+        assert_eq!(permute_cols(&m, &p), m);
+        assert_eq!(permute_symmetric(&m, &p), m);
+    }
+
+    #[test]
+    fn from_vec_validates_bijection() {
+        assert!(Permutation::from_vec(vec![0, 1, 2]).is_ok());
+        assert!(Permutation::from_vec(vec![0, 0, 2]).is_err());
+        assert!(Permutation::from_vec(vec![0, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let inv = p.inverse();
+        for new in 0..3usize {
+            let old = p.as_slice()[new] as usize;
+            assert_eq!(inv.as_slice()[old] as usize, new);
+        }
+    }
+
+    #[test]
+    fn permute_rows_reorders_rows() {
+        let m = sample();
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let r = permute_rows(&m, &p);
+        assert_eq!(r.get(0, 2), Some(4.0)); // old row 2
+        assert_eq!(r.get(1, 0), Some(1.0)); // old row 0
+        assert_eq!(r.get(2, 1), Some(3.0)); // old row 1
+        assert_eq!(r.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn permute_cols_matches_definition() {
+        let m = sample();
+        let p = Permutation::from_vec(vec![1, 2, 0]).unwrap();
+        let r = permute_cols(&m, &p);
+        for i in 0..3 {
+            for new in 0..3usize {
+                let old = p.as_slice()[new] as usize;
+                assert_eq!(r.get(i, new), m.get(i, old));
+            }
+        }
+        assert!(r.has_sorted_indices());
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_diagonal_multiset() {
+        let m = sample();
+        let p = Permutation::from_vec(vec![1, 2, 0]).unwrap();
+        let r = permute_symmetric(&m, &p);
+        let mut diag_m: Vec<Option<f64>> = (0..3).map(|i| m.get(i, i)).collect();
+        let mut diag_r: Vec<Option<f64>> = (0..3).map(|i| r.get(i, i)).collect();
+        diag_m.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        diag_r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(diag_m, diag_r);
+    }
+}

@@ -1,0 +1,314 @@
+//! Slow, obviously-correct reference kernels.
+//!
+//! Every SpGEMM implementation in the workspace (the PB-SpGEMM core and all
+//! column baselines) is differentially tested against these routines.  They
+//! favour clarity over speed: a `BTreeMap` accumulator per output row keeps
+//! results deterministic and sorted.
+
+use std::collections::BTreeMap;
+
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::semiring::{Numeric, PlusTimes, Semiring};
+use crate::{Index, Scalar};
+
+/// Reference SpGEMM: `C = A ⊗ B` with both operands and the result in CSR,
+/// using a `BTreeMap` accumulator per row (row-wise Gustavson).
+///
+/// # Panics
+/// Panics if `a.ncols() != b.nrows()`.
+pub fn multiply_csr_with<S>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem>
+where
+    S: Semiring,
+{
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "reference multiply shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut rowptr = Vec::with_capacity(a.nrows() + 1);
+    rowptr.push(0usize);
+    let mut colidx: Vec<Index> = Vec::new();
+    let mut values: Vec<S::Elem> = Vec::new();
+    let mut acc: BTreeMap<Index, S::Elem> = BTreeMap::new();
+    for i in 0..a.nrows() {
+        acc.clear();
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &a_ik) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                let product = S::mul(a_ik, b_kj);
+                acc.entry(j)
+                    .and_modify(|cur| *cur = S::add(*cur, product))
+                    .or_insert(product);
+            }
+        }
+        for (&j, &v) in &acc {
+            colidx.push(j);
+            values.push(v);
+        }
+        rowptr.push(colidx.len());
+    }
+    Csr::from_parts_unchecked(a.nrows(), b.ncols(), rowptr, colidx, values)
+}
+
+/// Reference SpGEMM with ordinary `+`/`×`.
+pub fn multiply_csr<T: Numeric>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    multiply_csr_with::<PlusTimes<T>>(a, b)
+}
+
+/// Reference SpGEMM computed through dense matrices.  Only suitable for tiny
+/// matrices; used to cross-check the sparse reference itself.
+pub fn multiply_dense_with<S>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Dense<S::Elem>
+where
+    S: Semiring,
+{
+    let da = csr_to_dense_with_zero::<S>(a);
+    let db = csr_to_dense_with_zero::<S>(b);
+    da.multiply_with::<S>(&db)
+}
+
+fn csr_to_dense_with_zero<S: Semiring>(m: &Csr<S::Elem>) -> Dense<S::Elem> {
+    let mut d = Dense::filled(m.nrows(), m.ncols(), S::zero());
+    for (r, c, v) in m.iter() {
+        d[(r as usize, c as usize)] = v;
+    }
+    d
+}
+
+/// Element-wise sum of two CSR matrices with the same shape.
+pub fn add_csr_with<S>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem>
+where
+    S: Semiring,
+{
+    assert_eq!(a.shape(), b.shape(), "element-wise add requires equal shapes");
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..a.nrows() {
+        let mut acc: BTreeMap<Index, S::Elem> = BTreeMap::new();
+        for (m, _) in [(a, 0), (b, 1)] {
+            let (cols, vals) = m.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc.entry(c).and_modify(|cur| *cur = S::add(*cur, v)).or_insert(v);
+            }
+        }
+        for (&c, &v) in &acc {
+            colidx.push(c);
+            values.push(v);
+        }
+        rowptr.push(colidx.len());
+    }
+    Csr::from_parts_unchecked(a.nrows(), a.ncols(), rowptr, colidx, values)
+}
+
+/// Element-wise (Hadamard) product of two CSR matrices with the same shape.
+/// Only coordinates stored in **both** inputs appear in the output.
+pub fn hadamard_csr_with<S>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem>
+where
+    S: Semiring,
+{
+    assert_eq!(a.shape(), b.shape(), "hadamard product requires equal shapes");
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..a.nrows() {
+        let (a_cols, a_vals) = a.row(i);
+        for (&c, &av) in a_cols.iter().zip(a_vals) {
+            if let Some(bv) = b.get(i, c as usize) {
+                colidx.push(c);
+                values.push(S::mul(av, bv));
+            }
+        }
+        rowptr.push(colidx.len());
+    }
+    Csr::from_parts_unchecked(a.nrows(), a.ncols(), rowptr, colidx, values)
+}
+
+/// Sums every stored value of a CSR matrix with the semiring's `add`.
+pub fn sum_values_with<S>(m: &Csr<S::Elem>) -> S::Elem
+where
+    S: Semiring,
+{
+    m.values().iter().fold(S::zero(), |acc, &v| S::add(acc, v))
+}
+
+/// Structural equality plus element-wise value comparison within an absolute
+/// tolerance.  Both matrices must be in canonical (sorted, deduplicated)
+/// form; entries are compared coordinate by coordinate.
+pub fn csr_approx_eq(a: &Csr<f64>, b: &Csr<f64>, tol: f64) -> bool {
+    if a.shape() != b.shape() || a.nnz() != b.nnz() {
+        return false;
+    }
+    if a.rowptr() != b.rowptr() || a.colidx() != b.colidx() {
+        return false;
+    }
+    a.values()
+        .iter()
+        .zip(b.values())
+        .all(|(x, y)| (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0))
+}
+
+/// Like [`csr_approx_eq`] but ignores explicitly stored zeros, so outputs of
+/// algorithms that do or do not prune numerical zeros still compare equal.
+pub fn csr_approx_eq_ignoring_zeros(a: &Csr<f64>, b: &Csr<f64>, tol: f64) -> bool {
+    let a = a.prune(|_, _, v| v.abs() > 0.0);
+    let b = b.prune(|_, _, v| v.abs() > 0.0);
+    csr_approx_eq(&a, &b, tol)
+}
+
+/// Exact structural and value equality for matrices over any scalar type.
+pub fn csr_exact_eq<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> bool {
+    a.shape() == b.shape()
+        && a.rowptr() == b.rowptr()
+        && a.colidx() == b.colidx()
+        && a.values() == b.values()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::semiring::{MinPlus, OrAnd};
+
+    fn small_a() -> Csr<f64> {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        Coo::from_entries(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)])
+            .unwrap()
+            .to_csr()
+    }
+
+    fn small_b() -> Csr<f64> {
+        // [ 0 1 0 ]
+        // [ 2 0 0 ]
+        // [ 0 0 3 ]
+        Coo::from_entries(3, 3, vec![(0, 1, 1.0), (1, 0, 2.0), (2, 2, 3.0)]).unwrap().to_csr()
+    }
+
+    #[test]
+    fn sparse_reference_matches_dense_reference() {
+        let a = small_a();
+        let b = small_b();
+        let sparse = multiply_csr(&a, &b);
+        let dense = multiply_dense_with::<PlusTimes<f64>>(&a, &b);
+        assert!(sparse.to_dense().approx_eq(&dense, 1e-12));
+    }
+
+    #[test]
+    fn multiply_by_identity_is_identity_operation() {
+        let a = small_a();
+        let id = Csr::<f64>::identity(3);
+        assert!(csr_approx_eq(&multiply_csr(&a, &id), &a, 1e-12));
+        assert!(csr_approx_eq(&multiply_csr(&id, &a), &a, 1e-12));
+    }
+
+    #[test]
+    fn multiply_rectangular_shapes() {
+        // 2x3 times 3x2.
+        let a = Coo::from_entries(2, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
+            .unwrap()
+            .to_csr();
+        let b = Coo::from_entries(3, 2, vec![(0, 1, 1.0), (1, 0, 1.0), (2, 0, 4.0)])
+            .unwrap()
+            .to_csr();
+        let c = multiply_csr(&a, &b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.get(0, 0), Some(8.0));
+        assert_eq!(c.get(0, 1), Some(1.0));
+        assert_eq!(c.get(1, 0), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn multiply_rejects_mismatched_shapes() {
+        let a = small_a();
+        let b = Coo::<f64>::from_entries(2, 2, vec![]).unwrap().to_csr();
+        let _ = multiply_csr(&a, &b);
+    }
+
+    #[test]
+    fn boolean_semiring_computes_pattern() {
+        let a = small_a().map_values(|_| true);
+        let b = small_b().map_values(|_| true);
+        let pattern = multiply_csr_with::<OrAnd>(&a, &b);
+        let numeric = multiply_csr(&small_a(), &small_b());
+        assert_eq!(pattern.rowptr(), numeric.rowptr());
+        assert_eq!(pattern.colidx(), numeric.colidx());
+        assert!(pattern.values().iter().all(|&v| v));
+    }
+
+    #[test]
+    fn min_plus_two_hop_distances() {
+        // Chain 0 -> 1 -> 2 with weights 1.5 and 2.5.
+        let a = Coo::from_entries(3, 3, vec![(0, 1, 1.5), (1, 2, 2.5)]).unwrap().to_csr();
+        let c = multiply_csr_with::<MinPlus>(&a, &a);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 2), Some(4.0));
+    }
+
+    #[test]
+    fn add_and_hadamard() {
+        let a = small_a();
+        let b = small_b();
+        let sum = add_csr_with::<PlusTimes<f64>>(&a, &b);
+        assert_eq!(sum.get(0, 1), Some(1.0));
+        assert_eq!(sum.get(0, 0), Some(1.0));
+        // A and B overlap only at (2, 2): 5 + 3 - 1 stored coordinates.
+        assert_eq!(sum.nnz(), 7);
+        assert_eq!(sum.get(2, 2), Some(8.0));
+
+        let had = hadamard_csr_with::<PlusTimes<f64>>(&a, &a);
+        assert_eq!(had.nnz(), a.nnz());
+        assert_eq!(had.get(2, 2), Some(25.0));
+
+        // A and B only share the coordinate (2, 2), so their Hadamard
+        // product has a single entry.
+        let had2 = hadamard_csr_with::<PlusTimes<f64>>(&a, &b);
+        assert_eq!(had2.nnz(), 1);
+        assert_eq!(had2.get(2, 2), Some(15.0));
+    }
+
+    #[test]
+    fn sum_values_accumulates_all_entries() {
+        let a = small_a();
+        let total = sum_values_with::<PlusTimes<f64>>(&a);
+        assert!((total - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_eq_detects_structure_and_value_differences() {
+        let a = small_a();
+        let mut b = small_a();
+        assert!(csr_approx_eq(&a, &b, 1e-12));
+        b.values_mut()[0] += 1e-3;
+        assert!(!csr_approx_eq(&a, &b, 1e-9));
+        assert!(csr_approx_eq(&a, &b, 1e-2));
+        let c = small_b();
+        assert!(!csr_approx_eq(&a, &c, 1.0));
+    }
+
+    #[test]
+    fn approx_eq_ignoring_zeros() {
+        let a = small_a();
+        // Same matrix but with an explicitly stored zero entry added.
+        let mut entries: Vec<(usize, usize, f64)> =
+            a.iter().map(|(r, c, v)| (r as usize, c as usize, v)).collect();
+        entries.push((1, 2, 0.0));
+        let b = Coo::from_entries(3, 3, entries).unwrap().to_csr();
+        assert!(!csr_approx_eq(&a, &b, 1e-12));
+        assert!(csr_approx_eq_ignoring_zeros(&a, &b, 1e-12));
+    }
+
+    #[test]
+    fn multiply_with_empty_matrices() {
+        let a: Csr<f64> = Csr::empty(3, 4);
+        let b: Csr<f64> = Csr::empty(4, 2);
+        let c = multiply_csr(&a, &b);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.nnz(), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Semiring abstractions used by every SpGEMM kernel in the workspace.
+//!
+//! The paper's algorithms only ever combine values in two places — the
+//! multiplication that produces an expanded tuple and the addition that
+//! merges tuples sharing a `(row, col)` key — so all of them are generic over
+//! a [`Semiring`].  The conventional numeric product uses [`PlusTimes`];
+//! graph kernels such as triangle counting or breadth-first expansion use
+//! [`PlusTimes<u64>`] or [`OrAnd`], and shortest-path style products use
+//! [`MinPlus`].
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::Scalar;
+
+/// An algebraic semiring `(⊕, ⊗, 0)` over the element type `Self::Elem`.
+///
+/// Implementations are zero-sized marker types; all operations are associated
+/// functions so kernels monomorphise to straight-line arithmetic with no
+/// dynamic dispatch.
+///
+/// # Laws
+///
+/// Kernels rely on the usual semiring laws:
+///
+/// * `add` is associative and commutative with identity `zero()`;
+/// * `mul` is associative;
+/// * `mul(x, zero()) == zero()` and `mul(zero(), x) == zero()` (annihilation).
+///
+/// Floating point `+` only satisfies these approximately; the test suites
+/// compare against reference implementations that apply the operations in a
+/// deterministic order and accept a small tolerance.
+pub trait Semiring: Copy + Send + Sync + Debug + Default + 'static {
+    /// Element type the semiring operates on.
+    type Elem: Scalar;
+
+    /// Human-readable name, used in benchmark reports.
+    const NAME: &'static str;
+
+    /// The additive identity (the implicit value of matrix zeros).
+    fn zero() -> Self::Elem;
+
+    /// The "addition" used to merge duplicate entries.
+    fn add(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+
+    /// The "multiplication" used when expanding `A(i, k) ⊗ B(k, j)`.
+    fn mul(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+
+    /// Whether a value is the additive identity.  Used by kernels that drop
+    /// explicit zeros from the output (disabled by default in this
+    /// reproduction so that nnz counts match the paper's accounting).
+    fn is_zero(v: &Self::Elem) -> bool {
+        *v == Self::zero()
+    }
+}
+
+/// Helper trait describing primitive numeric types usable with [`PlusTimes`]
+/// and [`MaxTimes`].
+pub trait Numeric:
+    Scalar
+    + std::ops::Add<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + PartialOrd
+{
+    /// Additive identity of the plain numeric type.
+    fn zero_value() -> Self;
+    /// Multiplicative identity of the plain numeric type.
+    fn one_value() -> Self;
+}
+
+macro_rules! impl_numeric {
+    ($($t:ty => ($z:expr, $o:expr)),* $(,)?) => {
+        $(
+            impl Numeric for $t {
+                #[inline]
+                fn zero_value() -> Self { $z }
+                #[inline]
+                fn one_value() -> Self { $o }
+            }
+        )*
+    };
+}
+
+impl_numeric!(
+    f64 => (0.0, 1.0),
+    f32 => (0.0, 1.0),
+    i64 => (0, 1),
+    i32 => (0, 1),
+    u64 => (0, 1),
+    u32 => (0, 1),
+);
+
+/// The conventional arithmetic semiring `(+, ×, 0)` over a numeric type.
+///
+/// This is the semiring the paper evaluates: double-precision values, plain
+/// addition for merging and plain multiplication for expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlusTimes<T>(PhantomData<T>);
+
+impl<T> Default for PlusTimes<T> {
+    fn default() -> Self {
+        PlusTimes(PhantomData)
+    }
+}
+
+impl<T: Numeric> Semiring for PlusTimes<T> {
+    type Elem = T;
+    const NAME: &'static str = "plus-times";
+
+    #[inline]
+    fn zero() -> T {
+        T::zero_value()
+    }
+
+    #[inline]
+    fn add(a: T, b: T) -> T {
+        a + b
+    }
+
+    #[inline]
+    fn mul(a: T, b: T) -> T {
+        a * b
+    }
+}
+
+/// The tropical / shortest-path semiring `(min, +, +∞)` over `f64`.
+///
+/// `C = A ⊗ B` under this semiring computes, for every `(i, j)`, the length
+/// of the shortest two-hop path `i → k → j`.  Used by the all-pairs
+/// shortest-path example.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type Elem = f64;
+    const NAME: &'static str = "min-plus";
+
+    #[inline]
+    fn zero() -> f64 {
+        f64::INFINITY
+    }
+
+    #[inline]
+    fn add(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+
+    #[inline]
+    fn mul(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// The boolean semiring `(∨, ∧, false)`.
+///
+/// `C = A ⊗ B` under this semiring computes structural reachability in two
+/// hops — the sparsity pattern of the numeric product.  Used by the symbolic
+/// reference implementation and by the multi-source BFS example.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrAnd;
+
+impl Semiring for OrAnd {
+    type Elem = bool;
+    const NAME: &'static str = "or-and";
+
+    #[inline]
+    fn zero() -> bool {
+        false
+    }
+
+    #[inline]
+    fn add(a: bool, b: bool) -> bool {
+        a || b
+    }
+
+    #[inline]
+    fn mul(a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+/// The `(max, ×)` semiring over a numeric type, with `0` as the additive
+/// identity (valid for non-negative inputs such as probabilities).
+///
+/// Used by the Markov-clustering example, where expansion multiplies column
+/// stochastic matrices and the dominant transition is of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxTimes<T>(PhantomData<T>);
+
+impl<T> Default for MaxTimes<T> {
+    fn default() -> Self {
+        MaxTimes(PhantomData)
+    }
+}
+
+impl<T: Numeric> Semiring for MaxTimes<T> {
+    type Elem = T;
+    const NAME: &'static str = "max-times";
+
+    #[inline]
+    fn zero() -> T {
+        T::zero_value()
+    }
+
+    #[inline]
+    fn add(a: T, b: T) -> T {
+        if a > b {
+            a
+        } else {
+            b
+        }
+    }
+
+    #[inline]
+    fn mul(a: T, b: T) -> T {
+        a * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_times_f64_laws() {
+        type S = PlusTimes<f64>;
+        assert_eq!(S::zero(), 0.0);
+        assert_eq!(S::add(2.0, 3.0), 5.0);
+        assert_eq!(S::mul(2.0, 3.0), 6.0);
+        assert_eq!(S::mul(2.0, S::zero()), 0.0);
+        assert!(S::is_zero(&0.0));
+        assert!(!S::is_zero(&1.0));
+        assert_eq!(S::NAME, "plus-times");
+    }
+
+    #[test]
+    fn plus_times_integer_types() {
+        assert_eq!(<PlusTimes<u64> as Semiring>::mul(6, 7), 42);
+        assert_eq!(<PlusTimes<i32> as Semiring>::add(-2, 5), 3);
+        assert_eq!(<PlusTimes<u32> as Semiring>::zero(), 0);
+        assert_eq!(<PlusTimes<f32> as Semiring>::mul(0.5, 4.0), 2.0);
+        assert_eq!(<PlusTimes<i64> as Semiring>::mul(-3, 3), -9);
+    }
+
+    #[test]
+    fn min_plus_behaves_like_shortest_path() {
+        assert_eq!(MinPlus::zero(), f64::INFINITY);
+        // Two parallel two-hop paths of length 5 and 3: merging keeps 3.
+        assert_eq!(MinPlus::add(5.0, 3.0), 3.0);
+        // Path concatenation adds lengths.
+        assert_eq!(MinPlus::mul(2.0, 1.0), 3.0);
+        // The annihilator: going through a non-edge costs infinity.
+        assert_eq!(MinPlus::mul(2.0, MinPlus::zero()), f64::INFINITY);
+        assert!(MinPlus::is_zero(&f64::INFINITY));
+    }
+
+    #[test]
+    fn or_and_is_boolean_reachability() {
+        assert!(!OrAnd::zero());
+        assert!(OrAnd::add(true, false));
+        assert!(!OrAnd::add(false, false));
+        assert!(OrAnd::mul(true, true));
+        assert!(!OrAnd::mul(true, false));
+    }
+
+    #[test]
+    fn max_times_keeps_dominant_path() {
+        type S = MaxTimes<f64>;
+        assert_eq!(S::add(0.3, 0.4), 0.4);
+        assert_eq!(S::mul(0.5, 0.5), 0.25);
+        assert_eq!(S::zero(), 0.0);
+    }
+
+    #[test]
+    fn add_is_commutative_and_associative_for_integers() {
+        type S = PlusTimes<i64>;
+        let vals = [-4i64, 0, 3, 17, 1000];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(S::add(a, b), S::add(b, a));
+                for &c in &vals {
+                    assert_eq!(S::add(S::add(a, b), c), S::add(a, S::add(b, c)));
+                    assert_eq!(S::mul(S::mul(a, b), c), S::mul(a, S::mul(b, c)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Multiplication statistics: `flop`, `nnz(C)` and the compression factor.
+//!
+//! These are the quantities the paper's Roofline model is built on
+//! (Sec. II-C): for `C = A·B`, `flop` is the number of scalar
+//! multiplications, `nnz(C)` the number of output nonzeros, and
+//! `cf = flop / nnz(C)` the compression factor.  `flop` only depends on the
+//! sparsity structure and can be computed with a cheap streaming pass
+//! (Algorithm 3 of the paper); `nnz(C)` requires a symbolic multiplication.
+
+use rayon::prelude::*;
+
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::{Index, Scalar};
+
+/// Summary statistics of a multiplication `C = A·B`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiplyStats {
+    /// Rows of `A` (and of `C`).
+    pub nrows: usize,
+    /// Columns of `B` (and of `C`).
+    pub ncols: usize,
+    /// Inner dimension (`ncols(A) == nrows(B)`).
+    pub inner: usize,
+    /// `nnz(A)`.
+    pub nnz_a: usize,
+    /// `nnz(B)`.
+    pub nnz_b: usize,
+    /// Number of scalar multiplications (`nnz(Ĉ)` before merging).
+    pub flop: u64,
+    /// `nnz(C)` after merging duplicates.
+    pub nnz_c: usize,
+    /// Compression factor `flop / nnz(C)` (1.0 when the product is empty).
+    pub cf: f64,
+    /// Average nonzeros per column of `A` — the paper's `d`.
+    pub d_a: f64,
+}
+
+impl MultiplyStats {
+    /// Computes all statistics for `C = A·B` with both operands in CSR.
+    ///
+    /// The `flop` count is a structural streaming pass; `nnz(C)` is obtained
+    /// by a row-parallel symbolic multiplication (sort-free, using a dense
+    /// boolean scratch vector per thread chunk).
+    pub fn compute<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> Self {
+        assert_eq!(a.ncols(), b.nrows(), "stats require compatible shapes");
+        let flop = flop_csr(a, b);
+        let nnz_c = symbolic_nnz(a, b);
+        let cf = if nnz_c == 0 { 1.0 } else { flop as f64 / nnz_c as f64 };
+        MultiplyStats {
+            nrows: a.nrows(),
+            ncols: b.ncols(),
+            inner: a.ncols(),
+            nnz_a: a.nnz(),
+            nnz_b: b.nnz(),
+            flop,
+            nnz_c,
+            cf,
+            d_a: a.nnz() as f64 / a.nrows().max(1) as f64,
+        }
+    }
+}
+
+/// Number of scalar multiplications needed for `C = A·B` with both operands
+/// in CSR: `Σ_i Σ_{k ∈ A(i,:)} nnz(B(k,:))`.
+pub fn flop_csr<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> u64 {
+    assert_eq!(a.ncols(), b.nrows(), "flop_csr requires compatible shapes");
+    let b_rowptr = b.rowptr();
+    (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let (cols, _) = a.row(i);
+            cols.iter()
+                .map(|&k| (b_rowptr[k as usize + 1] - b_rowptr[k as usize]) as u64)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Per-row multiplication counts: `flop_rows(A, B)[i]` is the number of
+/// expanded tuples whose row index is `i`.  This is exactly what PB-SpGEMM's
+/// symbolic phase needs to size each propagation bin.
+pub fn flop_rows<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> Vec<u64> {
+    assert_eq!(a.ncols(), b.nrows(), "flop_rows requires compatible shapes");
+    let b_rowptr = b.rowptr();
+    (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let (cols, _) = a.row(i);
+            cols.iter()
+                .map(|&k| (b_rowptr[k as usize + 1] - b_rowptr[k as usize]) as u64)
+                .sum::<u64>()
+        })
+        .collect()
+}
+
+/// Outer-product flop count with `A` in CSC and `B` in CSR (Algorithm 3 of
+/// the paper): `Σ_i nnz(A(:,i)) · nnz(B(i,:))`.
+pub fn flop_outer<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csr<U>) -> u64 {
+    assert_eq!(a.ncols(), b.nrows(), "flop_outer requires compatible shapes");
+    let a_colptr = a.colptr();
+    let b_rowptr = b.rowptr();
+    (0..a.ncols())
+        .into_par_iter()
+        .map(|i| {
+            let na = (a_colptr[i + 1] - a_colptr[i]) as u64;
+            let nb = (b_rowptr[i + 1] - b_rowptr[i]) as u64;
+            na * nb
+        })
+        .sum()
+}
+
+/// Exact `nnz(C)` for `C = A·B` via a row-parallel symbolic multiplication.
+pub fn symbolic_nnz<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> usize {
+    assert_eq!(a.ncols(), b.nrows(), "symbolic_nnz requires compatible shapes");
+    let ncols = b.ncols();
+    (0..a.nrows())
+        .into_par_iter()
+        .map_init(
+            || vec![u32::MAX; ncols],
+            |mark, i| {
+                let marker = i as u32;
+                let (a_cols, _) = a.row(i);
+                let mut count = 0usize;
+                for &k in a_cols {
+                    let (b_cols, _) = b.row(k as usize);
+                    for &j in b_cols {
+                        let slot = &mut mark[j as usize];
+                        if *slot != marker {
+                            *slot = marker;
+                            count += 1;
+                        }
+                    }
+                }
+                count
+            },
+        )
+        .sum()
+}
+
+/// Exact per-row `nnz(C)` (the symbolic phase column SpGEMM algorithms need
+/// to pre-allocate their output).
+pub fn symbolic_row_nnz<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> Vec<usize> {
+    assert_eq!(a.ncols(), b.nrows(), "symbolic_row_nnz requires compatible shapes");
+    let ncols = b.ncols();
+    (0..a.nrows())
+        .into_par_iter()
+        .map_init(
+            || vec![u32::MAX; ncols],
+            |mark, i| {
+                let marker = i as u32;
+                let (a_cols, _) = a.row(i);
+                let mut count = 0usize;
+                for &k in a_cols {
+                    let (b_cols, _) = b.row(k as usize);
+                    for &j in b_cols {
+                        let slot = &mut mark[j as usize];
+                        if *slot != marker {
+                            *slot = marker;
+                            count += 1;
+                        }
+                    }
+                }
+                count
+            },
+        )
+        .collect()
+}
+
+/// An upper bound on the nonzeros of any single output row: the row flop.
+/// Hash-based column algorithms size their per-row tables from this.
+pub fn row_flop_upper_bound<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>, row: usize) -> usize {
+    let (cols, _) = a.row(row);
+    cols.iter().map(|&k| b.row_nnz(k as usize)).sum()
+}
+
+/// Histogram of row degrees: `hist[d]` is the number of rows with exactly `d`
+/// stored entries (rows denser than `max_degree` are clamped into the last
+/// bucket).  Used to characterise the skew of R-MAT matrices.
+pub fn degree_histogram<T: Scalar>(m: &Csr<T>, max_degree: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_degree + 1];
+    for i in 0..m.nrows() {
+        let d = m.row_nnz(i).min(max_degree);
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// The Gini coefficient of the row-degree distribution, a scalar measure of
+/// load imbalance (0 = perfectly balanced, →1 = extremely skewed).
+pub fn degree_gini<T: Scalar>(m: &Csr<T>) -> f64 {
+    let mut degrees: Vec<u64> = (0..m.nrows()).map(|i| m.row_nnz(i) as u64).collect();
+    if degrees.is_empty() {
+        return 0.0;
+    }
+    degrees.sort_unstable();
+    let n = degrees.len() as f64;
+    let total: u64 = degrees.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let weighted: f64 =
+        degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+/// Column indices touched by a row-wise Gustavson pass over `A` — used by the
+/// access-pattern model to estimate how many times `B`'s rows are re-read.
+pub fn distinct_inner_indices<T: Scalar>(a: &Csr<T>) -> usize {
+    let mut seen = vec![false; a.ncols()];
+    let mut count = 0usize;
+    for &c in a.colidx() {
+        if !seen[c as usize] {
+            seen[c as usize] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Convenience: the paper's compression factor for squaring a matrix.
+pub fn squaring_cf<T: Scalar>(a: &Csr<T>) -> f64 {
+    MultiplyStats::compute(a, a).cf
+}
+
+/// Returns `(flop, nnz_c, cf)` as a tuple for terse call-sites.
+pub fn flop_nnz_cf<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> (u64, usize, f64) {
+    let s = MultiplyStats::compute(a, b);
+    (s.flop, s.nnz_c, s.cf)
+}
+
+/// Checks whether indices fit the key-packing assumption of PB-SpGEMM's sort
+/// (row and column index must together fit in 64 bits; always true for `u32`
+/// indices, kept as an explicit guard for future index widening).
+pub fn fits_packed_key(nrows: usize, ncols: usize) -> bool {
+    let row_bits = bits_needed(nrows.saturating_sub(1) as u64);
+    let col_bits = bits_needed(ncols.saturating_sub(1) as u64);
+    row_bits + col_bits <= 64
+}
+
+/// Number of bits needed to represent `v` (at least 1).
+pub fn bits_needed(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+/// The paper's per-tuple storage constant `b`: bytes needed per COO entry
+/// with `u32` indices and values of type `T` (Sec. II-C uses 16 bytes).
+pub fn bytes_per_tuple<T>() -> usize {
+    2 * std::mem::size_of::<Index>() + std::mem::size_of::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::reference::multiply_csr;
+
+    fn a() -> Csr<f64> {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        Coo::from_entries(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)])
+            .unwrap()
+            .to_csr()
+    }
+
+    #[test]
+    fn flop_counts_match_between_formulations() {
+        let a = a();
+        let b = a.clone();
+        let f_row = flop_csr(&a, &b);
+        let f_outer = flop_outer(&a.to_csc(), &b);
+        assert_eq!(f_row, f_outer);
+        // Row 0 of A has entries in columns 0 and 2; rows 0 and 2 of B have 2
+        // entries each -> 4 products.  Row 1 -> 1, row 2 -> 4.
+        assert_eq!(f_row, 9);
+        let per_row = flop_rows(&a, &b);
+        assert_eq!(per_row, vec![4, 1, 4]);
+        assert_eq!(per_row.iter().sum::<u64>(), f_row);
+    }
+
+    #[test]
+    fn symbolic_nnz_matches_reference_product() {
+        let a = a();
+        let c = multiply_csr(&a, &a);
+        assert_eq!(symbolic_nnz(&a, &a), c.nnz());
+        let per_row = symbolic_row_nnz(&a, &a);
+        let expected: Vec<usize> = (0..c.nrows()).map(|i| c.row_nnz(i)).collect();
+        assert_eq!(per_row, expected);
+    }
+
+    #[test]
+    fn multiply_stats_are_consistent() {
+        let a = a();
+        let s = MultiplyStats::compute(&a, &a);
+        assert_eq!(s.nrows, 3);
+        assert_eq!(s.ncols, 3);
+        assert_eq!(s.inner, 3);
+        assert_eq!(s.nnz_a, 5);
+        assert_eq!(s.nnz_b, 5);
+        assert_eq!(s.flop, 9);
+        assert_eq!(s.nnz_c, multiply_csr(&a, &a).nnz());
+        assert!((s.cf - s.flop as f64 / s.nnz_c as f64).abs() < 1e-12);
+        assert!(s.cf >= 1.0, "at least one multiplication per output nonzero");
+        let (f, n, cf) = flop_nnz_cf(&a, &a);
+        assert_eq!((f, n), (s.flop, s.nnz_c));
+        assert_eq!(cf, s.cf);
+        assert_eq!(squaring_cf(&a), s.cf);
+    }
+
+    #[test]
+    fn empty_product_has_cf_one() {
+        let a: Csr<f64> = Csr::empty(4, 4);
+        let s = MultiplyStats::compute(&a, &a);
+        assert_eq!(s.flop, 0);
+        assert_eq!(s.nnz_c, 0);
+        assert_eq!(s.cf, 1.0);
+    }
+
+    #[test]
+    fn row_flop_upper_bound_bounds_row_nnz() {
+        let a = a();
+        let c = multiply_csr(&a, &a);
+        for i in 0..a.nrows() {
+            assert!(row_flop_upper_bound(&a, &a, i) >= c.row_nnz(i));
+        }
+    }
+
+    #[test]
+    fn degree_histogram_and_gini() {
+        let a = a();
+        let hist = degree_histogram(&a, 4);
+        assert_eq!(hist[1], 1); // row 1 has one entry
+        assert_eq!(hist[2], 2); // rows 0 and 2 have two entries
+        assert_eq!(hist.iter().sum::<usize>(), 3);
+
+        // Perfectly balanced matrix -> Gini close to 0.
+        let balanced = Csr::<f64>::identity(64);
+        assert!(degree_gini(&balanced).abs() < 1e-9);
+
+        // One dense row among empty rows -> strongly imbalanced.
+        let mut entries = Vec::new();
+        for j in 0..32 {
+            entries.push((0usize, j as usize, 1.0));
+        }
+        let skewed = Coo::from_entries(32, 32, entries).unwrap().to_csr();
+        assert!(degree_gini(&skewed) > 0.9);
+    }
+
+    #[test]
+    fn misc_helpers() {
+        assert_eq!(bytes_per_tuple::<f64>(), 16);
+        assert_eq!(bytes_per_tuple::<f32>(), 12);
+        assert_eq!(bits_needed(0), 1);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(255), 8);
+        assert_eq!(bits_needed(256), 9);
+        assert!(fits_packed_key(1 << 20, 1 << 20));
+        let a = a();
+        assert_eq!(distinct_inner_indices(&a), 3);
+    }
+}

@@ -1,0 +1,354 @@
+//! Sparse and dense vector helpers.
+//!
+//! The SpMV crate (`pb-spmv`) and the iterative graph kernels (PageRank,
+//! breadth-first search frontiers) operate on vectors next to the sparse
+//! matrices.  [`SparseVec`] stores the nonzero entries of a length-`n` vector
+//! in sorted coordinate form — the vector analogue of a single CSR row — and
+//! the free functions at the bottom provide the handful of dense-vector
+//! reductions the examples need without pulling in a linear-algebra crate.
+
+use crate::error::SparseError;
+use crate::semiring::{Numeric, PlusTimes, Semiring};
+use crate::{Index, Scalar, MAX_DIM};
+
+/// A sparse vector: sorted, duplicate-free indices with one value each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec<T> {
+    len: usize,
+    idx: Vec<Index>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> SparseVec<T> {
+    /// An empty (all-zero) vector of logical length `len`.
+    pub fn zeros(len: usize) -> Self {
+        SparseVec { len, idx: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Builds a sparse vector from `(index, value)` pairs.
+    ///
+    /// Entries may arrive in any order; duplicate indices are merged with the
+    /// semiring's `add`.  Returns an error if any index is out of bounds or
+    /// `len` exceeds [`MAX_DIM`].
+    pub fn from_entries_with<S>(len: usize, entries: Vec<(usize, T)>) -> Result<Self, SparseError>
+    where
+        S: Semiring<Elem = T>,
+    {
+        if len > MAX_DIM {
+            return Err(SparseError::DimensionTooLarge { dim: len });
+        }
+        let mut pairs: Vec<(Index, T)> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            if i >= len {
+                return Err(SparseError::IndexOutOfBounds { row: i, col: 0, nrows: len, ncols: 1 });
+            }
+            pairs.push((i as Index, v));
+        }
+        pairs.sort_by_key(|&(i, _)| i);
+        let mut idx: Vec<Index> = Vec::with_capacity(pairs.len());
+        let mut vals: Vec<T> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if idx.last() == Some(&i) {
+                let last = vals.last_mut().expect("idx and vals stay in lock step");
+                *last = S::add(*last, v);
+            } else {
+                idx.push(i);
+                vals.push(v);
+            }
+        }
+        Ok(SparseVec { len, idx, vals })
+    }
+
+    /// Builds a sparse vector from `(index, value)` pairs, merging duplicates
+    /// with ordinary `+`.
+    pub fn from_entries(len: usize, entries: Vec<(usize, T)>) -> Result<Self, SparseError>
+    where
+        T: Numeric,
+    {
+        Self::from_entries_with::<PlusTimes<T>>(len, entries)
+    }
+
+    /// Builds a sparse vector from a dense slice, storing every element that
+    /// is not `zero`.
+    pub fn from_dense(dense: &[T], zero: T) -> Self {
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != zero {
+                idx.push(i as Index);
+                vals.push(v);
+            }
+        }
+        SparseVec { len: dense.len(), idx, vals }
+    }
+
+    /// Expands to a dense vector, filling missing positions with `zero`.
+    pub fn to_dense(&self, zero: T) -> Vec<T> {
+        let mut out = vec![zero; self.len];
+        for (&i, &v) in self.idx.iter().zip(&self.vals) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Logical length of the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the logical length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored (nonzero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// The stored indices (sorted, duplicate-free).
+    #[inline]
+    pub fn indices(&self) -> &[Index] {
+        &self.idx
+    }
+
+    /// The stored values, parallel to [`SparseVec::indices`].
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Looks up position `i`; `None` when it is not stored.
+    pub fn get(&self, i: usize) -> Option<T> {
+        self.idx.binary_search(&(i as Index)).ok().map(|k| self.vals[k])
+    }
+
+    /// Iterates over stored `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, T)> + '_ {
+        self.idx.iter().zip(&self.vals).map(|(&i, &v)| (i, v))
+    }
+
+    /// Applies `f` to every stored value, keeping the structure.
+    pub fn map_values<U: Scalar>(&self, f: impl Fn(T) -> U) -> SparseVec<U> {
+        SparseVec {
+            len: self.len,
+            idx: self.idx.clone(),
+            vals: self.vals.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Keeps only the stored entries for which `keep` returns `true`.
+    pub fn filter(&self, keep: impl Fn(Index, T) -> bool) -> SparseVec<T> {
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for (&i, &v) in self.idx.iter().zip(&self.vals) {
+            if keep(i, v) {
+                idx.push(i);
+                vals.push(v);
+            }
+        }
+        SparseVec { len: self.len, idx, vals }
+    }
+
+    /// Sparse-sparse dot product under a semiring (`⊕` over `x_i ⊗ y_i`).
+    pub fn dot_with<S>(&self, other: &SparseVec<T>) -> T
+    where
+        S: Semiring<Elem = T>,
+    {
+        assert_eq!(self.len, other.len, "dot product requires equal lengths");
+        let mut acc = S::zero();
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < self.idx.len() && q < other.idx.len() {
+            match self.idx[p].cmp(&other.idx[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    acc = S::add(acc, S::mul(self.vals[p], other.vals[q]));
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Sparse-sparse dot product with ordinary `+`/`×`.
+    pub fn dot(&self, other: &SparseVec<T>) -> T
+    where
+        T: Numeric,
+    {
+        self.dot_with::<PlusTimes<T>>(other)
+    }
+
+    /// Element-wise sum of two sparse vectors under a semiring's `add`.
+    pub fn add_with<S>(&self, other: &SparseVec<T>) -> SparseVec<T>
+    where
+        S: Semiring<Elem = T>,
+    {
+        assert_eq!(self.len, other.len, "element-wise add requires equal lengths");
+        let mut idx = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut vals = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < self.idx.len() && q < other.idx.len() {
+            match self.idx[p].cmp(&other.idx[q]) {
+                std::cmp::Ordering::Less => {
+                    idx.push(self.idx[p]);
+                    vals.push(self.vals[p]);
+                    p += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    idx.push(other.idx[q]);
+                    vals.push(other.vals[q]);
+                    q += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    idx.push(self.idx[p]);
+                    vals.push(S::add(self.vals[p], other.vals[q]));
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        idx.extend_from_slice(&self.idx[p..]);
+        vals.extend_from_slice(&self.vals[p..]);
+        idx.extend_from_slice(&other.idx[q..]);
+        vals.extend_from_slice(&other.vals[q..]);
+        SparseVec { len: self.len, idx, vals }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense-vector helpers
+// ---------------------------------------------------------------------------
+
+/// Dense dot product `Σ x_i · y_i`.
+pub fn dense_dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot product requires equal lengths");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn dense_norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Sum of absolute values `‖x‖₁`.
+pub fn dense_norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// `y ← α·x + y` in place.
+pub fn dense_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales every element of `x` by `alpha` in place.
+pub fn dense_scale(alpha: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Largest absolute difference between two vectors of equal length.
+pub fn dense_max_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "comparison requires equal lengths");
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlus, OrAnd};
+
+    #[test]
+    fn from_entries_sorts_and_merges_duplicates() {
+        let v = SparseVec::from_entries(10, vec![(7, 1.0), (2, 3.0), (7, 2.0), (0, -1.0)]).unwrap();
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.indices(), &[0, 2, 7]);
+        assert_eq!(v.get(7), Some(3.0));
+        assert_eq!(v.get(1), None);
+        assert_eq!(v.iter().count(), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_entries_are_rejected() {
+        let err = SparseVec::from_entries(4, vec![(4, 1.0)]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = vec![0.0, 1.5, 0.0, 0.0, -2.0, 0.0];
+        let v = SparseVec::from_dense(&dense, 0.0);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(0.0), dense);
+        assert_eq!(SparseVec::<f64>::zeros(3).to_dense(0.0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn map_and_filter() {
+        let v = SparseVec::from_entries(8, vec![(1, 2.0), (3, -4.0), (6, 1.0)]).unwrap();
+        let doubled = v.map_values(|x| x * 2.0);
+        assert_eq!(doubled.get(3), Some(-8.0));
+        let positive = v.filter(|_, x| x > 0.0);
+        assert_eq!(positive.nnz(), 2);
+        assert_eq!(positive.get(3), None);
+        let pattern = v.map_values(|_| true);
+        assert_eq!(pattern.get(6), Some(true));
+    }
+
+    #[test]
+    fn sparse_dot_products() {
+        let x = SparseVec::from_entries(6, vec![(0, 1.0), (2, 2.0), (5, 3.0)]).unwrap();
+        let y = SparseVec::from_entries(6, vec![(2, 4.0), (3, 7.0), (5, -1.0)]).unwrap();
+        assert_eq!(x.dot(&y), 2.0 * 4.0 + 3.0 * -1.0);
+        assert_eq!(x.dot(&SparseVec::zeros(6)), 0.0);
+        // Min-plus dot: min over shared indices of (x_i + y_i).
+        assert_eq!(x.dot_with::<MinPlus>(&y), (2.0f64 + 4.0).min(3.0 - 1.0));
+        // Boolean overlap test.
+        let px = x.map_values(|_| true);
+        let py = y.map_values(|_| true);
+        assert!(px.dot_with::<OrAnd>(&py));
+    }
+
+    #[test]
+    fn sparse_add_unions_structures() {
+        let x = SparseVec::from_entries(6, vec![(0, 1.0), (2, 2.0)]).unwrap();
+        let y = SparseVec::from_entries(6, vec![(2, 4.0), (5, 7.0)]).unwrap();
+        let z = x.add_with::<PlusTimes<f64>>(&y);
+        assert_eq!(z.nnz(), 3);
+        assert_eq!(z.get(2), Some(6.0));
+        assert_eq!(z.get(5), Some(7.0));
+        assert_eq!(z.to_dense(0.0), vec![1.0, 0.0, 6.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn dense_helpers() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![4.0, -5.0, 6.0];
+        assert_eq!(dense_dot(&x, &y), 4.0 - 10.0 + 18.0);
+        assert!((dense_norm2(&x) - 14.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(dense_norm1(&y), 15.0);
+        let mut z = y.clone();
+        dense_axpy(2.0, &x, &mut z);
+        assert_eq!(z, vec![6.0, -1.0, 12.0]);
+        dense_scale(0.5, &mut z);
+        assert_eq!(z, vec![3.0, -0.5, 6.0]);
+        assert_eq!(dense_max_diff(&x, &[1.0, 2.5, 2.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        let x = SparseVec::<f64>::zeros(3);
+        let y = SparseVec::<f64>::zeros(4);
+        let _ = x.dot(&y);
+    }
+}

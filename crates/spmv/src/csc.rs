@@ -1,0 +1,115 @@
+//! Column-major scatter SpMV.
+//!
+//! The dual of the CSR kernel: the matrix is traversed column by column, so
+//! reads of `A` and `x` both stream, but every nonzero scatters an update to
+//! `y[row]` at a data-dependent position.  Running this in parallel requires
+//! either atomics or per-thread copies of `y`; this implementation uses the
+//! per-thread-copy (fold/reduce) formulation, which is exactly the
+//! "unblocked" baseline that propagation blocking ([`crate::pb`]) improves
+//! on: the reduction re-reads `nthreads` full-length vectors from memory.
+
+use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::Csc;
+use rayon::prelude::*;
+
+/// Computes `y = A·x` under a semiring with `A` in CSC.
+pub fn csc_spmv_with<S: Semiring>(a: &Csc<S::Elem>, x: &[S::Elem]) -> Vec<S::Elem> {
+    assert_eq!(x.len(), a.ncols(), "x must have one element per matrix column");
+    let nrows = a.nrows();
+    (0..a.ncols())
+        .into_par_iter()
+        .fold(
+            || vec![S::zero(); nrows],
+            |mut y, j| {
+                let xj = x[j];
+                let (rows, vals) = a.col(j);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    let slot = &mut y[r as usize];
+                    *slot = S::add(*slot, S::mul(v, xj));
+                }
+                y
+            },
+        )
+        .reduce(
+            || vec![S::zero(); nrows],
+            |mut acc, partial| {
+                for (a_i, p_i) in acc.iter_mut().zip(partial) {
+                    *a_i = S::add(*a_i, p_i);
+                }
+                acc
+            },
+        )
+}
+
+/// Computes `y = A·x` with ordinary `+`/`×` over a numeric type.
+pub fn csc_spmv<T: Numeric>(a: &Csc<T>, x: &[T]) -> Vec<T> {
+    csc_spmv_with::<PlusTimes<T>>(a, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::csr_spmv;
+    use pb_gen::{erdos_renyi_square, rmat_square};
+    use pb_sparse::semiring::OrAnd;
+    use pb_sparse::{Coo, Csr};
+
+    #[test]
+    fn small_matrix_by_hand() {
+        let a = Coo::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap();
+        let y = csc_spmv(&a.to_csc(), &[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn agrees_with_the_csr_kernel() {
+        for (scale, ef, seed) in [(7u32, 4u32, 1u64), (8, 8, 2)] {
+            let a = erdos_renyi_square(scale, ef, seed);
+            let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).sin()).collect();
+            let y_csr = csr_spmv(&a, &x);
+            let y_csc = csc_spmv(&a.to_csc(), &x);
+            for (p, q) in y_csr.iter().zip(&y_csc) {
+                assert!((p - q).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = pb_gen::erdos_renyi(&pb_gen::ErConfig {
+            nrows: 40,
+            ncols: 17,
+            nnz_per_col: 3,
+            seed: 5,
+            random_values: true,
+        });
+        let x = vec![1.0; 17];
+        let y = csc_spmv(&a.to_csc(), &x);
+        assert_eq!(y.len(), 40);
+        let expected = csr_spmv(&a, &x);
+        for (p, q) in y.iter().zip(&expected) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boolean_reachability_matches_csr() {
+        let a = rmat_square(6, 4, 3).map_values(|_| true);
+        let frontier: Vec<bool> = (0..a.ncols()).map(|i| i % 5 == 0).collect();
+        assert_eq!(
+            csc_spmv_with::<OrAnd>(&a.to_csc(), &frontier),
+            crate::csr::csr_spmv_with::<OrAnd>(&a, &frontier)
+        );
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_vector() {
+        let a = Csr::<f64>::empty(5, 3).to_csc();
+        assert_eq!(csc_spmv(&a, &[1.0, 1.0, 1.0]), vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Row-parallel CSR SpMV.
+//!
+//! The textbook kernel: every output element `y[i]` is the dot product of row
+//! `i` of `A` with `x`.  Reads of `A` (values and column indices) stream
+//! perfectly; reads of `x` are indexed by the column pattern of the row, so
+//! for unstructured matrices they are effectively random — the same
+//! irregular-gather weakness the paper attributes to column SpGEMM.
+
+use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::Csr;
+use rayon::prelude::*;
+
+/// Computes `y = A·x` under a semiring, returning a freshly allocated `y`.
+pub fn csr_spmv_with<S: Semiring>(a: &Csr<S::Elem>, x: &[S::Elem]) -> Vec<S::Elem> {
+    let mut y = vec![S::zero(); a.nrows()];
+    csr_spmv_into_with::<S>(a, x, &mut y);
+    y
+}
+
+/// Computes `y = A·x` under a semiring into a caller-provided buffer.
+///
+/// `y` must have exactly `a.nrows()` elements; it is overwritten (not
+/// accumulated into).
+pub fn csr_spmv_into_with<S: Semiring>(a: &Csr<S::Elem>, x: &[S::Elem], y: &mut [S::Elem]) {
+    assert_eq!(x.len(), a.ncols(), "x must have one element per matrix column");
+    assert_eq!(y.len(), a.nrows(), "y must have one element per matrix row");
+    y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+        let (cols, vals) = a.row(i);
+        let mut acc = S::zero();
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc = S::add(acc, S::mul(v, x[c as usize]));
+        }
+        *yi = acc;
+    });
+}
+
+/// Computes `y = A·x` with ordinary `+`/`×` over a numeric type.
+pub fn csr_spmv<T: Numeric>(a: &Csr<T>, x: &[T]) -> Vec<T> {
+    csr_spmv_with::<PlusTimes<T>>(a, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::erdos_renyi_square;
+    use pb_sparse::semiring::{MinPlus, OrAnd};
+    use pb_sparse::Coo;
+
+    fn small() -> Csr<f64> {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        Coo::from_entries(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)])
+            .unwrap()
+            .to_csr()
+    }
+
+    /// O(n·nnz) dense-gather oracle.
+    fn dense_oracle(a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; a.nrows()];
+        for (r, c, v) in a.iter() {
+            y[r as usize] += v * x[c as usize];
+        }
+        y
+    }
+
+    #[test]
+    fn small_matrix_by_hand() {
+        let a = small();
+        let y = csr_spmv(&a, &[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let id = Csr::<f64>::identity(10);
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(csr_spmv(&id, &x), x);
+    }
+
+    #[test]
+    fn matches_dense_oracle_on_random_matrices() {
+        for seed in 0..3u64 {
+            let a = erdos_renyi_square(7, 5, seed);
+            let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+            let y = csr_spmv(&a, &x);
+            let expected = dense_oracle(&a, &x);
+            for (p, q) in y.iter().zip(&expected) {
+                assert!((p - q).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_overwrites_previous_contents() {
+        let a = small();
+        let mut y = vec![99.0; 3];
+        csr_spmv_into_with::<PlusTimes<f64>>(&a, &[0.0, 0.0, 0.0], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn boolean_semiring_computes_reachability() {
+        let a = small().map_values(|_| true);
+        let frontier = vec![true, false, false];
+        let next = csr_spmv_with::<OrAnd>(&a, &frontier);
+        // Rows with a stored entry in column 0 become reachable.
+        assert_eq!(next, vec![true, false, true]);
+    }
+
+    #[test]
+    fn min_plus_semiring_relaxes_distances() {
+        let a = small();
+        let dist = vec![0.0, f64::INFINITY, f64::INFINITY];
+        let relaxed = csr_spmv_with::<MinPlus>(&a, &dist);
+        assert_eq!(relaxed[0], 1.0); // A(0,0) + dist[0]
+        assert_eq!(relaxed[1], f64::INFINITY);
+        assert_eq!(relaxed[2], 4.0); // A(2,0) + dist[0]
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_vector() {
+        let a = Csr::<f64>::empty(4, 6);
+        assert_eq!(csr_spmv(&a, &vec![1.0; 6]), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one element per matrix column")]
+    fn wrong_x_length_panics() {
+        let a = small();
+        let _ = csr_spmv(&a, &[1.0, 2.0]);
+    }
+}

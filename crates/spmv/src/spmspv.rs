@@ -1,0 +1,166 @@
+//! Sparse-matrix × sparse-vector multiplication (SpMSpV).
+//!
+//! When the input vector has few nonzeros — a BFS frontier, the candidate set
+//! of a traversal — only the matrix columns selected by those nonzeros
+//! contribute to the output, so the kernel gathers a handful of columns from
+//! the CSC representation instead of touching the whole matrix.  The output
+//! is again sparse.
+//!
+//! This is the push-style frontier-advance primitive used by the multi-source
+//! BFS and betweenness-centrality kernels in `pb-graph`.
+
+use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::vector::SparseVec;
+use pb_sparse::Csc;
+use rayon::prelude::*;
+
+/// Computes the sparse vector `y = A·x` under a semiring, with `A` in CSC and
+/// `x` sparse.
+///
+/// Internally uses a dense accumulator over the output rows (the SPA
+/// formulation), which is the right trade-off for the moderate dimensions the
+/// examples use; the accumulator is merged across threads per-row-block.
+pub fn spmspv_with<S: Semiring>(a: &Csc<S::Elem>, x: &SparseVec<S::Elem>) -> SparseVec<S::Elem> {
+    assert_eq!(x.len(), a.ncols(), "x must have logical length equal to the matrix column count");
+    let nrows = a.nrows();
+    if nrows == 0 || x.nnz() == 0 {
+        return SparseVec::zeros(nrows);
+    }
+
+    // Gather the selected columns in parallel, accumulating into per-thread
+    // (value, touched) accumulators that are merged pairwise.
+    let (vals, touched) = x
+        .iter()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .fold(
+            || (vec![S::zero(); nrows], vec![false; nrows]),
+            |(mut acc, mut touched), (j, xj)| {
+                let (rows, a_vals) = a.col(j as usize);
+                for (&r, &v) in rows.iter().zip(a_vals) {
+                    let r = r as usize;
+                    acc[r] = S::add(acc[r], S::mul(v, xj));
+                    touched[r] = true;
+                }
+                (acc, touched)
+            },
+        )
+        .reduce(
+            || (vec![S::zero(); nrows], vec![false; nrows]),
+            |(mut acc, mut touched), (acc2, touched2)| {
+                for i in 0..nrows {
+                    if touched2[i] {
+                        acc[i] = if touched[i] { S::add(acc[i], acc2[i]) } else { acc2[i] };
+                        touched[i] = true;
+                    }
+                }
+                (acc, touched)
+            },
+        );
+
+    let mut entries: Vec<(usize, S::Elem)> = Vec::new();
+    for i in 0..nrows {
+        if touched[i] {
+            entries.push((i, vals[i]));
+        }
+    }
+    SparseVec::from_entries_with::<S>(nrows, entries)
+        .expect("indices come from matrix rows, so they are in bounds")
+}
+
+/// Computes the sparse vector `y = A·x` with ordinary `+`/`×`.
+pub fn spmspv<T: Numeric>(a: &Csc<T>, x: &SparseVec<T>) -> SparseVec<T> {
+    spmspv_with::<PlusTimes<T>>(a, x)
+}
+
+/// Computes `y = A·x` and removes from the result every position stored in
+/// `mask` — the "discovered set" filter of BFS-style traversals.
+pub fn spmspv_masked_with<S: Semiring, M: pb_sparse::Scalar>(
+    a: &Csc<S::Elem>,
+    x: &SparseVec<S::Elem>,
+    mask: &SparseVec<M>,
+) -> SparseVec<S::Elem> {
+    assert_eq!(mask.len(), a.nrows(), "mask must have logical length equal to the matrix row count");
+    let y = spmspv_with::<S>(a, x);
+    y.filter(|i, _| mask.get(i as usize).is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::csr_spmv;
+    use pb_gen::rmat_square;
+    use pb_sparse::semiring::OrAnd;
+    use pb_sparse::{Coo, Csr};
+
+    #[test]
+    fn matches_dense_spmv_on_the_stored_pattern() {
+        let a = rmat_square(7, 5, 33);
+        let a_csc = a.to_csc();
+        let x_sparse =
+            SparseVec::from_entries(a.ncols(), vec![(3, 2.0), (17, -1.0), (64, 0.5)]).unwrap();
+        let x_dense = x_sparse.to_dense(0.0);
+        let y_sparse = spmspv(&a_csc, &x_sparse);
+        let y_dense = csr_spmv(&a, &x_dense);
+        for i in 0..a.nrows() {
+            let s = y_sparse.get(i).unwrap_or(0.0);
+            assert!((s - y_dense[i]).abs() < 1e-9, "row {i}");
+        }
+        // Every stored output row must have been touched by a selected column.
+        assert!(y_sparse.nnz() <= a.nnz());
+    }
+
+    #[test]
+    fn empty_frontier_gives_empty_output() {
+        let a = rmat_square(6, 4, 1).to_csc();
+        let x = SparseVec::<f64>::zeros(a.ncols());
+        assert_eq!(spmspv(&a, &x).nnz(), 0);
+    }
+
+    #[test]
+    fn boolean_frontier_advance() {
+        // 0 -> 1 -> 2 -> 3 path graph (edge (u, v) stored as A(v, u) so that
+        // A·x pushes the frontier forward).
+        let a: Csr<bool> = Coo::from_entries(
+            4,
+            4,
+            vec![(1, 0, true), (2, 1, true), (3, 2, true)],
+        )
+        .unwrap()
+        .to_csr_with::<OrAnd>();
+        let a_csc = a.to_csc();
+        let mut frontier = SparseVec::from_entries_with::<OrAnd>(4, vec![(0, true)]).unwrap();
+        let mut order = Vec::new();
+        for _ in 0..3 {
+            frontier = spmspv_with::<OrAnd>(&a_csc, &frontier);
+            order.push(frontier.indices().to_vec());
+        }
+        assert_eq!(order, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn mask_removes_already_visited_rows() {
+        let a: Csr<f64> = Coo::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)],
+        )
+        .unwrap()
+        .to_csr();
+        let x = SparseVec::from_entries(3, vec![(0, 1.0)]).unwrap();
+        let visited = SparseVec::from_entries(3, vec![(1, 1.0)]).unwrap();
+        let y = spmspv_masked_with::<PlusTimes<f64>, f64>(&a.to_csc(), &x, &visited);
+        assert_eq!(y.indices(), &[0, 2]);
+    }
+
+    #[test]
+    fn duplicate_accumulation_across_columns() {
+        // Both selected columns write to row 0; contributions must sum.
+        let a: Csr<f64> =
+            Coo::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0)]).unwrap().to_csr();
+        let x = SparseVec::from_entries(2, vec![(0, 1.0), (1, 1.0)]).unwrap();
+        let y = spmspv(&a.to_csc(), &x);
+        assert_eq!(y.get(0), Some(5.0));
+        assert_eq!(y.nnz(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! The compression-factor crossover: when does PB-SpGEMM stop winning?
+//!
+//! The paper's conclusions 5 and 6 state that PB-SpGEMM beats the best
+//! column-SpGEMM baselines when the compression factor `cf = flop / nnz(C)`
+//! is below ≈4, and that HashSpGEMM takes over for larger `cf` (because the
+//! expand–sort–compress strategy has to move all `flop` tuples through
+//! memory while a hash accumulator touches only `nnz(C)` slots).  This
+//! example sweeps the density of ER matrices — `cf` grows roughly with the
+//! edge factor — and prints the runtime ratio so the crossover is visible.
+//!
+//! ```bash
+//! cargo run --release --example compression_factor_crossover
+//! ```
+
+use std::time::Instant;
+
+use pb_spgemm_suite::prelude::*;
+
+fn time<F: FnMut() -> Csr<f64>>(mut f: F) -> (f64, Csr<f64>) {
+    // One warm-up, then the median of three runs.
+    let _ = f();
+    let mut times = Vec::new();
+    let mut out = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let c = f();
+        times.push(start.elapsed().as_secs_f64());
+        out = Some(c);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[1], out.expect("three runs produce a result"))
+}
+
+fn main() {
+    let scale = 13u32; // 8K x 8K matrices
+    println!("squaring ER matrices of scale {scale} with growing edge factor\n");
+    println!(
+        "{:<6} {:>10} {:>8} {:>12} {:>12} {:>10}",
+        "ef", "flop", "cf", "PB (ms)", "Hash (ms)", "PB/Hash"
+    );
+
+    for ef in [2u32, 4, 8, 16, 32] {
+        let a = erdos_renyi_square(scale, ef, 42);
+        let stats = MultiplyStats::compute(&a, &a);
+        let a_csc = a.to_csc();
+
+        let cfg = PbConfig::default();
+        let (t_pb, c_pb) = time(|| multiply(&a_csc, &a, &cfg));
+        let (t_hash, c_hash) = time(|| Baseline::Hash.multiply(&a, &a));
+        assert!(reference::csr_approx_eq(&c_pb, &c_hash, 1e-9));
+
+        println!(
+            "{:<6} {:>10} {:>8.2} {:>12.1} {:>12.1} {:>10.2}",
+            ef,
+            stats.flop,
+            stats.cf,
+            t_pb * 1e3,
+            t_hash * 1e3,
+            t_pb / t_hash
+        );
+    }
+
+    println!(
+        "\nA ratio below 1.0 means PB-SpGEMM is faster; the paper predicts the \
+         crossover around cf ≈ 4 (conclusions 5 and 6)."
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a sparse matrix, square it with PB-SpGEMM, and compare
+//! against the column SpGEMM baselines and the reference implementation.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use pb_spgemm_suite::prelude::*;
+
+fn main() {
+    // ---------------------------------------------------------------------
+    // 1. Build a matrix.  Any of the pb-gen generators works; here we use a
+    //    Graph500 R-MAT matrix with 2^12 rows and ~8 nonzeros per row.
+    // ---------------------------------------------------------------------
+    let a: Csr<f64> = rmat_square(12, 8, 42);
+    let stats = MultiplyStats::compute(&a, &a);
+    println!(
+        "matrix: {} x {}, nnz = {}, avg degree = {:.2}",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        a.avg_degree()
+    );
+    println!(
+        "squaring it needs {} multiplications, produces {} nonzeros (cf = {:.2})\n",
+        stats.flop, stats.nnz_c, stats.cf
+    );
+
+    // ---------------------------------------------------------------------
+    // 2. Multiply with PB-SpGEMM.  A is passed column-wise (CSC), B row-wise
+    //    (CSR); the default configuration auto-sizes the propagation bins.
+    // ---------------------------------------------------------------------
+    let config = PbConfig::default();
+    let (c, profile) =
+        multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &config);
+    println!("PB-SpGEMM: {}", profile.summary());
+
+    // ---------------------------------------------------------------------
+    // 3. Compare against the column SpGEMM baselines.
+    // ---------------------------------------------------------------------
+    for baseline in Baseline::paper_set() {
+        let t = std::time::Instant::now();
+        let c_other = baseline.multiply(&a, &a);
+        let dt = t.elapsed().as_secs_f64();
+        let agree = reference::csr_approx_eq(&c, &c_other, 1e-9);
+        println!(
+            "{:>15}: {:7.1} ms, {:6.0} MFLOPS, agrees with PB-SpGEMM: {}",
+            baseline.name(),
+            dt * 1e3,
+            stats.flop as f64 / dt / 1e6,
+            agree
+        );
+    }
+
+    // ---------------------------------------------------------------------
+    // 4. Sanity-check against the slow reference implementation.
+    // ---------------------------------------------------------------------
+    let expected = reference::multiply_csr(&a, &a);
+    assert!(reference::csr_approx_eq(&c, &expected, 1e-9));
+    println!("\nresult verified against the reference implementation ✔");
+}

@@ -1,0 +1,59 @@
+//! Roofline report: measure the machine's STREAM bandwidth, run PB-SpGEMM
+//! on ER matrices, and compare the achieved MFLOPS against the paper's
+//! model predictions (Sec. II and Fig. 7).
+//!
+//! ```bash
+//! cargo run --release --example roofline_report
+//! ```
+
+use pb_spgemm_suite::model::stream::{run as run_stream, StreamConfig};
+use pb_spgemm_suite::prelude::*;
+
+fn main() {
+    // 1. Measure beta.  The arrays must be much larger than the last-level
+    //    cache or the "bandwidth" would be a cache bandwidth; pass --full for
+    //    the STREAM-default 128 MiB arrays, otherwise use 32 MiB ones.
+    let full = std::env::args().any(|a| a == "--full");
+    let stream_cfg = if full {
+        StreamConfig::default()
+    } else {
+        StreamConfig { elements: 1 << 22, ntimes: 3, threads: None }
+    };
+    let stream = run_stream(&stream_cfg);
+    let beta = stream.beta_gbps();
+    let model = RooflineModel::new(beta);
+    println!("STREAM: copy {:.1} / scale {:.1} / add {:.1} / triad {:.1} GB/s", stream.copy, stream.scale, stream.add, stream.triad);
+    println!("Roofline bandwidth beta = {beta:.1} GB/s\n");
+
+    // 2. Run PB-SpGEMM on ER matrices of growing size and compare against
+    //    the model.
+    println!(
+        "{:<16} {:>8} {:>6} {:>12} {:>14} {:>14} {:>10}",
+        "workload", "flop(M)", "cf", "MFLOPS", "Eq.4 bound", "Eq.1 peak", "bw (GB/s)"
+    );
+    for (scale, ef) in [(12u32, 8u32), (13, 8), (14, 8), (14, 16)] {
+        let a = erdos_renyi_square(scale, ef, scale as u64);
+        let (_, profile) =
+            multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &PbConfig::default());
+        let cf = profile.cf();
+        let achieved_mflops = profile.gflops() * 1e3;
+        let lower = model.outer_predicted_gflops(cf) * 1e3;
+        let peak = model.peak_gflops(cf) * 1e3;
+        println!(
+            "{:<16} {:>8.1} {:>6.2} {:>12.0} {:>14.0} {:>14.0} {:>10.1}",
+            format!("ER s={scale} ef={ef}"),
+            profile.flop as f64 / 1e6,
+            cf,
+            achieved_mflops,
+            lower,
+            peak,
+            profile.overall_bandwidth_gbps(),
+        );
+    }
+
+    println!(
+        "\ninterpretation: the paper's claim is that PB-SpGEMM lands at or above the Eq. 4\n\
+         prediction (beta * cf / ((3 + 2 cf) * 16)) and below the Eq. 1 peak, because every\n\
+         phase streams memory at close to the STREAM bandwidth."
+    );
+}

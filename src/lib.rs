@@ -1,0 +1,42 @@
+//! # pb-spgemm-suite — one-stop façade for the PB-SpGEMM reproduction
+//!
+//! This crate simply re-exports the workspace crates so that examples,
+//! integration tests and downstream users can depend on a single package:
+//!
+//! * [`sparse`] — matrix formats, semirings, element-wise ops, vectors, I/O,
+//!   statistics (`pb-sparse`);
+//! * [`gen`] — deterministic matrix generators (`pb-gen`);
+//! * [`baseline`] — Heap/Hash/HashVec/SPA/ESC/outer-heap SpGEMM baselines
+//!   (`pb-baseline`);
+//! * [`spgemm`] — the PB-SpGEMM algorithm itself, including the masked and
+//!   row-partitioned variants (`pb-spgemm`);
+//! * [`spmv`] — SpMV kernels, including the propagation-blocking SpMV the
+//!   paper's technique originates from (`pb-spmv`);
+//! * [`graph`] — graph-analytics kernels built on the SpGEMM engines
+//!   (`pb-graph`);
+//! * [`model`] — Roofline model, STREAM and machine probes (`pb-model`).
+//!
+//! See `README.md` for a tour and `examples/` for runnable end-to-end
+//! programs.
+
+pub use pb_baseline as baseline;
+pub use pb_gen as gen;
+pub use pb_graph as graph;
+pub use pb_model as model;
+pub use pb_sparse as sparse;
+pub use pb_spgemm as spgemm;
+pub use pb_spmv as spmv;
+
+/// The most common imports for application code.
+pub mod prelude {
+    pub use pb_baseline::Baseline;
+    pub use pb_gen::{erdos_renyi_square, rmat_square, standin_scaled};
+    pub use pb_graph::SpGemmEngine;
+    pub use pb_model::{MachineInfo, RooflineModel, StreamConfig};
+    pub use pb_sparse::prelude::*;
+    pub use pb_sparse::{ops, reference};
+    pub use pb_spgemm::{
+        multiply, multiply_masked, multiply_with, multiply_with_profile, PbConfig,
+    };
+    pub use pb_spmv::{csr_spmv, pb_spmv, pagerank, PageRankConfig, PbSpmvConfig, SpmvEngine};
+}

@@ -1,0 +1,115 @@
+//! Integration tests tying the measured PB-SpGEMM behaviour back to the
+//! paper's performance model: profiles, bin geometry, the Roofline bounds
+//! and the analytic access-pattern claims.
+
+use pb_spgemm_suite::gen::{erdos_renyi_square, rmat_square};
+use pb_spgemm_suite::model::access::{traffic_estimates, AlgorithmClass};
+use pb_spgemm_suite::model::roofline::RooflineModel;
+use pb_spgemm_suite::prelude::*;
+use pb_spgemm_suite::spgemm::{multiply_with_profile, BinnedTuples, Phase};
+
+#[test]
+fn profile_flop_and_nnz_match_the_statistics_module() {
+    let a = erdos_renyi_square(10, 8, 1);
+    let stats = MultiplyStats::compute(&a, &a);
+    let (c, profile) =
+        multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &PbConfig::default());
+    assert_eq!(profile.flop, stats.flop);
+    assert_eq!(profile.nnz_c, stats.nnz_c);
+    assert_eq!(c.nnz(), stats.nnz_c);
+    assert!((profile.cf() - stats.cf).abs() < 1e-12);
+}
+
+#[test]
+fn auto_bin_count_keeps_bins_within_l2() {
+    // The paper's rule: nbins = flop * tuple_bytes / L2, so the average bin
+    // is at most one L2 in size.
+    let a = erdos_renyi_square(12, 16, 2);
+    let l2 = 256 * 1024;
+    let cfg = PbConfig::default().with_l2_bytes(l2);
+    let (_, profile) = multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &cfg);
+    let avg_bin_bytes =
+        profile.flop as f64 * BinnedTuples::<f64>::tuple_bytes() as f64 / profile.nbins as f64;
+    assert!(
+        avg_bin_bytes <= l2 as f64 * 1.01,
+        "average bin ({avg_bin_bytes} bytes) exceeds the configured L2 ({l2} bytes)"
+    );
+}
+
+#[test]
+fn key_compression_uses_fewer_than_eight_bytes() {
+    // The paper's Sec. III-D example: ~1M rows, 1K bins, 1M columns -> 4-byte
+    // keys.  At our scale the packed key must always be at most 4 bytes with
+    // range mapping and a reasonable bin count.
+    let a = erdos_renyi_square(13, 8, 3);
+    let cfg = PbConfig::default().with_nbins(1024);
+    let (_, profile) = multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &cfg);
+    assert!(profile.key_bytes <= 4, "expected <=4 key bytes, got {}", profile.key_bytes);
+}
+
+#[test]
+fn measured_ai_never_exceeds_the_upper_bound() {
+    // AI computed from the modelled traffic of the actual run must respect
+    // Eq. 1 (cf / b) and stay at or above Eq. 4 within measurement slack.
+    for a in [erdos_renyi_square(11, 8, 4), rmat_square(11, 8, 5)] {
+        let (_, profile) =
+            multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &PbConfig::default());
+        let model = RooflineModel::new(50.0);
+        let cf = profile.cf();
+        let total_bytes: u64 = [Phase::Expand, Phase::Sort, Phase::Compress]
+            .iter()
+            .map(|&p| profile.phase_bytes(p))
+            .sum();
+        let ai = profile.flop as f64 / total_bytes as f64;
+        assert!(ai <= model.ai_upper_bound(cf) * 1.001, "AI {ai} exceeds Eq. 1");
+        assert!(
+            ai >= model.ai_outer_lower_bound(cf) * 0.9,
+            "AI {ai} fell below the Eq. 4 lower bound {}",
+            model.ai_outer_lower_bound(cf)
+        );
+    }
+}
+
+#[test]
+fn outer_product_traffic_estimate_matches_profile_bytes() {
+    let a = erdos_renyi_square(11, 4, 6);
+    let stats = MultiplyStats::compute(&a, &a);
+    let (_, profile) =
+        multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &PbConfig::default());
+    let est = traffic_estimates(&stats);
+    let outer = est.iter().find(|e| e.class == AlgorithmClass::OuterEsc).unwrap();
+    let profile_bytes: u64 = [Phase::Expand, Phase::Sort, Phase::Compress]
+        .iter()
+        .map(|&p| profile.phase_bytes(p))
+        .sum();
+    // Both models count b*(nnzA + nnzB) + 2*t*flop + t*nnzC; with 16-byte
+    // tuples they coincide exactly, so allow only small slack.
+    let ratio = profile_bytes as f64 / outer.bytes as f64;
+    assert!((0.95..=1.05).contains(&ratio), "traffic models diverge: ratio {ratio}");
+}
+
+#[test]
+fn phase_times_and_bandwidths_are_positive_and_bounded() {
+    let a = rmat_square(11, 8, 7);
+    let (_, profile) =
+        multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &PbConfig::default());
+    for phase in [Phase::Expand, Phase::Sort, Phase::Compress, Phase::Assemble] {
+        assert!(profile.phase_time(phase).as_nanos() > 0, "{} took zero time", phase.name());
+        let bw = profile.phase_bandwidth_gbps(phase);
+        assert!(bw > 0.0 && bw < 10_000.0, "{} bandwidth {bw} looks wrong", phase.name());
+    }
+    assert!(profile.gflops() > 0.0);
+    assert!(profile.overall_bandwidth_gbps() > 0.0);
+}
+
+#[test]
+fn roofline_prediction_brackets_measured_performance_order_of_magnitude() {
+    // We cannot assert absolute GFLOPS on arbitrary CI hardware, but the
+    // measured performance must be positive and below the Eq. 1 peak
+    // computed with a generously high bandwidth assumption.
+    let a = erdos_renyi_square(12, 8, 8);
+    let (_, profile) =
+        multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &PbConfig::default());
+    let generous = RooflineModel::new(2000.0); // 2 TB/s: above any CPU
+    assert!(profile.gflops() < generous.peak_gflops(profile.cf()));
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the sparse-matrix substrate: format conversions
+//! are lossless, transposition is an involution, Matrix Market I/O round
+//! trips, and the statistics module is internally consistent.
+
+use proptest::prelude::*;
+
+use pb_spgemm_suite::prelude::*;
+use pb_spgemm_suite::sparse::io::{read_matrix_market_from, write_matrix_market_to};
+use pb_spgemm_suite::sparse::permute::{permute_rows, Permutation};
+use pb_spgemm_suite::sparse::stats::{flop_csr, flop_outer, flop_rows, symbolic_nnz};
+
+/// Strategy: an arbitrary COO matrix (may contain duplicate coordinates).
+fn coo_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Coo<f64>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(nrows, ncols)| {
+        let entry = (0..nrows, 0..ncols, -100.0f64..100.0f64);
+        proptest::collection::vec(entry, 0..=max_nnz)
+            .prop_map(move |entries| Coo::from_entries(nrows, ncols, entries).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COO -> CSR -> COO -> dense equals COO -> dense (duplicates summed).
+    #[test]
+    fn coo_csr_roundtrip_preserves_values(coo in coo_matrix(60, 300)) {
+        let dense = coo.to_dense();
+        let csr = coo.to_csr();
+        prop_assert!(csr.to_dense().approx_eq(&dense, 1e-9));
+        prop_assert!(csr.to_coo().to_dense().approx_eq(&dense, 1e-9));
+        prop_assert!(csr.validate().is_ok());
+        prop_assert!(csr.has_sorted_indices());
+        prop_assert!(!csr.has_duplicates());
+    }
+
+    /// CSR <-> CSC conversions agree with each other and with the dense view.
+    #[test]
+    fn csr_csc_conversions_agree(coo in coo_matrix(50, 250)) {
+        let dense = coo.to_dense();
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        prop_assert!(csc.to_dense().approx_eq(&dense, 1e-9));
+        // Structure is identical; values may differ in the last bits because
+        // duplicate coordinates are accumulated in row-major vs column-major
+        // order depending on the conversion path.
+        let via_csr = csr.to_csc();
+        prop_assert_eq!(via_csr.colptr(), csc.colptr());
+        prop_assert_eq!(via_csr.rowidx(), csc.rowidx());
+        prop_assert!(via_csr.to_dense().approx_eq(&csc.to_dense(), 1e-9));
+        let back = csc.to_csr();
+        prop_assert_eq!(back.rowptr(), csr.rowptr());
+        prop_assert_eq!(back.colidx(), csr.colidx());
+        prop_assert!(back.to_dense().approx_eq(&dense, 1e-9));
+    }
+
+    /// Transposing twice is the identity; the transpose swaps coordinates.
+    #[test]
+    fn transpose_is_an_involution(coo in coo_matrix(50, 250)) {
+        let csr = coo.to_csr();
+        let t = csr.transpose();
+        prop_assert_eq!(t.shape(), (csr.ncols(), csr.nrows()));
+        prop_assert_eq!(t.transpose(), csr.clone());
+        for (r, c, v) in csr.iter() {
+            prop_assert_eq!(t.get(c as usize, r as usize), Some(v));
+        }
+    }
+
+    /// Matrix Market write -> read round-trips exactly (structure and value).
+    #[test]
+    fn matrix_market_roundtrip(coo in coo_matrix(40, 200)) {
+        // Canonicalise first: the writer emits raw triplets, and duplicate
+        // coordinates would be double-counted on re-read.
+        let canonical = coo.to_csr().to_coo();
+        let mut buffer = Vec::new();
+        write_matrix_market_to(&mut buffer, &canonical).unwrap();
+        let (back, _) = read_matrix_market_from(buffer.as_slice()).unwrap();
+        prop_assert_eq!(back.shape(), canonical.shape());
+        prop_assert!(back.to_dense().approx_eq(&canonical.to_dense(), 1e-9));
+    }
+
+    /// The three flop formulations (row-wise, per-row sum, outer-product)
+    /// agree, and nnz(C) from the symbolic pass matches the real product.
+    #[test]
+    fn flop_and_symbolic_counts_agree(coo in coo_matrix(40, 200)) {
+        // Square the matrix on its smaller dimension so shapes match.
+        let csr = coo.to_csr();
+        let n = csr.nrows().min(csr.ncols());
+        let square = Coo::from_entries(
+            n, n,
+            csr.iter()
+                .filter(|&(r, c, _)| (r as usize) < n && (c as usize) < n)
+                .map(|(r, c, v)| (r as usize, c as usize, v))
+                .collect(),
+        ).unwrap().to_csr();
+
+        let f1 = flop_csr(&square, &square);
+        let f2: u64 = flop_rows(&square, &square).iter().sum();
+        let f3 = flop_outer(&square.to_csc(), &square);
+        prop_assert_eq!(f1, f2);
+        prop_assert_eq!(f1, f3);
+
+        let c = pb_spgemm_suite::sparse::reference::multiply_csr(&square, &square);
+        prop_assert_eq!(symbolic_nnz(&square, &square), c.nnz());
+        prop_assert!(f1 >= c.nnz() as u64);
+    }
+
+    /// Row permutation is invertible and preserves the multiset of values.
+    #[test]
+    fn row_permutation_roundtrip(coo in coo_matrix(40, 200), seed in 0u64..500) {
+        let csr = coo.to_csr();
+        let mut order: Vec<u32> = (0..csr.nrows() as u32).collect();
+        let mut rng = pb_spgemm_suite::gen::Xoshiro256pp::new(seed);
+        rng.shuffle(&mut order);
+        let perm = Permutation::from_vec(order).unwrap();
+        let permuted = permute_rows(&csr, &perm);
+        prop_assert_eq!(permuted.nnz(), csr.nnz());
+        let back = permute_rows(&permuted, &perm.inverse());
+        prop_assert_eq!(back, csr);
+    }
+
+    /// Semiring laws hold for the f64 plus-times semiring on arbitrary
+    /// values (up to floating-point associativity on addition, which we test
+    /// with exactly representable integers).
+    #[test]
+    fn semiring_laws_plus_times(a in -1000i32..1000, b in -1000i32..1000, c in -1000i32..1000) {
+        type S = PlusTimes<i64>;
+        let (a, b, c) = (a as i64, b as i64, c as i64);
+        prop_assert_eq!(S::add(a, b), S::add(b, a));
+        prop_assert_eq!(S::add(S::add(a, b), c), S::add(a, S::add(b, c)));
+        prop_assert_eq!(S::mul(S::mul(a, b), c), S::mul(a, S::mul(b, c)));
+        prop_assert_eq!(S::mul(a, S::zero()), S::zero());
+        prop_assert_eq!(S::add(a, S::zero()), a);
+        // Distributivity.
+        prop_assert_eq!(S::mul(a, S::add(b, c)), S::add(S::mul(a, b), S::mul(a, c)));
+    }
+}
