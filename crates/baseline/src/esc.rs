@@ -42,9 +42,8 @@ pub fn esc_column_spgemm_with<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -
         // Hand each row its own disjoint segment of the expanded buffer.
         let mut segments: Vec<&mut [(Index, S::Elem)]> = Vec::with_capacity(nrows);
         let mut rest: &mut [(Index, S::Elem)] = &mut expanded;
-        for i in 0..nrows {
-            let len = per_row[i] as usize;
-            let (seg, r) = rest.split_at_mut(len);
+        for &len in per_row.iter().take(nrows) {
+            let (seg, r) = rest.split_at_mut(len as usize);
             segments.push(seg);
             rest = r;
         }
@@ -66,8 +65,8 @@ pub fn esc_column_spgemm_with<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -
     let rows: Vec<(Vec<Index>, Vec<S::Elem>)> = {
         let mut segments: Vec<&mut [(Index, S::Elem)]> = Vec::with_capacity(nrows);
         let mut rest: &mut [(Index, S::Elem)] = &mut expanded;
-        for i in 0..nrows {
-            let (seg, r) = rest.split_at_mut(per_row[i] as usize);
+        for &len in per_row.iter().take(nrows) {
+            let (seg, r) = rest.split_at_mut(len as usize);
             segments.push(seg);
             rest = r;
         }

@@ -31,7 +31,10 @@ struct HashScratch<V> {
 
 impl<V: Copy> HashScratch<V> {
     fn new() -> Self {
-        HashScratch { keys: Vec::new(), vals: Vec::new() }
+        HashScratch {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Ensures capacity for `size` slots and resets all keys to EMPTY.
@@ -116,52 +119,51 @@ fn hash_spgemm_impl<S: Semiring>(
     b: &Csr<S::Elem>,
     grouped: bool,
 ) -> Csr<S::Elem> {
-    rowwise_multiply::<S, HashScratch<S::Elem>, _, _>(
-        a,
-        b,
-        HashScratch::new,
-        |scratch, i| {
-            let upper = row_flop(a, b, i);
-            if upper == 0 {
-                return (Vec::new(), Vec::new());
-            }
-            // Load factor <= 0.5 keeps probe chains short even with clustered
-            // column indices.
-            let size = if grouped {
-                (next_pow2(upper * 2).max(VEC_WIDTH)).next_multiple_of(VEC_WIDTH)
-            } else {
-                next_pow2(upper * 2)
-            };
-            scratch.reset(size, S::zero());
-            let keys = &mut scratch.keys[..size];
-            let vals = &mut scratch.vals[..size];
-            let mask = if grouped { size / VEC_WIDTH - 1 } else { size - 1 };
+    rowwise_multiply::<S, HashScratch<S::Elem>, _, _>(a, b, HashScratch::new, |scratch, i| {
+        let upper = row_flop(a, b, i);
+        if upper == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        // Load factor <= 0.5 keeps probe chains short even with clustered
+        // column indices.
+        let size = if grouped {
+            (next_pow2(upper * 2).max(VEC_WIDTH)).next_multiple_of(VEC_WIDTH)
+        } else {
+            next_pow2(upper * 2)
+        };
+        scratch.reset(size, S::zero());
+        let keys = &mut scratch.keys[..size];
+        let vals = &mut scratch.vals[..size];
+        let mask = if grouped {
+            size / VEC_WIDTH - 1
+        } else {
+            size - 1
+        };
 
-            let (a_cols, a_vals) = a.row(i);
-            for (&k, &a_ik) in a_cols.iter().zip(a_vals) {
-                let (b_cols, b_vals) = b.row(k as usize);
-                for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
-                    let product = S::mul(a_ik, b_kj);
-                    if grouped {
-                        scatter_grouped::<S>(keys, vals, mask, j, product);
-                    } else {
-                        scatter_linear::<S>(keys, vals, mask, j, product);
-                    }
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &a_ik) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                let product = S::mul(a_ik, b_kj);
+                if grouped {
+                    scatter_grouped::<S>(keys, vals, mask, j, product);
+                } else {
+                    scatter_linear::<S>(keys, vals, mask, j, product);
                 }
             }
+        }
 
-            // Gather surviving entries and sort them by column index.
-            let mut out: Vec<(Index, S::Elem)> = keys
-                .iter()
-                .zip(vals.iter())
-                .filter(|(&k, _)| k != EMPTY)
-                .map(|(&k, &v)| (k, v))
-                .collect();
-            out.sort_unstable_by_key(|&(c, _)| c);
-            let (cols, vals): (Vec<Index>, Vec<S::Elem>) = out.into_iter().unzip();
-            (cols, vals)
-        },
-    )
+        // Gather surviving entries and sort them by column index.
+        let mut out: Vec<(Index, S::Elem)> = keys
+            .iter()
+            .zip(vals.iter())
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        out.sort_unstable_by_key(|&(c, _)| c);
+        let (cols, vals): (Vec<Index>, Vec<S::Elem>) = out.into_iter().unzip();
+        (cols, vals)
+    })
 }
 
 /// HashSpGEMM under an arbitrary semiring.

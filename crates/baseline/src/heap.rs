@@ -26,50 +26,49 @@ struct Cursor {
 
 /// HeapSpGEMM under an arbitrary semiring.
 pub fn heap_spgemm_with<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
-    rowwise_multiply::<S, BinaryHeap<Reverse<Cursor>>, _, _>(
-        a,
-        b,
-        BinaryHeap::new,
-        |heap, i| {
-            let (a_cols, a_vals) = a.row(i);
-            heap.clear();
-            // Seed the heap with the first entry of every selected B row.
-            for (list, &k) in a_cols.iter().enumerate() {
-                let (b_cols, _) = b.row(k as usize);
-                if !b_cols.is_empty() {
-                    heap.push(Reverse(Cursor { col: b_cols[0], list: list as u32, pos: 0 }));
+    rowwise_multiply::<S, BinaryHeap<Reverse<Cursor>>, _, _>(a, b, BinaryHeap::new, |heap, i| {
+        let (a_cols, a_vals) = a.row(i);
+        heap.clear();
+        // Seed the heap with the first entry of every selected B row.
+        for (list, &k) in a_cols.iter().enumerate() {
+            let (b_cols, _) = b.row(k as usize);
+            if !b_cols.is_empty() {
+                heap.push(Reverse(Cursor {
+                    col: b_cols[0],
+                    list: list as u32,
+                    pos: 0,
+                }));
+            }
+        }
+        let mut out_cols: Vec<Index> = Vec::new();
+        let mut out_vals: Vec<S::Elem> = Vec::new();
+        while let Some(Reverse(cur)) = heap.pop() {
+            let k = a_cols[cur.list as usize] as usize;
+            let a_ik = a_vals[cur.list as usize];
+            let (b_cols, b_vals) = b.row(k);
+            let product = S::mul(a_ik, b_vals[cur.pos as usize]);
+            match out_cols.last() {
+                Some(&last) if last == cur.col => {
+                    let slot = out_vals.last_mut().expect("values track columns");
+                    *slot = S::add(*slot, product);
+                }
+                _ => {
+                    out_cols.push(cur.col);
+                    out_vals.push(product);
                 }
             }
-            let mut out_cols: Vec<Index> = Vec::new();
-            let mut out_vals: Vec<S::Elem> = Vec::new();
-            while let Some(Reverse(cur)) = heap.pop() {
-                let k = a_cols[cur.list as usize] as usize;
-                let a_ik = a_vals[cur.list as usize];
-                let (b_cols, b_vals) = b.row(k);
-                let product = S::mul(a_ik, b_vals[cur.pos as usize]);
-                match out_cols.last() {
-                    Some(&last) if last == cur.col => {
-                        let slot = out_vals.last_mut().expect("values track columns");
-                        *slot = S::add(*slot, product);
-                    }
-                    _ => {
-                        out_cols.push(cur.col);
-                        out_vals.push(product);
-                    }
-                }
-                // Advance this cursor within its list.
-                let next = cur.pos as usize + 1;
-                if next < b_cols.len() {
-                    heap.push(Reverse(Cursor {
-                        col: b_cols[next],
-                        list: cur.list,
-                        pos: next as u32,
-                    }));
-                }
+            // Advance this cursor within its list.
+            let next = cur.pos as usize + 1;
+            if next < b_cols.len() {
+                heap.push(Reverse(Cursor {
+                    col: b_cols[next],
+                    list: cur.list,
+                    pos: next as u32,
+                }));
             }
-            (out_cols, out_vals)
-        },
-    )
+        }
+        (out_cols, out_vals)
+    })
 }
 
 /// HeapSpGEMM with ordinary `+`/`×`.
@@ -90,7 +89,13 @@ mod tests {
         let a = Coo::from_entries(
             3,
             3,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
         .to_csr();

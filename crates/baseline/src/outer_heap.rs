@@ -35,10 +35,7 @@ struct RunCursor {
 /// Computes `C = A·B` by merging the `k` outer-product runs with a binary
 /// heap, under an arbitrary semiring.  `A` is taken in CSC and `B` in CSR,
 /// the same operand formats as PB-SpGEMM.
-pub fn outer_heap_spgemm_with<S: Semiring>(
-    a: &Csc<S::Elem>,
-    b: &Csr<S::Elem>,
-) -> Csr<S::Elem> {
+pub fn outer_heap_spgemm_with<S: Semiring>(a: &Csc<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
     assert_eq!(
         a.ncols(),
         b.nrows(),
@@ -57,7 +54,11 @@ pub fn outer_heap_spgemm_with<S: Semiring>(
     let mut cursors: Vec<RunCursor> = Vec::with_capacity(k);
     for i in 0..k {
         if a.col_nnz(i) > 0 && b.row_nnz(i) > 0 {
-            let cursor = RunCursor { inner: i, a_pos: 0, b_pos: 0 };
+            let cursor = RunCursor {
+                inner: i,
+                a_pos: 0,
+                b_pos: 0,
+            };
             let r = a.col(i).0[0];
             let c = b.row(i).0[0];
             heap.push(Reverse((key_of(r, c), cursors.len())));
@@ -80,7 +81,9 @@ pub fn outer_heap_spgemm_with<S: Semiring>(
 
         if last_key == Some(key) {
             // Same (row, col) as the previous tuple: accumulate in place.
-            let last = values.last_mut().expect("a previous tuple exists when keys repeat");
+            let last = values
+                .last_mut()
+                .expect("a previous tuple exists when keys repeat");
             *last = S::add(*last, val);
         } else {
             rowptr[r as usize + 1] += 1;
@@ -127,20 +130,31 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let a = erdos_renyi_square(6, 5, seed);
             let c = outer_heap_spgemm(&a, &a);
-            assert!(csr_approx_eq(&c, &multiply_csr(&a, &a), 1e-9), "seed {seed}");
+            assert!(
+                csr_approx_eq(&c, &multiply_csr(&a, &a), 1e-9),
+                "seed {seed}"
+            );
             assert!(c.has_sorted_indices());
             assert!(!c.has_duplicates());
         }
         let a = rmat_square(7, 6, 4);
-        assert!(csr_approx_eq(&outer_heap_spgemm(&a, &a), &multiply_csr(&a, &a), 1e-9));
+        assert!(csr_approx_eq(
+            &outer_heap_spgemm(&a, &a),
+            &multiply_csr(&a, &a),
+            1e-9
+        ));
     }
 
     #[test]
     fn duplicates_across_runs_are_accumulated() {
         // C(0, 0) receives one contribution from each of the two inner
         // indices.
-        let a = Coo::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0)]).unwrap().to_csr();
-        let b = Coo::from_entries(2, 2, vec![(0, 0, 5.0), (1, 0, 7.0)]).unwrap().to_csr();
+        let a = Coo::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0)])
+            .unwrap()
+            .to_csr();
+        let b = Coo::from_entries(2, 2, vec![(0, 0, 5.0), (1, 0, 7.0)])
+            .unwrap()
+            .to_csr();
         let c = outer_heap_spgemm_with::<PlusTimes<f64>>(&a.to_csc(), &b);
         assert_eq!(c.nnz(), 1);
         assert_eq!(c.get(0, 0), Some(2.0 * 5.0 + 3.0 * 7.0));

@@ -24,7 +24,11 @@ struct Spa<V> {
 
 impl<V: Copy> Spa<V> {
     fn new(ncols: usize, zero: V) -> Self {
-        Spa { values: vec![zero; ncols], occupied: vec![false; ncols], touched: Vec::new() }
+        Spa {
+            values: vec![zero; ncols],
+            occupied: vec![false; ncols],
+            touched: Vec::new(),
+        }
     }
 }
 
@@ -87,13 +91,21 @@ mod tests {
             assert!(csr_approx_eq(&spa_spgemm(&a, &a), &expected, 1e-9));
         }
         let rm = rmat_square(8, 8, 3);
-        assert!(csr_approx_eq(&spa_spgemm(&rm, &rm), &multiply_csr(&rm, &rm), 1e-9));
+        assert!(csr_approx_eq(
+            &spa_spgemm(&rm, &rm),
+            &multiply_csr(&rm, &rm),
+            1e-9
+        ));
     }
 
     #[test]
     fn matches_reference_on_banded_matrix() {
         let a = banded(300, 15, 4);
-        assert!(csr_approx_eq(&spa_spgemm(&a, &a), &multiply_csr(&a, &a), 1e-9));
+        assert!(csr_approx_eq(
+            &spa_spgemm(&a, &a),
+            &multiply_csr(&a, &a),
+            1e-9
+        ));
     }
 
     #[test]

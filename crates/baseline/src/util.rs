@@ -95,9 +95,13 @@ mod tests {
         let a = Coo::from_entries(2, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)])
             .unwrap()
             .to_csr();
-        let b = Coo::from_entries(3, 2, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 1, 1.0)])
-            .unwrap()
-            .to_csr();
+        let b = Coo::from_entries(
+            3,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 1, 1.0)],
+        )
+        .unwrap()
+        .to_csr();
         assert_eq!(row_flop(&a, &b, 0), 3);
         assert_eq!(row_flop(&a, &b, 1), 1);
     }

@@ -13,11 +13,14 @@ fn bench_expand_strategies(c: &mut Criterion) {
     let a_csc = a.to_csc();
     let mut group = c.benchmark_group("expand_strategy");
     group.sample_size(10);
-    for (name, strategy) in
-        [("reserved", ExpandStrategy::Reserved), ("thread_local", ExpandStrategy::ThreadLocal)]
-    {
+    for (name, strategy) in [
+        ("reserved", ExpandStrategy::Reserved),
+        ("thread_local", ExpandStrategy::ThreadLocal),
+    ] {
         for (map_name, mapping) in [("range", BinMapping::Range), ("modulo", BinMapping::Modulo)] {
-            let cfg = PbConfig::default().with_expand(strategy).with_bin_mapping(mapping);
+            let cfg = PbConfig::default()
+                .with_expand(strategy)
+                .with_bin_mapping(mapping);
             group.bench_function(BenchmarkId::new(name, map_name), |bench| {
                 bench.iter(|| black_box(pb_spgemm::multiply(&a_csc, &a, &cfg)));
             });

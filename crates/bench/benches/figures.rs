@@ -6,7 +6,9 @@
 //! evaluation.  Run the individual `--bin figN_*` binaries for the
 //! full-scale versions.
 
-use pb_bench::figures::{performance_vs_scale, real_matrices, scaling, scaling_breakdown, MatrixFamily};
+use pb_bench::figures::{
+    performance_vs_scale, real_matrices, scaling, scaling_breakdown, MatrixFamily,
+};
 use pb_bench::workloads::er_matrix;
 use pb_bench::{print_table, Table};
 use pb_model::access::access_table;
@@ -30,7 +32,10 @@ fn main() {
 
     // Table V — STREAM.
     let stream = run_stream(&StreamConfig::quick());
-    let mut t5 = Table::new("Table V — STREAM (quick)", &["Copy", "Scale", "Add", "Triad"]);
+    let mut t5 = Table::new(
+        "Table V — STREAM (quick)",
+        &["Copy", "Scale", "Add", "Triad"],
+    );
     t5.push_row(vec![
         format!("{:.2}", stream.copy),
         format!("{:.2}", stream.scale),
@@ -42,9 +47,18 @@ fn main() {
     // Fig. 3 — roofline markers for cf = 1.
     let model = RooflineModel::new(stream.beta_gbps());
     let mut f3 = Table::new("Fig. 3 — roofline markers (cf = 1)", &["bound", "GFLOPS"]);
-    f3.push_row(vec!["column (Eq.3)".into(), format!("{:.3}", model.column_predicted_gflops(1.0))]);
-    f3.push_row(vec!["outer (Eq.4)".into(), format!("{:.3}", model.outer_predicted_gflops(1.0))]);
-    f3.push_row(vec!["upper (Eq.1)".into(), format!("{:.3}", model.peak_gflops(1.0))]);
+    f3.push_row(vec![
+        "column (Eq.3)".into(),
+        format!("{:.3}", model.column_predicted_gflops(1.0)),
+    ]);
+    f3.push_row(vec![
+        "outer (Eq.4)".into(),
+        format!("{:.3}", model.outer_predicted_gflops(1.0)),
+    ]);
+    f3.push_row(vec![
+        "upper (Eq.1)".into(),
+        format!("{:.3}", model.peak_gflops(1.0)),
+    ]);
     print_table(&f3);
 
     // Table II — access patterns (d = 8).
@@ -65,8 +79,17 @@ fn main() {
     // Table III — phase profile on a small ER workload.
     let w = er_matrix(12, 8, 3);
     let p = pb_bench::measure_pb_profile(&w, &PbConfig::default());
-    let mut t3 = Table::new("Table III — PB-SpGEMM phases (ER s=12 ef=8)", &["phase", "ms", "GB/s"]);
-    for phase in [Phase::Symbolic, Phase::Expand, Phase::Sort, Phase::Compress, Phase::Assemble] {
+    let mut t3 = Table::new(
+        "Table III — PB-SpGEMM phases (ER s=12 ef=8)",
+        &["phase", "ms", "GB/s"],
+    );
+    for phase in [
+        Phase::Symbolic,
+        Phase::Expand,
+        Phase::Sort,
+        Phase::Compress,
+        Phase::Assemble,
+    ] {
         t3.push_row(vec![
             phase.name().to_string(),
             format!("{:.3}", p.phase_time(phase).as_secs_f64() * 1e3),

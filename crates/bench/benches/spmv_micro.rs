@@ -26,9 +26,13 @@ fn bench_spmv(c: &mut Criterion) {
             b.iter(|| black_box(csc_spmv(&a_csc, x)));
         });
         let cfg = PbSpmvConfig::default();
-        group.bench_with_input(BenchmarkId::new("propagation_blocking", &label), &x, |b, x| {
-            b.iter(|| black_box(pb_spmv(&a_csc, x, &cfg)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("propagation_blocking", &label),
+            &x,
+            |b, x| {
+                b.iter(|| black_box(pb_spmv(&a_csc, x, &cfg)));
+            },
+        );
     }
     group.finish();
 }

@@ -23,9 +23,18 @@ fn main() {
     let (scale, ef) = if quick { (11, 8) } else { (13, 8) };
 
     let configs: Vec<(&str, PbConfig)> = vec![
-        ("range bins", PbConfig::default().with_bin_mapping(BinMapping::Range)),
-        ("modulo bins", PbConfig::default().with_bin_mapping(BinMapping::Modulo)),
-        ("balanced bins", PbConfig::default().with_bin_mapping(BinMapping::Balanced)),
+        (
+            "range bins",
+            PbConfig::default().with_bin_mapping(BinMapping::Range),
+        ),
+        (
+            "modulo bins",
+            PbConfig::default().with_bin_mapping(BinMapping::Modulo),
+        ),
+        (
+            "balanced bins",
+            PbConfig::default().with_bin_mapping(BinMapping::Balanced),
+        ),
         (
             "range + safe expand",
             PbConfig::default()

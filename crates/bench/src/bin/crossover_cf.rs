@@ -19,11 +19,18 @@ fn main() {
     let quick = quick_mode();
     let reps = repetitions();
     let scale = if quick { 11 } else { 13 };
-    let edge_factors: &[u32] = if quick { &[2, 8, 24] } else { &[2, 4, 8, 16, 32] };
+    let edge_factors: &[u32] = if quick {
+        &[2, 8, 24]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
     let algorithms = Algorithm::paper_set();
 
     let mut headers = vec!["workload", "cf"];
-    let names: Vec<String> = algorithms.iter().map(|a| format!("{} ms", a.name())).collect();
+    let names: Vec<String> = algorithms
+        .iter()
+        .map(|a| format!("{} ms", a.name()))
+        .collect();
     headers.extend(names.iter().map(|s| s.as_str()));
     headers.push("PB/Hash");
     let mut table = Table::new(

@@ -51,18 +51,32 @@ fn main() {
     let mut table = Table::new(
         "Fig. 14 — full-bandwidth vs bandwidth-contended performance (contention emulates the \
          remote-socket traffic of the paper's dual-socket run)",
-        &["workload", "algorithm", "MFLOPS (full bw)", "MFLOPS (contended)", "retained fraction"],
+        &[
+            "workload",
+            "algorithm",
+            "MFLOPS (full bw)",
+            "MFLOPS (contended)",
+            "retained fraction",
+        ],
     );
     let mut records = Vec::new();
 
     for w in &workloads {
         // Full-bandwidth runs first.
-        let full: Vec<_> = algorithms.iter().map(|a| measure(w, a, reps, None)).collect();
+        let full: Vec<_> = algorithms
+            .iter()
+            .map(|a| measure(w, a, reps, None))
+            .collect();
 
         // Contended runs: one thief per available core.
-        let thieves = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let thieves = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let (flag, handles) = start_bandwidth_thief(thieves);
-        let contended: Vec<_> = algorithms.iter().map(|a| measure(w, a, reps, None)).collect();
+        let contended: Vec<_> = algorithms
+            .iter()
+            .map(|a| measure(w, a, reps, None))
+            .collect();
         flag.store(false, Ordering::Relaxed);
         for h in handles {
             let _ = h.join();
@@ -77,7 +91,13 @@ fn main() {
                 fmt(c.mflops, 0),
                 fmt(retained, 2),
             ]);
-            records.push((w.name.clone(), f.algorithm.clone(), f.mflops, c.mflops, retained));
+            records.push((
+                w.name.clone(),
+                f.algorithm.clone(),
+                f.mflops,
+                c.mflops,
+                retained,
+            ));
         }
     }
     print_table(&table);

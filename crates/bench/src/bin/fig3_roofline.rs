@@ -10,7 +10,11 @@ use pb_model::roofline::RooflineModel;
 use pb_model::stream::{run, StreamConfig};
 
 fn main() {
-    let stream_cfg = if quick_mode() { StreamConfig::quick() } else { StreamConfig::default() };
+    let stream_cfg = if quick_mode() {
+        StreamConfig::quick()
+    } else {
+        StreamConfig::default()
+    };
     let stream = run(&stream_cfg);
     let beta = stream.beta_gbps();
     let model = RooflineModel::new(beta);
@@ -33,8 +37,14 @@ fn main() {
     );
     let cf = 1.0;
     let rows = [
-        ("Column SpGEMM lower bound (Eq. 3)", model.ai_column_lower_bound(cf)),
-        ("Outer SpGEMM lower bound (Eq. 4)", model.ai_outer_lower_bound(cf)),
+        (
+            "Column SpGEMM lower bound (Eq. 3)",
+            model.ai_column_lower_bound(cf),
+        ),
+        (
+            "Outer SpGEMM lower bound (Eq. 4)",
+            model.ai_outer_lower_bound(cf),
+        ),
         ("SpGEMM upper bound (Eq. 1)", model.ai_upper_bound(cf)),
     ];
     for (name, ai) in rows {

@@ -33,7 +33,11 @@ fn main() {
     if part == "width" || part == "both" {
         let mut table = Table::new(
             "Fig. 6a — expand bandwidth vs local bin width (ER, nbins auto)",
-            &["local bin width (bytes)", "expand time (ms)", "expand bandwidth (GB/s)"],
+            &[
+                "local bin width (bytes)",
+                "expand time (ms)",
+                "expand bandwidth (GB/s)",
+            ],
         );
         let mut points = Vec::new();
         for width in [64usize, 128, 256, 512, 1024, 2048, 4096] {
@@ -41,7 +45,7 @@ fn main() {
             let mut best: Option<pb_spgemm::SpGemmProfile> = None;
             for _ in 0..reps {
                 let p = pb_bench::measure_pb_profile(&w, &cfg);
-                if best.map_or(true, |b| p.timings.expand < b.timings.expand) {
+                if best.is_none_or(|b| p.timings.expand < b.timings.expand) {
                     best = Some(p);
                 }
             }
@@ -70,14 +74,17 @@ fn main() {
             ],
         );
         let mut points = Vec::new();
-        let nbins_list: &[usize] =
-            if quick_mode() { &[16, 64, 256, 1024] } else { &[16, 64, 256, 1024, 4096, 16384] };
+        let nbins_list: &[usize] = if quick_mode() {
+            &[16, 64, 256, 1024]
+        } else {
+            &[16, 64, 256, 1024, 4096, 16384]
+        };
         for &nbins in nbins_list {
             let cfg = PbConfig::default().with_nbins(nbins);
             let mut best: Option<pb_spgemm::SpGemmProfile> = None;
             for _ in 0..reps {
                 let p = pb_bench::measure_pb_profile(&w, &cfg);
-                if best.map_or(true, |b| p.timings.total() < b.timings.total()) {
+                if best.is_none_or(|b| p.timings.total() < b.timings.total()) {
                     best = Some(p);
                 }
             }
@@ -90,7 +97,11 @@ fn main() {
                 fmt(p.timings.sort.as_secs_f64() * 1e3, 2),
                 p.key_bytes.to_string(),
             ]);
-            points.push((nbins, p.phase_bandwidth_gbps(Phase::Expand), p.phase_bandwidth_gbps(Phase::Sort)));
+            points.push((
+                nbins,
+                p.phase_bandwidth_gbps(Phase::Expand),
+                p.phase_bandwidth_gbps(Phase::Sort),
+            ));
         }
         print_table(&table);
         write_json("fig6b_nbins", &points);

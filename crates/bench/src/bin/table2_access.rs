@@ -10,7 +10,16 @@ fn main() {
     for d in [4.0, 8.0, 16.0] {
         let mut table = Table::new(
             format!("Table II — access patterns, ER matrices with d = {d}"),
-            &["algorithm", "reads A", "reads B", "accesses Chat", "writes C", "streams A", "streams Chat", "full lines A"],
+            &[
+                "algorithm",
+                "reads A",
+                "reads B",
+                "accesses Chat",
+                "writes C",
+                "streams A",
+                "streams Chat",
+                "full lines A",
+            ],
         );
         for row in access_table(d) {
             table.push_row(vec![
@@ -36,7 +45,11 @@ fn main() {
             "Estimated memory traffic for ER s=13 ef=8 (flop = {}, cf = {:.2})",
             stats.flop, stats.cf
         ),
-        &["algorithm class", "bytes moved (MB)", "arithmetic intensity"],
+        &[
+            "algorithm class",
+            "bytes moved (MB)",
+            "arithmetic intensity",
+        ],
     );
     for e in &est {
         table.push_row(vec![

@@ -16,15 +16,24 @@ fn main() {
             Phase::Symbolic => ("O(n)", "streams the two offset arrays".into()),
             Phase::Expand => (
                 "O(flop)",
-                format!("reads b·(nnz(A)+nnz(B)), writes t·flop = {} MB", profile.phase_bytes(phase) / 1_000_000),
+                format!(
+                    "reads b·(nnz(A)+nnz(B)), writes t·flop = {} MB",
+                    profile.phase_bytes(phase) / 1_000_000
+                ),
             ),
             Phase::Sort => (
                 "O(flop)",
-                format!("reads t·flop = {} MB (shuffles stay in cache)", profile.phase_bytes(phase) / 1_000_000),
+                format!(
+                    "reads t·flop = {} MB (shuffles stay in cache)",
+                    profile.phase_bytes(phase) / 1_000_000
+                ),
             ),
             Phase::Compress => (
                 "O(flop)",
-                format!("reads t·flop, writes t·nnz(C) = {} MB", profile.phase_bytes(phase) / 1_000_000),
+                format!(
+                    "reads t·flop, writes t·nnz(C) = {} MB",
+                    profile.phase_bytes(phase) / 1_000_000
+                ),
             ),
             Phase::Assemble => ("O(nnz(C))", "writes the CSR arrays".into()),
         }
@@ -37,9 +46,21 @@ fn main() {
             profile.flop as f64 / 1e6,
             profile.nnz_c as f64 / 1e6
         ),
-        &["phase", "complexity", "data movement (model)", "time (ms)", "bandwidth (GB/s)"],
+        &[
+            "phase",
+            "complexity",
+            "data movement (model)",
+            "time (ms)",
+            "bandwidth (GB/s)",
+        ],
     );
-    for phase in [Phase::Symbolic, Phase::Expand, Phase::Sort, Phase::Compress, Phase::Assemble] {
+    for phase in [
+        Phase::Symbolic,
+        Phase::Expand,
+        Phase::Sort,
+        Phase::Compress,
+        Phase::Assemble,
+    ] {
         let (complexity, movement) = analytic(phase);
         table.push_row(vec![
             phase.name().to_string(),
@@ -50,18 +71,23 @@ fn main() {
         ]);
     }
     print_table(&table);
-    let records: Vec<(&str, f64, u64, f64)> =
-        [Phase::Symbolic, Phase::Expand, Phase::Sort, Phase::Compress, Phase::Assemble]
-            .iter()
-            .map(|&p| {
-                (
-                    p.name(),
-                    profile.phase_time(p).as_secs_f64(),
-                    profile.phase_bytes(p),
-                    profile.phase_bandwidth_gbps(p),
-                )
-            })
-            .collect();
+    let records: Vec<(&str, f64, u64, f64)> = [
+        Phase::Symbolic,
+        Phase::Expand,
+        Phase::Sort,
+        Phase::Compress,
+        Phase::Assemble,
+    ]
+    .iter()
+    .map(|&p| {
+        (
+            p.name(),
+            profile.phase_time(p).as_secs_f64(),
+            profile.phase_bytes(p),
+            profile.phase_bandwidth_gbps(p),
+        )
+    })
+    .collect();
     write_json("table3_phases", &records);
     println!("{}", profile.summary());
 }

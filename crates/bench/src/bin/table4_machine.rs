@@ -9,7 +9,10 @@ use pb_model::MachineInfo;
 
 fn main() {
     let info = MachineInfo::detect();
-    let mut table = Table::new("Table IV — evaluation platform (this machine)", &["field", "value"]);
+    let mut table = Table::new(
+        "Table IV — evaluation platform (this machine)",
+        &["field", "value"],
+    );
     for (k, v) in info.table_rows() {
         table.push_row(vec![k, v]);
     }

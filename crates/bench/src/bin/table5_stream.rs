@@ -8,11 +8,23 @@ use pb_bench::{fmt, print_table, quick_mode, write_json, Table};
 use pb_model::stream::{run, StreamConfig};
 
 fn main() {
-    let base = if quick_mode() { StreamConfig::quick() } else { StreamConfig::default() };
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let base = if quick_mode() {
+        StreamConfig::quick()
+    } else {
+        StreamConfig::default()
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    let full = run(&StreamConfig { threads: None, ..base });
-    let half = run(&StreamConfig { threads: Some((threads / 2).max(1)), ..base });
+    let full = run(&StreamConfig {
+        threads: None,
+        ..base
+    });
+    let half = run(&StreamConfig {
+        threads: Some((threads / 2).max(1)),
+        ..base
+    });
 
     let mut table = Table::new(
         "Table V — STREAM sustainable bandwidth (GB/s)",

@@ -10,14 +10,22 @@ use pb_bench::{fmt, print_table, quick_mode, write_json, Table};
 use pb_model::numa::{probe, NumaConfig};
 
 fn main() {
-    let cfg = if quick_mode() { NumaConfig::quick() } else { NumaConfig::default() };
+    let cfg = if quick_mode() {
+        NumaConfig::quick()
+    } else {
+        NumaConfig::default()
+    };
     let p = probe(&cfg);
 
     let mut table = Table::new(
         "Table VII — local vs. far memory (far domain emulated; see DESIGN.md)",
         &["domain", "bandwidth (GB/s)", "latency (ns)"],
     );
-    table.push_row(vec!["local".into(), fmt(p.local_bandwidth_gbps, 2), fmt(p.local_latency_ns, 1)]);
+    table.push_row(vec![
+        "local".into(),
+        fmt(p.local_bandwidth_gbps, 2),
+        fmt(p.local_latency_ns, 1),
+    ]);
     table.push_row(vec![
         "far (emulated)".into(),
         fmt(p.far_bandwidth_gbps, 2),

@@ -52,11 +52,25 @@ pub struct PerformanceFigure {
 pub fn performance_vs_scale(family: MatrixFamily, quick: bool, reps: usize) -> PerformanceFigure {
     let algorithms = Algorithm::paper_set();
     let mut performance = Table::new(
-        format!("{} matrices — achieved MFLOPS (higher is better)", family.name()),
-        &["workload", "flop", "cf", "PB-SpGEMM", "HeapSpGEMM", "HashSpGEMM", "HashVecSpGEMM"],
+        format!(
+            "{} matrices — achieved MFLOPS (higher is better)",
+            family.name()
+        ),
+        &[
+            "workload",
+            "flop",
+            "cf",
+            "PB-SpGEMM",
+            "HeapSpGEMM",
+            "HashSpGEMM",
+            "HashVecSpGEMM",
+        ],
     );
     let mut bandwidth = Table::new(
-        format!("{} matrices — PB-SpGEMM sustained bandwidth (GB/s)", family.name()),
+        format!(
+            "{} matrices — PB-SpGEMM sustained bandwidth (GB/s)",
+            family.name()
+        ),
         &["workload", "expand", "sort", "compress", "overall"],
     );
     let mut measurements = Vec::new();
@@ -85,7 +99,11 @@ pub fn performance_vs_scale(family: MatrixFamily, quick: bool, reps: usize) -> P
         ]);
     }
 
-    PerformanceFigure { performance, bandwidth, measurements }
+    PerformanceFigure {
+        performance,
+        bandwidth,
+        measurements,
+    }
 }
 
 /// Fig. 11: squaring the Table VI matrices, sorted by ascending compression
@@ -100,7 +118,15 @@ pub fn real_matrices(fraction: f64, reps: usize) -> PerformanceFigure {
 
     let mut performance = Table::new(
         "Real matrices (stand-ins, ascending cf) — achieved MFLOPS",
-        &["matrix", "cf", "PB-SpGEMM", "HeapSpGEMM", "HashSpGEMM", "HashVecSpGEMM", "winner"],
+        &[
+            "matrix",
+            "cf",
+            "PB-SpGEMM",
+            "HeapSpGEMM",
+            "HashSpGEMM",
+            "HashVecSpGEMM",
+            "winner",
+        ],
     );
     let mut bandwidth = Table::new(
         "Real matrices — PB-SpGEMM sustained bandwidth (GB/s)",
@@ -114,7 +140,7 @@ pub fn real_matrices(fraction: f64, reps: usize) -> PerformanceFigure {
         for algo in &algorithms {
             let m = measure(w, algo, reps, None);
             row.push(fmt(m.mflops, 0));
-            if best.as_ref().map_or(true, |(_, v)| m.mflops > *v) {
+            if best.as_ref().is_none_or(|(_, v)| m.mflops > *v) {
                 best = Some((m.algorithm.clone(), m.mflops));
             }
             measurements.push(m);
@@ -132,14 +158,20 @@ pub fn real_matrices(fraction: f64, reps: usize) -> PerformanceFigure {
         ]);
     }
 
-    PerformanceFigure { performance, bandwidth, measurements }
+    PerformanceFigure {
+        performance,
+        bandwidth,
+        measurements,
+    }
 }
 
 /// Fig. 12: strong scaling of every algorithm over thread counts, on ER and
 /// RMAT matrices of the same scale / edge factor.
 pub fn scaling(quick: bool, reps: usize) -> (Table, Vec<Measurement>) {
     let (scale, ef) = if quick { (11, 8) } else { (14, 16) };
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut threads = vec![1usize];
     let mut t = 2;
     while t <= max_threads {
@@ -153,7 +185,13 @@ pub fn scaling(quick: bool, reps: usize) -> (Table, Vec<Measurement>) {
     let algorithms = Algorithm::paper_set();
     let mut table = Table::new(
         format!("Strong scaling (scale {scale}, edge factor {ef}) — MFLOPS per thread count"),
-        &["family", "algorithm", "threads", "MFLOPS", "speedup vs 1 thread"],
+        &[
+            "family",
+            "algorithm",
+            "threads",
+            "MFLOPS",
+            "speedup vs 1 thread",
+        ],
     );
     let mut measurements = Vec::new();
 
@@ -187,7 +225,9 @@ pub fn scaling(quick: bool, reps: usize) -> (Table, Vec<Measurement>) {
 /// Fig. 13: per-phase scaling breakdown of PB-SpGEMM.
 pub fn scaling_breakdown(quick: bool) -> Table {
     let (scale, ef) = if quick { (11, 8) } else { (14, 16) };
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut threads = vec![1usize];
     let mut t = 2;
     while t <= max_threads {
@@ -200,7 +240,9 @@ pub fn scaling_breakdown(quick: bool) -> Table {
 
     let mut table = Table::new(
         format!("PB-SpGEMM per-phase times (ms), scale {scale} edge factor {ef}"),
-        &["family", "threads", "symbolic", "expand", "sort", "compress", "assemble", "total"],
+        &[
+            "family", "threads", "symbolic", "expand", "sort", "compress", "assemble", "total",
+        ],
     );
     for family in [MatrixFamily::Er, MatrixFamily::Rmat] {
         let w = family.workload(scale, ef, 999);

@@ -35,7 +35,9 @@ pub use workloads::{er_matrix, rmat_matrix, standin_matrix, Workload, WorkloadSe
 /// Returns `true` when the quick (smoke-test) mode is requested via
 /// `PB_BENCH_QUICK=1`.
 pub fn quick_mode() -> bool {
-    std::env::var("PB_BENCH_QUICK").map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+    std::env::var("PB_BENCH_QUICK")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }
 
 /// Number of repetitions per measurement (the minimum time is reported).
@@ -43,6 +45,9 @@ pub fn repetitions() -> usize {
     if quick_mode() {
         1
     } else {
-        std::env::var("PB_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+        std::env::var("PB_BENCH_REPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2)
     }
 }

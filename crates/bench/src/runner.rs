@@ -22,7 +22,11 @@ impl Algorithm {
     /// The four algorithms the paper's performance figures compare.
     pub fn paper_set() -> Vec<Algorithm> {
         let mut v = vec![Algorithm::Pb(PbConfig::default())];
-        v.extend(Baseline::paper_set().iter().map(|&b| Algorithm::Baseline(b)));
+        v.extend(
+            Baseline::paper_set()
+                .iter()
+                .map(|&b| Algorithm::Baseline(b)),
+        );
         v
     }
 
@@ -42,8 +46,12 @@ pub struct Measurement {
     pub workload: String,
     /// Algorithm name.
     pub algorithm: String,
-    /// Number of worker threads used.
+    /// Number of worker threads requested (the sweep key in scaling runs).
     pub threads: usize,
+    /// Number of worker threads that actually executed: equals `threads`
+    /// under real rayon, but 1 under the vendored sequential shim, so
+    /// consumers can tell real scaling data from sequential stand-in runs.
+    pub threads_effective: usize,
     /// Best wall-clock time over the repetitions, in seconds.
     pub seconds: f64,
     /// Achieved MFLOPS (`flop / seconds / 1e6`).
@@ -79,12 +87,39 @@ pub fn measure(
     Measurement {
         workload: workload.name.clone(),
         algorithm: algorithm.name().to_string(),
-        threads: threads.unwrap_or_else(rayon::current_num_threads),
+        threads: threads.unwrap_or_else(rayon::current_num_threads).max(1),
+        threads_effective: effective_threads(threads),
         seconds: best,
         mflops: flop as f64 / best / 1e6,
         flop,
         nnz_c,
         cf: workload.stats.cf,
+    }
+}
+
+/// Whether the rayon backend actually runs work in parallel. Probed once per
+/// process (a two-thread pool that reports fewer than two threads is the
+/// vendored sequential shim) so per-measurement calls don't spawn pools just
+/// to inspect them.
+fn backend_is_sequential() -> bool {
+    static SEQUENTIAL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SEQUENTIAL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .map(|pool| pool.current_num_threads() < 2)
+            .unwrap_or(true)
+    })
+}
+
+/// The thread count a request actually executes on: the requested size under
+/// real rayon, the calling thread under the sequential shim. Recording the
+/// request verbatim would emit scaling data for runs that never happened.
+fn effective_threads(requested: Option<usize>) -> usize {
+    if backend_is_sequential() {
+        1
+    } else {
+        requested.unwrap_or_else(rayon::current_num_threads).max(1)
     }
 }
 
@@ -141,7 +176,11 @@ mod tests {
             assert!(m.seconds > 0.0);
             assert!(m.mflops > 0.0);
             assert_eq!(m.flop, w.stats.flop);
-            assert_eq!(m.nnz_c, w.stats.nnz_c, "{} produced the wrong nnz", m.algorithm);
+            assert_eq!(
+                m.nnz_c, w.stats.nnz_c,
+                "{} produced the wrong nnz",
+                m.algorithm
+            );
             assert_eq!(m.threads, 1);
         }
     }

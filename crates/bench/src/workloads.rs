@@ -23,7 +23,12 @@ impl Workload {
     pub fn from_matrix(name: impl Into<String>, a: Csr<f64>) -> Self {
         let stats = MultiplyStats::compute(&a, &a);
         let a_csc = a.to_csc();
-        Workload { name: name.into(), a, a_csc, stats }
+        Workload {
+            name: name.into(),
+            a,
+            a_csc,
+            stats,
+        }
     }
 }
 

@@ -107,7 +107,10 @@ impl CliAlgorithm {
 
 /// Looks up the value following a `--flag` in the argument list.
 pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
 }
 
 /// Whether a boolean `--flag` is present.
@@ -118,7 +121,9 @@ pub fn has_flag(args: &[String], flag: &str) -> bool {
 fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, CliError> {
     match flag_value(args, flag) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| err(format!("invalid value {v:?} for {flag}"))),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("invalid value {v:?} for {flag}"))),
     }
 }
 
@@ -151,7 +156,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_generate(args: &[String]) -> Result<String, CliError> {
-    let family = args.first().ok_or_else(|| err("generate: missing family (er|rmat|standin)"))?;
+    let family = args
+        .first()
+        .ok_or_else(|| err("generate: missing family (er|rmat|standin)"))?;
     let out = flag_value(args, "--out").ok_or_else(|| err("generate: missing --out FILE.mtx"))?;
     let seed: u64 = parse_num(args, "--seed", 42)?;
     let matrix: Csr<f64> = match family.as_str() {
@@ -188,7 +195,9 @@ fn load(path: &str) -> Result<Csr<f64>, CliError> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<String, CliError> {
-    let path = args.first().ok_or_else(|| err("stats: missing matrix file"))?;
+    let path = args
+        .first()
+        .ok_or_else(|| err("stats: missing matrix file"))?;
     let a = load(path)?;
     let stats = MultiplyStats::compute(&a, &a);
     let mut out = String::new();
@@ -203,13 +212,19 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "regime            : {}",
-        if stats.cf < 4.0 { "cf < 4 (PB-SpGEMM expected to win)" } else { "cf > 4 (HashSpGEMM expected to win)" }
+        if stats.cf < 4.0 {
+            "cf < 4 (PB-SpGEMM expected to win)"
+        } else {
+            "cf > 4 (HashSpGEMM expected to win)"
+        }
     );
     Ok(out)
 }
 
 fn cmd_multiply(args: &[String]) -> Result<String, CliError> {
-    let a_path = args.first().ok_or_else(|| err("multiply: missing matrix file"))?;
+    let a_path = args
+        .first()
+        .ok_or_else(|| err("multiply: missing matrix file"))?;
     let b_path = args.get(1).filter(|s| !s.starts_with("--"));
     let a = load(a_path)?;
     let b = match b_path {
@@ -217,7 +232,9 @@ fn cmd_multiply(args: &[String]) -> Result<String, CliError> {
         None => a.clone(),
     };
     let algorithm = CliAlgorithm::parse(flag_value(args, "--algorithm").unwrap_or("pb"))?;
-    let threads = flag_value(args, "--threads").map(|t| t.parse().map_err(|_| err("bad --threads"))).transpose()?;
+    let threads = flag_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| err("bad --threads")))
+        .transpose()?;
     let stats = MultiplyStats::compute(&a, &b);
 
     let mut out = String::new();
@@ -243,7 +260,14 @@ fn cmd_multiply(args: &[String]) -> Result<String, CliError> {
         );
         c
     };
-    let _ = writeln!(out, "C: {} x {}, nnz = {}, cf = {:.3}", c.nrows(), c.ncols(), c.nnz(), stats.cf);
+    let _ = writeln!(
+        out,
+        "C: {} x {}, nnz = {}, cf = {:.3}",
+        c.nrows(),
+        c.ncols(),
+        c.nnz(),
+        stats.cf
+    );
     if let Some(path) = flag_value(args, "--out") {
         write_matrix_market(path, &c.to_coo())?;
         let _ = writeln!(out, "wrote result to {path}");
@@ -252,9 +276,13 @@ fn cmd_multiply(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_compare(args: &[String]) -> Result<String, CliError> {
-    let a_path = args.first().ok_or_else(|| err("compare: missing matrix file"))?;
+    let a_path = args
+        .first()
+        .ok_or_else(|| err("compare: missing matrix file"))?;
     let a = load(a_path)?;
-    let threads = flag_value(args, "--threads").map(|t| t.parse().map_err(|_| err("bad --threads"))).transpose()?;
+    let threads = flag_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| err("bad --threads")))
+        .transpose()?;
     let stats = MultiplyStats::compute(&a, &a);
     let mut out = String::new();
     let _ = writeln!(
@@ -309,7 +337,10 @@ mod tests {
     #[test]
     fn algorithm_parsing() {
         assert_eq!(CliAlgorithm::parse("pb").unwrap(), CliAlgorithm::Pb);
-        assert_eq!(CliAlgorithm::parse("HASHVEC").unwrap(), CliAlgorithm::HashVec);
+        assert_eq!(
+            CliAlgorithm::parse("HASHVEC").unwrap(),
+            CliAlgorithm::HashVec
+        );
         assert!(CliAlgorithm::parse("quantum").is_err());
     }
 
@@ -326,7 +357,16 @@ mod tests {
     fn generate_stats_multiply_compare_roundtrip() {
         let mtx = temp_path("roundtrip_er.mtx");
         let out = run_cli(&strs(&[
-            "generate", "er", "--scale", "7", "--edge-factor", "4", "--seed", "3", "--out", &mtx,
+            "generate",
+            "er",
+            "--scale",
+            "7",
+            "--edge-factor",
+            "4",
+            "--seed",
+            "3",
+            "--out",
+            &mtx,
         ]))
         .unwrap();
         assert!(out.contains("128 x 128"));
@@ -337,9 +377,19 @@ mod tests {
 
         let c_path = temp_path("roundtrip_c.mtx");
         for algo in ["pb", "heap", "hash", "hashvec", "spa"] {
-            let out = run_cli(&strs(&["multiply", &mtx, "--algorithm", algo, "--out", &c_path]))
-                .unwrap();
-            assert!(out.contains("MFLOPS"), "{algo} output missing MFLOPS: {out}");
+            let out = run_cli(&strs(&[
+                "multiply",
+                &mtx,
+                "--algorithm",
+                algo,
+                "--out",
+                &c_path,
+            ]))
+            .unwrap();
+            assert!(
+                out.contains("MFLOPS"),
+                "{algo} output missing MFLOPS: {out}"
+            );
             assert!(out.contains("wrote result"));
         }
         // The written product re-loads and matches the in-process product.
@@ -360,18 +410,30 @@ mod tests {
     fn generate_standin_and_rmat() {
         let mtx = temp_path("standin.mtx");
         let out = run_cli(&strs(&[
-            "generate", "standin", "--name", "scircuit", "--fraction", "0.005", "--out", &mtx,
+            "generate",
+            "standin",
+            "--name",
+            "scircuit",
+            "--fraction",
+            "0.005",
+            "--out",
+            &mtx,
         ]))
         .unwrap();
         assert!(out.contains("wrote"));
         let rmat = temp_path("rmat.mtx");
         run_cli(&strs(&["generate", "rmat", "--scale", "7", "--out", &rmat])).unwrap();
-        assert!(run_cli(&strs(&["stats", &rmat])).unwrap().contains("avg degree"));
+        assert!(run_cli(&strs(&["stats", &rmat]))
+            .unwrap()
+            .contains("avg degree"));
     }
 
     #[test]
     fn error_paths_are_reported() {
-        assert!(run_cli(&strs(&["generate", "er"])).is_err(), "missing --out must fail");
+        assert!(
+            run_cli(&strs(&["generate", "er"])).is_err(),
+            "missing --out must fail"
+        );
         assert!(run_cli(&strs(&["generate", "cube", "--out", "/tmp/x.mtx"])).is_err());
         assert!(run_cli(&strs(&["stats"])).is_err());
         assert!(run_cli(&strs(&["stats", "/nonexistent/file.mtx"])).is_err());

@@ -138,7 +138,10 @@ mod tests {
         let layout = BinLayout::new(nrows, ncols, nbins, mapping);
         let mut per_bin: Vec<Vec<Entry<f64>>> = vec![Vec::new(); layout.nbins];
         for &(r, c, v) in triplets {
-            per_bin[layout.bin_of(r)].push(Entry { key: layout.pack(r, c), val: v });
+            per_bin[layout.bin_of(r)].push(Entry {
+                key: layout.pack(r, c),
+                val: v,
+            });
         }
         for bin in &mut per_bin {
             bin.sort_by_key(|e| e.key);
@@ -151,13 +154,23 @@ mod tests {
             entries.extend(bin);
             bin_offsets.push(entries.len());
         }
-        BinnedTuples { entries, bin_offsets, compressed_len, layout }
+        BinnedTuples {
+            entries,
+            bin_offsets,
+            compressed_len,
+            layout,
+        }
     }
 
     #[test]
     fn assembles_simple_matrix_with_range_mapping() {
-        let triplets =
-            [(0u32, 1u32, 1.0), (0, 3, 2.0), (2, 0, 3.0), (3, 3, 4.0), (5, 2, 5.0)];
+        let triplets = [
+            (0u32, 1u32, 1.0),
+            (0, 3, 2.0),
+            (2, 0, 3.0),
+            (3, 3, 4.0),
+            (5, 2, 5.0),
+        ];
         let tuples = build(6, 4, 3, BinMapping::Range, &triplets);
         let c = assemble(&tuples);
         assert_eq!(c.shape(), (6, 4));
@@ -174,7 +187,13 @@ mod tests {
 
     #[test]
     fn assembles_with_modulo_mapping() {
-        let triplets = [(0u32, 0u32, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 0, 4.0), (4, 4, 5.0)];
+        let triplets = [
+            (0u32, 0u32, 1.0),
+            (1, 1, 2.0),
+            (2, 2, 3.0),
+            (3, 0, 4.0),
+            (4, 4, 5.0),
+        ];
         let tuples = build(5, 5, 2, BinMapping::Modulo, &triplets);
         let c = assemble(&tuples);
         assert_eq!(c.nnz(), 5);

@@ -67,8 +67,9 @@ impl BinLayout {
         let nbins = nbins.clamp(1, nrows.max(1));
         let rows_per_bin = nrows.div_ceil(nbins).max(1);
         if mapping == BinMapping::Balanced {
-            let starts: Vec<Index> =
-                (0..=nbins).map(|b| (b * rows_per_bin).min(nrows) as Index).collect();
+            let starts: Vec<Index> = (0..=nbins)
+                .map(|b| (b * rows_per_bin).min(nrows) as Index)
+                .collect();
             return Self::balanced(nrows, ncols, starts);
         }
         // With the Range mapping the row part of the key only needs to cover
@@ -84,7 +85,16 @@ impl BinLayout {
             col_bits + row_bits <= 64,
             "packed key does not fit in 64 bits ({row_bits} row bits + {col_bits} column bits)"
         );
-        BinLayout { nrows, ncols, nbins, mapping, rows_per_bin, col_bits, row_bits, row_starts: None }
+        BinLayout {
+            nrows,
+            ncols,
+            nbins,
+            mapping,
+            rows_per_bin,
+            col_bits,
+            row_bits,
+            row_starts: None,
+        }
     }
 
     /// Builds a [`BinMapping::Balanced`] layout from explicit bin boundaries.
@@ -94,7 +104,11 @@ impl BinLayout {
     pub fn balanced(nrows: usize, ncols: usize, row_starts: Vec<Index>) -> Self {
         assert!(row_starts.len() >= 2, "at least one bin is required");
         assert_eq!(row_starts[0], 0, "the first bin must start at row 0");
-        assert_eq!(*row_starts.last().unwrap() as usize, nrows, "the last bin must end at nrows");
+        assert_eq!(
+            *row_starts.last().unwrap() as usize,
+            nrows,
+            "the last bin must end at nrows"
+        );
         assert!(
             row_starts.windows(2).all(|w| w[0] <= w[1]),
             "bin boundaries must be non-decreasing"
@@ -316,11 +330,20 @@ mod tests {
         assert_eq!(l.row_bits, 10);
         assert_eq!(l.col_bits, 20);
         assert_eq!(l.key_bytes(), 4);
-        for &(r, c) in &[(0u32, 0u32), (123_456, 7), (1_048_575, 1_048_575), (524_288, 99_999)] {
+        for &(r, c) in &[
+            (0u32, 0u32),
+            (123_456, 7),
+            (1_048_575, 1_048_575),
+            (524_288, 99_999),
+        ] {
             let bin = l.bin_of(r);
             let key = l.pack(r, c);
             assert_eq!(l.unpack(bin, key), (r, c));
-            assert_eq!(l.pack_row(r) | c as u64, key, "pack_row must agree with pack");
+            assert_eq!(
+                l.pack_row(r) | c as u64,
+                key,
+                "pack_row must agree with pack"
+            );
         }
     }
 
@@ -372,7 +395,10 @@ mod tests {
         assert!(many.key_bytes() < few.key_bytes());
         // Modulo mapping gains nothing from more bins.
         let modulo = BinLayout::new(1 << 20, 1 << 10, 4096, BinMapping::Modulo);
-        assert_eq!(modulo.key_bytes(), BinLayout::new(1 << 20, 1 << 10, 2, BinMapping::Modulo).key_bytes());
+        assert_eq!(
+            modulo.key_bytes(),
+            BinLayout::new(1 << 20, 1 << 10, 2, BinMapping::Modulo).key_bytes()
+        );
     }
 
     #[test]
@@ -386,7 +412,10 @@ mod tests {
         assert_eq!(l.bin_of(3), 1);
         assert_eq!(l.bin_of(4), 2);
         assert_eq!(l.bin_of(9), 2);
-        assert_eq!((0..3).map(|b| l.bin_row_count(b)).collect::<Vec<_>>(), vec![3, 1, 6]);
+        assert_eq!(
+            (0..3).map(|b| l.bin_row_count(b)).collect::<Vec<_>>(),
+            vec![3, 1, 6]
+        );
         assert_eq!(l.bin_row_start(2), 4);
         for &(r, c) in &[(0u32, 0u32), (2, 99), (3, 50), (9, 1)] {
             let bin = l.bin_of(r);

@@ -27,8 +27,10 @@ pub fn compress_bins<S: Semiring>(tuples: &mut BinnedTuples<S::Elem>) {
         rest = r;
     }
 
-    let lens: Vec<usize> =
-        slices.into_par_iter().map(|seg| compress_slice::<S>(seg)).collect();
+    let lens: Vec<usize> = slices
+        .into_par_iter()
+        .map(|seg| compress_slice::<S>(seg))
+        .collect();
     tuples.compressed_len = lens;
 }
 
@@ -38,7 +40,10 @@ pub fn compress_slice<S: Semiring>(seg: &mut [Entry<S::Elem>]) -> usize {
     if seg.is_empty() {
         return 0;
     }
-    debug_assert!(seg.windows(2).all(|w| w[0].key <= w[1].key), "bin must be sorted");
+    debug_assert!(
+        seg.windows(2).all(|w| w[0].key <= w[1].key),
+        "bin must be sorted"
+    );
     let mut write = 0usize;
     for read in 1..seg.len() {
         if seg[read].key == seg[write].key {

@@ -162,14 +162,22 @@ fn expand_reserved<S: Semiring>(
     // SAFETY: MaybeUninit contents never require initialisation; the length
     // only exposes uninitialised `MaybeUninit` slots, which is sound.
     unsafe { raw.set_len(flop) };
-    let shared = SharedBuf { ptr: raw.as_mut_ptr(), len: flop };
+    let shared = SharedBuf {
+        ptr: raw.as_mut_ptr(),
+        len: flop,
+    };
 
-    let cursors: Vec<AtomicUsize> =
-        sym.bin_offsets[..nbins].iter().map(|&o| AtomicUsize::new(o)).collect();
+    let cursors: Vec<AtomicUsize> = sym.bin_offsets[..nbins]
+        .iter()
+        .map(|&o| AtomicUsize::new(o))
+        .collect();
     let bin_ends: Vec<usize> = sym.bin_offsets[1..].to_vec();
 
     let capacity = local_bin_capacity::<S::Elem>(config.local_bin_bytes);
-    let zero_entry = Entry { key: 0, val: S::zero() };
+    let zero_entry = Entry {
+        key: 0,
+        val: S::zero(),
+    };
 
     let k = a.ncols();
     (0..k)
@@ -186,7 +194,10 @@ fn expand_reserved<S: Semiring>(
                         for (&c, &b_ic) in b_cols.iter().zip(b_vals) {
                             local.push(
                                 bin,
-                                Entry { key: row_key | c as u64, val: S::mul(a_ri, b_ic) },
+                                Entry {
+                                    key: row_key | c as u64,
+                                    val: S::mul(a_ri, b_ic),
+                                },
                             );
                         }
                     }
@@ -208,7 +219,11 @@ fn expand_reserved<S: Semiring>(
     // `MaybeUninit<Entry<V>>` and `Entry<V>` have identical layout.
     let entries: Vec<Entry<S::Elem>> = unsafe {
         let mut raw = std::mem::ManuallyDrop::new(raw);
-        Vec::from_raw_parts(raw.as_mut_ptr() as *mut Entry<S::Elem>, raw.len(), raw.capacity())
+        Vec::from_raw_parts(
+            raw.as_mut_ptr() as *mut Entry<S::Elem>,
+            raw.len(),
+            raw.capacity(),
+        )
     };
 
     BinnedTuples {
@@ -245,8 +260,10 @@ fn expand_thread_local<S: Semiring>(
                         let bin = layout.bin_of(r);
                         let row_key = layout.pack_row(r);
                         for (&c, &b_ic) in b_cols.iter().zip(b_vals) {
-                            local[bin]
-                                .push(Entry { key: row_key | c as u64, val: S::mul(a_ri, b_ic) });
+                            local[bin].push(Entry {
+                                key: row_key | c as u64,
+                                val: S::mul(a_ri, b_ic),
+                            });
                         }
                     }
                 }
@@ -266,13 +283,21 @@ fn expand_thread_local<S: Semiring>(
             entries.extend_from_slice(&part[bin]);
         }
         let produced = entries.len() - before;
-        debug_assert_eq!(produced as u64, sym.bin_flop[bin], "bin {bin} flop mismatch");
+        debug_assert_eq!(
+            produced as u64, sym.bin_flop[bin],
+            "bin {bin} flop mismatch"
+        );
         compressed_len.push(produced);
         bin_offsets.push(entries.len());
     }
     debug_assert_eq!(entries.len() as u64, sym.flop);
 
-    BinnedTuples { entries, bin_offsets, compressed_len, layout: sym.layout.clone() }
+    BinnedTuples {
+        entries,
+        bin_offsets,
+        compressed_len,
+        layout: sym.layout.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -285,10 +310,7 @@ mod tests {
 
     type S = PlusTimes<f64>;
 
-    fn run(
-        a: &Csr<f64>,
-        cfg: &PbConfig,
-    ) -> (BinnedTuples<f64>, Symbolic) {
+    fn run(a: &Csr<f64>, cfg: &PbConfig) -> (BinnedTuples<f64>, Symbolic) {
         let a_csc = a.to_csc();
         let sym = symbolic(&a_csc, a, cfg, BinnedTuples::<f64>::tuple_bytes());
         let tuples = expand::<S>(&a_csc, a, &sym, cfg);
@@ -329,7 +351,14 @@ mod tests {
         let a = Coo::from_entries(
             4,
             4,
-            vec![(0, 1, 2.0), (1, 2, 3.0), (1, 3, 0.5), (2, 0, 1.0), (3, 3, 4.0), (0, 0, 1.5)],
+            vec![
+                (0, 1, 2.0),
+                (1, 2, 3.0),
+                (1, 3, 0.5),
+                (2, 0, 1.0),
+                (3, 3, 4.0),
+                (0, 0, 1.5),
+            ],
         )
         .unwrap()
         .to_csr();
@@ -363,7 +392,11 @@ mod tests {
         for b in 0..tuples.nbins() {
             for e in tuples.bin(b) {
                 let (r, _) = tuples.layout.unpack(b, e.key);
-                assert_eq!(tuples.layout.bin_of(r), b, "tuple for row {r} filed in bin {b}");
+                assert_eq!(
+                    tuples.layout.bin_of(r),
+                    b,
+                    "tuple for row {r} filed in bin {b}"
+                );
             }
         }
     }

@@ -169,7 +169,9 @@ mod tests {
     use super::*;
     use pb_baseline::Baseline;
     use pb_gen::{banded, erdos_renyi_square, rmat_square, standin_scaled};
-    use pb_sparse::reference::{csr_approx_eq, multiply_csr as reference_multiply, multiply_csr_with};
+    use pb_sparse::reference::{
+        csr_approx_eq, multiply_csr as reference_multiply, multiply_csr_with,
+    };
     use pb_sparse::semiring::{MinPlus, OrAnd};
     use pb_sparse::Coo;
 
@@ -212,9 +214,11 @@ mod tests {
         let expected = reference_multiply(&a, &a);
         for mapping in [BinMapping::Range, BinMapping::Modulo, BinMapping::Balanced] {
             for strategy in [ExpandStrategy::Reserved, ExpandStrategy::ThreadLocal] {
-                for sort in
-                    [SortAlgorithm::LsdRadix, SortAlgorithm::AmericanFlag, SortAlgorithm::Comparison]
-                {
+                for sort in [
+                    SortAlgorithm::LsdRadix,
+                    SortAlgorithm::AmericanFlag,
+                    SortAlgorithm::Comparison,
+                ] {
                     for nbins in [1usize, 3, 16, 128] {
                         let cfg = PbConfig::default()
                             .with_bin_mapping(mapping)

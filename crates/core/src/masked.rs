@@ -121,9 +121,14 @@ mod tests {
         let want = expected(&a, &a);
         for mapping in [BinMapping::Range, BinMapping::Modulo, BinMapping::Balanced] {
             for nbins in [1usize, 4, 64] {
-                let cfg = PbConfig::default().with_bin_mapping(mapping).with_nbins(nbins);
+                let cfg = PbConfig::default()
+                    .with_bin_mapping(mapping)
+                    .with_nbins(nbins);
                 let got = multiply_masked(&a.to_csc(), &a, &a, &cfg);
-                assert!(csr_approx_eq(&got, &want, 1e-9), "{mapping:?} nbins={nbins}");
+                assert!(
+                    csr_approx_eq(&got, &want, 1e-9),
+                    "{mapping:?} nbins={nbins}"
+                );
             }
         }
     }
@@ -148,9 +153,11 @@ mod tests {
     #[test]
     fn boolean_semiring_masked_product() {
         let a = rmat_square(6, 4, 13).map_values(|_| true);
-        let got =
-            multiply_masked_with::<OrAnd, bool>(&a.to_csc(), &a, &a, &PbConfig::default());
-        let want = mask_by_pattern(&pb_sparse::reference::multiply_csr_with::<OrAnd>(&a, &a), &a);
+        let got = multiply_masked_with::<OrAnd, bool>(&a.to_csc(), &a, &a, &PbConfig::default());
+        let want = mask_by_pattern(
+            &pb_sparse::reference::multiply_csr_with::<OrAnd>(&a, &a),
+            &a,
+        );
         assert_eq!(got.rowptr(), want.rowptr());
         assert_eq!(got.colidx(), want.colidx());
     }
@@ -173,7 +180,11 @@ mod tests {
         });
         // Mask out everything except a diagonal band of the product.
         let band_entries: Vec<(usize, usize, f64)> = (0..40)
-            .flat_map(|i| (0..31).filter(move |j| (i as i64 - *j as i64).abs() <= 2).map(move |j| (i, j, 1.0)))
+            .flat_map(|i| {
+                (0..31)
+                    .filter(move |j| (i as i64 - *j as i64).abs() <= 2)
+                    .map(move |j| (i, j, 1.0))
+            })
             .collect();
         let mask = Coo::from_entries(40, 31, band_entries).unwrap().to_csr();
         let got = multiply_masked(&a.to_csc(), &b, &mask, &PbConfig::default());

@@ -29,7 +29,13 @@ fn row_blocks<T: pb_sparse::Scalar>(a: &Csr<T>, parts: usize) -> Vec<Csr<T>> {
         let rowptr: Vec<usize> = a.rowptr()[start..=end].iter().map(|&p| p - base).collect();
         let colidx = a.colidx()[a.rowptr()[start]..a.rowptr()[end]].to_vec();
         let values = a.values()[a.rowptr()[start]..a.rowptr()[end]].to_vec();
-        blocks.push(Csr::from_parts_unchecked(end - start, a.ncols(), rowptr, colidx, values));
+        blocks.push(Csr::from_parts_unchecked(
+            end - start,
+            a.ncols(),
+            rowptr,
+            colidx,
+            values,
+        ));
         start = end;
     }
     if blocks.is_empty() {

@@ -220,7 +220,10 @@ mod tests {
     fn phase_bytes_follow_table_iii() {
         let p = sample();
         // Expand: reads A and B (16 bytes each nnz), writes 16 bytes per flop.
-        assert_eq!(p.phase_bytes(Phase::Expand), 16 * 8_000_000 + 16 * 16_000_000);
+        assert_eq!(
+            p.phase_bytes(Phase::Expand),
+            16 * 8_000_000 + 16 * 16_000_000
+        );
         // Sort: reads flop tuples.
         assert_eq!(p.phase_bytes(Phase::Sort), 16 * 16_000_000);
         // Compress: writes nnz(C) tuples (its reads stay in cache).

@@ -42,7 +42,9 @@ pub fn sort_bins<V: Copy + Send + Sync>(tuples: &mut BinnedTuples<V>, algorithm:
         consumed += len;
     }
 
-    slices.into_par_iter().for_each(|seg| sort_slice(seg, key_bytes, algorithm));
+    slices
+        .into_par_iter()
+        .for_each(|seg| sort_slice(seg, key_bytes, algorithm));
 }
 
 /// Sorts one bin's tuples by key with the selected algorithm.
@@ -206,7 +208,10 @@ mod tests {
                 sort_slice(&mut data, key_bytes, algo);
                 assert!(is_sorted(&data), "{algo:?} failed to sort {bits}-bit keys");
                 let keys: Vec<u64> = data.iter().map(|e| e.key).collect();
-                assert_eq!(keys, expected_keys, "{algo:?} produced a different permutation");
+                assert_eq!(
+                    keys, expected_keys,
+                    "{algo:?} produced a different permutation"
+                );
             }
         }
     }
@@ -218,7 +223,10 @@ mod tests {
         let original: Vec<Entry<u64>> = (0..5000)
             .map(|_| {
                 let key = rng.next_u64() & 0xFFFF_FFFF;
-                Entry { key, val: key ^ 0xDEAD_BEEF }
+                Entry {
+                    key,
+                    val: key ^ 0xDEAD_BEEF,
+                }
             })
             .collect();
         for algo in [SortAlgorithm::LsdRadix, SortAlgorithm::AmericanFlag] {
@@ -246,8 +254,13 @@ mod tests {
             sort_slice(&mut dup, 4, algo);
             assert!(is_sorted(&dup));
 
-            let mut rev: Vec<Entry<u32>> =
-                (0..200).rev().map(|k| Entry { key: k as u64, val: k }).collect();
+            let mut rev: Vec<Entry<u32>> = (0..200)
+                .rev()
+                .map(|k| Entry {
+                    key: k as u64,
+                    val: k,
+                })
+                .collect();
             sort_slice(&mut rev, 1, algo);
             assert!(is_sorted(&rev));
             assert_eq!(rev[0].val, 0);
@@ -266,7 +279,10 @@ mod tests {
         let mut bin_offsets = vec![0usize];
         for _bin in 0..3 {
             for _ in 0..200 {
-                entries.push(Entry { key: rng.next_u64() & 0xFF, val: 1.0f64 });
+                entries.push(Entry {
+                    key: rng.next_u64() & 0xFF,
+                    val: 1.0f64,
+                });
             }
             bin_offsets.push(entries.len());
         }
@@ -278,7 +294,9 @@ mod tests {
         };
         sort_bins(&mut tuples, SortAlgorithm::LsdRadix);
         for b in 0..3 {
-            assert!(is_sorted(&tuples.entries[bin_offsets[b]..bin_offsets[b + 1]]));
+            assert!(is_sorted(
+                &tuples.entries[bin_offsets[b]..bin_offsets[b + 1]]
+            ));
         }
     }
 

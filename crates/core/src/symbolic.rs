@@ -110,7 +110,12 @@ pub fn symbolic<T: Scalar, U: Scalar>(
     }
     debug_assert_eq!(*bin_offsets.last().unwrap() as u64, flop);
 
-    Symbolic { flop, bin_flop, bin_offsets, layout }
+    Symbolic {
+        flop,
+        bin_flop,
+        bin_offsets,
+        layout,
+    }
 }
 
 /// Builds a flop-balanced bin layout (the paper's "variable ranges of rows").
@@ -166,7 +171,13 @@ mod tests {
         let m = Coo::from_entries(
             3,
             3,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap();
         (m.to_csc(), m.to_csr())
@@ -195,7 +206,9 @@ mod tests {
         }
         // The balanced mapping may merge boundaries but never exceeds the
         // requested bin count, and still partitions the flop exactly.
-        let cfg = PbConfig::default().with_nbins(7).with_bin_mapping(BinMapping::Balanced);
+        let cfg = PbConfig::default()
+            .with_nbins(7)
+            .with_bin_mapping(BinMapping::Balanced);
         let sym = symbolic(&a_csc, &a, &cfg, 16);
         assert!(sym.nbins() <= 7 && sym.nbins() >= 1);
         assert_eq!(sym.bin_flop.iter().sum::<u64>(), sym.flop);
@@ -212,13 +225,17 @@ mod tests {
         let uniform = symbolic(
             &a_csc,
             &a,
-            &PbConfig::default().with_nbins(nbins).with_bin_mapping(BinMapping::Range),
+            &PbConfig::default()
+                .with_nbins(nbins)
+                .with_bin_mapping(BinMapping::Range),
             16,
         );
         let balanced = symbolic(
             &a_csc,
             &a,
-            &PbConfig::default().with_nbins(nbins).with_bin_mapping(BinMapping::Balanced),
+            &PbConfig::default()
+                .with_nbins(nbins)
+                .with_bin_mapping(BinMapping::Balanced),
             16,
         );
         assert_eq!(balanced.flop, uniform.flop);

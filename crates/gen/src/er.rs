@@ -50,8 +50,11 @@ pub fn erdos_renyi_coo(config: &ErConfig) -> Coo<f64> {
         .into_par_iter()
         .map(|j| {
             let mut rng = Xoshiro256pp::from_stream(config.seed, j as u64);
-            let mut rows: Vec<Index> =
-                rng.sample_distinct(config.nrows, d).into_iter().map(|r| r as Index).collect();
+            let mut rows: Vec<Index> = rng
+                .sample_distinct(config.nrows, d)
+                .into_iter()
+                .map(|r| r as Index)
+                .collect();
             rows.sort_unstable();
             let vals: Vec<f64> = if config.random_values {
                 rows.iter().map(|_| rng.next_f64()).collect()
@@ -87,7 +90,10 @@ pub fn erdos_renyi_csc(config: &ErConfig) -> Csc<f64> {
 /// Convenience: square ER matrix of dimension `2^scale` with `edge_factor`
 /// nonzeros per column, random values.
 pub fn erdos_renyi_square(scale: u32, edge_factor: u32, seed: u64) -> Csr<f64> {
-    erdos_renyi(&ErConfig::from_scale(ScaleSpec::new(scale, edge_factor), seed))
+    erdos_renyi(&ErConfig::from_scale(
+        ScaleSpec::new(scale, edge_factor),
+        seed,
+    ))
 }
 
 #[cfg(test)]
@@ -97,7 +103,13 @@ mod tests {
 
     #[test]
     fn every_column_has_exactly_d_nonzeros() {
-        let cfg = ErConfig { nrows: 256, ncols: 256, nnz_per_col: 8, seed: 1, random_values: true };
+        let cfg = ErConfig {
+            nrows: 256,
+            ncols: 256,
+            nnz_per_col: 8,
+            seed: 1,
+            random_values: true,
+        };
         let m = erdos_renyi_csc(&cfg);
         assert_eq!(m.nnz(), 256 * 8);
         for j in 0..m.ncols() {
@@ -110,7 +122,13 @@ mod tests {
 
     #[test]
     fn d_larger_than_nrows_is_clamped() {
-        let cfg = ErConfig { nrows: 4, ncols: 6, nnz_per_col: 10, seed: 2, random_values: false };
+        let cfg = ErConfig {
+            nrows: 4,
+            ncols: 6,
+            nnz_per_col: 10,
+            seed: 2,
+            random_values: false,
+        };
         let m = erdos_renyi(&cfg);
         assert_eq!(m.nnz(), 4 * 6);
         assert!(m.values().iter().all(|&v| v == 1.0));
@@ -118,7 +136,13 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_in_the_seed() {
-        let cfg = ErConfig { nrows: 128, ncols: 128, nnz_per_col: 4, seed: 7, random_values: true };
+        let cfg = ErConfig {
+            nrows: 128,
+            ncols: 128,
+            nnz_per_col: 4,
+            seed: 7,
+            random_values: true,
+        };
         let a = erdos_renyi(&cfg);
         let b = erdos_renyi(&cfg);
         assert_eq!(a, b);
@@ -128,14 +152,23 @@ mod tests {
 
     #[test]
     fn rows_are_spread_roughly_uniformly() {
-        let cfg =
-            ErConfig { nrows: 512, ncols: 512, nnz_per_col: 8, seed: 3, random_values: true };
+        let cfg = ErConfig {
+            nrows: 512,
+            ncols: 512,
+            nnz_per_col: 8,
+            seed: 3,
+            random_values: true,
+        };
         let m = erdos_renyi(&cfg);
         // Row degrees follow Binomial(n*d, 1/n); the maximum should stay far
         // below a pathological concentration (say 5x the mean).
         let mean = m.avg_degree();
         assert!((mean - 8.0).abs() < 1e-9);
-        assert!(m.max_degree() < 40, "max degree {} looks non-uniform", m.max_degree());
+        assert!(
+            m.max_degree() < 40,
+            "max degree {} looks non-uniform",
+            m.max_degree()
+        );
     }
 
     #[test]
@@ -144,7 +177,11 @@ mod tests {
         // relative to n; allow some slack for a small test matrix.
         let a = erdos_renyi_square(9, 4, 11);
         let s = MultiplyStats::compute(&a, &a);
-        assert!(s.cf >= 1.0 && s.cf < 1.3, "unexpected compression factor {}", s.cf);
+        assert!(
+            s.cf >= 1.0 && s.cf < 1.3,
+            "unexpected compression factor {}",
+            s.cf
+        );
         // flop is exactly n * d^2 because every column has exactly d entries.
         assert_eq!(s.flop, 512 * 16);
     }

@@ -31,11 +31,21 @@ pub struct RmatParams {
 }
 
 /// The Graph500 parameter set used for the paper's "RMAT" matrices.
-pub const GRAPH500_PARAMS: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+pub const GRAPH500_PARAMS: RmatParams = RmatParams {
+    a: 0.57,
+    b: 0.19,
+    c: 0.19,
+    d: 0.05,
+};
 
 /// The uniform parameter set (`a=b=c=d=0.25`), which degenerates to an
 /// Erdős–Rényi-like matrix.
-pub const UNIFORM_PARAMS: RmatParams = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+pub const UNIFORM_PARAMS: RmatParams = RmatParams {
+    a: 0.25,
+    b: 0.25,
+    c: 0.25,
+    d: 0.25,
+};
 
 /// Configuration of the R-MAT generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,7 +138,11 @@ pub fn rmat_coo(config: &RmatConfig) -> Coo<f64> {
                 let (r, c) = sample_edge(&mut rng, config.scale, config.params, config.noise);
                 rows.push(r);
                 cols.push(c);
-                vals.push(if config.random_values { rng.next_f64() } else { 1.0 });
+                vals.push(if config.random_values {
+                    rng.next_f64()
+                } else {
+                    1.0
+                });
             }
             (rows, cols, vals)
         })
@@ -177,7 +191,11 @@ mod tests {
         assert_eq!(m.shape(), (1024, 1024));
         // Duplicates reduce nnz below n*ef but not catastrophically.
         assert!(m.nnz() <= 1024 * 8);
-        assert!(m.nnz() > 1024 * 8 / 2, "too many duplicates: nnz = {}", m.nnz());
+        assert!(
+            m.nnz() > 1024 * 8 / 2,
+            "too many duplicates: nnz = {}",
+            m.nnz()
+        );
     }
 
     #[test]
@@ -218,7 +236,11 @@ mod tests {
             noise: false,
         });
         // Max degree stays small for a uniform distribution.
-        assert!(m.max_degree() < 30, "max degree {} too large for uniform R-MAT", m.max_degree());
+        assert!(
+            m.max_degree() < 30,
+            "max degree {} too large for uniform R-MAT",
+            m.max_degree()
+        );
     }
 
     #[test]
@@ -226,7 +248,9 @@ mod tests {
         let cfg = RmatConfig::graph500(8, 6, 13);
         let coo = rmat_coo(&cfg);
         let n = 1usize << cfg.scale;
-        assert!(coo.iter().all(|(r, c, _)| (r as usize) < n && (c as usize) < n));
+        assert!(coo
+            .iter()
+            .all(|(r, c, _)| (r as usize) < n && (c as usize) < n));
         let csr = rmat(&cfg);
         let csc = rmat_csc(&cfg);
         assert_eq!(csc.to_csr(), csr);

@@ -203,7 +203,10 @@ mod tests {
             sum += x;
         }
         let mean = sum / 10_000.0;
-        assert!((mean - 0.5).abs() < 0.02, "mean {mean} should be close to 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "mean {mean} should be close to 0.5"
+        );
     }
 
     #[test]
@@ -218,7 +221,10 @@ mod tests {
         }
         for &c in &counts {
             // Expected 10_000 per bucket; allow 10% slack.
-            assert!((9_000..=11_000).contains(&c), "bucket count {c} too far from uniform");
+            assert!(
+                (9_000..=11_000).contains(&c),
+                "bucket count {c} too far from uniform"
+            );
         }
     }
 
@@ -250,7 +256,11 @@ mod tests {
         let mut sorted = data.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(data, (0..100).collect::<Vec<u32>>(), "shuffle should change order");
+        assert_ne!(
+            data,
+            (0..100).collect::<Vec<u32>>(),
+            "shuffle should change order"
+        );
     }
 
     #[test]

@@ -321,9 +321,15 @@ mod tests {
             let m = standin_scaled(name, 0.01, 2);
             let cf = MultiplyStats::compute(&m, &m).cf;
             if s.cf < 4.0 {
-                assert!(cf < 4.0, "{name}: stand-in cf {cf} crossed the cf=4 regime boundary");
+                assert!(
+                    cf < 4.0,
+                    "{name}: stand-in cf {cf} crossed the cf=4 regime boundary"
+                );
             } else {
-                assert!(cf > 4.0, "{name}: stand-in cf {cf} should be in the cf>4 regime");
+                assert!(
+                    cf > 4.0,
+                    "{name}: stand-in cf {cf} should be in the cf>4 regime"
+                );
             }
             let ratio = cf / s.cf;
             assert!(

@@ -83,12 +83,7 @@ pub fn block_diagonal(nblocks: usize, block_size: usize, seed: u64) -> Csr<f64> 
 
 /// A banded matrix plus `extra_per_row` uniformly random off-band entries per
 /// row — a crude model of meshes with long-range couplings.
-pub fn banded_with_random(
-    n: usize,
-    band: usize,
-    extra_per_row: usize,
-    seed: u64,
-) -> Csr<f64> {
+pub fn banded_with_random(n: usize, band: usize, extra_per_row: usize, seed: u64) -> Csr<f64> {
     let band = band.max(1).min(n);
     let half = band / 2;
     let rows: Vec<(Vec<Index>, Vec<f64>)> = (0..n)
@@ -178,7 +173,11 @@ mod tests {
         // paper's FEM matrices (cant, hood).
         let b = banded(512, 17, 1);
         let s = MultiplyStats::compute(&b, &b);
-        assert!(s.cf > 6.0, "expected high cf for banded matrix, got {}", s.cf);
+        assert!(
+            s.cf > 6.0,
+            "expected high cf for banded matrix, got {}",
+            s.cf
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ pub fn aggregate_coarsening(a: &Csr<f64>) -> Csr<f64> {
 /// given engine.
 pub fn galerkin_product(a: &Csr<f64>, p: &Csr<f64>, engine: &SpGemmEngine) -> Csr<f64> {
     assert_eq!(a.nrows(), a.ncols(), "the fine operator must be square");
-    assert_eq!(a.ncols(), p.nrows(), "P must map coarse unknowns to fine unknowns");
+    assert_eq!(
+        a.ncols(),
+        p.nrows(),
+        "P must map coarse unknowns to fine unknowns"
+    );
     let ap = engine.multiply(a, p);
     let pt = p.transpose();
     engine.multiply(&pt, &ap)
@@ -104,7 +108,10 @@ pub fn galerkin_product(a: &Csr<f64>, p: &Csr<f64>, engine: &SpGemmEngine) -> Cs
 pub fn coarsen(a: &Csr<f64>, engine: &SpGemmEngine) -> AmgLevel {
     let prolongation = aggregate_coarsening(a);
     let coarse = galerkin_product(a, &prolongation, engine);
-    AmgLevel { prolongation, coarse }
+    AmgLevel {
+        prolongation,
+        coarse,
+    }
 }
 
 #[cfg(test)]
@@ -162,13 +169,21 @@ mod tests {
         // The Galerkin operator of a symmetric fine operator is symmetric.
         assert!(ops::pattern_is_symmetric(coarse));
         let diff = ops::add(&coarse.map_values(|v| -v), &coarse.transpose());
-        assert!(ops::max_abs(&diff) < 1e-9, "coarse operator must stay numerically symmetric");
+        assert!(
+            ops::max_abs(&diff) < 1e-9,
+            "coarse operator must stay numerically symmetric"
+        );
         // A 1-D Laplacian has zero row sums except at the two boundary rows;
         // piecewise-constant aggregation preserves that null-space property.
-        let row_sums = ops::row_sums(&coarse);
-        let interior_nonzero =
-            row_sums[1..row_sums.len() - 1].iter().filter(|s| s.abs() > 1e-9).count();
-        assert_eq!(interior_nonzero, 0, "interior row sums must vanish: {row_sums:?}");
+        let row_sums = ops::row_sums(coarse);
+        let interior_nonzero = row_sums[1..row_sums.len() - 1]
+            .iter()
+            .filter(|s| s.abs() > 1e-9)
+            .count();
+        assert_eq!(
+            interior_nonzero, 0,
+            "interior row sums must vanish: {row_sums:?}"
+        );
     }
 
     #[test]
@@ -202,13 +217,18 @@ mod tests {
             sizes.push(level.coarse_size());
             current = level.coarse;
         }
-        assert!(sizes.windows(2).all(|w| w[1] < w[0]), "sizes must strictly decrease: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[1] < w[0]),
+            "sizes must strictly decrease: {sizes:?}"
+        );
         assert!(*sizes.last().unwrap() <= 10);
     }
 
     #[test]
     fn isolated_vertices_become_singleton_aggregates() {
-        let a = Coo::from_entries(3, 3, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap().to_csr();
+        let a = Coo::from_entries(3, 3, vec![(0, 1, 1.0), (1, 0, 1.0)])
+            .unwrap()
+            .to_csr();
         let p = aggregate_coarsening(&a);
         assert_eq!(p.ncols(), 2);
         assert_eq!(p.get(2, 1), Some(1.0));

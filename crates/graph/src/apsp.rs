@@ -24,7 +24,11 @@ pub const APSP_DENSE_LIMIT: usize = 4096;
 /// unreachable pairs are simply not stored.  Diagonal entries are stored with
 /// distance zero.
 pub fn apsp_minplus(weights: &Csr<f64>, engine: &SpGemmEngine) -> Csr<f64> {
-    assert_eq!(weights.nrows(), weights.ncols(), "APSP needs a square matrix");
+    assert_eq!(
+        weights.nrows(),
+        weights.ncols(),
+        "APSP needs a square matrix"
+    );
     debug_assert!(
         weights.nrows() <= APSP_DENSE_LIMIT,
         "min-plus APSP on {} vertices would densify; use a per-source algorithm instead",
@@ -65,7 +69,10 @@ fn matrices_equal(a: &Csr<f64>, b: &Csr<f64>) -> bool {
     a.shape() == b.shape()
         && a.rowptr() == b.rowptr()
         && a.colidx() == b.colidx()
-        && a.values().iter().zip(b.values()).all(|(x, y)| (x - y).abs() < 1e-12 || (x.is_infinite() && y.is_infinite()))
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| (x - y).abs() < 1e-12 || (x.is_infinite() && y.is_infinite()))
 }
 
 #[cfg(test)]
@@ -77,8 +84,8 @@ mod tests {
     fn oracle(weights: &Csr<f64>) -> Vec<Vec<f64>> {
         let n = weights.nrows();
         let mut d = vec![vec![f64::INFINITY; n]; n];
-        for i in 0..n {
-            d[i][i] = 0.0;
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 0.0;
         }
         for (u, v, w) in weights.iter() {
             if u != v {
@@ -101,15 +108,12 @@ mod tests {
     fn check_against_oracle(weights: &Csr<f64>, engine: &SpGemmEngine) {
         let dist = apsp_minplus(weights, engine);
         let expected = oracle(weights);
-        let n = weights.nrows();
-        for i in 0..n {
-            for j in 0..n {
+        for (i, expected_row) in expected.iter().enumerate() {
+            for (j, &want) in expected_row.iter().enumerate() {
                 let got = dist.get(i, j).unwrap_or(f64::INFINITY);
                 assert!(
-                    (got - expected[i][j]).abs() < 1e-9
-                        || (got.is_infinite() && expected[i][j].is_infinite()),
-                    "({i}, {j}): got {got}, expected {}",
-                    expected[i][j]
+                    (got - want).abs() < 1e-9 || (got.is_infinite() && want.is_infinite()),
+                    "({i}, {j}): got {got}, expected {want}"
                 );
             }
         }
@@ -134,20 +138,18 @@ mod tests {
 
     #[test]
     fn shortcut_beats_the_long_way_round() {
-        let g = Coo::from_entries(
-            3,
-            3,
-            vec![(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)],
-        )
-        .unwrap()
-        .to_csr();
+        let g = Coo::from_entries(3, 3, vec![(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)])
+            .unwrap()
+            .to_csr();
         let dist = apsp_minplus(&g, &SpGemmEngine::pb());
         assert_eq!(dist.get(0, 1), Some(2.0));
     }
 
     #[test]
     fn unreachable_pairs_are_not_stored() {
-        let g = Coo::from_entries(4, 4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap().to_csr();
+        let g = Coo::from_entries(4, 4, vec![(0, 1, 1.0), (2, 3, 1.0)])
+            .unwrap()
+            .to_csr();
         let dist = apsp_minplus(&g, &SpGemmEngine::pb());
         assert_eq!(dist.get(0, 3), None);
         assert_eq!(dist.get(1, 0), None);
@@ -167,9 +169,15 @@ mod tests {
 
     #[test]
     fn self_loops_and_empty_graphs() {
-        let g = Coo::from_entries(2, 2, vec![(0, 0, 5.0), (0, 1, 2.0)]).unwrap().to_csr();
+        let g = Coo::from_entries(2, 2, vec![(0, 0, 5.0), (0, 1, 2.0)])
+            .unwrap()
+            .to_csr();
         let dist = apsp_minplus(&g, &SpGemmEngine::pb());
-        assert_eq!(dist.get(0, 0), Some(0.0), "self loops never beat the empty path");
+        assert_eq!(
+            dist.get(0, 0),
+            Some(0.0),
+            "self loops never beat the empty path"
+        );
         assert_eq!(dist.get(0, 1), Some(2.0));
 
         let empty = Csr::<f64>::empty(0, 0);

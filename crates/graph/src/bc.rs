@@ -40,7 +40,10 @@ pub fn betweenness_centrality<T: pb_sparse::Scalar>(
         return centrality;
     }
     for &src in sources {
-        assert!(src < n, "source vertex {src} is out of bounds for {n} vertices");
+        assert!(
+            src < n,
+            "source vertex {src} is out of bounds for {n} vertices"
+        );
     }
 
     let batch = batch_size.max(1);
@@ -82,7 +85,11 @@ fn accumulate_batch(
     let f0: Csr<f64> = Coo::from_entries(
         n,
         s,
-        sources.iter().enumerate().map(|(k, &src)| (src, k, 1.0)).collect::<Vec<_>>(),
+        sources
+            .iter()
+            .enumerate()
+            .map(|(k, &src)| (src, k, 1.0))
+            .collect::<Vec<_>>(),
     )
     .expect("sources are validated by the caller")
     .to_csr();
@@ -120,8 +127,9 @@ fn accumulate_batch(
         if coeff_entries.is_empty() {
             continue;
         }
-        let coeff: Csr<f64> =
-            Coo::from_entries(n, s, coeff_entries).expect("indices come from frontier entries").to_csr();
+        let coeff: Csr<f64> = Coo::from_entries(n, s, coeff_entries)
+            .expect("indices come from frontier entries")
+            .to_csr();
         let pushed = engine.multiply(a, &coeff);
         for (v, k, sum) in pushed.iter() {
             let (v, k) = (v as usize, k as usize);

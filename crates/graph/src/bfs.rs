@@ -39,9 +39,16 @@ pub fn single_source_bfs<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
     source: usize,
 ) -> Vec<Option<u32>> {
-    assert_eq!(adjacency.nrows(), adjacency.ncols(), "BFS needs a square adjacency matrix");
+    assert_eq!(
+        adjacency.nrows(),
+        adjacency.ncols(),
+        "BFS needs a square adjacency matrix"
+    );
     let n = adjacency.nrows();
-    assert!(source < n, "source vertex {source} is out of bounds for {n} vertices");
+    assert!(
+        source < n,
+        "source vertex {source} is out of bounds for {n} vertices"
+    );
     // Aᵀ pushes the frontier along out-edges.
     let at = adjacency.map_values(|_| true).transpose().to_csc();
 
@@ -71,11 +78,18 @@ pub fn multi_source_bfs<T: pb_sparse::Scalar>(
     sources: &[usize],
     engine: &SpGemmEngine,
 ) -> BfsResult {
-    assert_eq!(adjacency.nrows(), adjacency.ncols(), "BFS needs a square adjacency matrix");
+    assert_eq!(
+        adjacency.nrows(),
+        adjacency.ncols(),
+        "BFS needs a square adjacency matrix"
+    );
     let n = adjacency.nrows();
     let s = sources.len();
     for &src in sources {
-        assert!(src < n, "source vertex {src} is out of bounds for {n} vertices");
+        assert!(
+            src < n,
+            "source vertex {src} is out of bounds for {n} vertices"
+        );
     }
 
     let at: Csr<bool> = adjacency.map_values(|_| true).transpose();
@@ -85,7 +99,10 @@ pub fn multi_source_bfs<T: pb_sparse::Scalar>(
         levels[k][src] = Some(0);
     }
     if s == 0 || n == 0 {
-        return BfsResult { levels, iterations: 0 };
+        return BfsResult {
+            levels,
+            iterations: 0,
+        };
     }
 
     // Frontier matrix F (n × s): F(v, k) = true when vertex v is on the
@@ -93,7 +110,11 @@ pub fn multi_source_bfs<T: pb_sparse::Scalar>(
     let mut frontier: Csr<bool> = Coo::from_entries(
         n,
         s,
-        sources.iter().enumerate().map(|(k, &src)| (src, k, true)).collect::<Vec<_>>(),
+        sources
+            .iter()
+            .enumerate()
+            .map(|(k, &src)| (src, k, true))
+            .collect::<Vec<_>>(),
     )
     .expect("sources are validated above")
     .to_csr_with::<OrAnd>();
@@ -175,7 +196,11 @@ mod tests {
         for seed in [4u64, 9] {
             let g = rmat_square(6, 4, seed);
             for source in [0usize, 7, 31] {
-                assert_eq!(single_source_bfs(&g, source), oracle_bfs(&g, source), "seed {seed}");
+                assert_eq!(
+                    single_source_bfs(&g, source),
+                    oracle_bfs(&g, source),
+                    "seed {seed}"
+                );
             }
         }
     }
@@ -203,7 +228,14 @@ mod tests {
         let g = Coo::from_entries(
             5,
             5,
-            vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (3, 4, 1.0), (4, 3, 1.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (3, 4, 1.0),
+                (4, 3, 1.0),
+            ],
         )
         .unwrap()
         .to_csr();

@@ -18,7 +18,11 @@ pub fn count_closed_walks<T: pb_sparse::Scalar>(
     engine: &SpGemmEngine,
 ) -> u64 {
     assert!(k >= 1, "walk length must be at least 1");
-    assert_eq!(adjacency.nrows(), adjacency.ncols(), "cycle detection needs a square matrix");
+    assert_eq!(
+        adjacency.nrows(),
+        adjacency.ncols(),
+        "cycle detection needs a square matrix"
+    );
     let a = adjacency.map_values(|_| 1.0f64);
     let power = matrix_power(&a, k, engine);
     ops::diagonal(&power).iter().sum::<f64>().round() as u64
@@ -52,9 +56,13 @@ mod tests {
 
     fn directed_triangle_plus_tail() -> Csr<f64> {
         // 0 -> 1 -> 2 -> 0 (a 3-cycle) and 2 -> 3 (a tail).
-        Coo::from_entries(4, 4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0)])
-            .unwrap()
-            .to_csr()
+        Coo::from_entries(
+            4,
+            4,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap()
+        .to_csr()
     }
 
     #[test]
@@ -94,7 +102,11 @@ mod tests {
         .unwrap()
         .to_csr();
         for k in 1..=4 {
-            assert_eq!(count_closed_walks(&g, k, &SpGemmEngine::pb()), 0, "length {k}");
+            assert_eq!(
+                count_closed_walks(&g, k, &SpGemmEngine::pb()),
+                0,
+                "length {k}"
+            );
         }
     }
 
@@ -103,14 +115,20 @@ mod tests {
         let g = rmat_square(5, 3, 23);
         let expected = count_closed_walks(&g, 3, &SpGemmEngine::Reference);
         for engine in SpGemmEngine::paper_set() {
-            assert_eq!(count_closed_walks(&g, 3, &engine), expected, "{}", engine.name());
+            assert_eq!(
+                count_closed_walks(&g, 3, &engine),
+                expected,
+                "{}",
+                engine.name()
+            );
         }
     }
 
     #[test]
     fn weighted_input_uses_only_the_pattern() {
-        let weighted =
-            Coo::from_entries(3, 3, vec![(0, 1, 0.5), (1, 2, 7.0), (2, 0, -3.0)]).unwrap().to_csr();
+        let weighted = Coo::from_entries(3, 3, vec![(0, 1, 0.5), (1, 2, 7.0), (2, 0, -3.0)])
+            .unwrap()
+            .to_csr();
         assert_eq!(count_closed_walks(&weighted, 3, &SpGemmEngine::pb()), 3);
     }
 

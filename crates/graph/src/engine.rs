@@ -37,7 +37,11 @@ impl SpGemmEngine {
     /// PB-SpGEMM plus the three baselines the paper plots.
     pub fn paper_set() -> Vec<SpGemmEngine> {
         let mut engines = vec![SpGemmEngine::pb()];
-        engines.extend(Baseline::paper_set().iter().map(|&b| SpGemmEngine::Baseline(b)));
+        engines.extend(
+            Baseline::paper_set()
+                .iter()
+                .map(|&b| SpGemmEngine::Baseline(b)),
+        );
         engines
     }
 
@@ -54,11 +58,7 @@ impl SpGemmEngine {
     ///
     /// Operands are taken in CSR; the PB engine converts `A` to CSC
     /// internally (its outer-product formulation needs column access).
-    pub fn multiply_with<S: Semiring>(
-        &self,
-        a: &Csr<S::Elem>,
-        b: &Csr<S::Elem>,
-    ) -> Csr<S::Elem>
+    pub fn multiply_with<S: Semiring>(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem>
     where
         S::Elem: Default,
     {
@@ -90,7 +90,11 @@ mod tests {
         let expected = reference::multiply_csr(&a, &a);
         for engine in SpGemmEngine::paper_set() {
             let c = engine.multiply(&a, &a);
-            assert!(csr_approx_eq(&c, &expected, 1e-9), "{} disagrees", engine.name());
+            assert!(
+                csr_approx_eq(&c, &expected, 1e-9),
+                "{} disagrees",
+                engine.name()
+            );
         }
         let c = SpGemmEngine::Reference.multiply(&a, &a);
         assert!(csr_approx_eq(&c, &expected, 1e-12));

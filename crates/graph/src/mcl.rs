@@ -70,14 +70,26 @@ fn inflate(m: &Csr<f64>, r: f64) -> Csr<f64> {
 /// Runs Markov clustering on the graph whose (symmetric or not, weighted or
 /// not) adjacency matrix is `adjacency`.
 pub fn markov_cluster(adjacency: &Csr<f64>, config: &MclConfig) -> MclResult {
-    assert_eq!(adjacency.nrows(), adjacency.ncols(), "MCL needs a square adjacency matrix");
+    assert_eq!(
+        adjacency.nrows(),
+        adjacency.ncols(),
+        "MCL needs a square adjacency matrix"
+    );
     let n = adjacency.nrows();
     if n == 0 {
-        return MclResult { clusters: Vec::new(), num_clusters: 0, iterations: 0, converged: true };
+        return MclResult {
+            clusters: Vec::new(),
+            num_clusters: 0,
+            iterations: 0,
+            converged: true,
+        };
     }
 
     // Symmetrise, add self loops, normalise columns.
-    let sym = ops::add(&adjacency.map_values(|v| v.abs()), &adjacency.map_values(|v| v.abs()).transpose());
+    let sym = ops::add(
+        &adjacency.map_values(|v| v.abs()),
+        &adjacency.map_values(|v| v.abs()).transpose(),
+    );
     let with_loops = ops::add(
         &ops::remove_diagonal(&sym),
         &Csr::<f64>::identity(n).map_values(|_| config.self_loop_weight),
@@ -104,7 +116,12 @@ pub fn markov_cluster(adjacency: &Csr<f64>, config: &MclConfig) -> MclResult {
     }
 
     let (clusters, num_clusters) = extract_clusters(&m);
-    MclResult { clusters, num_clusters, iterations, converged }
+    MclResult {
+        clusters,
+        num_clusters,
+        iterations,
+        converged,
+    }
 }
 
 /// Largest absolute difference between entries of two matrices with possibly
@@ -153,14 +170,14 @@ fn extract_clusters(m: &Csr<f64>) -> (Vec<usize>, usize) {
     let n = m.nrows();
     let mut parent: Vec<usize> = (0..n).collect();
 
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
         }
         x
     }
-    fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+    fn union(parent: &mut [usize], a: usize, b: usize) {
         let (ra, rb) = (find(parent, a), find(parent, b));
         if ra != rb {
             parent[ra.max(rb)] = ra.min(rb);
@@ -176,14 +193,14 @@ fn extract_clusters(m: &Csr<f64>) -> (Vec<usize>, usize) {
     let mut label_of_root = std::collections::HashMap::new();
     let mut clusters = vec![0usize; n];
     let mut next = 0usize;
-    for v in 0..n {
+    for (v, cluster) in clusters.iter_mut().enumerate() {
         let root = find(&mut parent, v);
         let label = *label_of_root.entry(root).or_insert_with(|| {
             let l = next;
             next += 1;
             l
         });
-        clusters[v] = label;
+        *cluster = label;
     }
     (clusters, next)
 }
@@ -215,7 +232,11 @@ mod tests {
     fn separates_two_cliques() {
         let g = two_cliques();
         let result = markov_cluster(&g, &MclConfig::default());
-        assert!(result.converged, "MCL did not converge in {} iterations", result.iterations);
+        assert!(
+            result.converged,
+            "MCL did not converge in {} iterations",
+            result.iterations
+        );
         assert_eq!(result.num_clusters, 2);
         // All of the first clique shares a label, all of the second shares the
         // other label.
@@ -231,9 +252,17 @@ mod tests {
         let g = two_cliques();
         let reference = markov_cluster(&g, &MclConfig::default());
         for engine in SpGemmEngine::paper_set() {
-            let cfg = MclConfig { engine, ..MclConfig::default() };
+            let cfg = MclConfig {
+                engine,
+                ..MclConfig::default()
+            };
             let result = markov_cluster(&g, &cfg);
-            assert_eq!(result.num_clusters, reference.num_clusters, "{}", engine.name());
+            assert_eq!(
+                result.num_clusters,
+                reference.num_clusters,
+                "{}",
+                engine.name()
+            );
             assert_eq!(result.clusters, reference.clusters, "{}", engine.name());
         }
     }
@@ -244,7 +273,14 @@ mod tests {
         let g = Coo::from_entries(
             6,
             6,
-            vec![(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0), (4, 5, 1.0), (5, 4, 1.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (4, 5, 1.0),
+                (5, 4, 1.0),
+            ],
         )
         .unwrap()
         .to_csr();
@@ -254,7 +290,9 @@ mod tests {
 
     #[test]
     fn isolated_vertices_form_singleton_clusters() {
-        let g = Coo::from_entries(4, 4, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap().to_csr();
+        let g = Coo::from_entries(4, 4, vec![(0, 1, 1.0), (1, 0, 1.0)])
+            .unwrap()
+            .to_csr();
         let result = markov_cluster(&g, &MclConfig::default());
         assert_eq!(result.num_clusters, 3); // {0,1}, {2}, {3}
         assert_eq!(result.clusters[0], result.clusters[1]);
@@ -264,8 +302,20 @@ mod tests {
     #[test]
     fn higher_inflation_never_merges_more() {
         let g = two_cliques();
-        let soft = markov_cluster(&g, &MclConfig { inflation: 1.4, ..MclConfig::default() });
-        let sharp = markov_cluster(&g, &MclConfig { inflation: 3.0, ..MclConfig::default() });
+        let soft = markov_cluster(
+            &g,
+            &MclConfig {
+                inflation: 1.4,
+                ..MclConfig::default()
+            },
+        );
+        let sharp = markov_cluster(
+            &g,
+            &MclConfig {
+                inflation: 3.0,
+                ..MclConfig::default()
+            },
+        );
         assert!(sharp.num_clusters >= soft.num_clusters);
     }
 
@@ -280,7 +330,11 @@ mod tests {
     #[test]
     fn iteration_cap_is_respected() {
         let g = two_cliques();
-        let cfg = MclConfig { max_iterations: 1, tolerance: 0.0, ..MclConfig::default() };
+        let cfg = MclConfig {
+            max_iterations: 1,
+            tolerance: 0.0,
+            ..MclConfig::default()
+        };
         let result = markov_cluster(&g, &cfg);
         assert_eq!(result.iterations, 1);
         assert!(!result.converged);

@@ -23,7 +23,11 @@ use crate::engine::SpGemmEngine;
 /// triangle formulation in the integration tests) need the same
 /// canonical form.
 pub fn to_simple_undirected<T: pb_sparse::Scalar>(a: &Csr<T>) -> Csr<f64> {
-    assert_eq!(a.nrows(), a.ncols(), "graph kernels need a square adjacency matrix");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "graph kernels need a square adjacency matrix"
+    );
     let ones = a.map_values(|_| 1.0f64);
     let sym = ops::add(&ones, &ones.transpose());
     ops::remove_diagonal(&sym).map_values(|_| 1.0)
@@ -53,7 +57,10 @@ pub fn triangle_counts_per_vertex<T: pb_sparse::Scalar>(
 ) -> Vec<u64> {
     let a = to_simple_undirected(adjacency);
     let masked = common_neighbours(&a, engine);
-    ops::row_sums(&masked).into_iter().map(|s: f64| (s / 2.0).round() as u64).collect()
+    ops::row_sums(&masked)
+        .into_iter()
+        .map(|s: f64| (s / 2.0).round() as u64)
+        .collect()
 }
 
 /// Local clustering coefficient of every vertex: the fraction of wedges
@@ -65,7 +72,10 @@ pub fn clustering_coefficients<T: pb_sparse::Scalar>(
 ) -> (Vec<f64>, u64) {
     let a = to_simple_undirected(adjacency);
     let masked = common_neighbours(&a, engine);
-    let per_vertex: Vec<f64> = ops::row_sums(&masked).into_iter().map(|s: f64| s / 2.0).collect();
+    let per_vertex: Vec<f64> = ops::row_sums(&masked)
+        .into_iter()
+        .map(|s: f64| s / 2.0)
+        .collect();
     let coefficients: Vec<f64> = (0..a.nrows())
         .map(|v| {
             let deg = a.row_nnz(v) as f64;
@@ -196,10 +206,13 @@ mod tests {
             .to_csr();
         assert_eq!(count_triangles(&g, &SpGemmEngine::pb()), 1);
         // Self loops must not create spurious triangles.
-        let with_loops =
-            Coo::from_entries(3, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
-                .unwrap()
-                .to_csr();
+        let with_loops = Coo::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+        )
+        .unwrap()
+        .to_csr();
         assert_eq!(count_triangles(&with_loops, &SpGemmEngine::pb()), 1);
     }
 

@@ -21,7 +21,11 @@ pub enum AlgorithmClass {
 impl AlgorithmClass {
     /// All classes in Table II order.
     pub fn all() -> &'static [AlgorithmClass] {
-        &[AlgorithmClass::ColumnAccumulator, AlgorithmClass::ColumnEsc, AlgorithmClass::OuterEsc]
+        &[
+            AlgorithmClass::ColumnAccumulator,
+            AlgorithmClass::ColumnEsc,
+            AlgorithmClass::OuterEsc,
+        ]
     }
 
     /// Name used in reports.
@@ -133,7 +137,11 @@ pub fn traffic_estimates(stats: &MultiplyStats) -> Vec<TrafficEstimate> {
     .map(|(class, bytes)| TrafficEstimate {
         class,
         bytes,
-        ai: if bytes == 0 { 0.0 } else { flop as f64 / bytes as f64 },
+        ai: if bytes == 0 {
+            0.0
+        } else {
+            flop as f64 / bytes as f64
+        },
     })
     .collect()
 }
@@ -176,15 +184,29 @@ mod tests {
         let a = erdos_renyi_square(10, 4, 3);
         let stats = MultiplyStats::compute(&a, &a);
         let est = traffic_estimates(&stats);
-        let outer = est.iter().find(|e| e.class == AlgorithmClass::OuterEsc).unwrap();
-        let column = est.iter().find(|e| e.class == AlgorithmClass::ColumnAccumulator).unwrap();
+        let outer = est
+            .iter()
+            .find(|e| e.class == AlgorithmClass::OuterEsc)
+            .unwrap();
+        let column = est
+            .iter()
+            .find(|e| e.class == AlgorithmClass::ColumnAccumulator)
+            .unwrap();
 
         let cf = stats.cf;
         let eq1 = cf / 16.0;
         let eq3 = cf / ((2.0 + cf) * 16.0);
         let eq4 = cf / ((3.0 + 2.0 * cf) * 16.0);
-        assert!(column.ai >= eq3 * 0.999 && column.ai <= eq1, "column AI {} vs Eq.3 {eq3}", column.ai);
-        assert!(outer.ai >= eq4 * 0.999 && outer.ai <= eq1, "outer AI {} vs Eq.4 {eq4}", outer.ai);
+        assert!(
+            column.ai >= eq3 * 0.999 && column.ai <= eq1,
+            "column AI {} vs Eq.3 {eq3}",
+            column.ai
+        );
+        assert!(
+            outer.ai >= eq4 * 0.999 && outer.ai <= eq1,
+            "outer AI {} vs Eq.4 {eq4}",
+            outer.ai
+        );
         // The column estimate has strictly higher AI than the outer estimate
         // (it does not pay for Ĉ), which is why column SpGEMM has the higher
         // roofline in Fig. 3.

@@ -30,14 +30,22 @@ pub struct CacheConfig {
 impl Default for CacheConfig {
     /// A Skylake-SP-like private L2: 1 MiB, 64-byte lines, 16-way.
     fn default() -> Self {
-        CacheConfig { capacity_bytes: 1 << 20, line_bytes: 64, associativity: 16 }
+        CacheConfig {
+            capacity_bytes: 1 << 20,
+            line_bytes: 64,
+            associativity: 16,
+        }
     }
 }
 
 impl CacheConfig {
     /// A tiny cache for tests that need evictions to happen quickly.
     pub fn tiny(capacity_bytes: usize) -> Self {
-        CacheConfig { capacity_bytes, line_bytes: 64, associativity: 4 }
+        CacheConfig {
+            capacity_bytes,
+            line_bytes: 64,
+            associativity: 4,
+        }
     }
 
     /// Number of sets implied by the geometry (at least one).
@@ -69,7 +77,13 @@ pub struct CacheSim {
 impl CacheSim {
     /// Creates an empty (cold) cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        CacheSim { config, sets: vec![Vec::new(); config.sets()], clock: 0, hits: 0, misses: 0 }
+        CacheSim {
+            config,
+            sets: vec![Vec::new(); config.sets()],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The configured geometry.
@@ -275,7 +289,11 @@ mod tests {
         }
         // The first 64 lines have been evicted by the second 64.
         for l in 0..64u64 {
-            assert_eq!(sim.access(l * 64), AccessOutcome::Miss, "line {l} should have been evicted");
+            assert_eq!(
+                sim.access(l * 64),
+                AccessOutcome::Miss,
+                "line {l} should have been evicted"
+            );
         }
         // A working set that fits (last 16 lines) stays resident.
         sim.reset();
@@ -291,7 +309,11 @@ mod tests {
     #[test]
     fn lru_prefers_evicting_stale_lines() {
         // One set only: capacity 256 B, 4-way, 64 B lines.
-        let cfg = CacheConfig { capacity_bytes: 256, line_bytes: 64, associativity: 4 };
+        let cfg = CacheConfig {
+            capacity_bytes: 256,
+            line_bytes: 64,
+            associativity: 4,
+        };
         let mut sim = CacheSim::new(cfg);
         assert_eq!(cfg.sets(), 1);
         for l in 0..4u64 {
@@ -301,7 +323,11 @@ mod tests {
         sim.access(0);
         sim.access(4 * 64); // evicts line 1
         assert_eq!(sim.access(0), AccessOutcome::Hit);
-        assert_eq!(sim.access(64), AccessOutcome::Miss, "line 1 was the LRU victim");
+        assert_eq!(
+            sim.access(64),
+            AccessOutcome::Miss,
+            "line 1 was the LRU victim"
+        );
     }
 
     #[test]

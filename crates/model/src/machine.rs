@@ -33,7 +33,9 @@ impl MachineInfo {
         MachineInfo {
             cpu_model: read_cpu_model().unwrap_or_else(|| "unknown".to_string()),
             architecture: std::env::consts::ARCH,
-            logical_cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            logical_cpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             l2_bytes: read_cache_size("/sys/devices/system/cpu/cpu0/cache", 2),
             l3_bytes: read_cache_size("/sys/devices/system/cpu/cpu0/cache", 3),
             memory_bytes: read_total_memory(),
@@ -96,7 +98,11 @@ fn read_cache_size(base: &str, level: u32) -> Option<usize> {
     let base = Path::new(base);
     for idx in 0..8 {
         let dir = base.join(format!("index{idx}"));
-        let lvl: u32 = fs::read_to_string(dir.join("level")).ok()?.trim().parse().ok()?;
+        let lvl: u32 = fs::read_to_string(dir.join("level"))
+            .ok()?
+            .trim()
+            .parse()
+            .ok()?;
         if lvl != level {
             continue;
         }

@@ -225,7 +225,10 @@ mod tests {
         // spills to memory (or at least not slower by more than noise).
         let small = pointer_chase_ns(1 << 8, 200_000, 3);
         let large = pointer_chase_ns(1 << 20, 200_000, 3);
-        assert!(large >= small * 0.8, "large chain {large} ns vs small chain {small} ns");
+        assert!(
+            large >= small * 0.8,
+            "large chain {large} ns vs small chain {small} ns"
+        );
     }
 
     #[test]

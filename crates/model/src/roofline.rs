@@ -37,12 +37,18 @@ pub struct RooflinePoint {
 impl RooflineModel {
     /// Creates a model with the default 16-byte nonzeros.
     pub fn new(bandwidth_gbps: f64) -> Self {
-        RooflineModel { bandwidth_gbps, bytes_per_nonzero: BYTES_PER_NONZERO as f64 }
+        RooflineModel {
+            bandwidth_gbps,
+            bytes_per_nonzero: BYTES_PER_NONZERO as f64,
+        }
     }
 
     /// Creates a model with an explicit per-nonzero byte count.
     pub fn with_bytes_per_nonzero(bandwidth_gbps: f64, bytes: f64) -> Self {
-        RooflineModel { bandwidth_gbps, bytes_per_nonzero: bytes }
+        RooflineModel {
+            bandwidth_gbps,
+            bytes_per_nonzero: bytes,
+        }
     }
 
     /// Eq. 1: the AI upper bound `cf / b`.
@@ -96,7 +102,10 @@ impl RooflineModel {
             .map(|i| {
                 let t = i as f64 / (npoints - 1) as f64;
                 let ai = (log_min + t * (log_max - log_min)).exp();
-                RooflinePoint { ai, gflops: self.attainable_gflops(ai) }
+                RooflinePoint {
+                    ai,
+                    gflops: self.attainable_gflops(ai),
+                }
             })
             .collect()
     }
@@ -111,9 +120,18 @@ impl RooflineModel {
             self.ai_upper_bound(cf),
         ];
         [
-            RooflinePoint { ai: ais[0], gflops: self.attainable_gflops(ais[0]) },
-            RooflinePoint { ai: ais[1], gflops: self.attainable_gflops(ais[1]) },
-            RooflinePoint { ai: ais[2], gflops: self.attainable_gflops(ais[2]) },
+            RooflinePoint {
+                ai: ais[0],
+                gflops: self.attainable_gflops(ais[0]),
+            },
+            RooflinePoint {
+                ai: ais[1],
+                gflops: self.attainable_gflops(ais[1]),
+            },
+            RooflinePoint {
+                ai: ais[2],
+                gflops: self.attainable_gflops(ais[2]),
+            },
         ]
     }
 }
@@ -148,7 +166,10 @@ mod tests {
             let lower_col = m.ai_column_lower_bound(cf);
             let lower_outer = m.ai_outer_lower_bound(cf);
             let upper = m.ai_upper_bound(cf);
-            assert!(lower_outer < upper, "outer bound must stay below the upper bound");
+            assert!(
+                lower_outer < upper,
+                "outer bound must stay below the upper bound"
+            );
             assert!(lower_col < upper);
             assert!(lower_outer > 0.0 && lower_col > 0.0);
         }
@@ -166,8 +187,10 @@ mod tests {
         }
         let gap_small = m.ai_column_lower_bound(1.0) / m.ai_outer_lower_bound(1.0);
         let gap_large = m.ai_column_lower_bound(16.0) / m.ai_outer_lower_bound(16.0);
-        assert!(gap_small < gap_large,
-            "relative advantage of column SpGEMM grows with cf: {gap_small} vs {gap_large}");
+        assert!(
+            gap_small < gap_large,
+            "relative advantage of column SpGEMM grows with cf: {gap_small} vs {gap_large}"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { elements: 1 << 24, ntimes: 5, threads: None }
+        StreamConfig {
+            elements: 1 << 24,
+            ntimes: 5,
+            threads: None,
+        }
     }
 }
 
@@ -40,13 +44,21 @@ impl StreamConfig {
     /// A faster configuration for smoke runs: 16 MiB arrays are still well
     /// beyond any L3 cache but keep the run under a second.
     pub fn quick() -> Self {
-        StreamConfig { elements: 1 << 21, ntimes: 2, threads: None }
+        StreamConfig {
+            elements: 1 << 21,
+            ntimes: 2,
+            threads: None,
+        }
     }
 
     /// A tiny configuration for unit tests only (arrays may fit in cache, so
     /// the resulting figure is not a memory bandwidth).
     pub fn tiny() -> Self {
-        StreamConfig { elements: 1 << 16, ntimes: 1, threads: None }
+        StreamConfig {
+            elements: 1 << 16,
+            ntimes: 1,
+            threads: None,
+        }
     }
 }
 
@@ -99,10 +111,14 @@ fn run_kernels(config: &StreamConfig) -> StreamResult {
     let mut c = vec![0.0f64; n];
 
     let copy = timed_best(config.ntimes, 16.0 * n as f64, || {
-        c.par_iter_mut().zip(a.par_iter()).for_each(|(ci, &ai)| *ci = ai);
+        c.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(ci, &ai)| *ci = ai);
     });
     let scale = timed_best(config.ntimes, 16.0 * n as f64, || {
-        b.par_iter_mut().zip(c.par_iter()).for_each(|(bi, &ci)| *bi = scalar * ci);
+        b.par_iter_mut()
+            .zip(c.par_iter())
+            .for_each(|(bi, &ci)| *bi = scalar * ci);
     });
     let add = timed_best(config.ntimes, 24.0 * n as f64, || {
         c.par_iter_mut()
@@ -118,7 +134,12 @@ fn run_kernels(config: &StreamConfig) -> StreamResult {
     let checksum: f64 = a[0] + b[n / 2] + c[n - 1];
     assert!(checksum.is_finite());
 
-    StreamResult { copy, scale, add, triad }
+    StreamResult {
+        copy,
+        scale,
+        add,
+        triad,
+    }
 }
 
 /// Runs the STREAM benchmark with the given configuration.
@@ -146,7 +167,10 @@ mod tests {
     fn quick_run_produces_positive_bandwidths() {
         let r = run(&StreamConfig::tiny());
         for v in [r.copy, r.scale, r.add, r.triad] {
-            assert!(v.is_finite() && v > 0.0, "bandwidth must be positive, got {v}");
+            assert!(
+                v.is_finite() && v > 0.0,
+                "bandwidth must be positive, got {v}"
+            );
             // Sanity: no machine moves more than 10 TB/s from DRAM-ish
             // buffers, and even a tiny VM should exceed 0.01 GB/s.
             assert!(v < 10_000.0 && v > 0.01);
@@ -157,7 +181,11 @@ mod tests {
 
     #[test]
     fn single_thread_run_works() {
-        let cfg = StreamConfig { elements: 1 << 16, ntimes: 1, threads: Some(1) };
+        let cfg = StreamConfig {
+            elements: 1 << 16,
+            ntimes: 1,
+            threads: Some(1),
+        };
         let r = run(&cfg);
         assert!(r.copy > 0.0 && r.triad > 0.0);
     }

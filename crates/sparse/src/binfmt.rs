@@ -74,11 +74,14 @@ impl_binary_scalar!(
 );
 
 fn bin_err(detail: impl Into<String>) -> SparseError {
-    SparseError::Binary { detail: detail.into() }
+    SparseError::Binary {
+        detail: detail.into(),
+    }
 }
 
 fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), SparseError> {
-    r.read_exact(buf).map_err(|e| bin_err(format!("short read while reading {what}: {e}")))
+    r.read_exact(buf)
+        .map_err(|e| bin_err(format!("short read while reading {what}: {e}")))
 }
 
 fn read_u32<R: Read>(r: &mut R, what: &str) -> Result<u32, SparseError> {
@@ -142,7 +145,9 @@ pub fn read_csr_from<R: Read, T: BinaryScalar>(mut r: R) -> Result<Csr<T>, Spars
     }
     let version = read_u32(&mut r, "version")?;
     if version != VERSION {
-        return Err(bin_err(format!("unsupported version {version} (this build reads {VERSION})")));
+        return Err(bin_err(format!(
+            "unsupported version {version} (this build reads {VERSION})"
+        )));
     }
     let tag = read_u32(&mut r, "type tag")?;
     if tag != T::TAG {
@@ -200,7 +205,13 @@ mod tests {
         Coo::from_entries(
             5,
             7,
-            vec![(0, 0, 1.5), (0, 6, -2.0), (2, 3, 0.25), (4, 1, 1e300), (4, 6, -0.0)],
+            vec![
+                (0, 0, 1.5),
+                (0, 6, -2.0),
+                (2, 3, 0.25),
+                (4, 1, 1e300),
+                (4, 6, -0.0),
+            ],
         )
         .unwrap()
         .to_csr()

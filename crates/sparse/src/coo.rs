@@ -88,7 +88,13 @@ impl<T: Scalar> Coo<T> {
                 });
             }
         }
-        Ok(Coo { nrows, ncols, rows, cols, vals })
+        Ok(Coo {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        })
     }
 
     /// Builds a matrix from parallel arrays without validating entry bounds.
@@ -109,7 +115,13 @@ impl<T: Scalar> Coo<T> {
         debug_assert_eq!(rows.len(), vals.len());
         debug_assert!(rows.iter().all(|&r| (r as usize) < nrows));
         debug_assert!(cols.iter().all(|&c| (c as usize) < ncols));
-        Coo { nrows, ncols, rows, cols, vals }
+        Coo {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        }
     }
 
     /// Appends one entry.
@@ -343,7 +355,13 @@ mod tests {
         Coo::from_entries(
             3,
             4,
-            vec![(2, 1, 3.0), (0, 0, 1.0), (1, 3, 2.0), (0, 0, 4.0), (2, 3, -1.0)],
+            vec![
+                (2, 1, 3.0),
+                (0, 0, 1.0),
+                (1, 3, 2.0),
+                (0, 0, 4.0),
+                (2, 3, -1.0),
+            ],
         )
         .unwrap()
     }

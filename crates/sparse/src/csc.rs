@@ -50,7 +50,13 @@ impl<T: Scalar> Csc<T> {
         // transpose, then undo the reinterpretation.
         let csr = Csr::from_parts(ncols, nrows, colptr, rowidx, values)?;
         let (ncols, nrows, colptr, rowidx, values) = csr.into_parts();
-        Ok(Csc { nrows, ncols, colptr, rowidx, values })
+        Ok(Csc {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        })
     }
 
     /// Builds a CSC matrix from raw arrays without validation (checked in
@@ -66,7 +72,13 @@ impl<T: Scalar> Csc<T> {
         debug_assert_eq!(*colptr.last().unwrap_or(&0), rowidx.len());
         debug_assert_eq!(rowidx.len(), values.len());
         debug_assert!(rowidx.iter().all(|&r| (r as usize) < nrows || nrows == 0));
-        Csc { nrows, ncols, colptr, rowidx, values }
+        Csc {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -149,19 +161,33 @@ impl<T: Scalar> Csc<T> {
     pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
         (0..self.ncols).flat_map(move |j| {
             let (rows, vals) = self.col(j);
-            rows.iter().zip(vals).map(move |(&r, &v)| (r, j as Index, v))
+            rows.iter()
+                .zip(vals)
+                .map(move |(&r, &v)| (r, j as Index, v))
         })
     }
 
     /// Consumes the matrix and returns `(nrows, ncols, colptr, rowidx, values)`.
     pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<Index>, Vec<T>) {
-        (self.nrows, self.ncols, self.colptr, self.rowidx, self.values)
+        (
+            self.nrows,
+            self.ncols,
+            self.colptr,
+            self.rowidx,
+            self.values,
+        )
     }
 
     /// Reinterprets this CSC matrix as the CSR representation of its
     /// transpose (no data movement).
     pub fn transpose_into_csr(self) -> Csr<T> {
-        Csr::from_parts_unchecked(self.ncols, self.nrows, self.colptr, self.rowidx, self.values)
+        Csr::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.colptr,
+            self.rowidx,
+            self.values,
+        )
     }
 
     /// Borrows this CSC matrix as the CSR representation of its transpose.
@@ -341,13 +367,8 @@ mod tests {
     #[test]
     fn sort_and_sum_duplicates() {
         // Column 0 has entries (1, 2.0), (0, 1.0), (1, 5.0) -> unsorted + dup.
-        let mut m = Csc::<f64>::from_parts_unchecked(
-            2,
-            1,
-            vec![0, 3],
-            vec![1, 0, 1],
-            vec![2.0, 1.0, 5.0],
-        );
+        let mut m =
+            Csc::<f64>::from_parts_unchecked(2, 1, vec![0, 3], vec![1, 0, 1], vec![2.0, 1.0, 5.0]);
         assert!(!m.has_sorted_indices());
         m.sort_indices();
         assert!(m.has_sorted_indices());

@@ -62,7 +62,11 @@ impl<T: Scalar> Csr<T> {
         }
         if rowptr.len() != nrows + 1 {
             return Err(SparseError::MalformedOffsets {
-                detail: format!("rowptr length {} != nrows + 1 = {}", rowptr.len(), nrows + 1),
+                detail: format!(
+                    "rowptr length {} != nrows + 1 = {}",
+                    rowptr.len(),
+                    nrows + 1
+                ),
             });
         }
         if rowptr[0] != 0 {
@@ -91,12 +95,27 @@ impl<T: Scalar> Csr<T> {
                 vals: values.len(),
             });
         }
-        if let Some((pos, &c)) = colidx.iter().enumerate().find(|&(_, &c)| c as usize >= ncols) {
+        if let Some((pos, &c)) = colidx
+            .iter()
+            .enumerate()
+            .find(|&(_, &c)| c as usize >= ncols)
+        {
             // Recover the row containing `pos` for a useful error message.
             let row = rowptr.partition_point(|&p| p <= pos).saturating_sub(1);
-            return Err(SparseError::IndexOutOfBounds { row, col: c as usize, nrows, ncols });
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col: c as usize,
+                nrows,
+                ncols,
+            });
         }
-        Ok(Csr { nrows, ncols, rowptr, colidx, values })
+        Ok(Csr {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        })
     }
 
     /// Builds a CSR matrix from raw arrays without validation.
@@ -116,7 +135,13 @@ impl<T: Scalar> Csr<T> {
         debug_assert_eq!(*rowptr.last().unwrap(), colidx.len());
         debug_assert_eq!(colidx.len(), values.len());
         debug_assert!(colidx.iter().all(|&c| (c as usize) < ncols || ncols == 0));
-        Csr { nrows, ncols, rowptr, colidx, values }
+        Csr {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -222,13 +247,21 @@ impl<T: Scalar> Csr<T> {
     pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
         (0..self.nrows).flat_map(move |i| {
             let (cols, vals) = self.row(i);
-            cols.iter().zip(vals).map(move |(&c, &v)| (i as Index, c, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (i as Index, c, v))
         })
     }
 
     /// Consumes the matrix and returns `(nrows, ncols, rowptr, colidx, values)`.
     pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<Index>, Vec<T>) {
-        (self.nrows, self.ncols, self.rowptr, self.colidx, self.values)
+        (
+            self.nrows,
+            self.ncols,
+            self.rowptr,
+            self.colidx,
+            self.values,
+        )
     }
 
     /// Returns `true` if column indices are sorted within every row.
@@ -292,7 +325,10 @@ impl<T: Scalar> Csr<T> {
     where
         S: Semiring<Elem = T>,
     {
-        debug_assert!(self.has_sorted_indices(), "sum_duplicates_with requires sorted indices");
+        debug_assert!(
+            self.has_sorted_indices(),
+            "sum_duplicates_with requires sorted indices"
+        );
         if !self.has_duplicates() {
             return;
         }
@@ -349,7 +385,13 @@ impl<T: Scalar> Csr<T> {
             }
             rowptr.push(colidx.len());
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colidx, values }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            values,
+        }
     }
 
     /// Converts to COO (triplet) format, preserving entry order.
@@ -400,7 +442,13 @@ impl<T: Scalar> Csr<T> {
     /// Reinterprets this CSR matrix as the CSC representation of its
     /// transpose (no data movement: `A` in CSR is `Aᵀ` in CSC).
     pub fn transpose_into_csc(self) -> Csc<T> {
-        Csc::from_parts_unchecked(self.ncols, self.nrows, self.rowptr, self.colidx, self.values)
+        Csc::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.rowptr,
+            self.colidx,
+            self.values,
+        )
     }
 
     /// Converts to a dense matrix.
@@ -527,17 +575,13 @@ mod tests {
         // Wrong rowptr length.
         assert!(Csr::<f64>::from_parts(3, 3, vec![0, 1], vec![0], vec![1.0]).is_err());
         // Non-monotone rowptr.
-        assert!(
-            Csr::<f64>::from_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
-        );
+        assert!(Csr::<f64>::from_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
         // rowptr does not start at zero.
         assert!(Csr::<f64>::from_parts(1, 3, vec![1, 1], vec![], vec![]).is_err());
         // Last rowptr entry disagrees with nnz.
         assert!(Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![0], vec![1.0]).is_err());
         // Column out of bounds.
-        assert!(
-            Csr::<f64>::from_parts(2, 3, vec![0, 1, 2], vec![0, 7], vec![1.0, 1.0]).is_err()
-        );
+        assert!(Csr::<f64>::from_parts(2, 3, vec![0, 1, 2], vec![0, 7], vec![1.0, 1.0]).is_err());
         // Value / index length mismatch.
         assert!(Csr::<f64>::from_parts(1, 3, vec![0, 1], vec![0], vec![]).is_err());
     }

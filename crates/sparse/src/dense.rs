@@ -19,7 +19,11 @@ pub struct Dense<T> {
 impl<T: Scalar> Dense<T> {
     /// Creates a matrix with every element equal to `fill`.
     pub fn filled(nrows: usize, ncols: usize, fill: T) -> Self {
-        Dense { nrows, ncols, data: vec![fill; nrows * ncols] }
+        Dense {
+            nrows,
+            ncols,
+            data: vec![fill; nrows * ncols],
+        }
     }
 
     /// Builds a dense matrix from a row-major data vector.
@@ -27,7 +31,11 @@ impl<T: Scalar> Dense<T> {
     /// # Panics
     /// Panics if `data.len() != nrows * ncols`.
     pub fn from_vec(nrows: usize, ncols: usize, data: Vec<T>) -> Self {
-        assert_eq!(data.len(), nrows * ncols, "dense data length must equal nrows * ncols");
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "dense data length must equal nrows * ncols"
+        );
         Dense { nrows, ncols, data }
     }
 
@@ -87,7 +95,8 @@ impl<T: Scalar> Dense<T> {
         S: Semiring<Elem = T>,
     {
         assert_eq!(
-            self.ncols, other.nrows,
+            self.ncols,
+            other.nrows,
             "dense multiply shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -198,11 +207,11 @@ mod tests {
     #[test]
     fn multiply_boolean_semiring_is_reachability() {
         // Path graph 0 -> 1 -> 2; two-hop reachability is only 0 -> 2.
-        let a = Dense::from_vec(3, 3, vec![
-            false, true, false,
-            false, false, true,
-            false, false, false,
-        ]);
+        let a = Dense::from_vec(
+            3,
+            3,
+            vec![false, true, false, false, false, true, false, false, false],
+        );
         let c = a.multiply_with::<OrAnd>(&a);
         assert!(c[(0, 2)]);
         assert_eq!(c.data().iter().filter(|&&v| v).count(), 1);
@@ -212,11 +221,7 @@ mod tests {
     fn multiply_min_plus_finds_shortest_two_hop_path() {
         let inf = f64::INFINITY;
         // 0 -> 1 (cost 1), 1 -> 2 (cost 2), 0 -> 2 direct is not an edge.
-        let a = Dense::from_vec(3, 3, vec![
-            inf, 1.0, inf,
-            inf, inf, 2.0,
-            inf, inf, inf,
-        ]);
+        let a = Dense::from_vec(3, 3, vec![inf, 1.0, inf, inf, inf, 2.0, inf, inf, inf]);
         let c = a.multiply_with::<MinPlus>(&a);
         assert_eq!(c[(0, 2)], 3.0);
         assert_eq!(c[(0, 1)], inf);

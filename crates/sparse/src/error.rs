@@ -68,7 +68,12 @@ impl fmt::Display for SparseError {
             SparseError::DimensionTooLarge { dim } => {
                 write!(f, "matrix dimension {dim} exceeds the u32 index space")
             }
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix bounds"
             ),
@@ -113,18 +118,33 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 4, ncols: 4 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            nrows: 4,
+            ncols: 4,
+        };
         let msg = e.to_string();
         assert!(msg.contains("(5, 7)"));
         assert!(msg.contains("4x4"));
 
-        let e = SparseError::ShapeMismatch { left: (3, 4), right: (5, 6), op: "multiply" };
+        let e = SparseError::ShapeMismatch {
+            left: (3, 4),
+            right: (5, 6),
+            op: "multiply",
+        };
         assert!(e.to_string().contains("multiply"));
 
-        let e = SparseError::MatrixMarket { line: 12, detail: "bad header".into() };
+        let e = SparseError::MatrixMarket {
+            line: 12,
+            detail: "bad header".into(),
+        };
         assert!(e.to_string().contains("line 12"));
 
-        let e = SparseError::MatrixMarket { line: 0, detail: "empty file".into() };
+        let e = SparseError::MatrixMarket {
+            line: 0,
+            detail: "empty file".into(),
+        };
         assert!(!e.to_string().contains("line 0"));
     }
 

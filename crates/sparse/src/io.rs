@@ -66,12 +66,17 @@ pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<(Coo<f64>, MmHeader
                 }
             }
             None => {
-                return Err(SparseError::MatrixMarket { line: 0, detail: "empty file".into() })
+                return Err(SparseError::MatrixMarket {
+                    line: 0,
+                    detail: "empty file".into(),
+                })
             }
         }
     };
-    let tokens: Vec<String> =
-        header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(SparseError::MatrixMarket {
             line: line_no,
@@ -81,7 +86,10 @@ pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<(Coo<f64>, MmHeader
     if tokens[2] != "coordinate" {
         return Err(SparseError::MatrixMarket {
             line: line_no,
-            detail: format!("unsupported format {:?} (only 'coordinate' is supported)", tokens[2]),
+            detail: format!(
+                "unsupported format {:?} (only 'coordinate' is supported)",
+                tokens[2]
+            ),
         });
     }
     let field = match tokens[3].as_str() {
@@ -147,7 +155,11 @@ pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<(Coo<f64>, MmHeader
     let mut coo = Coo::with_capacity(
         nrows,
         ncols,
-        if symmetry == MmSymmetry::General { declared_nnz } else { declared_nnz * 2 },
+        if symmetry == MmSymmetry::General {
+            declared_nnz
+        } else {
+            declared_nnz * 2
+        },
     )?;
     let mut seen = 0usize;
     for (i, line) in lines {

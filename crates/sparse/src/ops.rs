@@ -19,11 +19,7 @@ use crate::{Index, Scalar};
 
 /// Merges the per-row outputs produced by a parallel row pass into one CSR
 /// matrix.
-fn assemble_rows<T: Scalar>(
-    nrows: usize,
-    ncols: usize,
-    rows: Vec<(Vec<Index>, Vec<T>)>,
-) -> Csr<T> {
+fn assemble_rows<T: Scalar>(nrows: usize, ncols: usize, rows: Vec<(Vec<Index>, Vec<T>)>) -> Csr<T> {
     let nnz: usize = rows.iter().map(|(c, _)| c.len()).sum();
     let mut rowptr = Vec::with_capacity(nrows + 1);
     let mut colidx = Vec::with_capacity(nnz);
@@ -43,7 +39,11 @@ fn assemble_rows<T: Scalar>(
 /// present in both are merged with `S::add`.  Both inputs must have the same
 /// shape and canonical (sorted) rows.
 pub fn add_with<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
-    assert_eq!(a.shape(), b.shape(), "element-wise add requires equal shapes");
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "element-wise add requires equal shapes"
+    );
     debug_assert!(a.has_sorted_indices() && b.has_sorted_indices());
     let rows: Vec<(Vec<Index>, Vec<S::Elem>)> = (0..a.nrows())
         .into_par_iter()
@@ -93,7 +93,11 @@ pub fn add<T: Numeric>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
 /// Only coordinates stored in **both** inputs appear in the output.  Both
 /// inputs must have the same shape and canonical rows.
 pub fn hadamard_with<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
-    assert_eq!(a.shape(), b.shape(), "hadamard product requires equal shapes");
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "hadamard product requires equal shapes"
+    );
     debug_assert!(a.has_sorted_indices() && b.has_sorted_indices());
     let rows: Vec<(Vec<Index>, Vec<S::Elem>)> = (0..a.nrows())
         .into_par_iter()
@@ -162,12 +166,19 @@ pub fn mask_by_pattern<T: Scalar, M: Scalar>(a: &Csr<T>, mask: &Csr<M>) -> Csr<T
 
 /// Scales row `i` of `A` by `factors[i]` (`A(i, j) ← factors[i] × A(i, j)`).
 pub fn scale_rows<T: Numeric>(a: &Csr<T>, factors: &[T]) -> Csr<T> {
-    assert_eq!(factors.len(), a.nrows(), "one scale factor per row is required");
+    assert_eq!(
+        factors.len(),
+        a.nrows(),
+        "one scale factor per row is required"
+    );
     let rows: Vec<(Vec<Index>, Vec<T>)> = (0..a.nrows())
         .into_par_iter()
         .map(|i| {
             let (cols, vals) = a.row(i);
-            (cols.to_vec(), vals.iter().map(|&v| factors[i] * v).collect())
+            (
+                cols.to_vec(),
+                vals.iter().map(|&v| factors[i] * v).collect(),
+            )
         })
         .collect();
     assemble_rows(a.nrows(), a.ncols(), rows)
@@ -175,14 +186,21 @@ pub fn scale_rows<T: Numeric>(a: &Csr<T>, factors: &[T]) -> Csr<T> {
 
 /// Scales column `j` of `A` by `factors[j]` (`A(i, j) ← A(i, j) × factors[j]`).
 pub fn scale_cols<T: Numeric>(a: &Csr<T>, factors: &[T]) -> Csr<T> {
-    assert_eq!(factors.len(), a.ncols(), "one scale factor per column is required");
+    assert_eq!(
+        factors.len(),
+        a.ncols(),
+        "one scale factor per column is required"
+    );
     let rows: Vec<(Vec<Index>, Vec<T>)> = (0..a.nrows())
         .into_par_iter()
         .map(|i| {
             let (cols, vals) = a.row(i);
             (
                 cols.to_vec(),
-                cols.iter().zip(vals).map(|(&c, &v)| v * factors[c as usize]).collect(),
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * factors[c as usize])
+                    .collect(),
             )
         })
         .collect();
@@ -271,7 +289,10 @@ pub fn frobenius_norm(a: &Csr<f64>) -> f64 {
 
 /// Largest absolute stored value of a real matrix (`0` for an empty matrix).
 pub fn max_abs(a: &Csr<f64>) -> f64 {
-    a.values().par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
+    a.values()
+        .par_iter()
+        .map(|v| v.abs())
+        .reduce(|| 0.0, f64::max)
 }
 
 /// Symmetrises `A` structurally and numerically: `A ⊕ Aᵀ` under the
@@ -301,7 +322,10 @@ pub fn pattern_is_symmetric<T: Scalar + Default>(a: &Csr<T>) -> bool {
 /// This is the normalisation step of Markov clustering and PageRank.
 pub fn column_stochastic(a: &Csr<f64>) -> Csr<f64> {
     let sums = col_sums::<f64>(a);
-    let inv: Vec<f64> = sums.iter().map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 }).collect();
+    let inv: Vec<f64> = sums
+        .iter()
+        .map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 })
+        .collect();
     scale_cols(a, &inv)
 }
 
@@ -309,7 +333,10 @@ pub fn column_stochastic(a: &Csr<f64>) -> Csr<f64> {
 /// is scaled so its entries sum to one.  Empty rows are left empty.
 pub fn row_stochastic(a: &Csr<f64>) -> Csr<f64> {
     let sums = row_sums::<f64>(a);
-    let inv: Vec<f64> = sums.iter().map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 }).collect();
+    let inv: Vec<f64> = sums
+        .iter()
+        .map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 })
+        .collect();
     scale_rows(a, &inv)
 }
 
@@ -324,7 +351,14 @@ mod tests {
         Coo::from_entries(
             4,
             4,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 3, -1.0), (3, 3, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 3, -1.0),
+                (3, 3, 5.0),
+            ],
         )
         .unwrap()
         .to_csr()
@@ -334,7 +368,13 @@ mod tests {
         Coo::from_entries(
             4,
             4,
-            vec![(0, 0, 10.0), (0, 1, 1.0), (1, 1, -3.0), (2, 3, 2.0), (3, 0, 7.0)],
+            vec![
+                (0, 0, 10.0),
+                (0, 1, 1.0),
+                (1, 1, -3.0),
+                (2, 3, 2.0),
+                (3, 0, 7.0),
+            ],
         )
         .unwrap()
         .to_csr()
@@ -347,7 +387,11 @@ mod tests {
         let slow = reference::add_csr_with::<PlusTimes<f64>>(&a, &b);
         assert!(reference::csr_approx_eq(&fast, &slow, 1e-12));
         assert_eq!(fast.get(0, 0), Some(11.0));
-        assert_eq!(fast.get(1, 1), Some(0.0), "cancellation keeps an explicit zero");
+        assert_eq!(
+            fast.get(1, 1),
+            Some(0.0),
+            "cancellation keeps an explicit zero"
+        );
         assert_eq!(fast.get(0, 1), Some(1.0));
     }
 
@@ -388,7 +432,11 @@ mod tests {
         let (a, b) = (sample_a(), sample_b());
         let masked = mask_by_pattern(&a, &b);
         assert_eq!(masked.nnz(), 3);
-        assert_eq!(masked.get(0, 0), Some(1.0), "value comes from A, structure from the mask");
+        assert_eq!(
+            masked.get(0, 0),
+            Some(1.0),
+            "value comes from A, structure from the mask"
+        );
         assert_eq!(masked.get(1, 1), Some(3.0));
         assert_eq!(masked.get(2, 3), Some(-1.0));
         assert_eq!(masked.get(0, 2), None);

@@ -17,7 +17,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation on `n` items.
     pub fn identity(n: usize) -> Self {
-        Permutation { forward: (0..n as Index).collect() }
+        Permutation {
+            forward: (0..n as Index).collect(),
+        }
     }
 
     /// Builds a permutation from `perm[new] = old`, validating that it is a
@@ -63,14 +65,21 @@ impl Permutation {
 
     /// Whether this is the identity permutation.
     pub fn is_identity(&self) -> bool {
-        self.forward.iter().enumerate().all(|(i, &p)| i as Index == p)
+        self.forward
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| i as Index == p)
     }
 }
 
 /// Permutes the rows of a CSR matrix: row `i` of the result is row
 /// `perm[i]` of the input.
 pub fn permute_rows<T: Scalar>(m: &Csr<T>, perm: &Permutation) -> Csr<T> {
-    assert_eq!(perm.len(), m.nrows(), "row permutation length must equal nrows");
+    assert_eq!(
+        perm.len(),
+        m.nrows(),
+        "row permutation length must equal nrows"
+    );
     let mut rowptr = Vec::with_capacity(m.nrows() + 1);
     rowptr.push(0usize);
     let mut colidx = Vec::with_capacity(m.nnz());
@@ -88,7 +97,11 @@ pub fn permute_rows<T: Scalar>(m: &Csr<T>, perm: &Permutation) -> Csr<T> {
 /// column `inv(perm)[j]` of the result, so that
 /// `permute_cols(M, p).get(i, new) == M.get(i, p[new])`.
 pub fn permute_cols<T: Scalar>(m: &Csr<T>, perm: &Permutation) -> Csr<T> {
-    assert_eq!(perm.len(), m.ncols(), "column permutation length must equal ncols");
+    assert_eq!(
+        perm.len(),
+        m.ncols(),
+        "column permutation length must equal ncols"
+    );
     let inv = perm.inverse();
     let mut out = m.clone();
     let (nrows, ncols, rowptr, mut colidx, values) = out.into_parts();
@@ -115,9 +128,13 @@ mod tests {
         // [ 1 2 0 ]
         // [ 0 3 0 ]
         // [ 0 0 4 ]
-        Coo::from_entries(3, 3, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0), (2, 2, 4.0)])
-            .unwrap()
-            .to_csr()
+        Coo::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0), (2, 2, 4.0)],
+        )
+        .unwrap()
+        .to_csr()
     }
 
     #[test]

@@ -83,7 +83,11 @@ pub fn add_csr_with<S>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem>
 where
     S: Semiring,
 {
-    assert_eq!(a.shape(), b.shape(), "element-wise add requires equal shapes");
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "element-wise add requires equal shapes"
+    );
     let mut rowptr = vec![0usize];
     let mut colidx = Vec::new();
     let mut values = Vec::new();
@@ -92,7 +96,9 @@ where
         for (m, _) in [(a, 0), (b, 1)] {
             let (cols, vals) = m.row(i);
             for (&c, &v) in cols.iter().zip(vals) {
-                acc.entry(c).and_modify(|cur| *cur = S::add(*cur, v)).or_insert(v);
+                acc.entry(c)
+                    .and_modify(|cur| *cur = S::add(*cur, v))
+                    .or_insert(v);
             }
         }
         for (&c, &v) in &acc {
@@ -110,7 +116,11 @@ pub fn hadamard_csr_with<S>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem>
 where
     S: Semiring,
 {
-    assert_eq!(a.shape(), b.shape(), "hadamard product requires equal shapes");
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "hadamard product requires equal shapes"
+    );
     let mut rowptr = vec![0usize];
     let mut colidx = Vec::new();
     let mut values = Vec::new();
@@ -177,16 +187,28 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 3 0 ]
         // [ 4 0 5 ]
-        Coo::from_entries(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)])
-            .unwrap()
-            .to_csr()
+        Coo::from_entries(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+        .to_csr()
     }
 
     fn small_b() -> Csr<f64> {
         // [ 0 1 0 ]
         // [ 2 0 0 ]
         // [ 0 0 3 ]
-        Coo::from_entries(3, 3, vec![(0, 1, 1.0), (1, 0, 2.0), (2, 2, 3.0)]).unwrap().to_csr()
+        Coo::from_entries(3, 3, vec![(0, 1, 1.0), (1, 0, 2.0), (2, 2, 3.0)])
+            .unwrap()
+            .to_csr()
     }
 
     #[test]
@@ -244,7 +266,9 @@ mod tests {
     #[test]
     fn min_plus_two_hop_distances() {
         // Chain 0 -> 1 -> 2 with weights 1.5 and 2.5.
-        let a = Coo::from_entries(3, 3, vec![(0, 1, 1.5), (1, 2, 2.5)]).unwrap().to_csr();
+        let a = Coo::from_entries(3, 3, vec![(0, 1, 1.5), (1, 2, 2.5)])
+            .unwrap()
+            .to_csr();
         let c = multiply_csr_with::<MinPlus>(&a, &a);
         assert_eq!(c.nnz(), 1);
         assert_eq!(c.get(0, 2), Some(4.0));
@@ -295,8 +319,10 @@ mod tests {
     fn approx_eq_ignoring_zeros() {
         let a = small_a();
         // Same matrix but with an explicitly stored zero entry added.
-        let mut entries: Vec<(usize, usize, f64)> =
-            a.iter().map(|(r, c, v)| (r as usize, c as usize, v)).collect();
+        let mut entries: Vec<(usize, usize, f64)> = a
+            .iter()
+            .map(|(r, c, v)| (r as usize, c as usize, v))
+            .collect();
         entries.push((1, 2, 0.0));
         let b = Coo::from_entries(3, 3, entries).unwrap().to_csr();
         assert!(!csr_approx_eq(&a, &b, 1e-12));

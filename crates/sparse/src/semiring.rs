@@ -57,10 +57,7 @@ pub trait Semiring: Copy + Send + Sync + Debug + Default + 'static {
 /// Helper trait describing primitive numeric types usable with [`PlusTimes`]
 /// and [`MaxTimes`].
 pub trait Numeric:
-    Scalar
-    + std::ops::Add<Output = Self>
-    + std::ops::Mul<Output = Self>
-    + PartialOrd
+    Scalar + std::ops::Add<Output = Self> + std::ops::Mul<Output = Self> + PartialOrd
 {
     /// Additive identity of the plain numeric type.
     fn zero_value() -> Self;

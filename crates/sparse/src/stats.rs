@@ -46,7 +46,11 @@ impl MultiplyStats {
         assert_eq!(a.ncols(), b.nrows(), "stats require compatible shapes");
         let flop = flop_csr(a, b);
         let nnz_c = symbolic_nnz(a, b);
-        let cf = if nnz_c == 0 { 1.0 } else { flop as f64 / nnz_c as f64 };
+        let cf = if nnz_c == 0 {
+            1.0
+        } else {
+            flop as f64 / nnz_c as f64
+        };
         MultiplyStats {
             nrows: a.nrows(),
             ncols: b.ncols(),
@@ -97,7 +101,11 @@ pub fn flop_rows<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> Vec<u64> {
 /// Outer-product flop count with `A` in CSC and `B` in CSR (Algorithm 3 of
 /// the paper): `Σ_i nnz(A(:,i)) · nnz(B(i,:))`.
 pub fn flop_outer<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csr<U>) -> u64 {
-    assert_eq!(a.ncols(), b.nrows(), "flop_outer requires compatible shapes");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "flop_outer requires compatible shapes"
+    );
     let a_colptr = a.colptr();
     let b_rowptr = b.rowptr();
     (0..a.ncols())
@@ -112,7 +120,11 @@ pub fn flop_outer<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csr<U>) -> u64 {
 
 /// Exact `nnz(C)` for `C = A·B` via a row-parallel symbolic multiplication.
 pub fn symbolic_nnz<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> usize {
-    assert_eq!(a.ncols(), b.nrows(), "symbolic_nnz requires compatible shapes");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "symbolic_nnz requires compatible shapes"
+    );
     let ncols = b.ncols();
     (0..a.nrows())
         .into_par_iter()
@@ -141,7 +153,11 @@ pub fn symbolic_nnz<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> usize {
 /// Exact per-row `nnz(C)` (the symbolic phase column SpGEMM algorithms need
 /// to pre-allocate their output).
 pub fn symbolic_row_nnz<T: Scalar, U: Scalar>(a: &Csr<T>, b: &Csr<U>) -> Vec<usize> {
-    assert_eq!(a.ncols(), b.nrows(), "symbolic_row_nnz requires compatible shapes");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "symbolic_row_nnz requires compatible shapes"
+    );
     let ncols = b.ncols();
     (0..a.nrows())
         .into_par_iter()
@@ -199,8 +215,11 @@ pub fn degree_gini<T: Scalar>(m: &Csr<T>) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let weighted: f64 =
-        degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
+    let weighted: f64 = degrees
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+        .sum();
     (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
 }
 
@@ -259,9 +278,19 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 3 0 ]
         // [ 4 0 5 ]
-        Coo::from_entries(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)])
-            .unwrap()
-            .to_csr()
+        Coo::from_entries(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+        .to_csr()
     }
 
     #[test]
@@ -301,7 +330,10 @@ mod tests {
         assert_eq!(s.flop, 9);
         assert_eq!(s.nnz_c, multiply_csr(&a, &a).nnz());
         assert!((s.cf - s.flop as f64 / s.nnz_c as f64).abs() < 1e-12);
-        assert!(s.cf >= 1.0, "at least one multiplication per output nonzero");
+        assert!(
+            s.cf >= 1.0,
+            "at least one multiplication per output nonzero"
+        );
         let (f, n, cf) = flop_nnz_cf(&a, &a);
         assert_eq!((f, n), (s.flop, s.nnz_c));
         assert_eq!(cf, s.cf);

@@ -22,7 +22,11 @@ pub struct SparseVec<T> {
 impl<T: Scalar> SparseVec<T> {
     /// An empty (all-zero) vector of logical length `len`.
     pub fn zeros(len: usize) -> Self {
-        SparseVec { len, idx: Vec::new(), vals: Vec::new() }
+        SparseVec {
+            len,
+            idx: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Builds a sparse vector from `(index, value)` pairs.
@@ -40,7 +44,12 @@ impl<T: Scalar> SparseVec<T> {
         let mut pairs: Vec<(Index, T)> = Vec::with_capacity(entries.len());
         for (i, v) in entries {
             if i >= len {
-                return Err(SparseError::IndexOutOfBounds { row: i, col: 0, nrows: len, ncols: 1 });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: i,
+                    col: 0,
+                    nrows: len,
+                    ncols: 1,
+                });
             }
             pairs.push((i as Index, v));
         }
@@ -79,7 +88,11 @@ impl<T: Scalar> SparseVec<T> {
                 vals.push(v);
             }
         }
-        SparseVec { len: dense.len(), idx, vals }
+        SparseVec {
+            len: dense.len(),
+            idx,
+            vals,
+        }
     }
 
     /// Expands to a dense vector, filling missing positions with `zero`.
@@ -123,7 +136,10 @@ impl<T: Scalar> SparseVec<T> {
 
     /// Looks up position `i`; `None` when it is not stored.
     pub fn get(&self, i: usize) -> Option<T> {
-        self.idx.binary_search(&(i as Index)).ok().map(|k| self.vals[k])
+        self.idx
+            .binary_search(&(i as Index))
+            .ok()
+            .map(|k| self.vals[k])
     }
 
     /// Iterates over stored `(index, value)` pairs in index order.
@@ -150,7 +166,11 @@ impl<T: Scalar> SparseVec<T> {
                 vals.push(v);
             }
         }
-        SparseVec { len: self.len, idx, vals }
+        SparseVec {
+            len: self.len,
+            idx,
+            vals,
+        }
     }
 
     /// Sparse-sparse dot product under a semiring (`⊕` over `x_i ⊗ y_i`).
@@ -188,7 +208,10 @@ impl<T: Scalar> SparseVec<T> {
     where
         S: Semiring<Elem = T>,
     {
-        assert_eq!(self.len, other.len, "element-wise add requires equal lengths");
+        assert_eq!(
+            self.len, other.len,
+            "element-wise add requires equal lengths"
+        );
         let mut idx = Vec::with_capacity(self.nnz() + other.nnz());
         let mut vals = Vec::with_capacity(self.nnz() + other.nnz());
         let (mut p, mut q) = (0usize, 0usize);
@@ -216,7 +239,11 @@ impl<T: Scalar> SparseVec<T> {
         vals.extend_from_slice(&self.vals[p..]);
         idx.extend_from_slice(&other.idx[q..]);
         vals.extend_from_slice(&other.vals[q..]);
-        SparseVec { len: self.len, idx, vals }
+        SparseVec {
+            len: self.len,
+            idx,
+            vals,
+        }
     }
 }
 
@@ -258,7 +285,10 @@ pub fn dense_scale(alpha: f64, x: &mut [f64]) {
 /// Largest absolute difference between two vectors of equal length.
 pub fn dense_max_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "comparison requires equal lengths");
-    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -308,7 +338,7 @@ mod tests {
     fn sparse_dot_products() {
         let x = SparseVec::from_entries(6, vec![(0, 1.0), (2, 2.0), (5, 3.0)]).unwrap();
         let y = SparseVec::from_entries(6, vec![(2, 4.0), (3, 7.0), (5, -1.0)]).unwrap();
-        assert_eq!(x.dot(&y), 2.0 * 4.0 + 3.0 * -1.0);
+        assert_eq!(x.dot(&y), 2.0 * 4.0 + -3.0);
         assert_eq!(x.dot(&SparseVec::zeros(6)), 0.0);
         // Min-plus dot: min over shared indices of (x_i + y_i).
         assert_eq!(x.dot_with::<MinPlus>(&y), (2.0f64 + 4.0).min(3.0 - 1.0));

@@ -14,7 +14,11 @@ use rayon::prelude::*;
 
 /// Computes `y = A·x` under a semiring with `A` in CSC.
 pub fn csc_spmv_with<S: Semiring>(a: &Csc<S::Elem>, x: &[S::Elem]) -> Vec<S::Elem> {
-    assert_eq!(x.len(), a.ncols(), "x must have one element per matrix column");
+    assert_eq!(
+        x.len(),
+        a.ncols(),
+        "x must have one element per matrix column"
+    );
     let nrows = a.nrows();
     (0..a.ncols())
         .into_par_iter()
@@ -59,7 +63,13 @@ mod tests {
         let a = Coo::from_entries(
             3,
             3,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap();
         let y = csc_spmv(&a.to_csc(), &[1.0, 2.0, 3.0]);

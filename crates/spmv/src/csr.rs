@@ -22,7 +22,11 @@ pub fn csr_spmv_with<S: Semiring>(a: &Csr<S::Elem>, x: &[S::Elem]) -> Vec<S::Ele
 /// `y` must have exactly `a.nrows()` elements; it is overwritten (not
 /// accumulated into).
 pub fn csr_spmv_into_with<S: Semiring>(a: &Csr<S::Elem>, x: &[S::Elem], y: &mut [S::Elem]) {
-    assert_eq!(x.len(), a.ncols(), "x must have one element per matrix column");
+    assert_eq!(
+        x.len(),
+        a.ncols(),
+        "x must have one element per matrix column"
+    );
     assert_eq!(y.len(), a.nrows(), "y must have one element per matrix row");
     y.par_iter_mut().enumerate().for_each(|(i, yi)| {
         let (cols, vals) = a.row(i);
@@ -50,9 +54,19 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 3 0 ]
         // [ 4 0 5 ]
-        Coo::from_entries(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)])
-            .unwrap()
-            .to_csr()
+        Coo::from_entries(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+        .to_csr()
     }
 
     /// O(n·nnz) dense-gather oracle.
@@ -82,7 +96,9 @@ mod tests {
     fn matches_dense_oracle_on_random_matrices() {
         for seed in 0..3u64 {
             let a = erdos_renyi_square(7, 5, seed);
-            let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+            let x: Vec<f64> = (0..a.ncols())
+                .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
+                .collect();
             let y = csr_spmv(&a, &x);
             let expected = dense_oracle(&a, &x);
             for (p, q) in y.iter().zip(&expected) {
@@ -121,7 +137,7 @@ mod tests {
     #[test]
     fn empty_matrix_yields_zero_vector() {
         let a = Csr::<f64>::empty(4, 6);
-        assert_eq!(csr_spmv(&a, &vec![1.0; 6]), vec![0.0; 4]);
+        assert_eq!(csr_spmv(&a, &[1.0; 6]), vec![0.0; 4]);
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub enum SpmvEngine {
 impl SpmvEngine {
     /// All engines, for parameter sweeps.
     pub fn all() -> &'static [SpmvEngine] {
-        &[SpmvEngine::RowCsr, SpmvEngine::ColumnScatter, SpmvEngine::PropagationBlocking]
+        &[
+            SpmvEngine::RowCsr,
+            SpmvEngine::ColumnScatter,
+            SpmvEngine::PropagationBlocking,
+        ]
     }
 
     /// Short human-readable name used in benchmark tables.
@@ -99,7 +103,9 @@ mod tests {
     fn all_engines_agree() {
         let a = rmat_square(8, 6, 17);
         let a_csc = a.to_csc();
-        let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 13) as f64 * 0.25 - 1.0).collect();
+        let x: Vec<f64> = (0..a.ncols())
+            .map(|i| (i % 13) as f64 * 0.25 - 1.0)
+            .collect();
         let reference = csr_spmv(&a, &x);
         for engine in SpmvEngine::all() {
             let y = engine.run_with::<PlusTimes<f64>>(&a, &a_csc, &x);
@@ -108,7 +114,11 @@ mod tests {
                 .zip(&reference)
                 .map(|(p, q)| (p - q).abs())
                 .fold(0.0f64, f64::max);
-            assert!(max_diff < 1e-9, "{} disagrees with the CSR kernel", engine.name());
+            assert!(
+                max_diff < 1e-9,
+                "{} disagrees with the CSR kernel",
+                engine.name()
+            );
         }
         assert_eq!(SpmvEngine::all().len(), 3);
         assert_eq!(SpmvEngine::PropagationBlocking.name(), "pb");

@@ -85,7 +85,10 @@ impl PageRankResult {
     pub fn ranking(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.scores.len()).collect();
         order.sort_by(|&a, &b| {
-            self.scores[b].partial_cmp(&self.scores[a]).expect("scores are finite").then(a.cmp(&b))
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
         });
         order
     }
@@ -97,10 +100,19 @@ impl PageRankResult {
 /// Vertices with no out-edges (dangling nodes) distribute their mass
 /// uniformly, the standard correction.
 pub fn pagerank(adjacency: &Csr<f64>, config: &PageRankConfig) -> PageRankResult {
-    assert_eq!(adjacency.nrows(), adjacency.ncols(), "PageRank needs a square adjacency matrix");
+    assert_eq!(
+        adjacency.nrows(),
+        adjacency.ncols(),
+        "PageRank needs a square adjacency matrix"
+    );
     let n = adjacency.nrows();
     if n == 0 {
-        return PageRankResult { scores: Vec::new(), iterations: 0, residual: 0.0, converged: true };
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        };
     }
 
     // Transition matrix M = normalise(Aᵀ): M(v, u) = 1/outdeg(u) for u → v,
@@ -150,7 +162,12 @@ pub fn pagerank(adjacency: &Csr<f64>, config: &PageRankConfig) -> PageRankResult
         dense_scale(1.0 / total, &mut rank);
     }
 
-    PageRankResult { scores: rank, iterations, residual, converged: residual < config.tolerance }
+    PageRankResult {
+        scores: rank,
+        iterations,
+        residual,
+        converged: residual < config.tolerance,
+    }
 }
 
 #[cfg(test)]
@@ -177,8 +194,15 @@ mod tests {
         let result = pagerank(&g, &PageRankConfig::default());
         assert!(result.converged);
         assert!((result.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert_eq!(result.ranking()[0], 0, "the vertex every edge points to ranks first");
-        assert!(result.scores.iter().all(|&s| s > 0.0), "teleportation keeps all scores positive");
+        assert_eq!(
+            result.ranking()[0],
+            0,
+            "the vertex every edge points to ranks first"
+        );
+        assert!(
+            result.scores.iter().all(|&s| s > 0.0),
+            "teleportation keeps all scores positive"
+        );
     }
 
     #[test]
@@ -197,7 +221,11 @@ mod tests {
                         .zip(expected)
                         .map(|(a, b)| (a - b).abs())
                         .fold(0.0f64, f64::max);
-                    assert!(max_diff < 1e-8, "{} diverges from the reference", engine.name());
+                    assert!(
+                        max_diff < 1e-8,
+                        "{} diverges from the reference",
+                        engine.name()
+                    );
                 }
             }
         }
@@ -227,7 +255,9 @@ mod tests {
     #[test]
     fn iteration_cap_is_respected() {
         let g = rmat_square(6, 4, 3).map_values(|_| 1.0);
-        let cfg = PageRankConfig::default().with_tolerance(0.0).with_max_iterations(5);
+        let cfg = PageRankConfig::default()
+            .with_tolerance(0.0)
+            .with_max_iterations(5);
         let result = pagerank(&g, &cfg);
         assert_eq!(result.iterations, 5);
         assert!(!result.converged);

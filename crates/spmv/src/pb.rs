@@ -34,7 +34,10 @@ pub struct PbSpmvConfig {
 
 impl Default for PbSpmvConfig {
     fn default() -> Self {
-        PbSpmvConfig { nbins: None, l2_bytes: 1024 * 1024 }
+        PbSpmvConfig {
+            nbins: None,
+            l2_bytes: 1024 * 1024,
+        }
     }
 }
 
@@ -65,6 +68,10 @@ impl PbSpmvConfig {
     }
 }
 
+/// One fold segment's thread-private bins: `bins[b]` holds the `(row, value)`
+/// updates destined for bin `b`.
+type LocalBins<E> = Vec<Vec<(Index, E)>>;
+
 /// Computes `y = A·x` under a semiring with propagation blocking; `A` must be
 /// provided in CSC so the expand pass streams it column by column.
 pub fn pb_spmv_with<S: Semiring>(
@@ -72,7 +79,11 @@ pub fn pb_spmv_with<S: Semiring>(
     x: &[S::Elem],
     config: &PbSpmvConfig,
 ) -> Vec<S::Elem> {
-    assert_eq!(x.len(), a.ncols(), "x must have one element per matrix column");
+    assert_eq!(
+        x.len(),
+        a.ncols(),
+        "x must have one element per matrix column"
+    );
     let nrows = a.nrows();
     if nrows == 0 {
         return Vec::new();
@@ -89,11 +100,11 @@ pub fn pb_spmv_with<S: Semiring>(
     // Every rayon fold segment owns one set of thread-private bins (the
     // "local bins"); they are handed to phase 2 without concatenation, which
     // plays the role of the bulk flush to global bins.
-    let partials: Vec<Vec<Vec<(Index, S::Elem)>>> = (0..a.ncols())
+    let partials: Vec<LocalBins<S::Elem>> = (0..a.ncols())
         .into_par_iter()
         .fold(
             || vec![Vec::new(); nbins],
-            |mut bins: Vec<Vec<(Index, S::Elem)>>, j| {
+            |mut bins: LocalBins<S::Elem>, j| {
                 let xj = x[j];
                 let (rows, vals) = a.col(j);
                 for (&r, &v) in rows.iter().zip(vals) {
@@ -106,15 +117,17 @@ pub fn pb_spmv_with<S: Semiring>(
 
     // ----- Phase 2: per-bin accumulation into y. ----------------------------
     let mut y = vec![S::zero(); nrows];
-    y.par_chunks_mut(rows_per_bin).enumerate().for_each(|(b, y_chunk)| {
-        let base = b * rows_per_bin;
-        for partial in &partials {
-            for &(r, v) in &partial[b] {
-                let slot = &mut y_chunk[r as usize - base];
-                *slot = S::add(*slot, v);
+    y.par_chunks_mut(rows_per_bin)
+        .enumerate()
+        .for_each(|(b, y_chunk)| {
+            let base = b * rows_per_bin;
+            for partial in &partials {
+                for &(r, v) in &partial[b] {
+                    let slot = &mut y_chunk[r as usize - base];
+                    *slot = S::add(*slot, v);
+                }
             }
-        }
-    });
+        });
     y
 }
 
@@ -132,7 +145,10 @@ mod tests {
     use pb_sparse::{Coo, Csr};
 
     fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -140,7 +156,13 @@ mod tests {
         let a = Coo::from_entries(
             3,
             3,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap();
         let y = pb_spmv(&a.to_csc(), &[1.0, 2.0, 3.0], &PbSpmvConfig::default());
@@ -178,7 +200,12 @@ mod tests {
         assert!(large > small);
         assert_eq!(cfg.resolve_nbins(0, 16, 100), 1);
         // Explicit counts are clamped to the number of rows.
-        assert_eq!(PbSpmvConfig::default().with_nbins(1000).resolve_nbins(10, 16, 8), 8);
+        assert_eq!(
+            PbSpmvConfig::default()
+                .with_nbins(1000)
+                .resolve_nbins(10, 16, 8),
+            8
+        );
     }
 
     #[test]
@@ -193,8 +220,9 @@ mod tests {
             crate::csr::csr_spmv_with::<OrAnd>(&pattern, &frontier)
         );
         // One min-plus relaxation step.
-        let dist: Vec<f64> =
-            (0..a.ncols()).map(|i| if i == 0 { 0.0 } else { f64::INFINITY }).collect();
+        let dist: Vec<f64> = (0..a.ncols())
+            .map(|i| if i == 0 { 0.0 } else { f64::INFINITY })
+            .collect();
         assert_eq!(
             pb_spmv_with::<MinPlus>(&a_csc, &dist, &PbSpmvConfig::default()),
             crate::csr::csr_spmv_with::<MinPlus>(&a, &dist)
@@ -204,7 +232,10 @@ mod tests {
     #[test]
     fn empty_and_degenerate_inputs() {
         let empty = Csr::<f64>::empty(6, 4).to_csc();
-        assert_eq!(pb_spmv(&empty, &[1.0; 4], &PbSpmvConfig::default()), vec![0.0; 6]);
+        assert_eq!(
+            pb_spmv(&empty, &[1.0; 4], &PbSpmvConfig::default()),
+            vec![0.0; 6]
+        );
         let zero_rows = Csr::<f64>::empty(0, 4).to_csc();
         assert!(pb_spmv(&zero_rows, &[1.0; 4], &PbSpmvConfig::default()).is_empty());
     }

@@ -21,7 +21,11 @@ use rayon::prelude::*;
 /// formulation), which is the right trade-off for the moderate dimensions the
 /// examples use; the accumulator is merged across threads per-row-block.
 pub fn spmspv_with<S: Semiring>(a: &Csc<S::Elem>, x: &SparseVec<S::Elem>) -> SparseVec<S::Elem> {
-    assert_eq!(x.len(), a.ncols(), "x must have logical length equal to the matrix column count");
+    assert_eq!(
+        x.len(),
+        a.ncols(),
+        "x must have logical length equal to the matrix column count"
+    );
     let nrows = a.nrows();
     if nrows == 0 || x.nnz() == 0 {
         return SparseVec::zeros(nrows);
@@ -50,7 +54,11 @@ pub fn spmspv_with<S: Semiring>(a: &Csc<S::Elem>, x: &SparseVec<S::Elem>) -> Spa
             |(mut acc, mut touched), (acc2, touched2)| {
                 for i in 0..nrows {
                     if touched2[i] {
-                        acc[i] = if touched[i] { S::add(acc[i], acc2[i]) } else { acc2[i] };
+                        acc[i] = if touched[i] {
+                            S::add(acc[i], acc2[i])
+                        } else {
+                            acc2[i]
+                        };
                         touched[i] = true;
                     }
                 }
@@ -80,7 +88,11 @@ pub fn spmspv_masked_with<S: Semiring, M: pb_sparse::Scalar>(
     x: &SparseVec<S::Elem>,
     mask: &SparseVec<M>,
 ) -> SparseVec<S::Elem> {
-    assert_eq!(mask.len(), a.nrows(), "mask must have logical length equal to the matrix row count");
+    assert_eq!(
+        mask.len(),
+        a.nrows(),
+        "mask must have logical length equal to the matrix row count"
+    );
     let y = spmspv_with::<S>(a, x);
     y.filter(|i, _| mask.get(i as usize).is_none())
 }
@@ -102,9 +114,9 @@ mod tests {
         let x_dense = x_sparse.to_dense(0.0);
         let y_sparse = spmspv(&a_csc, &x_sparse);
         let y_dense = csr_spmv(&a, &x_dense);
-        for i in 0..a.nrows() {
+        for (i, &dense) in y_dense.iter().enumerate() {
             let s = y_sparse.get(i).unwrap_or(0.0);
-            assert!((s - y_dense[i]).abs() < 1e-9, "row {i}");
+            assert!((s - dense).abs() < 1e-9, "row {i}");
         }
         // Every stored output row must have been touched by a selected column.
         assert!(y_sparse.nnz() <= a.nnz());
@@ -121,13 +133,9 @@ mod tests {
     fn boolean_frontier_advance() {
         // 0 -> 1 -> 2 -> 3 path graph (edge (u, v) stored as A(v, u) so that
         // A·x pushes the frontier forward).
-        let a: Csr<bool> = Coo::from_entries(
-            4,
-            4,
-            vec![(1, 0, true), (2, 1, true), (3, 2, true)],
-        )
-        .unwrap()
-        .to_csr_with::<OrAnd>();
+        let a: Csr<bool> = Coo::from_entries(4, 4, vec![(1, 0, true), (2, 1, true), (3, 2, true)])
+            .unwrap()
+            .to_csr_with::<OrAnd>();
         let a_csc = a.to_csc();
         let mut frontier = SparseVec::from_entries_with::<OrAnd>(4, vec![(0, true)]).unwrap();
         let mut order = Vec::new();
@@ -140,13 +148,9 @@ mod tests {
 
     #[test]
     fn mask_removes_already_visited_rows() {
-        let a: Csr<f64> = Coo::from_entries(
-            3,
-            3,
-            vec![(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)],
-        )
-        .unwrap()
-        .to_csr();
+        let a: Csr<f64> = Coo::from_entries(3, 3, vec![(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)])
+            .unwrap()
+            .to_csr();
         let x = SparseVec::from_entries(3, vec![(0, 1.0)]).unwrap();
         let visited = SparseVec::from_entries(3, vec![(1, 1.0)]).unwrap();
         let y = spmspv_masked_with::<PlusTimes<f64>, f64>(&a.to_csc(), &x, &visited);
@@ -156,8 +160,9 @@ mod tests {
     #[test]
     fn duplicate_accumulation_across_columns() {
         // Both selected columns write to row 0; contributions must sum.
-        let a: Csr<f64> =
-            Coo::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0)]).unwrap().to_csr();
+        let a: Csr<f64> = Coo::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0)])
+            .unwrap()
+            .to_csr();
         let x = SparseVec::from_entries(2, vec![(0, 1.0), (1, 1.0)]).unwrap();
         let y = spmspv(&a.to_csc(), &x);
         assert_eq!(y.get(0), Some(5.0));

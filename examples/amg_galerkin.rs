@@ -39,7 +39,9 @@ fn laplacian_2d(k: usize) -> Csr<f64> {
             }
         }
     }
-    Coo::from_entries(n, n, entries).expect("grid indices are in bounds").to_csr()
+    Coo::from_entries(n, n, entries)
+        .expect("grid indices are in bounds")
+        .to_csr()
 }
 
 fn main() {
@@ -47,7 +49,10 @@ fn main() {
     let mut a = laplacian_2d(grid);
     let engine = SpGemmEngine::pb();
 
-    println!("AMG setup with {} on a {grid}x{grid} Poisson problem\n", engine.name());
+    println!(
+        "AMG setup with {} on a {grid}x{grid} Poisson problem\n",
+        engine.name()
+    );
     println!(
         "{:<7} {:>9} {:>11} {:>8} {:>8} {:>10}",
         "level", "unknowns", "nnz", "avg nnz", "cf", "setup ms"

@@ -39,8 +39,11 @@ fn main() {
         // Top-5 vertices by estimated centrality.
         let mut order: Vec<usize> = (0..bc.len()).collect();
         order.sort_by(|&x, &y| bc[y].partial_cmp(&bc[x]).unwrap());
-        let top: Vec<String> =
-            order.iter().take(5).map(|&v| format!("{v}({:.0})", bc[v])).collect();
+        let top: Vec<String> = order
+            .iter()
+            .take(5)
+            .map(|&v| format!("{v}({:.0})", bc[v]))
+            .collect();
 
         println!(
             "{:<14} {:>8.1} ms   top vertices: {}",
@@ -58,7 +61,11 @@ fn main() {
                     .zip(expected)
                     .map(|(p, q)| (p - q).abs())
                     .fold(0.0f64, f64::max);
-                assert!(max_diff < 1e-6, "{} disagrees with the first engine", engine.name());
+                assert!(
+                    max_diff < 1e-6,
+                    "{} disagrees with the first engine",
+                    engine.name()
+                );
             }
         }
     }

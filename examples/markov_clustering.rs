@@ -32,7 +32,9 @@ fn normalise_columns(m: &Csr<f64>) -> Csr<f64> {
             (r as usize, c as usize, if s > 0.0 { v / s } else { 0.0 })
         })
         .collect();
-    Coo::from_entries(m.nrows(), m.ncols(), entries).unwrap().to_csr()
+    Coo::from_entries(m.nrows(), m.ncols(), entries)
+        .unwrap()
+        .to_csr()
 }
 
 /// One MCL iteration: expansion (SpGEMM), inflation, pruning.
@@ -48,7 +50,7 @@ fn mcl_step(m: &Csr<f64>, inflation: f64, prune_threshold: f64, cfg: &PbConfig) 
 fn clusters(m: &Csr<f64>) -> Vec<usize> {
     let n = m.ncols();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];
@@ -87,9 +89,7 @@ fn main() {
     let perm = Permutation::from_vec(order).unwrap();
     let graph = permute_symmetric(&base, &perm);
 
-    println!(
-        "input graph: {n} vertices in {ncommunities} hidden communities of {community_size}"
-    );
+    println!("input graph: {n} vertices in {ncommunities} hidden communities of {community_size}");
 
     // MCL iterations (the SpGEMM inside mcl_step is PB-SpGEMM).
     let cfg = PbConfig::default();
@@ -109,7 +109,11 @@ fn main() {
     let labels = clusters(&m);
     let distinct: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
     println!("clusters found: {}", distinct.len());
-    assert_eq!(distinct.len(), ncommunities, "expected one cluster per planted community");
+    assert_eq!(
+        distinct.len(),
+        ncommunities,
+        "expected one cluster per planted community"
+    );
 
     let inv = perm.inverse();
     for community in 0..ncommunities {
@@ -119,7 +123,11 @@ fn main() {
             let position_after_shuffle = inv.as_slice()[original_vertex] as usize;
             seen.insert(labels[position_after_shuffle]);
         }
-        assert_eq!(seen.len(), 1, "community {community} was split across clusters");
+        assert_eq!(
+            seen.len(),
+            1,
+            "community {community} was split across clusters"
+        );
     }
     println!("MCL via PB-SpGEMM recovered the planted communities ✔");
 }

@@ -44,16 +44,24 @@ fn main() {
     let a_num = rmat_square(scale, 8, 11);
     let a: Csr<bool> = a_num.map_values(|_| true);
     let n = a.nrows();
-    println!("graph: {n} vertices, {} edges, {nsources} BFS sources", a.nnz());
+    println!(
+        "graph: {n} vertices, {} edges, {nsources} BFS sources",
+        a.nnz()
+    );
 
     // Frontier matrix F (n x k): F[s_i, i] = true.  One BFS step is
     // F' = Aᵀ ⊗ F because (Aᵀ F)[v, i] = ∨_u A[u, v] ∧ F[u, i] ... for edge
     // direction u -> v stored as A[u, v].
     let sources: Vec<usize> = (0..nsources).map(|i| (i * 9973) % n).collect();
     let mut frontier: Csr<bool> = {
-        let entries: Vec<(usize, usize, bool)> =
-            sources.iter().enumerate().map(|(i, &s)| (s, i, true)).collect();
-        Coo::from_entries(n, nsources, entries).unwrap().to_csr_with::<OrAnd>()
+        let entries: Vec<(usize, usize, bool)> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i, true))
+            .collect();
+        Coo::from_entries(n, nsources, entries)
+            .unwrap()
+            .to_csr_with::<OrAnd>()
     };
     let at = a.transpose();
     let at_csc = at.to_csc();
@@ -82,7 +90,9 @@ fn main() {
         if new_entries.is_empty() || depth > n as u32 {
             break;
         }
-        frontier = Coo::from_entries(n, nsources, new_entries).unwrap().to_csr_with::<OrAnd>();
+        frontier = Coo::from_entries(n, nsources, new_entries)
+            .unwrap()
+            .to_csr_with::<OrAnd>();
     }
     println!(
         "multi-source BFS finished in {} levels, {:.1} ms total SpGEMM-driven traversal",
@@ -98,5 +108,8 @@ fn main() {
     println!("levels verified against the sequential BFS oracle ✔");
 
     let reachable: usize = levels[0].iter().filter(|l| l.is_some()).count();
-    println!("vertices reachable from source {}: {}", sources[0], reachable);
+    println!(
+        "vertices reachable from source {}: {}",
+        sources[0], reachable
+    );
 }

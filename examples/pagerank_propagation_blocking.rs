@@ -17,12 +17,21 @@ use pb_spgemm_suite::prelude::*;
 fn main() {
     // A scale-14 R-MAT digraph (~16K vertices) with the Graph500 skew.
     let a: Csr<f64> = rmat_square(14, 16, 3).map_values(|_| 1.0);
-    println!("graph: {} vertices, {} directed edges\n", a.nrows(), a.nnz());
+    println!(
+        "graph: {} vertices, {} directed edges\n",
+        a.nrows(),
+        a.nnz()
+    );
 
     let mut reference: Option<Vec<f64>> = None;
-    println!("{:<14} {:>10} {:>7} {:>12}", "engine", "time (ms)", "iters", "residual");
+    println!(
+        "{:<14} {:>10} {:>7} {:>12}",
+        "engine", "time (ms)", "iters", "residual"
+    );
     for &engine in SpmvEngine::all() {
-        let config = PageRankConfig::default().with_engine(engine).with_tolerance(1e-9);
+        let config = PageRankConfig::default()
+            .with_engine(engine)
+            .with_tolerance(1e-9);
         let start = Instant::now();
         let result = pagerank(&a, &config);
         let elapsed = start.elapsed();
@@ -43,7 +52,11 @@ fn main() {
                     .zip(expected)
                     .map(|(p, q)| (p - q).abs())
                     .fold(0.0f64, f64::max);
-                assert!(max_diff < 1e-7, "{} diverges from the first engine", engine.name());
+                assert!(
+                    max_diff < 1e-7,
+                    "{} diverges from the first engine",
+                    engine.name()
+                );
             }
         }
     }

@@ -31,8 +31,7 @@ fn main() {
     //    (CSR); the default configuration auto-sizes the propagation bins.
     // ---------------------------------------------------------------------
     let config = PbConfig::default();
-    let (c, profile) =
-        multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &config);
+    let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &config);
     println!("PB-SpGEMM: {}", profile.summary());
 
     // ---------------------------------------------------------------------

@@ -17,12 +17,19 @@ fn main() {
     let stream_cfg = if full {
         StreamConfig::default()
     } else {
-        StreamConfig { elements: 1 << 22, ntimes: 3, threads: None }
+        StreamConfig {
+            elements: 1 << 22,
+            ntimes: 3,
+            threads: None,
+        }
     };
     let stream = run_stream(&stream_cfg);
     let beta = stream.beta_gbps();
     let model = RooflineModel::new(beta);
-    println!("STREAM: copy {:.1} / scale {:.1} / add {:.1} / triad {:.1} GB/s", stream.copy, stream.scale, stream.add, stream.triad);
+    println!(
+        "STREAM: copy {:.1} / scale {:.1} / add {:.1} / triad {:.1} GB/s",
+        stream.copy, stream.scale, stream.add, stream.triad
+    );
     println!("Roofline bandwidth beta = {beta:.1} GB/s\n");
 
     // 2. Run PB-SpGEMM on ER matrices of growing size and compare against

@@ -38,5 +38,5 @@ pub mod prelude {
     pub use pb_spgemm::{
         multiply, multiply_masked, multiply_with, multiply_with_profile, PbConfig,
     };
-    pub use pb_spmv::{csr_spmv, pb_spmv, pagerank, PageRankConfig, PbSpmvConfig, SpmvEngine};
+    pub use pb_spmv::{csr_spmv, pagerank, pb_spmv, PageRankConfig, PbSpmvConfig, SpmvEngine};
 }

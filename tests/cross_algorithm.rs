@@ -4,7 +4,9 @@
 //! family the paper evaluates.
 
 use pb_spgemm_suite::baseline::Baseline;
-use pb_spgemm_suite::gen::{banded, block_diagonal, erdos_renyi_square, rmat_square, standin_scaled, tridiagonal};
+use pb_spgemm_suite::gen::{
+    banded, block_diagonal, erdos_renyi_square, rmat_square, standin_scaled, tridiagonal,
+};
 use pb_spgemm_suite::prelude::*;
 use pb_spgemm_suite::sparse::reference::{csr_approx_eq, multiply_csr};
 use pb_spgemm_suite::spgemm::{BinMapping, ExpandStrategy, SortAlgorithm};
@@ -17,7 +19,10 @@ fn families() -> Vec<(String, Csr<f64>)> {
         ("banded".into(), banded(257, 15, 4)),
         ("block_diagonal".into(), block_diagonal(16, 16, 5)),
         ("tridiagonal".into(), tridiagonal(400, -1.0, 2.0, -1.0)),
-        ("standin_scircuit".into(), standin_scaled("scircuit", 0.004, 6)),
+        (
+            "standin_scircuit".into(),
+            standin_scaled("scircuit", 0.004, 6),
+        ),
         ("standin_cant".into(), standin_scaled("cant", 0.01, 7)),
         ("standin_web".into(), standin_scaled("web-Google", 0.002, 8)),
     ]
@@ -28,7 +33,10 @@ fn pb_spgemm_matches_reference_on_every_family() {
     for (name, a) in families() {
         let expected = multiply_csr(&a, &a);
         let c = multiply(&a.to_csc(), &a, &PbConfig::default());
-        assert!(csr_approx_eq(&c, &expected, 1e-9), "PB-SpGEMM wrong on {name}");
+        assert!(
+            csr_approx_eq(&c, &expected, 1e-9),
+            "PB-SpGEMM wrong on {name}"
+        );
     }
 }
 

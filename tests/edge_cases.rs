@@ -14,7 +14,11 @@ fn check_all(a: &Csr<f64>, b: &Csr<f64>) {
     assert!(csr_approx_eq(&pb, &expected, 1e-9), "PB-SpGEMM mismatch");
     for baseline in Baseline::all() {
         let c = baseline.multiply(a, b);
-        assert!(csr_approx_eq(&c, &expected, 1e-9), "{} mismatch", baseline.name());
+        assert!(
+            csr_approx_eq(&c, &expected, 1e-9),
+            "{} mismatch",
+            baseline.name()
+        );
     }
 }
 
@@ -26,7 +30,9 @@ fn outer_product_of_a_column_and_a_row_is_dense() {
     let col = Coo::from_entries(n, 1, (0..n).map(|i| (i, 0, (i + 1) as f64)).collect())
         .unwrap()
         .to_csr();
-    let row = Coo::from_entries(1, n, (0..n).map(|j| (0, j, 2.0)).collect()).unwrap().to_csr();
+    let row = Coo::from_entries(1, n, (0..n).map(|j| (0, j, 2.0)).collect())
+        .unwrap()
+        .to_csr();
     let c = multiply(&col.to_csc(), &row, &PbConfig::default());
     assert_eq!(c.nnz(), n * n);
     assert_eq!(c.get(3, 5), Some(8.0));
@@ -36,8 +42,12 @@ fn outer_product_of_a_column_and_a_row_is_dense() {
 #[test]
 fn inner_product_of_a_row_and_a_column_is_a_scalar() {
     let n = 256usize;
-    let row = Coo::from_entries(1, n, (0..n).map(|j| (0, j, 1.0)).collect()).unwrap().to_csr();
-    let col = Coo::from_entries(n, 1, (0..n).map(|i| (i, 0, 1.0)).collect()).unwrap().to_csr();
+    let row = Coo::from_entries(1, n, (0..n).map(|j| (0, j, 1.0)).collect())
+        .unwrap()
+        .to_csr();
+    let col = Coo::from_entries(n, 1, (0..n).map(|i| (i, 0, 1.0)).collect())
+        .unwrap()
+        .to_csr();
     let c = multiply(&row.to_csc(), &col, &PbConfig::default());
     assert_eq!(c.shape(), (1, 1));
     assert_eq!(c.get(0, 0), Some(n as f64));
@@ -47,8 +57,9 @@ fn inner_product_of_a_row_and_a_column_is_a_scalar() {
 fn matrices_with_empty_rows_columns_and_blocks() {
     // A matrix whose first and last thirds of rows are completely empty.
     let n = 300usize;
-    let entries: Vec<(usize, usize, f64)> =
-        (100..200).map(|i| (i, (i * 7) % n, 1.0 + i as f64)).collect();
+    let entries: Vec<(usize, usize, f64)> = (100..200)
+        .map(|i| (i, (i * 7) % n, 1.0 + i as f64))
+        .collect();
     let a = Coo::from_entries(n, n, entries).unwrap().to_csr();
     check_all(&a, &a);
 }
@@ -57,7 +68,9 @@ fn matrices_with_empty_rows_columns_and_blocks() {
 fn product_with_structurally_empty_result() {
     // A only has entries in columns 0..10, B only has entries in rows
     // 100..110: no inner index overlaps, so C is empty.
-    let a = Coo::from_entries(50, 200, (0..10).map(|j| (j, j, 1.0)).collect()).unwrap().to_csr();
+    let a = Coo::from_entries(50, 200, (0..10).map(|j| (j, j, 1.0)).collect())
+        .unwrap()
+        .to_csr();
     let b = Coo::from_entries(200, 50, (0..10).map(|j| (100 + j, j, 1.0)).collect())
         .unwrap()
         .to_csr();
@@ -70,8 +83,12 @@ fn product_with_structurally_empty_result() {
 fn numerical_cancellation_keeps_explicit_zeros() {
     // +1 * 1 and -1 * 1 land on the same output coordinate and cancel; the
     // paper's algorithms keep the explicit zero (nnz counts structure).
-    let a = Coo::from_entries(2, 2, vec![(0, 0, 1.0), (0, 1, -1.0)]).unwrap().to_csr();
-    let b = Coo::from_entries(2, 2, vec![(0, 0, 1.0), (1, 0, 1.0)]).unwrap().to_csr();
+    let a = Coo::from_entries(2, 2, vec![(0, 0, 1.0), (0, 1, -1.0)])
+        .unwrap()
+        .to_csr();
+    let b = Coo::from_entries(2, 2, vec![(0, 0, 1.0), (1, 0, 1.0)])
+        .unwrap()
+        .to_csr();
     let c = multiply(&a.to_csc(), &b, &PbConfig::default());
     assert_eq!(c.nnz(), 1);
     assert_eq!(c.get(0, 0), Some(0.0));
@@ -117,12 +134,19 @@ fn extreme_bin_configurations_still_produce_correct_results() {
         PbConfig::default().with_nbins(a.nrows()),
         PbConfig::default().with_local_bin_bytes(16),
         PbConfig::default().with_l2_bytes(4096),
-        PbConfig::default().with_nbins(7).with_sort(SortAlgorithm::AmericanFlag),
-        PbConfig::default().with_bin_mapping(BinMapping::Modulo).with_nbins(3),
+        PbConfig::default()
+            .with_nbins(7)
+            .with_sort(SortAlgorithm::AmericanFlag),
+        PbConfig::default()
+            .with_bin_mapping(BinMapping::Modulo)
+            .with_nbins(3),
     ];
     for cfg in configs {
         let c = multiply(&a_csc, &a, &cfg);
-        assert!(csr_approx_eq(&c, &expected, 1e-9), "config {cfg:?} produced a wrong result");
+        assert!(
+            csr_approx_eq(&c, &expected, 1e-9),
+            "config {cfg:?} produced a wrong result"
+        );
     }
 }
 
@@ -138,12 +162,16 @@ fn highly_duplicated_products_compress_correctly() {
         }
     }
     let a = Coo::from_entries(n, n, entries).unwrap().to_csr();
-    let b_entries: Vec<(usize, usize, f64)> = (0..8).flat_map(|k| {
-        (0..n).map(move |j| (k, j, 1.0))
-    }).collect();
+    let b_entries: Vec<(usize, usize, f64)> = (0..8)
+        .flat_map(|k| (0..n).map(move |j| (k, j, 1.0)))
+        .collect();
     let b = Coo::from_entries(n, n, b_entries).unwrap().to_csr();
     let stats = MultiplyStats::compute(&a, &b);
-    assert!(stats.cf >= 7.9, "expected a high compression factor, got {}", stats.cf);
+    assert!(
+        stats.cf >= 7.9,
+        "expected a high compression factor, got {}",
+        stats.cf
+    );
     check_all(&a, &b);
 }
 

@@ -48,7 +48,8 @@ fn triangle_counting_via_spgemm_matches_oracle() {
 
     // Same computation with a baseline algorithm gives the same count.
     let a2_hash = Baseline::HashVec.multiply(&a, &a);
-    let total_hash = sum_values_with::<PlusTimes<f64>>(&hadamard_csr_with::<PlusTimes<f64>>(&a, &a2_hash));
+    let total_hash =
+        sum_values_with::<PlusTimes<f64>>(&hadamard_csr_with::<PlusTimes<f64>>(&a, &a2_hash));
     assert_eq!((total_hash / 6.0).round() as u64, expected);
 }
 
@@ -57,7 +58,9 @@ fn two_hop_reachability_under_boolean_semiring() {
     // For a path graph 0 -> 1 -> 2 -> ... -> n-1, A² reaches exactly i -> i+2.
     let n = 64usize;
     let entries: Vec<(usize, usize, bool)> = (0..n - 1).map(|i| (i, i + 1, true)).collect();
-    let a = Coo::from_entries(n, n, entries).unwrap().to_csr_with::<OrAnd>();
+    let a = Coo::from_entries(n, n, entries)
+        .unwrap()
+        .to_csr_with::<OrAnd>();
     let a2 = multiply_with::<OrAnd>(&a.to_csc(), &a, &PbConfig::default());
     assert_eq!(a2.nnz(), n - 2);
     for i in 0..n - 2 {
@@ -88,11 +91,17 @@ fn mcl_expansion_preserves_block_structure() {
     let m = block_diagonal(6, 16, 9);
     let m2 = multiply(&m.to_csc(), &m, &PbConfig::default());
     for (r, c, _) in m2.iter() {
-        assert_eq!(r / 16, c / 16, "expansion leaked across blocks at ({r}, {c})");
+        assert_eq!(
+            r / 16,
+            c / 16,
+            "expansion leaked across blocks at ({r}, {c})"
+        );
     }
     // And the column baselines agree entry-by-entry.
     let m2_heap = Baseline::Heap.multiply(&m, &m);
-    assert!(pb_spgemm_suite::sparse::reference::csr_approx_eq(&m2, &m2_heap, 1e-9));
+    assert!(pb_spgemm_suite::sparse::reference::csr_approx_eq(
+        &m2, &m2_heap, 1e-9
+    ));
 }
 
 #[test]
@@ -102,7 +111,9 @@ fn repeated_squaring_reaches_the_transitive_closure_pattern() {
     let n = 33usize;
     let mut entries: Vec<(usize, usize, bool)> = (0..n - 1).map(|i| (i, i + 1, true)).collect();
     entries.extend((0..n).map(|i| (i, i, true)));
-    let mut reach = Coo::from_entries(n, n, entries).unwrap().to_csr_with::<OrAnd>();
+    let mut reach = Coo::from_entries(n, n, entries)
+        .unwrap()
+        .to_csr_with::<OrAnd>();
     let cfg = PbConfig::default();
     for _ in 0..6 {
         // 2^6 = 64 > 33 hops: converged.

@@ -44,7 +44,11 @@ fn key_compression_uses_fewer_than_eight_bytes() {
     let a = erdos_renyi_square(13, 8, 3);
     let cfg = PbConfig::default().with_nbins(1024);
     let (_, profile) = multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &cfg);
-    assert!(profile.key_bytes <= 4, "expected <=4 key bytes, got {}", profile.key_bytes);
+    assert!(
+        profile.key_bytes <= 4,
+        "expected <=4 key bytes, got {}",
+        profile.key_bytes
+    );
 }
 
 #[test]
@@ -61,7 +65,10 @@ fn measured_ai_never_exceeds_the_upper_bound() {
             .map(|&p| profile.phase_bytes(p))
             .sum();
         let ai = profile.flop as f64 / total_bytes as f64;
-        assert!(ai <= model.ai_upper_bound(cf) * 1.001, "AI {ai} exceeds Eq. 1");
+        assert!(
+            ai <= model.ai_upper_bound(cf) * 1.001,
+            "AI {ai} exceeds Eq. 1"
+        );
         assert!(
             ai >= model.ai_outer_lower_bound(cf) * 0.9,
             "AI {ai} fell below the Eq. 4 lower bound {}",
@@ -77,7 +84,10 @@ fn outer_product_traffic_estimate_matches_profile_bytes() {
     let (_, profile) =
         multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &PbConfig::default());
     let est = traffic_estimates(&stats);
-    let outer = est.iter().find(|e| e.class == AlgorithmClass::OuterEsc).unwrap();
+    let outer = est
+        .iter()
+        .find(|e| e.class == AlgorithmClass::OuterEsc)
+        .unwrap();
     let profile_bytes: u64 = [Phase::Expand, Phase::Sort, Phase::Compress]
         .iter()
         .map(|&p| profile.phase_bytes(p))
@@ -85,7 +95,10 @@ fn outer_product_traffic_estimate_matches_profile_bytes() {
     // Both models count b*(nnzA + nnzB) + 2*t*flop + t*nnzC; with 16-byte
     // tuples they coincide exactly, so allow only small slack.
     let ratio = profile_bytes as f64 / outer.bytes as f64;
-    assert!((0.95..=1.05).contains(&ratio), "traffic models diverge: ratio {ratio}");
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "traffic models diverge: ratio {ratio}"
+    );
 }
 
 #[test]
@@ -94,9 +107,17 @@ fn phase_times_and_bandwidths_are_positive_and_bounded() {
     let (_, profile) =
         multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &PbConfig::default());
     for phase in [Phase::Expand, Phase::Sort, Phase::Compress, Phase::Assemble] {
-        assert!(profile.phase_time(phase).as_nanos() > 0, "{} took zero time", phase.name());
+        assert!(
+            profile.phase_time(phase).as_nanos() > 0,
+            "{} took zero time",
+            phase.name()
+        );
         let bw = profile.phase_bandwidth_gbps(phase);
-        assert!(bw > 0.0 && bw < 10_000.0, "{} bandwidth {bw} looks wrong", phase.name());
+        assert!(
+            bw > 0.0 && bw < 10_000.0,
+            "{} bandwidth {bw} looks wrong",
+            phase.name()
+        );
     }
     assert!(profile.gflops() > 0.0);
     assert!(profile.overall_bandwidth_gbps() > 0.0);

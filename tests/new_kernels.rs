@@ -21,7 +21,9 @@ fn balanced_bins_produce_the_same_product_as_uniform_bins() {
     let balanced = multiply(
         &a_csc,
         &a,
-        &PbConfig::default().with_bin_mapping(BinMapping::Balanced).with_nbins(64),
+        &PbConfig::default()
+            .with_bin_mapping(BinMapping::Balanced)
+            .with_nbins(64),
     );
     assert!(reference::csr_approx_eq(&uniform, &balanced, 1e-9));
 }
@@ -42,7 +44,9 @@ fn masked_multiply_equals_multiply_then_filter_on_real_standins() {
 fn spmv_kernels_agree_on_a_suitesparse_standin() {
     let a = standin_scaled("web-Google", 0.002, 3);
     let a_csc = a.to_csc();
-    let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 97) as f64) / 97.0 - 0.5).collect();
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|i| ((i % 97) as f64) / 97.0 - 0.5)
+        .collect();
     let y_csr = csr_spmv(&a, &x);
     let y_csc = csc_spmv(&a_csc, &x);
     let y_pb = pb_spmv(&a_csc, &x, &PbSpmvConfig::default());
@@ -67,8 +71,14 @@ fn spmspv_restricted_to_a_dense_frontier_matches_dense_spmv() {
 #[test]
 fn pagerank_with_pb_spmv_matches_the_csr_kernel() {
     let g = rmat_square(9, 8, 4).map_values(|_| 1.0);
-    let pb = pagerank(&g, &PageRankConfig::default().with_engine(SpmvEngine::PropagationBlocking));
-    let csr = pagerank(&g, &PageRankConfig::default().with_engine(SpmvEngine::RowCsr));
+    let pb = pagerank(
+        &g,
+        &PageRankConfig::default().with_engine(SpmvEngine::PropagationBlocking),
+    );
+    let csr = pagerank(
+        &g,
+        &PageRankConfig::default().with_engine(SpmvEngine::RowCsr),
+    );
     assert!(pb.converged && csr.converged);
     let max_diff = pb
         .scores
@@ -97,7 +107,13 @@ fn triangle_counting_via_masked_multiply_matches_the_graph_kernel() {
 #[test]
 fn markov_clustering_and_betweenness_run_end_to_end_on_standins() {
     let g = standin_scaled("scircuit", 0.002, 9).map_values(|v| v.abs() + 0.1);
-    let clusters = markov_cluster(&g, &MclConfig { max_iterations: 20, ..MclConfig::default() });
+    let clusters = markov_cluster(
+        &g,
+        &MclConfig {
+            max_iterations: 20,
+            ..MclConfig::default()
+        },
+    );
     assert_eq!(clusters.clusters.len(), g.nrows());
     assert!(clusters.num_clusters >= 1 && clusters.num_clusters <= g.nrows());
 

@@ -14,9 +14,8 @@ use pb_spgemm_suite::spgemm::{BinMapping, ExpandStrategy, SortAlgorithm};
 fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(move |(nrows, ncols)| {
         let entry = (0..nrows, 0..ncols, -1.0f64..1.0f64);
-        proptest::collection::vec(entry, 0..=max_nnz).prop_map(move |entries| {
-            Coo::from_entries(nrows, ncols, entries).unwrap().to_csr()
-        })
+        proptest::collection::vec(entry, 0..=max_nnz)
+            .prop_map(move |entries| Coo::from_entries(nrows, ncols, entries).unwrap().to_csr())
     })
 }
 

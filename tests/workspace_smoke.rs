@@ -1,0 +1,45 @@
+//! Workspace-wiring smoke test.
+//!
+//! Everything here is reached exclusively through `pb_spgemm_suite::prelude`
+//! so that the façade's re-export surface (generator → PB-SpGEMM → baseline →
+//! reference oracle) can never silently break: if a `pub use` is dropped or a
+//! crate is unwired from the workspace, this file stops compiling.
+
+use pb_spgemm_suite::prelude::*;
+
+#[test]
+fn prelude_covers_generate_multiply_and_compare() {
+    // Generate a small R-MAT matrix deterministically.
+    let a = rmat_square(6, 6, 42);
+    assert!(a.nnz() > 0, "generator produced an empty matrix");
+
+    // Multiply with the paper's PB-SpGEMM under the default configuration.
+    let c_pb = multiply(&a.to_csc(), &a, &PbConfig::default());
+
+    // Multiply with one of the column baselines.
+    let c_hash = Baseline::Hash.multiply(&a, &a);
+
+    // Both must agree with the reference oracle.
+    let expected = reference::multiply_csr(&a, &a);
+    assert!(
+        reference::csr_approx_eq(&c_pb, &expected, 1e-9),
+        "PB-SpGEMM disagrees with the reference multiply"
+    );
+    assert!(
+        reference::csr_approx_eq(&c_hash, &expected, 1e-9),
+        "Hash baseline disagrees with the reference multiply"
+    );
+}
+
+#[test]
+fn prelude_exposes_the_spmv_and_model_surface() {
+    // SpMV path: y = A·x through the re-exported kernel.
+    let a = erdos_renyi_square(6, 4, 7);
+    let x = vec![1.0f64; a.ncols()];
+    let y = csr_spmv(&a, &x);
+    assert_eq!(y.len(), a.nrows());
+
+    // Model path: the roofline type is constructible from the prelude.
+    let machine = MachineInfo::detect();
+    assert!(machine.logical_cpus >= 1);
+}

@@ -1,0 +1,243 @@
+//! Minimal stand-in for the [criterion] benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! criterion cannot be fetched. This shim supports the subset the
+//! workspace's `harness = false` benches use — `criterion_group!`/
+//! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId` and `Bencher::iter`
+//! — and reports a simple mean wall-clock time per benchmark to stdout.
+//! It performs no statistical analysis, produces no HTML reports, and
+//! keeps iteration counts small so `cargo test`/`cargo bench` stay fast.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that hinders constant-folding, like
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered `function/parameter` like criterion's.
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id consisting only of a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` for the group's configured number of samples (one
+    /// call per sample in the shim) and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.id, &bencher);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, bencher: &Bencher) {
+    if bencher.iterations == 0 {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mean = bencher.total.as_secs_f64() / bencher.iterations as f64;
+    println!(
+        "{group}/{id}: mean {:.3} ms over {} samples",
+        mean * 1e3,
+        bencher.iterations
+    );
+}
+
+/// Throughput declaration; accepted and ignored by the shim.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The shim's top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Parses criterion-style CLI arguments; the shim accepts and ignores
+    /// them (cargo passes `--bench`/filters when running bench targets).
+    pub fn configure_from_args(mut self) -> Self {
+        self.default_sample_size = 10;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        let mut bencher = Bencher {
+            samples,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        report("bench", name, &bencher);
+        self
+    }
+
+    /// Final summary hook; no-op in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group function that runs each target, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build
+//! environment has no `syn`/`quote`). Supports the shapes the workspace
+//! actually derives on:
+//!
+//! * non-generic structs with named fields — serialized as an object with
+//!   one entry per field, in declaration order;
+//! * non-generic enums whose variants are all unit variants — serialized
+//!   as the variant name string.
+//!
+//! Anything else produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` (a lowering to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate the `struct`/`enum` keyword, the type name right after it and
+    // the brace-delimited body. Attributes and visibility before the
+    // keyword are skipped; generics would appear between the name and the
+    // body and are rejected below.
+    let mut kind = None;
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tok) = iter.next() {
+        match tok {
+            TokenTree::Ident(id) if kind.is_none() => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        name = Some(n.to_string());
+                    }
+                }
+            }
+            TokenTree::Punct(p) if kind.is_some() && p.as_char() == '<' => {
+                return error("serde shim: #[derive(Serialize)] does not support generic types");
+            }
+            TokenTree::Group(g) if kind.is_some() && g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Punct(p) if kind.is_some() && p.as_char() == ';' => {
+                return error(
+                    "serde shim: #[derive(Serialize)] does not support unit/tuple structs",
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let (kind, name, body) = match (kind, name, body) {
+        (Some(k), Some(n), Some(b)) => (k, n, b),
+        _ => return error("serde shim: could not parse type for #[derive(Serialize)]"),
+    };
+
+    let generated = if kind == "struct" {
+        match named_fields(body) {
+            Ok(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f})),"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             ::serde::Value::Object(::std::vec![{}])\n\
+                         }}\n\
+                     }}",
+                    entries.join("\n")
+                )
+            }
+            Err(msg) => return error(msg),
+        }
+    } else {
+        match unit_variants(body) {
+            Ok(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             match self {{ {} }}\n\
+                         }}\n\
+                     }}",
+                    arms.join("\n")
+                )
+            }
+            Err(msg) => return error(msg),
+        }
+    };
+
+    generated
+        .parse()
+        .expect("serde shim derive generated invalid Rust")
+}
+
+/// Splits a brace body into top-level comma-separated chunks, tracking
+/// angle-bracket depth so commas inside `Foo<A, B>` don't split fields.
+/// Parenthesized/bracketed sub-streams arrive as single `Group` tokens, so
+/// only `<`/`>` need explicit tracking.
+fn top_level_chunks(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tok in body {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tok);
+    }
+    chunks.retain(|c| {
+        c.iter()
+            .any(|t| !matches!(t, TokenTree::Punct(p) if p.as_char() == '#'))
+    });
+    chunks
+}
+
+/// Extracts named-field identifiers: in each top-level chunk, the ident
+/// immediately preceding the first top-level `:`.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, &'static str> {
+    let mut fields = Vec::new();
+    for chunk in top_level_chunks(body) {
+        let mut angle_depth = 0i32;
+        let mut last_ident: Option<String> = None;
+        let mut found = false;
+        for tok in &chunk {
+            match tok {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ':' if angle_depth == 0 => {
+                        found = true;
+                        break;
+                    }
+                    _ => {}
+                },
+                TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+                _ => {}
+            }
+        }
+        match (found, last_ident) {
+            (true, Some(f)) => fields.push(f),
+            _ => return Err("serde shim: #[derive(Serialize)] requires named struct fields"),
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts unit-variant identifiers; rejects tuple/struct variants.
+fn unit_variants(body: TokenStream) -> Result<Vec<String>, &'static str> {
+    let mut variants = Vec::new();
+    for chunk in top_level_chunks(body) {
+        let mut variant: Option<String> = None;
+        let mut tokens = chunk.iter().peekable();
+        while let Some(tok) = tokens.next() {
+            match tok {
+                // Skip attributes (e.g. doc comments): `#` + bracket group.
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                TokenTree::Ident(id) => {
+                    if variant.is_some() {
+                        return Err("serde shim: enum variants must be unit variants");
+                    }
+                    variant = Some(id.to_string());
+                }
+                TokenTree::Group(_) => {
+                    return Err("serde shim: enum variants must be unit variants");
+                }
+                _ => {}
+            }
+        }
+        match variant {
+            Some(v) => variants.push(v),
+            None => return Err("serde shim: could not parse enum variant"),
+        }
+    }
+    Ok(variants)
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!(\"{msg}\");").parse().unwrap()
+}

@@ -1,0 +1,155 @@
+//! Minimal JSON emitter over the vendored serde shim.
+//!
+//! Supports the subset the workspace uses: [`to_string`] and
+//! [`to_string_pretty`] over anything implementing the shim's
+//! `serde::Serialize`. Output matches real `serde_json` conventions:
+//! 2-space pretty indentation, `null` for `Option::None`, non-finite
+//! floats serialized as `null`, and standard string escaping.
+
+use serde::{Serialize, Value};
+
+/// Serialization error; the shim's lowering is infallible, so this is never
+/// produced, but the `Result` return keeps call sites source-compatible
+/// with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Match serde_json: always include a decimal point or
+                // exponent so the token re-parses as a float.
+                let s = x.to_string();
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    out.push_str(&s);
+                } else {
+                    out.push_str(&s);
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_prints_nested_object() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            name: String,
+            gflops: f64,
+            threads: usize,
+            note: Option<String>,
+        }
+        let row = Row {
+            name: "pb".into(),
+            gflops: 2.0,
+            threads: 8,
+            note: None,
+        };
+        let text = super::to_string_pretty(&row).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"pb\",\n  \"gflops\": 2.0,\n  \"threads\": 8,\n  \"note\": null\n}"
+        );
+    }
+
+    #[test]
+    fn compact_array_and_escaping() {
+        let v = vec!["a\"b".to_string(), "c\nd".to_string()];
+        assert_eq!(super::to_string(&v).unwrap(), "[\"a\\\"b\",\"c\\nd\"]");
+    }
+}
