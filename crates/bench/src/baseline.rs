@@ -1,0 +1,177 @@
+//! Machine-readable performance baseline (`BENCH_pb.json`).
+//!
+//! The `bench_pb` binary sweeps PB-SpGEMM over thread counts on the
+//! quickstart-scale R-MAT workload and writes one self-describing JSON
+//! document.  Future PRs regenerate the file on comparable hardware and
+//! diff the numbers, so the suite has a perf trajectory instead of
+//! anecdotes.  Every record carries both the *requested* and the
+//! *effective* thread count plus the host's core count, so a sweep taken on
+//! a small container is never mistaken for one from a many-core box.
+
+use serde::Serialize;
+
+use crate::runner::{measure, measure_pb_profile, Algorithm};
+use crate::workloads::rmat_matrix;
+use pb_spgemm::PbConfig;
+
+/// Per-phase wall-clock seconds of one PB-SpGEMM run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseSeconds {
+    /// Symbolic (flop counting + bin sizing) phase.
+    pub symbolic: f64,
+    /// Expand (outer products into bins) phase.
+    pub expand: f64,
+    /// Sort (per-bin radix sort) phase.
+    pub sort: f64,
+    /// Compress (duplicate merge) phase.
+    pub compress: f64,
+    /// Assemble (CSR write-out) phase.
+    pub assemble: f64,
+}
+
+/// One point of the thread sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Thread count requested for this point.
+    pub threads_requested: usize,
+    /// Thread count that actually executed (dedicated pool size).
+    pub threads_effective: usize,
+    /// Best wall-clock seconds over the repetitions.
+    pub seconds: f64,
+    /// Achieved GFLOPS at the best run.
+    pub gflops: f64,
+    /// Speedup of this point relative to the 1-thread point.
+    pub speedup_vs_1t: f64,
+    /// Per-phase seconds of one profiled run at this thread count.
+    pub phases: PhaseSeconds,
+}
+
+/// The whole baseline document.
+#[derive(Debug, Clone, Serialize)]
+pub struct PbBaseline {
+    /// Schema tag for forward compatibility.
+    pub schema: &'static str,
+    /// Operation measured.
+    pub op: &'static str,
+    /// Workload description.
+    pub workload: String,
+    /// Matrix dimension (rows == cols).
+    pub n: usize,
+    /// Stored nonzeros of the input.
+    pub nnz: usize,
+    /// flop of the squaring.
+    pub flop: u64,
+    /// Nonzeros of the product.
+    pub nnz_c: usize,
+    /// Compression factor `flop / nnz_c`.
+    pub cf: f64,
+    /// Physical cores the host reported at run time.
+    pub host_cores: usize,
+    /// Size of the global pool at run time (PB_RAYON_THREADS or cores).
+    pub pool_default_threads: usize,
+    /// The sweep, ascending in requested threads.
+    pub sweep: Vec<SweepPoint>,
+    /// Max speedup over the 1-thread point anywhere in the sweep.
+    pub best_speedup: f64,
+}
+
+/// Thread counts to sweep: 1, 2, 4, ... up to `max`, always including
+/// `max` itself.
+pub fn thread_sweep(max: usize) -> Vec<usize> {
+    let mut threads = vec![1usize];
+    let mut t = 2;
+    while t <= max {
+        threads.push(t);
+        t *= 2;
+    }
+    if *threads.last().unwrap() != max {
+        threads.push(max);
+    }
+    threads
+}
+
+/// Runs the baseline sweep: PB-SpGEMM squaring a quickstart-scale R-MAT
+/// matrix (scale 12, edge factor 8 — the README example's size) at each
+/// thread count.
+pub fn run_pb_baseline(max_threads: usize, reps: usize) -> PbBaseline {
+    let (scale, edge_factor, seed) = (12u32, 8u32, 42u64);
+    let w = rmat_matrix(scale, edge_factor, seed);
+    let algo = Algorithm::Pb(PbConfig::default());
+
+    let mut sweep = Vec::new();
+    let mut t1_seconds = f64::NAN;
+    for &t in &thread_sweep(max_threads) {
+        let m = measure(&w, &algo, reps, Some(t));
+        let profile = {
+            let cfg = PbConfig::default().with_threads(t);
+            measure_pb_profile(&w, &cfg)
+        };
+        if t == 1 {
+            t1_seconds = m.seconds;
+        }
+        let secs = |d: std::time::Duration| d.as_secs_f64();
+        sweep.push(SweepPoint {
+            threads_requested: t,
+            threads_effective: m.threads_effective,
+            seconds: m.seconds,
+            gflops: m.mflops / 1e3,
+            speedup_vs_1t: t1_seconds / m.seconds,
+            phases: PhaseSeconds {
+                symbolic: secs(profile.timings.symbolic),
+                expand: secs(profile.timings.expand),
+                sort: secs(profile.timings.sort),
+                compress: secs(profile.timings.compress),
+                assemble: secs(profile.timings.assemble),
+            },
+        });
+    }
+    let best_speedup = sweep
+        .iter()
+        .map(|p| p.speedup_vs_1t)
+        .fold(f64::MIN, f64::max);
+
+    PbBaseline {
+        schema: "pb-bench-baseline/v1",
+        op: "spgemm_square",
+        workload: w.name.clone(),
+        n: w.a.nrows(),
+        nnz: w.a.nnz(),
+        flop: w.stats.flop,
+        nnz_c: w.stats.nnz_c,
+        cf: w.stats.cf,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        pool_default_threads: rayon::current_num_threads(),
+        sweep,
+        best_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_sweep_is_powers_of_two_plus_max() {
+        assert_eq!(thread_sweep(1), vec![1]);
+        assert_eq!(thread_sweep(4), vec![1, 2, 4]);
+        assert_eq!(thread_sweep(6), vec![1, 2, 4, 6]);
+        assert_eq!(thread_sweep(8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn baseline_document_is_consistent_and_serializes() {
+        // Tiny sweep to keep the test fast; correctness of the numbers is
+        // covered by the runner's own tests.
+        let doc = run_pb_baseline(2, 1);
+        assert_eq!(doc.schema, "pb-bench-baseline/v1");
+        assert_eq!(doc.sweep.len(), 2);
+        assert_eq!(doc.sweep[0].threads_requested, 1);
+        assert!((doc.sweep[0].speedup_vs_1t - 1.0).abs() < 1e-12);
+        assert!(doc.sweep.iter().all(|p| p.seconds > 0.0 && p.gflops > 0.0));
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(json.contains("threads_effective"));
+        assert!(json.contains("best_speedup"));
+    }
+}

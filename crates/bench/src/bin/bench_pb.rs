@@ -1,0 +1,48 @@
+//! Emits the machine-readable PB-SpGEMM performance baseline.
+//!
+//! ```text
+//! cargo run --release -p pb-bench --bin bench_pb [-- <output-path>]
+//! ```
+//!
+//! Sweeps PB-SpGEMM over thread counts (1, 2, 4, ... up to the pool's
+//! size, which honours `PB_RAYON_THREADS`) on the quickstart-scale R-MAT
+//! workload and writes `BENCH_pb.json` (or the given path).  Also prints a
+//! small human-readable table.
+
+use pb_bench::baseline::run_pb_baseline;
+use pb_bench::{fmt, print_table, Table};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pb.json".to_string());
+    let reps = if pb_bench::quick_mode() { 1 } else { 3 };
+    let max_threads = rayon::current_num_threads();
+
+    let doc = run_pb_baseline(max_threads, reps);
+
+    let mut table = Table::new(
+        format!(
+            "PB-SpGEMM baseline — {} (flop {:.1}M, cf {:.2}, host cores {})",
+            doc.workload,
+            doc.flop as f64 / 1e6,
+            doc.cf,
+            doc.host_cores
+        ),
+        &["threads", "effective", "seconds", "GFLOPS", "speedup"],
+    );
+    for p in &doc.sweep {
+        table.push_row(vec![
+            p.threads_requested.to_string(),
+            p.threads_effective.to_string(),
+            fmt(p.seconds, 6),
+            fmt(p.gflops, 3),
+            fmt(p.speedup_vs_1t, 2),
+        ]);
+    }
+    print_table(&table);
+
+    let json = serde_json::to_string_pretty(&doc).expect("serialize baseline");
+    std::fs::write(&out_path, json + "\n").expect("write baseline JSON");
+    println!("wrote {out_path} (best speedup {:.2}x)", doc.best_speedup);
+}

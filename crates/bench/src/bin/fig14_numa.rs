@@ -47,13 +47,17 @@ fn main() {
     let (scale, ef) = if quick { (11, 8) } else { (14, 16) };
     let workloads = [er_matrix(scale, ef, 5), rmat_matrix(scale, ef, 5)];
     let algorithms = Algorithm::paper_set();
+    // Genuine scaling curves: sweep real thread counts up to the pool size
+    // (which honours PB_RAYON_THREADS) instead of a single full-pool run.
+    let threads = pb_bench::baseline::thread_sweep(rayon::current_num_threads());
 
     let mut table = Table::new(
-        "Fig. 14 — full-bandwidth vs bandwidth-contended performance (contention emulates the \
-         remote-socket traffic of the paper's dual-socket run)",
+        "Fig. 14 — full-bandwidth vs bandwidth-contended performance per thread count \
+         (contention emulates the remote-socket traffic of the paper's dual-socket run)",
         &[
             "workload",
             "algorithm",
+            "threads",
             "MFLOPS (full bw)",
             "MFLOPS (contended)",
             "retained fraction",
@@ -62,20 +66,20 @@ fn main() {
     let mut records = Vec::new();
 
     for w in &workloads {
-        // Full-bandwidth runs first.
+        // Full-bandwidth sweep first.
         let full: Vec<_> = algorithms
             .iter()
-            .map(|a| measure(w, a, reps, None))
+            .flat_map(|a| threads.iter().map(|&t| measure(w, a, reps, Some(t))))
             .collect();
 
-        // Contended runs: one thief per available core.
+        // Contended sweep: one thief per available core.
         let thieves = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         let (flag, handles) = start_bandwidth_thief(thieves);
         let contended: Vec<_> = algorithms
             .iter()
-            .map(|a| measure(w, a, reps, None))
+            .flat_map(|a| threads.iter().map(|&t| measure(w, a, reps, Some(t))))
             .collect();
         flag.store(false, Ordering::Relaxed);
         for h in handles {
@@ -87,6 +91,7 @@ fn main() {
             table.push_row(vec![
                 w.name.clone(),
                 f.algorithm.clone(),
+                f.threads_effective.to_string(),
                 fmt(f.mflops, 0),
                 fmt(c.mflops, 0),
                 fmt(retained, 2),
@@ -94,6 +99,7 @@ fn main() {
             records.push((
                 w.name.clone(),
                 f.algorithm.clone(),
+                f.threads_effective,
                 f.mflops,
                 c.mflops,
                 retained,

@@ -8,6 +8,7 @@
 
 use pb_bench::{fmt, print_table, quick_mode, write_json, Table};
 use pb_model::numa::{probe, NumaConfig};
+use pb_model::stream::{run as stream_run, StreamConfig};
 
 fn main() {
     let cfg = if quick_mode() {
@@ -32,7 +33,29 @@ fn main() {
         fmt(p.far_latency_ns, 1),
     ]);
     print_table(&table);
+
+    // Bandwidth scaling: how many real threads it takes to saturate the
+    // local memory domain (the paper's Table VII context for Fig. 12–14).
+    let mut scaling = Table::new(
+        "Local STREAM triad bandwidth vs thread count",
+        &["threads", "triad (GB/s)", "best kernel (GB/s)"],
+    );
+    let mut sweep_records = Vec::new();
+    for &t in &pb_bench::baseline::thread_sweep(rayon::current_num_threads()) {
+        let mut sc = if quick_mode() {
+            StreamConfig::quick()
+        } else {
+            StreamConfig::default()
+        };
+        sc.threads = Some(t);
+        let r = stream_run(&sc);
+        scaling.push_row(vec![t.to_string(), fmt(r.triad, 2), fmt(r.best_gbps(), 2)]);
+        sweep_records.push((t, r.triad, r.best_gbps()));
+    }
+    print_table(&scaling);
+
     write_json("table7_numa", &p);
+    write_json("table7_numa_scaling", &sweep_records);
     println!(
         "far/local bandwidth ratio = {:.2} (paper: 33.4/50.3 = 0.66 across Skylake sockets)",
         p.bandwidth_ratio()

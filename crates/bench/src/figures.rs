@@ -169,18 +169,9 @@ pub fn real_matrices(fraction: f64, reps: usize) -> PerformanceFigure {
 /// RMAT matrices of the same scale / edge factor.
 pub fn scaling(quick: bool, reps: usize) -> (Table, Vec<Measurement>) {
     let (scale, ef) = if quick { (11, 8) } else { (14, 16) };
-    let max_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut threads = vec![1usize];
-    let mut t = 2;
-    while t <= max_threads {
-        threads.push(t);
-        t *= 2;
-    }
-    if *threads.last().unwrap() != max_threads {
-        threads.push(max_threads);
-    }
+    // Sweep up to the real pool size (honours PB_RAYON_THREADS); each point
+    // runs on a dedicated pool of exactly that many threads.
+    let threads = crate::baseline::thread_sweep(rayon::current_num_threads());
 
     let algorithms = Algorithm::paper_set();
     let mut table = Table::new(
@@ -225,18 +216,7 @@ pub fn scaling(quick: bool, reps: usize) -> (Table, Vec<Measurement>) {
 /// Fig. 13: per-phase scaling breakdown of PB-SpGEMM.
 pub fn scaling_breakdown(quick: bool) -> Table {
     let (scale, ef) = if quick { (11, 8) } else { (14, 16) };
-    let max_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut threads = vec![1usize];
-    let mut t = 2;
-    while t <= max_threads {
-        threads.push(t);
-        t *= 2;
-    }
-    if *threads.last().unwrap() != max_threads {
-        threads.push(max_threads);
-    }
+    let threads = crate::baseline::thread_sweep(rayon::current_num_threads());
 
     let mut table = Table::new(
         format!("PB-SpGEMM per-phase times (ms), scale {scale} edge factor {ef}"),

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod figures;
 pub mod report;
 pub mod runner;

@@ -48,9 +48,12 @@ pub struct Measurement {
     pub algorithm: String,
     /// Number of worker threads requested (the sweep key in scaling runs).
     pub threads: usize,
-    /// Number of worker threads that actually executed: equals `threads`
-    /// under real rayon, but 1 under the vendored sequential shim, so
-    /// consumers can tell real scaling data from sequential stand-in runs.
+    /// Number of worker threads that actually executed.  The vendored pool
+    /// is real, so an explicit request is honoured exactly (a dedicated
+    /// pool of that size runs the work); only `None` requests depend on the
+    /// environment (`PB_RAYON_THREADS` or the machine's parallelism).  The
+    /// field is kept alongside `threads` so JSON consumers spanning old
+    /// (sequential-shim) and new records keep a consistent schema.
     pub threads_effective: usize,
     /// Best wall-clock time over the repetitions, in seconds.
     pub seconds: f64,
@@ -76,10 +79,18 @@ pub fn measure(
     threads: Option<usize>,
 ) -> Measurement {
     let reps = reps.max(1);
+    // One dedicated pool for all repetitions, built outside the timed
+    // region: thread spawning is measurement noise, not multiplication.
+    let pool = threads.map(|t| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t.max(1))
+            .build()
+            .expect("rayon pool")
+    });
     let mut best = f64::MAX;
     let mut nnz_c = 0usize;
     for _ in 0..reps {
-        let (dt, nnz) = run_once(workload, algorithm, threads);
+        let (dt, nnz) = run_once(workload, algorithm, pool.as_ref());
         best = best.min(dt);
         nnz_c = nnz;
     }
@@ -97,58 +108,42 @@ pub fn measure(
     }
 }
 
-/// Whether the rayon backend actually runs work in parallel. Probed once per
-/// process (a two-thread pool that reports fewer than two threads is the
-/// vendored sequential shim) so per-measurement calls don't spawn pools just
-/// to inspect them.
-fn backend_is_sequential() -> bool {
-    static SEQUENTIAL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *SEQUENTIAL.get_or_init(|| {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(2)
-            .build()
-            .map(|pool| pool.current_num_threads() < 2)
-            .unwrap_or(true)
-    })
-}
-
-/// The thread count a request actually executes on: the requested size under
-/// real rayon, the calling thread under the sequential shim. Recording the
-/// request verbatim would emit scaling data for runs that never happened.
+/// The thread count a request actually executes on.  Explicit requests are
+/// honoured exactly — `run_once` installs a dedicated pool of that size —
+/// and `None` uses the current (global) pool.  The old sequential-shim
+/// special case is gone: the vendored pool reports the count that really
+/// runs, so the shim's `current_num_threads()` and this function agree by
+/// construction.
 fn effective_threads(requested: Option<usize>) -> usize {
-    if backend_is_sequential() {
-        1
-    } else {
-        requested.unwrap_or_else(rayon::current_num_threads).max(1)
-    }
+    requested.unwrap_or_else(rayon::current_num_threads).max(1)
 }
 
-fn run_once(workload: &Workload, algorithm: &Algorithm, threads: Option<usize>) -> (f64, usize) {
-    match algorithm {
+fn run_once(
+    workload: &Workload,
+    algorithm: &Algorithm,
+    pool: Option<&rayon::ThreadPool>,
+) -> (f64, usize) {
+    let run = || match algorithm {
         Algorithm::Pb(cfg) => {
-            let cfg = match threads {
-                Some(t) => cfg.with_threads(t),
-                None => *cfg,
+            // The pool is installed around the call, so the config itself
+            // must not request a second, nested pool.
+            let cfg = PbConfig {
+                threads: None,
+                ..*cfg
             };
             let t = Instant::now();
             let c = pb_spgemm::multiply(&workload.a_csc, &workload.a, &cfg);
             (t.elapsed().as_secs_f64(), c.nnz())
         }
         Algorithm::Baseline(b) => {
-            let run = || {
-                let t = Instant::now();
-                let c = b.multiply(&workload.a, &workload.a);
-                (t.elapsed().as_secs_f64(), c.nnz())
-            };
-            match threads {
-                Some(t) => rayon::ThreadPoolBuilder::new()
-                    .num_threads(t.max(1))
-                    .build()
-                    .expect("rayon pool")
-                    .install(run),
-                None => run(),
-            }
+            let t = Instant::now();
+            let c = b.multiply(&workload.a, &workload.a);
+            (t.elapsed().as_secs_f64(), c.nnz())
         }
+    };
+    match pool {
+        Some(pool) => pool.install(run),
+        None => run(),
     }
 }
 

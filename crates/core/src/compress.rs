@@ -6,6 +6,15 @@
 //! accumulated into `p2`, new keys advance `p2`.  The scan is in place, so
 //! the compressed bin occupies a prefix of its original segment and no extra
 //! memory traffic is generated.
+//!
+//! Parallelism is *per bin*: the bins are disjoint slices, so the pool's
+//! threads each compress whole bins concurrently.  The scan within one bin
+//! stays sequential on purpose — it is a forward-dependent in-place merge,
+//! and splitting it would require either a scratch buffer (extra bandwidth,
+//! which this phase exists to avoid) or a key-boundary search whose cost
+//! rivals the scan itself.  With the paper's bin sizing (`nbins ≈
+//! flop·bytes/L2`) there are far more bins than threads whenever the input
+//! is large enough for the split to matter.
 
 use pb_sparse::semiring::Semiring;
 use rayon::prelude::*;

@@ -57,15 +57,33 @@ pub enum SortAlgorithm {
     Comparison,
 }
 
+/// Size of one cache line in bytes on every platform this reproduction
+/// targets (x86-64 and aarch64).  Local-bin flushes are sized in whole
+/// multiples of this so the propagation-blocked writes of the expand phase
+/// hit memory a full line at a time.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// Default local-bin width in cache lines.  Eight lines × 64 B = 512 B, the
+/// paper's default (Sec. V-A): large enough that a flush amortises the
+/// reservation `fetch_add`, small enough that one local bin per global bin
+/// still fits the bins of a thread in L1/L2.
+pub const DEFAULT_LOCAL_BIN_CACHE_LINES: usize = 8;
+
 /// Configuration of a PB-SpGEMM multiplication.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PbConfig {
     /// Number of global bins.  `None` (default) derives it from the flop
     /// count and [`PbConfig::l2_bytes`] exactly as the paper's symbolic
-    /// phase does: `nbins = ceil(flop · bytes_per_tuple / L2)`.
+    /// phase does: `nbins = ceil(flop · bytes_per_tuple / L2)`, i.e. the
+    /// smallest bin count at which one bin's expanded tuples fit in the L2
+    /// cache of the core that will later sort them.
     pub nbins: Option<usize>,
-    /// Size of each thread-private local bin in bytes (default 512, the
-    /// paper's choice — a handful of cache lines).
+    /// Size of each thread-private local bin in bytes.  The default is
+    /// derived, not magic: [`DEFAULT_LOCAL_BIN_CACHE_LINES`] ×
+    /// [`CACHE_LINE_BYTES`] = 512 B.  The expand phase converts this byte
+    /// budget into a tuple capacity from the actual `Entry<V>` size and
+    /// rounds it to whole cache lines (see
+    /// [`local_bin_capacity`](crate::expand::local_bin_capacity)).
     pub local_bin_bytes: usize,
     /// Assumed L2 cache capacity per core in bytes, used to auto-derive
     /// `nbins` (default 1 MiB, the Skylake-SP value from Table IV).
@@ -84,7 +102,7 @@ impl Default for PbConfig {
     fn default() -> Self {
         PbConfig {
             nbins: None,
-            local_bin_bytes: 512,
+            local_bin_bytes: DEFAULT_LOCAL_BIN_CACHE_LINES * CACHE_LINE_BYTES,
             l2_bytes: 1024 * 1024,
             bin_mapping: BinMapping::Range,
             expand: ExpandStrategy::Reserved,
@@ -166,6 +184,7 @@ mod tests {
     #[test]
     fn defaults_match_the_paper() {
         let c = PbConfig::default();
+        // 8 cache lines × 64 B: derived, but equal to the paper's 512 B.
         assert_eq!(c.local_bin_bytes, 512);
         assert_eq!(c.bin_mapping, BinMapping::Range);
         assert_eq!(c.expand, ExpandStrategy::Reserved);

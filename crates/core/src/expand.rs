@@ -43,10 +43,24 @@ pub fn expand<S: Semiring>(
     }
 }
 
-/// Number of tuples a local bin of `local_bin_bytes` bytes can hold (at
-/// least one so the algorithm still works with absurdly small settings).
-fn local_bin_capacity<V>(local_bin_bytes: usize) -> usize {
-    (local_bin_bytes / std::mem::size_of::<Entry<V>>()).max(1)
+/// Number of tuples a local bin of `local_bin_bytes` bytes holds, derived
+/// from the actual `Entry<V>` size rather than any assumed tuple width.
+///
+/// When the byte budget covers at least one cache line
+/// ([`CACHE_LINE_BYTES`](crate::config::CACHE_LINE_BYTES)), the capacity is
+/// rounded *down* to a whole number of cache lines' worth of entries so
+/// that every flush writes full lines — the point of propagation blocking.
+/// Smaller budgets degrade gracefully to whatever fits (at least one tuple,
+/// so the algorithm still works with absurdly small settings).
+pub fn local_bin_capacity<V>(local_bin_bytes: usize) -> usize {
+    let entry = std::mem::size_of::<Entry<V>>();
+    let raw = (local_bin_bytes / entry).max(1);
+    let per_line = (crate::config::CACHE_LINE_BYTES / entry).max(1);
+    if raw >= per_line {
+        raw - raw % per_line
+    } else {
+        raw
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -61,6 +75,19 @@ fn local_bin_capacity<V>(local_bin_bytes: usize) -> usize {
 /// segment size, so (a) ranges handed to different flushes never overlap and
 /// (b) no write ever leaves a bin's segment.  Every slot of the buffer is
 /// therefore written exactly once before the buffer is read.
+///
+/// Under *real* concurrency (threads flushing the same bin simultaneously)
+/// two further points make this sound:
+///
+/// * the reservation uses `Ordering::Relaxed`, which is sufficient because
+///   a `fetch_add` is an atomic read-modify-write — two flushes can never
+///   observe the same cursor value, so the reserved ranges are disjoint by
+///   construction and no ordering between the *data* writes of different
+///   threads is needed (they touch disjoint memory);
+/// * the buffer is only read back after the parallel loop completes, and
+///   the pool's task-completion handshake (a `Release` increment per block
+///   joined by an `Acquire` read on the submitting thread) establishes a
+///   happens-before edge from every flush to that read.
 struct SharedBuf<V> {
     ptr: *mut MaybeUninit<Entry<V>>,
     len: usize,
@@ -419,6 +446,41 @@ mod tests {
         let (tuples, sym) = run(&a, &cfg);
         assert_eq!(tuples.flop() as u64, sym.flop);
         assert_eq!(collect_tuples(&tuples), expected_tuples(&a));
+    }
+
+    #[test]
+    fn local_bin_capacity_rounds_to_whole_cache_lines() {
+        // Entry<f64> is 16 bytes -> 4 entries per 64-byte line.
+        assert_eq!(std::mem::size_of::<Entry<f64>>(), 16);
+        // 512 B = 8 lines = 32 entries, already aligned.
+        assert_eq!(local_bin_capacity::<f64>(512), 32);
+        // 13 entries' worth rounds down to 3 whole lines (12 entries).
+        assert_eq!(local_bin_capacity::<f64>(13 * 16), 12);
+        // Budgets under one line keep whatever fits, at least one tuple.
+        assert_eq!(local_bin_capacity::<f64>(16), 1);
+        assert_eq!(local_bin_capacity::<f64>(1), 1);
+    }
+
+    /// The Reserved strategy's concurrent `fetch_add` flushes must assemble
+    /// the same multiset of tuples no matter how many real threads race.
+    #[test]
+    fn reserved_is_correct_under_real_thread_pools() {
+        let a = rmat_square(8, 8, 21);
+        let expected = expected_tuples(&a);
+        for threads in [2usize, 4, 8] {
+            let cfg = PbConfig::default()
+                .with_nbins(16)
+                // Tiny local bins maximise flush frequency and contention.
+                .with_local_bin_bytes(64)
+                .with_threads(threads);
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (tuples, sym) = pool.install(|| run(&a, &cfg));
+            assert_eq!(tuples.flop() as u64, sym.flop, "threads = {threads}");
+            assert_eq!(collect_tuples(&tuples), expected, "threads = {threads}");
+        }
     }
 
     #[test]

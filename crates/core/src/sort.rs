@@ -22,11 +22,22 @@ use rayon::prelude::*;
 use crate::bins::{BinnedTuples, Entry};
 use crate::config::SortAlgorithm;
 
+/// A bin smaller than this is never worth splitting across threads.
+const PAR_BIN_MIN: usize = 1 << 14;
+
 /// Sorts every bin of the expanded matrix by its packed key.
+///
+/// Whole bins are distributed across the pool's threads.  When there are
+/// *fewer* bins than threads (small products, or a single-bin
+/// configuration) per-bin parallelism cannot keep the pool busy, so large
+/// bins are additionally sorted with in-bin parallelism: one MSD byte
+/// partition whose 256 buckets are then sorted concurrently (radix
+/// algorithms), or a parallel comparison sort.
 pub fn sort_bins<V: Copy + Send + Sync>(tuples: &mut BinnedTuples<V>, algorithm: SortAlgorithm) {
     let key_bytes = tuples.layout.key_bytes() as usize;
     let offsets = tuples.bin_offsets.clone();
     let nbins = tuples.nbins();
+    let split_within_bins = nbins < rayon::current_num_threads();
 
     // Carve the entry buffer into disjoint per-bin slices so rayon can sort
     // them in parallel.
@@ -42,9 +53,64 @@ pub fn sort_bins<V: Copy + Send + Sync>(tuples: &mut BinnedTuples<V>, algorithm:
         consumed += len;
     }
 
-    slices
-        .into_par_iter()
-        .for_each(|seg| sort_slice(seg, key_bytes, algorithm));
+    slices.into_par_iter().for_each(|seg| {
+        if split_within_bins && seg.len() >= PAR_BIN_MIN {
+            par_sort_slice(seg, key_bytes, algorithm)
+        } else {
+            sort_slice(seg, key_bytes, algorithm)
+        }
+    });
+}
+
+/// Sorts one large bin with in-bin parallelism (same result as
+/// [`sort_slice`], different schedule).
+///
+/// For the radix algorithms the bin is partitioned once by its most
+/// significant key byte — a sequential counting pass plus in-place cycle
+/// permutation — and the 256 resulting buckets, which are already mutually
+/// ordered, are finished independently in parallel with the configured
+/// algorithm on the remaining bytes.  The comparison sort delegates to the
+/// pool's parallel quicksort.
+pub fn par_sort_slice<V: Copy + Send>(
+    seg: &mut [Entry<V>],
+    key_bytes: usize,
+    algorithm: SortAlgorithm,
+) {
+    let key_bytes = key_bytes.clamp(1, 8);
+    match algorithm {
+        SortAlgorithm::Comparison => seg.par_sort_unstable_by_key(|e| e.key),
+        SortAlgorithm::LsdRadix | SortAlgorithm::AmericanFlag => {
+            if key_bytes == 1 {
+                // Single significant byte: the MSD partition *is* the sort.
+                flag_sort_level(seg, 0);
+                return;
+            }
+            let top = (key_bytes - 1) as u32;
+            let (starts, ends) = msd_partition(seg, top);
+            // Carve the bucket sub-slices (disjoint by construction).
+            let mut buckets: Vec<&mut [Entry<V>]> = Vec::with_capacity(256);
+            let mut rest: &mut [Entry<V>] = seg;
+            let mut consumed = 0usize;
+            for bucket in 0..256 {
+                let len = ends[bucket] - starts[bucket];
+                let (b, r) = rest.split_at_mut(len);
+                buckets.push(b);
+                rest = r;
+                consumed += len;
+            }
+            debug_assert_eq!(consumed, ends[255]);
+            buckets.into_par_iter().for_each(|b| {
+                if b.len() > 1 {
+                    match algorithm {
+                        // Buckets share the top byte, so ordering the
+                        // remaining low bytes completes the sort.
+                        SortAlgorithm::LsdRadix => lsd_radix_sort(b, key_bytes - 1),
+                        _ => flag_sort_level(b, top - 1),
+                    }
+                }
+            });
+        }
+    }
 }
 
 /// Sorts one bin's tuples by key with the selected algorithm.
@@ -122,11 +188,10 @@ pub fn american_flag_sort<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize) {
     flag_sort_level(seg, (key_bytes - 1) as u32);
 }
 
-fn flag_sort_level<V: Copy>(seg: &mut [Entry<V>], byte: u32) {
-    if seg.len() <= SMALL_SORT {
-        insertion_sort(seg);
-        return;
-    }
+/// Partitions `seg` into 256 buckets of key byte `byte` (in-place
+/// cycle-following permutation); returns each bucket's `[start, end)`
+/// boundaries.
+fn msd_partition<V: Copy>(seg: &mut [Entry<V>], byte: u32) -> ([usize; 256], [usize; 256]) {
     let shift = 8 * byte;
     let mut counts = [0usize; 256];
     for e in seg.iter() {
@@ -158,6 +223,15 @@ fn flag_sort_level<V: Copy>(seg: &mut [Entry<V>], byte: u32) {
             heads[bucket] += 1;
         }
     }
+    (starts, ends)
+}
+
+fn flag_sort_level<V: Copy>(seg: &mut [Entry<V>], byte: u32) {
+    if seg.len() <= SMALL_SORT {
+        insertion_sort(seg);
+        return;
+    }
+    let (starts, ends) = msd_partition(seg, byte);
     if byte > 0 {
         for bucket in 0..256 {
             let (lo, hi) = (starts[bucket], ends[bucket]);
@@ -297,6 +371,36 @@ mod tests {
             assert!(is_sorted(
                 &tuples.entries[bin_offsets[b]..bin_offsets[b + 1]]
             ));
+        }
+    }
+
+    #[test]
+    fn par_sort_slice_agrees_with_sequential_sort() {
+        for &bits in &[8u32, 20, 31, 48] {
+            let original = random_entries(60_000, bits, 1000 + bits as u64);
+            let key_bytes = (bits as usize).div_ceil(8);
+            let mut expected = original.clone();
+            expected.sort_by_key(|e| e.key);
+            let expected_keys: Vec<u64> = expected.iter().map(|e| e.key).collect();
+            for threads in [1usize, 2, 4] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                for algo in [
+                    SortAlgorithm::LsdRadix,
+                    SortAlgorithm::AmericanFlag,
+                    SortAlgorithm::Comparison,
+                ] {
+                    let mut data = original.clone();
+                    pool.install(|| par_sort_slice(&mut data, key_bytes, algo));
+                    let keys: Vec<u64> = data.iter().map(|e| e.key).collect();
+                    assert_eq!(
+                        keys, expected_keys,
+                        "{algo:?} with {threads} threads on {bits}-bit keys"
+                    );
+                }
+            }
         }
     }
 

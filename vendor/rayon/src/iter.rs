@@ -1,0 +1,1116 @@
+//! Parallel iterators: splittable producers, adaptors, and terminal
+//! operations driven over the pool of [`crate::pool`].
+//!
+//! # How an operation executes
+//!
+//! Every parallel iterator bottoms out in a [`Producer`] — a splittable
+//! description of work (an index range, a slice, a chunk sequence, a vector)
+//! with an adaptor stack (`map`, `filter`, `zip`, ...) layered on top as
+//! wrapper producers.  A terminal operation (`for_each`, `collect`,
+//! `reduce`, ...) splits the producer into roughly `4 × num_threads` blocks
+//! of near-equal length, and the pool's participants claim blocks with an
+//! atomic cursor and run each block's items through a sequential iterator.
+//! Per-block results are combined in block order, so order-sensitive
+//! terminals (`collect`, `sum` over floats, `reduce`) are deterministic for
+//! a fixed thread count and block count.
+
+use crate::pool::{current_pool, SyncSlot};
+
+// ---------------------------------------------------------------------------
+// Producer: splittable work descriptions
+// ---------------------------------------------------------------------------
+
+/// A splittable source of items, mirroring rayon's internal `Producer`.
+///
+/// `len` is exact for indexed sources and an upper bound for filtering
+/// adaptors (it is only used to choose split points).
+pub trait Producer: Sized + Send {
+    /// Item type produced.
+    type Item;
+    /// Sequential iterator over one block.
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// Number of items (upper bound for filtering adaptors).
+    fn len(&self) -> usize;
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Converts this block into a sequential iterator.
+    fn into_iter(self) -> Self::IntoIter;
+}
+
+/// Marker for producers whose `len` is *exact* and whose `split_at` index
+/// equals an item position — the analogue of rayon's
+/// `IndexedParallelIterator`.  `filter`/`filter_map` lose this property
+/// (their `len` is only an upper bound), so position-sensitive adaptors
+/// (`enumerate`, `zip`) are gated on it; accepting a filtered producer
+/// there would silently mis-number items split across threads, where real
+/// rayon rejects the combination at compile time.
+pub trait IndexedProducer: Producer {}
+
+/// Conversion into a parallel iterator; mirrors rayon's trait of the same
+/// name.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item;
+    /// Producer backing the iterator.
+    type Producer: Producer<Item = Self::Item>;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+impl<P: Producer> IntoParallelIterator for ParIter<P> {
+    type Item = P::Item;
+    type Producer = P;
+    fn into_par_iter(self) -> ParIter<P> {
+        self
+    }
+}
+
+macro_rules! impl_range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for std::ops::Range<$t> {
+            type Item = $t;
+            type IntoIter = std::ops::Range<$t>;
+            fn len(&self) -> usize {
+                if self.end > self.start { (self.end - self.start) as usize } else { 0 }
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + index as $t;
+                (self.start..mid, mid..self.end)
+            }
+            fn into_iter(self) -> Self::IntoIter {
+                self
+            }
+        }
+
+        impl IndexedProducer for std::ops::Range<$t> {}
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Producer = std::ops::Range<$t>;
+            fn into_par_iter(self) -> ParIter<Self::Producer> {
+                ParIter::new(self)
+            }
+        }
+    )*};
+}
+
+impl_range_producer!(usize, u32, u64, i32, i64);
+
+impl<'a, T: Sync> Producer for &'a [T] {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        (*self).split_at(index)
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a, T: Send> Producer for &'a mut [T] {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        self.split_at_mut(index)
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter_mut()
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Producer = &'a [T];
+    fn into_par_iter(self) -> ParIter<Self::Producer> {
+        ParIter::new(self)
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Producer = &'a mut [T];
+    fn into_par_iter(self) -> ParIter<Self::Producer> {
+        ParIter::new(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Producer = &'a [T];
+    fn into_par_iter(self) -> ParIter<Self::Producer> {
+        ParIter::new(self.as_slice())
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Producer = &'a mut [T];
+    fn into_par_iter(self) -> ParIter<Self::Producer> {
+        ParIter::new(self.as_mut_slice())
+    }
+}
+
+/// Owning producer over a `Vec`; splits via `split_off` (one allocation and
+/// memcpy per split — splits are `O(log blocks)` deep, so items move at most
+/// a handful of times).
+#[derive(Debug)]
+pub struct VecProducer<T>(Vec<T>);
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.0.split_off(index);
+        (self, VecProducer(tail))
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+    fn into_par_iter(self) -> ParIter<Self::Producer> {
+        ParIter::new(VecProducer(self))
+    }
+}
+
+/// Producer of contiguous shared chunks (`par_chunks`).
+#[derive(Debug)]
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(mid);
+        (
+            ChunksProducer {
+                slice: a,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Producer of contiguous mutable chunks (`par_chunks_mut`).
+#[derive(Debug)]
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            ChunksMutProducer {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptor producers
+// ---------------------------------------------------------------------------
+
+/// `map` adaptor; the closure is cloned into each split half.
+#[derive(Debug)]
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, U> Producer for Map<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> U + Clone + Send,
+{
+    type Item = U;
+    type IntoIter = std::iter::Map<P::IntoIter, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.base.into_iter().map(self.f)
+    }
+}
+
+/// `filter` adaptor (`len` becomes an upper bound).
+#[derive(Debug)]
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> Producer for Filter<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Clone + Send,
+{
+    type Item = P::Item;
+    type IntoIter = std::iter::Filter<P::IntoIter, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Filter {
+                base: a,
+                f: self.f.clone(),
+            },
+            Filter { base: b, f: self.f },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.base.into_iter().filter(self.f)
+    }
+}
+
+/// `filter_map` adaptor (`len` becomes an upper bound).
+#[derive(Debug)]
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, U> Producer for FilterMap<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> Option<U> + Clone + Send,
+{
+    type Item = U;
+    type IntoIter = std::iter::FilterMap<P::IntoIter, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            FilterMap {
+                base: a,
+                f: self.f.clone(),
+            },
+            FilterMap { base: b, f: self.f },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.base.into_iter().filter_map(self.f)
+    }
+}
+
+/// `map_init` adaptor: fresh scratch state per block, reused across the
+/// block's items (rayon's per-split semantics).
+#[derive(Debug)]
+pub struct MapInit<P, INIT, F> {
+    base: P,
+    init: INIT,
+    f: F,
+}
+
+/// Iterator of one [`MapInit`] block.
+#[derive(Debug)]
+pub struct MapInitIter<I, T, F> {
+    inner: I,
+    state: T,
+    f: F,
+}
+
+impl<I: Iterator, T, U, F: Fn(&mut T, I::Item) -> U> Iterator for MapInitIter<I, T, F> {
+    type Item = U;
+    fn next(&mut self) -> Option<U> {
+        let item = self.inner.next()?;
+        Some((self.f)(&mut self.state, item))
+    }
+}
+
+impl<P, INIT, T, F, U> Producer for MapInit<P, INIT, F>
+where
+    P: Producer,
+    INIT: Fn() -> T + Clone + Send,
+    F: Fn(&mut T, P::Item) -> U + Clone + Send,
+{
+    type Item = U;
+    type IntoIter = MapInitIter<P::IntoIter, T, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            MapInit {
+                base: a,
+                init: self.init.clone(),
+                f: self.f.clone(),
+            },
+            MapInit {
+                base: b,
+                init: self.init,
+                f: self.f,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        MapInitIter {
+            inner: self.base.into_iter(),
+            state: (self.init)(),
+            f: self.f,
+        }
+    }
+}
+
+/// `enumerate` adaptor; each split half knows its global starting index.
+#[derive(Debug)]
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Iterator of one [`Enumerate`] block.
+#[derive(Debug)]
+pub struct EnumerateIter<I> {
+    inner: I,
+    next_index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateIter<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let index = self.next_index;
+        self.next_index += 1;
+        Some((index, item))
+    }
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = EnumerateIter<P::IntoIter>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        EnumerateIter {
+            inner: self.base.into_iter(),
+            next_index: self.offset,
+        }
+    }
+}
+
+/// `zip` adaptor; both sides split at the same index.
+#[derive(Debug)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.a.into_iter().zip(self.b.into_iter())
+    }
+}
+
+/// `copied` adaptor.
+#[derive(Debug)]
+pub struct Copied<P>(P);
+
+impl<'a, T, P> Producer for Copied<P>
+where
+    T: Copy + Sync + 'a,
+    P: Producer<Item = &'a T>,
+{
+    type Item = T;
+    type IntoIter = std::iter::Copied<P::IntoIter>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(index);
+        (Copied(a), Copied(b))
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter().copied()
+    }
+}
+
+/// `cloned` adaptor.
+#[derive(Debug)]
+pub struct Cloned<P>(P);
+
+impl<'a, T, P> Producer for Cloned<P>
+where
+    T: Clone + Sync + 'a,
+    P: Producer<Item = &'a T>,
+{
+    type Item = T;
+    type IntoIter = std::iter::Cloned<P::IntoIter>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(index);
+        (Cloned(a), Cloned(b))
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter().cloned()
+    }
+}
+
+impl<T: Sync> IndexedProducer for &[T] {}
+impl<T: Send> IndexedProducer for &mut [T] {}
+impl<T: Send> IndexedProducer for VecProducer<T> {}
+impl<'a, T: Sync> IndexedProducer for ChunksProducer<'a, T> {}
+impl<'a, T: Send> IndexedProducer for ChunksMutProducer<'a, T> {}
+impl<P, F, U> IndexedProducer for Map<P, F>
+where
+    P: IndexedProducer,
+    F: Fn(P::Item) -> U + Clone + Send,
+{
+}
+impl<P, INIT, T, F, U> IndexedProducer for MapInit<P, INIT, F>
+where
+    P: IndexedProducer,
+    INIT: Fn() -> T + Clone + Send,
+    F: Fn(&mut T, P::Item) -> U + Clone + Send,
+{
+}
+impl<P: IndexedProducer> IndexedProducer for Enumerate<P> {}
+impl<A: IndexedProducer, B: IndexedProducer> IndexedProducer for Zip<A, B> {}
+impl<'a, T, P> IndexedProducer for Copied<P>
+where
+    T: Copy + Sync + 'a,
+    P: IndexedProducer<Item = &'a T>,
+{
+}
+impl<'a, T, P> IndexedProducer for Cloned<P>
+where
+    T: Clone + Sync + 'a,
+    P: IndexedProducer<Item = &'a T>,
+{
+}
+
+// ---------------------------------------------------------------------------
+// The drive: block splitting + pool execution
+// ---------------------------------------------------------------------------
+
+/// Blocks per pool thread; a few per thread smooths load imbalance without
+/// meaningful claiming overhead (the claim is one `fetch_add`).
+const BLOCKS_PER_THREAD: usize = 4;
+
+/// Splits `producer` into at most `target` near-equal blocks of at least
+/// `min_len` items each.
+fn split_blocks<P: Producer>(producer: P, target: usize, min_len: usize) -> Vec<P> {
+    let total = producer.len();
+    let cap = total.div_ceil(target.max(1)).max(min_len).max(1);
+    let mut blocks = Vec::with_capacity(target.max(1));
+    let mut stack = vec![producer];
+    while let Some(p) = stack.pop() {
+        let len = p.len();
+        if len <= cap {
+            if len > 0 {
+                blocks.push(p);
+            }
+            continue;
+        }
+        let (a, b) = p.split_at(len / 2);
+        stack.push(b);
+        stack.push(a);
+    }
+    // Depth-first left-to-right traversal with `a` pushed last keeps blocks
+    // in item order, which order-sensitive terminals rely on.
+    blocks
+}
+
+/// Runs `consume` over every block of `iter` on the current pool and
+/// returns the per-block results in item order.
+fn drive<P, R, F>(iter: ParIter<P>, consume: F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let pool = current_pool();
+    if pool.num_threads() <= 1 {
+        // Sequential pool: one block, zero overhead, same single-segment
+        // semantics the old sequential shim had.
+        return vec![consume(iter.producer)];
+    }
+    let blocks = split_blocks(
+        iter.producer,
+        pool.num_threads() * BLOCKS_PER_THREAD,
+        iter.min_len,
+    );
+    let n = blocks.len();
+    if n <= 1 {
+        return blocks.into_iter().map(consume).collect();
+    }
+    let slots: Vec<SyncSlot<P>> = blocks.into_iter().map(SyncSlot::new).collect();
+    let results: Vec<SyncSlot<R>> = (0..n).map(|_| SyncSlot::empty()).collect();
+    let runner = |i: usize| {
+        let block = slots[i].take().expect("block claimed twice");
+        results[i].put(consume(block));
+    };
+    pool.run_task(n, &runner);
+    results
+        .into_iter()
+        .map(|slot| slot.take().expect("block never produced a result"))
+        .collect()
+}
+
+/// Executes boxed scope jobs in parallel (used by [`crate::pool::scope`]).
+pub(crate) fn run_boxed_jobs<'scope>(
+    jobs: Vec<crate::pool::ScopeJob<'scope>>,
+    scope: &crate::pool::Scope<'scope>,
+) {
+    jobs.into_par_iter().for_each(|job| job(scope));
+}
+
+// ---------------------------------------------------------------------------
+// ParIter: the user-facing parallel iterator
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator over a splittable [`Producer`].
+#[derive(Debug)]
+pub struct ParIter<P> {
+    producer: P,
+    min_len: usize,
+}
+
+impl<P: Producer> ParIter<P> {
+    fn new(producer: P) -> Self {
+        ParIter {
+            producer,
+            min_len: 1,
+        }
+    }
+
+    /// Requires blocks of at least `min` items (splitting granularity hint).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the block count is already bounded by
+    /// `4 × num_threads`, so a maximum-length hint has nothing to cap.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// Maps each item through `f`.
+    pub fn map<U, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        F: Fn(P::Item) -> U + Clone + Send,
+    {
+        ParIter {
+            producer: Map {
+                base: self.producer,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Keeps only items for which `f` returns true.
+    pub fn filter<F>(self, f: F) -> ParIter<Filter<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Clone + Send,
+    {
+        ParIter {
+            producer: Filter {
+                base: self.producer,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Combined filter and map.
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<FilterMap<P, F>>
+    where
+        F: Fn(P::Item) -> Option<U> + Clone + Send,
+    {
+        ParIter {
+            producer: FilterMap {
+                base: self.producer,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Maps with per-block scratch state: `init` runs once per block, `f`
+    /// reuses the state for every item of that block.
+    pub fn map_init<T, U, INIT, F>(self, init: INIT, f: F) -> ParIter<MapInit<P, INIT, F>>
+    where
+        INIT: Fn() -> T + Clone + Send,
+        F: Fn(&mut T, P::Item) -> U + Clone + Send,
+    {
+        ParIter {
+            producer: MapInit {
+                base: self.producer,
+                init,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Pairs each item with its index.  Requires an indexed producer
+    /// ([`IndexedProducer`]): enumerating a filtered iterator would assign
+    /// wrong indices once the work splits across threads.
+    pub fn enumerate(self) -> ParIter<Enumerate<P>>
+    where
+        P: IndexedProducer,
+    {
+        ParIter {
+            producer: Enumerate {
+                base: self.producer,
+                offset: 0,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Zips with another (into-)parallel iterator; both sides must be
+    /// indexed (exact `len`), which every producer here except `filter`'s
+    /// satisfies.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<Zip<P, Z::Producer>>
+    where
+        P: IndexedProducer,
+        Z::Producer: IndexedProducer,
+    {
+        ParIter {
+            producer: Zip {
+                a: self.producer,
+                b: other.into_par_iter().producer,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Copies items out of references.
+    pub fn copied<'a, T>(self) -> ParIter<Copied<P>>
+    where
+        T: Copy + Sync + 'a,
+        P: Producer<Item = &'a T>,
+    {
+        ParIter {
+            producer: Copied(self.producer),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Clones items out of references.
+    pub fn cloned<'a, T>(self) -> ParIter<Cloned<P>>
+    where
+        T: Clone + Sync + 'a,
+        P: Producer<Item = &'a T>,
+    {
+        ParIter {
+            producer: Cloned(self.producer),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Calls `f` on every item, in parallel across blocks.
+    pub fn for_each<F>(self, f: F)
+    where
+        P::Item: Send,
+        F: Fn(P::Item) + Sync,
+    {
+        drive(self, |block| {
+            for item in block.into_iter() {
+                f(item);
+            }
+        });
+    }
+
+    /// Rayon-style fold: one accumulator per block, returned as a new
+    /// parallel iterator over the accumulators.  On a single-thread pool
+    /// this degenerates to exactly one segment.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecProducer<T>>
+    where
+        P::Item: Send,
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, P::Item) -> T + Sync,
+    {
+        let accs = drive(self, |block| {
+            let mut acc = identity();
+            for item in block.into_iter() {
+                acc = fold_op(acc, item);
+            }
+            acc
+        });
+        ParIter::new(VecProducer(accs))
+    }
+
+    /// Rayon-style reduce with an identity constructor: blocks reduce in
+    /// parallel, block results combine in item order.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> P::Item
+    where
+        P::Item: Send,
+        ID: Fn() -> P::Item + Sync,
+        F: Fn(P::Item, P::Item) -> P::Item + Sync,
+    {
+        let partials = drive(self, |block| {
+            let mut acc = identity();
+            for item in block.into_iter() {
+                acc = op(acc, item);
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Reduces without an identity; `None` on an empty iterator.
+    pub fn reduce_with<F>(self, op: F) -> Option<P::Item>
+    where
+        P::Item: Send,
+        F: Fn(P::Item, P::Item) -> P::Item + Sync,
+    {
+        drive(self, |block| block.into_iter().reduce(&op))
+            .into_iter()
+            .flatten()
+            .reduce(op)
+    }
+
+    /// Collects into any [`FromIterator`] container, preserving item order.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C
+    where
+        P::Item: Send,
+    {
+        let parts: Vec<Vec<P::Item>> = drive(self, |block| block.into_iter().collect());
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sums the items (blocks in parallel, block sums in item order).
+    pub fn sum<S>(self) -> S
+    where
+        P::Item: Send,
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
+    {
+        drive(self, |block| block.into_iter().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize
+    where
+        P::Item: Send,
+    {
+        drive(self, |block| block.into_iter().count())
+            .into_iter()
+            .sum()
+    }
+
+    /// Minimum item, if any.
+    pub fn min(self) -> Option<P::Item>
+    where
+        P::Item: Ord + Send,
+    {
+        drive(self, |block| block.into_iter().min())
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Maximum item, if any.
+    pub fn max(self) -> Option<P::Item>
+    where
+        P::Item: Ord + Send,
+    {
+        drive(self, |block| block.into_iter().max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Minimum by a comparison function (first minimum on ties).
+    pub fn min_by<F>(self, compare: F) -> Option<P::Item>
+    where
+        P::Item: Send,
+        F: Fn(&P::Item, &P::Item) -> std::cmp::Ordering + Sync,
+    {
+        drive(self, |block| block.into_iter().min_by(|a, b| compare(a, b)))
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| compare(a, b))
+    }
+
+    /// Maximum by a comparison function (last maximum on ties).
+    pub fn max_by<F>(self, compare: F) -> Option<P::Item>
+    where
+        P::Item: Send,
+        F: Fn(&P::Item, &P::Item) -> std::cmp::Ordering + Sync,
+    {
+        drive(self, |block| block.into_iter().max_by(|a, b| compare(a, b)))
+            .into_iter()
+            .flatten()
+            .max_by(|a, b| compare(a, b))
+    }
+
+    /// True if `f` holds for every item (early-exits across blocks).
+    pub fn all<F>(self, f: F) -> bool
+    where
+        P::Item: Send,
+        F: Fn(P::Item) -> bool + Sync,
+    {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let failed = AtomicBool::new(false);
+        drive(self, |block| {
+            for item in block.into_iter() {
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                if !f(item) {
+                    failed.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        !failed.load(Ordering::Relaxed)
+    }
+
+    /// True if `f` holds for any item (early-exits across blocks).
+    pub fn any<F>(self, f: F) -> bool
+    where
+        P::Item: Send,
+        F: Fn(P::Item) -> bool + Sync,
+    {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let found = AtomicBool::new(false);
+        drive(self, |block| {
+            for item in block.into_iter() {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                if f(item) {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        found.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice extension traits
+// ---------------------------------------------------------------------------
+
+/// `par_iter`/`par_chunks` on shared slices (and, via deref, `Vec`s and
+/// arrays); mirrors rayon's `ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references to the elements.
+    fn par_iter(&self) -> ParIter<&[T]>;
+    /// Parallel iterator over contiguous chunks of `chunk_size`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&[T]> {
+        ParIter::new(self)
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter::new(ChunksProducer {
+            slice: self,
+            size: chunk_size,
+        })
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut`/`par_sort*` on mutable slices; mirrors
+/// rayon's `ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references to the elements.
+    fn par_iter_mut(&mut self) -> ParIter<&mut [T]>;
+    /// Parallel iterator over contiguous mutable chunks of `chunk_size`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+    /// Parallel unstable sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Parallel unstable sort by key.
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+    /// Parallel unstable sort by comparator.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut [T]> {
+        ParIter::new(self)
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter::new(ChunksMutProducer {
+            slice: self,
+            size: chunk_size,
+        })
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        par_quicksort(self, &|a, b| a.cmp(b), par_sort_depth());
+    }
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_quicksort(self, &|a, b| f(a).cmp(&f(b)), par_sort_depth());
+    }
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        par_quicksort(self, &compare, par_sort_depth());
+    }
+}
+
+/// Below this length a sub-slice is sorted sequentially.
+const PAR_SORT_SEQ_LIMIT: usize = 4096;
+
+/// Recursion depth that yields roughly `4 × threads` leaf tasks.
+fn par_sort_depth() -> u32 {
+    let threads = crate::pool::current_num_threads();
+    usize::BITS - (threads * BLOCKS_PER_THREAD).leading_zeros()
+}
+
+/// In-place parallel quicksort: partition, then sort the two halves with
+/// [`crate::pool::join`].  Median-of-three pivot selection; safe swaps only,
+/// so a panicking comparator leaves a valid (partially permuted) slice.
+fn par_quicksort<T: Send, F>(v: &mut [T], compare: &F, depth: u32)
+where
+    F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    if depth == 0 || v.len() <= PAR_SORT_SEQ_LIMIT {
+        v.sort_unstable_by(|a, b| compare(a, b));
+        return;
+    }
+    let pivot_index = partition(v, compare);
+    let (lo, rest) = v.split_at_mut(pivot_index);
+    let (_pivot, hi) = rest.split_at_mut(1);
+    crate::pool::join(
+        || par_quicksort(lo, compare, depth - 1),
+        || par_quicksort(hi, compare, depth - 1),
+    );
+}
+
+/// Lomuto partition with a median-of-three pivot; returns the pivot's final
+/// index.
+fn partition<T, F>(v: &mut [T], compare: &F) -> usize
+where
+    F: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    use std::cmp::Ordering::Less;
+    let len = v.len();
+    let mid = len / 2;
+    // Order v[0] <= v[mid] <= v[len-1] under `compare`, then use the median
+    // (now at `mid`) as the pivot by parking it at the end.
+    if compare(&v[mid], &v[0]) == Less {
+        v.swap(mid, 0);
+    }
+    if compare(&v[len - 1], &v[mid]) == Less {
+        v.swap(len - 1, mid);
+        if compare(&v[mid], &v[0]) == Less {
+            v.swap(mid, 0);
+        }
+    }
+    v.swap(mid, len - 1);
+    let mut store = 0;
+    for i in 0..len - 1 {
+        if compare(&v[i], &v[len - 1]) == Less {
+            v.swap(i, store);
+            store += 1;
+        }
+    }
+    v.swap(store, len - 1);
+    store
+}

@@ -1,513 +1,118 @@
-//! A sequential, API-compatible stand-in for the [rayon] crate.
+//! A multi-threaded, API-compatible stand-in for the [rayon] crate.
 //!
 //! The build environment for this workspace has no network access to
-//! crates.io, so the real rayon cannot be fetched. This shim mirrors the
-//! subset of rayon's API the workspace uses — `par_iter`, `par_iter_mut`,
-//! `into_par_iter`, `par_chunks`/`par_chunks_mut`, the two-closure
+//! crates.io, so the real rayon cannot be fetched.  This crate implements
+//! the subset of rayon's API the workspace uses — `par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `par_chunks(_mut)`, the two-closure
 //! `fold`/`reduce` combinators, `ThreadPoolBuilder`/`ThreadPool::install`,
-//! `join`, `scope` and `current_num_threads` — but executes everything on
-//! the calling thread. Semantics (ordering of `collect`, fold-segment
-//! behaviour, reduce identities) match rayon with a single "segment", so
-//! swapping the real crate back in via `[workspace.dependencies]` is a
-//! drop-in change.
+//! `join`, `scope`, the `par_sort_unstable*` family and
+//! `current_num_threads` — on a real work-sharing thread pool built on
+//! `std::thread`:
+//!
+//! * a **lazily-initialized global pool** of `available_parallelism()`
+//!   workers (overridable with the `PB_RAYON_THREADS` environment
+//!   variable);
+//! * **dedicated pools** via [`ThreadPoolBuilder::num_threads`] +
+//!   [`ThreadPool::install`], which scope the effective thread count for
+//!   everything (including nested operations) run inside `install`;
+//! * parallel iterators that split work into ~4× `num_threads` blocks
+//!   claimed by pool participants through an atomic cursor
+//!   (work-stealing-lite) — see [`iter`] for the execution model;
+//! * truly parallel [`join`]/[`scope`] with panic propagation, and a parallel
+//!   quicksort behind `par_sort_unstable*`.
+//!
+//! Semantics match rayon closely enough for a drop-in swap via
+//! `[workspace.dependencies]`: `collect` preserves item order, `fold`
+//! produces one accumulator per block (exactly one on a single-thread
+//! pool), reductions combine block results in item order, and a panic in
+//! any parallel closure propagates to the caller after the operation
+//! drains.  Differences from real rayon are documented on the individual
+//! items (notably: adaptor closures need `Clone + Send`, terminal closures
+//! need `Sync`, and `scope` runs spawned tasks in parallel waves).
 //!
 //! [rayon]: https://docs.rs/rayon
 
-use std::marker::PhantomData;
+pub mod iter;
+pub mod pool;
 
-/// The shim's parallel-iterator wrapper. All "parallel" combinators are
-/// inherent methods that delegate to the wrapped sequential [`Iterator`].
-pub struct ParIter<I>(I);
-
-impl<I: Iterator> ParIter<I> {
-    /// Wraps a sequential iterator. (Named to avoid colliding with
-    /// `FromIterator::from_iter`, which this inherent method is not.)
-    pub fn from_sequential(inner: I) -> Self {
-        ParIter(inner)
-    }
-
-    /// Unwraps back into the underlying sequential iterator.
-    pub fn into_inner(self) -> I {
-        self.0
-    }
-
-    /// Hint only; the shim ignores splitting granularity.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    /// Hint only; the shim ignores splitting granularity.
-    pub fn with_max_len(self, _max: usize) -> Self {
-        self
-    }
-
-    /// Maps each item through `f`.
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    /// Keeps only items for which `f` returns true.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
-    }
-
-    /// Combined filter and map.
-    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FilterMap<I, F>> {
-        ParIter(self.0.filter_map(f))
-    }
-
-    /// Maps each item to an iterable and flattens (eager, like rayon's
-    /// order-preserving `flat_map` with one segment).
-    pub fn flat_map<U, PI, F>(self, mut f: F) -> ParIter<std::vec::IntoIter<U>>
-    where
-        PI: IntoParallelIterator<Item = U>,
-        F: FnMut(I::Item) -> PI,
-    {
-        let mut out = Vec::new();
-        for item in self.0 {
-            out.extend(f(item).into_par_iter().0);
-        }
-        ParIter(out.into_iter())
-    }
-
-    /// Maps with per-"thread" scratch state; the shim initializes the
-    /// state once and reuses it for every item.
-    pub fn map_init<T, U, INIT, F>(self, init: INIT, map_op: F) -> ParIter<MapInit<I, T, F>>
-    where
-        INIT: Fn() -> T,
-        F: FnMut(&mut T, I::Item) -> U,
-    {
-        ParIter(MapInit {
-            inner: self.0,
-            state: init(),
-            map_op,
-        })
-    }
-
-    /// Pairs each item with its index.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    /// Zips with another (into-)parallel iterator.
-    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<std::iter::Zip<I, Z::Iter>> {
-        ParIter(self.0.zip(other.into_par_iter().0))
-    }
-
-    /// Chains another (into-)parallel iterator after this one.
-    pub fn chain<C: IntoParallelIterator<Item = I::Item>>(
-        self,
-        other: C,
-    ) -> ParIter<std::iter::Chain<I, C::Iter>> {
-        ParIter(self.0.chain(other.into_par_iter().0))
-    }
-
-    /// Copies items out of references.
-    pub fn copied<'a, T: 'a + Copy>(self) -> ParIter<std::iter::Copied<I>>
-    where
-        I: Iterator<Item = &'a T>,
-    {
-        ParIter(self.0.copied())
-    }
-
-    /// Clones items out of references.
-    pub fn cloned<'a, T: 'a + Clone>(self) -> ParIter<std::iter::Cloned<I>>
-    where
-        I: Iterator<Item = &'a T>,
-    {
-        ParIter(self.0.cloned())
-    }
-
-    /// Calls `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Rayon-style fold: produces one accumulator per "segment". The shim
-    /// runs a single segment, so this yields exactly one accumulator.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
-    where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
-    {
-        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
-    }
-
-    /// Rayon-style reduce with an identity constructor.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Reduces without an identity; `None` on an empty iterator.
-    pub fn reduce_with<F>(self, op: F) -> Option<I::Item>
-    where
-        F: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.reduce(op)
-    }
-
-    /// Collects into any [`FromIterator`] container (rayon's
-    /// `FromParallelIterator` mirrors this for the types the workspace uses).
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Sums the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Minimum item, if any.
-    pub fn min(self) -> Option<I::Item>
-    where
-        I::Item: Ord,
-    {
-        self.0.min()
-    }
-
-    /// Maximum item, if any.
-    pub fn max(self) -> Option<I::Item>
-    where
-        I::Item: Ord,
-    {
-        self.0.max()
-    }
-
-    /// Minimum by a comparison function.
-    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        compare: F,
-    ) -> Option<I::Item> {
-        self.0.min_by(compare)
-    }
-
-    /// Maximum by a comparison function.
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        compare: F,
-    ) -> Option<I::Item> {
-        self.0.max_by(compare)
-    }
-
-    /// True if `f` holds for every item.
-    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-        let mut iter = self.0;
-        let f = f;
-        iter.all(f)
-    }
-
-    /// True if `f` holds for any item.
-    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-        let mut iter = self.0;
-        let f = f;
-        iter.any(f)
-    }
-
-    /// Number of items.
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-}
-
-/// Iterator adapter backing [`ParIter::map_init`].
-pub struct MapInit<I, T, F> {
-    inner: I,
-    state: T,
-    map_op: F,
-}
-
-impl<I: Iterator, T, U, F: FnMut(&mut T, I::Item) -> U> Iterator for MapInit<I, T, F> {
-    type Item = U;
-    fn next(&mut self) -> Option<U> {
-        let item = self.inner.next()?;
-        Some((self.map_op)(&mut self.state, item))
-    }
-}
-
-/// Conversion into a (shim) parallel iterator; mirrors rayon's trait of the
-/// same name.
-pub trait IntoParallelIterator {
-    /// Item type of the resulting iterator.
-    type Item;
-    /// Underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Converts `self` into a [`ParIter`].
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-impl<I: Iterator> IntoParallelIterator for ParIter<I> {
-    type Item = I::Item;
-    type Iter = I;
-    fn into_par_iter(self) -> ParIter<I> {
-        self
-    }
-}
-
-impl<T> IntoParallelIterator for std::ops::Range<T>
-where
-    std::ops::Range<T>: Iterator<Item = T>,
-{
-    type Item = T;
-    type Iter = std::ops::Range<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self)
-    }
-}
-
-impl<T> IntoParallelIterator for std::ops::RangeInclusive<T>
-where
-    std::ops::RangeInclusive<T>: Iterator<Item = T>,
-{
-    type Item = T;
-    type Iter = std::ops::RangeInclusive<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self)
-    }
-}
-
-impl<T> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a Vec<T> {
-    type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.iter())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a [T] {
-    type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.iter())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a mut Vec<T> {
-    type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.iter_mut())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a mut [T] {
-    type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.iter_mut())
-    }
-}
-
-/// `par_iter`/`par_chunks` on shared slices (and, via deref, `Vec`s and
-/// arrays); mirrors rayon's `ParallelSlice`.
-pub trait ParallelSlice<T> {
-    /// Shared "parallel" iterator over the elements.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    /// "Parallel" iterator over contiguous chunks of `chunk_size`.
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
-    }
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(chunk_size))
-    }
-}
-
-/// `par_iter_mut`/`par_chunks_mut`/`par_sort*` on mutable slices; mirrors
-/// rayon's `ParallelSliceMut`.
-pub trait ParallelSliceMut<T> {
-    /// Mutable "parallel" iterator over the elements.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-    /// Mutable "parallel" iterator over contiguous chunks of `chunk_size`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-    /// Unstable sort (sequential in the shim).
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord;
-    /// Unstable sort by key (sequential in the shim).
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
-    /// Unstable sort by comparator (sequential in the shim).
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter(self.iter_mut())
-    }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(chunk_size))
-    }
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort_unstable()
-    }
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
-        self.sort_unstable_by_key(f)
-    }
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-        self.sort_unstable_by(compare)
-    }
-}
-
-/// Runs both closures (sequentially in the shim) and returns both results.
-pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (oper_a(), oper_b())
-}
-
-/// A scope in which tasks can be spawned; the shim runs them immediately.
-pub struct Scope<'scope> {
-    _marker: PhantomData<&'scope ()>,
-}
-
-impl<'scope> Scope<'scope> {
-    /// Runs `body` immediately on the calling thread.
-    pub fn spawn<F: FnOnce(&Scope<'scope>)>(&self, body: F) {
-        body(self)
-    }
-}
-
-/// Creates a scope; the shim simply calls `f` with a scope handle.
-pub fn scope<'scope, F, R>(f: F) -> R
-where
-    F: FnOnce(&Scope<'scope>) -> R,
-{
-    f(&Scope {
-        _marker: PhantomData,
-    })
-}
-
-/// Number of threads the "global pool" actually uses: always 1, because the
-/// shim executes everything on the calling thread. Reporting the machine's
-/// available parallelism here would make callers (e.g. benchmark metadata)
-/// record thread counts that never execute.
-pub fn current_num_threads() -> usize {
-    1
-}
-
-/// Error type returned by [`ThreadPoolBuilder::build`]; never produced by
-/// the shim.
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool build error (rayon shim)")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Mirrors `rayon::ThreadPoolBuilder`; configuration is recorded but the
-/// resulting pool executes work on the calling thread.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    /// Creates a builder with default configuration.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records the requested thread count (0 = automatic).
-    pub fn num_threads(mut self, num_threads: usize) -> Self {
-        self.num_threads = num_threads;
-        self
-    }
-
-    /// Builds the (sequential) pool; infallible in the shim.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let threads = if self.num_threads == 0 {
-            current_num_threads()
-        } else {
-            self.num_threads
-        };
-        Ok(ThreadPool {
-            num_threads: threads,
-        })
-    }
-}
-
-/// Mirrors `rayon::ThreadPool`; `install` runs the closure on the calling
-/// thread.
-#[derive(Debug)]
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    /// Runs `op` "inside" the pool (i.e. immediately, on this thread).
-    pub fn install<OP, R>(&self, op: OP) -> R
-    where
-        OP: FnOnce() -> R,
-    {
-        op()
-    }
-
-    /// The thread count work actually runs on: always 1 in the shim,
-    /// regardless of what the builder recorded (see [`requested_threads`]
-    /// for the configured value).
-    ///
-    /// [`requested_threads`]: ThreadPool::requested_threads
-    pub fn current_num_threads(&self) -> usize {
-        1
-    }
-
-    /// The thread count the builder was configured with; kept distinct from
-    /// [`current_num_threads`](ThreadPool::current_num_threads) so callers
-    /// can tell requested parallelism apart from the shim's sequential
-    /// execution.
-    pub fn requested_threads(&self) -> usize {
-        self.num_threads
-    }
-}
+pub use iter::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut, Producer};
+pub use pool::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
 /// The traits callers import with `use rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// A pool with real workers for tests, regardless of the host's core
+    /// count or PB_RAYON_THREADS.
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn map_collect_preserves_order() {
-        let v: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
-        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let expected: Vec<i32> = (0..1000).map(|x| x * 2).collect();
+        let v: Vec<i32> = (0..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, expected);
+        // And under a real multi-thread pool.
+        let v: Vec<i32> = pool(4).install(|| (0..1000).into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(v, expected);
     }
 
     #[test]
     fn fold_then_reduce_matches_sequential_sum() {
-        let total = (0..100u64)
-            .into_par_iter()
-            .fold(|| 0u64, |acc, x| acc + x)
-            .reduce(|| 0u64, |a, b| a + b);
-        assert_eq!(total, 4950);
+        for threads in [1, 2, 4, 8] {
+            let total = pool(threads).install(|| {
+                (0..10_000u64)
+                    .into_par_iter()
+                    .fold(|| 0u64, |acc, x| acc + x)
+                    .reduce(|| 0u64, |a, b| a + b)
+            });
+            assert_eq!(total, 49_995_000, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fold_uses_multiple_segments_on_a_parallel_pool() {
+        let segments: Vec<u64> = pool(4).install(|| {
+            (0..10_000u64)
+                .into_par_iter()
+                .fold(|| 0u64, |acc, _| acc + 1)
+                .collect()
+        });
+        assert!(
+            segments.len() > 1,
+            "a 4-thread pool should fold in more than one segment"
+        );
+        assert_eq!(segments.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        let p = pool(4);
+        assert_eq!(p.current_num_threads(), 4);
+        let ids = Mutex::new(std::collections::HashSet::new());
+        p.install(|| {
+            (0..1024usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                // Give other participants a chance to claim blocks.
+                std::thread::yield_now();
+            })
+        });
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct >= 2,
+            "expected at least 2 distinct executing threads, saw {distinct}"
+        );
     }
 
     #[test]
@@ -522,15 +127,193 @@ mod tests {
     }
 
     #[test]
-    fn pool_install_runs_closure() {
-        let pool = super::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
-        assert_eq!(pool.install(|| 42), 42);
-        // The builder records the request, but execution is sequential and
-        // the pool reports the thread count that actually runs.
-        assert_eq!(pool.requested_threads(), 4);
-        assert_eq!(pool.current_num_threads(), 1);
+    fn par_sort_matches_std_sort() {
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let original: Vec<u64> = (0..50_000).map(|_| next()).collect();
+        let mut expected = original.clone();
+        expected.sort_unstable();
+        for threads in [1, 4] {
+            let mut v = original.clone();
+            pool(threads).install(|| v.par_sort_unstable());
+            assert_eq!(v, expected, "threads = {threads}");
+            let mut v = original.clone();
+            pool(threads).install(|| v.par_sort_unstable_by(|a, b| b.cmp(a)));
+            let mut rev = expected.clone();
+            rev.reverse();
+            assert_eq!(v, rev, "descending, threads = {threads}");
+            let mut v = original.clone();
+            pool(threads).install(|| v.par_sort_unstable_by_key(|&x| x));
+            assert_eq!(v, expected, "by_key, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_zip_enumerate_map_init_filter() {
+        let p = pool(4);
+        // par_chunks_mut + enumerate
+        let mut v = vec![0usize; 1000];
+        p.install(|| {
+            v.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = ci;
+                }
+            })
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 64);
+        }
+        // zip over par_iter_mut
+        let mut a = vec![0f64; 512];
+        let b: Vec<f64> = (0..512).map(|i| i as f64).collect();
+        p.install(|| {
+            a.par_iter_mut()
+                .zip(b.par_iter())
+                .for_each(|(ai, &bi)| *ai = 2.0 * bi)
+        });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == 2.0 * i as f64));
+        // map_init: scratch state is reused within a block
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = p.install(|| {
+            (0..256usize)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        vec![0u8; 16]
+                    },
+                    |scratch, i| {
+                        scratch[0] = scratch[0].wrapping_add(1);
+                        i * 3
+                    },
+                )
+                .collect()
+        });
+        assert_eq!(out, (0..256).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::Relaxed) <= 16, "one init per block");
+        // filter + sum + count + min/max
+        let total: usize =
+            p.install(|| (0..1000usize).into_par_iter().filter(|x| x % 2 == 0).sum());
+        assert_eq!(total, (0..1000).filter(|x| x % 2 == 0).sum::<usize>());
+        assert_eq!(p.install(|| (0..1000usize).into_par_iter().count()), 1000);
+        assert_eq!(p.install(|| (5..99u32).into_par_iter().min()), Some(5));
+        assert_eq!(p.install(|| (5..99u32).into_par_iter().max()), Some(98));
+        assert!(p.install(|| (0..100u32).into_par_iter().all(|x| x < 100)));
+        assert!(p.install(|| (0..100u32).into_par_iter().any(|x| x == 57)));
+    }
+
+    #[test]
+    fn pool_install_scopes_the_thread_count() {
+        let p = pool(3);
+        assert_eq!(p.install(current_num_threads), 3);
+        // Nested install restores the outer pool.
+        let inner = pool(2);
+        let (outer_before, inner_seen, outer_after) = p.install(|| {
+            let before = current_num_threads();
+            let seen = inner.install(current_num_threads);
+            (before, seen, current_num_threads())
+        });
+        assert_eq!((outer_before, inner_seen, outer_after), (3, 2, 3));
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let p = pool(4);
+        let (a, b) = p.install(|| join(|| (0..100u64).sum::<u64>(), || (100..200u64).sum::<u64>()));
+        assert_eq!(a, 4950);
+        assert_eq!(b, 14950);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| join(|| 1, || panic!("boom in join B")))
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn parallel_panics_propagate_and_leave_the_pool_usable() {
+        let p = pool(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                (0..1000usize).into_par_iter().for_each(|i| {
+                    if i == 500 {
+                        panic!("boom at 500");
+                    }
+                })
+            })
+        }));
+        assert!(caught.is_err());
+        // The pool survives and still computes correctly.
+        let sum: usize = p.install(|| (0..100usize).into_par_iter().sum());
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn scope_runs_spawned_tasks_including_nested_spawns() {
+        let counter = AtomicUsize::new(0);
+        pool(4).install(|| {
+            scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|s| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        s.spawn(|_| {
+                            counter.fetch_add(10, Ordering::Relaxed);
+                        });
+                    });
+                }
+            })
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 + 80);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let total: usize = pool(2).install(|| {
+            (0..16usize)
+                .into_par_iter()
+                .map(|i| (0..100usize).into_par_iter().map(|j| i + j).sum::<usize>())
+                .sum()
+        });
+        let expected: usize = (0..16)
+            .map(|i| (0..100).map(|j| i + j).sum::<usize>())
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn reduce_with_and_comparators() {
+        let p = pool(4);
+        assert_eq!(
+            p.install(|| (1..101u64).into_par_iter().reduce_with(|a, b| a + b)),
+            Some(5050)
+        );
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(
+            p.install(|| empty.into_par_iter().reduce_with(|a, b| a + b)),
+            None
+        );
+        let v = [3.5f64, -1.0, 9.25, 0.0];
+        let max = p.install(|| v.par_iter().copied().reduce(|| f64::MIN, f64::max));
+        assert_eq!(max, 9.25);
+        assert_eq!(
+            p.install(|| v.par_iter().min_by(|a, b| a.partial_cmp(b).unwrap())),
+            Some(&-1.0)
+        );
+        assert_eq!(
+            p.install(|| v.par_iter().max_by(|a, b| a.partial_cmp(b).unwrap())),
+            Some(&9.25)
+        );
+    }
+
+    #[test]
+    fn pool_builder_reports_real_thread_counts() {
+        let p = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(p.install(|| 42), 42);
+        assert_eq!(p.requested_threads(), 4);
+        // The pool is real: it reports the count that actually executes.
+        assert_eq!(p.current_num_threads(), 4);
     }
 }

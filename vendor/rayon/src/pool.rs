@@ -1,0 +1,541 @@
+//! The worker pool: lazily-initialized global pool, dedicated pools built by
+//! [`ThreadPoolBuilder`], block-claiming task execution, `join` and `scope`.
+//!
+//! # Execution model
+//!
+//! A pool of `n` threads consists of `n - 1` parked worker threads plus the
+//! submitting thread itself.  A parallel operation splits its work into
+//! *blocks* (see [`crate::iter`]), publishes a [`TaskState`] describing them
+//! to the pool's injector queue, and then participates in its own task:
+//! every participant (submitter and any workers that pick the task up)
+//! claims block indices with a relaxed `fetch_add` on a shared cursor and
+//! runs them until the cursor passes the goal — work-stealing-lite.  The
+//! submitter finally waits until *finished* blocks (not just claimed ones)
+//! reach the goal, so all borrowed stack data outlives every access.
+//!
+//! Because the submitter always participates, a task completes even when
+//! every worker is busy with other tasks; nested parallel operations on a
+//! worker thread therefore cannot deadlock — the worker just runs the inner
+//! task's blocks itself, and idle siblings help when available.
+//!
+//! # Panic propagation
+//!
+//! A panicking block is caught on the thread that ran it, the first payload
+//! is stashed in the task, remaining blocks still run (rayon semantics), and
+//! the payload is re-thrown on the submitting thread once the task is done.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased participant entry point: `job(i)` runs block `i` of the
+/// task.  Points at a closure on the submitting thread's stack whose real
+/// lifetime was erased in [`TaskState::new`]; see the safety invariant on
+/// [`TaskState`].
+type Job = dyn Fn(usize) + Sync + 'static;
+
+/// Shared state of one parallel operation.
+///
+/// # Safety invariant
+///
+/// `job` borrows the submitting call frame.  It is only ever invoked with a
+/// block index `i < goal`, each index is handed out exactly once (the `next`
+/// cursor is an atomic RMW), and the submitter does not return — keeping the
+/// frame alive — until `done == goal`, i.e. until every participant that
+/// received a valid index has finished running it.  Participants that lose
+/// the claim race (index `>= goal`) touch only this heap-allocated struct,
+/// never `job`.
+pub(crate) struct TaskState {
+    /// Next unclaimed block index.
+    next: AtomicUsize,
+    /// Number of blocks fully executed.
+    done: AtomicUsize,
+    /// Total number of blocks.
+    goal: usize,
+    /// Erased pointer to the submitter's block runner.
+    job: *const Job,
+    /// First panic payload raised by any block.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Completion flag + condvar the submitter waits on.
+    complete: Mutex<bool>,
+    complete_cv: Condvar,
+}
+
+// SAFETY: `job` is only dereferenced under the invariant documented on the
+// struct; all other fields are Sync primitives.
+unsafe impl Send for TaskState {}
+unsafe impl Sync for TaskState {}
+
+impl TaskState {
+    fn new<'a>(goal: usize, job: &'a (dyn Fn(usize) + Sync + 'a)) -> Self {
+        // SAFETY: this only erases the trait object's lifetime bound; both
+        // sides are fat pointers of identical layout.  Validity of later
+        // dereferences is upheld by the wait in `run_task` (see the
+        // struct-level safety invariant).
+        let job: *const Job = unsafe { std::mem::transmute(job) };
+        TaskState {
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            goal,
+            job,
+            panic: Mutex::new(None),
+            complete: Mutex::new(false),
+            complete_cv: Condvar::new(),
+        }
+    }
+
+    /// True once every block has been claimed (not necessarily finished).
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.goal
+    }
+
+    /// Claims and runs blocks until none are left.
+    fn participate(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.goal {
+                return;
+            }
+            // SAFETY: `i < goal`, so the submitter is still blocked in
+            // `run_task` waiting for this block; the frame `job` borrows is
+            // alive.
+            let job = unsafe { &*self.job };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(i))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            // `Release` pairs with the `Acquire` read in `wait`: everything
+            // this participant wrote while running the block (results,
+            // flushed bins, ...) happens-before the submitter's return.
+            if self.done.fetch_add(1, Ordering::Release) + 1 == self.goal {
+                let mut flag = self.complete.lock().unwrap();
+                *flag = true;
+                self.complete_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every block has finished executing.
+    fn wait(&self) {
+        if self.done.load(Ordering::Acquire) == self.goal {
+            return;
+        }
+        let mut flag = self.complete.lock().unwrap();
+        while !*flag {
+            flag = self.complete_cv.wait(flag).unwrap();
+        }
+        drop(flag);
+        // Unconditional `Acquire` re-load: the condvar mutex only
+        // synchronizes the submitter with the *final* participant, but every
+        // `fetch_add(1, Release)` is an RMW in the counter's release
+        // sequence, so one Acquire read of the final value establishes
+        // happens-before with *all* participants' block writes — without
+        // this, a non-final worker's results could be read as stale data on
+        // weakly-ordered hardware.
+        let done = self.done.load(Ordering::Acquire);
+        debug_assert_eq!(done, self.goal);
+        let _ = done;
+    }
+}
+
+/// Shared core of a pool: the injector queue and its workers' rendezvous.
+pub(crate) struct PoolCore {
+    /// Total thread count of the pool (workers + the submitting thread).
+    nthreads: usize,
+    /// Tasks with potentially unclaimed blocks.
+    queue: Mutex<Vec<Arc<TaskState>>>,
+    /// Signalled when a task is published or shutdown is requested.
+    work_cv: Condvar,
+    /// Set by [`ThreadPool::drop`]; workers exit at the next wakeup.
+    shutdown: AtomicBool,
+}
+
+impl PoolCore {
+    /// Creates the core and spawns `nthreads - 1` workers.
+    fn start(nthreads: usize) -> (Arc<PoolCore>, Vec<JoinHandle<()>>) {
+        let core = Arc::new(PoolCore {
+            nthreads,
+            queue: Mutex::new(Vec::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (1..nthreads)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("pb-rayon-{i}"))
+                    .spawn(move || worker_loop(core))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (core, handles)
+    }
+
+    /// The pool's thread count (what [`current_num_threads`] reports).
+    pub(crate) fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Runs `goal` blocks of `job` on the pool, participating inline.
+    ///
+    /// Returns after every block has executed; re-raises the first panic.
+    pub(crate) fn run_task<'a>(
+        self: &Arc<Self>,
+        goal: usize,
+        job: &'a (dyn Fn(usize) + Sync + 'a),
+    ) {
+        if goal == 0 {
+            return;
+        }
+        // Nothing to gain from the queue with no workers or a single block:
+        // run inline (panics propagate naturally).
+        if self.nthreads <= 1 || goal == 1 {
+            for i in 0..goal {
+                job(i);
+            }
+            return;
+        }
+        let task = Arc::new(TaskState::new(goal, job));
+        self.publish(&task);
+        task.participate();
+        task.wait();
+        self.retire(&task);
+        let payload = task.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Publishes a task and wakes the workers.
+    fn publish(&self, task: &Arc<TaskState>) {
+        self.queue.lock().unwrap().push(Arc::clone(task));
+        self.work_cv.notify_all();
+    }
+
+    /// Drops a task from the injector queue (idempotent).
+    fn retire(&self, task: &Arc<TaskState>) {
+        self.queue.lock().unwrap().retain(|t| !Arc::ptr_eq(t, task));
+    }
+
+    /// Starts `join`'s second closure as a 1-block task **without** waiting,
+    /// so the caller can run the first closure concurrently.  The caller
+    /// must `participate()` + `wait()` + `retire()` afterwards.
+    fn spawn_task<'a>(self: &Arc<Self>, job: &'a (dyn Fn(usize) + Sync + 'a)) -> Arc<TaskState> {
+        let task = Arc::new(TaskState::new(1, job));
+        self.publish(&task);
+        task
+    }
+}
+
+/// Worker main loop: find a task with unclaimed blocks, help finish it.
+fn worker_loop(core: Arc<PoolCore>) {
+    CURRENT_POOL.with(|p| *p.borrow_mut() = Some(Arc::clone(&core)));
+    loop {
+        let task = {
+            let mut queue = core.queue.lock().unwrap();
+            loop {
+                if core.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(t) = queue.iter().find(|t| !t.exhausted()) {
+                    break Arc::clone(t);
+                }
+                queue = core.work_cv.wait(queue).unwrap();
+            }
+        };
+        task.participate();
+        if task.exhausted() {
+            core.retire(&task);
+        }
+    }
+}
+
+thread_local! {
+    /// The pool parallel operations on this thread submit to: the owning
+    /// pool on worker threads, the installed pool inside
+    /// [`ThreadPool::install`], the global pool otherwise.
+    static CURRENT_POOL: std::cell::RefCell<Option<Arc<PoolCore>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Default thread count: the `PB_RAYON_THREADS` environment variable if set
+/// to a positive integer, otherwise [`std::thread::available_parallelism`].
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PB_RAYON_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The lazily-initialized global pool (never shut down; its workers are
+/// process-lifetime daemons, exactly like rayon's global registry).
+fn global_pool() -> &'static Arc<PoolCore> {
+    static GLOBAL: OnceLock<Arc<PoolCore>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let (core, handles) = PoolCore::start(default_threads());
+        for h in handles {
+            drop(h); // detach
+        }
+        core
+    })
+}
+
+/// The pool the calling thread currently submits to.
+pub(crate) fn current_pool() -> Arc<PoolCore> {
+    CURRENT_POOL
+        .with(|p| p.borrow().clone())
+        .unwrap_or_else(|| Arc::clone(global_pool()))
+}
+
+/// Number of threads of the current pool: the dedicated pool inside
+/// [`ThreadPool::install`] (including on its worker threads), the global
+/// pool otherwise.  The global size honours `PB_RAYON_THREADS`, falling back
+/// to the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    current_pool().num_threads()
+}
+
+/// Restores the previously-installed pool on drop (panic-safe).
+struct InstallGuard {
+    previous: Option<Arc<PoolCore>>,
+}
+
+impl InstallGuard {
+    fn enter(core: Arc<PoolCore>) -> InstallGuard {
+        let previous = CURRENT_POOL.with(|p| p.borrow_mut().replace(core));
+        InstallGuard { previous }
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT_POOL.with(|p| *p.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never produced by
+/// this implementation.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count (0 = automatic: `PB_RAYON_THREADS` or the
+    /// available parallelism).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds a dedicated pool: `n - 1` real worker threads plus the thread
+    /// that calls [`ThreadPool::install`].
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        let (core, workers) = PoolCore::start(threads);
+        Ok(ThreadPool { core, workers })
+    }
+}
+
+/// A dedicated pool; mirrors `rayon::ThreadPool`.  Work submitted inside
+/// [`install`](ThreadPool::install) runs on this pool's threads (plus the
+/// installing thread).  Dropping the pool shuts its workers down.
+pub struct ThreadPool {
+    core: Arc<PoolCore>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.core.num_threads())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool installed: every parallel operation `op`
+    /// performs (directly or nested) executes on this pool's threads.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let _guard = InstallGuard::enter(Arc::clone(&self.core));
+        op()
+    }
+
+    /// The number of threads work submitted to this pool runs on.
+    pub fn current_num_threads(&self) -> usize {
+        self.core.num_threads()
+    }
+
+    /// The configured thread count; identical to
+    /// [`current_num_threads`](ThreadPool::current_num_threads) now that the
+    /// pool is real (kept for callers that told the two apart under the old
+    /// sequential shim).
+    pub fn requested_threads(&self) -> usize {
+        self.core.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::Relaxed);
+        // Take the queue lock so no worker is between its shutdown check and
+        // its condvar wait when we signal.
+        drop(self.core.queue.lock().unwrap());
+        self.core.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Cell written by at most one task participant; see [`TaskState`]'s
+/// claiming discipline.
+pub(crate) struct SyncSlot<T>(std::cell::UnsafeCell<Option<T>>);
+
+// SAFETY: each slot is read/written only by the unique participant that
+// claimed its block index (plus the submitter strictly before publication /
+// after completion of the task).
+unsafe impl<T: Send> Sync for SyncSlot<T> {}
+
+impl<T> SyncSlot<T> {
+    pub(crate) fn new(value: T) -> Self {
+        SyncSlot(std::cell::UnsafeCell::new(Some(value)))
+    }
+
+    pub(crate) fn empty() -> Self {
+        SyncSlot(std::cell::UnsafeCell::new(None))
+    }
+
+    /// Moves the value out (unique-claimant discipline).
+    pub(crate) fn take(&self) -> Option<T> {
+        // SAFETY: exclusive access per the struct invariant.
+        unsafe { (*self.0.get()).take() }
+    }
+
+    /// Stores a value (unique-claimant discipline).
+    pub(crate) fn put(&self, value: T) {
+        // SAFETY: exclusive access per the struct invariant.
+        unsafe { *self.0.get() = Some(value) }
+    }
+
+    pub(crate) fn into_inner(self) -> Option<T> {
+        self.0.into_inner()
+    }
+}
+
+/// Runs both closures, potentially in parallel: `oper_b` is published to the
+/// current pool while the calling thread runs `oper_a`; whoever gets there
+/// first (an idle worker, or the caller once `oper_a` is done) runs
+/// `oper_b`.  Panics from either closure propagate to the caller.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_pool();
+    if pool.num_threads() <= 1 {
+        return (oper_a(), oper_b());
+    }
+    let b_fn = SyncSlot::new(oper_b);
+    let b_out: SyncSlot<RB> = SyncSlot::empty();
+    let runner = |_i: usize| {
+        let f = b_fn.take().expect("join block claimed twice");
+        b_out.put(f());
+    };
+    let task = pool.spawn_task(&runner);
+    let ra = catch_unwind(AssertUnwindSafe(oper_a));
+    // Claim B ourselves if no worker got to it, then wait it out so the
+    // borrows above stay valid even when `oper_a` panicked.
+    task.participate();
+    task.wait();
+    pool.retire(&task);
+    let b_panic = task.panic.lock().unwrap().take();
+    match ra {
+        Err(payload) => resume_unwind(payload),
+        Ok(ra) => {
+            if let Some(payload) = b_panic {
+                resume_unwind(payload);
+            }
+            (ra, b_out.into_inner().expect("join block never ran"))
+        }
+    }
+}
+
+/// A queued scope task (boxed so heterogeneous spawns share one list).
+pub(crate) type ScopeJob<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A scope in which tasks can be spawned; spawned tasks run in parallel
+/// waves after the scope body returns and may themselves spawn more tasks.
+pub struct Scope<'scope> {
+    jobs: Mutex<Vec<ScopeJob<'scope>>>,
+}
+
+impl<'scope> std::fmt::Debug for Scope<'scope> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `body` to run within the scope.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.jobs.lock().unwrap().push(Box::new(body));
+    }
+}
+
+/// Creates a scope: runs `f`, then executes everything it spawned (and
+/// everything those tasks spawn, transitively) on the current pool before
+/// returning.  Panics from spawned tasks propagate.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        jobs: Mutex::new(Vec::new()),
+    };
+    let result = f(&s);
+    loop {
+        let batch = std::mem::take(&mut *s.jobs.lock().unwrap());
+        if batch.is_empty() {
+            break;
+        }
+        crate::iter::run_boxed_jobs(batch, &s);
+    }
+    result
+}
