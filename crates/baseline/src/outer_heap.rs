@@ -1,7 +1,7 @@
 //! Outer-product SpGEMM with heap-based merging.
 //!
 //! The other outer-product formulation Table I mentions (Buluç & Gilbert,
-//! reference [23] of the paper): every outer product `A(:, i) × B(i, :)`
+//! reference \[23\] of the paper): every outer product `A(:, i) × B(i, :)`
 //! yields its tuples already in `(row, col)` order, so the `k` outer products
 //! form `k` sorted runs that a binary heap can merge into the final CSR
 //! output in one pass, accumulating duplicates as they surface.

@@ -1,17 +1,24 @@
 //! Machine-readable performance baseline (`BENCH_pb.json`).
 //!
-//! The `bench_pb` binary sweeps PB-SpGEMM over thread counts on the
-//! quickstart-scale R-MAT workload and writes one self-describing JSON
-//! document.  Future PRs regenerate the file on comparable hardware and
-//! diff the numbers, so the suite has a perf trajectory instead of
-//! anecdotes.  Every record carries both the *requested* and the
-//! *effective* thread count plus the host's core count, so a sweep taken on
-//! a small container is never mistaken for one from a many-core box.
+//! The `bench_pb` binary sweeps PB-SpGEMM over thread counts on an R-MAT
+//! workload and writes one self-describing JSON document.  Future PRs
+//! regenerate the file on comparable hardware and diff the numbers, so the
+//! suite has a perf trajectory instead of anecdotes.  Every record carries
+//! both the *requested* and the *effective* thread count plus the host's
+//! core count — and sweep points running more threads than the host has
+//! cores are flagged `oversubscribed`, so downstream plots can exclude
+//! points whose "scaling" is just context-switch noise (a 1-core container
+//! sweeping 1/2/4 threads produces exactly such points).
+//!
+//! Each sweep point also embeds a [`Telemetry`] section — the runtime
+//! [`PhaseStats`](pb_spgemm::PhaseStats) of a profiled run at that thread
+//! count — and `--tune` runs attach a [`TuneReport`] documenting the
+//! [`AutoTune`](pb_spgemm::AutoTune) convergence trajectory.
 
 use serde::Serialize;
 
-use crate::runner::{measure, measure_pb_profile, Algorithm};
-use crate::workloads::rmat_matrix;
+use crate::runner::{measure, measure_pb_profile, Algorithm, Telemetry};
+use crate::workloads::{rmat_matrix, Workload};
 use pb_spgemm::PbConfig;
 
 /// Per-phase wall-clock seconds of one PB-SpGEMM run.
@@ -36,6 +43,11 @@ pub struct SweepPoint {
     pub threads_requested: usize,
     /// Thread count that actually executed (dedicated pool size).
     pub threads_effective: usize,
+    /// `true` when more threads executed than the host has cores: the
+    /// point measures oversubscription, not scaling, and plots should
+    /// exclude it (on a 1-core host sort can even look *slower* at 2
+    /// threads than 1 — that is scheduler noise, not the algorithm).
+    pub oversubscribed: bool,
     /// Best wall-clock seconds over the repetitions.
     pub seconds: f64,
     /// Achieved GFLOPS at the best run.
@@ -44,6 +56,47 @@ pub struct SweepPoint {
     pub speedup_vs_1t: f64,
     /// Per-phase seconds of one profiled run at this thread count.
     pub phases: PhaseSeconds,
+    /// Runtime telemetry of that profiled run.
+    pub telemetry: Telemetry,
+}
+
+/// One iteration of an autotuning run.
+#[derive(Debug, Clone, Serialize)]
+pub struct TunePoint {
+    /// Iteration index (0 = first multiply).
+    pub iteration: usize,
+    /// Local-bin width (cache lines) this multiply ran with.
+    pub local_bin_lines: usize,
+    /// Local-bin capacity (tuples) this multiply ran with.
+    pub local_bin_capacity: usize,
+    /// Flushes this multiply performed.
+    pub flushes: u64,
+    /// Mean tuples per flush.
+    pub mean_flush_tuples: f64,
+    /// Wall-clock seconds of the multiply.
+    pub seconds: f64,
+}
+
+/// Convergence report of a `bench_pb --tune` run.
+#[derive(Debug, Clone, Serialize)]
+pub struct TuneReport {
+    /// Local-bin width (cache lines) the tuner started from.
+    pub start_lines: usize,
+    /// Width the tuner converged to.
+    pub converged_lines: usize,
+    /// Converged width in bytes (what `PbConfig::local_bin_bytes` would be
+    /// set to statically).
+    pub converged_local_bin_bytes: usize,
+    /// Converged capacity in tuples.
+    pub converged_local_bin_capacity: usize,
+    /// Multiplies executed before convergence (or the cap).
+    pub iterations: usize,
+    /// Whether the width stopped changing before the iteration cap.
+    pub converged: bool,
+    /// Grow/shrink steps the policy applied.
+    pub adjustments: usize,
+    /// Per-iteration trajectory.
+    pub history: Vec<TunePoint>,
 }
 
 /// The whole baseline document.
@@ -73,6 +126,8 @@ pub struct PbBaseline {
     pub sweep: Vec<SweepPoint>,
     /// Max speedup over the 1-thread point anywhere in the sweep.
     pub best_speedup: f64,
+    /// Autotuning convergence report (`--tune` runs only).
+    pub tune: Option<TuneReport>,
 }
 
 /// Thread counts to sweep: 1, 2, 4, ... up to `max`, always including
@@ -90,21 +145,46 @@ pub fn thread_sweep(max: usize) -> Vec<usize> {
     threads
 }
 
-/// Runs the baseline sweep: PB-SpGEMM squaring a quickstart-scale R-MAT
-/// matrix (scale 12, edge factor 8 — the README example's size) at each
-/// thread count.
+/// Cores the host reports (1 when detection fails).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The R-MAT workload every baseline artifact is measured on: edge factor
+/// 8, seed 42.  `scale` 10 is the CI perf-smoke size; `scale` 12 the
+/// committed `BENCH_pb.json` (the README quickstart's size).
+pub fn baseline_workload(scale: u32) -> Workload {
+    rmat_matrix(scale, 8, 42)
+}
+
+/// Runs the baseline sweep on the quickstart-scale workload (R-MAT scale
+/// 12, edge factor 8 — the README example's size).
 pub fn run_pb_baseline(max_threads: usize, reps: usize) -> PbBaseline {
-    let (scale, edge_factor, seed) = (12u32, 8u32, 42u64);
-    let w = rmat_matrix(scale, edge_factor, seed);
+    run_pb_baseline_scaled(12, max_threads, reps)
+}
+
+/// Convenience wrapper: builds [`baseline_workload`] at the given scale and
+/// sweeps it.  Callers that also tune or verify on the same workload should
+/// build it once and use [`run_pb_baseline_on`] instead (workload
+/// construction includes a full symbolic product for `nnz_c`).
+pub fn run_pb_baseline_scaled(scale: u32, max_threads: usize, reps: usize) -> PbBaseline {
+    run_pb_baseline_on(&baseline_workload(scale), max_threads, reps)
+}
+
+/// Runs the baseline sweep: PB-SpGEMM squaring `w` at each thread count.
+pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBaseline {
     let algo = Algorithm::Pb(PbConfig::default());
+    let cores = host_cores();
 
     let mut sweep = Vec::new();
     let mut t1_seconds = f64::NAN;
     for &t in &thread_sweep(max_threads) {
-        let m = measure(&w, &algo, reps, Some(t));
+        let m = measure(w, &algo, reps, Some(t));
         let profile = {
             let cfg = PbConfig::default().with_threads(t);
-            measure_pb_profile(&w, &cfg)
+            measure_pb_profile(w, &cfg)
         };
         if t == 1 {
             t1_seconds = m.seconds;
@@ -113,6 +193,7 @@ pub fn run_pb_baseline(max_threads: usize, reps: usize) -> PbBaseline {
         sweep.push(SweepPoint {
             threads_requested: t,
             threads_effective: m.threads_effective,
+            oversubscribed: m.threads_effective > cores,
             seconds: m.seconds,
             gflops: m.mflops / 1e3,
             speedup_vs_1t: t1_seconds / m.seconds,
@@ -123,6 +204,7 @@ pub fn run_pb_baseline(max_threads: usize, reps: usize) -> PbBaseline {
                 compress: secs(profile.timings.compress),
                 assemble: secs(profile.timings.assemble),
             },
+            telemetry: Telemetry::from_profile(&profile),
         });
     }
     let best_speedup = sweep
@@ -139,12 +221,64 @@ pub fn run_pb_baseline(max_threads: usize, reps: usize) -> PbBaseline {
         flop: w.stats.flop,
         nnz_c: w.stats.nnz_c,
         cf: w.stats.cf,
-        host_cores: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        host_cores: cores,
         pool_default_threads: rayon::current_num_threads(),
         sweep,
         best_speedup,
+        tune: None,
+    }
+}
+
+/// Runs repeated multiplies with an auto-tuned config until the local-bin
+/// width stops changing (two consecutive stable multiplies) or `max_iters`
+/// is hit, and reports the trajectory.
+///
+/// Starts from `start_lines` cache lines — `bench_pb --tune` uses 1, a
+/// deliberately bad setting, so the report shows the policy walking back to
+/// a sensible width instead of trivially confirming the default.
+pub fn run_autotune(workload: &Workload, start_lines: usize, max_iters: usize) -> TuneReport {
+    let cfg = PbConfig::auto_tuned_from_lines(start_lines);
+    let tuner_start = cfg.auto_tune().expect("auto-tuned config").lines();
+    let mut history = Vec::new();
+    let mut stable = 0usize;
+    let mut converged = false;
+    for iteration in 0..max_iters.max(1) {
+        let before = cfg.auto_tune().expect("auto-tuned config").lines();
+        let profile = measure_pb_profile(workload, &cfg);
+        let after = cfg.auto_tune().expect("auto-tuned config").lines();
+        history.push(TunePoint {
+            iteration,
+            local_bin_lines: before,
+            local_bin_capacity: profile.stats.local_bin_capacity,
+            flushes: profile.stats.flushes,
+            mean_flush_tuples: profile.stats.mean_flush_tuples(),
+            seconds: profile.timings.total().as_secs_f64(),
+        });
+        if after == before {
+            stable += 1;
+            if stable >= 2 {
+                converged = true;
+                break;
+            }
+        } else {
+            stable = 0;
+        }
+    }
+    let tuner = cfg.auto_tune().expect("auto-tuned config");
+    let converged_bytes = tuner.local_bin_bytes();
+    TuneReport {
+        start_lines: tuner_start,
+        converged_lines: tuner.lines(),
+        converged_local_bin_bytes: converged_bytes,
+        // Derived from the *final* width, not the last run's capacity: when
+        // the loop exits via the iteration cap right after an adjustment,
+        // the last history point ran at the pre-adjustment width and would
+        // disagree with converged_lines/bytes.
+        converged_local_bin_capacity: pb_spgemm::expand::local_bin_capacity::<f64>(converged_bytes),
+        iterations: history.len(),
+        converged,
+        adjustments: tuner.adjustments(),
+        history,
     }
 }
 
@@ -164,14 +298,50 @@ mod tests {
     fn baseline_document_is_consistent_and_serializes() {
         // Tiny sweep to keep the test fast; correctness of the numbers is
         // covered by the runner's own tests.
-        let doc = run_pb_baseline(2, 1);
+        let doc = run_pb_baseline_scaled(8, 2, 1);
         assert_eq!(doc.schema, "pb-bench-baseline/v1");
         assert_eq!(doc.sweep.len(), 2);
         assert_eq!(doc.sweep[0].threads_requested, 1);
         assert!((doc.sweep[0].speedup_vs_1t - 1.0).abs() < 1e-12);
         assert!(doc.sweep.iter().all(|p| p.seconds > 0.0 && p.gflops > 0.0));
+        // Telemetry rides along on every point.
+        assert!(doc
+            .sweep
+            .iter()
+            .all(|p| p.telemetry.flushed_tuples == doc.flop));
+        // A 1-thread point can never be oversubscribed.
+        assert!(!doc.sweep[0].oversubscribed);
+        // Oversubscription is exactly "more effective threads than cores".
+        let cores = host_cores();
+        for p in &doc.sweep {
+            assert_eq!(p.oversubscribed, p.threads_effective > cores);
+        }
         let json = serde_json::to_string_pretty(&doc).unwrap();
         assert!(json.contains("threads_effective"));
         assert!(json.contains("best_speedup"));
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"oversubscribed\""));
+        // No --tune section on plain runs.
+        assert!(json.contains("\"tune\": null"));
+    }
+
+    #[test]
+    fn autotune_report_converges_from_a_bad_start() {
+        let w = rmat_matrix(8, 8, 42);
+        let report = run_autotune(&w, 1, 12);
+        assert_eq!(report.start_lines, 1);
+        assert!(report.converged, "tuner did not settle: {report:?}");
+        // From 1 line the policy can only grow; on this workload it walks
+        // to the paper's default width.
+        assert!(report.converged_lines >= report.start_lines);
+        assert_eq!(report.iterations, report.history.len());
+        assert!(report.history[0].local_bin_lines == 1);
+        // Trajectory is monotone non-decreasing (pure growth run).
+        assert!(report
+            .history
+            .windows(2)
+            .all(|w| w[1].local_bin_lines >= w[0].local_bin_lines));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("converged_local_bin_bytes"));
     }
 }

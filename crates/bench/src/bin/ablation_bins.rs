@@ -18,6 +18,8 @@ use pb_bench::{fmt, print_table, quick_mode, repetitions, write_json, Table};
 use pb_spgemm::{BinMapping, ExpandStrategy, PbConfig};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let quick = quick_mode();
     let reps = repetitions();
     let (scale, ef) = if quick { (11, 8) } else { (13, 8) };
@@ -52,7 +54,7 @@ fn main() {
     let mut measurements = Vec::new();
     for workload in &workloads {
         for (label, cfg) in &configs {
-            let m = measure(workload, &Algorithm::Pb(*cfg), reps, None);
+            let m = measure(workload, &Algorithm::Pb(cfg.clone()), reps, None);
             table.push_row(vec![
                 workload.name.clone(),
                 (*label).to_string(),

@@ -1,25 +1,74 @@
 //! Emits the machine-readable PB-SpGEMM performance baseline.
 //!
 //! ```text
-//! cargo run --release -p pb-bench --bin bench_pb [-- <output-path>]
+//! cargo run --release -p pb-bench --bin bench_pb -- [flags] [output-path]
 //! ```
 //!
 //! Sweeps PB-SpGEMM over thread counts (1, 2, 4, ... up to the pool's
-//! size, which honours `PB_RAYON_THREADS`) on the quickstart-scale R-MAT
-//! workload and writes `BENCH_pb.json` (or the given path).  Also prints a
-//! small human-readable table.
+//! size, which honours `PB_RAYON_THREADS`) on an R-MAT workload and writes
+//! `BENCH_pb.json` (or the given path).  Also prints a small
+//! human-readable table.
+//!
+//! Flags:
+//!
+//! * `--smoke` — CI-sized run: R-MAT scale 10 instead of 12, one
+//!   repetition per point.
+//! * `--tune` — additionally run the [`AutoTune`](pb_spgemm::AutoTune)
+//!   loop from a deliberately tiny local-bin width (1 cache line) and
+//!   attach the convergence report (`tune` section) to the JSON.
+//! * `--verify` — after writing, re-read the file, parse it, check it
+//!   against the `pb-bench-baseline/v1` schema and generous per-phase
+//!   sanity ceilings, and assert PB-SpGEMM's product still matches the
+//!   reference oracle.  Exits non-zero on any violation (the CI
+//!   perf-smoke gate).
 
-use pb_bench::baseline::run_pb_baseline;
+use pb_bench::baseline::{baseline_workload, run_autotune, run_pb_baseline_on};
+use pb_bench::workloads::Workload;
 use pb_bench::{fmt, print_table, Table};
+use pb_spgemm::PbConfig;
+use serde_json::Value;
+
+/// Per-phase wall-clock ceiling for the smoke-sized workloads.  Generous on
+/// purpose: containers are noisy, so CI gates on correctness and schema,
+/// not on tight timings — this only catches order-of-magnitude rot
+/// (an accidentally quadratic phase, a deadlocked pool).
+const PHASE_SANITY_CEILING_SECONDS: f64 = 120.0;
+
+/// Multiply cap for the `--tune` convergence loop (the policy converges in
+/// `O(log lines)` steps, so 16 leaves ample slack).
+const TUNE_MAX_ITERS: usize = 16;
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pb.json".to_string());
-    let reps = if pb_bench::quick_mode() { 1 } else { 3 };
+    let mut smoke = false;
+    let mut tune = false;
+    let mut verify = false;
+    let mut out_path = "BENCH_pb.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--tune" => tune = true,
+            "--verify" => verify = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag} (known: --smoke --tune --verify)");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+
+    let scale = if smoke { 10 } else { 12 };
+    let reps = if smoke || pb_bench::quick_mode() {
+        1
+    } else {
+        3
+    };
     let max_threads = rayon::current_num_threads();
 
-    let doc = run_pb_baseline(max_threads, reps);
+    // One workload serves the sweep, the tune loop and the verification
+    // oracle — construction includes a full symbolic product, so building
+    // it per consumer would triple that cost.
+    let w = baseline_workload(scale);
+    let mut doc = run_pb_baseline_on(&w, max_threads, reps);
 
     let mut table = Table::new(
         format!(
@@ -29,20 +78,172 @@ fn main() {
             doc.cf,
             doc.host_cores
         ),
-        &["threads", "effective", "seconds", "GFLOPS", "speedup"],
+        &[
+            "threads",
+            "effective",
+            "oversub",
+            "seconds",
+            "GFLOPS",
+            "speedup",
+            "flushes",
+        ],
     );
     for p in &doc.sweep {
         table.push_row(vec![
             p.threads_requested.to_string(),
             p.threads_effective.to_string(),
+            if p.oversubscribed { "yes" } else { "no" }.to_string(),
             fmt(p.seconds, 6),
             fmt(p.gflops, 3),
             fmt(p.speedup_vs_1t, 2),
+            p.telemetry.flushes.to_string(),
         ]);
     }
     print_table(&table);
 
+    if tune {
+        let report = run_autotune(&w, 1, TUNE_MAX_ITERS);
+        let mut table = Table::new(
+            format!(
+                "AutoTune trajectory — start {} line(s), converged {} lines ({} B, {} tuples) \
+                 after {} multiplies",
+                report.start_lines,
+                report.converged_lines,
+                report.converged_local_bin_bytes,
+                report.converged_local_bin_capacity,
+                report.iterations,
+            ),
+            &[
+                "iter",
+                "lines",
+                "capacity",
+                "flushes",
+                "mean flush",
+                "seconds",
+            ],
+        );
+        for p in &report.history {
+            table.push_row(vec![
+                p.iteration.to_string(),
+                p.local_bin_lines.to_string(),
+                p.local_bin_capacity.to_string(),
+                p.flushes.to_string(),
+                fmt(p.mean_flush_tuples, 1),
+                fmt(p.seconds, 6),
+            ]);
+        }
+        print_table(&table);
+        if !report.converged {
+            eprintln!("warning: autotuner did not settle within {TUNE_MAX_ITERS} multiplies");
+        }
+        doc.tune = Some(report);
+    }
+
     let json = serde_json::to_string_pretty(&doc).expect("serialize baseline");
     std::fs::write(&out_path, json + "\n").expect("write baseline JSON");
     println!("wrote {out_path} (best speedup {:.2}x)", doc.best_speedup);
+
+    if verify {
+        verify_baseline(&out_path, &w);
+        println!("verified {out_path}: schema, phase ceilings and oracle all OK");
+    }
+}
+
+/// Re-reads and validates an emitted baseline: parses the JSON, checks the
+/// schema tag and structure, applies the per-phase sanity ceiling, and
+/// cross-checks PB-SpGEMM against the reference oracle on the same
+/// workload.  Panics (non-zero exit) on any violation.
+fn verify_baseline(path: &str, w: &Workload) {
+    let text = std::fs::read_to_string(path).expect("read emitted baseline");
+    let doc = serde_json::from_str(&text).expect("emitted baseline must parse as JSON");
+
+    // --- Schema. -----------------------------------------------------------
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("pb-bench-baseline/v1"),
+        "schema tag mismatch"
+    );
+    for key in [
+        "op",
+        "workload",
+        "n",
+        "nnz",
+        "flop",
+        "nnz_c",
+        "cf",
+        "host_cores",
+        "pool_default_threads",
+        "sweep",
+        "best_speedup",
+    ] {
+        assert!(doc.get(key).is_some(), "missing top-level key {key}");
+    }
+    let sweep = doc
+        .get("sweep")
+        .and_then(Value::as_array)
+        .expect("sweep must be an array");
+    assert!(!sweep.is_empty(), "sweep must not be empty");
+    let host_cores = doc
+        .get("host_cores")
+        .and_then(Value::as_u64)
+        .expect("host_cores");
+
+    for (i, point) in sweep.iter().enumerate() {
+        for key in [
+            "threads_requested",
+            "threads_effective",
+            "oversubscribed",
+            "seconds",
+            "gflops",
+            "speedup_vs_1t",
+            "phases",
+            "telemetry",
+        ] {
+            assert!(point.get(key).is_some(), "sweep[{i}] missing {key}");
+        }
+        let effective = point
+            .get("threads_effective")
+            .and_then(Value::as_u64)
+            .expect("threads_effective");
+        assert_eq!(
+            point.get("oversubscribed").and_then(Value::as_bool),
+            Some(effective > host_cores),
+            "sweep[{i}] oversubscribed flag inconsistent with host_cores"
+        );
+        let phases = point.get("phases").expect("phases");
+        for phase in ["symbolic", "expand", "sort", "compress", "assemble"] {
+            let t = phases
+                .get(phase)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("sweep[{i}] missing phase {phase}"));
+            assert!(
+                (0.0..PHASE_SANITY_CEILING_SECONDS).contains(&t),
+                "sweep[{i}] phase {phase} = {t}s breaches the sanity ceiling"
+            );
+        }
+        let telemetry = point.get("telemetry").expect("telemetry");
+        let flushed = telemetry
+            .get("flushed_tuples")
+            .and_then(Value::as_u64)
+            .expect("flushed_tuples");
+        assert_eq!(
+            Some(flushed),
+            doc.get("flop").and_then(Value::as_u64),
+            "sweep[{i}] telemetry does not account for every expanded tuple"
+        );
+    }
+
+    // --- Correctness oracle. -----------------------------------------------
+    let c = pb_spgemm::multiply(&w.a_csc, &w.a, &PbConfig::default());
+    let expected = pb_sparse::reference::multiply_csr(&w.a, &w.a);
+    assert!(
+        pb_sparse::reference::csr_approx_eq(&c, &expected, 1e-9),
+        "PB-SpGEMM no longer matches the reference oracle on {}",
+        w.name
+    );
+    assert_eq!(
+        doc.get("nnz_c").and_then(Value::as_u64),
+        Some(expected.nnz() as u64),
+        "emitted nnz_c disagrees with the oracle"
+    );
 }

@@ -16,6 +16,8 @@ use pb_bench::workloads::er_matrix;
 use pb_bench::{fmt, print_table, quick_mode, repetitions, write_json, Table};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let quick = quick_mode();
     let reps = repetitions();
     let scale = if quick { 11 } else { 13 };

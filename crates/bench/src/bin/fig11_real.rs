@@ -6,6 +6,8 @@ use pb_bench::workloads::standin_fraction;
 use pb_bench::{print_table, quick_mode, repetitions, write_json};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let fraction = standin_fraction(quick_mode());
     let fig = real_matrices(fraction, repetitions());
     print_table(&fig.performance);

@@ -5,6 +5,8 @@ use pb_bench::figures::scaling;
 use pb_bench::{print_table, quick_mode, repetitions, write_json};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let (table, measurements) = scaling(quick_mode(), repetitions());
     print_table(&table);
     write_json("fig12_scaling", &measurements);

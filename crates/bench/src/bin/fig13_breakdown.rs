@@ -5,6 +5,8 @@ use pb_bench::figures::scaling_breakdown;
 use pb_bench::{print_table, quick_mode};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let table = scaling_breakdown(quick_mode());
     print_table(&table);
     println!(

@@ -42,6 +42,8 @@ fn start_bandwidth_thief(nthreads: usize) -> (Arc<AtomicBool>, Vec<std::thread::
 }
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let quick = quick_mode();
     let reps = repetitions();
     let (scale, ef) = if quick { (11, 8) } else { (14, 16) };

@@ -10,6 +10,8 @@ use pb_model::roofline::RooflineModel;
 use pb_model::stream::{run, StreamConfig};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let stream_cfg = if quick_mode() {
         StreamConfig::quick()
     } else {

@@ -11,6 +11,8 @@ use pb_bench::{fmt, print_table, quick_mode, repetitions, write_json, Table};
 use pb_spgemm::{PbConfig, Phase};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let args: Vec<String> = std::env::args().collect();
     let part = args
         .iter()

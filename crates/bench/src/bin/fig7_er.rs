@@ -8,6 +8,8 @@ use pb_bench::figures::{performance_vs_scale, MatrixFamily};
 use pb_bench::{print_table, quick_mode, repetitions, write_json};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let bandwidth_only = std::env::args().any(|a| a == "--bandwidth");
     let fig = performance_vs_scale(MatrixFamily::Er, quick_mode(), repetitions());
     if !bandwidth_only {

@@ -7,6 +7,8 @@ use pb_model::access::{access_table, traffic_estimates};
 use pb_sparse::stats::MultiplyStats;
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     for d in [4.0, 8.0, 16.0] {
         let mut table = Table::new(
             format!("Table II — access patterns, ER matrices with d = {d}"),

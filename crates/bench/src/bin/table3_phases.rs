@@ -7,6 +7,8 @@ use pb_bench::{fmt, print_table, quick_mode, write_json, Table};
 use pb_spgemm::{PbConfig, Phase};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let (scale, ef) = if quick_mode() { (12, 8) } else { (15, 8) };
     let w = er_matrix(scale, ef, 3);
     let profile = pb_bench::measure_pb_profile(&w, &PbConfig::default());

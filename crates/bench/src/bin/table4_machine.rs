@@ -8,6 +8,8 @@ use pb_bench::{print_table, write_json, Table};
 use pb_model::MachineInfo;
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let info = MachineInfo::detect();
     let mut table = Table::new(
         "Table IV — evaluation platform (this machine)",

@@ -8,6 +8,8 @@ use pb_bench::{fmt, print_table, quick_mode, write_json, Table};
 use pb_model::stream::{run, StreamConfig};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let base = if quick_mode() {
         StreamConfig::quick()
     } else {

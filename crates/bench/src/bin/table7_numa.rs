@@ -11,6 +11,8 @@ use pb_model::numa::{probe, NumaConfig};
 use pb_model::stream::{run as stream_run, StreamConfig};
 
 fn main() {
+    // `--smoke` shrinks the workloads to CI size (sets PB_BENCH_QUICK).
+    pb_bench::smoke_from_args();
     let cfg = if quick_mode() {
         NumaConfig::quick()
     } else {

@@ -41,6 +41,17 @@ pub fn quick_mode() -> bool {
         .unwrap_or(false)
 }
 
+/// Enables quick mode when `--smoke` appears among the CLI arguments.
+///
+/// Every figure/table binary calls this first thing in `main`, so CI can
+/// smoke-run any of the 16 binaries with `-- --smoke` (tiny inputs, one
+/// repetition) without exporting `PB_BENCH_QUICK` per step.
+pub fn smoke_from_args() {
+    if std::env::args().skip(1).any(|a| a == "--smoke") {
+        std::env::set_var("PB_BENCH_QUICK", "1");
+    }
+}
+
 /// Number of repetitions per measurement (the minimum time is reported).
 pub fn repetitions() -> usize {
     if quick_mode() {

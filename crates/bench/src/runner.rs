@@ -1,4 +1,6 @@
-//! Timed algorithm runs shared by all figure/table binaries.
+//! Timed algorithm runs shared by all figure/table binaries, and the
+//! JSON-facing [`Telemetry`] view of a multiplication's
+//! [`PhaseStats`](pb_spgemm::PhaseStats).
 
 use std::time::Instant;
 
@@ -10,7 +12,7 @@ use crate::workloads::Workload;
 
 /// An algorithm under test: PB-SpGEMM with a particular configuration, or
 /// one of the column baselines.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Algorithm {
     /// PB-SpGEMM with the given configuration.
     Pb(PbConfig),
@@ -129,7 +131,7 @@ fn run_once(
             // must not request a second, nested pool.
             let cfg = PbConfig {
                 threads: None,
-                ..*cfg
+                ..cfg.clone()
             };
             let t = Instant::now();
             let c = pb_spgemm::multiply(&workload.a_csc, &workload.a, &cfg);
@@ -156,6 +158,71 @@ pub fn measure_pb_profile(workload: &Workload, config: &PbConfig) -> SpGemmProfi
         config,
     );
     profile
+}
+
+/// The serializable view of one multiplication's runtime telemetry,
+/// emitted per sweep point into `BENCH_pb.json` (`telemetry` section).
+///
+/// Raw counters come straight from
+/// [`PhaseStats`](pb_spgemm::PhaseStats); the derived rates are
+/// pre-computed here so JSON consumers (plots, CI checks) need no
+/// knowledge of the histogram conventions.
+#[derive(Debug, Clone, Serialize)]
+pub struct Telemetry {
+    /// Local-bin capacity (tuples) the expand phase used.
+    pub local_bin_capacity: usize,
+    /// Total local-bin flushes across all threads.
+    pub flushes: u64,
+    /// Total tuples moved by those flushes.
+    pub flushed_tuples: u64,
+    /// Mean tuples per flush.
+    pub mean_flush_tuples: f64,
+    /// Fraction of flushes that were capacity-triggered.
+    pub full_flush_fraction: f64,
+    /// Histogram of flush sizes by fill-fraction eighth of the capacity.
+    pub flush_fill_hist: Vec<u64>,
+    /// Expand fold segments that reported flush counts.
+    pub expand_segments: usize,
+    /// Fewest flushes any one segment performed.
+    pub min_segment_flushes: u64,
+    /// Most flushes any one segment performed.
+    pub max_segment_flushes: u64,
+    /// Expanded tuples landing in the fullest bin.
+    pub max_bin_flop: u64,
+    /// Bin occupancy skew (fullest bin / mean bin).
+    pub bin_occupancy_skew: f64,
+    /// Bins sorted with in-bin parallelism.
+    pub par_sorted_bins: usize,
+    /// Bins the compress phase split at key boundaries.
+    pub split_bins: usize,
+    /// Total chunks those split bins became.
+    pub split_chunks: usize,
+    /// Output rows holding at least one nonzero.
+    pub nonempty_rows: usize,
+}
+
+impl Telemetry {
+    /// Extracts the JSON-facing telemetry from a profiled run.
+    pub fn from_profile(profile: &SpGemmProfile) -> Self {
+        let s = &profile.stats;
+        Telemetry {
+            local_bin_capacity: s.local_bin_capacity,
+            flushes: s.flushes,
+            flushed_tuples: s.flushed_tuples,
+            mean_flush_tuples: s.mean_flush_tuples(),
+            full_flush_fraction: s.full_flush_fraction(),
+            flush_fill_hist: s.flush_fill_hist.to_vec(),
+            expand_segments: s.expand_segments,
+            min_segment_flushes: s.min_segment_flushes,
+            max_segment_flushes: s.max_segment_flushes,
+            max_bin_flop: s.max_bin_flop,
+            bin_occupancy_skew: s.occupancy_skew(),
+            par_sorted_bins: s.par_sorted_bins,
+            split_bins: s.split_bins,
+            split_chunks: s.split_chunks,
+            nonempty_rows: s.nonempty_rows,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +260,31 @@ mod tests {
         let p = measure_pb_profile(&w, &PbConfig::default());
         assert_eq!(p.flop, w.stats.flop);
         assert!(p.timings.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_the_profile_stats() {
+        let w = er_matrix(8, 6, 7);
+        let p = measure_pb_profile(&w, &PbConfig::default());
+        let t = Telemetry::from_profile(&p);
+        // The default Reserved strategy flushes every expanded tuple.
+        assert_eq!(t.flushed_tuples, p.flop);
+        assert!(t.flushes > 0);
+        assert_eq!(t.flush_fill_hist.iter().sum::<u64>(), t.flushes);
+        assert!(t.mean_flush_tuples > 0.0);
+        assert!(t.bin_occupancy_skew >= 1.0);
+        assert!(t.nonempty_rows > 0);
+        // And it serializes with the field names downstream plots expect.
+        let json = serde_json::to_string(&t).unwrap();
+        for key in [
+            "local_bin_capacity",
+            "mean_flush_tuples",
+            "full_flush_fraction",
+            "flush_fill_hist",
+            "bin_occupancy_skew",
+            "split_bins",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
     }
 }

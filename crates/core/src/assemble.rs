@@ -18,6 +18,7 @@ use pb_sparse::{Csr, Index, Scalar};
 use rayon::prelude::*;
 
 use crate::bins::BinnedTuples;
+use crate::profile::StatsCollector;
 
 /// A shared mutable pointer used for the disjoint per-row writes described
 /// in the module docs.
@@ -34,7 +35,11 @@ impl<T> SharedPtr<T> {
 }
 
 /// Builds the CSR result from compressed, sorted bins.
-pub fn assemble<V: Scalar>(tuples: &BinnedTuples<V>) -> Csr<V> {
+///
+/// The number of nonempty output rows is recorded into `stats` (it falls
+/// out of the prefix-sum pass for free and quantifies how sparse the output
+/// row space is).
+pub fn assemble<V: Scalar>(tuples: &BinnedTuples<V>, stats: &StatsCollector) -> Csr<V> {
     let layout = &tuples.layout;
     let nrows = layout.nrows;
     let ncols = layout.ncols;
@@ -59,12 +64,15 @@ pub fn assemble<V: Scalar>(tuples: &BinnedTuples<V>) -> Csr<V> {
     // ----- Exclusive prefix sum -> rowptr. ----------------------------------
     let mut rowptr = Vec::with_capacity(nrows + 1);
     let mut acc = 0usize;
+    let mut nonempty = 0usize;
     rowptr.push(0);
     for &c in &row_counts {
         acc += c;
+        nonempty += usize::from(c > 0);
         rowptr.push(acc);
     }
     debug_assert_eq!(acc, nnz);
+    stats.record_nonempty_rows(nonempty);
 
     // ----- Pass 2: scatter column indices and values. -----------------------
     let mut colidx: Vec<MaybeUninit<Index>> = Vec::with_capacity(nnz);
@@ -172,7 +180,7 @@ mod tests {
             (5, 2, 5.0),
         ];
         let tuples = build(6, 4, 3, BinMapping::Range, &triplets);
-        let c = assemble(&tuples);
+        let c = assemble(&tuples, &StatsCollector::new());
         assert_eq!(c.shape(), (6, 4));
         assert_eq!(c.nnz(), 5);
         assert_eq!(c.get(0, 1), Some(1.0));
@@ -195,7 +203,7 @@ mod tests {
             (4, 4, 5.0),
         ];
         let tuples = build(5, 5, 2, BinMapping::Modulo, &triplets);
-        let c = assemble(&tuples);
+        let c = assemble(&tuples, &StatsCollector::new());
         assert_eq!(c.nnz(), 5);
         for &(r, cc, v) in &triplets {
             assert_eq!(c.get(r as usize, cc as usize), Some(v));
@@ -209,7 +217,9 @@ mod tests {
         // no tuples at all.
         let triplets = [(0u32, 0u32, 1.0), (9, 9, 2.0)];
         let tuples = build(10, 10, 3, BinMapping::Range, &triplets);
-        let c = assemble(&tuples);
+        let stats = StatsCollector::new();
+        let c = assemble(&tuples, &stats);
+        assert_eq!(stats.snapshot().nonempty_rows, 2);
         assert_eq!(c.nnz(), 2);
         assert_eq!(c.get(0, 0), Some(1.0));
         assert_eq!(c.get(9, 9), Some(2.0));
@@ -219,7 +229,7 @@ mod tests {
     #[test]
     fn completely_empty_product() {
         let tuples = build(4, 4, 2, BinMapping::Range, &[]);
-        let c = assemble(&tuples);
+        let c = assemble(&tuples, &StatsCollector::new());
         assert_eq!(c.shape(), (4, 4));
         assert_eq!(c.nnz(), 0);
         assert!(c.validate().is_ok());
@@ -230,7 +240,7 @@ mod tests {
         let triplets: Vec<(u32, u32, f64)> =
             (0..32u32).rev().map(|c| (3u32, c, c as f64)).collect();
         let tuples = build(8, 32, 4, BinMapping::Range, &triplets);
-        let c = assemble(&tuples);
+        let c = assemble(&tuples, &StatsCollector::new());
         assert_eq!(c.row_nnz(3), 32);
         let (cols, vals) = c.row(3);
         assert!(cols.windows(2).all(|w| w[0] < w[1]));

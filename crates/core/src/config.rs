@@ -4,7 +4,17 @@
 //! bins (`nbins`, chosen so one bin's tuples fit in L2 cache) and the local
 //! bin width (512 bytes by default, a few cache lines).  This reproduction
 //! additionally exposes the bin→row mapping, the expand strategy and the
-//! sort algorithm so they can be ablated in the benchmark suite.
+//! sort algorithm so they can be ablated in the benchmark suite — and an
+//! [`AutoTune`] feedback policy that adapts the local-bin width *between*
+//! multiplies from the telemetry of
+//! [`PhaseStats`](crate::profile::PhaseStats), so a long-running engine
+//! (iterated graph kernels, repeated products of similar shape) converges
+//! to the right flush granularity instead of trusting the static default.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::profile::SpGemmProfile;
 
 /// How output rows are mapped onto propagation bins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,8 +79,190 @@ pub const CACHE_LINE_BYTES: usize = 64;
 /// still fits the bins of a thread in L1/L2.
 pub const DEFAULT_LOCAL_BIN_CACHE_LINES: usize = 8;
 
+/// When the compress phase may split one oversized bin at key boundaries so
+/// that [`compress_bins`](crate::compress::compress_bins) parallelises
+/// *inside* the bin instead of only across bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressSplit {
+    /// Split large bins only when there are fewer bins than pool threads —
+    /// the regime where per-bin parallelism cannot keep the pool busy
+    /// (mirrors the sort phase's in-bin parallel schedule).  Default.
+    Auto,
+    /// Never split: the paper's strictly per-bin compress schedule.
+    Never,
+    /// Split every bin above the minimum size regardless of the thread
+    /// count (differential testing and ablation).
+    Always,
+}
+
+// ---------------------------------------------------------------------------
+// AutoTune
+// ---------------------------------------------------------------------------
+
+/// Smallest local-bin width the autotuner will select (one cache line).
+pub const AUTOTUNE_MIN_LINES: usize = 1;
+
+/// Largest local-bin width the autotuner will select (64 lines = 4 KiB).
+pub const AUTOTUNE_MAX_LINES: usize = 64;
+
+/// Private-cache budget for one thread's whole set of local bins.  When
+/// `nbins × local_bin_bytes` outgrows this the flush targets thrash the
+/// thread's L1/L2 and the policy shrinks the bins; growth is only allowed
+/// while the doubled footprint still fits.  256 KiB leaves the rest of a
+/// typical 1 MiB per-core L2 (Table IV) to the global-bin flush destinations.
+pub const AUTOTUNE_LOCAL_BINS_BUDGET_BYTES: usize = 256 * 1024;
+
+/// Mean flush size (bytes) below which flushes are considered too small:
+/// each reservation `fetch_add` then moves fewer than five cache lines and
+/// the propagation-blocking amortisation is lost, so the policy grows the
+/// bins.  The paper's 512 B default produces ~512 B flushes in steady state,
+/// comfortably above this threshold, so a well-tuned configuration is a
+/// fixed point.
+pub const AUTOTUNE_GROW_FLUSH_BYTES: f64 = 320.0;
+
+/// Fraction of flushes that must be capacity-triggered before small flushes
+/// are blamed on the capacity.  Below this, small flushes are end-of-segment
+/// partials (the workload never fills a bin) and growing would not help.
+pub const AUTOTUNE_FULL_FLUSH_FRACTION: f64 = 0.5;
+
+/// Feedback policy adapting the local-bin width between multiplies.
+///
+/// Shared by every clone of an auto-tuned [`PbConfig`] (the config holds it
+/// behind an [`Arc`]), so repeated calls of
+/// [`multiply`](crate::multiply)/[`multiply_with_profile`](crate::multiply_with_profile)
+/// with the same config observe each other's telemetry:
+///
+/// * **grow** — the measured flush rate is high (mean flush below
+///   [`AUTOTUNE_GROW_FLUSH_BYTES`]) while most flushes are capacity-triggered
+///   and the *doubled* local-bin footprint still fits
+///   [`AUTOTUNE_LOCAL_BINS_BUDGET_BYTES`] (i.e. the bin count is low enough
+///   to afford wider bins);
+/// * **shrink** — the current footprint `nbins × local_bin_bytes` already
+///   exceeds the budget (many bins pressuring the private cache).
+///
+/// One step doubles or halves the line count, clamped to
+/// [`AUTOTUNE_MIN_LINES`]..=[`AUTOTUNE_MAX_LINES`]; repeated observations of
+/// a stable workload therefore converge in `O(log)` multiplies and then stop
+/// adjusting.
+#[derive(Debug)]
+pub struct AutoTune {
+    /// Current local-bin width in cache lines.
+    lines: AtomicUsize,
+    /// Budget for one thread's local bins (bytes).
+    budget_bytes: usize,
+    /// Profiles observed so far.
+    observations: AtomicUsize,
+    /// Adjustments (grow or shrink steps) applied so far.
+    adjustments: AtomicUsize,
+}
+
+impl Default for AutoTune {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AutoTune {
+    /// Starts from the paper's default width
+    /// ([`DEFAULT_LOCAL_BIN_CACHE_LINES`]).
+    pub fn new() -> Self {
+        Self::with_initial_lines(DEFAULT_LOCAL_BIN_CACHE_LINES)
+    }
+
+    /// Starts from an explicit width in cache lines (clamped to the
+    /// autotuner's range).
+    pub fn with_initial_lines(lines: usize) -> Self {
+        AutoTune {
+            lines: AtomicUsize::new(lines.clamp(AUTOTUNE_MIN_LINES, AUTOTUNE_MAX_LINES)),
+            budget_bytes: AUTOTUNE_LOCAL_BINS_BUDGET_BYTES,
+            observations: AtomicUsize::new(0),
+            adjustments: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current local-bin width in cache lines.
+    pub fn lines(&self) -> usize {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Current local-bin width in bytes (what the expand phase consumes).
+    pub fn local_bin_bytes(&self) -> usize {
+        self.lines() * CACHE_LINE_BYTES
+    }
+
+    /// Number of profiles observed.
+    pub fn observations(&self) -> usize {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// Number of grow/shrink steps applied.
+    pub fn adjustments(&self) -> usize {
+        self.adjustments.load(Ordering::Relaxed)
+    }
+
+    /// Feeds one multiplication's profile back into the policy; returns the
+    /// new width in cache lines if this observation changed it.
+    ///
+    /// Concurrent observers (multiplies running in parallel through clones
+    /// of one tuned config) race benignly: the adjustment is published with
+    /// a compare-exchange against the width this decision was computed
+    /// from, so a step that lost the race is dropped rather than applied on
+    /// top of another thread's step — the width moves at most one step per
+    /// generation of evidence and never double-steps from stale telemetry.
+    pub fn observe(&self, profile: &SpGemmProfile) -> Option<usize> {
+        self.observations.fetch_add(1, Ordering::Relaxed);
+        let stats = &profile.stats;
+        if stats.flushes == 0 {
+            // ThreadLocal strategy or an empty product: no flush telemetry.
+            return None;
+        }
+        let lines = self.lines();
+        let bin_bytes = lines * CACHE_LINE_BYTES;
+        let footprint = profile.nbins.saturating_mul(bin_bytes);
+
+        // Shrink: this thread's local bins outgrow the private-cache budget.
+        if footprint > self.budget_bytes && lines > AUTOTUNE_MIN_LINES {
+            let new = (lines / 2).max(AUTOTUNE_MIN_LINES);
+            return self.publish(lines, new);
+        }
+
+        // Grow: flushes are frequent and tiny, they are capacity-triggered
+        // (not end-of-segment partials), and doubling still fits the budget.
+        let mean_flush_bytes = stats.mean_flush_tuples() * profile.tuple_bytes as f64;
+        if mean_flush_bytes < AUTOTUNE_GROW_FLUSH_BYTES
+            && stats.full_flush_fraction() >= AUTOTUNE_FULL_FLUSH_FRACTION
+            && footprint.saturating_mul(2) <= self.budget_bytes
+            && lines < AUTOTUNE_MAX_LINES
+        {
+            let new = (lines * 2).min(AUTOTUNE_MAX_LINES);
+            return self.publish(lines, new);
+        }
+        None
+    }
+
+    /// Publishes an adjustment computed from width `from`; drops it if a
+    /// concurrent observer adjusted the width in the meantime.
+    fn publish(&self, from: usize, to: usize) -> Option<usize> {
+        match self
+            .lines
+            .compare_exchange(from, to, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                self.adjustments.fetch_add(1, Ordering::Relaxed);
+                Some(to)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
 /// Configuration of a PB-SpGEMM multiplication.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Cheap to clone: the only non-scalar field is the optional shared
+/// [`AutoTune`] handle (an [`Arc`]), which clones share on purpose so that
+/// repeated multiplies through any clone of an auto-tuned config feed the
+/// same policy.
+#[derive(Debug, Clone)]
 pub struct PbConfig {
     /// Number of global bins.  `None` (default) derives it from the flop
     /// count and [`PbConfig::l2_bytes`] exactly as the paper's symbolic
@@ -96,6 +288,33 @@ pub struct PbConfig {
     pub sort: SortAlgorithm,
     /// Number of rayon worker threads; `None` uses the global pool.
     pub threads: Option<usize>,
+    /// Whether the compress phase may split oversized bins at key
+    /// boundaries (default [`CompressSplit::Auto`]).
+    pub compress_split: CompressSplit,
+    /// Optional shared autotuning policy.  When set,
+    /// [`PbConfig::effective_local_bin_bytes`] reads the policy's current
+    /// width instead of [`PbConfig::local_bin_bytes`], and every profiled
+    /// multiply feeds its telemetry back via [`AutoTune::observe`].
+    pub auto: Option<Arc<AutoTune>>,
+}
+
+impl PartialEq for PbConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let same_auto = match (&self.auto, &other.auto) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        same_auto
+            && self.nbins == other.nbins
+            && self.local_bin_bytes == other.local_bin_bytes
+            && self.l2_bytes == other.l2_bytes
+            && self.bin_mapping == other.bin_mapping
+            && self.expand == other.expand
+            && self.sort == other.sort
+            && self.threads == other.threads
+            && self.compress_split == other.compress_split
+    }
 }
 
 impl Default for PbConfig {
@@ -108,6 +327,8 @@ impl Default for PbConfig {
             expand: ExpandStrategy::Reserved,
             sort: SortAlgorithm::LsdRadix,
             threads: None,
+            compress_split: CompressSplit::Auto,
+            auto: None,
         }
     }
 }
@@ -116,6 +337,41 @@ impl PbConfig {
     /// The paper's default configuration.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The default configuration with the [`AutoTune`] feedback loop
+    /// enabled: every profiled multiply adapts the local-bin width for the
+    /// next one, starting from the paper's 512 B default.
+    pub fn auto_tuned() -> Self {
+        PbConfig {
+            auto: Some(Arc::new(AutoTune::new())),
+            ..Self::default()
+        }
+    }
+
+    /// Auto-tuned configuration starting from an explicit local-bin width
+    /// in cache lines (used by `bench_pb --tune` to show the convergence
+    /// trajectory from a deliberately bad starting point).
+    pub fn auto_tuned_from_lines(lines: usize) -> Self {
+        PbConfig {
+            auto: Some(Arc::new(AutoTune::with_initial_lines(lines))),
+            ..Self::default()
+        }
+    }
+
+    /// The shared autotuning policy, if enabled.
+    pub fn auto_tune(&self) -> Option<&AutoTune> {
+        self.auto.as_deref()
+    }
+
+    /// The local-bin width the next multiply will actually use: the
+    /// autotuner's current width when autotuning is enabled, the static
+    /// [`PbConfig::local_bin_bytes`] otherwise.
+    pub fn effective_local_bin_bytes(&self) -> usize {
+        match &self.auto {
+            Some(tuner) => tuner.local_bin_bytes(),
+            None => self.local_bin_bytes,
+        }
     }
 
     /// Sets an explicit number of global bins.
@@ -158,6 +414,12 @@ impl PbConfig {
     /// for the multiplication).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets the compress-phase bin-splitting policy.
+    pub fn with_compress_split(mut self, split: CompressSplit) -> Self {
+        self.compress_split = split;
         self
     }
 
@@ -219,5 +481,116 @@ mod tests {
         assert_eq!(c.resolve_nbins(1 << 30, 16, 1 << 20), 4096);
         // Zero-flop products still get one bin.
         assert_eq!(PbConfig::new().resolve_nbins(0, 16, 8), 1);
+    }
+
+    use crate::profile::{PhaseStats, PhaseTimings, FLUSH_HIST_BUCKETS};
+
+    /// Synthetic profile with exactly the telemetry the policy reads.
+    fn synthetic_profile(
+        nbins: usize,
+        flushes: u64,
+        flushed_tuples: u64,
+        full_flushes: u64,
+    ) -> SpGemmProfile {
+        let mut hist = [0u64; FLUSH_HIST_BUCKETS];
+        hist[FLUSH_HIST_BUCKETS - 1] = full_flushes;
+        hist[0] = flushes - full_flushes;
+        SpGemmProfile {
+            timings: PhaseTimings::default(),
+            flop: flushed_tuples,
+            nnz_a: 0,
+            nnz_b: 0,
+            nnz_c: flushed_tuples as usize,
+            nbins,
+            key_bytes: 4,
+            tuple_bytes: 16,
+            coo_bytes: 16,
+            stats: PhaseStats {
+                local_bin_capacity: 8,
+                flushes,
+                flushed_tuples,
+                flush_fill_hist: hist,
+                expand_segments: 4,
+                min_segment_flushes: flushes / 8,
+                max_segment_flushes: flushes / 2,
+                max_bin_flop: flushed_tuples / nbins.max(1) as u64,
+                mean_bin_flop: flushed_tuples as f64 / nbins.max(1) as f64,
+                ..PhaseStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn autotune_grows_on_a_high_flush_rate_trace_with_few_bins() {
+        // 2 lines = 128 B bins: flushes carry 8 × 16 B = 128 B < the 320 B
+        // grow threshold, 90% capacity-triggered, few bins -> grow.
+        let tuner = AutoTune::with_initial_lines(2);
+        let trace = synthetic_profile(16, 1000, 8000, 900);
+        assert_eq!(tuner.observe(&trace), Some(4));
+        assert_eq!(tuner.lines(), 4);
+        // Same trace again keeps growing (still tiny flushes)...
+        assert_eq!(tuner.observe(&trace), Some(8));
+        // ...until a trace with healthy flush sizes is a fixed point:
+        // 32 tuples × 16 B = 512 B >= 320 B.
+        let healthy = synthetic_profile(16, 250, 8000, 240);
+        assert_eq!(tuner.observe(&healthy), None);
+        assert_eq!(tuner.lines(), 8);
+        assert_eq!(tuner.observations(), 3);
+        assert_eq!(tuner.adjustments(), 2);
+    }
+
+    #[test]
+    fn autotune_shrinks_under_cache_pressure_with_many_bins() {
+        // 8 lines × 64 B × 4096 bins = 2 MiB of local bins per thread,
+        // far over the 256 KiB budget -> shrink, repeatedly, until the
+        // footprint fits (4096 bins × 64 B = 256 KiB at 1 line).
+        let tuner = AutoTune::new();
+        assert_eq!(tuner.lines(), DEFAULT_LOCAL_BIN_CACHE_LINES);
+        let trace = synthetic_profile(4096, 10_000, 320_000, 9000);
+        assert_eq!(tuner.observe(&trace), Some(4));
+        assert_eq!(tuner.observe(&trace), Some(2));
+        assert_eq!(tuner.observe(&trace), Some(1));
+        // At the floor the policy stops shrinking even under pressure.
+        assert_eq!(tuner.observe(&trace), None);
+        assert_eq!(tuner.lines(), AUTOTUNE_MIN_LINES);
+    }
+
+    #[test]
+    fn autotune_ignores_traces_without_flush_telemetry() {
+        // ThreadLocal expansion (or an empty product) reports zero flushes;
+        // the policy must not react to the absence of evidence.
+        let tuner = AutoTune::with_initial_lines(2);
+        let trace = synthetic_profile(16, 0, 0, 0);
+        assert_eq!(tuner.observe(&trace), None);
+        assert_eq!(tuner.lines(), 2);
+    }
+
+    #[test]
+    fn autotune_does_not_grow_on_end_of_segment_partials() {
+        // Small flushes that are NOT capacity-triggered (tiny workload:
+        // every flush is a flush_all partial) must not trigger growth.
+        let tuner = AutoTune::with_initial_lines(2);
+        let trace = synthetic_profile(16, 1000, 8000, 100);
+        assert_eq!(tuner.observe(&trace), None);
+        assert_eq!(tuner.lines(), 2);
+    }
+
+    #[test]
+    fn auto_tuned_configs_share_the_policy_across_clones() {
+        let cfg = PbConfig::auto_tuned_from_lines(2);
+        let clone = cfg.clone();
+        assert_eq!(cfg, clone);
+        assert_eq!(cfg.effective_local_bin_bytes(), 2 * CACHE_LINE_BYTES);
+        // Adjusting through one handle is visible through the other.
+        let trace = synthetic_profile(16, 1000, 8000, 900);
+        cfg.auto_tune().unwrap().observe(&trace);
+        assert_eq!(clone.effective_local_bin_bytes(), 4 * CACHE_LINE_BYTES);
+        // A fresh auto-tuned config is a *different* policy.
+        assert_ne!(cfg, PbConfig::auto_tuned_from_lines(2));
+        // Without autotuning the static width wins.
+        assert_eq!(
+            PbConfig::default().effective_local_bin_bytes(),
+            DEFAULT_LOCAL_BIN_CACHE_LINES * CACHE_LINE_BYTES
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! multiples of whole cache lines — the propagation-blocking idea.
 //!
 //! Two flush mechanisms are provided (selected by
-//! [`ExpandStrategy`](crate::config::ExpandStrategy)):
+//! [`ExpandStrategy`]):
 //!
 //! * **Reserved** (default, the paper's design): the symbolic phase has
 //!   already computed the exact number of tuples per global bin, so the
@@ -28,17 +28,23 @@ use rayon::prelude::*;
 
 use crate::bins::{BinnedTuples, Entry};
 use crate::config::{ExpandStrategy, PbConfig};
+use crate::profile::{StatsCollector, FLUSH_HIST_BUCKETS};
 use crate::symbolic::Symbolic;
 
 /// Runs the expand phase, producing the binned expanded matrix `Ĉ`.
+///
+/// Flush telemetry (counts, sizes, per-segment extremes) is accumulated
+/// thread-locally and merged into `stats` once per fold segment, so the hot
+/// flush path pays nothing for the instrumentation.
 pub fn expand<S: Semiring>(
     a: &Csc<S::Elem>,
     b: &Csr<S::Elem>,
     sym: &Symbolic,
     config: &PbConfig,
+    stats: &StatsCollector,
 ) -> BinnedTuples<S::Elem> {
     match config.expand {
-        ExpandStrategy::Reserved => expand_reserved::<S>(a, b, sym, config),
+        ExpandStrategy::Reserved => expand_reserved::<S>(a, b, sym, config, stats),
         ExpandStrategy::ThreadLocal => expand_thread_local::<S>(a, b, sym),
     }
 }
@@ -105,6 +111,11 @@ struct LocalBins<'a, V> {
     buf: &'a SharedBuf<V>,
     cursors: &'a [AtomicUsize],
     bin_ends: &'a [usize],
+    stats: &'a StatsCollector,
+    // Telemetry accumulated locally; merged into `stats` once per segment.
+    flushes: u64,
+    flushed: u64,
+    fill_hist: [u64; FLUSH_HIST_BUCKETS],
 }
 
 impl<'a, V: Copy> LocalBins<'a, V> {
@@ -115,6 +126,7 @@ impl<'a, V: Copy> LocalBins<'a, V> {
         cursors: &'a [AtomicUsize],
         bin_ends: &'a [usize],
         zero: Entry<V>,
+        stats: &'a StatsCollector,
     ) -> Self {
         LocalBins {
             data: vec![zero; nbins * capacity],
@@ -123,6 +135,10 @@ impl<'a, V: Copy> LocalBins<'a, V> {
             buf,
             cursors,
             bin_ends,
+            stats,
+            flushes: 0,
+            flushed: 0,
+            fill_hist: [0; FLUSH_HIST_BUCKETS],
         }
     }
 
@@ -164,13 +180,23 @@ impl<'a, V: Copy> LocalBins<'a, V> {
             std::ptr::copy_nonoverlapping(src.as_ptr() as *const MaybeUninit<Entry<V>>, dst, n);
         }
         self.len[bin] = 0;
+        self.flushes += 1;
+        self.flushed += n as u64;
+        // Bucket i covers fill fractions (i/8, (i+1)/8]: a full flush lands
+        // in the top bucket, a 1-of-32 partial in the bottom one.
+        let bucket =
+            ((n * FLUSH_HIST_BUCKETS).div_ceil(self.capacity) - 1).min(FLUSH_HIST_BUCKETS - 1);
+        self.fill_hist[bucket] += 1;
     }
 
-    /// Flushes every non-empty local bin (lines 15–18 of Algorithm 2).
-    fn flush_all(&mut self) {
+    /// Flushes every non-empty local bin (lines 15–18 of Algorithm 2) and
+    /// merges this segment's flush telemetry into the shared collector.
+    fn finish(mut self) {
         for bin in 0..self.len.len() {
             self.flush(bin);
         }
+        self.stats
+            .record_expand_segment(self.flushes, self.flushed, &self.fill_hist);
     }
 }
 
@@ -179,6 +205,7 @@ fn expand_reserved<S: Semiring>(
     b: &Csr<S::Elem>,
     sym: &Symbolic,
     config: &PbConfig,
+    stats: &StatsCollector,
 ) -> BinnedTuples<S::Elem> {
     let flop = sym.flop as usize;
     let nbins = sym.layout.nbins;
@@ -200,7 +227,10 @@ fn expand_reserved<S: Semiring>(
         .collect();
     let bin_ends: Vec<usize> = sym.bin_offsets[1..].to_vec();
 
-    let capacity = local_bin_capacity::<S::Elem>(config.local_bin_bytes);
+    // The autotuner's current width when enabled, the static setting
+    // otherwise; recorded so the profile reports what actually ran.
+    let capacity = local_bin_capacity::<S::Elem>(config.effective_local_bin_bytes());
+    stats.record_local_bin_capacity(capacity);
     let zero_entry = Entry {
         key: 0,
         val: S::zero(),
@@ -210,7 +240,11 @@ fn expand_reserved<S: Semiring>(
     (0..k)
         .into_par_iter()
         .fold(
-            || LocalBins::new(nbins, capacity, &shared, &cursors, &bin_ends, zero_entry),
+            || {
+                LocalBins::new(
+                    nbins, capacity, &shared, &cursors, &bin_ends, zero_entry, stats,
+                )
+            },
             |mut local, i| {
                 let (b_cols, b_vals) = b.row(i);
                 if !b_cols.is_empty() {
@@ -232,7 +266,7 @@ fn expand_reserved<S: Semiring>(
                 local
             },
         )
-        .for_each(|mut local| local.flush_all());
+        .for_each(|local| local.finish());
 
     // Every cursor must have reached the end of its segment: the buffer is
     // fully initialised.
@@ -338,10 +372,19 @@ mod tests {
     type S = PlusTimes<f64>;
 
     fn run(a: &Csr<f64>, cfg: &PbConfig) -> (BinnedTuples<f64>, Symbolic) {
+        let (tuples, sym, _) = run_with_stats(a, cfg);
+        (tuples, sym)
+    }
+
+    fn run_with_stats(
+        a: &Csr<f64>,
+        cfg: &PbConfig,
+    ) -> (BinnedTuples<f64>, Symbolic, crate::profile::PhaseStats) {
         let a_csc = a.to_csc();
         let sym = symbolic(&a_csc, a, cfg, BinnedTuples::<f64>::tuple_bytes());
-        let tuples = expand::<S>(&a_csc, a, &sym, cfg);
-        (tuples, sym)
+        let stats = StatsCollector::new();
+        let tuples = expand::<S>(&a_csc, a, &sym, cfg, &stats);
+        (tuples, sym, stats.snapshot())
     }
 
     /// Collects (row, col, val) triplets from the binned tuples, sorted.
@@ -403,7 +446,9 @@ mod tests {
                 .with_nbins(13)
                 .with_bin_mapping(mapping)
                 .with_expand(ExpandStrategy::Reserved);
-            let safe_cfg = reserved_cfg.with_expand(ExpandStrategy::ThreadLocal);
+            let safe_cfg = reserved_cfg
+                .clone()
+                .with_expand(ExpandStrategy::ThreadLocal);
             let (t1, _) = run(&a, &reserved_cfg);
             let (t2, _) = run(&a, &safe_cfg);
             assert_eq!(collect_tuples(&t1), collect_tuples(&t2));
@@ -481,6 +526,34 @@ mod tests {
             assert_eq!(tuples.flop() as u64, sym.flop, "threads = {threads}");
             assert_eq!(collect_tuples(&tuples), expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn flush_telemetry_accounts_for_every_tuple() {
+        let a = erdos_renyi_square(8, 6, 19);
+        // 4-tuple local bins (64 B) force frequent, mostly-full flushes.
+        let cfg = PbConfig::default().with_nbins(8).with_local_bin_bytes(64);
+        let (tuples, sym, stats) = run_with_stats(&a, &cfg);
+        assert_eq!(stats.local_bin_capacity, 4);
+        // Every expanded tuple was moved by exactly one flush.
+        assert_eq!(stats.flushed_tuples, sym.flop);
+        assert_eq!(stats.flushed_tuples as usize, tuples.flop());
+        assert!(stats.flushes > 0);
+        assert_eq!(stats.flush_fill_hist.iter().sum::<u64>(), stats.flushes);
+        // With capacity 4 most flushes are capacity-triggered.
+        assert!(stats.full_flush_fraction() > 0.5);
+        assert!(stats.expand_segments >= 1);
+        assert!(stats.min_segment_flushes <= stats.max_segment_flushes);
+        // The mean flush can never exceed the capacity.
+        assert!(stats.mean_flush_tuples() <= stats.local_bin_capacity as f64);
+
+        // The ThreadLocal strategy has no flushes to report.
+        let safe = PbConfig::default()
+            .with_nbins(8)
+            .with_expand(ExpandStrategy::ThreadLocal);
+        let (_, _, stats) = run_with_stats(&a, &safe);
+        assert_eq!(stats.flushes, 0);
+        assert_eq!(stats.flushed_tuples, 0);
     }
 
     #[test]

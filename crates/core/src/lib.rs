@@ -60,10 +60,10 @@ pub mod sort;
 pub mod symbolic;
 
 pub use bins::{BinLayout, BinnedTuples, Entry};
-pub use config::{BinMapping, ExpandStrategy, PbConfig, SortAlgorithm};
+pub use config::{AutoTune, BinMapping, CompressSplit, ExpandStrategy, PbConfig, SortAlgorithm};
 pub use masked::{multiply_masked, multiply_masked_with};
 pub use partitioned::{multiply_partitioned, multiply_partitioned_with};
-pub use profile::{Phase, PhaseTimings, SpGemmProfile};
+pub use profile::{Phase, PhaseStats, PhaseTimings, SpGemmProfile, StatsCollector};
 
 use std::time::Instant;
 
@@ -100,25 +100,27 @@ fn run_phases<S: Semiring>(
     config: &PbConfig,
 ) -> (Csr<S::Elem>, SpGemmProfile) {
     let tuple_bytes = BinnedTuples::<S::Elem>::tuple_bytes();
+    let stats = StatsCollector::new();
 
     let t0 = Instant::now();
     let sym = symbolic::symbolic(a, b, config, tuple_bytes);
     let t_symbolic = t0.elapsed();
+    stats.record_bin_flop(&sym.bin_flop);
 
     let t1 = Instant::now();
-    let mut tuples = expand::expand::<S>(a, b, &sym, config);
+    let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats);
     let t_expand = t1.elapsed();
 
     let t2 = Instant::now();
-    sort::sort_bins(&mut tuples, config.sort);
+    sort::sort_bins(&mut tuples, config.sort, &stats);
     let t_sort = t2.elapsed();
 
     let t3 = Instant::now();
-    compress::compress_bins::<S>(&mut tuples);
+    compress::compress_bins::<S>(&mut tuples, config.compress_split, &stats);
     let t_compress = t3.elapsed();
 
     let t4 = Instant::now();
-    let c = assemble::assemble(&tuples);
+    let c = assemble::assemble(&tuples, &stats);
     let t_assemble = t4.elapsed();
 
     let profile = SpGemmProfile {
@@ -137,7 +139,13 @@ fn run_phases<S: Semiring>(
         key_bytes: sym.layout.key_bytes(),
         tuple_bytes,
         coo_bytes: pb_sparse::stats::bytes_per_tuple::<S::Elem>(),
+        stats: stats.snapshot(),
     };
+    // Close the feedback loop: an auto-tuned config adapts its local-bin
+    // width from this multiply's telemetry before the next one runs.
+    if let Some(tuner) = config.auto_tune() {
+        tuner.observe(&profile);
+    }
     (c, profile)
 }
 
@@ -316,6 +324,70 @@ mod tests {
         assert!(profile.timings.total().as_nanos() > 0);
         assert!(profile.gflops() > 0.0);
         assert!(profile.summary().contains("nbins=32"));
+    }
+
+    #[test]
+    fn auto_tuned_config_adapts_capacity_across_repeated_multiplies() {
+        // Start the tuner from a deliberately tiny local bin (1 cache line
+        // = 4 f64 tuples): every flush is tiny, so the policy must grow the
+        // width between multiplies until flushes amortise (8 lines), then
+        // hold steady — all while every product stays correct.
+        let a = erdos_renyi_square(8, 8, 21);
+        let a_csc = a.to_csc();
+        let expected = reference_multiply(&a, &a);
+        let cfg = PbConfig::auto_tuned_from_lines(1);
+        assert_eq!(cfg.effective_local_bin_bytes(), 64);
+
+        let mut capacities = Vec::new();
+        for _ in 0..6 {
+            let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(&a_csc, &a, &cfg);
+            assert!(csr_approx_eq(&c, &expected, 1e-9));
+            capacities.push(profile.stats.local_bin_capacity);
+        }
+        // The expand phase measurably ran with growing capacities...
+        assert_eq!(
+            capacities[0], 4,
+            "first multiply uses the initial 1-line bins"
+        );
+        assert!(
+            capacities.windows(2).all(|w| w[1] >= w[0]),
+            "capacity adapts monotonically upward: {capacities:?}"
+        );
+        // ...and converged to the paper's default width (8 lines = 32
+        // tuples), a fixed point of the policy.
+        assert_eq!(*capacities.last().unwrap(), 32, "{capacities:?}");
+        let tuner = cfg.auto_tune().unwrap();
+        assert_eq!(tuner.lines(), 8);
+        assert_eq!(tuner.observations(), 6);
+        assert_eq!(tuner.adjustments(), 3, "1 -> 2 -> 4 -> 8 lines");
+    }
+
+    #[test]
+    fn split_compress_matches_unsplit_and_reference() {
+        // Single-bin configuration with a product big enough to cross the
+        // split threshold: Always must split (visible in the telemetry) and
+        // agree bit-for-bit with Never on unit values.
+        let a = rmat_square(9, 8, 23).map_values(|_| 1.0);
+        let a_csc = a.to_csc();
+        let expected = reference_multiply(&a, &a);
+        let base = PbConfig::default().with_nbins(1);
+        let (unsplit, _) = multiply_with_profile::<PlusTimes<f64>>(
+            &a_csc,
+            &a,
+            &base.clone().with_compress_split(CompressSplit::Never),
+        );
+        let (split, profile) = multiply_with_profile::<PlusTimes<f64>>(
+            &a_csc,
+            &a,
+            &base.with_compress_split(CompressSplit::Always),
+        );
+        assert!(profile.flop as usize >= compress::SPLIT_MIN_TUPLES);
+        assert_eq!(profile.stats.split_bins, 1, "the single bin was split");
+        assert!(profile.stats.split_chunks >= 2);
+        assert_eq!(split.rowptr(), unsplit.rowptr());
+        assert_eq!(split.colidx(), unsplit.colidx());
+        assert_eq!(split.values(), unsplit.values());
+        assert!(csr_approx_eq(&split, &expected, 1e-9));
     }
 
     #[test]

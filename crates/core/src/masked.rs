@@ -34,12 +34,33 @@ pub fn multiply_masked_with<S: Semiring, M: Scalar>(
         "the mask must have the shape of the product"
     );
     let tuple_bytes = BinnedTuples::<S::Elem>::tuple_bytes();
+    let stats = crate::profile::StatsCollector::new();
     let sym = symbolic::symbolic(a, b, config, tuple_bytes);
-    let mut tuples = expand::expand::<S>(a, b, &sym, config);
-    sort::sort_bins(&mut tuples, config.sort);
-    compress::compress_bins::<S>(&mut tuples);
+    stats.record_bin_flop(&sym.bin_flop);
+    let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats);
+    sort::sort_bins(&mut tuples, config.sort, &stats);
+    compress::compress_bins::<S>(&mut tuples, config.compress_split, &stats);
     apply_mask(&mut tuples, mask);
-    assemble::assemble(&tuples)
+    let c = assemble::assemble(&tuples, &stats);
+    // Close the AutoTune feedback loop on this path too: the masked
+    // pipeline shares the expand phase, so its flush telemetry is exactly
+    // as valid an input to the policy as an unmasked multiply's (the
+    // timings, which the policy never reads, are simply absent here).
+    if let Some(tuner) = config.auto_tune() {
+        tuner.observe(&crate::profile::SpGemmProfile {
+            timings: crate::profile::PhaseTimings::default(),
+            flop: sym.flop,
+            nnz_a: a.nnz(),
+            nnz_b: b.nnz(),
+            nnz_c: c.nnz(),
+            nbins: sym.layout.nbins,
+            key_bytes: sym.layout.key_bytes(),
+            tuple_bytes,
+            coo_bytes: pb_sparse::stats::bytes_per_tuple::<S::Elem>(),
+            stats: stats.snapshot(),
+        });
+    }
+    c
 }
 
 /// Masked multiply with ordinary `+`/`×` over a numeric type.
@@ -103,6 +124,26 @@ mod tests {
     /// Oracle: full product, filtered afterwards.
     fn expected(a: &Csr<f64>, mask: &Csr<f64>) -> Csr<f64> {
         mask_by_pattern(&multiply_csr(a, a), mask)
+    }
+
+    #[test]
+    fn masked_multiplies_feed_the_autotune_loop() {
+        // A masked-only workload must still adapt the tuner: start from a
+        // deliberately tiny 1-line width and require growth plus correct
+        // masked products throughout.
+        let a = erdos_renyi_square(8, 8, 41);
+        let a_csc = a.to_csc();
+        let cfg = crate::PbConfig::auto_tuned_from_lines(1);
+        for _ in 0..6 {
+            let got = multiply_masked(&a_csc, &a, &a, &cfg);
+            assert!(csr_approx_eq(&got, &expected(&a, &a), 1e-9));
+        }
+        let tuner = cfg.auto_tune().unwrap();
+        assert_eq!(tuner.observations(), 6);
+        assert!(
+            tuner.lines() > 1,
+            "masked multiplies never adapted the width"
+        );
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Per-phase instrumentation: wall-clock timings, the data-movement model of
-//! Table III, and the derived bandwidth / FLOPS rates used throughout the
-//! paper's evaluation (Figs. 6, 7b, 9b, 13).
+//! Table III, the derived bandwidth / FLOPS rates used throughout the
+//! paper's evaluation (Figs. 6, 7b, 9b, 13), and the runtime telemetry
+//! ([`PhaseStats`] / [`StatsCollector`]) that feeds the
+//! [`AutoTune`](crate::config::AutoTune) policy.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Wall-clock time spent in each phase of one PB-SpGEMM multiplication.
@@ -59,6 +62,261 @@ impl Phase {
     }
 }
 
+/// Number of buckets of the flush-fill histogram: bucket `i` counts flushes
+/// that filled `(i/8, (i+1)/8]` of the local-bin capacity, so bucket 7 holds
+/// the capacity-triggered (full) flushes and bucket 0 the tiniest
+/// end-of-segment partials.
+pub const FLUSH_HIST_BUCKETS: usize = 8;
+
+/// Runtime telemetry collected across the four phases of one multiplication.
+///
+/// All fields are plain counters so the struct stays `Copy` and can ride
+/// inside [`SpGemmProfile`]; the derived rates the
+/// [`AutoTune`](crate::config::AutoTune) policy consumes are exposed as
+/// methods.  Collected by [`StatsCollector`] and threaded through
+/// [`expand`](crate::expand), [`sort`](crate::sort),
+/// [`compress`](crate::compress) and [`assemble`](crate::assemble).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStats {
+    /// Local-bin capacity (tuples per thread-private bin) the expand phase
+    /// actually used — the resolved value of
+    /// [`local_bin_capacity`](crate::expand::local_bin_capacity).
+    pub local_bin_capacity: usize,
+    /// Total local-bin flushes across all threads (Reserved strategy only;
+    /// zero under `ThreadLocal`).
+    pub flushes: u64,
+    /// Total tuples moved by those flushes (equals the flop under the
+    /// Reserved strategy).
+    pub flushed_tuples: u64,
+    /// Histogram of flush sizes by fill fraction of the local-bin capacity
+    /// (see [`FLUSH_HIST_BUCKETS`]).
+    pub flush_fill_hist: [u64; FLUSH_HIST_BUCKETS],
+    /// Number of expand-phase fold segments that reported flush counts —
+    /// the per-thread granularity of the telemetry (one segment never spans
+    /// threads, so this bounds the parallelism the expand phase saw).
+    pub expand_segments: usize,
+    /// Fewest flushes reported by any one expand segment.
+    pub min_segment_flushes: u64,
+    /// Most flushes reported by any one expand segment.
+    pub max_segment_flushes: u64,
+    /// Expanded tuples landing in the fullest global bin.
+    pub max_bin_flop: u64,
+    /// Mean expanded tuples per global bin.
+    pub mean_bin_flop: f64,
+    /// Bins the sort phase processed with in-bin parallelism.
+    pub par_sorted_bins: usize,
+    /// Bins the compress phase split at key boundaries for in-bin
+    /// parallelism.
+    pub split_bins: usize,
+    /// Total chunks those split bins were divided into.
+    pub split_chunks: usize,
+    /// Output rows with at least one nonzero (assemble phase).
+    pub nonempty_rows: usize,
+}
+
+impl Default for PhaseStats {
+    fn default() -> Self {
+        PhaseStats {
+            local_bin_capacity: 0,
+            flushes: 0,
+            flushed_tuples: 0,
+            flush_fill_hist: [0; FLUSH_HIST_BUCKETS],
+            expand_segments: 0,
+            min_segment_flushes: 0,
+            max_segment_flushes: 0,
+            max_bin_flop: 0,
+            mean_bin_flop: 0.0,
+            par_sorted_bins: 0,
+            split_bins: 0,
+            split_chunks: 0,
+            nonempty_rows: 0,
+        }
+    }
+}
+
+impl PhaseStats {
+    /// Mean tuples carried per flush (0 when nothing flushed).
+    pub fn mean_flush_tuples(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.flushed_tuples as f64 / self.flushes as f64
+        }
+    }
+
+    /// Flushes per expanded tuple — the "flush rate" the autotuner watches.
+    /// A healthy rate is `1 / capacity`; rates far above it mean the local
+    /// bins are too small and every reservation `fetch_add` moves only a few
+    /// tuples.
+    pub fn flush_rate(&self) -> f64 {
+        if self.flushed_tuples == 0 {
+            0.0
+        } else {
+            self.flushes as f64 / self.flushed_tuples as f64
+        }
+    }
+
+    /// Fraction of flushes that were capacity-triggered (fell in the top
+    /// histogram bucket).  Distinguishes "local bins too small" (high) from
+    /// "workload too small to ever fill a bin" (low).
+    pub fn full_flush_fraction(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.flush_fill_hist[FLUSH_HIST_BUCKETS - 1] as f64 / self.flushes as f64
+        }
+    }
+
+    /// Bin occupancy skew: fullest bin over mean bin (1.0 = perfectly even,
+    /// large = one bin dominates and serialises the sort/compress phases).
+    pub fn occupancy_skew(&self) -> f64 {
+        if self.mean_bin_flop == 0.0 {
+            0.0
+        } else {
+            self.max_bin_flop as f64 / self.mean_bin_flop
+        }
+    }
+}
+
+/// Thread-safe accumulator for [`PhaseStats`].
+///
+/// One collector lives for the duration of one multiplication; the phases
+/// record into it with relaxed atomics (every parallel region already ends
+/// with the pool's Release/Acquire completion handshake, so the final
+/// [`StatsCollector::snapshot`] reads settled values).  Expand-phase
+/// counters are accumulated *locally* per fold segment and merged once per
+/// segment, so the hot flush path pays no atomics for telemetry.
+#[derive(Debug)]
+pub struct StatsCollector {
+    local_bin_capacity: AtomicUsize,
+    flushes: AtomicU64,
+    flushed_tuples: AtomicU64,
+    flush_fill_hist: [AtomicU64; FLUSH_HIST_BUCKETS],
+    expand_segments: AtomicUsize,
+    min_segment_flushes: AtomicU64,
+    max_segment_flushes: AtomicU64,
+    max_bin_flop: AtomicU64,
+    bin_flop_sum: AtomicU64,
+    bins: AtomicUsize,
+    par_sorted_bins: AtomicUsize,
+    split_bins: AtomicUsize,
+    split_chunks: AtomicUsize,
+    nonempty_rows: AtomicUsize,
+}
+
+impl Default for StatsCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        StatsCollector {
+            local_bin_capacity: AtomicUsize::new(0),
+            flushes: AtomicU64::new(0),
+            flushed_tuples: AtomicU64::new(0),
+            flush_fill_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            expand_segments: AtomicUsize::new(0),
+            min_segment_flushes: AtomicU64::new(u64::MAX),
+            max_segment_flushes: AtomicU64::new(0),
+            max_bin_flop: AtomicU64::new(0),
+            bin_flop_sum: AtomicU64::new(0),
+            bins: AtomicUsize::new(0),
+            par_sorted_bins: AtomicUsize::new(0),
+            split_bins: AtomicUsize::new(0),
+            split_chunks: AtomicUsize::new(0),
+            nonempty_rows: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records the resolved local-bin capacity (tuples) the expand phase is
+    /// about to use.
+    pub fn record_local_bin_capacity(&self, capacity: usize) {
+        self.local_bin_capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// Merges one expand fold segment's locally accumulated flush counters.
+    pub fn record_expand_segment(
+        &self,
+        flushes: u64,
+        tuples: u64,
+        hist: &[u64; FLUSH_HIST_BUCKETS],
+    ) {
+        self.expand_segments.fetch_add(1, Ordering::Relaxed);
+        self.flushes.fetch_add(flushes, Ordering::Relaxed);
+        self.flushed_tuples.fetch_add(tuples, Ordering::Relaxed);
+        for (slot, &count) in self.flush_fill_hist.iter().zip(hist) {
+            if count > 0 {
+                slot.fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        self.min_segment_flushes
+            .fetch_min(flushes, Ordering::Relaxed);
+        self.max_segment_flushes
+            .fetch_max(flushes, Ordering::Relaxed);
+    }
+
+    /// Records the per-bin flop distribution the symbolic phase computed.
+    pub fn record_bin_flop(&self, bin_flop: &[u64]) {
+        let max = bin_flop.iter().copied().max().unwrap_or(0);
+        let sum: u64 = bin_flop.iter().sum();
+        self.max_bin_flop.fetch_max(max, Ordering::Relaxed);
+        self.bin_flop_sum.fetch_add(sum, Ordering::Relaxed);
+        self.bins.fetch_add(bin_flop.len(), Ordering::Relaxed);
+    }
+
+    /// Counts one bin sorted with in-bin parallelism.
+    pub fn record_par_sorted_bin(&self) {
+        self.par_sorted_bins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one bin split into `chunks` key-boundary chunks by the
+    /// compress phase.
+    pub fn record_split_bin(&self, chunks: usize) {
+        self.split_bins.fetch_add(1, Ordering::Relaxed);
+        self.split_chunks.fetch_add(chunks, Ordering::Relaxed);
+    }
+
+    /// Records the number of output rows holding at least one nonzero.
+    pub fn record_nonempty_rows(&self, rows: usize) {
+        self.nonempty_rows.store(rows, Ordering::Relaxed);
+    }
+
+    /// Freezes the counters into a plain [`PhaseStats`].
+    pub fn snapshot(&self) -> PhaseStats {
+        let segments = self.expand_segments.load(Ordering::Relaxed);
+        let bins = self.bins.load(Ordering::Relaxed);
+        let sum = self.bin_flop_sum.load(Ordering::Relaxed);
+        PhaseStats {
+            local_bin_capacity: self.local_bin_capacity.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            flushed_tuples: self.flushed_tuples.load(Ordering::Relaxed),
+            flush_fill_hist: std::array::from_fn(|i| {
+                self.flush_fill_hist[i].load(Ordering::Relaxed)
+            }),
+            expand_segments: segments,
+            min_segment_flushes: if segments == 0 {
+                0
+            } else {
+                self.min_segment_flushes.load(Ordering::Relaxed)
+            },
+            max_segment_flushes: self.max_segment_flushes.load(Ordering::Relaxed),
+            max_bin_flop: self.max_bin_flop.load(Ordering::Relaxed),
+            mean_bin_flop: if bins == 0 {
+                0.0
+            } else {
+                sum as f64 / bins as f64
+            },
+            par_sorted_bins: self.par_sorted_bins.load(Ordering::Relaxed),
+            split_bins: self.split_bins.load(Ordering::Relaxed),
+            split_chunks: self.split_chunks.load(Ordering::Relaxed),
+            nonempty_rows: self.nonempty_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Everything measured and derived from one PB-SpGEMM multiplication.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpGemmProfile {
@@ -81,6 +339,8 @@ pub struct SpGemmProfile {
     /// Bytes per nonzero used by the Roofline model (`b` in the paper, 16
     /// for `u32` indices + `f64` values in COO).
     pub coo_bytes: usize,
+    /// Runtime telemetry collected across the phases.
+    pub stats: PhaseStats,
 }
 
 impl SpGemmProfile {
@@ -204,6 +464,7 @@ mod tests {
             key_bytes: 4,
             tuple_bytes: 16,
             coo_bytes: 16,
+            stats: PhaseStats::default(),
         }
     }
 
@@ -256,6 +517,7 @@ mod tests {
             key_bytes: 1,
             tuple_bytes: 16,
             coo_bytes: 16,
+            stats: PhaseStats::default(),
         };
         assert_eq!(p.cf(), 1.0);
         assert_eq!(p.gflops(), 0.0);
@@ -276,5 +538,52 @@ mod tests {
         assert_eq!(Phase::Expand.name(), "expand");
         let p = sample();
         assert_eq!(p.phase_time(Phase::Assemble), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn collector_merges_segments_and_snapshots() {
+        let c = StatsCollector::new();
+        c.record_local_bin_capacity(32);
+        let mut hist = [0u64; FLUSH_HIST_BUCKETS];
+        hist[FLUSH_HIST_BUCKETS - 1] = 10;
+        hist[0] = 2;
+        c.record_expand_segment(12, 330, &hist);
+        c.record_expand_segment(4, 100, &[0; FLUSH_HIST_BUCKETS]);
+        c.record_bin_flop(&[100, 300, 200]);
+        c.record_par_sorted_bin();
+        c.record_split_bin(4);
+        c.record_split_bin(2);
+        c.record_nonempty_rows(77);
+
+        let s = c.snapshot();
+        assert_eq!(s.local_bin_capacity, 32);
+        assert_eq!(s.flushes, 16);
+        assert_eq!(s.flushed_tuples, 430);
+        assert_eq!(s.expand_segments, 2);
+        assert_eq!(s.min_segment_flushes, 4);
+        assert_eq!(s.max_segment_flushes, 12);
+        assert_eq!(s.flush_fill_hist[FLUSH_HIST_BUCKETS - 1], 10);
+        assert_eq!(s.max_bin_flop, 300);
+        assert!((s.mean_bin_flop - 200.0).abs() < 1e-12);
+        assert_eq!(s.par_sorted_bins, 1);
+        assert_eq!(s.split_bins, 2);
+        assert_eq!(s.split_chunks, 6);
+        assert_eq!(s.nonempty_rows, 77);
+
+        assert!((s.mean_flush_tuples() - 430.0 / 16.0).abs() < 1e-12);
+        assert!((s.flush_rate() - 16.0 / 430.0).abs() < 1e-12);
+        assert!((s.full_flush_fraction() - 10.0 / 16.0).abs() < 1e-12);
+        assert!((s.occupancy_skew() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_rates_are_zero_not_nan() {
+        let s = PhaseStats::default();
+        assert_eq!(s.mean_flush_tuples(), 0.0);
+        assert_eq!(s.flush_rate(), 0.0);
+        assert_eq!(s.full_flush_fraction(), 0.0);
+        assert_eq!(s.occupancy_skew(), 0.0);
+        let snap = StatsCollector::new().snapshot();
+        assert_eq!(snap, s);
     }
 }

@@ -21,9 +21,10 @@ use rayon::prelude::*;
 
 use crate::bins::{BinnedTuples, Entry};
 use crate::config::SortAlgorithm;
+use crate::profile::StatsCollector;
 
 /// A bin smaller than this is never worth splitting across threads.
-const PAR_BIN_MIN: usize = 1 << 14;
+pub const PAR_BIN_MIN: usize = 1 << 14;
 
 /// Sorts every bin of the expanded matrix by its packed key.
 ///
@@ -32,8 +33,14 @@ const PAR_BIN_MIN: usize = 1 << 14;
 /// configuration) per-bin parallelism cannot keep the pool busy, so large
 /// bins are additionally sorted with in-bin parallelism: one MSD byte
 /// partition whose 256 buckets are then sorted concurrently (radix
-/// algorithms), or a parallel comparison sort.
-pub fn sort_bins<V: Copy + Send + Sync>(tuples: &mut BinnedTuples<V>, algorithm: SortAlgorithm) {
+/// algorithms), or a parallel comparison sort.  Every bin taking the in-bin
+/// parallel path is counted into `stats`
+/// ([`PhaseStats::par_sorted_bins`](crate::profile::PhaseStats::par_sorted_bins)).
+pub fn sort_bins<V: Copy + Send + Sync>(
+    tuples: &mut BinnedTuples<V>,
+    algorithm: SortAlgorithm,
+    stats: &StatsCollector,
+) {
     let key_bytes = tuples.layout.key_bytes() as usize;
     let offsets = tuples.bin_offsets.clone();
     let nbins = tuples.nbins();
@@ -55,6 +62,7 @@ pub fn sort_bins<V: Copy + Send + Sync>(tuples: &mut BinnedTuples<V>, algorithm:
 
     slices.into_par_iter().for_each(|seg| {
         if split_within_bins && seg.len() >= PAR_BIN_MIN {
+            stats.record_par_sorted_bin();
             par_sort_slice(seg, key_bytes, algorithm)
         } else {
             sort_slice(seg, key_bytes, algorithm)
@@ -366,7 +374,11 @@ mod tests {
             compressed_len: vec![200, 200, 200],
             layout,
         };
-        sort_bins(&mut tuples, SortAlgorithm::LsdRadix);
+        sort_bins(
+            &mut tuples,
+            SortAlgorithm::LsdRadix,
+            &crate::profile::StatsCollector::new(),
+        );
         for b in 0..3 {
             assert!(is_sorted(
                 &tuples.entries[bin_offsets[b]..bin_offsets[b + 1]]

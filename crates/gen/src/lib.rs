@@ -5,7 +5,7 @@
 //! * **Erdős–Rényi (ER)** random matrices with `d` nonzeros uniformly
 //!   distributed in each column (R-MAT with a=b=c=d=0.25), see [`er`];
 //! * **R-MAT / Graph500** matrices with a skewed degree distribution
-//!   (a=0.57, b=c=0.19, d=0.05), see [`rmat`];
+//!   (a=0.57, b=c=0.19, d=0.05), see [`rmat`](mod@rmat);
 //! * **12 real matrices** from the SuiteSparse collection (Table VI).  This
 //!   reproduction has no network access to SuiteSparse, so [`standins`]
 //!   generates synthetic stand-ins matched on dimension, nnz, average degree

@@ -2,7 +2,7 @@
 //! triple product.
 //!
 //! The Galerkin coarse-grid operator `A_c = Pᵀ·A·P` is the canonical
-//! scientific-computing use of SpGEMM (Ballard, Siefert, Hu — reference [6]
+//! scientific-computing use of SpGEMM (Ballard, Siefert, Hu — reference \[6\]
 //! of the paper): every AMG setup phase performs a chain of sparse
 //! matrix–matrix products.  This module provides a simple greedy aggregation
 //! coarsening (good enough to generate realistic `P` operators) and the

@@ -2,7 +2,7 @@
 //!
 //! Brandes' algorithm runs one BFS per source and then accumulates
 //! "dependency" values backwards through the BFS DAG.  The matrix formulation
-//! (Buluç, Gilbert — reference [1] of the paper) processes a *batch* of
+//! (Buluç, Gilbert — reference \[1\] of the paper) processes a *batch* of
 //! sources at once: the frontier of all searches is an `n × s` sparse matrix,
 //! and both the forward (path-counting) sweep and the backward (dependency)
 //! sweep advance by one SpGEMM per level — exactly the tall-and-skinny

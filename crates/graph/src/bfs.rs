@@ -1,7 +1,7 @@
 //! Breadth-first search: single-source (SpMSpV) and multi-source (SpGEMM).
 //!
 //! Multi-source BFS is one of the paper's motivating applications (Gilbert,
-//! Reinhardt, Shah — reference [3]): a batch of `s` searches advances all
+//! Reinhardt, Shah — reference \[3\]): a batch of `s` searches advances all
 //! frontiers at once by multiplying the transposed adjacency matrix with an
 //! `n × s` boolean frontier matrix under the `(∨, ∧)` semiring.  Each
 //! iteration is one SpGEMM, so the kernel exercises tall-and-skinny products

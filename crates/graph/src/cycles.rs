@@ -2,7 +2,7 @@
 //!
 //! The trace of `A^k` counts the closed walks of length `k` in a directed
 //! graph — the quantity behind the short-directed-cycle detection of Yuster
-//! and Zwick (reference [5] of the paper).  Every power is one SpGEMM, so the
+//! and Zwick (reference \[5\] of the paper).  Every power is one SpGEMM, so the
 //! kernel naturally chains the workspace's multiplication engines.
 
 use pb_sparse::{ops, Csr};

@@ -9,7 +9,11 @@ use pb_sparse::{reference, Csr};
 use pb_spgemm::PbConfig;
 
 /// Which SpGEMM implementation a graph kernel uses for its matrix products.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Cheap to clone ([`PbConfig`] is a handful of scalars plus an optional
+/// shared `Arc`); not `Copy` because an auto-tuned `PbConfig` carries that
+/// shared autotuner handle.
+#[derive(Debug, Clone, PartialEq)]
 pub enum SpGemmEngine {
     /// The paper's outer-product propagation-blocking algorithm.
     PropagationBlocking(PbConfig),

@@ -1,6 +1,6 @@
 //! Markov clustering (MCL).
 //!
-//! MCL (van Dongen; HipMCL is reference [9] of the paper) alternates two
+//! MCL (van Dongen; HipMCL is reference \[9\] of the paper) alternates two
 //! operations on a column-stochastic matrix until it reaches a fixed point:
 //!
 //! * **Expansion** — squaring the matrix (one SpGEMM per iteration), which
@@ -18,7 +18,7 @@ use pb_sparse::{ops, Csr};
 use crate::engine::SpGemmEngine;
 
 /// Configuration of the Markov clustering iteration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MclConfig {
     /// Inflation exponent `r` (> 1 sharpens; the classic default is 2).
     pub inflation: f64,
@@ -253,7 +253,7 @@ mod tests {
         let reference = markov_cluster(&g, &MclConfig::default());
         for engine in SpGemmEngine::paper_set() {
             let cfg = MclConfig {
-                engine,
+                engine: engine.clone(),
                 ..MclConfig::default()
             };
             let result = markov_cluster(&g, &cfg);

@@ -1,6 +1,6 @@
 //! Triangle counting and clustering coefficients.
 //!
-//! The classic SpGEMM formulation (Azad, Buluç, Gilbert — reference [2] of
+//! The classic SpGEMM formulation (Azad, Buluç, Gilbert — reference \[2\] of
 //! the paper): for an undirected simple graph with 0/1 adjacency matrix `A`,
 //! the entry `(A·A)(i, j)` counts the common neighbours of `i` and `j`, so
 //!

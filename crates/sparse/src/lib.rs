@@ -7,7 +7,7 @@
 //!   them (the paper feeds `A` in CSC and `B` in CSR into the outer-product
 //!   algorithm and produces `C` in CSR; the expanded matrix `Ĉ` is COO).
 //! * [`Dense`] matrices and slow-but-obviously-correct reference SpGEMM
-//!   implementations ([`reference`]) used as oracles by the test suites of
+//!   implementations ([`reference`](mod@reference)) used as oracles by the test suites of
 //!   the algorithm crates.
 //! * [`Semiring`] abstractions so that the same multiplication kernels serve
 //!   numerical SpGEMM (`+`/`×` over `f64`), graph kernels (boolean,

@@ -1,7 +1,7 @@
 //! Parallel element-wise and structural operations on CSR matrices.
 //!
 //! These are the "vector-like" building blocks that the graph kernels
-//! ([`pb-graph`]) and the iterative examples (Markov clustering, PageRank)
+//! (`pb-graph`) and the iterative examples (Markov clustering, PageRank)
 //! need around SpGEMM itself: element-wise sums and products, triangular and
 //! diagonal extraction, row/column scaling and reductions.  All operations
 //! parallelise over rows with rayon and expect canonical inputs (sorted,

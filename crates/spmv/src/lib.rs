@@ -2,7 +2,7 @@
 //!
 //! PB-SpGEMM's key idea, *propagation blocking*, was introduced by Beamer,
 //! Asanović and Patterson for PageRank/SpMV ("Reducing PageRank communication
-//! via propagation blocking", IPDPS 2017 — reference [16] of the paper).  This
+//! via propagation blocking", IPDPS 2017 — reference \[16\] of the paper).  This
 //! crate implements that lineage so the workspace contains the substrate the
 //! paper builds on and the iterative graph examples (PageRank, BFS sweeps)
 //! have efficient matrix–vector kernels:
@@ -15,9 +15,9 @@
 //!   bins `(row, value)` updates by output-row range, then a per-bin
 //!   *accumulate* pass applies them while the bin's slice of `y` stays in
 //!   cache — the SpMV analogue of PB-SpGEMM's expand/sort/compress;
-//! * [`spmspv`] — sparse-vector × sparse-matrix, the frontier-advance kernel
+//! * [`spmspv`](mod@spmspv) — sparse-vector × sparse-matrix, the frontier-advance kernel
 //!   of breadth-first search and other push-style graph traversals;
-//! * [`pagerank`] — a PageRank power iteration driver that can run on any of
+//! * [`pagerank`](mod@pagerank) — a PageRank power iteration driver that can run on any of
 //!   the dense kernels, used by the examples and the ablation benches.
 //!
 //! All kernels are generic over a [`pb_sparse::Semiring`] and agree with the

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 
 use pb_spgemm_suite::prelude::*;
 use pb_spgemm_suite::sparse::reference::{csr_approx_eq, multiply_csr as reference_multiply};
-use pb_spgemm_suite::spgemm::{multiply, ExpandStrategy, PbConfig};
+use pb_spgemm_suite::spgemm::{multiply, CompressSplit, ExpandStrategy, PbConfig};
 
 /// The thread counts every differential test sweeps.  8 exceeds this
 /// container's core count on purpose: oversubscription maximises
@@ -115,6 +115,72 @@ fn baselines_agree_under_a_shared_parallel_pool() {
             );
         }
     });
+}
+
+#[test]
+fn split_bin_compress_is_bit_exact_across_thread_counts() {
+    // The compress phase's in-bin split schedule must produce the identical
+    // CSR — structure AND values — as the paper's per-bin schedule and as
+    // the reference oracle, at 1 and 4 threads (CI re-runs this whole suite
+    // under PB_RAYON_THREADS=4 as well, covering the global-pool paths).
+    // Unit values make the comparison exact; single-bin and few-bin
+    // configurations force bins big enough to actually split.
+    let inputs = [
+        ("rmat", unit_valued(&rmat_square(9, 8, 29))),
+        ("er", unit_valued(&erdos_renyi_square(9, 8, 31))),
+    ];
+    for (name, a) in &inputs {
+        let expected = reference_multiply(a, a);
+        let a_csc = a.to_csc();
+        for &t in &[1usize, 4] {
+            for nbins in [1usize, 2] {
+                let base = PbConfig::default().with_threads(t).with_nbins(nbins);
+                let split = multiply(
+                    &a_csc,
+                    a,
+                    &base.clone().with_compress_split(CompressSplit::Always),
+                );
+                let unsplit = multiply(
+                    &a_csc,
+                    a,
+                    &base.clone().with_compress_split(CompressSplit::Never),
+                );
+                let context = format!("{name}/threads={t}/nbins={nbins}");
+                assert_csr_exact(&split, &unsplit, &context);
+                assert_csr_exact(&split, &expected, &context);
+
+                // Auto mode (the default) must agree with both.
+                let auto = multiply(&a_csc, a, &base);
+                assert_csr_exact(&auto, &expected, &format!("{context}/auto"));
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_tuned_config_is_race_free_and_correct_under_threads() {
+    // The AutoTune feedback loop mutates shared state between multiplies;
+    // hammer it from a deliberately tiny width at 4 threads and require
+    // every product to stay exact while the width only ever grows here.
+    let a = unit_valued(&rmat_square(8, 8, 37));
+    let a_csc = a.to_csc();
+    let expected = reference_multiply(&a, &a);
+    let cfg = PbConfig::auto_tuned_from_lines(1).with_threads(4);
+    let mut last_bytes = cfg.effective_local_bin_bytes();
+    for round in 0..6 {
+        let c = multiply(&a_csc, &a, &cfg);
+        assert_csr_exact(&c, &expected, &format!("auto-tuned round {round}"));
+        let bytes = cfg.effective_local_bin_bytes();
+        assert!(
+            bytes >= last_bytes,
+            "width shrank on a pure-growth workload"
+        );
+        last_bytes = bytes;
+    }
+    assert!(
+        last_bytes > 64,
+        "tuner never adapted away from the 1-line start"
+    );
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //!
 //! A pool of `n` threads consists of `n - 1` parked worker threads plus the
 //! submitting thread itself.  A parallel operation splits its work into
-//! *blocks* (see [`crate::iter`]), publishes a [`TaskState`] describing them
+//! *blocks* (see [`crate::iter`]), publishes a `TaskState` describing them
 //! to the pool's injector queue, and then participates in its own task:
 //! every participant (submitter and any workers that pick the task up)
 //! claims block indices with a relaxed `fetch_add` on a shared cursor and

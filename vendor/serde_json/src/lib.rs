@@ -1,12 +1,15 @@
-//! Minimal JSON emitter over the vendored serde shim.
+//! Minimal JSON emitter and parser over the vendored serde shim.
 //!
 //! Supports the subset the workspace uses: [`to_string`] and
 //! [`to_string_pretty`] over anything implementing the shim's
-//! `serde::Serialize`. Output matches real `serde_json` conventions:
-//! 2-space pretty indentation, `null` for `Option::None`, non-finite
-//! floats serialized as `null`, and standard string escaping.
+//! `serde::Serialize`, plus [`from_str`] parsing arbitrary JSON text back
+//! into a [`Value`] tree (used by `bench_pb --verify` to validate emitted
+//! baselines).  Output matches real `serde_json` conventions: 2-space
+//! pretty indentation, `null` for `Option::None`, non-finite floats
+//! serialized as `null`, and standard string escaping.
 
-use serde::{Serialize, Value};
+use serde::Serialize;
+pub use serde::Value;
 
 /// Serialization error; the shim's lowering is infallible, so this is never
 /// produced, but the `Result` return keeps call sites source-compatible
@@ -98,6 +101,249 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: us
     }
 }
 
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Standard JSON only (RFC 8259): no comments, no trailing commas, no
+/// `NaN`/`Infinity` tokens.  Integral numbers without exponent parse as
+/// `Value::UInt`/`Value::Int`; everything else numeric as `Value::Float`.
+/// Trailing whitespace is permitted, trailing garbage is an error.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), Error> {
+    if bytes.get(*pos) == Some(&token) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!(
+            "expected '{}' at byte {}",
+            token as char, *pos
+        )))
+    }
+}
+
+/// Maximum container nesting depth, matching real serde_json's default
+/// recursion limit: deeper documents return an error instead of
+/// overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error(format!(
+            "recursion limit exceeded at byte {} (max depth {MAX_DEPTH})",
+            *pos
+        )));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_keyword(bytes, pos, b"null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, b"false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &[u8],
+    value: Value,
+) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(keyword) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error("invalid \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| Error("invalid \\u escape".into()))?;
+                        // Basic-multilingual-plane escapes only (the shim
+                        // never emits surrogate pairs).
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error("invalid \\u code point".into()))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error(format!("invalid escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 code point (input is a &str, so the
+                // byte stream is valid UTF-8 by construction).
+                let rest = &text_from(bytes)[*pos..];
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn text_from(bytes: &[u8]) -> &str {
+    // SAFETY-free: from_str received a &str; bytes is its buffer.
+    std::str::from_utf8(bytes).expect("input was a &str")
+}
+
+/// Parses one number following the RFC 8259 grammar exactly:
+/// `-? (0 | [1-9][0-9]*) ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?` — leading
+/// zeros, a leading `+`, and a bare trailing `.`/exponent are rejected.
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    let fail = |at: usize| Error(format!("invalid number at byte {at}"));
+    let digits = |pos: &mut usize| -> usize {
+        let from = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        *pos - from
+    };
+
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: a single 0, or a nonzero digit followed by more digits.
+    match bytes.get(*pos) {
+        Some(b'0') => {
+            *pos += 1;
+            if matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                return Err(fail(start)); // leading zero
+            }
+        }
+        Some(b'1'..=b'9') => {
+            digits(pos);
+        }
+        _ => return Err(fail(start)),
+    }
+    let mut is_float = false;
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if digits(pos) == 0 {
+            return Err(fail(start)); // bare trailing '.'
+        }
+        is_float = true;
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if digits(pos) == 0 {
+            return Err(fail(start)); // empty exponent
+        }
+        is_float = true;
+    }
+
+    let token = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    if !is_float {
+        if let Ok(u) = token.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = token.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    token
+        .parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("invalid number '{token}'")))
+}
+
 fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
     if let Some(width) = indent {
         out.push('\n');
@@ -151,5 +397,103 @@ mod tests {
     fn compact_array_and_escaping() {
         let v = vec!["a\"b".to_string(), "c\nd".to_string()];
         assert_eq!(super::to_string(&v).unwrap(), "[\"a\\\"b\",\"c\\nd\"]");
+    }
+
+    use serde::Value;
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        assert_eq!(super::from_str("null").unwrap(), Value::Null);
+        assert_eq!(super::from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(super::from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(super::from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(super::from_str("2.5e1").unwrap(), Value::Float(25.0));
+        assert_eq!(
+            super::from_str("\"a\\n\\u0041\"").unwrap(),
+            Value::Str("a\nA".into())
+        );
+        let v = super::from_str("{\"xs\": [1, 2.0, \"three\"], \"ok\": false}").unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        let xs = v.get("xs").and_then(Value::as_array).unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0].as_u64(), Some(1));
+        assert_eq!(xs[1].as_f64(), Some(2.0));
+        assert_eq!(xs[2].as_str(), Some("three"));
+    }
+
+    #[test]
+    fn round_trips_what_the_emitter_writes() {
+        #[derive(serde::Serialize)]
+        struct Doc {
+            name: String,
+            values: Vec<f64>,
+            count: usize,
+            missing: Option<u32>,
+            nested: Vec<Vec<u64>>,
+        }
+        let doc = Doc {
+            name: "pb \"bench\"\n".into(),
+            values: vec![1.5, -0.25, 3.0],
+            count: 9,
+            missing: None,
+            nested: vec![vec![1, 2], vec![]],
+        };
+        for text in [
+            super::to_string(&doc).unwrap(),
+            super::to_string_pretty(&doc).unwrap(),
+        ] {
+            let v = super::from_str(&text).unwrap();
+            assert_eq!(
+                v.get("name").and_then(Value::as_str),
+                Some("pb \"bench\"\n")
+            );
+            assert_eq!(v.get("count").and_then(Value::as_u64), Some(9));
+            assert!(v.get("missing").unwrap().is_null());
+            let vals = v.get("values").and_then(Value::as_array).unwrap();
+            assert_eq!(vals[1].as_f64(), Some(-0.25));
+            let nested = v.get("nested").and_then(Value::as_array).unwrap();
+            assert_eq!(nested[0].as_array().unwrap().len(), 2);
+            assert_eq!(nested[1].as_array().unwrap().len(), 0);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "nul",
+            "01x",
+            "\"unterminated",
+            "[1] trailing",
+            "-",
+            // RFC 8259 number grammar violations.
+            "01",
+            "-01",
+            "+5",
+            "1.",
+            ".5",
+            "1e",
+            "1e+",
+        ] {
+            assert!(super::from_str(bad).is_err(), "accepted {bad:?}");
+        }
+        // The boundary cases the grammar must still admit.
+        for good in ["0", "-0", "0.5", "10", "1e2", "1E-2", "-0.25e+3"] {
+            assert!(super::from_str(good).is_ok(), "rejected {good:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // Within the limit: fine.
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(super::from_str(&ok).is_ok());
+        // Far past it: a clean Err, not a stack overflow.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = super::from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"));
     }
 }
