@@ -99,6 +99,37 @@ pub struct TuneReport {
     pub history: Vec<TunePoint>,
 }
 
+/// The NUMA topology the baseline ran under, as discovered (or forced) at
+/// run time — committed alongside the numbers so a reader can tell a real
+/// dual-socket measurement from a `PB_NUMA_DOMAINS`-forced emulation.
+#[derive(Debug, Clone, Serialize)]
+pub struct TopologyInfo {
+    /// Domains the host exposed (or the forced count).
+    pub domains: usize,
+    /// `"sysfs"`, `"forced"` or `"fallback"`.
+    pub source: String,
+    /// True when the topology was forced via `PB_NUMA_DOMAINS` — the
+    /// partitioning ran, but no real bandwidth asymmetry backs it.
+    pub forced: bool,
+}
+
+impl TopologyInfo {
+    /// Snapshot of the detected topology.
+    pub fn detect() -> Self {
+        let t = pb_spgemm::Topology::detect();
+        TopologyInfo {
+            domains: t.num_domains(),
+            source: match t.source() {
+                pb_spgemm::TopologySource::Sysfs => "sysfs",
+                pb_spgemm::TopologySource::Forced => "forced",
+                pb_spgemm::TopologySource::Fallback => "fallback",
+            }
+            .to_string(),
+            forced: t.is_forced(),
+        }
+    }
+}
+
 /// The whole baseline document.
 #[derive(Debug, Clone, Serialize)]
 pub struct PbBaseline {
@@ -122,6 +153,8 @@ pub struct PbBaseline {
     pub host_cores: usize,
     /// Size of the global pool at run time (PB_RAYON_THREADS or cores).
     pub pool_default_threads: usize,
+    /// NUMA topology at run time (discovered or forced).
+    pub topology: TopologyInfo,
     /// The sweep, ascending in requested threads.
     pub sweep: Vec<SweepPoint>,
     /// Max speedup over the 1-thread point anywhere in the sweep.
@@ -213,7 +246,9 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
         .fold(f64::MIN, f64::max);
 
     PbBaseline {
-        schema: "pb-bench-baseline/v1",
+        // v2: every sweep point's telemetry gained a `numa` section
+        // (domain count, local-flush fraction, per-domain occupancy).
+        schema: "pb-bench-baseline/v2",
         op: "spgemm_square",
         workload: w.name.clone(),
         n: w.a.nrows(),
@@ -223,6 +258,7 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
         cf: w.stats.cf,
         host_cores: cores,
         pool_default_threads: rayon::current_num_threads(),
+        topology: TopologyInfo::detect(),
         sweep,
         best_speedup,
         tune: None,
@@ -299,7 +335,7 @@ mod tests {
         // Tiny sweep to keep the test fast; correctness of the numbers is
         // covered by the runner's own tests.
         let doc = run_pb_baseline_scaled(8, 2, 1);
-        assert_eq!(doc.schema, "pb-bench-baseline/v1");
+        assert_eq!(doc.schema, "pb-bench-baseline/v2");
         assert_eq!(doc.sweep.len(), 2);
         assert_eq!(doc.sweep[0].threads_requested, 1);
         assert!((doc.sweep[0].speedup_vs_1t - 1.0).abs() < 1e-12);
@@ -321,6 +357,16 @@ mod tests {
         assert!(json.contains("best_speedup"));
         assert!(json.contains("\"telemetry\""));
         assert!(json.contains("\"oversubscribed\""));
+        assert!(json.contains("\"numa\""));
+        assert!(json.contains("local_flush_fraction"));
+        // The numa section is consistent on every point.
+        for p in &doc.sweep {
+            assert!(p.telemetry.numa.domains >= 1);
+            assert_eq!(
+                p.telemetry.numa.local_flushes + p.telemetry.numa.remote_flushes,
+                p.telemetry.flushes
+            );
+        }
         // No --tune section on plain runs.
         assert!(json.contains("\"tune\": null"));
     }

@@ -17,10 +17,12 @@
 //!   loop from a deliberately tiny local-bin width (1 cache line) and
 //!   attach the convergence report (`tune` section) to the JSON.
 //! * `--verify` — after writing, re-read the file, parse it, check it
-//!   against the `pb-bench-baseline/v1` schema and generous per-phase
-//!   sanity ceilings, and assert PB-SpGEMM's product still matches the
-//!   reference oracle.  Exits non-zero on any violation (the CI
-//!   perf-smoke gate).
+//!   against the `pb-bench-baseline/v2` schema (including the per-point
+//!   `numa` section) and generous per-phase sanity ceilings, and assert
+//!   PB-SpGEMM's product still matches the reference oracle.  On
+//!   multi-domain points the measured domain-local flush fraction must
+//!   clear [`NUMA_LOCAL_FLUSH_FLOOR`].  Exits non-zero on any violation
+//!   (the CI perf-smoke gate).
 
 use pb_bench::baseline::{baseline_workload, run_autotune, run_pb_baseline_on};
 use pb_bench::workloads::Workload;
@@ -37,6 +39,14 @@ const PHASE_SANITY_CEILING_SECONDS: f64 = 120.0;
 /// Multiply cap for the `--tune` convergence loop (the policy converges in
 /// `O(log lines)` steps, so 16 leaves ample slack).
 const TUNE_MAX_ITERS: usize = 16;
+
+/// Minimum domain-local flush fraction `--verify` demands of every
+/// multi-domain sweep point.  Flop-balanced column ranges plus the pool's
+/// own-domain-first claiming keep remote flushes down to the occasional
+/// end-of-range steal, so 95% clears comfortably on the smoke workload
+/// while still failing loudly if the routing ever regresses to
+/// domain-oblivious claiming (~50% local at two domains).
+const NUMA_LOCAL_FLUSH_FLOOR: f64 = 0.95;
 
 fn main() {
     let mut smoke = false;
@@ -72,11 +82,13 @@ fn main() {
 
     let mut table = Table::new(
         format!(
-            "PB-SpGEMM baseline — {} (flop {:.1}M, cf {:.2}, host cores {})",
+            "PB-SpGEMM baseline — {} (flop {:.1}M, cf {:.2}, host cores {}, numa {} [{}])",
             doc.workload,
             doc.flop as f64 / 1e6,
             doc.cf,
-            doc.host_cores
+            doc.host_cores,
+            doc.topology.domains,
+            doc.topology.source,
         ),
         &[
             "threads",
@@ -86,6 +98,8 @@ fn main() {
             "GFLOPS",
             "speedup",
             "flushes",
+            "domains",
+            "local %",
         ],
     );
     for p in &doc.sweep {
@@ -97,6 +111,8 @@ fn main() {
             fmt(p.gflops, 3),
             fmt(p.speedup_vs_1t, 2),
             p.telemetry.flushes.to_string(),
+            p.telemetry.numa.domains.to_string(),
+            fmt(p.telemetry.numa.local_flush_fraction * 100.0, 1),
         ]);
     }
     print_table(&table);
@@ -160,7 +176,7 @@ fn verify_baseline(path: &str, w: &Workload) {
     // --- Schema. -----------------------------------------------------------
     assert_eq!(
         doc.get("schema").and_then(Value::as_str),
-        Some("pb-bench-baseline/v1"),
+        Some("pb-bench-baseline/v2"),
         "schema tag mismatch"
     );
     for key in [
@@ -173,6 +189,7 @@ fn verify_baseline(path: &str, w: &Workload) {
         "cf",
         "host_cores",
         "pool_default_threads",
+        "topology",
         "sweep",
         "best_speedup",
     ] {
@@ -231,6 +248,76 @@ fn verify_baseline(path: &str, w: &Workload) {
             doc.get("flop").and_then(Value::as_u64),
             "sweep[{i}] telemetry does not account for every expanded tuple"
         );
+
+        // --- NUMA section (schema v2). ------------------------------------
+        let numa = telemetry
+            .get("numa")
+            .unwrap_or_else(|| panic!("sweep[{i}] telemetry missing the numa section"));
+        let domains = numa
+            .get("domains")
+            .and_then(Value::as_u64)
+            .expect("numa.domains");
+        assert!(domains >= 1, "sweep[{i}] reports zero domains");
+        assert!(
+            domains <= effective,
+            "sweep[{i}] claims more domains than threads"
+        );
+        let occupancy = numa
+            .get("domain_occupancy")
+            .and_then(Value::as_array)
+            .expect("numa.domain_occupancy");
+        // The telemetry reports at most MAX_TELEMETRY_DOMAINS occupancy
+        // slots (domains beyond that fold into the last one), so a >8-node
+        // host legitimately reports fewer entries than domains.
+        let expected_slots = domains.min(pb_spgemm::profile::MAX_TELEMETRY_DOMAINS as u64);
+        assert_eq!(
+            occupancy.len() as u64,
+            expected_slots,
+            "sweep[{i}] occupancy entries != min(domains, telemetry slots)"
+        );
+        let occupancy_sum: u64 = occupancy.iter().filter_map(Value::as_u64).sum();
+        assert_eq!(
+            Some(occupancy_sum),
+            doc.get("flop").and_then(Value::as_u64),
+            "sweep[{i}] per-domain occupancy does not partition the flop"
+        );
+        let local = numa
+            .get("local_flushes")
+            .and_then(Value::as_u64)
+            .expect("numa.local_flushes");
+        let remote = numa
+            .get("remote_flushes")
+            .and_then(Value::as_u64)
+            .expect("numa.remote_flushes");
+        let total_flushes = telemetry
+            .get("flushes")
+            .and_then(Value::as_u64)
+            .expect("flushes");
+        assert_eq!(
+            local + remote,
+            total_flushes,
+            "sweep[{i}] flushes not fully accounted as local/remote"
+        );
+        let fraction = numa
+            .get("local_flush_fraction")
+            .and_then(Value::as_f64)
+            .expect("numa.local_flush_fraction");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "sweep[{i}] local flush fraction {fraction} out of range"
+        );
+        if domains > 1 {
+            assert!(
+                fraction >= NUMA_LOCAL_FLUSH_FLOOR,
+                "sweep[{i}] domain-local flush fraction {fraction:.3} below the \
+                 {NUMA_LOCAL_FLUSH_FLOOR} floor: domain routing has regressed"
+            );
+        } else {
+            assert_eq!(
+                remote, 0,
+                "sweep[{i}] single-domain run reported remote flushes"
+            );
+        }
     }
 
     // --- Correctness oracle. -----------------------------------------------

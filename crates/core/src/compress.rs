@@ -69,6 +69,13 @@ pub fn compress_bins<S: Semiring>(
         rest = r;
     }
 
+    // Not domain-routed, for the same reason the sort phase isn't: every
+    // bin's buffer interleaves all domains' sub-segments, so free claiming
+    // costs no locality and keeps the load balancing.  The per-bin results
+    // are collected in bin order — each bin's domain chunks sit adjacent in
+    // fixed domain order inside it — so the compressed output is
+    // bit-identical to the single-domain schedule no matter which worker
+    // compressed which bin.
     let lens: Vec<usize> = slices
         .into_par_iter()
         .map(|seg| {

@@ -125,6 +125,24 @@ pub const AUTOTUNE_GROW_FLUSH_BYTES: f64 = 320.0;
 /// partials (the workload never fills a bin) and growing would not help.
 pub const AUTOTUNE_FULL_FLUSH_FRACTION: f64 = 0.5;
 
+/// Bin-occupancy skew ([`PhaseStats::occupancy_skew`](crate::profile::PhaseStats::occupancy_skew),
+/// fullest bin over mean bin) at or above which the autotuner doubles its
+/// *bin-count boost*: one overloaded bin serialises the sort and compress
+/// phases, and finer bins shrink the fullest bin toward the heaviest single
+/// row's flop.
+pub const AUTOTUNE_SKEW_SPLIT: f64 = 4.0;
+
+/// Skew at or below which a previously boosted bin count steps back down:
+/// the occupancy is essentially flat, so the extra bins only add per-bin
+/// overhead (more, smaller sort/compress units and more local-bin state per
+/// thread) without improving balance.
+pub const AUTOTUNE_SKEW_FLAT: f64 = 1.25;
+
+/// Largest factor by which the autotuner will multiply the L2-derived bin
+/// count.  8× keeps the packed sort keys within one extra radix byte of the
+/// unboosted layout in the worst case.
+pub const AUTOTUNE_MAX_NBINS_BOOST: usize = 8;
+
 /// Feedback policy adapting the local-bin width between multiplies.
 ///
 /// Shared by every clone of an auto-tuned [`PbConfig`] (the config holds it
@@ -144,16 +162,30 @@ pub const AUTOTUNE_FULL_FLUSH_FRACTION: f64 = 0.5;
 /// [`AUTOTUNE_MIN_LINES`]..=[`AUTOTUNE_MAX_LINES`]; repeated observations of
 /// a stable workload therefore converge in `O(log)` multiplies and then stop
 /// adjusting.
+/// Additionally, the policy adapts the **bin count** between multiplies of
+/// similar shape: when the occupancy skew telemetry shows one bin hoarding
+/// the flop ([`AUTOTUNE_SKEW_SPLIT`]), the L2-derived `nbins` rule is
+/// multiplied by a doubling *boost* (clamped to
+/// [`AUTOTUNE_MAX_NBINS_BOOST`]), and the boost steps back down once the
+/// occupancy flattens out ([`AUTOTUNE_SKEW_FLAT`]).  The boost only applies
+/// when [`PbConfig::nbins`] is `None` — an explicit bin count is always
+/// honoured verbatim — and is published with the same compare-exchange
+/// discipline as the width, so concurrent observers cannot double-step.
 #[derive(Debug)]
 pub struct AutoTune {
     /// Current local-bin width in cache lines.
     lines: AtomicUsize,
     /// Budget for one thread's local bins (bytes).
     budget_bytes: usize,
+    /// Current multiplier applied to the derived bin count (power of two,
+    /// `1..=`[`AUTOTUNE_MAX_NBINS_BOOST`]).
+    nbins_boost: AtomicUsize,
     /// Profiles observed so far.
     observations: AtomicUsize,
-    /// Adjustments (grow or shrink steps) applied so far.
+    /// Width adjustments (grow or shrink steps) applied so far.
     adjustments: AtomicUsize,
+    /// Bin-count boost adjustments applied so far.
+    bin_adjustments: AtomicUsize,
 }
 
 impl Default for AutoTune {
@@ -175,8 +207,10 @@ impl AutoTune {
         AutoTune {
             lines: AtomicUsize::new(lines.clamp(AUTOTUNE_MIN_LINES, AUTOTUNE_MAX_LINES)),
             budget_bytes: AUTOTUNE_LOCAL_BINS_BUDGET_BYTES,
+            nbins_boost: AtomicUsize::new(1),
             observations: AtomicUsize::new(0),
             adjustments: AtomicUsize::new(0),
+            bin_adjustments: AtomicUsize::new(0),
         }
     }
 
@@ -200,6 +234,16 @@ impl AutoTune {
         self.adjustments.load(Ordering::Relaxed)
     }
 
+    /// Current multiplier on the L2-derived bin count (1 = unboosted).
+    pub fn nbins_boost(&self) -> usize {
+        self.nbins_boost.load(Ordering::Relaxed)
+    }
+
+    /// Number of bin-count boost steps applied.
+    pub fn bin_adjustments(&self) -> usize {
+        self.bin_adjustments.load(Ordering::Relaxed)
+    }
+
     /// Feeds one multiplication's profile back into the policy; returns the
     /// new width in cache lines if this observation changed it.
     ///
@@ -212,8 +256,23 @@ impl AutoTune {
     pub fn observe(&self, profile: &SpGemmProfile) -> Option<usize> {
         self.observations.fetch_add(1, Ordering::Relaxed);
         let stats = &profile.stats;
+
+        // Bin-count feedback first: it reads the symbolic phase's occupancy
+        // telemetry, which exists even when the expand strategy produced no
+        // flushes (ThreadLocal runs feed this knob too).
+        if stats.mean_bin_flop > 0.0 {
+            let boost = self.nbins_boost();
+            let skew = stats.occupancy_skew();
+            if skew >= AUTOTUNE_SKEW_SPLIT && boost < AUTOTUNE_MAX_NBINS_BOOST {
+                self.publish_boost(boost, (boost * 2).min(AUTOTUNE_MAX_NBINS_BOOST));
+            } else if skew <= AUTOTUNE_SKEW_FLAT && boost > 1 {
+                self.publish_boost(boost, (boost / 2).max(1));
+            }
+        }
+
         if stats.flushes == 0 {
-            // ThreadLocal strategy or an empty product: no flush telemetry.
+            // ThreadLocal strategy or an empty product: no flush telemetry
+            // for the width knob.
             return None;
         }
         let lines = self.lines();
@@ -254,6 +313,18 @@ impl AutoTune {
             Err(_) => None,
         }
     }
+
+    /// Publishes a bin-count boost step computed from `from`, with the same
+    /// lost-race-drops-the-step discipline as [`AutoTune::publish`].
+    fn publish_boost(&self, from: usize, to: usize) {
+        if self
+            .nbins_boost
+            .compare_exchange(from, to, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.bin_adjustments.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Configuration of a PB-SpGEMM multiplication.
@@ -288,6 +359,15 @@ pub struct PbConfig {
     pub sort: SortAlgorithm,
     /// Number of rayon worker threads; `None` uses the global pool.
     pub threads: Option<usize>,
+    /// Number of NUMA domains to partition the global bins (and the expand
+    /// phase's column ranges) over.  `None` (default) asks the current
+    /// rayon pool, which discovers the machine's topology and honours
+    /// `PB_NUMA_DOMAINS`.  An explicit value is a *cap* relative to the
+    /// executing pool's domain labels (see [`PbConfig::resolve_domains`]);
+    /// to force an emulated multi-domain topology pair it with
+    /// [`PbConfig::threads`], which builds a dedicated pool whose
+    /// worker↔domain labels match.  1 disables partitioning.
+    pub numa_domains: Option<usize>,
     /// Whether the compress phase may split oversized bins at key
     /// boundaries (default [`CompressSplit::Auto`]).
     pub compress_split: CompressSplit,
@@ -313,6 +393,7 @@ impl PartialEq for PbConfig {
             && self.expand == other.expand
             && self.sort == other.sort
             && self.threads == other.threads
+            && self.numa_domains == other.numa_domains
             && self.compress_split == other.compress_split
     }
 }
@@ -327,6 +408,7 @@ impl Default for PbConfig {
             expand: ExpandStrategy::Reserved,
             sort: SortAlgorithm::LsdRadix,
             threads: None,
+            numa_domains: None,
             compress_split: CompressSplit::Auto,
             auto: None,
         }
@@ -423,16 +505,48 @@ impl PbConfig {
         self
     }
 
+    /// Forces the NUMA-domain count for this configuration's multiplies
+    /// (clamped to at least 1; see [`PbConfig::numa_domains`]).
+    pub fn with_numa_domains(mut self, domains: usize) -> Self {
+        self.numa_domains = Some(domains.max(1));
+        self
+    }
+
+    /// The NUMA-domain count the next multiply will partition its bins
+    /// over: the explicit [`PbConfig::numa_domains`] when set, the current
+    /// rayon pool's domain count otherwise — never more than the pool's
+    /// own domain-label count or thread count.
+    ///
+    /// The pool clamp matters: a partition wider than the executing pool's
+    /// labels would create claim ranges no worker owns, so their blocks
+    /// would drain only through the slow steal-patience fallback and every
+    /// one of their flushes would count remote.  An explicit override can
+    /// therefore *narrow* the partition, but widening it requires a pool
+    /// that actually carries the labels — either `PB_NUMA_DOMAINS` (global
+    /// pool) or [`PbConfig::threads`] (dedicated pool built with matching
+    /// domains).
+    pub fn resolve_domains(&self) -> usize {
+        self.numa_domains
+            .unwrap_or(usize::MAX)
+            .min(rayon::current_num_domains())
+            .clamp(1, rayon::current_num_threads())
+    }
+
     /// Derives the number of global bins for a multiplication with `flop`
     /// expanded tuples of `tuple_bytes` bytes each over `nrows` output rows,
-    /// following the paper's rule (`flop · bytes / L2`), clamped so that
-    /// every bin covers at least one row.
+    /// following the paper's rule (`flop · bytes / L2`) times the
+    /// autotuner's current bin-count boost (1 without autotuning — see
+    /// [`AutoTune::nbins_boost`]), clamped so that every bin covers at
+    /// least one row.  An explicit [`PbConfig::nbins`] is honoured verbatim
+    /// (clamped to the row count only).
     pub fn resolve_nbins(&self, flop: u64, tuple_bytes: usize, nrows: usize) -> usize {
         let nbins = match self.nbins {
             Some(n) => n,
             None => {
                 let bytes = flop.saturating_mul(tuple_bytes as u64);
-                (bytes.div_ceil(self.l2_bytes.max(1) as u64) as usize).max(1)
+                let derived = (bytes.div_ceil(self.l2_bytes.max(1) as u64) as usize).max(1);
+                let boost = self.auto.as_deref().map_or(1, AutoTune::nbins_boost);
+                derived.saturating_mul(boost)
             }
         };
         nbins.clamp(1, nrows.max(1))
@@ -573,6 +687,87 @@ mod tests {
         let trace = synthetic_profile(16, 1000, 8000, 100);
         assert_eq!(tuner.observe(&trace), None);
         assert_eq!(tuner.lines(), 2);
+    }
+
+    #[test]
+    fn autotune_boosts_bin_count_on_skewed_occupancy_and_steps_back() {
+        let tuner = AutoTune::new();
+        assert_eq!(tuner.nbins_boost(), 1);
+        // Healthy flush widths (no width interference), one bin hoarding
+        // 8x the mean flop.
+        let mut skewed = synthetic_profile(16, 250, 8000, 240);
+        skewed.stats.max_bin_flop = (skewed.stats.mean_bin_flop * 8.0) as u64;
+        tuner.observe(&skewed);
+        assert_eq!(tuner.nbins_boost(), 2);
+        tuner.observe(&skewed);
+        tuner.observe(&skewed);
+        assert_eq!(tuner.nbins_boost(), 8, "doubles per observation");
+        // Clamped at the maximum boost.
+        tuner.observe(&skewed);
+        assert_eq!(tuner.nbins_boost(), AUTOTUNE_MAX_NBINS_BOOST);
+        assert_eq!(tuner.bin_adjustments(), 3);
+
+        // Flat occupancy steps the boost back down...
+        let flat = synthetic_profile(16, 250, 8000, 240); // skew exactly 1.0
+        tuner.observe(&flat);
+        assert_eq!(tuner.nbins_boost(), 4);
+        // ...while moderate skew between the thresholds is a fixed point.
+        let mut mid = synthetic_profile(16, 250, 8000, 240);
+        mid.stats.max_bin_flop = (mid.stats.mean_bin_flop * 2.0) as u64;
+        tuner.observe(&mid);
+        assert_eq!(tuner.nbins_boost(), 4);
+        assert_eq!(tuner.bin_adjustments(), 4);
+    }
+
+    #[test]
+    fn autotune_bin_feedback_ignores_empty_occupancy_but_not_threadlocal() {
+        // No occupancy telemetry at all (empty product): no reaction.
+        let tuner = AutoTune::new();
+        let mut empty = synthetic_profile(16, 0, 0, 0);
+        empty.stats.mean_bin_flop = 0.0;
+        empty.stats.max_bin_flop = 0;
+        tuner.observe(&empty);
+        assert_eq!(tuner.nbins_boost(), 1);
+        // A ThreadLocal run has no flushes but valid occupancy: the bin
+        // knob still reacts while the width knob stays put.
+        let mut tl = synthetic_profile(16, 0, 0, 0);
+        tl.stats.mean_bin_flop = 100.0;
+        tl.stats.max_bin_flop = 800;
+        assert_eq!(tuner.observe(&tl), None, "no width step without flushes");
+        assert_eq!(tuner.nbins_boost(), 2);
+        assert_eq!(tuner.lines(), DEFAULT_LOCAL_BIN_CACHE_LINES);
+    }
+
+    #[test]
+    fn resolve_nbins_applies_the_autotuned_boost() {
+        let cfg = PbConfig::auto_tuned().with_l2_bytes(1 << 20);
+        // 16M tuples of 16 bytes = 256 MiB -> 256 bins unboosted.
+        assert_eq!(cfg.resolve_nbins(16 << 20, 16, 1 << 20), 256);
+        let mut skewed = synthetic_profile(256, 1000, 32_000, 900);
+        skewed.stats.max_bin_flop = (skewed.stats.mean_bin_flop * 8.0) as u64;
+        cfg.auto_tune().unwrap().observe(&skewed);
+        assert_eq!(cfg.auto_tune().unwrap().nbins_boost(), 2);
+        assert_eq!(cfg.resolve_nbins(16 << 20, 16, 1 << 20), 512);
+        // An explicit bin count is honoured verbatim, boost or not.
+        let explicit = cfg.clone().with_nbins(100);
+        assert_eq!(explicit.resolve_nbins(16 << 20, 16, 1 << 20), 100);
+        // The row clamp still applies on top of the boost.
+        assert_eq!(cfg.resolve_nbins(16 << 20, 16, 300), 300);
+    }
+
+    #[test]
+    fn numa_domain_overrides_clamp_and_compare() {
+        let c = PbConfig::new().with_numa_domains(0);
+        assert_eq!(c.numa_domains, Some(1));
+        assert_eq!(PbConfig::default().numa_domains, None);
+        assert_ne!(
+            PbConfig::default().with_numa_domains(2),
+            PbConfig::default()
+        );
+        // resolve_domains never exceeds the pool's thread count.
+        let forced = PbConfig::new().with_numa_domains(64);
+        assert!(forced.resolve_domains() <= rayon::current_num_threads());
+        assert!(PbConfig::default().resolve_domains() >= 1);
     }
 
     #[test]

@@ -58,12 +58,14 @@ pub mod partitioned;
 pub mod profile;
 pub mod sort;
 pub mod symbolic;
+pub mod topology;
 
 pub use bins::{BinLayout, BinnedTuples, Entry};
 pub use config::{AutoTune, BinMapping, CompressSplit, ExpandStrategy, PbConfig, SortAlgorithm};
 pub use masked::{multiply_masked, multiply_masked_with};
 pub use partitioned::{multiply_partitioned, multiply_partitioned_with};
 pub use profile::{Phase, PhaseStats, PhaseTimings, SpGemmProfile, StatsCollector};
+pub use topology::{NumaDomain, Topology, TopologySource};
 
 use std::time::Instant;
 
@@ -82,15 +84,26 @@ pub fn multiply_with_profile<S: Semiring>(
     b: &Csr<S::Elem>,
     config: &PbConfig,
 ) -> (Csr<S::Elem>, SpGemmProfile) {
+    install_config_pool(config, || run_phases::<S>(a, b, config))
+}
+
+/// Runs `f` on the pool `config` requests: a dedicated pool of
+/// [`PbConfig::threads`] threads when set (labelled with
+/// [`PbConfig::numa_domains`] when that is set too, so the worker↔domain
+/// labels match the bin partition; 0 = discover via `PB_NUMA_DOMAINS` /
+/// sysfs), the calling thread's current pool otherwise.  Shared by the
+/// plain and the masked multiply so both honour the same knobs.
+pub(crate) fn install_config_pool<R>(config: &PbConfig, f: impl FnOnce() -> R) -> R {
     match config.threads {
         Some(t) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(t)
+                .domains(config.numa_domains.unwrap_or(0))
                 .build()
                 .expect("failed to build rayon pool");
-            pool.install(|| run_phases::<S>(a, b, config))
+            pool.install(f)
         }
-        None => run_phases::<S>(a, b, config),
+        None => f(),
     }
 }
 
@@ -106,6 +119,7 @@ fn run_phases<S: Semiring>(
     let sym = symbolic::symbolic(a, b, config, tuple_bytes);
     let t_symbolic = t0.elapsed();
     stats.record_bin_flop(&sym.bin_flop);
+    stats.record_numa(sym.domains, &sym.domain_flop);
 
     let t1 = Instant::now();
     let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats);
@@ -360,6 +374,79 @@ mod tests {
         assert_eq!(tuner.lines(), 8);
         assert_eq!(tuner.observations(), 6);
         assert_eq!(tuner.adjustments(), 3, "1 -> 2 -> 4 -> 8 lines");
+    }
+
+    #[test]
+    fn numa_partitioned_multiply_matches_reference_and_reports_locality() {
+        let a = rmat_square(8, 8, 41);
+        let a_csc = a.to_csc();
+        let expected = reference_multiply(&a, &a);
+        let single = multiply(
+            &a_csc,
+            &a,
+            &PbConfig::default().with_threads(4).with_numa_domains(1),
+        );
+        for domains in [2usize, 4] {
+            let cfg = PbConfig::default()
+                .with_threads(4)
+                .with_numa_domains(domains)
+                .with_nbins(16);
+            let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(&a_csc, &a, &cfg);
+            assert!(csr_approx_eq(&c, &expected, 1e-9), "domains = {domains}");
+            // Structure is exactly that of the unpartitioned product.
+            assert_eq!(c.rowptr(), single.rowptr(), "domains = {domains}");
+            assert_eq!(c.colidx(), single.colidx(), "domains = {domains}");
+            // Telemetry reports the partition and accounts all flush traffic.
+            let s = &profile.stats;
+            assert_eq!(s.numa_domains, domains);
+            assert_eq!(s.domain_occupancy().iter().sum::<u64>(), profile.flop);
+            assert_eq!(s.local_flushes + s.remote_flushes, s.flushes);
+            let f = s.local_flush_fraction();
+            assert!((0.0..=1.0).contains(&f), "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn auto_tuned_bin_count_adapts_to_skewed_occupancy() {
+        // Identity plus one dense row: almost all flop lands in the dense
+        // row's bin, so the occupancy skew stays far above the split
+        // threshold and the boost should double the derived bin count on
+        // every multiply until its clamp.
+        let n = 2048usize;
+        let mut entries: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1.0)).collect();
+        entries.extend((1..n).map(|j| (0usize, j, 1.0)));
+        let a = Coo::from_entries(n, n, entries).unwrap().to_csr();
+        let a_csc = a.to_csc();
+        let expected = reference_multiply(&a, &a);
+
+        // A small assumed L2 keeps the derived bin count well above one on
+        // this deliberately small workload, so the skew is observable.
+        let cfg = PbConfig::auto_tuned().with_l2_bytes(4096);
+        let mut nbins_seen = Vec::new();
+        for _ in 0..5 {
+            let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(&a_csc, &a, &cfg);
+            assert!(csr_approx_eq(&c, &expected, 1e-9));
+            nbins_seen.push(profile.nbins);
+            assert!(
+                profile.stats.occupancy_skew() >= crate::config::AUTOTUNE_SKEW_SPLIT,
+                "workload must stay skewed: {}",
+                profile.stats.occupancy_skew()
+            );
+        }
+        let tuner = cfg.auto_tune().unwrap();
+        assert_eq!(
+            tuner.nbins_boost(),
+            crate::config::AUTOTUNE_MAX_NBINS_BOOST,
+            "boost saturates on a persistently skewed workload"
+        );
+        assert!(
+            nbins_seen.windows(2).all(|w| w[1] >= w[0]),
+            "bin count adapts monotonically upward: {nbins_seen:?}"
+        );
+        assert!(
+            *nbins_seen.last().unwrap() >= nbins_seen[0] * 4,
+            "boost visibly multiplies the derived bin count: {nbins_seen:?}"
+        );
     }
 
     #[test]

@@ -33,10 +33,23 @@ pub fn multiply_masked_with<S: Semiring, M: Scalar>(
         (a.nrows(), b.ncols()),
         "the mask must have the shape of the product"
     );
+    // Same pool discipline as the unmasked multiply: an explicit thread
+    // count gets a dedicated pool whose worker↔domain labels match the
+    // bin partition.
+    crate::install_config_pool(config, || run_masked_phases::<S, M>(a, b, mask, config))
+}
+
+fn run_masked_phases<S: Semiring, M: Scalar>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    mask: &Csr<M>,
+    config: &PbConfig,
+) -> Csr<S::Elem> {
     let tuple_bytes = BinnedTuples::<S::Elem>::tuple_bytes();
     let stats = crate::profile::StatsCollector::new();
     let sym = symbolic::symbolic(a, b, config, tuple_bytes);
     stats.record_bin_flop(&sym.bin_flop);
+    stats.record_numa(sym.domains, &sym.domain_flop);
     let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats);
     sort::sort_bins(&mut tuples, config.sort, &stats);
     compress::compress_bins::<S>(&mut tuples, config.compress_split, &stats);

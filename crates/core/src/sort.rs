@@ -60,6 +60,11 @@ pub fn sort_bins<V: Copy + Send + Sync>(
         consumed += len;
     }
 
+    // Deliberately *not* domain-routed: a bin's buffer interleaves one
+    // sub-segment per domain (see `crate::symbolic`), so no assignment of
+    // whole bins to domains could make the sort's reads local — every bin
+    // is a mixed-domain read regardless.  Free claiming keeps the phase's
+    // load balancing; domain-local sort scratch is a ROADMAP item.
     slices.into_par_iter().for_each(|seg| {
         if split_within_bins && seg.len() >= PAR_BIN_MIN {
             stats.record_par_sorted_bin();

@@ -1,0 +1,307 @@
+//! NUMA topology discovery and the worker→domain / work→domain mappings
+//! behind domain-partitioned binning.
+//!
+//! The paper's evaluation (Table VII, Fig. 14) shows PB-SpGEMM is
+//! bandwidth-bound and loses disproportionately when its streams cross
+//! sockets (~33 GB/s remote vs ~50 GB/s local on the dual-socket Skylake
+//! testbed).  The countermeasure implemented here is to partition the
+//! expand phase's *global bins* by NUMA domain: the symbolic phase splits
+//! `A`'s columns into one flop-balanced range per domain, every global bin
+//! gets one exactly-sized segment per domain, and a domain's workers drain
+//! their own column range first — so the propagation-blocked flushes (the
+//! dominant memory traffic) write domain-local segments, while
+//! [`PhaseStats`](crate::profile::PhaseStats) counts local vs remote
+//! flushes so the locality is *measured*, never assumed.
+//!
+//! A [`Topology`] is discovered from `/sys/devices/system/node` (one
+//! domain per NUMA node, with its CPU list), can be **forced** with
+//! `PB_NUMA_DOMAINS=k` for deterministic testing on single-domain hosts,
+//! and falls back to a single domain when neither source applies.  The
+//! low-level discovery primitives live in the vendored `rayon` pool (see
+//! [`rayon::domains`](../../rayon/domains/index.html)), because the pool
+//! itself labels its workers with domain ids; this module is the
+//! algorithm-facing view.
+
+use rayon::domains as rdomains;
+
+/// Where a [`Topology`]'s domain count came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySource {
+    /// Forced via the `PB_NUMA_DOMAINS` environment variable — an
+    /// *emulated* topology: work and bins are partitioned as if the
+    /// domains were real, but no CPU affinity is applied and the
+    /// bandwidth asymmetry itself is absent on a single-socket host.
+    Forced,
+    /// Discovered from `/sys/devices/system/node`.
+    Sysfs,
+    /// Neither source available: a single catch-all domain.
+    Fallback,
+}
+
+/// One NUMA domain of the machine (or of a forced topology).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaDomain {
+    /// Domain id, dense from 0.
+    pub id: usize,
+    /// CPUs belonging to the domain (empty for forced/fallback domains,
+    /// where no real CPU sets exist).
+    pub cpus: Vec<usize>,
+}
+
+/// The machine's NUMA domains as seen by PB-SpGEMM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    domains: Vec<NumaDomain>,
+    source: TopologySource,
+}
+
+impl Topology {
+    /// Discovers the topology: `PB_NUMA_DOMAINS` wins when set (forced),
+    /// then the sysfs NUMA nodes, then a single-domain fallback.
+    pub fn detect() -> Topology {
+        if let Some(k) = rdomains::forced_domains() {
+            return Topology::forced(k);
+        }
+        match rdomains::sysfs_domains() {
+            Some(nodes) => Topology {
+                domains: nodes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, cpus)| NumaDomain { id, cpus })
+                    .collect(),
+                source: TopologySource::Sysfs,
+            },
+            None => Topology::fallback(),
+        }
+    }
+
+    /// A forced topology of `k` domains (what `PB_NUMA_DOMAINS=k` yields).
+    pub fn forced(k: usize) -> Topology {
+        Topology {
+            domains: (0..k.max(1))
+                .map(|id| NumaDomain {
+                    id,
+                    cpus: Vec::new(),
+                })
+                .collect(),
+            source: TopologySource::Forced,
+        }
+    }
+
+    /// The single-domain fallback.
+    pub fn fallback() -> Topology {
+        Topology {
+            domains: vec![NumaDomain {
+                id: 0,
+                cpus: Vec::new(),
+            }],
+            source: TopologySource::Fallback,
+        }
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The domains, in id order.
+    pub fn domains(&self) -> &[NumaDomain] {
+        &self.domains
+    }
+
+    /// Where the domain count came from.
+    pub fn source(&self) -> TopologySource {
+        self.source
+    }
+
+    /// Whether this topology was forced (emulated) rather than discovered.
+    pub fn is_forced(&self) -> bool {
+        self.source == TopologySource::Forced
+    }
+
+    /// The domain count a pool of `threads` threads can actually use:
+    /// never more domains than threads, never fewer than one.  This is the
+    /// clamp the vendored pool applies when it labels its workers, so a
+    /// multiply partitioned with this value agrees with the worker ids.
+    pub fn effective_domains(&self, threads: usize) -> usize {
+        self.num_domains().clamp(1, threads.max(1))
+    }
+
+    /// The domain of worker `worker` in a pool of `threads` threads over
+    /// this topology — the same contiguous-block formula the vendored pool
+    /// uses ([`rayon::domain_for_worker`]), re-exposed here so callers can
+    /// reason about placement without reaching into the pool.
+    pub fn worker_domain(&self, worker: usize, threads: usize) -> usize {
+        rdomains::domain_for_worker(worker, threads, self.num_domains())
+    }
+
+    /// One-line human-readable description (used by the figure binaries).
+    pub fn describe(&self) -> String {
+        let cpus: usize = self.domains.iter().map(|d| d.cpus.len()).sum();
+        match self.source {
+            TopologySource::Sysfs => format!(
+                "{} NUMA domain(s) from sysfs, {} CPU(s)",
+                self.num_domains(),
+                cpus
+            ),
+            TopologySource::Forced => format!(
+                "{} domain(s) forced via {} (emulated topology)",
+                self.num_domains(),
+                rdomains::DOMAINS_ENV
+            ),
+            TopologySource::Fallback => "1 domain (fallback: no sysfs NUMA hierarchy)".to_string(),
+        }
+    }
+}
+
+/// The range owning item `index` under the cumulative `starts` boundaries
+/// produced by [`balanced_boundaries`] (`parts + 1` entries): the last
+/// range whose start is at or before `index`, clamped into `0..parts`
+/// (empty ranges are skipped by construction — their start equals the next
+/// range's).  This single definition is shared by the symbolic phase's
+/// (bin, domain) sizing pass,
+/// [`Symbolic::domain_of_col`](crate::symbolic::Symbolic::domain_of_col)
+/// and the expand phase's flush routing, so the three can never disagree
+/// on a column's owning domain — a disagreement would overflow a
+/// reservation sub-segment.
+#[inline]
+pub fn domain_of_index(starts: &[usize], parts: usize, index: usize) -> usize {
+    if parts <= 1 {
+        return 0;
+    }
+    starts
+        .partition_point(|&s| s <= index)
+        .saturating_sub(1)
+        .min(parts - 1)
+}
+
+/// Splits `weights.len()` items into `parts` contiguous ranges of roughly
+/// equal total weight; returns the `parts + 1` cumulative item boundaries
+/// (first 0, last `weights.len()`).
+///
+/// Used by the symbolic phase to cut `A`'s columns into per-domain ranges
+/// balanced by flop, so every domain's workers finish their own share at
+/// about the same time and cross-domain stealing (the source of remote
+/// flushes) stays rare.  Greedy scan: a boundary is placed once the running
+/// weight reaches the ideal share, which bounds every range's weight by the
+/// ideal share plus one item's weight.
+pub fn balanced_boundaries(weights: &[u64], parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let n = weights.len();
+    let total: u64 = weights.iter().sum();
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0usize);
+    let mut acc = 0u64;
+    let mut placed = 1usize; // boundaries placed so far, including the 0
+    for (i, &w) in weights.iter().enumerate() {
+        // Remaining parts must each get at least the chance of one item.
+        let target = (total * placed as u64).div_ceil(parts as u64);
+        if placed < parts && acc >= target && i > *bounds.last().unwrap() {
+            bounds.push(i);
+            placed += 1;
+        }
+        acc += w;
+    }
+    while bounds.len() < parts {
+        // Degenerate tails (fewer items than parts, or all weight up
+        // front): pad with empty ranges at the end.
+        bounds.push(n);
+    }
+    bounds.push(n);
+    debug_assert_eq!(bounds.len(), parts + 1);
+    debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_yields_at_least_one_domain() {
+        let t = Topology::detect();
+        assert!(t.num_domains() >= 1);
+        assert!(!t.describe().is_empty());
+        assert_eq!(t.domains()[0].id, 0);
+    }
+
+    #[test]
+    fn forced_and_fallback_topologies() {
+        let f = Topology::forced(4);
+        assert_eq!(f.num_domains(), 4);
+        assert!(f.is_forced());
+        assert_eq!(f.source(), TopologySource::Forced);
+        assert!(f.describe().contains("forced"));
+        assert_eq!(Topology::forced(0).num_domains(), 1, "clamped to one");
+
+        let s = Topology::fallback();
+        assert_eq!(s.num_domains(), 1);
+        assert!(!s.is_forced());
+    }
+
+    #[test]
+    fn effective_domains_clamp_to_threads() {
+        let t = Topology::forced(4);
+        assert_eq!(t.effective_domains(1), 1);
+        assert_eq!(t.effective_domains(2), 2);
+        assert_eq!(t.effective_domains(8), 4);
+        assert_eq!(t.effective_domains(0), 1);
+    }
+
+    #[test]
+    fn worker_domain_matches_the_pool_formula() {
+        let t = Topology::forced(2);
+        let domains: Vec<usize> = (0..4).map(|w| t.worker_domain(w, 4)).collect();
+        assert_eq!(domains, vec![0, 0, 1, 1]);
+        assert_eq!(t.worker_domain(0, 1), 0);
+    }
+
+    #[test]
+    fn balanced_boundaries_split_even_weights_evenly() {
+        let w = vec![1u64; 8];
+        assert_eq!(balanced_boundaries(&w, 2), vec![0, 4, 8]);
+        assert_eq!(balanced_boundaries(&w, 4), vec![0, 2, 4, 6, 8]);
+        assert_eq!(balanced_boundaries(&w, 1), vec![0, 8]);
+    }
+
+    #[test]
+    fn balanced_boundaries_track_skewed_weights() {
+        // All the weight up front: the first range must stay narrow.
+        let w = vec![100u64, 1, 1, 1, 1, 1, 1, 1];
+        let b = balanced_boundaries(&w, 2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), 8);
+        let first: u64 = w[b[0]..b[1]].iter().sum();
+        let second: u64 = w[b[1]..b[2]].iter().sum();
+        // The heavy item cannot be split, but nothing extra piles on top.
+        assert_eq!(first, 100);
+        assert_eq!(second, 7);
+    }
+
+    #[test]
+    fn balanced_boundaries_degenerate_inputs() {
+        assert_eq!(balanced_boundaries(&[], 3), vec![0, 0, 0, 0]);
+        assert_eq!(balanced_boundaries(&[5], 3), vec![0, 1, 1, 1]);
+        assert_eq!(balanced_boundaries(&[0, 0, 0], 2), vec![0, 1, 3]);
+        // parts = 0 clamps to one range.
+        assert_eq!(balanced_boundaries(&[1, 2], 0), vec![0, 2]);
+    }
+
+    #[test]
+    fn balanced_boundaries_cover_every_item_exactly_once() {
+        let w: Vec<u64> = (0..97).map(|i| (i * 37 % 19) as u64).collect();
+        for parts in [1usize, 2, 3, 5, 8] {
+            let b = balanced_boundaries(&w, parts);
+            assert_eq!(b.len(), parts + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), w.len());
+            assert!(b.windows(2).all(|x| x[0] <= x[1]));
+            let covered: u64 = b
+                .windows(2)
+                .map(|x| w[x[0]..x[1]].iter().sum::<u64>())
+                .sum();
+            assert_eq!(covered, w.iter().sum::<u64>());
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! NUMA-domain discovery and the worker→domain mapping shared by the pool
+//! and by `pb-spgemm`'s topology subsystem.
+//!
+//! Real rayon has no notion of NUMA domains; this vendored pool adds one so
+//! that the propagation-blocking expand phase can keep its flushes
+//! socket-local.  The model is deliberately simple:
+//!
+//! * a pool of `n` threads running on a machine with `d` domains assigns
+//!   worker `i` (slot 0 is the submitting thread) to domain
+//!   `i · d / n` — contiguous blocks of workers per domain, mirroring how
+//!   cores are numbered within sockets on the machines the paper targets;
+//! * the domain count comes from `PB_NUMA_DOMAINS` when set (forced
+//!   topologies for deterministic testing on single-domain hosts), from
+//!   `/sys/devices/system/node` otherwise, and falls back to 1;
+//! * a pool never uses more domains than it has threads.
+//!
+//! Discovery lives here — not in `pb-spgemm` — because the pool itself
+//! needs it to label its workers; the higher-level
+//! `pb_spgemm::topology::Topology` type wraps these primitives.
+
+use std::path::Path;
+
+/// The environment variable forcing the domain count (`PB_NUMA_DOMAINS=k`).
+///
+/// Forcing exists so that the domain-partitioned code paths can be exercised
+/// deterministically on single-domain hosts (CI containers); a forced count
+/// only changes how work and bins are partitioned, never correctness.
+pub const DOMAINS_ENV: &str = "PB_NUMA_DOMAINS";
+
+/// The forced domain count from [`DOMAINS_ENV`], if set to a positive
+/// integer.
+pub fn forced_domains() -> Option<usize> {
+    let v = std::env::var(DOMAINS_ENV).ok()?;
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// CPU lists of the NUMA nodes `/sys/devices/system/node` exposes, in node
+/// order (`node0`, `node1`, ...).  `None` when the hierarchy is absent or
+/// unreadable (non-Linux hosts, locked-down containers).
+pub fn sysfs_domains() -> Option<Vec<Vec<usize>>> {
+    sysfs_domains_at(Path::new("/sys/devices/system/node"))
+}
+
+/// [`sysfs_domains`] against an arbitrary root (separated for testing).
+pub(crate) fn sysfs_domains_at(root: &Path) -> Option<Vec<Vec<usize>>> {
+    let entries = std::fs::read_dir(root).ok()?;
+    let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(id) = name
+            .strip_prefix("node")
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let cpulist = std::fs::read_to_string(entry.path().join("cpulist")).unwrap_or_default();
+        nodes.push((id, parse_cpulist(&cpulist)));
+    }
+    if nodes.is_empty() {
+        return None;
+    }
+    nodes.sort_unstable_by_key(|&(id, _)| id);
+    Some(nodes.into_iter().map(|(_, cpus)| cpus).collect())
+}
+
+/// Parses the kernel's cpulist format (`"0-3,8,10-11"`) into CPU ids.
+/// Malformed pieces are skipped — discovery is best-effort by design.
+pub fn parse_cpulist(list: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for piece in list.trim().split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = piece.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                if lo <= hi && hi - lo < 4096 {
+                    cpus.extend(lo..=hi);
+                }
+            }
+        } else if let Ok(c) = piece.parse::<usize>() {
+            cpus.push(c);
+        }
+    }
+    cpus
+}
+
+/// The domain count new pools default to: [`forced_domains`], else the
+/// number of sysfs NUMA nodes, else 1.
+pub fn default_domains() -> usize {
+    forced_domains()
+        .or_else(|| sysfs_domains().map(|d| d.len()))
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// The stable domain of worker `worker` in a pool of `threads` threads
+/// spread over `domains` domains: contiguous blocks, domain `d` owning
+/// workers `[d·threads/domains, (d+1)·threads/domains)`.  Worker 0 is the
+/// submitting thread and always lands in domain 0.
+pub fn domain_for_worker(worker: usize, threads: usize, domains: usize) -> usize {
+    let threads = threads.max(1);
+    let domains = domains.clamp(1, threads);
+    (worker.min(threads - 1) * domains) / threads
+}
+
+/// Best-effort CPU pinning of the calling thread to `cpus` via the raw
+/// `sched_setaffinity` syscall (Linux x86-64/aarch64 only; no `libc` is
+/// available in this vendored build).  Returns whether the kernel accepted
+/// the mask; failure is always tolerated — affinity is an optimisation,
+/// never a correctness requirement.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) fn pin_current_thread(cpus: &[usize]) -> bool {
+    // 1024-bit CPU mask, the kernel's conventional cpu_set_t size.
+    let mut mask = [0u64; 16];
+    let mut any = false;
+    for &c in cpus {
+        if c < 1024 {
+            mask[c / 64] |= 1 << (c % 64);
+            any = true;
+        }
+    }
+    if !any {
+        return false;
+    }
+    let res: isize;
+    // SAFETY: sched_setaffinity(pid = 0 → calling thread, len, mask) reads
+    // `len` bytes from `mask`, which outlives the call; no memory is
+    // written by the kernel.  The asm clobbers match the Linux syscall ABI.
+    unsafe {
+        #[cfg(target_arch = "x86_64")]
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => res, // __NR_sched_setaffinity
+            in("rdi") 0usize,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        #[cfg(target_arch = "aarch64")]
+        {
+            let x8: usize = 122; // __NR_sched_setaffinity
+            std::arch::asm!(
+                "svc 0",
+                inlateout("x0") 0usize => res,
+                in("x1") std::mem::size_of_val(&mask),
+                in("x2") mask.as_ptr(),
+                in("x8") x8,
+                options(nostack),
+            );
+        }
+    }
+    res == 0
+}
+
+/// Stub for targets without a raw-syscall implementation.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub(crate) fn pin_current_thread(_cpus: &[usize]) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpulist_parses_ranges_and_singletons() {
+        assert_eq!(parse_cpulist("0-3"), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpulist("0-1,4,6-7\n"), vec![0, 1, 4, 6, 7]);
+        assert_eq!(parse_cpulist("5"), vec![5]);
+        assert_eq!(parse_cpulist(""), Vec::<usize>::new());
+        // Malformed pieces are skipped, valid ones kept.
+        assert_eq!(parse_cpulist("x,2,3-a,4-2,7"), vec![2, 7]);
+    }
+
+    #[test]
+    fn worker_domains_form_contiguous_blocks() {
+        // 4 threads over 2 domains: workers 0,1 -> 0 and 2,3 -> 1.
+        let d: Vec<usize> = (0..4).map(|w| domain_for_worker(w, 4, 2)).collect();
+        assert_eq!(d, vec![0, 0, 1, 1]);
+        // 6 threads over 4 domains: block sizes 2/1/2/1.
+        let d: Vec<usize> = (0..6).map(|w| domain_for_worker(w, 6, 4)).collect();
+        assert_eq!(d, vec![0, 0, 1, 2, 2, 3]);
+        // The submitter (worker 0) is always domain 0.
+        for threads in 1..8 {
+            for domains in 1..8 {
+                assert_eq!(domain_for_worker(0, threads, domains), 0);
+            }
+        }
+        // Domains never exceed threads, and every domain gets a worker.
+        for threads in 1usize..12 {
+            for domains in 1usize..12 {
+                let eff = domains.min(threads);
+                let assigned: std::collections::HashSet<usize> = (0..threads)
+                    .map(|w| domain_for_worker(w, threads, domains))
+                    .collect();
+                assert_eq!(assigned.len(), eff, "{threads} threads, {domains} domains");
+                assert!(assigned.iter().all(|&d| d < eff));
+            }
+        }
+    }
+
+    #[test]
+    fn sysfs_discovery_reads_a_fake_hierarchy() {
+        let dir = std::env::temp_dir().join(format!("pb-rayon-domains-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("node0")).unwrap();
+        std::fs::create_dir_all(dir.join("node1")).unwrap();
+        std::fs::write(dir.join("node0/cpulist"), "0-1\n").unwrap();
+        std::fs::write(dir.join("node1/cpulist"), "2-3\n").unwrap();
+        // Unrelated entries are ignored.
+        std::fs::create_dir_all(dir.join("power")).unwrap();
+        let domains = sysfs_domains_at(&dir).expect("two nodes discovered");
+        assert_eq!(domains, vec![vec![0, 1], vec![2, 3]]);
+        let _ = std::fs::remove_dir_all(&dir);
+        // A missing hierarchy yields None, not a panic.
+        assert!(sysfs_domains_at(&dir).is_none());
+    }
+
+    #[test]
+    fn default_domains_is_at_least_one() {
+        assert!(default_domains() >= 1);
+    }
+}

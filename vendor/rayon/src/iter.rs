@@ -575,6 +575,16 @@ where
 /// meaningful claiming overhead (the claim is one `fetch_add`).
 const BLOCKS_PER_THREAD: usize = 4;
 
+/// Blocks per pool thread for domain-partitioned operations
+/// ([`ParIter::with_domain_boundaries`]).  Finer than
+/// [`BLOCKS_PER_THREAD`] so a cross-domain steal (the liveness fallback
+/// when a domain's owners stall) moves a small block and the remote
+/// fraction of the work stays small — but only 2× finer, because every
+/// extra block is an extra fold segment for the consumer (per-segment
+/// scratch allocation, and end-of-segment partial flushes that dilute the
+/// flush-size telemetry the autotuner reads).
+const DOMAIN_BLOCKS_PER_THREAD: usize = 8;
+
 /// Splits `producer` into at most `target` near-equal blocks of at least
 /// `min_len` items each.
 fn split_blocks<P: Producer>(producer: P, target: usize, min_len: usize) -> Vec<P> {
@@ -613,11 +623,47 @@ where
         // semantics the old sequential shim had.
         return vec![consume(iter.producer)];
     }
-    let blocks = split_blocks(
-        iter.producer,
-        pool.num_threads() * BLOCKS_PER_THREAD,
-        iter.min_len,
-    );
+    // Domain boundaries only engage when well-formed (ascending item
+    // indices covering exactly `0..len`) and actually multi-domain;
+    // otherwise the plain schedule runs.
+    let total = iter.producer.len();
+    let bounds_ok = iter.domain_boundaries.as_deref().is_some_and(|b| {
+        b.len() > 2
+            && b[0] == 0
+            && *b.last().unwrap() == total
+            && b.windows(2).all(|w| w[0] <= w[1])
+    });
+    let (blocks, block_bounds) = if bounds_ok {
+        let bounds = iter.domain_boundaries.as_deref().unwrap();
+        let target = pool.num_threads() * DOMAIN_BLOCKS_PER_THREAD;
+        let mut blocks = Vec::new();
+        let mut block_bounds = Vec::with_capacity(bounds.len());
+        block_bounds.push(0usize);
+        let mut rest = iter.producer;
+        let mut consumed = 0usize;
+        for w in bounds.windows(2) {
+            let len = w[1] - w[0];
+            let (part, r) = rest.split_at(len);
+            rest = r;
+            consumed += len;
+            if len > 0 {
+                // Each domain gets a share of the block budget proportional
+                // to its item count, at least one block.
+                let share = (target * len).div_ceil(total.max(1)).max(1);
+                blocks.extend(split_blocks(part, share, iter.min_len));
+            }
+            block_bounds.push(blocks.len());
+        }
+        debug_assert_eq!(consumed, total);
+        (blocks, Some(block_bounds))
+    } else {
+        let blocks = split_blocks(
+            iter.producer,
+            pool.num_threads() * BLOCKS_PER_THREAD,
+            iter.min_len,
+        );
+        (blocks, None)
+    };
     let n = blocks.len();
     if n <= 1 {
         return blocks.into_iter().map(consume).collect();
@@ -628,7 +674,10 @@ where
         let block = slots[i].take().expect("block claimed twice");
         results[i].put(consume(block));
     };
-    pool.run_task(n, &runner);
+    match block_bounds {
+        Some(bounds) => pool.run_task_bounded(&bounds, &runner),
+        None => pool.run_task(n, &runner),
+    }
     results
         .into_iter()
         .map(|slot| slot.take().expect("block never produced a result"))
@@ -652,6 +701,7 @@ pub(crate) fn run_boxed_jobs<'scope>(
 pub struct ParIter<P> {
     producer: P,
     min_len: usize,
+    domain_boundaries: Option<Vec<usize>>,
 }
 
 impl<P: Producer> ParIter<P> {
@@ -659,6 +709,7 @@ impl<P: Producer> ParIter<P> {
         ParIter {
             producer,
             min_len: 1,
+            domain_boundaries: None,
         }
     }
 
@@ -674,6 +725,20 @@ impl<P: Producer> ParIter<P> {
         self
     }
 
+    /// Partitions the items into per-NUMA-domain ranges at the given
+    /// cumulative item indices (`D + 1` ascending values from 0 to the item
+    /// count): blocks of range `d` are claimed by the pool's domain-`d`
+    /// workers first and only stolen cross-domain as a liveness fallback
+    /// (a vendored addition; real rayon has no equivalent).
+    ///
+    /// Purely a *scheduling* hint — results, their order, and fold
+    /// segmentation semantics are unaffected.  Malformed boundaries (not
+    /// ascending, not spanning exactly the item range) are ignored.
+    pub fn with_domain_boundaries(mut self, boundaries: Vec<usize>) -> Self {
+        self.domain_boundaries = Some(boundaries);
+        self
+    }
+
     /// Maps each item through `f`.
     pub fn map<U, F>(self, f: F) -> ParIter<Map<P, F>>
     where
@@ -685,6 +750,7 @@ impl<P: Producer> ParIter<P> {
                 f,
             },
             min_len: self.min_len,
+            domain_boundaries: self.domain_boundaries,
         }
     }
 
@@ -699,6 +765,7 @@ impl<P: Producer> ParIter<P> {
                 f,
             },
             min_len: self.min_len,
+            domain_boundaries: self.domain_boundaries,
         }
     }
 
@@ -713,6 +780,7 @@ impl<P: Producer> ParIter<P> {
                 f,
             },
             min_len: self.min_len,
+            domain_boundaries: self.domain_boundaries,
         }
     }
 
@@ -730,6 +798,7 @@ impl<P: Producer> ParIter<P> {
                 f,
             },
             min_len: self.min_len,
+            domain_boundaries: self.domain_boundaries,
         }
     }
 
@@ -746,6 +815,7 @@ impl<P: Producer> ParIter<P> {
                 offset: 0,
             },
             min_len: self.min_len,
+            domain_boundaries: self.domain_boundaries,
         }
     }
 
@@ -763,6 +833,7 @@ impl<P: Producer> ParIter<P> {
                 b: other.into_par_iter().producer,
             },
             min_len: self.min_len,
+            domain_boundaries: self.domain_boundaries,
         }
     }
 
@@ -775,6 +846,7 @@ impl<P: Producer> ParIter<P> {
         ParIter {
             producer: Copied(self.producer),
             min_len: self.min_len,
+            domain_boundaries: self.domain_boundaries,
         }
     }
 
@@ -787,6 +859,7 @@ impl<P: Producer> ParIter<P> {
         ParIter {
             producer: Cloned(self.producer),
             min_len: self.min_len,
+            domain_boundaries: self.domain_boundaries,
         }
     }
 

@@ -19,7 +19,15 @@
 //!   claimed by pool participants through an atomic cursor
 //!   (work-stealing-lite) — see [`iter`] for the execution model;
 //! * truly parallel [`join`]/[`scope`] with panic propagation, and a parallel
-//!   quicksort behind `par_sort_unstable*`.
+//!   quicksort behind `par_sort_unstable*`;
+//! * **NUMA-domain awareness** (a vendored addition, see [`domains`]): every
+//!   pool worker carries a stable domain id ([`current_domain`]), pools know
+//!   their domain count ([`current_num_domains`], forcible via
+//!   `PB_NUMA_DOMAINS` and discoverable from sysfs, with best-effort CPU
+//!   affinity on real multi-node hosts), and
+//!   [`iter::ParIter::with_domain_boundaries`] routes blocks of a parallel
+//!   operation to the workers of their owning domain, stealing cross-domain
+//!   only as a liveness fallback.
 //!
 //! Semantics match rayon closely enough for a drop-in swap via
 //! `[workspace.dependencies]`: `collect` preserves item order, `fold`
@@ -32,12 +40,17 @@
 //!
 //! [rayon]: https://docs.rs/rayon
 
+pub mod domains;
 pub mod iter;
 pub mod pool;
 
+pub use domains::{
+    default_domains, domain_for_worker, forced_domains, parse_cpulist, sysfs_domains, DOMAINS_ENV,
+};
 pub use iter::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut, Producer};
 pub use pool::{
-    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+    current_domain, current_num_domains, current_num_threads, join, scope, Scope, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder,
 };
 
 /// The traits callers import with `use rayon::prelude::*`.
@@ -306,6 +319,100 @@ mod tests {
             p.install(|| v.par_iter().max_by(|a, b| a.partial_cmp(b).unwrap())),
             Some(&9.25)
         );
+    }
+
+    #[test]
+    fn domain_boundaries_preserve_results_and_order() {
+        let p = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .domains(2)
+            .build()
+            .unwrap();
+        assert_eq!(p.current_num_domains(), 2);
+        let expected: Vec<usize> = (0..10_000).map(|x| x * 3).collect();
+        let v: Vec<usize> = p.install(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .with_domain_boundaries(vec![0, 5_000, 10_000])
+                .map(|x| x * 3)
+                .collect()
+        });
+        assert_eq!(v, expected);
+        // Uneven, touching and empty ranges are all fine.
+        let v: Vec<usize> = p.install(|| {
+            (0..1000usize)
+                .into_par_iter()
+                .with_domain_boundaries(vec![0, 0, 997, 1000])
+                .map(|x| x * 3)
+                .collect()
+        });
+        assert_eq!(v, expected[..1000]);
+        // Fold still covers every item exactly once.
+        let total: usize = p.install(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .with_domain_boundaries(vec![0, 2_500, 10_000])
+                .fold(|| 0usize, |acc, x| acc + x)
+                .sum()
+        });
+        assert_eq!(total, (0..10_000).sum::<usize>());
+    }
+
+    #[test]
+    fn malformed_domain_boundaries_fall_back_to_the_plain_schedule() {
+        let p = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .domains(2)
+            .build()
+            .unwrap();
+        for bad in [
+            vec![0, 700],           // single domain: nothing to route
+            vec![0, 900, 800],      // not ascending
+            vec![0, 400, 999],      // does not span the item range
+            vec![1, 500, 1000],     // does not start at 0
+            vec![0, 250, 500, 750], // short of the end
+        ] {
+            let v: Vec<usize> = p.install(|| {
+                (0..1000usize)
+                    .into_par_iter()
+                    .with_domain_boundaries(bad.clone())
+                    .map(|x| x + 1)
+                    .collect()
+            });
+            assert_eq!(v, (1..=1000).collect::<Vec<_>>(), "boundaries {bad:?}");
+        }
+    }
+
+    #[test]
+    fn workers_report_stable_domain_ids() {
+        let p = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .domains(2)
+            .build()
+            .unwrap();
+        // The submitting thread is always domain 0.
+        assert_eq!(current_domain(), 0);
+        let seen = Mutex::new(std::collections::HashMap::new());
+        p.install(|| {
+            (0..4096usize).into_par_iter().for_each(|_| {
+                let id = std::thread::current().id();
+                let d = current_domain();
+                let mut map = seen.lock().unwrap();
+                let prev = map.insert(id, d);
+                assert!(prev.is_none() || prev == Some(d), "domain id changed");
+                std::thread::yield_now();
+            })
+        });
+        let map = seen.lock().unwrap();
+        // Every observed domain id is valid for a 2-domain pool.
+        assert!(map.values().all(|&d| d < 2));
+        // Domains are clamped to the thread count.
+        let tiny = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .domains(8)
+            .build()
+            .unwrap();
+        assert_eq!(tiny.current_num_domains(), 1);
     }
 
     #[test]

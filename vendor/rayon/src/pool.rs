@@ -35,20 +35,59 @@ use std::thread::JoinHandle;
 /// [`TaskState`].
 type Job = dyn Fn(usize) + Sync + 'static;
 
+/// One claimable range of block indices, owned by one NUMA domain.
+///
+/// The cursor starts at the range's first block and hands out indices with
+/// an atomic RMW; an index at or past `end` means the range is drained (the
+/// overshoot is harmless — ranges never refill).
+pub(crate) struct ClaimRange {
+    /// Next unclaimed block index of this range.
+    next: AtomicUsize,
+    /// One past the last block index of this range.
+    end: usize,
+    /// Blocks of this range fully executed — the foreign-domain progress
+    /// signal the steal-patience logic watches (claims alone miss an owner
+    /// grinding through a long block).
+    completed: AtomicUsize,
+}
+
+/// How long a foreign domain's range may sit without visible progress
+/// (no new claims, no completions) before a participant steals a block
+/// from it.  Long enough that owners being merely time-sliced away (the
+/// oversubscribed single-CPU case) keep their range; short enough that a
+/// genuinely stalled domain — workers tied up in other tasks — delays the
+/// operation by at most a scheduling hiccup.
+const STEAL_PATIENCE: std::time::Duration = std::time::Duration::from_micros(200);
+
 /// Shared state of one parallel operation.
 ///
 /// # Safety invariant
 ///
 /// `job` borrows the submitting call frame.  It is only ever invoked with a
-/// block index `i < goal`, each index is handed out exactly once (the `next`
-/// cursor is an atomic RMW), and the submitter does not return — keeping the
-/// frame alive — until `done == goal`, i.e. until every participant that
-/// received a valid index has finished running it.  Participants that lose
-/// the claim race (index `>= goal`) touch only this heap-allocated struct,
-/// never `job`.
+/// block index `i < goal`, each index is handed out exactly once (every
+/// range's `next` cursor is an atomic RMW and the ranges partition
+/// `0..goal`), and the submitter does not return — keeping the frame alive —
+/// until `done == goal`, i.e. until every participant that received a valid
+/// index has finished running it.  Participants that lose the claim race
+/// (index past a range's end) touch only this heap-allocated struct, never
+/// `job`.
+///
+/// # Domain routing
+///
+/// A task usually has a single range covering `0..goal`.  Tasks submitted
+/// with explicit domain boundaries (the expand phase's column partition)
+/// carry one range per NUMA domain; a participant drains **its own
+/// domain's range first**, and afterwards watches the other domains'
+/// ranges, stealing a block only from a range that made no visible
+/// progress (claims or completions) for [`STEAL_PATIENCE`].  Patience
+/// matters: an owner that is alive but momentarily descheduled (the
+/// oversubscribed single-CPU case) or mid-block keeps its range, so the
+/// expand phase's flushes stay domain-local; a domain whose workers are
+/// genuinely tied up elsewhere is taken over after at most a scheduling
+/// hiccup, so the task can never stall (liveness).
 pub(crate) struct TaskState {
-    /// Next unclaimed block index.
-    next: AtomicUsize,
+    /// Unclaimed-block ranges, one per domain (one range = no routing).
+    ranges: Vec<ClaimRange>,
     /// Number of blocks fully executed.
     done: AtomicUsize,
     /// Total number of blocks.
@@ -69,15 +108,31 @@ unsafe impl Sync for TaskState {}
 
 impl TaskState {
     fn new<'a>(goal: usize, job: &'a (dyn Fn(usize) + Sync + 'a)) -> Self {
+        Self::with_bounds(&[0, goal], job)
+    }
+
+    /// Builds a task whose blocks are pre-partitioned into per-domain claim
+    /// ranges at the given cumulative `bounds` (`D + 1` ascending indices,
+    /// first 0; the last is the block count).
+    fn with_bounds<'a>(bounds: &[usize], job: &'a (dyn Fn(usize) + Sync + 'a)) -> Self {
+        debug_assert!(bounds.len() >= 2 && bounds[0] == 0);
+        debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
         // SAFETY: this only erases the trait object's lifetime bound; both
         // sides are fat pointers of identical layout.  Validity of later
         // dereferences is upheld by the wait in `run_task` (see the
         // struct-level safety invariant).
         let job: *const Job = unsafe { std::mem::transmute(job) };
         TaskState {
-            next: AtomicUsize::new(0),
+            ranges: bounds
+                .windows(2)
+                .map(|w| ClaimRange {
+                    next: AtomicUsize::new(w[0]),
+                    end: w[1],
+                    completed: AtomicUsize::new(0),
+                })
+                .collect(),
             done: AtomicUsize::new(0),
-            goal,
+            goal: *bounds.last().unwrap(),
             job,
             panic: Mutex::new(None),
             complete: Mutex::new(false),
@@ -87,31 +142,110 @@ impl TaskState {
 
     /// True once every block has been claimed (not necessarily finished).
     fn exhausted(&self) -> bool {
-        self.next.load(Ordering::Relaxed) >= self.goal
+        self.ranges
+            .iter()
+            .all(|r| r.next.load(Ordering::Relaxed) >= r.end)
     }
 
-    /// Claims and runs blocks until none are left.
-    fn participate(&self) {
+    /// Runs block `i` of `range` (claimed by the caller) and accounts it.
+    fn run_block(&self, range: &ClaimRange, i: usize) {
+        // SAFETY: `i < goal`, so the submitter is still blocked in
+        // `run_task` waiting for this block; the frame `job` borrows is
+        // alive.
+        let job = unsafe { &*self.job };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(i))) {
+            let mut slot = self.panic.lock().unwrap();
+            slot.get_or_insert(payload);
+        }
+        range.completed.fetch_add(1, Ordering::Relaxed);
+        // `Release` pairs with the `Acquire` read in `wait`: everything
+        // this participant wrote while running the block (results, flushed
+        // bins, ...) happens-before the submitter's return.
+        if self.done.fetch_add(1, Ordering::Release) + 1 == self.goal {
+            let mut flag = self.complete.lock().unwrap();
+            *flag = true;
+            self.complete_cv.notify_all();
+        }
+    }
+
+    /// Claims and runs blocks of range `r` until its cursor is exhausted.
+    fn drain_range(&self, r: usize) {
+        let range = &self.ranges[r];
         loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.goal {
+            let i = range.next.fetch_add(1, Ordering::Relaxed);
+            if i >= range.end {
                 return;
             }
-            // SAFETY: `i < goal`, so the submitter is still blocked in
-            // `run_task` waiting for this block; the frame `job` borrows is
-            // alive.
-            let job = unsafe { &*self.job };
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(i))) {
-                let mut slot = self.panic.lock().unwrap();
-                slot.get_or_insert(payload);
+            self.run_block(range, i);
+        }
+    }
+
+    /// Claims and runs blocks until none are left: the calling thread's own
+    /// domain range eagerly, foreign ranges only behind [`STEAL_PATIENCE`]
+    /// (see the struct-level domain-routing notes).
+    fn participate(&self) {
+        let nranges = self.ranges.len();
+        let me = if nranges > 1 {
+            current_domain().min(nranges - 1)
+        } else {
+            0
+        };
+        self.drain_range(me);
+        if nranges <= 1 {
+            return;
+        }
+        // Watch the foreign ranges: steal a block from a range only once it
+        // shows no claim/completion progress for the patience window;
+        // otherwise yield the CPU to its owners.  Ranges only drain, so
+        // this loop terminates: every sweep either observes global
+        // progress, forces some via a steal, or finds everything claimed.
+        let mut watch: Vec<(usize, usize, std::time::Instant)> = self
+            .ranges
+            .iter()
+            .map(|r| {
+                (
+                    r.next.load(Ordering::Relaxed),
+                    r.completed.load(Ordering::Relaxed),
+                    std::time::Instant::now(),
+                )
+            })
+            .collect();
+        let mut sweeps = 0usize;
+        loop {
+            let mut any_open = false;
+            for offset in 1..nranges {
+                let ri = (me + offset) % nranges;
+                let range = &self.ranges[ri];
+                let next = range.next.load(Ordering::Relaxed);
+                if next >= range.end {
+                    continue;
+                }
+                any_open = true;
+                let completed = range.completed.load(Ordering::Relaxed);
+                let (w_next, w_completed, w_since) = &mut watch[ri];
+                if (*w_next, *w_completed) != (next, completed) {
+                    (*w_next, *w_completed) = (next, completed);
+                    *w_since = std::time::Instant::now();
+                } else if w_since.elapsed() >= STEAL_PATIENCE {
+                    let i = range.next.fetch_add(1, Ordering::Relaxed);
+                    if i < range.end {
+                        self.run_block(range, i);
+                    }
+                    *w_since = std::time::Instant::now();
+                }
             }
-            // `Release` pairs with the `Acquire` read in `wait`: everything
-            // this participant wrote while running the block (results,
-            // flushed bins, ...) happens-before the submitter's return.
-            if self.done.fetch_add(1, Ordering::Release) + 1 == self.goal {
-                let mut flag = self.complete.lock().unwrap();
-                *flag = true;
-                self.complete_cv.notify_all();
+            if !any_open {
+                return;
+            }
+            // Back off from yielding to brief sleeps after a few sweeps:
+            // on an oversubscribed host several watchers yielding in a
+            // tight loop would steal the CPU from the very owners they are
+            // waiting on.
+            sweeps += 1;
+            if sweeps < 4 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
             }
         }
     }
@@ -143,6 +277,9 @@ impl TaskState {
 pub(crate) struct PoolCore {
     /// Total thread count of the pool (workers + the submitting thread).
     nthreads: usize,
+    /// NUMA domains the pool's workers are spread over (never more than
+    /// `nthreads`); see [`crate::domains`].
+    ndomains: usize,
     /// Tasks with potentially unclaimed blocks.
     queue: Mutex<Vec<Arc<TaskState>>>,
     /// Signalled when a task is published or shutdown is requested.
@@ -152,20 +289,40 @@ pub(crate) struct PoolCore {
 }
 
 impl PoolCore {
-    /// Creates the core and spawns `nthreads - 1` workers.
-    fn start(nthreads: usize) -> (Arc<PoolCore>, Vec<JoinHandle<()>>) {
+    /// Creates the core and spawns `nthreads - 1` workers, each carrying a
+    /// stable domain id (and best-effort CPU affinity to its domain's cores
+    /// when the domain count matches the real sysfs topology).
+    fn start(nthreads: usize, ndomains: usize) -> (Arc<PoolCore>, Vec<JoinHandle<()>>) {
+        let ndomains = ndomains.clamp(1, nthreads.max(1));
         let core = Arc::new(PoolCore {
             nthreads,
+            ndomains,
             queue: Mutex::new(Vec::new()),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
+        // Pin workers only when the pool's domains are the machine's real
+        // NUMA nodes; a forced (emulated) topology partitions work and bins
+        // but must not fight the scheduler over made-up core sets.
+        let pin_sets =
+            crate::domains::sysfs_domains().filter(|nodes| nodes.len() == ndomains && ndomains > 1);
         let handles = (1..nthreads)
             .map(|i| {
                 let core = Arc::clone(&core);
+                let domain = crate::domains::domain_for_worker(i, nthreads, ndomains);
+                let cpus = pin_sets.as_ref().map(|nodes| nodes[domain].clone());
                 std::thread::Builder::new()
                     .name(format!("pb-rayon-{i}"))
-                    .spawn(move || worker_loop(core))
+                    .spawn(move || {
+                        WORKER_DOMAIN.with(|d| d.set(domain));
+                        if let Some(cpus) = cpus {
+                            // Best-effort: failure (locked-down container,
+                            // unsupported target) costs locality, never
+                            // correctness.
+                            let _ = crate::domains::pin_current_thread(&cpus);
+                        }
+                        worker_loop(core)
+                    })
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -177,6 +334,11 @@ impl PoolCore {
         self.nthreads
     }
 
+    /// The pool's domain count (what [`current_num_domains`] reports).
+    pub(crate) fn num_domains(&self) -> usize {
+        self.ndomains
+    }
+
     /// Runs `goal` blocks of `job` on the pool, participating inline.
     ///
     /// Returns after every block has executed; re-raises the first panic.
@@ -185,18 +347,30 @@ impl PoolCore {
         goal: usize,
         job: &'a (dyn Fn(usize) + Sync + 'a),
     ) {
+        self.run_task_bounded(&[0, goal], job);
+    }
+
+    /// [`PoolCore::run_task`] with the blocks pre-partitioned into
+    /// per-domain claim ranges at the cumulative `bounds` (see
+    /// [`TaskState`]'s domain routing).
+    pub(crate) fn run_task_bounded<'a>(
+        self: &Arc<Self>,
+        bounds: &[usize],
+        job: &'a (dyn Fn(usize) + Sync + 'a),
+    ) {
+        let goal = *bounds.last().unwrap_or(&0);
         if goal == 0 {
             return;
         }
         // Nothing to gain from the queue with no workers or a single block:
-        // run inline (panics propagate naturally).
+        // run inline, in block order (panics propagate naturally).
         if self.nthreads <= 1 || goal == 1 {
             for i in 0..goal {
                 job(i);
             }
             return;
         }
-        let task = Arc::new(TaskState::new(goal, job));
+        let task = Arc::new(TaskState::with_bounds(bounds, job));
         self.publish(&task);
         task.participate();
         task.wait();
@@ -257,6 +431,26 @@ thread_local! {
     /// [`ThreadPool::install`], the global pool otherwise.
     static CURRENT_POOL: std::cell::RefCell<Option<Arc<PoolCore>>> =
         const { std::cell::RefCell::new(None) };
+
+    /// The NUMA domain this thread belongs to: set once at spawn for pool
+    /// workers, 0 for every other thread (including submitters, which by
+    /// the contiguous worker→domain mapping always sit in domain 0).
+    static WORKER_DOMAIN: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The stable NUMA domain id of the calling thread: its assigned domain on
+/// pool worker threads, 0 everywhere else (the submitting thread of any
+/// pool is worker slot 0, which the contiguous mapping puts in domain 0).
+pub fn current_domain() -> usize {
+    WORKER_DOMAIN.with(|d| d.get())
+}
+
+/// Number of NUMA domains of the current pool (the installed pool inside
+/// [`ThreadPool::install`], the global pool otherwise).  Never exceeds
+/// [`current_num_threads`]; 1 on single-domain hosts unless
+/// `PB_NUMA_DOMAINS` forces more (see [`crate::domains`]).
+pub fn current_num_domains() -> usize {
+    current_pool().num_domains()
 }
 
 /// Default thread count: the `PB_RAYON_THREADS` environment variable if set
@@ -279,7 +473,7 @@ fn default_threads() -> usize {
 fn global_pool() -> &'static Arc<PoolCore> {
     static GLOBAL: OnceLock<Arc<PoolCore>> = OnceLock::new();
     GLOBAL.get_or_init(|| {
-        let (core, handles) = PoolCore::start(default_threads());
+        let (core, handles) = PoolCore::start(default_threads(), crate::domains::default_domains());
         for h in handles {
             drop(h); // detach
         }
@@ -333,10 +527,12 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Mirrors `rayon::ThreadPoolBuilder`.
+/// Mirrors `rayon::ThreadPoolBuilder`, extended with a NUMA-domain count
+/// (a vendored addition; real rayon has no notion of domains).
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
+    domains: usize,
 }
 
 impl ThreadPoolBuilder {
@@ -352,6 +548,14 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Sets the NUMA-domain count the pool's workers are spread over
+    /// (0 = automatic: `PB_NUMA_DOMAINS`, the sysfs node count, or 1).
+    /// Clamped to the thread count at build time.
+    pub fn domains(mut self, domains: usize) -> Self {
+        self.domains = domains;
+        self
+    }
+
     /// Builds a dedicated pool: `n - 1` real worker threads plus the thread
     /// that calls [`ThreadPool::install`].
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
@@ -360,7 +564,12 @@ impl ThreadPoolBuilder {
         } else {
             self.num_threads
         };
-        let (core, workers) = PoolCore::start(threads);
+        let domains = if self.domains == 0 {
+            crate::domains::default_domains()
+        } else {
+            self.domains
+        };
+        let (core, workers) = PoolCore::start(threads, domains);
         Ok(ThreadPool { core, workers })
     }
 }
@@ -395,6 +604,11 @@ impl ThreadPool {
     /// The number of threads work submitted to this pool runs on.
     pub fn current_num_threads(&self) -> usize {
         self.core.num_threads()
+    }
+
+    /// The number of NUMA domains this pool's workers are spread over.
+    pub fn current_num_domains(&self) -> usize {
+        self.core.num_domains()
     }
 
     /// The configured thread count; identical to
