@@ -15,11 +15,13 @@
 //! count — and `--tune` runs attach a [`TuneReport`] documenting the
 //! [`AutoTune`](pb_spgemm::AutoTune) convergence trajectory.
 
+use std::sync::Arc;
+
 use serde::Serialize;
 
-use crate::runner::{measure, measure_pb_profile, Algorithm, Telemetry};
+use crate::runner::{measure_in, measure_pb_profile, Algorithm, Telemetry};
 use crate::workloads::{rmat_matrix, Workload};
-use pb_spgemm::PbConfig;
+use pb_spgemm::{PbConfig, Workspace};
 
 /// Per-phase wall-clock seconds of one PB-SpGEMM run.
 #[derive(Debug, Clone, Serialize)]
@@ -159,8 +161,80 @@ pub struct PbBaseline {
     pub sweep: Vec<SweepPoint>,
     /// Max speedup over the 1-thread point anywhere in the sweep.
     pub best_speedup: f64,
+    /// Workspace amortisation on repeated same-shape multiplies (schema
+    /// v3): the counters `--verify` gates reuse on.
+    pub workspace: WorkspaceReuseReport,
     /// Autotuning convergence report (`--tune` runs only).
     pub tune: Option<TuneReport>,
+}
+
+/// The repeated-multiply smoke: the baseline workload squared several times
+/// through one persistent [`Workspace`], proving (not assuming) that the
+/// steady state allocates nothing and that reuse leaves the product
+/// bit-identical to the fresh-allocation path.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkspaceReuseReport {
+    /// Multiplies run through the shared workspace.
+    pub multiplies: usize,
+    /// Workspace-managed bytes the first multiply allocated (populating the
+    /// arena).
+    pub first_bytes_allocated: u64,
+    /// Bytes the *last* multiply allocated — 0 in a healthy steady state.
+    pub steady_bytes_allocated: u64,
+    /// Bytes the last multiply served from recycled capacity.
+    pub steady_bytes_reused: u64,
+    /// Buffer acquisitions the last multiply served entirely from recycled
+    /// capacity (`--verify` fails when this is 0).
+    pub steady_workspace_hits: u64,
+    /// Whether a workspace-reusing product matched a fresh-allocation
+    /// product bit-for-bit (`rowptr`/`colidx`/`values`), compared on a
+    /// 1-thread pool where the schedule — and therefore every float
+    /// accumulation order — is deterministic.
+    pub bit_identical_to_fresh: bool,
+}
+
+/// Runs the repeated-multiply workspace smoke on `w` (squaring it
+/// `multiplies` times through one workspace) and the deterministic
+/// 1-thread bit-identity check.
+pub fn run_workspace_reuse(w: &Workload, multiplies: usize) -> WorkspaceReuseReport {
+    let multiplies = multiplies.max(2);
+    let ws = Arc::new(Workspace::new());
+    let cfg = PbConfig::default().with_workspace(ws);
+    let mut first_alloc = 0u64;
+    let mut last = None;
+    for i in 0..multiplies {
+        let profile = measure_pb_profile(w, &cfg);
+        if i == 0 {
+            first_alloc = profile.stats.bytes_allocated;
+        }
+        last = Some(profile);
+    }
+    let steady = last.expect("at least two multiplies ran").stats;
+
+    // Bit-identity vs the fresh path, on a deterministic 1-thread pool.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("rayon pool");
+    let bit_identical = pool.install(|| {
+        let fresh = pb_spgemm::multiply(&w.a_csc, &w.a, &PbConfig::default());
+        let reuse_ws = Arc::new(Workspace::new());
+        // Two rounds: the second runs entirely on recycled buffers.
+        let _ = pb_spgemm::multiply_reusing(&w.a_csc, &w.a, &PbConfig::default(), &reuse_ws);
+        let reused = pb_spgemm::multiply_reusing(&w.a_csc, &w.a, &PbConfig::default(), &reuse_ws);
+        fresh.rowptr() == reused.rowptr()
+            && fresh.colidx() == reused.colidx()
+            && fresh.values() == reused.values()
+    });
+
+    WorkspaceReuseReport {
+        multiplies,
+        first_bytes_allocated: first_alloc,
+        steady_bytes_allocated: steady.bytes_allocated,
+        steady_bytes_reused: steady.bytes_reused,
+        steady_workspace_hits: steady.workspace_hits,
+        bit_identical_to_fresh: bit_identical,
+    }
 }
 
 /// Thread counts to sweep: 1, 2, 4, ... up to `max`, always including
@@ -214,11 +288,15 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
     let mut sweep = Vec::new();
     let mut t1_seconds = f64::NAN;
     for &t in &thread_sweep(max_threads) {
-        let m = measure(w, &algo, reps, Some(t));
-        let profile = {
-            let cfg = PbConfig::default().with_threads(t);
-            measure_pb_profile(w, &cfg)
-        };
+        // One dedicated pool per sweep point, shared by the timed
+        // repetitions *and* the profiled run — previously the profiled run
+        // built a second pool of the same width through its config.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("rayon pool");
+        let m = measure_in(w, &algo, reps, Some(t), Some(&pool));
+        let profile = pool.install(|| measure_pb_profile(w, &PbConfig::default()));
         if t == 1 {
             t1_seconds = m.seconds;
         }
@@ -246,9 +324,10 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
         .fold(f64::MIN, f64::max);
 
     PbBaseline {
-        // v2: every sweep point's telemetry gained a `numa` section
-        // (domain count, local-flush fraction, per-domain occupancy).
-        schema: "pb-bench-baseline/v2",
+        // v3: every sweep point's telemetry gained a `workspace` section
+        // (allocation/reuse counters) and the document a top-level
+        // `workspace` reuse report; v2 added the per-point `numa` section.
+        schema: SCHEMA_TAG,
         op: "spgemm_square",
         workload: w.name.clone(),
         n: w.a.nrows(),
@@ -261,9 +340,18 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
         topology: TopologyInfo::detect(),
         sweep,
         best_speedup,
+        workspace: run_workspace_reuse(w, WORKSPACE_SMOKE_MULTIPLIES),
         tune: None,
     }
 }
+
+/// Current baseline schema tag (shared with `bench_pb --verify`/`--gate`).
+pub const SCHEMA_TAG: &str = "pb-bench-baseline/v3";
+
+/// Multiplies of the repeated-multiply workspace smoke: enough that the
+/// last one is unambiguously steady-state (the arena is populated by the
+/// first and the high-water mark cannot move after it on a fixed shape).
+pub const WORKSPACE_SMOKE_MULTIPLIES: usize = 3;
 
 /// Runs repeated multiplies with an auto-tuned config until the local-bin
 /// width stops changing (two consecutive stable multiplies) or `max_iters`
@@ -275,12 +363,19 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
 pub fn run_autotune(workload: &Workload, start_lines: usize, max_iters: usize) -> TuneReport {
     let cfg = PbConfig::auto_tuned_from_lines(start_lines);
     let tuner_start = cfg.auto_tune().expect("auto-tuned config").lines();
+    // One dedicated pool for the whole convergence loop, built once outside
+    // it: the loop measures the autotuner walking the local-bin width, and
+    // pool construction per multiply would be pure measurement noise.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(rayon::current_num_threads())
+        .build()
+        .expect("rayon pool");
     let mut history = Vec::new();
     let mut stable = 0usize;
     let mut converged = false;
     for iteration in 0..max_iters.max(1) {
         let before = cfg.auto_tune().expect("auto-tuned config").lines();
-        let profile = measure_pb_profile(workload, &cfg);
+        let profile = pool.install(|| measure_pb_profile(workload, &cfg));
         let after = cfg.auto_tune().expect("auto-tuned config").lines();
         history.push(TunePoint {
             iteration,
@@ -335,7 +430,7 @@ mod tests {
         // Tiny sweep to keep the test fast; correctness of the numbers is
         // covered by the runner's own tests.
         let doc = run_pb_baseline_scaled(8, 2, 1);
-        assert_eq!(doc.schema, "pb-bench-baseline/v2");
+        assert_eq!(doc.schema, SCHEMA_TAG);
         assert_eq!(doc.sweep.len(), 2);
         assert_eq!(doc.sweep[0].threads_requested, 1);
         assert!((doc.sweep[0].speedup_vs_1t - 1.0).abs() < 1e-12);
@@ -369,6 +464,17 @@ mod tests {
         }
         // No --tune section on plain runs.
         assert!(json.contains("\"tune\": null"));
+        // The workspace reuse report always rides along (schema v3) and
+        // must show a healthy steady state on a fixed-shape repeat.
+        assert!(json.contains("\"workspace\""));
+        assert!(json.contains("steady_workspace_hits"));
+        let wsr = &doc.workspace;
+        assert!(wsr.multiplies >= 2);
+        assert!(wsr.first_bytes_allocated > 0);
+        assert_eq!(wsr.steady_bytes_allocated, 0, "steady state allocates");
+        assert!(wsr.steady_bytes_reused > 0);
+        assert!(wsr.steady_workspace_hits > 0);
+        assert!(wsr.bit_identical_to_fresh);
     }
 
     #[test]

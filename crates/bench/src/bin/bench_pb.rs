@@ -17,14 +17,21 @@
 //!   loop from a deliberately tiny local-bin width (1 cache line) and
 //!   attach the convergence report (`tune` section) to the JSON.
 //! * `--verify` — after writing, re-read the file, parse it, check it
-//!   against the `pb-bench-baseline/v2` schema (including the per-point
-//!   `numa` section) and generous per-phase sanity ceilings, and assert
-//!   PB-SpGEMM's product still matches the reference oracle.  On
-//!   multi-domain points the measured domain-local flush fraction must
-//!   clear [`NUMA_LOCAL_FLUSH_FLOOR`].  Exits non-zero on any violation
-//!   (the CI perf-smoke gate).
+//!   against the `pb-bench-baseline/v3` schema (including the per-point
+//!   `numa` and `workspace` sections) and generous per-phase sanity
+//!   ceilings, and assert PB-SpGEMM's product still matches the reference
+//!   oracle.  On multi-domain points the measured domain-local flush
+//!   fraction must clear [`NUMA_LOCAL_FLUSH_FLOOR`]; the repeated-multiply
+//!   workspace smoke must show a hit-serving, zero-allocation steady state
+//!   that is bit-identical to the fresh path.  Exits non-zero on any
+//!   violation (the CI perf-gate).
+//! * `--gate PATH` — additionally load the *committed* baseline at `PATH`
+//!   and fail if any of its telemetry invariants regressed (schema
+//!   version, oversubscription-flag consistency, the ≥95% local-flush
+//!   floor, flop accounting), printing a per-thread-count diff summary
+//!   between the committed numbers and this run's fresh ones.
 
-use pb_bench::baseline::{baseline_workload, run_autotune, run_pb_baseline_on};
+use pb_bench::baseline::{baseline_workload, run_autotune, run_pb_baseline_on, SCHEMA_TAG};
 use pb_bench::workloads::Workload;
 use pb_bench::{fmt, print_table, Table};
 use pb_spgemm::PbConfig;
@@ -52,14 +59,23 @@ fn main() {
     let mut smoke = false;
     let mut tune = false;
     let mut verify = false;
+    let mut gate_path: Option<String> = None;
     let mut out_path = "BENCH_pb.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--tune" => tune = true,
             "--verify" => verify = true,
+            "--gate" => match args.next() {
+                Some(path) => gate_path = Some(path),
+                None => {
+                    eprintln!("--gate needs the committed baseline path");
+                    std::process::exit(2);
+                }
+            },
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag} (known: --smoke --tune --verify)");
+                eprintln!("unknown flag {flag} (known: --smoke --tune --verify --gate PATH)");
                 std::process::exit(2);
             }
             path => out_path = path.to_string(),
@@ -161,23 +177,57 @@ fn main() {
 
     if verify {
         verify_baseline(&out_path, &w);
-        println!("verified {out_path}: schema, phase ceilings and oracle all OK");
+        println!("verified {out_path}: schema, phase ceilings, workspace reuse and oracle all OK");
+    }
+
+    if let Some(committed) = gate_path {
+        gate_against(&committed, &out_path);
+        println!("gated against {committed}: committed telemetry invariants hold");
     }
 }
 
 /// Re-reads and validates an emitted baseline: parses the JSON, checks the
-/// schema tag and structure, applies the per-phase sanity ceiling, and
-/// cross-checks PB-SpGEMM against the reference oracle on the same
-/// workload.  Panics (non-zero exit) on any violation.
+/// schema tag and structure, applies the per-phase sanity ceiling, gates
+/// the workspace reuse smoke, and cross-checks PB-SpGEMM against the
+/// reference oracle on the same workload.  Panics (non-zero exit) on any
+/// violation.
 fn verify_baseline(path: &str, w: &Workload) {
-    let text = std::fs::read_to_string(path).expect("read emitted baseline");
-    let doc = serde_json::from_str(&text).expect("emitted baseline must parse as JSON");
+    let doc = load_baseline(path);
+    check_document(&doc, path);
 
+    // --- Correctness oracle (fresh runs only; the committed gate file was
+    //     measured on a different workload scale). -------------------------
+    let c = pb_spgemm::multiply(&w.a_csc, &w.a, &PbConfig::default());
+    let expected = pb_sparse::reference::multiply_csr(&w.a, &w.a);
+    assert!(
+        pb_sparse::reference::csr_approx_eq(&c, &expected, 1e-9),
+        "PB-SpGEMM no longer matches the reference oracle on {}",
+        w.name
+    );
+    assert_eq!(
+        doc.get("nnz_c").and_then(Value::as_u64),
+        Some(expected.nnz() as u64),
+        "emitted nnz_c disagrees with the oracle"
+    );
+}
+
+/// Parses a baseline JSON document from disk.
+fn load_baseline(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path} must parse as JSON: {e:?}"))
+}
+
+/// Validates one baseline document's telemetry invariants (shared between
+/// `--verify` on the fresh emission and `--gate` on the committed file):
+/// schema tag, per-point structure and sanity ceilings, flop accounting,
+/// oversubscription-flag consistency, the NUMA local-flush floor, and the
+/// workspace reuse report.
+fn check_document(doc: &Value, path: &str) {
     // --- Schema. -----------------------------------------------------------
     assert_eq!(
         doc.get("schema").and_then(Value::as_str),
-        Some("pb-bench-baseline/v2"),
-        "schema tag mismatch"
+        Some(SCHEMA_TAG),
+        "{path}: schema tag mismatch (regenerate with this bench_pb)"
     );
     for key in [
         "op",
@@ -192,8 +242,12 @@ fn verify_baseline(path: &str, w: &Workload) {
         "topology",
         "sweep",
         "best_speedup",
+        "workspace",
     ] {
-        assert!(doc.get(key).is_some(), "missing top-level key {key}");
+        assert!(
+            doc.get(key).is_some(),
+            "{path}: missing top-level key {key}"
+        );
     }
     let sweep = doc
         .get("sweep")
@@ -248,6 +302,17 @@ fn verify_baseline(path: &str, w: &Workload) {
             doc.get("flop").and_then(Value::as_u64),
             "sweep[{i}] telemetry does not account for every expanded tuple"
         );
+
+        // --- Workspace section (schema v3). ---------------------------------
+        let ws = telemetry
+            .get("workspace")
+            .unwrap_or_else(|| panic!("sweep[{i}] telemetry missing the workspace section"));
+        for key in ["bytes_allocated", "bytes_reused", "workspace_hits"] {
+            assert!(
+                ws.get(key).and_then(Value::as_u64).is_some(),
+                "sweep[{i}] workspace section missing {key}"
+            );
+        }
 
         // --- NUMA section (schema v2). ------------------------------------
         let numa = telemetry
@@ -320,17 +385,97 @@ fn verify_baseline(path: &str, w: &Workload) {
         }
     }
 
-    // --- Correctness oracle. -----------------------------------------------
-    let c = pb_spgemm::multiply(&w.a_csc, &w.a, &PbConfig::default());
-    let expected = pb_sparse::reference::multiply_csr(&w.a, &w.a);
+    // --- Workspace reuse report: the repeated-multiply smoke must show a
+    //     hit-serving, zero-allocation steady state bit-identical to the
+    //     fresh path (workspace_hits == 0 here means reuse silently rotted).
+    let ws = doc.get("workspace").expect("workspace report");
+    let hits = ws
+        .get("steady_workspace_hits")
+        .and_then(Value::as_u64)
+        .expect("workspace.steady_workspace_hits");
     assert!(
-        pb_sparse::reference::csr_approx_eq(&c, &expected, 1e-9),
-        "PB-SpGEMM no longer matches the reference oracle on {}",
-        w.name
+        hits > 0,
+        "{path}: workspace_hits == 0 on the repeated-multiply smoke — reuse has regressed"
     );
     assert_eq!(
-        doc.get("nnz_c").and_then(Value::as_u64),
-        Some(expected.nnz() as u64),
-        "emitted nnz_c disagrees with the oracle"
+        ws.get("steady_bytes_allocated").and_then(Value::as_u64),
+        Some(0),
+        "{path}: steady-state multiplies still allocate workspace-managed buffers"
     );
+    assert!(
+        ws.get("steady_bytes_reused")
+            .and_then(Value::as_u64)
+            .is_some_and(|b| b > 0),
+        "{path}: steady state reports no reused bytes"
+    );
+    assert_eq!(
+        ws.get("bit_identical_to_fresh").and_then(Value::as_bool),
+        Some(true),
+        "{path}: workspace reuse changed the product"
+    );
+}
+
+/// Loads the committed baseline, re-checks every telemetry invariant on it
+/// (so a regression in the *committed* numbers — schema drift, a stale
+/// local-flush floor, inconsistent oversubscription flags — fails the
+/// gate), and prints a per-thread-count diff summary against the fresh
+/// emission.  The two files may be different workload scales (smoke vs
+/// committed), so the diff is informational; the invariants are the gate.
+fn gate_against(committed_path: &str, fresh_path: &str) {
+    let committed = load_baseline(committed_path);
+    check_document(&committed, committed_path);
+    let fresh = load_baseline(fresh_path);
+
+    let points = |doc: &Value| -> Vec<(u64, f64, f64, f64)> {
+        doc.get("sweep")
+            .and_then(Value::as_array)
+            .map(|sweep| {
+                sweep
+                    .iter()
+                    .filter_map(|p| {
+                        Some((
+                            p.get("threads_requested").and_then(Value::as_u64)?,
+                            p.get("seconds").and_then(Value::as_f64)?,
+                            p.get("gflops").and_then(Value::as_f64)?,
+                            p.get("telemetry")?
+                                .get("numa")?
+                                .get("local_flush_fraction")
+                                .and_then(Value::as_f64)?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let old = points(&committed);
+    let new = points(&fresh);
+    println!(
+        "gate diff: committed {} ({}) vs fresh {} ({})",
+        committed_path,
+        committed
+            .get("workload")
+            .and_then(Value::as_str)
+            .unwrap_or("?"),
+        fresh_path,
+        fresh.get("workload").and_then(Value::as_str).unwrap_or("?"),
+    );
+    for (t, secs, gflops, local) in &new {
+        match old.iter().find(|(ot, ..)| ot == t) {
+            Some((_, osecs, ogflops, olocal)) => println!(
+                "  t={t}: seconds {} -> {} | GFLOPS {} -> {} | local% {} -> {}",
+                fmt(*osecs, 6),
+                fmt(*secs, 6),
+                fmt(*ogflops, 3),
+                fmt(*gflops, 3),
+                fmt(olocal * 100.0, 1),
+                fmt(local * 100.0, 1),
+            ),
+            None => println!(
+                "  t={t}: (new point) seconds {} | GFLOPS {} | local% {}",
+                fmt(*secs, 6),
+                fmt(*gflops, 3),
+                fmt(local * 100.0, 1),
+            ),
+        }
+    }
 }

@@ -80,7 +80,6 @@ pub fn measure(
     reps: usize,
     threads: Option<usize>,
 ) -> Measurement {
-    let reps = reps.max(1);
     // One dedicated pool for all repetitions, built outside the timed
     // region: thread spawning is measurement noise, not multiplication.
     let pool = threads.map(|t| {
@@ -89,10 +88,25 @@ pub fn measure(
             .build()
             .expect("rayon pool")
     });
+    measure_in(workload, algorithm, reps, threads, pool.as_ref())
+}
+
+/// [`measure`] on a caller-provided pool, so one dedicated pool can serve
+/// several measurements of the same width (the baseline sweep reuses one
+/// pool per sweep point for both the timed runs and the profiled run,
+/// instead of building a pool per consumer).
+pub fn measure_in(
+    workload: &Workload,
+    algorithm: &Algorithm,
+    reps: usize,
+    threads: Option<usize>,
+    pool: Option<&rayon::ThreadPool>,
+) -> Measurement {
+    let reps = reps.max(1);
     let mut best = f64::MAX;
     let mut nnz_c = 0usize;
     for _ in 0..reps {
-        let (dt, nnz) = run_once(workload, algorithm, pool.as_ref());
+        let (dt, nnz) = run_once(workload, algorithm, pool);
         best = best.min(dt);
         nnz_c = nnz;
     }
@@ -201,6 +215,33 @@ pub struct Telemetry {
     pub nonempty_rows: usize,
     /// NUMA partition and flush-locality telemetry.
     pub numa: NumaTelemetry,
+    /// Workspace buffer traffic of the run (schema v3).
+    pub workspace: WorkspaceTelemetry,
+}
+
+/// The `workspace` section of one sweep point: how much of the multiply's
+/// working memory (expand tuple buffer, sort scratch, staging) came from a
+/// persistent [`Workspace`](pb_spgemm::Workspace) versus the heap.  Fresh
+/// (workspace-less) runs report allocation traffic and zero reuse.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkspaceTelemetry {
+    /// Bytes of workspace-managed buffers newly allocated by this multiply.
+    pub bytes_allocated: u64,
+    /// Bytes served from recycled workspace capacity.
+    pub bytes_reused: u64,
+    /// Buffer acquisitions served entirely from recycled capacity.
+    pub workspace_hits: u64,
+}
+
+impl WorkspaceTelemetry {
+    /// Extracts the workspace section from a profiled run's stats.
+    pub fn from_stats(s: &pb_spgemm::PhaseStats) -> Self {
+        WorkspaceTelemetry {
+            bytes_allocated: s.bytes_allocated,
+            bytes_reused: s.bytes_reused,
+            workspace_hits: s.workspace_hits,
+        }
+    }
 }
 
 /// The `numa` section of one sweep point: how the bins were partitioned
@@ -264,6 +305,7 @@ impl Telemetry {
             split_chunks: s.split_chunks,
             nonempty_rows: s.nonempty_rows,
             numa: NumaTelemetry::from_stats(s),
+            workspace: WorkspaceTelemetry::from_stats(s),
         }
     }
 }
@@ -329,9 +371,29 @@ mod tests {
             "\"numa\"",
             "local_flush_fraction",
             "domain_occupancy",
+            "\"workspace\"",
+            "bytes_allocated",
+            "bytes_reused",
+            "workspace_hits",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
+        // A fresh (workspace-less) run allocates and never reuses.
+        assert!(t.workspace.bytes_allocated > 0);
+        assert_eq!(t.workspace.bytes_reused, 0);
+        assert_eq!(t.workspace.workspace_hits, 0);
+    }
+
+    #[test]
+    fn workspace_telemetry_reports_reuse_on_repeat_multiplies() {
+        let w = er_matrix(8, 6, 11);
+        let cfg = PbConfig::reusing();
+        let first = Telemetry::from_profile(&measure_pb_profile(&w, &cfg));
+        let second = Telemetry::from_profile(&measure_pb_profile(&w, &cfg));
+        assert!(first.workspace.bytes_allocated > 0);
+        assert_eq!(second.workspace.bytes_allocated, 0, "steady state");
+        assert!(second.workspace.bytes_reused > 0);
+        assert!(second.workspace.workspace_hits > 0);
     }
 
     #[test]

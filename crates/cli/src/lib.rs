@@ -8,6 +8,7 @@
 //! pb-spgemm stats a.mtx
 //! pb-spgemm multiply a.mtx a.mtx --algorithm pb --out c.mtx --profile
 //! pb-spgemm compare a.mtx                # race all algorithms on A·A
+//! pb-spgemm verify a.mtx --reuse         # PB vs reference oracle (+ workspace reuse)
 //! ```
 //!
 //! The argument parsing is hand-rolled (no extra dependencies) and lives in
@@ -138,6 +139,7 @@ pub fn usage() -> String {
      \x20 pb-spgemm multiply A.mtx [B.mtx] [--algorithm pb|heap|hash|hashvec|spa]\n\
      \x20                    [--threads T] [--out C.mtx] [--profile]\n\
      \x20 pb-spgemm compare  A.mtx [--threads T]\n\
+     \x20 pb-spgemm verify   A.mtx [B.mtx] [--threads T] [--reuse]\n\
      \x20 pb-spgemm help\n"
         .to_string()
 }
@@ -151,6 +153,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Some("stats") => cmd_stats(&args[1..]),
         Some("multiply") => cmd_multiply(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{}", usage()))),
     }
 }
@@ -271,6 +274,74 @@ fn cmd_multiply(args: &[String]) -> Result<String, CliError> {
     if let Some(path) = flag_value(args, "--out") {
         write_matrix_market(path, &c.to_coo())?;
         let _ = writeln!(out, "wrote result to {path}");
+    }
+    Ok(out)
+}
+
+/// `pb-spgemm verify A.mtx [B.mtx] [--threads T] [--reuse]` — multiplies
+/// with PB-SpGEMM and checks the product against the sequential reference
+/// oracle, exiting non-zero on any mismatch.  With `--reuse` the multiply
+/// runs twice through one persistent [`pb_spgemm::Workspace`]: the second
+/// (buffer-reusing) product must match the first exactly, and the reuse
+/// counters are reported — the CLI face of the perf-gate's reuse check.
+fn cmd_verify(args: &[String]) -> Result<String, CliError> {
+    let a_path = args
+        .first()
+        .ok_or_else(|| err("verify: missing matrix file"))?;
+    let b_path = args.get(1).filter(|s| !s.starts_with("--"));
+    let a = load(a_path)?;
+    let b = match b_path {
+        Some(p) => load(p)?,
+        None => a.clone(),
+    };
+    let threads = flag_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| err("bad --threads")))
+        .transpose()?;
+    let mut cfg = PbConfig::default();
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
+    let a_csc = a.to_csc();
+
+    let expected = pb_sparse::reference::multiply_csr(&a, &b);
+    let c = pb_spgemm::multiply(&a_csc, &b, &cfg);
+    if !pb_sparse::reference::csr_approx_eq(&c, &expected, 1e-9) {
+        return Err(err(format!(
+            "verify: PB-SpGEMM disagrees with the reference oracle on {a_path}"
+        )));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "PB-SpGEMM matches the reference oracle: nnz(C) = {}, cf = {:.3}",
+        c.nnz(),
+        pb_sparse::stats::MultiplyStats::compute(&a, &b).cf
+    );
+
+    if has_flag(args, "--reuse") {
+        let ws = std::sync::Arc::new(pb_spgemm::Workspace::new());
+        let first = pb_spgemm::multiply_reusing(&a_csc, &b, &cfg, &ws);
+        let second = pb_spgemm::multiply_reusing(&a_csc, &b, &cfg, &ws);
+        if second.rowptr() != first.rowptr()
+            || second.colidx() != first.colidx()
+            || !pb_sparse::reference::csr_approx_eq(&second, &expected, 1e-9)
+        {
+            return Err(err(
+                "verify: workspace-reusing multiply changed the product".to_string(),
+            ));
+        }
+        if ws.total_bytes_reused() == 0 {
+            return Err(err(
+                "verify: the second multiply reused no workspace bytes".to_string()
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "workspace reuse OK: {} bytes reused, {} allocated, {} hits over 2 multiplies",
+            ws.total_bytes_reused(),
+            ws.total_bytes_allocated(),
+            ws.total_hits(),
+        );
     }
     Ok(out)
 }
@@ -404,6 +475,30 @@ mod tests {
         let profiled =
             run_cli(&strs(&["multiply", &mtx, "--algorithm", "pb", "--profile"])).unwrap();
         assert!(profiled.contains("nbins="));
+    }
+
+    #[test]
+    fn verify_reports_oracle_agreement_and_workspace_reuse() {
+        let mtx = temp_path("verify_er.mtx");
+        run_cli(&strs(&[
+            "generate",
+            "er",
+            "--scale",
+            "7",
+            "--edge-factor",
+            "4",
+            "--out",
+            &mtx,
+        ]))
+        .unwrap();
+        let out = run_cli(&strs(&["verify", &mtx])).unwrap();
+        assert!(out.contains("matches the reference oracle"));
+        let out = run_cli(&strs(&["verify", &mtx, "--reuse"])).unwrap();
+        assert!(out.contains("workspace reuse OK"));
+        assert!(out.contains("bytes reused"));
+        // Usage and error paths.
+        assert!(run_cli(&strs(&["verify"])).is_err());
+        assert!(run_cli(&strs(&["verify", "/nonexistent.mtx"])).is_err());
     }
 
     #[test]

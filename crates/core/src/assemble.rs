@@ -19,6 +19,7 @@ use rayon::prelude::*;
 
 use crate::bins::BinnedTuples;
 use crate::profile::StatsCollector;
+use crate::workspace::WorkspaceLease;
 
 /// A shared mutable pointer used for the disjoint per-row writes described
 /// in the module docs.
@@ -40,13 +41,38 @@ impl<T> SharedPtr<T> {
 /// out of the prefix-sum pass for free and quantifies how sparse the output
 /// row space is).
 pub fn assemble<V: Scalar>(tuples: &BinnedTuples<V>, stats: &StatsCollector) -> Csr<V> {
+    assemble_core(tuples, stats, Vec::new()).0
+}
+
+/// [`assemble`] drawing the pass-1 staging (`nrows` row counters) from a
+/// workspace lease, so repeated multiplies stop re-allocating it.  The CSR
+/// output arrays themselves are returned to the caller inside the product
+/// and can never be pooled.
+pub fn assemble_reusing<V: Scalar>(
+    tuples: &BinnedTuples<V>,
+    stats: &StatsCollector,
+    lease: &mut WorkspaceLease<V>,
+) -> Csr<V> {
+    let staging = lease.take_row_counts(tuples.layout.nrows, stats);
+    let (c, staging) = assemble_core(tuples, stats, staging);
+    lease.put_row_counts(staging);
+    c
+}
+
+/// Shared implementation; returns the staging vector for recycling.
+fn assemble_core<V: Scalar>(
+    tuples: &BinnedTuples<V>,
+    stats: &StatsCollector,
+    mut row_counts: Vec<usize>,
+) -> (Csr<V>, Vec<usize>) {
     let layout = &tuples.layout;
     let nrows = layout.nrows;
     let ncols = layout.ncols;
     let nnz = tuples.compressed_total();
 
     // ----- Pass 1: per-row nonzero counts. ---------------------------------
-    let mut row_counts = vec![0usize; nrows];
+    row_counts.clear();
+    row_counts.resize(nrows, 0);
     {
         let counts_ptr = SharedPtr(row_counts.as_mut_ptr());
         (0..tuples.nbins()).into_par_iter().for_each(|b| {
@@ -125,7 +151,10 @@ pub fn assemble<V: Scalar>(tuples: &BinnedTuples<V>, stats: &StatsCollector) -> 
         Vec::from_raw_parts(raw.as_mut_ptr() as *mut V, raw.len(), raw.capacity())
     };
 
-    Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+    (
+        Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values),
+        row_counts,
+    )
 }
 
 #[cfg(test)]

@@ -48,7 +48,6 @@ pub fn compress_bins<S: Semiring>(
     split: CompressSplit,
     stats: &StatsCollector,
 ) {
-    let offsets = tuples.bin_offsets.clone();
     let nbins = tuples.nbins();
     let threads = rayon::current_num_threads();
     let split_enabled = match split {
@@ -60,8 +59,16 @@ pub fn compress_bins<S: Semiring>(
     // Aim for enough chunks to occupy the pool without shattering the bin.
     let chunk_target = 2 * threads.max(1);
 
+    // Split borrows instead of a staging clone of the offsets: they stay
+    // readable while the entry buffer is carved into per-bin slices.
+    let BinnedTuples {
+        entries,
+        bin_offsets: offsets,
+        compressed_len,
+        ..
+    } = tuples;
     let mut slices: Vec<&mut [Entry<S::Elem>]> = Vec::with_capacity(nbins);
-    let mut rest: &mut [Entry<S::Elem>] = &mut tuples.entries;
+    let mut rest: &mut [Entry<S::Elem>] = entries;
     for b in 0..nbins {
         let len = offsets[b + 1] - offsets[b];
         let (seg, r) = rest.split_at_mut(len);
@@ -86,7 +93,9 @@ pub fn compress_bins<S: Semiring>(
             }
         })
         .collect();
-    tuples.compressed_len = lens;
+    // In place, so the (possibly workspace-pooled) vector is kept.
+    compressed_len.clear();
+    compressed_len.extend(lens);
 }
 
 /// Two-pointer in-place merge of one sorted bin; returns the number of

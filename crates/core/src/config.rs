@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::profile::SpGemmProfile;
+use crate::workspace::Workspace;
 
 /// How output rows are mapped onto propagation bins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -329,10 +330,10 @@ impl AutoTune {
 
 /// Configuration of a PB-SpGEMM multiplication.
 ///
-/// Cheap to clone: the only non-scalar field is the optional shared
-/// [`AutoTune`] handle (an [`Arc`]), which clones share on purpose so that
-/// repeated multiplies through any clone of an auto-tuned config feed the
-/// same policy.
+/// Cheap to clone: the only non-scalar fields are the optional shared
+/// [`AutoTune`] and [`Workspace`] handles (both [`Arc`]s), which clones
+/// share on purpose so that repeated multiplies through any clone of the
+/// config feed the same tuning policy and reuse the same buffers.
 #[derive(Debug, Clone)]
 pub struct PbConfig {
     /// Number of global bins.  `None` (default) derives it from the flop
@@ -376,6 +377,15 @@ pub struct PbConfig {
     /// width instead of [`PbConfig::local_bin_bytes`], and every profiled
     /// multiply feeds its telemetry back via [`AutoTune::observe`].
     pub auto: Option<Arc<AutoTune>>,
+    /// Optional shared [`Workspace`]: the reusable arena every multiply
+    /// through this configuration draws its expand-phase tuple buffer,
+    /// NUMA-slabbed sort scratch and staging vectors from (and returns them
+    /// to), so repeated multiplies of similar shape stop paying the
+    /// allocation and first-touch bill.  Clones share the handle on
+    /// purpose, exactly like [`PbConfig::auto`]; concurrent multiplies
+    /// through clones stay correct (late callers fall back to fresh
+    /// buffers for that call).  `None` (default) allocates per multiply.
+    pub workspace: Option<Arc<Workspace>>,
 }
 
 impl PartialEq for PbConfig {
@@ -385,7 +395,13 @@ impl PartialEq for PbConfig {
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
         };
+        let same_workspace = match (&self.workspace, &other.workspace) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
         same_auto
+            && same_workspace
             && self.nbins == other.nbins
             && self.local_bin_bytes == other.local_bin_bytes
             && self.l2_bytes == other.l2_bytes
@@ -411,6 +427,7 @@ impl Default for PbConfig {
             numa_domains: None,
             compress_split: CompressSplit::Auto,
             auto: None,
+            workspace: None,
         }
     }
 }
@@ -444,6 +461,27 @@ impl PbConfig {
     /// The shared autotuning policy, if enabled.
     pub fn auto_tune(&self) -> Option<&AutoTune> {
         self.auto.as_deref()
+    }
+
+    /// Attaches a shared [`Workspace`]: every multiply through this
+    /// configuration (and its clones) reuses the workspace's buffers
+    /// instead of allocating, amortising the memory setup of repeated
+    /// multiplies.  See [`crate::workspace`] for what is pooled and how the
+    /// sort scratch stays NUMA-local.
+    pub fn with_workspace(mut self, workspace: Arc<Workspace>) -> Self {
+        self.workspace = Some(workspace);
+        self
+    }
+
+    /// The default configuration with a fresh [`Workspace`] attached —
+    /// the one-liner for "I am about to multiply in a loop".
+    pub fn reusing() -> Self {
+        Self::default().with_workspace(Arc::new(Workspace::new()))
+    }
+
+    /// The shared workspace, if one is attached.
+    pub fn workspace(&self) -> Option<&Arc<Workspace>> {
+        self.workspace.as_ref()
     }
 
     /// The local-bin width the next multiply will actually use: the
@@ -753,6 +791,21 @@ mod tests {
         assert_eq!(explicit.resolve_nbins(16 << 20, 16, 1 << 20), 100);
         // The row clamp still applies on top of the boost.
         assert_eq!(cfg.resolve_nbins(16 << 20, 16, 300), 300);
+    }
+
+    #[test]
+    fn workspace_configs_share_the_handle_across_clones() {
+        let cfg = PbConfig::reusing();
+        let clone = cfg.clone();
+        assert_eq!(cfg, clone, "clones share the same workspace");
+        assert!(Arc::ptr_eq(
+            cfg.workspace().unwrap(),
+            clone.workspace().unwrap()
+        ));
+        // A fresh workspace is a *different* configuration.
+        assert_ne!(cfg, PbConfig::reusing());
+        assert_ne!(cfg, PbConfig::default());
+        assert!(PbConfig::default().workspace().is_none());
     }
 
     #[test]

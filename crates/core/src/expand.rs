@@ -47,22 +47,30 @@ use crate::bins::{BinnedTuples, Entry};
 use crate::config::{ExpandStrategy, PbConfig};
 use crate::profile::{StatsCollector, FLUSH_HIST_BUCKETS};
 use crate::symbolic::Symbolic;
+use crate::workspace::WorkspaceLease;
 
 /// Runs the expand phase, producing the binned expanded matrix `Ĉ`.
 ///
 /// Flush telemetry (counts, sizes, per-segment extremes) is accumulated
 /// thread-locally and merged into `stats` once per fold segment, so the hot
 /// flush path pays nothing for the instrumentation.
+///
+/// The global tuple buffer and the `bin_offsets`/`compressed_len` staging
+/// come out of `lease` — recycled capacity when the lease is backed by a
+/// [`Workspace`](crate::Workspace) whose high-water mark covers this
+/// multiply, counted fresh allocations otherwise — and flow back into the
+/// workspace when the pipeline releases the lease.
 pub fn expand<S: Semiring>(
     a: &Csc<S::Elem>,
     b: &Csr<S::Elem>,
     sym: &Symbolic,
     config: &PbConfig,
     stats: &StatsCollector,
+    lease: &mut WorkspaceLease<S::Elem>,
 ) -> BinnedTuples<S::Elem> {
     match config.expand {
-        ExpandStrategy::Reserved => expand_reserved::<S>(a, b, sym, config, stats),
-        ExpandStrategy::ThreadLocal => expand_thread_local::<S>(a, b, sym),
+        ExpandStrategy::Reserved => expand_reserved::<S>(a, b, sym, config, stats, lease),
+        ExpandStrategy::ThreadLocal => expand_thread_local::<S>(a, b, sym, stats, lease),
     }
 }
 
@@ -293,14 +301,17 @@ fn expand_reserved<S: Semiring>(
     sym: &Symbolic,
     config: &PbConfig,
     stats: &StatsCollector,
+    lease: &mut WorkspaceLease<S::Elem>,
 ) -> BinnedTuples<S::Elem> {
     let flop = sym.flop as usize;
     let nbins = sym.layout.nbins;
     let domains = sym.domains.max(1);
     let layout = &sym.layout;
 
-    // Allocate the global tuple buffer without initialising it.
-    let mut raw: Vec<MaybeUninit<Entry<S::Elem>>> = Vec::with_capacity(flop);
+    // The global tuple buffer, uninitialised: recycled workspace capacity
+    // when the high-water mark covers `flop`, a counted fresh allocation
+    // otherwise.
+    let mut raw: Vec<MaybeUninit<Entry<S::Elem>>> = lease.take_entries_uninit(flop, stats);
     // SAFETY: MaybeUninit contents never require initialisation; the length
     // only exposes uninitialised `MaybeUninit` slots, which is sound.
     unsafe { raw.set_len(flop) };
@@ -396,8 +407,8 @@ fn expand_reserved<S: Semiring>(
 
     BinnedTuples {
         entries,
-        bin_offsets: sym.bin_offsets.clone(),
-        compressed_len: sym.bin_flop.iter().map(|&f| f as usize).collect(),
+        bin_offsets: lease.take_bin_offsets(&sym.bin_offsets, stats),
+        compressed_len: lease.take_compressed_len(sym.bin_flop.iter().map(|&f| f as usize), stats),
         layout: sym.layout.clone(),
     }
 }
@@ -410,6 +421,8 @@ fn expand_thread_local<S: Semiring>(
     a: &Csc<S::Elem>,
     b: &Csr<S::Elem>,
     sym: &Symbolic,
+    stats: &StatsCollector,
+    lease: &mut WorkspaceLease<S::Elem>,
 ) -> BinnedTuples<S::Elem> {
     let nbins = sym.layout.nbins;
     let layout = &sym.layout;
@@ -440,11 +453,16 @@ fn expand_thread_local<S: Semiring>(
         )
         .collect();
 
-    // Concatenate the partial bins in a deterministic order.
-    let mut entries: Vec<Entry<S::Elem>> = Vec::with_capacity(sym.flop as usize);
-    let mut bin_offsets = Vec::with_capacity(nbins + 1);
+    // Concatenate the partial bins in a deterministic order.  The final
+    // buffer and staging vectors come from the lease like the Reserved
+    // path's do (the per-segment partial vectors above are inherently
+    // transient — this strategy exists for differential testing, not for
+    // speed), so the steady-state zero-allocation telemetry holds under
+    // either strategy.
+    let mut entries: Vec<Entry<S::Elem>> = lease.take_entries_vec(sym.flop as usize, stats);
+    let mut bin_offsets = lease.take_bin_offsets_empty(nbins + 1, stats);
     bin_offsets.push(0usize);
-    let mut compressed_len = Vec::with_capacity(nbins);
+    let mut compressed_len = lease.take_compressed_len_empty(nbins, stats);
     for bin in 0..nbins {
         let before = entries.len();
         for part in &partials {
@@ -490,7 +508,8 @@ mod tests {
         let a_csc = a.to_csc();
         let sym = symbolic(&a_csc, a, cfg, BinnedTuples::<f64>::tuple_bytes());
         let stats = StatsCollector::new();
-        let tuples = expand::<S>(&a_csc, a, &sym, cfg, &stats);
+        let mut lease = WorkspaceLease::<f64>::acquire(None);
+        let tuples = expand::<S>(&a_csc, a, &sym, cfg, &stats, &mut lease);
         (tuples, sym, stats.snapshot())
     }
 

@@ -59,6 +59,7 @@ pub mod profile;
 pub mod sort;
 pub mod symbolic;
 pub mod topology;
+pub mod workspace;
 
 pub use bins::{BinLayout, BinnedTuples, Entry};
 pub use config::{AutoTune, BinMapping, CompressSplit, ExpandStrategy, PbConfig, SortAlgorithm};
@@ -66,6 +67,7 @@ pub use masked::{multiply_masked, multiply_masked_with};
 pub use partitioned::{multiply_partitioned, multiply_partitioned_with};
 pub use profile::{Phase, PhaseStats, PhaseTimings, SpGemmProfile, StatsCollector};
 pub use topology::{NumaDomain, Topology, TopologySource};
+pub use workspace::Workspace;
 
 use std::time::Instant;
 
@@ -114,6 +116,10 @@ fn run_phases<S: Semiring>(
 ) -> (Csr<S::Elem>, SpGemmProfile) {
     let tuple_bytes = BinnedTuples::<S::Elem>::tuple_bytes();
     let stats = StatsCollector::new();
+    // The multiply's working memory: recycled from the configured
+    // workspace, or fresh throwaway buffers — the *same* pipeline code runs
+    // either way, so reuse can never change the product.
+    let mut lease = workspace::WorkspaceLease::<S::Elem>::acquire(config.workspace.clone());
 
     let t0 = Instant::now();
     let sym = symbolic::symbolic(a, b, config, tuple_bytes);
@@ -122,11 +128,11 @@ fn run_phases<S: Semiring>(
     stats.record_numa(sym.domains, &sym.domain_flop);
 
     let t1 = Instant::now();
-    let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats);
+    let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats, &mut lease);
     let t_expand = t1.elapsed();
 
     let t2 = Instant::now();
-    sort::sort_bins(&mut tuples, config.sort, &stats);
+    sort_with_lease::<S>(&mut tuples, &sym, config, &stats, &mut lease);
     let t_sort = t2.elapsed();
 
     let t3 = Instant::now();
@@ -134,8 +140,9 @@ fn run_phases<S: Semiring>(
     let t_compress = t3.elapsed();
 
     let t4 = Instant::now();
-    let c = assemble::assemble(&tuples, &stats);
+    let c = assemble::assemble_reusing(&tuples, &stats, &mut lease);
     let t_assemble = t4.elapsed();
+    lease.release(tuples);
 
     let profile = SpGemmProfile {
         timings: PhaseTimings {
@@ -163,6 +170,43 @@ fn run_phases<S: Semiring>(
     (c, profile)
 }
 
+/// Runs the sort phase with workspace-leased, per-NUMA-domain scratch slabs
+/// when the lease is actually backed by a persistent [`Workspace`] and the
+/// configured algorithm uses scratch at all (LSD radix on bins above the
+/// insertion-sort threshold).  The slab pages are first-touched by their
+/// owning domain's workers (see [`workspace`]), so on a real NUMA host the
+/// sort phase's scratch streams stay socket-local.
+///
+/// Fresh (workspace-less) leases keep the classic lazy per-bin scratch
+/// inside [`sort::sort_bins`]: the slab's upfront zero-fill of
+/// `flop + domains·max_bin` entries only pays for itself when amortised
+/// across multiplies, and on a throwaway buffer it would roughly double
+/// the sort phase's memory traffic for nothing.
+pub(crate) fn sort_with_lease<S: Semiring>(
+    tuples: &mut BinnedTuples<S::Elem>,
+    sym: &symbolic::Symbolic,
+    config: &PbConfig,
+    stats: &StatsCollector,
+    lease: &mut workspace::WorkspaceLease<S::Elem>,
+) {
+    let needs_scratch = lease.is_pooled()
+        && config.sort == SortAlgorithm::LsdRadix
+        && sym.bin_flop.iter().any(|&f| f as usize > sort::SMALL_SORT);
+    if !needs_scratch {
+        sort::sort_bins(tuples, config.sort, stats);
+        return;
+    }
+    let max_bin = sym.bin_flop.iter().copied().max().unwrap_or(0) as usize;
+    let target = workspace::scratch_target_len(sym.flop as usize, sym.domains, max_bin);
+    let zero = Entry {
+        key: 0,
+        val: S::zero(),
+    };
+    lease.prepare_scratch(target, sym.domains, zero, stats);
+    let slabs = lease.scratch_slabs(sym.domains);
+    sort::sort_bins_slabbed(tuples, config.sort, stats, &slabs);
+}
+
 /// Runs PB-SpGEMM under an arbitrary semiring.
 pub fn multiply_with<S: Semiring>(
     a: &Csc<S::Elem>,
@@ -175,6 +219,38 @@ pub fn multiply_with<S: Semiring>(
 /// Runs PB-SpGEMM with ordinary `+`/`×` over a numeric type.
 pub fn multiply<T: Numeric>(a: &Csc<T>, b: &Csr<T>, config: &PbConfig) -> Csr<T> {
     multiply_with::<PlusTimes<T>>(a, b, config)
+}
+
+/// Runs PB-SpGEMM drawing all working memory (expand tuple buffer, sort
+/// scratch, staging vectors) from `workspace` instead of the heap — the
+/// entry point for repeated multiplies of similar shape.  Equivalent to
+/// attaching the workspace with [`PbConfig::with_workspace`]; an already
+/// attached workspace on `config` is overridden for this call.
+pub fn multiply_reusing<T: Numeric>(
+    a: &Csc<T>,
+    b: &Csr<T>,
+    config: &PbConfig,
+    workspace: &std::sync::Arc<Workspace>,
+) -> Csr<T> {
+    multiply_with_profile_reusing::<PlusTimes<T>>(a, b, config, workspace).0
+}
+
+/// [`multiply_reusing`] under an arbitrary semiring, returning the
+/// per-phase profile — whose
+/// [`bytes_allocated`](PhaseStats::bytes_allocated) /
+/// [`bytes_reused`](PhaseStats::bytes_reused) /
+/// [`workspace_hits`](PhaseStats::workspace_hits) counters measure the
+/// reuse instead of assuming it.
+pub fn multiply_with_profile_reusing<S: Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    config: &PbConfig,
+    workspace: &std::sync::Arc<Workspace>,
+) -> (Csr<S::Elem>, SpGemmProfile) {
+    let config = config
+        .clone()
+        .with_workspace(std::sync::Arc::clone(workspace));
+    multiply_with_profile::<S>(a, b, &config)
 }
 
 /// Convenience wrapper taking both operands in CSR: `A` is converted to CSC
@@ -475,6 +551,43 @@ mod tests {
         assert_eq!(split.colidx(), unsplit.colidx());
         assert_eq!(split.values(), unsplit.values());
         assert!(csr_approx_eq(&split, &expected, 1e-9));
+    }
+
+    #[test]
+    fn workspace_reuse_is_allocation_free_and_exact_in_steady_state() {
+        // Unit values make the merged sums order-independent, so the reused
+        // and fresh products can be compared bit-for-bit even on a real
+        // multi-thread pool.
+        let a = rmat_square(8, 6, 51).map_values(|_| 1.0);
+        let a_csc = a.to_csc();
+        let fresh = multiply(&a_csc, &a, &PbConfig::default());
+        let ws = std::sync::Arc::new(Workspace::new());
+        let mut profiles = Vec::new();
+        for _ in 0..4 {
+            let (c, p) = multiply_with_profile_reusing::<PlusTimes<f64>>(
+                &a_csc,
+                &a,
+                &PbConfig::default(),
+                &ws,
+            );
+            assert_eq!(c.rowptr(), fresh.rowptr());
+            assert_eq!(c.colidx(), fresh.colidx());
+            assert_eq!(c.values(), fresh.values());
+            profiles.push(p);
+        }
+        // First multiply populates the workspace...
+        assert!(profiles[0].stats.bytes_allocated > 0);
+        assert_eq!(profiles[0].stats.bytes_reused, 0);
+        // ...and every repeat runs the expand + sort phases without heap
+        // allocation, serving all buffers from recycled capacity.
+        for p in &profiles[1..] {
+            assert_eq!(p.stats.bytes_allocated, 0, "steady state allocates");
+            assert!(p.stats.bytes_reused > 0);
+            assert!(p.stats.workspace_hits > 0);
+        }
+        assert_eq!(ws.leases(), 4);
+        assert_eq!(ws.bypasses(), 0);
+        assert!(ws.total_bytes_reused() > 0);
     }
 
     #[test]

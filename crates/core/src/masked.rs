@@ -18,7 +18,7 @@ use rayon::prelude::*;
 
 use crate::bins::{BinnedTuples, Entry};
 use crate::config::PbConfig;
-use crate::{assemble, compress, expand, sort, symbolic};
+use crate::{assemble, compress, expand, symbolic};
 
 /// Runs PB-SpGEMM and keeps only the output entries whose coordinates are
 /// stored in `mask` (values of the mask are ignored).
@@ -47,14 +47,19 @@ fn run_masked_phases<S: Semiring, M: Scalar>(
 ) -> Csr<S::Elem> {
     let tuple_bytes = BinnedTuples::<S::Elem>::tuple_bytes();
     let stats = crate::profile::StatsCollector::new();
+    // The masked pipeline shares the plain multiply's phases, so it also
+    // shares its workspace discipline: iterated masked kernels holding a
+    // workspace-carrying config reuse the same buffers across calls.
+    let mut lease = crate::workspace::WorkspaceLease::<S::Elem>::acquire(config.workspace.clone());
     let sym = symbolic::symbolic(a, b, config, tuple_bytes);
     stats.record_bin_flop(&sym.bin_flop);
     stats.record_numa(sym.domains, &sym.domain_flop);
-    let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats);
-    sort::sort_bins(&mut tuples, config.sort, &stats);
+    let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats, &mut lease);
+    crate::sort_with_lease::<S>(&mut tuples, &sym, config, &stats, &mut lease);
     compress::compress_bins::<S>(&mut tuples, config.compress_split, &stats);
     apply_mask(&mut tuples, mask);
-    let c = assemble::assemble(&tuples, &stats);
+    let c = assemble::assemble_reusing(&tuples, &stats, &mut lease);
+    lease.release(tuples);
     // Close the AutoTune feedback loop on this path too: the masked
     // pipeline shares the expand phase, so its flush telemetry is exactly
     // as valid an input to the policy as an unmasked multiply's (the
@@ -89,14 +94,21 @@ pub fn multiply_masked<T: Numeric, M: Scalar>(
 /// Drops from every bin the (already compressed) tuples whose coordinates are
 /// not stored in `mask`, compacting each bin in place.
 fn apply_mask<V: Scalar, M: Scalar>(tuples: &mut BinnedTuples<V>, mask: &Csr<M>) {
-    let offsets = tuples.bin_offsets.clone();
-    let live = tuples.compressed_len.clone();
-    let layout = tuples.layout.clone();
-    let nbins = tuples.nbins();
+    // Split borrows instead of staging clones: the offsets, live lengths
+    // and layout stay readable while the entry buffer is carved into
+    // disjoint per-bin mutable slices.
+    let BinnedTuples {
+        entries,
+        bin_offsets: offsets,
+        compressed_len,
+        layout,
+    } = tuples;
+    let nbins = layout.nbins;
+    let live: &[usize] = compressed_len;
 
     // Hand every bin its own mutable segment, as the compress phase does.
     let mut slices: Vec<&mut [Entry<V>]> = Vec::with_capacity(nbins);
-    let mut rest: &mut [Entry<V>] = &mut tuples.entries;
+    let mut rest: &mut [Entry<V>] = entries;
     for b in 0..nbins {
         let len = offsets[b + 1] - offsets[b];
         let (seg, r) = rest.split_at_mut(len);
@@ -120,7 +132,8 @@ fn apply_mask<V: Scalar, M: Scalar>(tuples: &mut BinnedTuples<V>, mask: &Csr<M>)
             write
         })
         .collect();
-    tuples.compressed_len = new_lens;
+    compressed_len.clear();
+    compressed_len.extend(new_lens);
 }
 
 #[cfg(test)]

@@ -127,6 +127,19 @@ pub struct PhaseStats {
     /// domain `d`; domains past [`MAX_TELEMETRY_DOMAINS`] fold into the
     /// last slot).  Sums to the flop when partitioning ran.
     pub domain_flop: [u64; MAX_TELEMETRY_DOMAINS],
+    /// Bytes of workspace-managed buffers (expand tuple buffer, sort
+    /// scratch, bin/row staging — see [`Workspace`](crate::Workspace))
+    /// newly allocated by this multiply.  Repeated same-shape multiplies
+    /// through one workspace report 0 here in steady state — the number the
+    /// zero-allocation acceptance gate reads.
+    pub bytes_allocated: u64,
+    /// Bytes of workspace-managed buffers served from recycled capacity
+    /// without touching the heap.
+    pub bytes_reused: u64,
+    /// Workspace-managed buffer acquisitions served entirely from recycled
+    /// capacity (up to 5 per multiply: tuple buffer, sort scratch, bin
+    /// offsets, compressed lengths, row counts).  0 without a workspace.
+    pub workspace_hits: u64,
     /// Bins the sort phase processed with in-bin parallelism.
     pub par_sorted_bins: usize,
     /// Bins the compress phase split at key boundaries for in-bin
@@ -156,6 +169,9 @@ impl Default for PhaseStats {
             local_flushed_tuples: 0,
             remote_flushed_tuples: 0,
             domain_flop: [0; MAX_TELEMETRY_DOMAINS],
+            bytes_allocated: 0,
+            bytes_reused: 0,
+            workspace_hits: 0,
             par_sorted_bins: 0,
             split_bins: 0,
             split_chunks: 0,
@@ -253,6 +269,9 @@ pub struct StatsCollector {
     local_flushed_tuples: AtomicU64,
     remote_flushed_tuples: AtomicU64,
     domain_flop: [AtomicU64; MAX_TELEMETRY_DOMAINS],
+    bytes_allocated: AtomicU64,
+    bytes_reused: AtomicU64,
+    workspace_hits: AtomicU64,
     par_sorted_bins: AtomicUsize,
     split_bins: AtomicUsize,
     split_chunks: AtomicUsize,
@@ -285,6 +304,9 @@ impl StatsCollector {
             local_flushed_tuples: AtomicU64::new(0),
             remote_flushed_tuples: AtomicU64::new(0),
             domain_flop: std::array::from_fn(|_| AtomicU64::new(0)),
+            bytes_allocated: AtomicU64::new(0),
+            bytes_reused: AtomicU64::new(0),
+            workspace_hits: AtomicU64::new(0),
             par_sorted_bins: AtomicUsize::new(0),
             split_bins: AtomicUsize::new(0),
             split_chunks: AtomicUsize::new(0),
@@ -354,6 +376,22 @@ impl StatsCollector {
         self.bins.fetch_add(bin_flop.len(), Ordering::Relaxed);
     }
 
+    /// Records one workspace-managed buffer acquisition: bytes newly
+    /// allocated, bytes served from recycled capacity, and whether the
+    /// whole acquisition was a hit (no heap traffic at all).  Also used by
+    /// the sort phase's heap-fallback scratch path (`allocated` only).
+    pub fn record_workspace(&self, allocated: u64, reused: u64, hit: bool) {
+        if allocated > 0 {
+            self.bytes_allocated.fetch_add(allocated, Ordering::Relaxed);
+        }
+        if reused > 0 {
+            self.bytes_reused.fetch_add(reused, Ordering::Relaxed);
+        }
+        if hit {
+            self.workspace_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Counts one bin sorted with in-bin parallelism.
     pub fn record_par_sorted_bin(&self) {
         self.par_sorted_bins.fetch_add(1, Ordering::Relaxed);
@@ -402,6 +440,9 @@ impl StatsCollector {
             local_flushed_tuples: self.local_flushed_tuples.load(Ordering::Relaxed),
             remote_flushed_tuples: self.remote_flushed_tuples.load(Ordering::Relaxed),
             domain_flop: std::array::from_fn(|i| self.domain_flop[i].load(Ordering::Relaxed)),
+            bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
+            bytes_reused: self.bytes_reused.load(Ordering::Relaxed),
+            workspace_hits: self.workspace_hits.load(Ordering::Relaxed),
             par_sorted_bins: self.par_sorted_bins.load(Ordering::Relaxed),
             split_bins: self.split_bins.load(Ordering::Relaxed),
             split_chunks: self.split_chunks.load(Ordering::Relaxed),
@@ -648,6 +689,8 @@ mod tests {
         c.record_split_bin(4);
         c.record_split_bin(2);
         c.record_nonempty_rows(77);
+        c.record_workspace(1024, 0, false);
+        c.record_workspace(0, 4096, true);
 
         let s = c.snapshot();
         assert_eq!(s.local_bin_capacity, 32);
@@ -663,6 +706,9 @@ mod tests {
         assert_eq!(s.split_bins, 2);
         assert_eq!(s.split_chunks, 6);
         assert_eq!(s.nonempty_rows, 77);
+        assert_eq!(s.bytes_allocated, 1024);
+        assert_eq!(s.bytes_reused, 4096);
+        assert_eq!(s.workspace_hits, 1);
 
         assert!((s.mean_flush_tuples() - 430.0 / 16.0).abs() < 1e-12);
         assert!((s.flush_rate() - 16.0 / 430.0).abs() < 1e-12);

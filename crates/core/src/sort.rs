@@ -22,9 +22,43 @@ use rayon::prelude::*;
 use crate::bins::{BinnedTuples, Entry};
 use crate::config::SortAlgorithm;
 use crate::profile::StatsCollector;
+use crate::workspace::ScratchSlabs;
 
 /// A bin smaller than this is never worth splitting across threads.
 pub const PAR_BIN_MIN: usize = 1 << 14;
+
+/// Sorts every bin of the expanded matrix by its packed key, allocating
+/// LSD-radix scratch per bin from the heap.
+///
+/// The pipeline itself runs [`sort_bins_slabbed`] instead, which leases the
+/// scratch from the multiply's [`Workspace`](crate::Workspace) slabs; this
+/// entry point serves direct callers (benchmarks, tests) that have no
+/// workspace at hand.
+pub fn sort_bins<V: Copy + Send + Sync>(
+    tuples: &mut BinnedTuples<V>,
+    algorithm: SortAlgorithm,
+    stats: &StatsCollector,
+) {
+    sort_bins_impl(tuples, algorithm, stats, None)
+}
+
+/// Sorts every bin, leasing LSD-radix scratch from per-NUMA-domain slabs.
+///
+/// A worker sorting a bin draws scratch from *its own domain's* slab (see
+/// [`ScratchSlabs::lease`]), so the sort phase's scratch streams stay
+/// socket-local on a NUMA host even though the bins themselves are claimed
+/// freely.  A lease that cannot be served (impossible under
+/// [`scratch_target_len`](crate::workspace::scratch_target_len) sizing)
+/// falls back to the heap and is *counted* into
+/// [`PhaseStats::bytes_allocated`](crate::profile::PhaseStats::bytes_allocated).
+pub fn sort_bins_slabbed<V: Copy + Send + Sync>(
+    tuples: &mut BinnedTuples<V>,
+    algorithm: SortAlgorithm,
+    stats: &StatsCollector,
+    slabs: &ScratchSlabs<'_, V>,
+) {
+    sort_bins_impl(tuples, algorithm, stats, Some(slabs))
+}
 
 /// Sorts every bin of the expanded matrix by its packed key.
 ///
@@ -36,20 +70,25 @@ pub const PAR_BIN_MIN: usize = 1 << 14;
 /// algorithms), or a parallel comparison sort.  Every bin taking the in-bin
 /// parallel path is counted into `stats`
 /// ([`PhaseStats::par_sorted_bins`](crate::profile::PhaseStats::par_sorted_bins)).
-pub fn sort_bins<V: Copy + Send + Sync>(
+fn sort_bins_impl<V: Copy + Send + Sync>(
     tuples: &mut BinnedTuples<V>,
     algorithm: SortAlgorithm,
     stats: &StatsCollector,
+    slabs: Option<&ScratchSlabs<'_, V>>,
 ) {
     let key_bytes = tuples.layout.key_bytes() as usize;
-    let offsets = tuples.bin_offsets.clone();
-    let nbins = tuples.nbins();
+    let nbins = tuples.layout.nbins;
     let split_within_bins = nbins < rayon::current_num_threads();
 
-    // Carve the entry buffer into disjoint per-bin slices so rayon can sort
-    // them in parallel.
+    // Split borrows: the offsets stay readable while the entry buffer is
+    // carved into disjoint per-bin mutable slices (no staging clone).
+    let BinnedTuples {
+        entries,
+        bin_offsets: offsets,
+        ..
+    } = tuples;
     let mut slices: Vec<&mut [Entry<V>]> = Vec::with_capacity(nbins);
-    let mut rest: &mut [Entry<V>] = &mut tuples.entries;
+    let mut rest: &mut [Entry<V>] = entries;
     let mut consumed = 0usize;
     for b in 0..nbins {
         let len = offsets[b + 1] - offsets[b];
@@ -60,19 +99,42 @@ pub fn sort_bins<V: Copy + Send + Sync>(
         consumed += len;
     }
 
-    // Deliberately *not* domain-routed: a bin's buffer interleaves one
-    // sub-segment per domain (see `crate::symbolic`), so no assignment of
-    // whole bins to domains could make the sort's reads local — every bin
-    // is a mixed-domain read regardless.  Free claiming keeps the phase's
-    // load balancing; domain-local sort scratch is a ROADMAP item.
+    // Bin claiming is deliberately *not* domain-routed: a bin's buffer
+    // interleaves one sub-segment per domain (see `crate::symbolic`), so no
+    // assignment of whole bins to domains could make the sort's *data*
+    // reads local — every bin is a mixed-domain read regardless, and free
+    // claiming keeps the phase's load balancing.  The scratch stream *is*
+    // domain-local: each worker leases from its own domain's slab.
     slices.into_par_iter().for_each(|seg| {
+        let scratch = lease_scratch(slabs, seg.len(), algorithm, stats);
         if split_within_bins && seg.len() >= PAR_BIN_MIN {
             stats.record_par_sorted_bin();
-            par_sort_slice(seg, key_bytes, algorithm)
+            par_sort_slice_in(seg, key_bytes, algorithm, scratch)
         } else {
-            sort_slice(seg, key_bytes, algorithm)
+            sort_slice_in(seg, key_bytes, algorithm, scratch)
         }
     });
+}
+
+/// Leases `len` scratch entries for one bin when the algorithm will use
+/// them (LSD radix above the insertion-sort cutoff); counts the heap
+/// fallback when the slabs cannot serve the lease.
+fn lease_scratch<'s, V: Copy + Send>(
+    slabs: Option<&ScratchSlabs<'s, V>>,
+    len: usize,
+    algorithm: SortAlgorithm,
+    stats: &StatsCollector,
+) -> Option<&'s mut [Entry<V>]> {
+    if algorithm != SortAlgorithm::LsdRadix || len <= SMALL_SORT {
+        return None;
+    }
+    let slabs = slabs?;
+    let leased = slabs.lease(len);
+    if leased.is_none() {
+        // The sorter below will fall back to `to_vec`; account for it.
+        stats.record_workspace((len * std::mem::size_of::<Entry<V>>()) as u64, 0, false);
+    }
+    leased
 }
 
 /// Sorts one large bin with in-bin parallelism (same result as
@@ -89,6 +151,22 @@ pub fn par_sort_slice<V: Copy + Send>(
     key_bytes: usize,
     algorithm: SortAlgorithm,
 ) {
+    par_sort_slice_in(seg, key_bytes, algorithm, None)
+}
+
+/// One MSD bucket of a parallel in-bin sort, paired with its (optional)
+/// piece of the bin's leased scratch.
+type BucketTask<'a, V> = (&'a mut [Entry<V>], Option<&'a mut [Entry<V>]>);
+
+/// [`par_sort_slice`] with optional pre-leased LSD scratch of at least
+/// `seg.len()` entries; `None` (or the non-scratch algorithms) allocates as
+/// before.
+fn par_sort_slice_in<V: Copy + Send>(
+    seg: &mut [Entry<V>],
+    key_bytes: usize,
+    algorithm: SortAlgorithm,
+    scratch: Option<&mut [Entry<V>]>,
+) {
     let key_bytes = key_bytes.clamp(1, 8);
     match algorithm {
         SortAlgorithm::Comparison => seg.par_sort_unstable_by_key(|e| e.key),
@@ -100,24 +178,34 @@ pub fn par_sort_slice<V: Copy + Send>(
             }
             let top = (key_bytes - 1) as u32;
             let (starts, ends) = msd_partition(seg, top);
-            // Carve the bucket sub-slices (disjoint by construction).
-            let mut buckets: Vec<&mut [Entry<V>]> = Vec::with_capacity(256);
+            // Carve the bucket sub-slices (disjoint by construction), and
+            // the scratch into matching pieces when one was leased.
+            let mut buckets: Vec<BucketTask<'_, V>> = Vec::with_capacity(256);
             let mut rest: &mut [Entry<V>] = seg;
+            let mut scratch_rest: Option<&mut [Entry<V>]> = scratch;
             let mut consumed = 0usize;
             for bucket in 0..256 {
                 let len = ends[bucket] - starts[bucket];
                 let (b, r) = rest.split_at_mut(len);
-                buckets.push(b);
                 rest = r;
+                let piece = match scratch_rest.take() {
+                    Some(s) => {
+                        let (piece, r) = s.split_at_mut(len);
+                        scratch_rest = Some(r);
+                        Some(piece)
+                    }
+                    None => None,
+                };
+                buckets.push((b, piece));
                 consumed += len;
             }
             debug_assert_eq!(consumed, ends[255]);
-            buckets.into_par_iter().for_each(|b| {
+            buckets.into_par_iter().for_each(|(b, piece)| {
                 if b.len() > 1 {
                     match algorithm {
                         // Buckets share the top byte, so ordering the
                         // remaining low bytes completes the sort.
-                        SortAlgorithm::LsdRadix => lsd_radix_sort(b, key_bytes - 1),
+                        SortAlgorithm::LsdRadix => lsd_radix_sort_in(b, key_bytes - 1, piece),
                         _ => flag_sort_level(b, top - 1),
                     }
                 }
@@ -128,15 +216,27 @@ pub fn par_sort_slice<V: Copy + Send>(
 
 /// Sorts one bin's tuples by key with the selected algorithm.
 pub fn sort_slice<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize, algorithm: SortAlgorithm) {
+    sort_slice_in(seg, key_bytes, algorithm, None)
+}
+
+/// [`sort_slice`] with optional pre-leased LSD scratch.
+fn sort_slice_in<V: Copy>(
+    seg: &mut [Entry<V>],
+    key_bytes: usize,
+    algorithm: SortAlgorithm,
+    scratch: Option<&mut [Entry<V>]>,
+) {
     match algorithm {
         SortAlgorithm::Comparison => seg.sort_unstable_by_key(|e| e.key),
-        SortAlgorithm::LsdRadix => lsd_radix_sort(seg, key_bytes),
+        SortAlgorithm::LsdRadix => lsd_radix_sort_in(seg, key_bytes, scratch),
         SortAlgorithm::AmericanFlag => american_flag_sort(seg, key_bytes),
     }
 }
 
 /// Threshold below which radix sorters fall back to insertion sort.
-const SMALL_SORT: usize = 48;
+/// `pub(crate)` so the pipeline can skip the scratch lease entirely for
+/// products whose every bin insertion-sorts.
+pub(crate) const SMALL_SORT: usize = 48;
 
 fn insertion_sort<V: Copy>(seg: &mut [Entry<V>]) {
     for i in 1..seg.len() {
@@ -151,19 +251,41 @@ fn insertion_sort<V: Copy>(seg: &mut [Entry<V>]) {
 }
 
 /// LSD radix sort: one stable counting-sort pass per significant key byte,
-/// ping-ponging between the bin and a scratch buffer.
+/// ping-ponging between the bin and a scratch buffer allocated here.
 pub fn lsd_radix_sort<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize) {
+    lsd_radix_sort_in(seg, key_bytes, None)
+}
+
+/// [`lsd_radix_sort`] with an optional caller-provided scratch buffer of at
+/// least `seg.len()` initialised entries (a workspace slab lease); `None`
+/// allocates its own.
+fn lsd_radix_sort_in<V: Copy>(
+    seg: &mut [Entry<V>],
+    key_bytes: usize,
+    scratch: Option<&mut [Entry<V>]>,
+) {
     if seg.len() <= SMALL_SORT {
         insertion_sort(seg);
         return;
     }
+    match scratch {
+        Some(scratch) => lsd_radix_passes(seg, key_bytes, &mut scratch[..seg.len()]),
+        None => {
+            let mut scratch: Vec<Entry<V>> = seg.to_vec();
+            lsd_radix_passes(seg, key_bytes, &mut scratch);
+        }
+    }
+}
+
+/// The counting-sort passes shared by both scratch sources.
+fn lsd_radix_passes<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize, scratch: &mut [Entry<V>]) {
+    debug_assert_eq!(seg.len(), scratch.len());
     let key_bytes = key_bytes.clamp(1, 8);
-    let mut scratch: Vec<Entry<V>> = seg.to_vec();
     // Tracks whether the current data lives in `seg` (true) or `scratch`.
     let mut data_in_seg = true;
     {
         let mut src: &mut [Entry<V>] = seg;
-        let mut dst: &mut [Entry<V>] = &mut scratch;
+        let mut dst: &mut [Entry<V>] = scratch;
         for pass in 0..key_bytes {
             let shift = 8 * pass as u32;
             let mut counts = [0usize; 256];
@@ -190,7 +312,7 @@ pub fn lsd_radix_sort<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize) {
         }
     }
     if !data_in_seg {
-        seg.copy_from_slice(&scratch);
+        seg.copy_from_slice(scratch);
     }
 }
 

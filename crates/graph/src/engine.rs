@@ -3,10 +3,12 @@
 //! benchmarks can compare PB-SpGEMM against the column-SpGEMM baselines on
 //! identical workloads.
 
+use std::sync::Arc;
+
 use pb_baseline::Baseline;
 use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
 use pb_sparse::{reference, Csr};
-use pb_spgemm::PbConfig;
+use pb_spgemm::{PbConfig, Workspace};
 
 /// Which SpGEMM implementation a graph kernel uses for its matrix products.
 ///
@@ -35,6 +37,36 @@ impl SpGemmEngine {
     /// PB-SpGEMM with its default configuration.
     pub fn pb() -> Self {
         SpGemmEngine::default()
+    }
+
+    /// PB-SpGEMM with a fresh persistent [`Workspace`] attached: every
+    /// multiply this engine performs reuses the same expand buffer, sort
+    /// scratch and staging vectors, so iterated kernels (MCL expansion,
+    /// repeated products of similar shape) stop paying the per-call
+    /// allocation and first-touch bill.
+    pub fn with_workspace() -> Self {
+        SpGemmEngine::PropagationBlocking(PbConfig::reusing())
+    }
+
+    /// This engine's shared workspace, when it is a PB engine carrying one.
+    pub fn workspace(&self) -> Option<&Arc<Workspace>> {
+        match self {
+            SpGemmEngine::PropagationBlocking(cfg) => cfg.workspace(),
+            _ => None,
+        }
+    }
+
+    /// Attaches a fresh [`Workspace`] to a PB engine that does not already
+    /// carry one (baselines and the reference engine pass through
+    /// untouched).  Iterating kernels call this once before their loop so
+    /// every iteration's multiply reuses the same buffers.
+    pub fn with_iteration_workspace(self) -> Self {
+        match self {
+            SpGemmEngine::PropagationBlocking(cfg) if cfg.workspace().is_none() => {
+                SpGemmEngine::PropagationBlocking(cfg.with_workspace(Arc::new(Workspace::new())))
+            }
+            other => other,
+        }
     }
 
     /// A representative set of engines for application-level sweeps:
@@ -120,5 +152,37 @@ mod tests {
         assert_eq!(SpGemmEngine::default().name(), "PB-SpGEMM");
         assert_eq!(SpGemmEngine::Baseline(Baseline::Hash).name(), "HashSpGEMM");
         assert_eq!(SpGemmEngine::paper_set().len(), 4);
+    }
+
+    #[test]
+    fn workspace_engine_reuses_buffers_across_multiplies() {
+        let a = rmat_square(7, 6, 17);
+        let engine = SpGemmEngine::with_workspace();
+        let ws = engine.workspace().cloned().expect("workspace attached");
+        let expected = reference::multiply_csr(&a, &a);
+        for _ in 0..3 {
+            let c = engine.multiply(&a, &a);
+            assert!(csr_approx_eq(&c, &expected, 1e-9));
+        }
+        assert!(ws.total_bytes_reused() > 0, "repeat multiplies must reuse");
+        assert_eq!(ws.leases(), 3);
+    }
+
+    #[test]
+    fn iteration_workspace_wraps_only_bare_pb_engines() {
+        // A bare PB engine gains a workspace...
+        let wrapped = SpGemmEngine::pb().with_iteration_workspace();
+        assert!(wrapped.workspace().is_some());
+        // ...an engine that already carries one keeps it...
+        let ws = wrapped.workspace().cloned().unwrap();
+        let again = wrapped.with_iteration_workspace();
+        assert!(Arc::ptr_eq(again.workspace().unwrap(), &ws));
+        // ...and non-PB engines pass through untouched.
+        let baseline = SpGemmEngine::Baseline(Baseline::Hash).with_iteration_workspace();
+        assert!(baseline.workspace().is_none());
+        assert!(SpGemmEngine::Reference
+            .with_iteration_workspace()
+            .workspace()
+            .is_none());
     }
 }
