@@ -1,0 +1,89 @@
+//! The [`Kernel`] trait: one uniform calling convention for every SpGEMM
+//! implementation in the workspace.
+//!
+//! The paper's evaluation pits PB-SpGEMM against the column-SpGEMM
+//! baselines on identical workloads; a planner that *chooses* between them
+//! at run time needs to dispatch to any of them through one signature.
+//! `Kernel` is that signature: CSR operands in, CSR product out, generic
+//! over the semiring exactly like the PB path (fixing the old asymmetry
+//! where `Baseline::multiply` was `f64`-only while `multiply_with` was
+//! generic).
+//!
+//! This crate implements the trait for [`Baseline`]; the `pb-spgemm` crate
+//! implements it for its unified `SpGemm` engine, which is how a planned
+//! kernel runs through a persistent `Workspace` lease when the underlying
+//! algorithm supports one (the PB pipeline does; the column baselines keep
+//! thread-private accumulators and need none).
+
+use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::Csr;
+
+use crate::Baseline;
+
+/// A SpGEMM implementation that multiplies CSR operands under an arbitrary
+/// semiring.
+///
+/// The `S::Elem: Default` bound exists for implementations that must
+/// transpose an operand internally (the PB engine converts `A` to CSC, the
+/// outer-product heap baseline likewise); pure row-wise kernels ignore it.
+pub trait Kernel {
+    /// Human-readable kernel name, used in reports and planner telemetry.
+    fn kernel_name(&self) -> &'static str;
+
+    /// Computes `C = A·B` on CSR operands under the semiring `S`.
+    fn multiply_with<S: Semiring>(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem>
+    where
+        S::Elem: Default;
+
+    /// Computes `C = A·B` with ordinary `+`/`×` over a numeric type.
+    fn multiply<T: Numeric + Default>(&self, a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+        Kernel::multiply_with::<PlusTimes<T>>(self, a, b)
+    }
+}
+
+impl Kernel for Baseline {
+    fn kernel_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn multiply_with<S: Semiring>(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem>
+    where
+        S::Elem: Default,
+    {
+        Baseline::multiply_with::<S>(self, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_gen::erdos_renyi_square;
+    use pb_sparse::reference::{csr_approx_eq, multiply_csr};
+    use pb_sparse::semiring::OrAnd;
+
+    #[test]
+    fn trait_dispatch_matches_inherent_methods() {
+        let a = erdos_renyi_square(7, 4, 5);
+        let expected = multiply_csr(&a, &a);
+        for alg in Baseline::all() {
+            let k: &dyn Fn() -> Csr<f64> = &|| Kernel::multiply(alg, &a, &a);
+            assert!(
+                csr_approx_eq(&k(), &expected, 1e-9),
+                "{}",
+                alg.kernel_name()
+            );
+            assert_eq!(alg.kernel_name(), alg.name());
+        }
+    }
+
+    #[test]
+    fn trait_is_generic_over_semirings() {
+        let a = erdos_renyi_square(6, 4, 8).map_values(|_| true);
+        let expected = pb_sparse::reference::multiply_csr_with::<OrAnd>(&a, &a);
+        for alg in Baseline::all() {
+            let c = Kernel::multiply_with::<OrAnd>(alg, &a, &a);
+            assert_eq!(c.rowptr(), expected.rowptr(), "{}", alg.kernel_name());
+            assert_eq!(c.colidx(), expected.colidx(), "{}", alg.kernel_name());
+        }
+    }
+}

@@ -33,6 +33,7 @@
 pub mod esc;
 pub mod hash;
 pub mod heap;
+pub mod kernel;
 pub mod outer_heap;
 pub mod spa;
 pub mod util;
@@ -40,10 +41,11 @@ pub mod util;
 pub use esc::{esc_column_spgemm, esc_column_spgemm_with};
 pub use hash::{hash_spgemm, hash_spgemm_with, hashvec_spgemm, hashvec_spgemm_with};
 pub use heap::{heap_spgemm, heap_spgemm_with};
+pub use kernel::Kernel;
 pub use outer_heap::{outer_heap_spgemm, outer_heap_spgemm_with};
 pub use spa::{spa_spgemm, spa_spgemm_with};
 
-use pb_sparse::semiring::Semiring;
+use pb_sparse::semiring::{Numeric, Semiring};
 use pb_sparse::Csr;
 
 /// The column SpGEMM baselines evaluated in the paper, as a value so that
@@ -109,9 +111,11 @@ impl Baseline {
         }
     }
 
-    /// Runs the baseline with ordinary `+`/`×` over `f64`.
-    pub fn multiply(&self, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
-        self.multiply_with::<pb_sparse::PlusTimes<f64>>(a, b)
+    /// Runs the baseline with ordinary `+`/`×` over any numeric type —
+    /// generic like [`Baseline::multiply_with`], so the baselines accept
+    /// the same element types the PB path does.
+    pub fn multiply<T: Numeric>(&self, a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+        self.multiply_with::<pb_sparse::PlusTimes<T>>(a, b)
     }
 }
 

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use pb_gen::erdos_renyi_square;
-use pb_spgemm::{BinMapping, ExpandStrategy, PbConfig};
+use pb_spgemm::{BinMapping, ExpandStrategy, PbConfig, SpGemm};
 
 fn bench_expand_strategies(c: &mut Criterion) {
     let a = erdos_renyi_square(12, 8, 11);
@@ -18,11 +18,13 @@ fn bench_expand_strategies(c: &mut Criterion) {
         ("thread_local", ExpandStrategy::ThreadLocal),
     ] {
         for (map_name, mapping) in [("range", BinMapping::Range), ("modulo", BinMapping::Modulo)] {
-            let cfg = PbConfig::default()
-                .with_expand(strategy)
-                .with_bin_mapping(mapping);
+            let engine = SpGemm::pb().config(
+                PbConfig::default()
+                    .with_expand(strategy)
+                    .with_bin_mapping(mapping),
+            );
             group.bench_function(BenchmarkId::new(name, map_name), |bench| {
-                bench.iter(|| black_box(pb_spgemm::multiply(&a_csc, &a, &cfg)));
+                bench.iter(|| black_box(engine.multiply_csc(&a_csc, &a)));
             });
         }
     }
@@ -35,9 +37,9 @@ fn bench_local_bin_width(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_bin_width");
     group.sample_size(10);
     for width in [64usize, 256, 512, 2048] {
-        let cfg = PbConfig::default().with_local_bin_bytes(width);
+        let engine = SpGemm::pb().config(PbConfig::default().with_local_bin_bytes(width));
         group.bench_function(BenchmarkId::from_parameter(width), |bench| {
-            bench.iter(|| black_box(pb_spgemm::multiply(&a_csc, &a, &cfg)));
+            bench.iter(|| black_box(engine.multiply_csc(&a_csc, &a)));
         });
     }
     group.finish();

@@ -8,7 +8,7 @@ use std::hint::black_box;
 use pb_baseline::Baseline;
 use pb_gen::{banded, erdos_renyi_square, rmat_square};
 use pb_sparse::Csr;
-use pb_spgemm::PbConfig;
+use pb_spgemm::SpGemm;
 
 fn workloads() -> Vec<(&'static str, Csr<f64>)> {
     vec![
@@ -24,8 +24,8 @@ fn bench_spgemm(c: &mut Criterion) {
     for (name, a) in workloads() {
         let a_csc = a.to_csc();
         group.bench_with_input(BenchmarkId::new("PB-SpGEMM", name), &a, |bench, a| {
-            let cfg = PbConfig::default();
-            bench.iter(|| black_box(pb_spgemm::multiply(&a_csc, a, &cfg)));
+            let engine = SpGemm::pb();
+            bench.iter(|| black_box(engine.multiply_csc(&a_csc, a)));
         });
         for baseline in Baseline::paper_set() {
             group.bench_with_input(BenchmarkId::new(baseline.name(), name), &a, |bench, a| {

@@ -166,6 +166,10 @@ pub struct PbBaseline {
     pub workspace: WorkspaceReuseReport,
     /// Autotuning convergence report (`--tune` runs only).
     pub tune: Option<TuneReport>,
+    /// Planner regret sweep (`--planner` runs only, schema v4): every
+    /// candidate kernel measured per corpus point, plus the calibrated
+    /// planner's pick and its regret vs best-in-hindsight.
+    pub planner: Option<crate::planner::PlannerReport>,
 }
 
 /// The repeated-multiply smoke: the baseline workload squared several times
@@ -217,11 +221,11 @@ pub fn run_workspace_reuse(w: &Workload, multiplies: usize) -> WorkspaceReuseRep
         .build()
         .expect("rayon pool");
     let bit_identical = pool.install(|| {
-        let fresh = pb_spgemm::multiply(&w.a_csc, &w.a, &PbConfig::default());
-        let reuse_ws = Arc::new(Workspace::new());
+        let fresh = pb_spgemm::SpGemm::pb().multiply_csc(&w.a_csc, &w.a);
+        let reusing = pb_spgemm::SpGemm::pb().workspace(Arc::new(Workspace::new()));
         // Two rounds: the second runs entirely on recycled buffers.
-        let _ = pb_spgemm::multiply_reusing(&w.a_csc, &w.a, &PbConfig::default(), &reuse_ws);
-        let reused = pb_spgemm::multiply_reusing(&w.a_csc, &w.a, &PbConfig::default(), &reuse_ws);
+        let _ = reusing.multiply_csc(&w.a_csc, &w.a);
+        let reused = reusing.multiply_csc(&w.a_csc, &w.a);
         fresh.rowptr() == reused.rowptr()
             && fresh.colidx() == reused.colidx()
             && fresh.values() == reused.values()
@@ -324,9 +328,10 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
         .fold(f64::MIN, f64::max);
 
     PbBaseline {
-        // v3: every sweep point's telemetry gained a `workspace` section
-        // (allocation/reuse counters) and the document a top-level
-        // `workspace` reuse report; v2 added the per-point `numa` section.
+        // v4: the document gained a top-level `planner` regret report
+        // (`--planner` runs); v3 added per-point workspace telemetry and
+        // the top-level `workspace` reuse report; v2 the per-point `numa`
+        // section.
         schema: SCHEMA_TAG,
         op: "spgemm_square",
         workload: w.name.clone(),
@@ -342,11 +347,12 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
         best_speedup,
         workspace: run_workspace_reuse(w, WORKSPACE_SMOKE_MULTIPLIES),
         tune: None,
+        planner: None,
     }
 }
 
 /// Current baseline schema tag (shared with `bench_pb --verify`/`--gate`).
-pub const SCHEMA_TAG: &str = "pb-bench-baseline/v3";
+pub const SCHEMA_TAG: &str = "pb-bench-baseline/v4";
 
 /// Multiplies of the repeated-multiply workspace smoke: enough that the
 /// last one is unambiguously steady-state (the arena is populated by the
@@ -462,8 +468,9 @@ mod tests {
                 p.telemetry.flushes
             );
         }
-        // No --tune section on plain runs.
+        // No --tune / --planner sections on plain runs.
         assert!(json.contains("\"tune\": null"));
+        assert!(json.contains("\"planner\": null"));
         // The workspace reuse report always rides along (schema v3) and
         // must show a healthy steady state on a fixed-shape repeat.
         assert!(json.contains("\"workspace\""));

@@ -16,15 +16,22 @@
 //! * `--tune` — additionally run the [`AutoTune`](pb_spgemm::AutoTune)
 //!   loop from a deliberately tiny local-bin width (1 cache line) and
 //!   attach the convergence report (`tune` section) to the JSON.
+//! * `--planner` — additionally run the [`Planner`](pb_spgemm::Planner)
+//!   regret sweep: measure every candidate kernel on a small corpus of
+//!   diverse-compression-factor workloads, calibrate a fresh planner from
+//!   those measurements, and attach the per-point regret report (`planner`
+//!   section) to the JSON.  `--verify`/`--gate` then fail if any point's
+//!   calibrated pick costs more than 25% over best-in-hindsight.
 //! * `--verify` — after writing, re-read the file, parse it, check it
-//!   against the `pb-bench-baseline/v3` schema (including the per-point
+//!   against the `pb-bench-baseline/v4` schema (including the per-point
 //!   `numa` and `workspace` sections) and generous per-phase sanity
 //!   ceilings, and assert PB-SpGEMM's product still matches the reference
 //!   oracle.  On multi-domain points the measured domain-local flush
 //!   fraction must clear [`NUMA_LOCAL_FLUSH_FLOOR`]; the repeated-multiply
 //!   workspace smoke must show a hit-serving, zero-allocation steady state
-//!   that is bit-identical to the fresh path.  Exits non-zero on any
-//!   violation (the CI perf-gate).
+//!   that is bit-identical to the fresh path; a `planner` section, when
+//!   present, must clear the regret ceiling on every corpus point.  Exits
+//!   non-zero on any violation (the CI perf-gate).
 //! * `--gate PATH` — additionally load the *committed* baseline at `PATH`
 //!   and fail if any of its telemetry invariants regressed (schema
 //!   version, oversubscription-flag consistency, the ≥95% local-flush
@@ -32,9 +39,9 @@
 //!   between the committed numbers and this run's fresh ones.
 
 use pb_bench::baseline::{baseline_workload, run_autotune, run_pb_baseline_on, SCHEMA_TAG};
+use pb_bench::planner::{run_planner_sweep, PLANNER_REGRET_CEILING};
 use pb_bench::workloads::Workload;
 use pb_bench::{fmt, print_table, Table};
-use pb_spgemm::PbConfig;
 use serde_json::Value;
 
 /// Per-phase wall-clock ceiling for the smoke-sized workloads.  Generous on
@@ -58,6 +65,7 @@ const NUMA_LOCAL_FLUSH_FLOOR: f64 = 0.95;
 fn main() {
     let mut smoke = false;
     let mut tune = false;
+    let mut planner = false;
     let mut verify = false;
     let mut gate_path: Option<String> = None;
     let mut out_path = "BENCH_pb.json".to_string();
@@ -66,6 +74,7 @@ fn main() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--tune" => tune = true,
+            "--planner" => planner = true,
             "--verify" => verify = true,
             "--gate" => match args.next() {
                 Some(path) => gate_path = Some(path),
@@ -75,7 +84,9 @@ fn main() {
                 }
             },
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag} (known: --smoke --tune --verify --gate PATH)");
+                eprintln!(
+                    "unknown flag {flag} (known: --smoke --tune --planner --verify --gate PATH)"
+                );
                 std::process::exit(2);
             }
             path => out_path = path.to_string(),
@@ -171,6 +182,37 @@ fn main() {
         doc.tune = Some(report);
     }
 
+    if planner {
+        let report = run_planner_sweep(smoke || pb_bench::quick_mode(), reps);
+        let mut table = Table::new(
+            format!(
+                "Planner regret sweep — max regret {:.1}% (ceiling {:.0}%), \
+                 cold-start prior max {:.1}%, {} thread(s)",
+                report.max_regret * 100.0,
+                report.regret_ceiling * 100.0,
+                report.max_prior_regret * 100.0,
+                report.threads,
+            ),
+            &[
+                "workload", "cf", "cf est", "chosen", "best", "regret %", "prior", "prior %",
+            ],
+        );
+        for p in &report.points {
+            table.push_row(vec![
+                p.workload.clone(),
+                fmt(p.cf, 2),
+                fmt(p.cf_estimate, 2),
+                p.chosen.clone(),
+                p.best.clone(),
+                fmt(p.regret * 100.0, 1),
+                p.prior.clone(),
+                fmt(p.prior_regret * 100.0, 1),
+            ]);
+        }
+        print_table(&table);
+        doc.planner = Some(report);
+    }
+
     let json = serde_json::to_string_pretty(&doc).expect("serialize baseline");
     std::fs::write(&out_path, json + "\n").expect("write baseline JSON");
     println!("wrote {out_path} (best speedup {:.2}x)", doc.best_speedup);
@@ -197,7 +239,7 @@ fn verify_baseline(path: &str, w: &Workload) {
 
     // --- Correctness oracle (fresh runs only; the committed gate file was
     //     measured on a different workload scale). -------------------------
-    let c = pb_spgemm::multiply(&w.a_csc, &w.a, &PbConfig::default());
+    let c = pb_spgemm::SpGemm::pb().multiply_csc(&w.a_csc, &w.a);
     let expected = pb_sparse::reference::multiply_csr(&w.a, &w.a);
     assert!(
         pb_sparse::reference::csr_approx_eq(&c, &expected, 1e-9),
@@ -243,6 +285,7 @@ fn check_document(doc: &Value, path: &str) {
         "sweep",
         "best_speedup",
         "workspace",
+        "planner",
     ] {
         assert!(
             doc.get(key).is_some(),
@@ -413,6 +456,63 @@ fn check_document(doc: &Value, path: &str) {
         Some(true),
         "{path}: workspace reuse changed the product"
     );
+
+    // --- Planner regret report (schema v4, `--planner` runs): every corpus
+    //     point's calibrated pick must be within the regret ceiling of the
+    //     fastest measured kernel.
+    let planner = doc.get("planner").expect("planner key");
+    if !planner.is_null() {
+        let ceiling = planner
+            .get("regret_ceiling")
+            .and_then(Value::as_f64)
+            .expect("planner.regret_ceiling");
+        assert!(
+            (ceiling - PLANNER_REGRET_CEILING).abs() < 1e-12,
+            "{path}: planner report gated at {ceiling}, this bench_pb expects \
+             {PLANNER_REGRET_CEILING}"
+        );
+        let points = planner
+            .get("points")
+            .and_then(Value::as_array)
+            .expect("planner.points");
+        assert!(!points.is_empty(), "{path}: planner corpus is empty");
+        for (i, p) in points.iter().enumerate() {
+            let workload = p
+                .get("workload")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| panic!("planner.points[{i}] missing workload"));
+            let regret = p
+                .get("regret")
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("planner.points[{i}] missing regret"));
+            assert!(
+                regret <= ceiling,
+                "{path}: planner chose {} on {workload}, costing {:.1}% over the best \
+                 kernel {} — above the {:.0}% regret ceiling",
+                p.get("chosen").and_then(Value::as_str).unwrap_or("?"),
+                regret * 100.0,
+                p.get("best").and_then(Value::as_str).unwrap_or("?"),
+                ceiling * 100.0,
+            );
+            let kernels = p
+                .get("kernels")
+                .and_then(Value::as_array)
+                .unwrap_or_else(|| panic!("planner.points[{i}] missing kernels"));
+            assert!(
+                kernels.len() >= 2,
+                "{path}: planner.points[{i}] measured fewer than two kernels — \
+                 regret against a single candidate is vacuous"
+            );
+        }
+        let max_regret = planner
+            .get("max_regret")
+            .and_then(Value::as_f64)
+            .expect("planner.max_regret");
+        assert!(
+            max_regret <= ceiling,
+            "{path}: planner max regret {max_regret} breaches the ceiling {ceiling}"
+        );
+    }
 }
 
 /// Loads the committed baseline, re-checks every telemetry invariant on it

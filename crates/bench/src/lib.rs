@@ -25,6 +25,7 @@
 
 pub mod baseline;
 pub mod figures;
+pub mod planner;
 pub mod report;
 pub mod runner;
 pub mod workloads;

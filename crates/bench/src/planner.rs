@@ -1,0 +1,236 @@
+//! Planner regret sweep (`bench_pb --planner`).
+//!
+//! For every corpus point the sweep measures **all** candidate kernels
+//! (best-of-reps), feeds those measurements into a fresh
+//! [`Planner`] as calibration, and then asks the
+//! planner to decide.  The gap between the planner's pick and the fastest
+//! measured kernel — the *regret vs best-in-hindsight* — is what the CI
+//! perf-gate bounds: a calibrated planner whose pick costs more than
+//! [`PLANNER_REGRET_CEILING`] over the best kernel on any corpus point
+//! fails the gate.
+//!
+//! The cold-start prior's pick is reported alongside (informational, not
+//! gated): it shows what the planner would do on a host with no
+//! calibration table yet.
+
+use pb_spgemm::{PbConfig, PlannedKernel, Planner, Signals, SpGemm};
+use serde::Serialize;
+
+use crate::workloads::{er_matrix, rmat_matrix, Workload};
+
+/// Maximum tolerated regret of the calibrated planner's pick versus the
+/// fastest measured kernel, per corpus point (0.25 = pick may cost at most
+/// 25% more than best-in-hindsight).  The CI perf-gate enforces this.
+pub const PLANNER_REGRET_CEILING: f64 = 0.25;
+
+/// One kernel's measurement on one corpus point.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelSeconds {
+    /// Kernel name (paper terminology).
+    pub kernel: String,
+    /// Best wall-clock seconds over the repetitions.
+    pub seconds: f64,
+    /// Achieved GFLOPS at the best run.
+    pub gflops: f64,
+}
+
+/// One corpus point of the regret sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlannerPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Matrix dimension (rows == cols).
+    pub n: usize,
+    /// Stored nonzeros of the input.
+    pub nnz: usize,
+    /// flop of the squaring.
+    pub flop: u64,
+    /// True compression factor `flop / nnz_c`.
+    pub cf: f64,
+    /// The planner's sampled compression-factor estimate.
+    pub cf_estimate: f64,
+    /// Row-nnz skew of `B` (max row nnz over mean).
+    pub row_skew: f64,
+    /// Projected bin-occupancy skew.
+    pub bin_skew: f64,
+    /// flop per input nonzero.
+    pub flop_per_nnz: f64,
+    /// Every candidate kernel's measurement, in candidate order.
+    pub kernels: Vec<KernelSeconds>,
+    /// The calibrated planner's pick for this point.
+    pub chosen: String,
+    /// Seconds of the chosen kernel (from the measurements above).
+    pub chosen_seconds: f64,
+    /// The fastest measured kernel.
+    pub best: String,
+    /// Seconds of that fastest kernel.
+    pub best_seconds: f64,
+    /// `chosen_seconds / best_seconds - 1` (0 = the planner picked the
+    /// best kernel).  Gated against [`PLANNER_REGRET_CEILING`].
+    pub regret: f64,
+    /// What the uncalibrated prior would have picked (informational).
+    pub prior: String,
+    /// Regret of that prior pick (informational, not gated).
+    pub prior_regret: f64,
+}
+
+/// The `planner` section of `BENCH_pb.json` (schema v4).
+#[derive(Debug, Clone, Serialize)]
+pub struct PlannerReport {
+    /// Per-corpus-point measurements and decisions.
+    pub points: Vec<PlannerPoint>,
+    /// Largest calibrated regret across the corpus.
+    pub max_regret: f64,
+    /// Largest prior (cold-start) regret across the corpus.
+    pub max_prior_regret: f64,
+    /// The ceiling the perf-gate enforces on `max_regret`.
+    pub regret_ceiling: f64,
+    /// Thread count the measurements ran on.
+    pub threads: usize,
+}
+
+/// The regret-sweep corpus: workloads spanning the planner's decision
+/// regimes (low-cf sparse, skewed R-MAT, high edge-factor / high flop-per-
+/// nnz, and a tiny input).  `quick` keeps CI runs small.
+pub fn planner_corpus(quick: bool) -> Vec<Workload> {
+    let s = if quick { 0 } else { 1 };
+    vec![
+        er_matrix(9 + s, 4, 42),
+        rmat_matrix(9 + s, 8, 42),
+        er_matrix(8 + s, 16, 42),
+        er_matrix(6, 2, 42),
+    ]
+}
+
+/// Times one planned kernel squaring `w`, best of `reps`, mirroring exactly
+/// what the Auto engine would execute for that decision (the PB arm's
+/// CSC conversion included).
+fn time_kernel(kernel: PlannedKernel, w: &Workload, reps: usize) -> f64 {
+    let engine = match kernel.baseline() {
+        None => SpGemm::pb(),
+        Some(b) => SpGemm::baseline(b),
+    };
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = std::time::Instant::now();
+        let c = engine.multiply(&w.a, &w.a);
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(c.nnz(), w.stats.nnz_c, "{} wrong product", kernel.name());
+        best = best.min(dt);
+    }
+    best
+}
+
+/// Runs the regret sweep: measure every candidate on every corpus point,
+/// calibrate a fresh planner per point from those measurements, and record
+/// the regret of its decision.
+pub fn run_planner_sweep(quick: bool, reps: usize) -> PlannerReport {
+    let corpus = planner_corpus(quick);
+    let mut points = Vec::with_capacity(corpus.len());
+    for w in &corpus {
+        let signals = Signals::measure(&w.a, &w.a, &PbConfig::default());
+        // A fresh planner per point: its calibration is exactly this
+        // point's measurements, so its decision is auditable against them.
+        let planner = Planner::new();
+        let prior = planner.prior(&signals);
+        let mut kernels = Vec::new();
+        let mut best_kernel = PlannedKernel::Unplanned;
+        let mut best_seconds = f64::MAX;
+        for &kernel in PlannedKernel::candidates() {
+            let seconds = time_kernel(kernel, w, reps);
+            planner.observe(kernel, &signals, seconds);
+            if seconds < best_seconds {
+                best_seconds = seconds;
+                best_kernel = kernel;
+            }
+            kernels.push(KernelSeconds {
+                kernel: kernel.name().to_string(),
+                seconds,
+                gflops: signals.flop as f64 / seconds / 1e9,
+            });
+        }
+        let chosen = planner.decide(&signals);
+        let seconds_of = |k: PlannedKernel| {
+            kernels
+                .iter()
+                .find(|m| m.kernel == k.name())
+                .map(|m| m.seconds)
+                .expect("every candidate was measured")
+        };
+        let chosen_seconds = seconds_of(chosen);
+        let prior_seconds = seconds_of(prior);
+        points.push(PlannerPoint {
+            workload: w.name.clone(),
+            n: w.a.nrows(),
+            nnz: w.a.nnz(),
+            flop: signals.flop,
+            cf: w.stats.cf,
+            cf_estimate: signals.cf_estimate,
+            row_skew: signals.row_skew,
+            bin_skew: signals.bin_skew,
+            flop_per_nnz: signals.flop_per_nnz,
+            kernels,
+            chosen: chosen.name().to_string(),
+            chosen_seconds,
+            best: best_kernel.name().to_string(),
+            best_seconds,
+            regret: chosen_seconds / best_seconds - 1.0,
+            prior: prior.name().to_string(),
+            prior_regret: prior_seconds / best_seconds - 1.0,
+        });
+    }
+    let max = |f: fn(&PlannerPoint) -> f64| points.iter().map(f).fold(0.0f64, f64::max);
+    PlannerReport {
+        max_regret: max(|p| p.regret),
+        max_prior_regret: max(|p| p.prior_regret),
+        regret_ceiling: PLANNER_REGRET_CEILING,
+        threads: rayon::current_num_threads(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_regret_is_within_the_gate_ceiling() {
+        let report = run_planner_sweep(true, 1);
+        assert_eq!(report.points.len(), planner_corpus(true).len());
+        for p in &report.points {
+            assert_eq!(p.kernels.len(), PlannedKernel::candidates().len());
+            assert!(
+                p.regret <= PLANNER_REGRET_CEILING,
+                "{}: chose {} ({}s) vs best {} ({}s)",
+                p.workload,
+                p.chosen,
+                p.chosen_seconds,
+                p.best,
+                p.best_seconds
+            );
+            assert!(p.best_seconds > 0.0 && p.chosen_seconds >= p.best_seconds);
+        }
+        assert!(report.max_regret <= PLANNER_REGRET_CEILING);
+        let json = serde_json::to_string(&report).unwrap();
+        for key in [
+            "max_regret",
+            "regret_ceiling",
+            "cf_estimate",
+            "prior_regret",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn corpus_spans_distinct_signal_regimes() {
+        let corpus = planner_corpus(true);
+        let cfs: Vec<f64> = corpus.iter().map(|w| w.stats.cf).collect();
+        let lo = cfs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = cfs.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            hi / lo > 1.5,
+            "corpus compression factors too uniform: {cfs:?}"
+        );
+    }
+}

@@ -147,8 +147,9 @@ fn run_once(
                 threads: None,
                 ..cfg.clone()
             };
+            let engine = pb_spgemm::SpGemm::pb().config(cfg);
             let t = Instant::now();
-            let c = pb_spgemm::multiply(&workload.a_csc, &workload.a, &cfg);
+            let c = engine.multiply_csc(&workload.a_csc, &workload.a);
             (t.elapsed().as_secs_f64(), c.nnz())
         }
         Algorithm::Baseline(b) => {
@@ -166,11 +167,9 @@ fn run_once(
 /// Runs PB-SpGEMM once and returns its per-phase profile (used by the
 /// bandwidth and breakdown figures).
 pub fn measure_pb_profile(workload: &Workload, config: &PbConfig) -> SpGemmProfile {
-    let (_, profile) = pb_spgemm::multiply_with_profile::<pb_sparse::PlusTimes<f64>>(
-        &workload.a_csc,
-        &workload.a,
-        config,
-    );
+    let (_, profile) = pb_spgemm::SpGemm::pb()
+        .config(config.clone())
+        .multiply_csc_with_profile::<pb_sparse::PlusTimes<f64>>(&workload.a_csc, &workload.a);
     profile
 }
 

@@ -7,6 +7,7 @@
 //! pb-spgemm generate er --scale 14 --edge-factor 8 --out a.mtx
 //! pb-spgemm stats a.mtx
 //! pb-spgemm multiply a.mtx a.mtx --algorithm pb --out c.mtx --profile
+//! pb-spgemm multiply a.mtx --algorithm auto     # let the planner pick
 //! pb-spgemm compare a.mtx                # race all algorithms on A·A
 //! pb-spgemm verify a.mtx --reuse         # PB vs reference oracle (+ workspace reuse)
 //! ```
@@ -23,7 +24,7 @@ use pb_baseline::Baseline;
 use pb_sparse::io::{read_matrix_market, write_matrix_market};
 use pb_sparse::stats::MultiplyStats;
 use pb_sparse::{Coo, Csr, PlusTimes};
-use pb_spgemm::PbConfig;
+use pb_spgemm::SpGemm;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -50,6 +51,8 @@ fn err(msg: impl Into<String>) -> CliError {
 /// The algorithms selectable from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CliAlgorithm {
+    /// Telemetry-driven planner: pick the kernel per multiply.
+    Auto,
     /// PB-SpGEMM (the paper's algorithm).
     Pb,
     /// HeapSpGEMM baseline.
@@ -66,37 +69,43 @@ impl CliAlgorithm {
     /// Parses an algorithm name.
     pub fn parse(s: &str) -> Result<Self, CliError> {
         match s.to_ascii_lowercase().as_str() {
+            "auto" | "planner" => Ok(CliAlgorithm::Auto),
             "pb" | "pb-spgemm" | "outer" => Ok(CliAlgorithm::Pb),
             "heap" => Ok(CliAlgorithm::Heap),
             "hash" => Ok(CliAlgorithm::Hash),
             "hashvec" | "hash-vec" => Ok(CliAlgorithm::HashVec),
             "spa" => Ok(CliAlgorithm::Spa),
             other => Err(err(format!(
-                "unknown algorithm {other:?} (expected pb, heap, hash, hashvec or spa)"
+                "unknown algorithm {other:?} (expected auto, pb, heap, hash, hashvec or spa)"
             ))),
+        }
+    }
+
+    /// Builds the unified [`SpGemm`] engine this selection maps to.
+    pub fn engine(&self, threads: Option<usize>) -> SpGemm {
+        let engine = match self {
+            CliAlgorithm::Auto => SpGemm::auto(),
+            CliAlgorithm::Pb => SpGemm::pb(),
+            CliAlgorithm::Heap => SpGemm::baseline(Baseline::Heap),
+            CliAlgorithm::Hash => SpGemm::baseline(Baseline::Hash),
+            CliAlgorithm::HashVec => SpGemm::baseline(Baseline::HashVec),
+            CliAlgorithm::Spa => SpGemm::baseline(Baseline::Spa),
+        };
+        match threads {
+            Some(t) => engine.threads(t),
+            None => engine,
         }
     }
 
     /// Runs the selected algorithm.
     pub fn run(&self, a: &Csr<f64>, b: &Csr<f64>, threads: Option<usize>) -> Csr<f64> {
-        match self {
-            CliAlgorithm::Pb => {
-                let mut cfg = PbConfig::default();
-                if let Some(t) = threads {
-                    cfg = cfg.with_threads(t);
-                }
-                pb_spgemm::multiply(&a.to_csc(), b, &cfg)
-            }
-            CliAlgorithm::Heap => Baseline::Heap.multiply(a, b),
-            CliAlgorithm::Hash => Baseline::Hash.multiply(a, b),
-            CliAlgorithm::HashVec => Baseline::HashVec.multiply(a, b),
-            CliAlgorithm::Spa => Baseline::Spa.multiply(a, b),
-        }
+        self.engine(threads).multiply(a, b)
     }
 
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {
+            CliAlgorithm::Auto => "Auto",
             CliAlgorithm::Pb => "PB-SpGEMM",
             CliAlgorithm::Heap => "HeapSpGEMM",
             CliAlgorithm::Hash => "HashSpGEMM",
@@ -136,7 +145,7 @@ pub fn usage() -> String {
      \x20 pb-spgemm generate <er|rmat|standin> [--scale S] [--edge-factor E] [--name N]\n\
      \x20                    [--seed X] --out FILE.mtx\n\
      \x20 pb-spgemm stats    A.mtx\n\
-     \x20 pb-spgemm multiply A.mtx [B.mtx] [--algorithm pb|heap|hash|hashvec|spa]\n\
+     \x20 pb-spgemm multiply A.mtx [B.mtx] [--algorithm auto|pb|heap|hash|hashvec|spa]\n\
      \x20                    [--threads T] [--out C.mtx] [--profile]\n\
      \x20 pb-spgemm compare  A.mtx [--threads T]\n\
      \x20 pb-spgemm verify   A.mtx [B.mtx] [--threads T] [--reuse]\n\
@@ -241,13 +250,10 @@ fn cmd_multiply(args: &[String]) -> Result<String, CliError> {
     let stats = MultiplyStats::compute(&a, &b);
 
     let mut out = String::new();
-    let c = if algorithm == CliAlgorithm::Pb && has_flag(args, "--profile") {
-        let mut cfg = PbConfig::default();
-        if let Some(t) = threads {
-            cfg = cfg.with_threads(t);
-        }
-        let (c, profile) =
-            pb_spgemm::multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &b, &cfg);
+    let profiled = matches!(algorithm, CliAlgorithm::Pb | CliAlgorithm::Auto);
+    let c = if profiled && has_flag(args, "--profile") {
+        let engine = algorithm.engine(threads);
+        let (c, profile) = engine.multiply_with_profile::<PlusTimes<f64>>(&a, &b);
         let _ = writeln!(out, "{}", profile.summary());
         c
     } else {
@@ -297,14 +303,11 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
     let threads = flag_value(args, "--threads")
         .map(|t| t.parse().map_err(|_| err("bad --threads")))
         .transpose()?;
-    let mut cfg = PbConfig::default();
-    if let Some(t) = threads {
-        cfg = cfg.with_threads(t);
-    }
+    let engine = CliAlgorithm::Pb.engine(threads);
     let a_csc = a.to_csc();
 
     let expected = pb_sparse::reference::multiply_csr(&a, &b);
-    let c = pb_spgemm::multiply(&a_csc, &b, &cfg);
+    let c = engine.multiply_csc(&a_csc, &b);
     if !pb_sparse::reference::csr_approx_eq(&c, &expected, 1e-9) {
         return Err(err(format!(
             "verify: PB-SpGEMM disagrees with the reference oracle on {a_path}"
@@ -320,8 +323,9 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
 
     if has_flag(args, "--reuse") {
         let ws = std::sync::Arc::new(pb_spgemm::Workspace::new());
-        let first = pb_spgemm::multiply_reusing(&a_csc, &b, &cfg, &ws);
-        let second = pb_spgemm::multiply_reusing(&a_csc, &b, &cfg, &ws);
+        let reusing = engine.clone().workspace(ws.clone());
+        let first = reusing.multiply_csc(&a_csc, &b);
+        let second = reusing.multiply_csc(&a_csc, &b);
         if second.rowptr() != first.rowptr()
             || second.colidx() != first.colidx()
             || !pb_sparse::reference::csr_approx_eq(&second, &expected, 1e-9)
@@ -367,6 +371,7 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
         CliAlgorithm::Hash,
         CliAlgorithm::HashVec,
         CliAlgorithm::Spa,
+        CliAlgorithm::Auto,
     ] {
         let t = Instant::now();
         let c = algo.run(&a, &a, threads);
@@ -408,6 +413,8 @@ mod tests {
     #[test]
     fn algorithm_parsing() {
         assert_eq!(CliAlgorithm::parse("pb").unwrap(), CliAlgorithm::Pb);
+        assert_eq!(CliAlgorithm::parse("auto").unwrap(), CliAlgorithm::Auto);
+        assert_eq!(CliAlgorithm::parse("planner").unwrap(), CliAlgorithm::Auto);
         assert_eq!(
             CliAlgorithm::parse("HASHVEC").unwrap(),
             CliAlgorithm::HashVec
@@ -447,7 +454,7 @@ mod tests {
         assert!(stats.contains("PB-SpGEMM expected to win"));
 
         let c_path = temp_path("roundtrip_c.mtx");
-        for algo in ["pb", "heap", "hash", "hashvec", "spa"] {
+        for algo in ["pb", "heap", "hash", "hashvec", "spa", "auto"] {
             let out = run_cli(&strs(&[
                 "multiply",
                 &mtx,

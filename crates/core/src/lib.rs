@@ -27,23 +27,31 @@
 //!
 //! # Quick start
 //!
+//! There is exactly one blessed way to multiply: the [`SpGemm`] engine.
+//!
 //! ```
-//! use pb_spgemm::{multiply, PbConfig};
+//! use pb_spgemm::SpGemm;
 //! use pb_sparse::{Coo, Csr};
 //!
-//! // A tiny matrix; A is needed column-wise (CSC), B row-wise (CSR).
 //! let a: Csr<f64> = Coo::from_entries(4, 4, vec![
 //!     (0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0), (3, 0, 5.0),
 //! ]).unwrap().to_csr();
 //!
-//! let c = multiply(&a.to_csc(), &a, &PbConfig::default());
+//! let c = SpGemm::pb().multiply(&a, &a);
 //! assert_eq!(c.nnz(), 4);                  // a permutation squared
 //! assert_eq!(c.get(0, 2), Some(6.0));      // 2.0 * 3.0 along 0 -> 1 -> 2
 //! ```
 //!
-//! The algorithm is generic over a [`pb_sparse::Semiring`], so the same
-//! kernel serves numeric SpGEMM, boolean reachability, tropical (min-plus)
-//! products and counting semirings — see [`multiply_with`].
+//! `SpGemm::auto()` instead lets the telemetry-driven [`Planner`] pick
+//! between PB-SpGEMM and the column baselines per multiply, from cheap
+//! symbolic signals plus a persisted per-host calibration table.  The
+//! algorithm is generic over a [`pb_sparse::Semiring`], so the same kernel
+//! serves numeric SpGEMM, boolean reachability, tropical (min-plus)
+//! products and counting semirings — see [`SpGemm::multiply_with`].
+//!
+//! The pre-engine free functions (`multiply`, `multiply_with`, …) still
+//! exist as deprecated shims; `docs/API.md` maps each one to its engine
+//! equivalent.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -52,9 +60,11 @@ pub mod assemble;
 pub mod bins;
 pub mod compress;
 pub mod config;
+pub mod engine;
 pub mod expand;
 pub mod masked;
 pub mod partitioned;
+pub mod planner;
 pub mod profile;
 pub mod sort;
 pub mod symbolic;
@@ -63,25 +73,25 @@ pub mod workspace;
 
 pub use bins::{BinLayout, BinnedTuples, Entry};
 pub use config::{AutoTune, BinMapping, CompressSplit, ExpandStrategy, PbConfig, SortAlgorithm};
+pub use engine::{Algorithm, Masked, ProfileSink, SpGemm, ALGORITHM_ENV};
+#[allow(deprecated)]
 pub use masked::{multiply_masked, multiply_masked_with};
 pub use partitioned::{multiply_partitioned, multiply_partitioned_with};
+pub use planner::{PlannedKernel, Planner, Signals};
 pub use profile::{Phase, PhaseStats, PhaseTimings, SpGemmProfile, StatsCollector};
 pub use topology::{NumaDomain, Topology, TopologySource};
 pub use workspace::Workspace;
 
 use std::time::Instant;
 
-use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::semiring::Semiring;
 use pb_sparse::{Csc, Csr};
 
-/// Runs PB-SpGEMM under an arbitrary semiring and returns the result
-/// together with the per-phase profile.
-///
-/// `A` must be provided in CSC (column access for the outer product) and `B`
-/// in CSR (row access); the output is CSR.  If
-/// [`PbConfig::threads`] is set, a dedicated rayon pool of that size is used
-/// for the whole multiplication.
-pub fn multiply_with_profile<S: Semiring>(
+/// The PB pipeline primitive: `A` in CSC, `B` in CSR, result plus per-phase
+/// profile.  Everything — the [`SpGemm`] engine's PB arm, the deprecated
+/// free-function shims, the row-partitioned multiply — funnels through
+/// here, so there is exactly one implementation to trust.
+pub(crate) fn pb_multiply_with_profile<S: Semiring>(
     a: &Csc<S::Elem>,
     b: &Csr<S::Elem>,
     config: &PbConfig,
@@ -207,60 +217,105 @@ pub(crate) fn sort_with_lease<S: Semiring>(
     sort::sort_bins_slabbed(tuples, config.sort, stats, &slabs);
 }
 
-/// Runs PB-SpGEMM under an arbitrary semiring.
-pub fn multiply_with<S: Semiring>(
-    a: &Csc<S::Elem>,
-    b: &Csr<S::Elem>,
-    config: &PbConfig,
-) -> Csr<S::Elem> {
-    multiply_with_profile::<S>(a, b, config).0
+/// Deprecated free-function entry points, kept as thin shims over the
+/// [`SpGemm`] engine's PB pipeline for one more release so downstream call
+/// sites can migrate mechanically.  `docs/API.md` maps every shim to its
+/// engine-builder equivalent; the module is the *only* place in the
+/// workspace permitted to `allow(deprecated)` on these names.
+pub mod shims {
+    #![allow(deprecated)]
+
+    use super::*;
+    use pb_sparse::semiring::{Numeric, PlusTimes};
+
+    /// Runs PB-SpGEMM under an arbitrary semiring and returns the result
+    /// together with the per-phase profile.
+    ///
+    /// `A` must be provided in CSC (column access for the outer product)
+    /// and `B` in CSR (row access); the output is CSR.  If
+    /// [`PbConfig::threads`] is set, a dedicated rayon pool of that size is
+    /// used for the whole multiplication.
+    #[deprecated(
+        note = "use `SpGemm::pb().config(..).multiply_csc_with_profile::<S>(a, b)` — see docs/API.md"
+    )]
+    pub fn multiply_with_profile<S: Semiring>(
+        a: &Csc<S::Elem>,
+        b: &Csr<S::Elem>,
+        config: &PbConfig,
+    ) -> (Csr<S::Elem>, SpGemmProfile) {
+        pb_multiply_with_profile::<S>(a, b, config)
+    }
+
+    /// Runs PB-SpGEMM under an arbitrary semiring.
+    #[deprecated(
+        note = "use `SpGemm::pb().config(..).multiply_csc_with::<S>(a, b)` — see docs/API.md"
+    )]
+    pub fn multiply_with<S: Semiring>(
+        a: &Csc<S::Elem>,
+        b: &Csr<S::Elem>,
+        config: &PbConfig,
+    ) -> Csr<S::Elem> {
+        pb_multiply_with_profile::<S>(a, b, config).0
+    }
+
+    /// Runs PB-SpGEMM with ordinary `+`/`×` over a numeric type.
+    #[deprecated(note = "use `SpGemm::pb().config(..).multiply_csc(a, b)` — see docs/API.md")]
+    pub fn multiply<T: Numeric>(a: &Csc<T>, b: &Csr<T>, config: &PbConfig) -> Csr<T> {
+        pb_multiply_with_profile::<PlusTimes<T>>(a, b, config).0
+    }
+
+    /// Runs PB-SpGEMM drawing all working memory (expand tuple buffer, sort
+    /// scratch, staging vectors) from `workspace` instead of the heap.
+    /// Equivalent to attaching the workspace with
+    /// [`SpGemm::workspace`]; an already attached workspace on `config` is
+    /// overridden for this call.
+    #[deprecated(
+        note = "use `SpGemm::pb().config(..).workspace(ws).multiply_csc(a, b)` — see docs/API.md"
+    )]
+    pub fn multiply_reusing<T: Numeric>(
+        a: &Csc<T>,
+        b: &Csr<T>,
+        config: &PbConfig,
+        workspace: &std::sync::Arc<Workspace>,
+    ) -> Csr<T> {
+        multiply_with_profile_reusing::<PlusTimes<T>>(a, b, config, workspace).0
+    }
+
+    /// [`multiply_reusing`] under an arbitrary semiring, returning the
+    /// per-phase profile — whose
+    /// [`bytes_allocated`](PhaseStats::bytes_allocated) /
+    /// [`bytes_reused`](PhaseStats::bytes_reused) /
+    /// [`workspace_hits`](PhaseStats::workspace_hits) counters measure the
+    /// reuse instead of assuming it.
+    #[deprecated(
+        note = "use `SpGemm::pb().config(..).workspace(ws).multiply_csc_with_profile::<S>(a, b)` — see docs/API.md"
+    )]
+    pub fn multiply_with_profile_reusing<S: Semiring>(
+        a: &Csc<S::Elem>,
+        b: &Csr<S::Elem>,
+        config: &PbConfig,
+        workspace: &std::sync::Arc<Workspace>,
+    ) -> (Csr<S::Elem>, SpGemmProfile) {
+        let config = config
+            .clone()
+            .with_workspace(std::sync::Arc::clone(workspace));
+        pb_multiply_with_profile::<S>(a, b, &config)
+    }
+
+    /// Convenience wrapper taking both operands in CSR: `A` is converted to
+    /// CSC internally (one counting-sort transpose), then PB-SpGEMM runs as
+    /// usual.
+    #[deprecated(note = "use `SpGemm::pb().config(..).multiply(a, b)` — see docs/API.md")]
+    pub fn multiply_csr<T: Numeric + Default>(a: &Csr<T>, b: &Csr<T>, config: &PbConfig) -> Csr<T> {
+        multiply(&a.to_csc(), b, config)
+    }
 }
 
-/// Runs PB-SpGEMM with ordinary `+`/`×` over a numeric type.
-pub fn multiply<T: Numeric>(a: &Csc<T>, b: &Csr<T>, config: &PbConfig) -> Csr<T> {
-    multiply_with::<PlusTimes<T>>(a, b, config)
-}
-
-/// Runs PB-SpGEMM drawing all working memory (expand tuple buffer, sort
-/// scratch, staging vectors) from `workspace` instead of the heap — the
-/// entry point for repeated multiplies of similar shape.  Equivalent to
-/// attaching the workspace with [`PbConfig::with_workspace`]; an already
-/// attached workspace on `config` is overridden for this call.
-pub fn multiply_reusing<T: Numeric>(
-    a: &Csc<T>,
-    b: &Csr<T>,
-    config: &PbConfig,
-    workspace: &std::sync::Arc<Workspace>,
-) -> Csr<T> {
-    multiply_with_profile_reusing::<PlusTimes<T>>(a, b, config, workspace).0
-}
-
-/// [`multiply_reusing`] under an arbitrary semiring, returning the
-/// per-phase profile — whose
-/// [`bytes_allocated`](PhaseStats::bytes_allocated) /
-/// [`bytes_reused`](PhaseStats::bytes_reused) /
-/// [`workspace_hits`](PhaseStats::workspace_hits) counters measure the
-/// reuse instead of assuming it.
-pub fn multiply_with_profile_reusing<S: Semiring>(
-    a: &Csc<S::Elem>,
-    b: &Csr<S::Elem>,
-    config: &PbConfig,
-    workspace: &std::sync::Arc<Workspace>,
-) -> (Csr<S::Elem>, SpGemmProfile) {
-    let config = config
-        .clone()
-        .with_workspace(std::sync::Arc::clone(workspace));
-    multiply_with_profile::<S>(a, b, &config)
-}
-
-/// Convenience wrapper taking both operands in CSR: `A` is converted to CSC
-/// internally (one counting-sort transpose), then PB-SpGEMM runs as usual.
-///
-/// Use [`multiply`] directly when `A` is already available column-wise — the
-/// conversion is not free and the paper assumes CSC input for `A`.
-pub fn multiply_csr<T: Numeric + Default>(a: &Csr<T>, b: &Csr<T>, config: &PbConfig) -> Csr<T> {
-    multiply(&a.to_csc(), b, config)
-}
+#[allow(deprecated)]
+pub use shims::{
+    multiply, multiply_csr, multiply_reusing, multiply_with, multiply_with_profile,
+    multiply_with_profile_reusing,
+};
 
 #[cfg(test)]
 mod tests {
@@ -270,12 +325,18 @@ mod tests {
     use pb_sparse::reference::{
         csr_approx_eq, multiply_csr as reference_multiply, multiply_csr_with,
     };
-    use pb_sparse::semiring::{MinPlus, OrAnd};
+    use pb_sparse::semiring::{MinPlus, OrAnd, PlusTimes};
     use pb_sparse::Coo;
+
+    /// A PB engine with the given configuration — the test-suite spelling
+    /// of "run the pipeline with these knobs".
+    fn pb(config: &PbConfig) -> SpGemm {
+        SpGemm::pb().config(config.clone())
+    }
 
     fn check_against_reference(a: &Csr<f64>, config: &PbConfig) {
         let expected = reference_multiply(a, a);
-        let c = multiply(&a.to_csc(), a, config);
+        let c = pb(config).multiply_csc(&a.to_csc(), a);
         assert!(
             csr_approx_eq(&c, &expected, 1e-9),
             "PB-SpGEMM disagrees with the reference (config {config:?})"
@@ -323,7 +384,7 @@ mod tests {
                             .with_expand(strategy)
                             .with_sort(sort)
                             .with_nbins(nbins);
-                        let c = multiply(&a.to_csc(), &a, &cfg);
+                        let c = pb(&cfg).multiply_csc(&a.to_csc(), &a);
                         assert!(
                             csr_approx_eq(&c, &expected, 1e-9),
                             "mismatch for {mapping:?}/{strategy:?}/{sort:?}/nbins={nbins}"
@@ -337,9 +398,9 @@ mod tests {
     #[test]
     fn agrees_with_all_baselines() {
         let a = rmat_square(8, 6, 8);
-        let pb = multiply(&a.to_csc(), &a, &PbConfig::default());
+        let pb = SpGemm::pb().multiply(&a, &a);
         for baseline in Baseline::all() {
-            let other = baseline.multiply(&a, &a);
+            let other = SpGemm::baseline(*baseline).multiply(&a, &a);
             assert!(
                 csr_approx_eq(&pb, &other, 1e-9),
                 "PB-SpGEMM disagrees with {}",
@@ -366,7 +427,7 @@ mod tests {
             random_values: true,
         });
         let expected = reference_multiply(&a, &b);
-        let c = multiply(&a.to_csc(), &b, &PbConfig::default());
+        let c = SpGemm::pb().multiply(&a, &b);
         assert_eq!(c.shape(), (128, 32));
         assert!(csr_approx_eq(&c, &expected, 1e-9));
     }
@@ -377,12 +438,12 @@ mod tests {
         let a_csc = a.to_csc();
 
         let bool_a = a.map_values(|_| true);
-        let pattern = multiply_with::<OrAnd>(&bool_a.to_csc(), &bool_a, &PbConfig::default());
+        let pattern = SpGemm::pb().multiply_with::<OrAnd>(&bool_a, &bool_a);
         let expected = multiply_csr_with::<OrAnd>(&bool_a, &bool_a);
         assert_eq!(pattern.rowptr(), expected.rowptr());
         assert_eq!(pattern.colidx(), expected.colidx());
 
-        let dist = multiply_with::<MinPlus>(&a_csc, &a, &PbConfig::default());
+        let dist = SpGemm::pb().multiply_csc_with::<MinPlus>(&a_csc, &a);
         let expected = multiply_csr_with::<MinPlus>(&a, &a);
         assert!(csr_approx_eq(&dist, &expected, 1e-12));
     }
@@ -392,8 +453,7 @@ mod tests {
         let a = erdos_renyi_square(8, 4, 12);
         let expected = reference_multiply(&a, &a);
         for threads in [1usize, 2, 4] {
-            let cfg = PbConfig::default().with_threads(threads);
-            let c = multiply(&a.to_csc(), &a, &cfg);
+            let c = SpGemm::pb().threads(threads).multiply(&a, &a);
             assert!(csr_approx_eq(&c, &expected, 1e-9), "threads = {threads}");
         }
     }
@@ -401,11 +461,8 @@ mod tests {
     #[test]
     fn profile_reports_consistent_statistics() {
         let a = erdos_renyi_square(8, 8, 13);
-        let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(
-            &a.to_csc(),
-            &a,
-            &PbConfig::default().with_nbins(32),
-        );
+        let cfg = PbConfig::default().with_nbins(32);
+        let (c, profile) = pb(&cfg).multiply_csc_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a);
         assert_eq!(profile.nnz_c, c.nnz());
         assert_eq!(profile.nnz_a, a.nnz());
         assert_eq!(profile.flop, pb_sparse::stats::flop_csr(&a, &a));
@@ -427,10 +484,11 @@ mod tests {
         let expected = reference_multiply(&a, &a);
         let cfg = PbConfig::auto_tuned_from_lines(1);
         assert_eq!(cfg.effective_local_bin_bytes(), 64);
+        let engine = pb(&cfg);
 
         let mut capacities = Vec::new();
         for _ in 0..6 {
-            let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(&a_csc, &a, &cfg);
+            let (c, profile) = engine.multiply_csc_with_profile::<PlusTimes<f64>>(&a_csc, &a);
             assert!(csr_approx_eq(&c, &expected, 1e-9));
             capacities.push(profile.stats.local_bin_capacity);
         }
@@ -457,17 +515,14 @@ mod tests {
         let a = rmat_square(8, 8, 41);
         let a_csc = a.to_csc();
         let expected = reference_multiply(&a, &a);
-        let single = multiply(
-            &a_csc,
-            &a,
-            &PbConfig::default().with_threads(4).with_numa_domains(1),
-        );
+        let single =
+            pb(&PbConfig::default().with_threads(4).with_numa_domains(1)).multiply_csc(&a_csc, &a);
         for domains in [2usize, 4] {
             let cfg = PbConfig::default()
                 .with_threads(4)
                 .with_numa_domains(domains)
                 .with_nbins(16);
-            let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(&a_csc, &a, &cfg);
+            let (c, profile) = pb(&cfg).multiply_csc_with_profile::<PlusTimes<f64>>(&a_csc, &a);
             assert!(csr_approx_eq(&c, &expected, 1e-9), "domains = {domains}");
             // Structure is exactly that of the unpartitioned product.
             assert_eq!(c.rowptr(), single.rowptr(), "domains = {domains}");
@@ -498,9 +553,10 @@ mod tests {
         // A small assumed L2 keeps the derived bin count well above one on
         // this deliberately small workload, so the skew is observable.
         let cfg = PbConfig::auto_tuned().with_l2_bytes(4096);
+        let engine = pb(&cfg);
         let mut nbins_seen = Vec::new();
         for _ in 0..5 {
-            let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(&a_csc, &a, &cfg);
+            let (c, profile) = engine.multiply_csc_with_profile::<PlusTimes<f64>>(&a_csc, &a);
             assert!(csr_approx_eq(&c, &expected, 1e-9));
             nbins_seen.push(profile.nbins);
             assert!(
@@ -534,16 +590,10 @@ mod tests {
         let a_csc = a.to_csc();
         let expected = reference_multiply(&a, &a);
         let base = PbConfig::default().with_nbins(1);
-        let (unsplit, _) = multiply_with_profile::<PlusTimes<f64>>(
-            &a_csc,
-            &a,
-            &base.clone().with_compress_split(CompressSplit::Never),
-        );
-        let (split, profile) = multiply_with_profile::<PlusTimes<f64>>(
-            &a_csc,
-            &a,
-            &base.with_compress_split(CompressSplit::Always),
-        );
+        let (unsplit, _) = pb(&base.clone().with_compress_split(CompressSplit::Never))
+            .multiply_csc_with_profile::<PlusTimes<f64>>(&a_csc, &a);
+        let (split, profile) = pb(&base.with_compress_split(CompressSplit::Always))
+            .multiply_csc_with_profile::<PlusTimes<f64>>(&a_csc, &a);
         assert!(profile.flop as usize >= compress::SPLIT_MIN_TUPLES);
         assert_eq!(profile.stats.split_bins, 1, "the single bin was split");
         assert!(profile.stats.split_chunks >= 2);
@@ -560,16 +610,12 @@ mod tests {
         // multi-thread pool.
         let a = rmat_square(8, 6, 51).map_values(|_| 1.0);
         let a_csc = a.to_csc();
-        let fresh = multiply(&a_csc, &a, &PbConfig::default());
+        let fresh = SpGemm::pb().multiply_csc(&a_csc, &a);
         let ws = std::sync::Arc::new(Workspace::new());
+        let engine = SpGemm::pb().workspace(std::sync::Arc::clone(&ws));
         let mut profiles = Vec::new();
         for _ in 0..4 {
-            let (c, p) = multiply_with_profile_reusing::<PlusTimes<f64>>(
-                &a_csc,
-                &a,
-                &PbConfig::default(),
-                &ws,
-            );
+            let (c, p) = engine.multiply_csc_with_profile::<PlusTimes<f64>>(&a_csc, &a);
             assert_eq!(c.rowptr(), fresh.rowptr());
             assert_eq!(c.colidx(), fresh.colidx());
             assert_eq!(c.values(), fresh.values());
@@ -591,32 +637,37 @@ mod tests {
     }
 
     #[test]
-    fn multiply_csr_convenience_matches_csc_entry_point() {
+    fn deprecated_shims_still_delegate_to_the_same_pipeline() {
+        // The shims must keep working verbatim for one more release; they
+        // are the only deprecated calls allowed outside docs.
+        #![allow(deprecated)]
         let a = erdos_renyi_square(7, 4, 14);
-        let via_csr = multiply_csr(&a, &a, &PbConfig::default());
-        let via_csc = multiply(&a.to_csc(), &a, &PbConfig::default());
-        assert!(csr_approx_eq(&via_csr, &via_csc, 1e-12));
+        let via_shim = multiply_csr(&a, &a, &PbConfig::default());
+        let via_engine = SpGemm::pb().multiply(&a, &a);
+        assert!(csr_approx_eq(&via_shim, &via_engine, 1e-12));
+        let via_csc_shim = multiply(&a.to_csc(), &a, &PbConfig::default());
+        assert!(csr_approx_eq(&via_csc_shim, &via_engine, 1e-12));
     }
 
     #[test]
     fn identity_and_permutation_products() {
         let id = Csr::<f64>::identity(64);
         let a = erdos_renyi_square(6, 4, 15);
-        let c = multiply(&id.to_csc(), &a, &PbConfig::default());
+        let c = SpGemm::pb().multiply(&id, &a);
         assert!(csr_approx_eq(&c, &a, 1e-12));
-        let c = multiply(&a.to_csc(), &id, &PbConfig::default());
+        let c = SpGemm::pb().multiply(&a, &id);
         assert!(csr_approx_eq(&c, &a, 1e-12));
     }
 
     #[test]
     fn empty_and_tiny_inputs() {
         let empty: Csr<f64> = Csr::empty(10, 10);
-        let c = multiply(&empty.to_csc(), &empty, &PbConfig::default());
+        let c = SpGemm::pb().multiply(&empty, &empty);
         assert_eq!(c.nnz(), 0);
         assert_eq!(c.shape(), (10, 10));
 
         let single = Coo::from_entries(1, 1, vec![(0, 0, 3.0)]).unwrap().to_csr();
-        let c = multiply(&single.to_csc(), &single, &PbConfig::default());
+        let c = SpGemm::pb().multiply(&single, &single);
         assert_eq!(c.get(0, 0), Some(9.0));
     }
 
@@ -625,6 +676,6 @@ mod tests {
     fn mismatched_shapes_panic() {
         let a: Csr<f64> = Csr::empty(4, 5);
         let b: Csr<f64> = Csr::empty(6, 4);
-        let _ = multiply(&a.to_csc(), &b, &PbConfig::default());
+        let _ = SpGemm::pb().multiply_csc(&a.to_csc(), &b);
     }
 }

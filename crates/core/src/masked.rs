@@ -20,9 +20,11 @@ use crate::bins::{BinnedTuples, Entry};
 use crate::config::PbConfig;
 use crate::{assemble, compress, expand, symbolic};
 
-/// Runs PB-SpGEMM and keeps only the output entries whose coordinates are
-/// stored in `mask` (values of the mask are ignored).
-pub fn multiply_masked_with<S: Semiring, M: Scalar>(
+/// The masked PB pipeline primitive: keeps only the output entries whose
+/// coordinates are stored in `mask` (values of the mask are ignored).  The
+/// [`SpGemm`](crate::SpGemm) engine's masked PB arm and the deprecated
+/// free-function shims both funnel through here.
+pub(crate) fn pb_multiply_masked_with<S: Semiring, M: Scalar>(
     a: &Csc<S::Elem>,
     b: &Csr<S::Elem>,
     mask: &Csr<M>,
@@ -37,6 +39,20 @@ pub fn multiply_masked_with<S: Semiring, M: Scalar>(
     // count gets a dedicated pool whose worker↔domain labels match the
     // bin partition.
     crate::install_config_pool(config, || run_masked_phases::<S, M>(a, b, mask, config))
+}
+
+/// Runs PB-SpGEMM and keeps only the output entries whose coordinates are
+/// stored in `mask` (values of the mask are ignored).
+#[deprecated(
+    note = "use `SpGemm::pb().config(..).mask(mask).multiply_csc_with::<S>(a, b)` — see docs/API.md"
+)]
+pub fn multiply_masked_with<S: Semiring, M: Scalar>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    mask: &Csr<M>,
+    config: &PbConfig,
+) -> Csr<S::Elem> {
+    pb_multiply_masked_with::<S, M>(a, b, mask, config)
 }
 
 fn run_masked_phases<S: Semiring, M: Scalar>(
@@ -82,13 +98,16 @@ fn run_masked_phases<S: Semiring, M: Scalar>(
 }
 
 /// Masked multiply with ordinary `+`/`×` over a numeric type.
+#[deprecated(
+    note = "use `SpGemm::pb().config(..).mask(mask).multiply_csc(a, b)` — see docs/API.md"
+)]
 pub fn multiply_masked<T: Numeric, M: Scalar>(
     a: &Csc<T>,
     b: &Csr<T>,
     mask: &Csr<M>,
     config: &PbConfig,
 ) -> Csr<T> {
-    multiply_masked_with::<PlusTimes<T>, M>(a, b, mask, config)
+    pb_multiply_masked_with::<PlusTimes<T>, M>(a, b, mask, config)
 }
 
 /// Drops from every bin the (already compressed) tuples whose coordinates are
@@ -140,7 +159,7 @@ fn apply_mask<V: Scalar, M: Scalar>(tuples: &mut BinnedTuples<V>, mask: &Csr<M>)
 mod tests {
     use super::*;
     use crate::config::BinMapping;
-    use crate::multiply;
+    use crate::SpGemm;
     use pb_gen::{erdos_renyi_square, rmat_square};
     use pb_sparse::ops::mask_by_pattern;
     use pb_sparse::reference::{csr_approx_eq, multiply_csr};
@@ -152,6 +171,14 @@ mod tests {
         mask_by_pattern(&multiply_csr(a, a), mask)
     }
 
+    /// The engine spelling of a masked PB multiply with these knobs.
+    fn masked_pb(a_csc: &Csc<f64>, b: &Csr<f64>, mask: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+        SpGemm::pb()
+            .config(cfg.clone())
+            .mask(mask)
+            .multiply_csc(a_csc, b)
+    }
+
     #[test]
     fn masked_multiplies_feed_the_autotune_loop() {
         // A masked-only workload must still adapt the tuner: start from a
@@ -161,7 +188,7 @@ mod tests {
         let a_csc = a.to_csc();
         let cfg = crate::PbConfig::auto_tuned_from_lines(1);
         for _ in 0..6 {
-            let got = multiply_masked(&a_csc, &a, &a, &cfg);
+            let got = masked_pb(&a_csc, &a, &a, &cfg);
             assert!(csr_approx_eq(&got, &expected(&a, &a), 1e-9));
         }
         let tuner = cfg.auto_tune().unwrap();
@@ -177,7 +204,7 @@ mod tests {
         for seed in [1u64, 7] {
             let a = rmat_square(7, 6, seed);
             let want = expected(&a, &a);
-            let got = multiply_masked(&a.to_csc(), &a, &a, &PbConfig::default());
+            let got = SpGemm::pb().mask(&a).multiply(&a, &a);
             assert!(csr_approx_eq(&got, &want, 1e-9), "seed {seed}");
         }
     }
@@ -191,7 +218,7 @@ mod tests {
                 let cfg = PbConfig::default()
                     .with_bin_mapping(mapping)
                     .with_nbins(nbins);
-                let got = multiply_masked(&a.to_csc(), &a, &a, &cfg);
+                let got = masked_pb(&a.to_csc(), &a, &a, &cfg);
                 assert!(
                     csr_approx_eq(&got, &want, 1e-9),
                     "{mapping:?} nbins={nbins}"
@@ -204,7 +231,7 @@ mod tests {
     fn empty_mask_gives_empty_output() {
         let a = erdos_renyi_square(6, 4, 5);
         let mask = Csr::<f64>::empty(a.nrows(), a.ncols());
-        let got = multiply_masked(&a.to_csc(), &a, &mask, &PbConfig::default());
+        let got = SpGemm::pb().mask(&mask).multiply(&a, &a);
         assert_eq!(got.nnz(), 0);
         assert_eq!(got.shape(), (a.nrows(), a.ncols()));
     }
@@ -212,15 +239,15 @@ mod tests {
     #[test]
     fn mask_covering_the_whole_product_changes_nothing() {
         let a = erdos_renyi_square(6, 4, 9);
-        let full = multiply(&a.to_csc(), &a, &PbConfig::default());
-        let got = multiply_masked(&a.to_csc(), &a, &full, &PbConfig::default());
+        let full = SpGemm::pb().multiply(&a, &a);
+        let got = SpGemm::pb().mask(&full).multiply(&a, &a);
         assert!(csr_approx_eq(&got, &full, 1e-12));
     }
 
     #[test]
     fn boolean_semiring_masked_product() {
         let a = rmat_square(6, 4, 13).map_values(|_| true);
-        let got = multiply_masked_with::<OrAnd, bool>(&a.to_csc(), &a, &a, &PbConfig::default());
+        let got = SpGemm::pb().mask(&a).multiply_with::<OrAnd>(&a, &a);
         let want = mask_by_pattern(
             &pb_sparse::reference::multiply_csr_with::<OrAnd>(&a, &a),
             &a,
@@ -254,7 +281,7 @@ mod tests {
             })
             .collect();
         let mask = Coo::from_entries(40, 31, band_entries).unwrap().to_csr();
-        let got = multiply_masked(&a.to_csc(), &b, &mask, &PbConfig::default());
+        let got = SpGemm::pb().mask(&mask).multiply(&a, &b);
         let want = mask_by_pattern(&multiply_csr(&a, &b), &mask);
         assert!(csr_approx_eq(&got, &want, 1e-9));
     }
@@ -264,6 +291,6 @@ mod tests {
     fn wrong_mask_shape_panics() {
         let a = erdos_renyi_square(5, 3, 1);
         let mask = Csr::<f64>::empty(3, 3);
-        let _ = multiply_masked(&a.to_csc(), &a, &mask, &PbConfig::default());
+        let _ = SpGemm::pb().mask(&mask).multiply(&a, &a);
     }
 }

@@ -15,7 +15,7 @@ use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
 use pb_sparse::{Csr, Index};
 
 use crate::config::PbConfig;
-use crate::multiply_with;
+use crate::pb_multiply_with_profile;
 
 /// Splits `a` (CSR) into `parts` contiguous row blocks.
 fn row_blocks<T: pb_sparse::Scalar>(a: &Csr<T>, parts: usize) -> Vec<Csr<T>> {
@@ -82,7 +82,7 @@ pub fn multiply_partitioned_with<S: Semiring>(
     let blocks = row_blocks(a, parts);
     let partials: Vec<Csr<S::Elem>> = blocks
         .into_iter()
-        .map(|block| multiply_with::<S>(&block.to_csc_generic(), b, config))
+        .map(|block| pb_multiply_with_profile::<S>(&block.to_csc_generic(), b, config).0)
         .collect();
     vstack(&partials, b.ncols())
 }

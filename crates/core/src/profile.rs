@@ -149,6 +149,26 @@ pub struct PhaseStats {
     pub split_chunks: usize,
     /// Output rows with at least one nonzero (assemble phase).
     pub nonempty_rows: usize,
+    /// Which kernel the [`Planner`](crate::planner::Planner) dispatched this
+    /// multiply to, or
+    /// [`PlannedKernel::Unplanned`](crate::planner::PlannedKernel::Unplanned)
+    /// when the caller forced
+    /// an algorithm (every direct `multiply_*` call and every explicit
+    /// engine algorithm reports `Unplanned`).
+    pub planned_algorithm: crate::planner::PlannedKernel,
+    /// The planner's pre-multiply compression-factor estimate (`flop /
+    /// estimated nnz(C)`; 0 when unplanned).  Compare with
+    /// [`SpGemmProfile::cf`] to judge the estimator.
+    pub planned_cf_estimate: f64,
+    /// Row-nnz skew of `B` (max row nnz over mean row nnz) the planner saw;
+    /// 0 when unplanned.
+    pub planned_row_skew: f64,
+    /// Bin-occupancy skew the planner projected from the per-column flop
+    /// distribution; 0 when unplanned.
+    pub planned_bin_skew: f64,
+    /// Arithmetic intensity signal `flop / (nnz(A) + nnz(B))` the planner
+    /// saw; 0 when unplanned.
+    pub planned_flop_per_nnz: f64,
 }
 
 impl Default for PhaseStats {
@@ -176,6 +196,11 @@ impl Default for PhaseStats {
             split_bins: 0,
             split_chunks: 0,
             nonempty_rows: 0,
+            planned_algorithm: crate::planner::PlannedKernel::Unplanned,
+            planned_cf_estimate: 0.0,
+            planned_row_skew: 0.0,
+            planned_bin_skew: 0.0,
+            planned_flop_per_nnz: 0.0,
         }
     }
 }
@@ -447,6 +472,14 @@ impl StatsCollector {
             split_bins: self.split_bins.load(Ordering::Relaxed),
             split_chunks: self.split_chunks.load(Ordering::Relaxed),
             nonempty_rows: self.nonempty_rows.load(Ordering::Relaxed),
+            // The planner stamps its decision onto the profile after the
+            // multiply returns (see `SpGemm::multiply_with_profile`); the
+            // collector itself only ever sees a forced-kernel pipeline.
+            planned_algorithm: crate::planner::PlannedKernel::Unplanned,
+            planned_cf_estimate: 0.0,
+            planned_row_skew: 0.0,
+            planned_bin_skew: 0.0,
+            planned_flop_per_nnz: 0.0,
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use pb_sparse::{Coo, Csr};
 
-use crate::engine::SpGemmEngine;
+use pb_spgemm::SpGemm;
 
 /// One level of an AMG hierarchy: the piecewise-constant prolongation matrix
 /// and the Galerkin coarse operator it produces.
@@ -91,7 +91,7 @@ pub fn aggregate_coarsening(a: &Csr<f64>) -> Csr<f64> {
 
 /// The Galerkin triple product `Pᵀ·A·P`, computed as two SpGEMMs with the
 /// given engine.
-pub fn galerkin_product(a: &Csr<f64>, p: &Csr<f64>, engine: &SpGemmEngine) -> Csr<f64> {
+pub fn galerkin_product(a: &Csr<f64>, p: &Csr<f64>, engine: &SpGemm) -> Csr<f64> {
     assert_eq!(a.nrows(), a.ncols(), "the fine operator must be square");
     assert_eq!(
         a.ncols(),
@@ -105,7 +105,7 @@ pub fn galerkin_product(a: &Csr<f64>, p: &Csr<f64>, engine: &SpGemmEngine) -> Cs
 
 /// Builds one coarsening level: aggregates the fine operator and forms the
 /// Galerkin coarse operator.
-pub fn coarsen(a: &Csr<f64>, engine: &SpGemmEngine) -> AmgLevel {
+pub fn coarsen(a: &Csr<f64>, engine: &SpGemm) -> AmgLevel {
     let prolongation = aggregate_coarsening(a);
     let coarse = galerkin_product(a, &prolongation, engine);
     AmgLevel {
@@ -153,7 +153,7 @@ mod tests {
     fn galerkin_operator_matches_the_dense_reference() {
         let a = laplacian_1d(16);
         let p = aggregate_coarsening(&a);
-        let engine = SpGemmEngine::pb();
+        let engine = SpGemm::pb();
         let coarse = galerkin_product(&a, &p, &engine);
         let expected = reference::multiply_csr(&p.transpose(), &reference::multiply_csr(&a, &p));
         assert!(reference::csr_approx_eq(&coarse, &expected, 1e-9));
@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn laplacian_structure_is_preserved_on_the_coarse_grid() {
         let a = laplacian_1d(64);
-        let level = coarsen(&a, &SpGemmEngine::pb());
+        let level = coarsen(&a, &SpGemm::pb());
         let coarse = &level.coarse;
         assert!(level.coarse_size() < level.fine_size());
         assert!(level.coarsening_ratio() >= 2.0);
@@ -194,8 +194,8 @@ mod tests {
             ops::add(&r, &r.transpose())
         };
         let p = aggregate_coarsening(&a);
-        let reference_coarse = galerkin_product(&a, &p, &SpGemmEngine::Reference);
-        for engine in SpGemmEngine::paper_set() {
+        let reference_coarse = galerkin_product(&a, &p, &SpGemm::reference());
+        for engine in SpGemm::paper_set() {
             let coarse = galerkin_product(&a, &p, &engine);
             assert!(
                 reference::csr_approx_eq(&coarse, &reference_coarse, 1e-9),
@@ -213,7 +213,7 @@ mod tests {
             if current.nrows() <= 4 {
                 break;
             }
-            let level = coarsen(&current, &SpGemmEngine::pb());
+            let level = coarsen(&current, &SpGemm::pb());
             sizes.push(level.coarse_size());
             current = level.coarse;
         }

@@ -10,7 +10,7 @@
 use pb_sparse::semiring::MinPlus;
 use pb_sparse::{ops, Coo, Csr};
 
-use crate::engine::SpGemmEngine;
+use pb_spgemm::SpGemm;
 
 /// Above this many vertices the distance matrix is essentially dense and the
 /// repeated-squaring approach stops being sensible; callers get a debug
@@ -23,7 +23,7 @@ pub const APSP_DENSE_LIMIT: usize = 4096;
 /// Returns a CSR matrix whose entry `(u, v)` is the distance from `u` to `v`;
 /// unreachable pairs are simply not stored.  Diagonal entries are stored with
 /// distance zero.
-pub fn apsp_minplus(weights: &Csr<f64>, engine: &SpGemmEngine) -> Csr<f64> {
+pub fn apsp_minplus(weights: &Csr<f64>, engine: &SpGemm) -> Csr<f64> {
     assert_eq!(
         weights.nrows(),
         weights.ncols(),
@@ -105,7 +105,7 @@ mod tests {
         d
     }
 
-    fn check_against_oracle(weights: &Csr<f64>, engine: &SpGemmEngine) {
+    fn check_against_oracle(weights: &Csr<f64>, engine: &SpGemm) {
         let dist = apsp_minplus(weights, engine);
         let expected = oracle(weights);
         for (i, expected_row) in expected.iter().enumerate() {
@@ -129,11 +129,11 @@ mod tests {
         )
         .unwrap()
         .to_csr();
-        let dist = apsp_minplus(&g, &SpGemmEngine::pb());
+        let dist = apsp_minplus(&g, &SpGemm::pb());
         assert_eq!(dist.get(0, 3), Some(6.0)); // 1 + 2 + 3
         assert_eq!(dist.get(3, 2), Some(7.0)); // 4 + 1 + 2
         assert_eq!(dist.get(2, 2), Some(0.0));
-        check_against_oracle(&g, &SpGemmEngine::pb());
+        check_against_oracle(&g, &SpGemm::pb());
     }
 
     #[test]
@@ -141,7 +141,7 @@ mod tests {
         let g = Coo::from_entries(3, 3, vec![(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)])
             .unwrap()
             .to_csr();
-        let dist = apsp_minplus(&g, &SpGemmEngine::pb());
+        let dist = apsp_minplus(&g, &SpGemm::pb());
         assert_eq!(dist.get(0, 1), Some(2.0));
     }
 
@@ -150,7 +150,7 @@ mod tests {
         let g = Coo::from_entries(4, 4, vec![(0, 1, 1.0), (2, 3, 1.0)])
             .unwrap()
             .to_csr();
-        let dist = apsp_minplus(&g, &SpGemmEngine::pb());
+        let dist = apsp_minplus(&g, &SpGemm::pb());
         assert_eq!(dist.get(0, 3), None);
         assert_eq!(dist.get(1, 0), None);
         assert_eq!(dist.get(0, 1), Some(1.0));
@@ -161,7 +161,7 @@ mod tests {
         for seed in [3u64, 8] {
             // Small random digraphs with weights in (0, 1].
             let g = erdos_renyi_square(4, 3, seed).map_values(|v| v.abs().max(0.05));
-            for engine in SpGemmEngine::paper_set() {
+            for engine in SpGemm::paper_set() {
                 check_against_oracle(&g, &engine);
             }
         }
@@ -172,7 +172,7 @@ mod tests {
         let g = Coo::from_entries(2, 2, vec![(0, 0, 5.0), (0, 1, 2.0)])
             .unwrap()
             .to_csr();
-        let dist = apsp_minplus(&g, &SpGemmEngine::pb());
+        let dist = apsp_minplus(&g, &SpGemm::pb());
         assert_eq!(
             dist.get(0, 0),
             Some(0.0),
@@ -181,6 +181,6 @@ mod tests {
         assert_eq!(dist.get(0, 1), Some(2.0));
 
         let empty = Csr::<f64>::empty(0, 0);
-        assert_eq!(apsp_minplus(&empty, &SpGemmEngine::pb()).nnz(), 0);
+        assert_eq!(apsp_minplus(&empty, &SpGemm::pb()).nnz(), 0);
     }
 }

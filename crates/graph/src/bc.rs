@@ -14,8 +14,8 @@
 
 use pb_sparse::{Coo, Csr};
 
-use crate::engine::SpGemmEngine;
 use crate::triangles::to_simple_undirected;
+use pb_spgemm::SpGemm;
 
 /// Computes (optionally source-sampled) betweenness centrality.
 ///
@@ -31,7 +31,7 @@ pub fn betweenness_centrality<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
     sources: &[usize],
     batch_size: usize,
-    engine: &SpGemmEngine,
+    engine: &SpGemm,
 ) -> Vec<f64> {
     let a = to_simple_undirected(adjacency);
     let n = a.nrows();
@@ -62,12 +62,7 @@ pub fn betweenness_centrality<T: pb_sparse::Scalar>(
 
 /// Runs the forward and backward sweeps for one batch of sources and adds the
 /// resulting dependencies into `centrality`.
-fn accumulate_batch(
-    a: &Csr<f64>,
-    sources: &[usize],
-    engine: &SpGemmEngine,
-    centrality: &mut [f64],
-) {
+fn accumulate_batch(a: &Csr<f64>, sources: &[usize], engine: &SpGemm, centrality: &mut [f64]) {
     let n = a.nrows();
     let s = sources.len();
 
@@ -214,7 +209,7 @@ mod tests {
         // On a path of 5 vertices, vertex i lies on i*(n-1-i) shortest paths.
         let g = path_graph(5);
         let all: Vec<usize> = (0..5).collect();
-        let bc = betweenness_centrality(&g, &all, 2, &SpGemmEngine::pb());
+        let bc = betweenness_centrality(&g, &all, 2, &SpGemm::pb());
         assert_close(&bc, &[0.0, 3.0, 4.0, 3.0, 0.0]);
     }
 
@@ -224,7 +219,7 @@ mod tests {
             .unwrap()
             .to_csr();
         let all: Vec<usize> = (0..5).collect();
-        let bc = betweenness_centrality(&g, &all, 5, &SpGemmEngine::pb());
+        let bc = betweenness_centrality(&g, &all, 5, &SpGemm::pb());
         // Centre: C(4, 2) = 6 pairs of leaves; leaves: 0.
         assert_close(&bc, &[6.0, 0.0, 0.0, 0.0, 0.0]);
     }
@@ -235,7 +230,7 @@ mod tests {
             let g = erdos_renyi_square(5, 3, seed);
             let expected = oracle(&g);
             let all: Vec<usize> = (0..g.nrows()).collect();
-            for engine in SpGemmEngine::paper_set() {
+            for engine in SpGemm::paper_set() {
                 let bc = betweenness_centrality(&g, &all, 8, &engine);
                 assert_close(&bc, &expected);
             }
@@ -246,9 +241,9 @@ mod tests {
     fn batch_size_does_not_change_the_result() {
         let g = erdos_renyi_square(5, 4, 7);
         let all: Vec<usize> = (0..g.nrows()).collect();
-        let reference = betweenness_centrality(&g, &all, usize::MAX, &SpGemmEngine::pb());
+        let reference = betweenness_centrality(&g, &all, usize::MAX, &SpGemm::pb());
         for batch in [1usize, 3, 8, 17] {
-            let bc = betweenness_centrality(&g, &all, batch, &SpGemmEngine::pb());
+            let bc = betweenness_centrality(&g, &all, batch, &SpGemm::pb());
             assert_close(&bc, &reference);
         }
     }
@@ -256,7 +251,7 @@ mod tests {
     #[test]
     fn sampled_sources_give_partial_scores() {
         let g = path_graph(6);
-        let bc = betweenness_centrality(&g, &[0], 1, &SpGemmEngine::pb());
+        let bc = betweenness_centrality(&g, &[0], 1, &SpGemm::pb());
         // Only paths starting at vertex 0 are counted (and halved): vertex 1
         // lies on the paths to 2, 3, 4, 5.
         assert_close(&bc, &[0.0, 2.0, 1.5, 1.0, 0.5, 0.0]);
@@ -265,15 +260,15 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let g = Csr::<f64>::empty(4, 4);
-        let bc = betweenness_centrality(&g, &[0, 1, 2, 3], 2, &SpGemmEngine::pb());
+        let bc = betweenness_centrality(&g, &[0, 1, 2, 3], 2, &SpGemm::pb());
         assert_eq!(bc, vec![0.0; 4]);
-        let none = betweenness_centrality(&path_graph(4), &[], 2, &SpGemmEngine::pb());
+        let none = betweenness_centrality(&path_graph(4), &[], 2, &SpGemm::pb());
         assert_eq!(none, vec![0.0; 4]);
     }
 
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn invalid_source_panics() {
-        let _ = betweenness_centrality(&path_graph(3), &[9], 1, &SpGemmEngine::pb());
+        let _ = betweenness_centrality(&path_graph(3), &[9], 1, &SpGemm::pb());
     }
 }

@@ -12,7 +12,7 @@ use pb_sparse::vector::SparseVec;
 use pb_sparse::{Coo, Csr, Index};
 use pb_spmv::spmspv::spmspv_with;
 
-use crate::engine::SpGemmEngine;
+use pb_spgemm::SpGemm;
 
 /// Result of a (multi-source) breadth-first search.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,7 +76,7 @@ pub fn single_source_bfs<T: pb_sparse::Scalar>(
 pub fn multi_source_bfs<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
     sources: &[usize],
-    engine: &SpGemmEngine,
+    engine: &SpGemm,
 ) -> BfsResult {
     assert_eq!(
         adjacency.nrows(),
@@ -144,7 +144,7 @@ pub fn multi_source_bfs<T: pb_sparse::Scalar>(
 pub fn multi_source_bfs_first_k<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
     k: usize,
-    engine: &SpGemmEngine,
+    engine: &SpGemm,
 ) -> BfsResult {
     let sources: Vec<usize> = (0..k.min(adjacency.nrows())).collect();
     multi_source_bfs(adjacency, &sources, engine)
@@ -209,7 +209,7 @@ mod tests {
     fn multi_source_agrees_with_repeated_single_source() {
         let g = rmat_square(6, 5, 13);
         let sources = [0usize, 3, 17, 40];
-        for engine in SpGemmEngine::paper_set() {
+        for engine in SpGemm::paper_set() {
             let result = multi_source_bfs(&g, &sources, &engine);
             for (k, &src) in sources.iter().enumerate() {
                 assert_eq!(
@@ -239,7 +239,7 @@ mod tests {
         )
         .unwrap()
         .to_csr();
-        let result = multi_source_bfs(&g, &[0, 3], &SpGemmEngine::pb());
+        let result = multi_source_bfs(&g, &[0, 3], &SpGemm::pb());
         assert_eq!(result.reached(0), 3);
         assert_eq!(result.reached(1), 2);
         assert_eq!(result.levels[0][3], None);
@@ -249,7 +249,7 @@ mod tests {
     #[test]
     fn zero_sources_and_tiny_graphs() {
         let g = path_graph(4);
-        let result = multi_source_bfs(&g, &[], &SpGemmEngine::pb());
+        let result = multi_source_bfs(&g, &[], &SpGemm::pb());
         assert_eq!(result.iterations, 0);
         assert!(result.levels.is_empty());
 
@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn first_k_helper_uses_the_first_vertices() {
         let g = rmat_square(5, 4, 2);
-        let result = multi_source_bfs_first_k(&g, 3, &SpGemmEngine::pb());
+        let result = multi_source_bfs_first_k(&g, 3, &SpGemm::pb());
         assert_eq!(result.levels.len(), 3);
         for (k, lv) in result.levels.iter().enumerate() {
             assert_eq!(lv[k], Some(0));

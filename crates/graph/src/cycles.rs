@@ -7,7 +7,7 @@
 
 use pb_sparse::{ops, Csr};
 
-use crate::engine::SpGemmEngine;
+use pb_spgemm::SpGemm;
 
 /// Number of closed walks of length `k` (per starting vertex summed), i.e.
 /// `trace(A^k)`, for the directed graph with 0/1 adjacency pattern taken from
@@ -15,7 +15,7 @@ use crate::engine::SpGemmEngine;
 pub fn count_closed_walks<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
     k: usize,
-    engine: &SpGemmEngine,
+    engine: &SpGemm,
 ) -> u64 {
     assert!(k >= 1, "walk length must be at least 1");
     assert_eq!(
@@ -34,13 +34,13 @@ pub fn count_closed_walks<T: pb_sparse::Scalar>(
 pub fn has_cycle_of_length<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
     k: usize,
-    engine: &SpGemmEngine,
+    engine: &SpGemm,
 ) -> bool {
     count_closed_walks(adjacency, k, engine) > 0
 }
 
 /// Computes `A^k` by iterated multiplication with the given engine.
-fn matrix_power(a: &Csr<f64>, k: usize, engine: &SpGemmEngine) -> Csr<f64> {
+fn matrix_power(a: &Csr<f64>, k: usize, engine: &SpGemm) -> Csr<f64> {
     let mut power = a.clone();
     for _ in 1..k {
         power = engine.multiply(&power, a);
@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn triangle_is_detected_at_length_three_only() {
         let g = directed_triangle_plus_tail();
-        let engine = SpGemmEngine::pb();
+        let engine = SpGemm::pb();
         assert!(!has_cycle_of_length(&g, 1, &engine), "no self loops");
         assert!(!has_cycle_of_length(&g, 2, &engine), "no 2-cycles");
         assert!(has_cycle_of_length(&g, 3, &engine));
@@ -83,7 +83,7 @@ mod tests {
         let g = Coo::from_entries(3, 3, vec![(0, 1, 1.0), (1, 0, 1.0), (2, 2, 1.0)])
             .unwrap()
             .to_csr();
-        let engine = SpGemmEngine::pb();
+        let engine = SpGemm::pb();
         // The self loop is a closed walk of every length.
         assert_eq!(count_closed_walks(&g, 1, &engine), 1);
         // Length 2: the 2-cycle contributes 2 (one per endpoint) plus the loop.
@@ -102,19 +102,15 @@ mod tests {
         .unwrap()
         .to_csr();
         for k in 1..=4 {
-            assert_eq!(
-                count_closed_walks(&g, k, &SpGemmEngine::pb()),
-                0,
-                "length {k}"
-            );
+            assert_eq!(count_closed_walks(&g, k, &SpGemm::pb()), 0, "length {k}");
         }
     }
 
     #[test]
     fn all_engines_agree_on_random_digraphs() {
         let g = rmat_square(5, 3, 23);
-        let expected = count_closed_walks(&g, 3, &SpGemmEngine::Reference);
-        for engine in SpGemmEngine::paper_set() {
+        let expected = count_closed_walks(&g, 3, &SpGemm::reference());
+        for engine in SpGemm::paper_set() {
             assert_eq!(
                 count_closed_walks(&g, 3, &engine),
                 expected,
@@ -129,13 +125,13 @@ mod tests {
         let weighted = Coo::from_entries(3, 3, vec![(0, 1, 0.5), (1, 2, 7.0), (2, 0, -3.0)])
             .unwrap()
             .to_csr();
-        assert_eq!(count_closed_walks(&weighted, 3, &SpGemmEngine::pb()), 3);
+        assert_eq!(count_closed_walks(&weighted, 3, &SpGemm::pb()), 3);
     }
 
     #[test]
     #[should_panic(expected = "at least 1")]
     fn zero_length_walks_are_rejected() {
         let g = directed_triangle_plus_tail();
-        let _ = count_closed_walks(&g, 0, &SpGemmEngine::pb());
+        let _ = count_closed_walks(&g, 0, &SpGemm::pb());
     }
 }

@@ -1,20 +1,29 @@
-//! Engine selection: every graph kernel is parameterised by *which* SpGEMM
-//! implementation performs its matrix products, so the application-level
-//! benchmarks can compare PB-SpGEMM against the column-SpGEMM baselines on
-//! identical workloads.
+//! The graph crate's original engine enum, superseded by the unified
+//! [`SpGemm`] engine in `pb-spgemm`.
+//!
+//! [`SpGemmEngine`] survives one more release as a deprecated shim so
+//! downstream code migrates mechanically: every variant converts losslessly
+//! into a [`SpGemm`] via `From`, and `docs/API.md` maps each constructor to
+//! its engine-builder equivalent.  All graph kernels now take [`SpGemm`]
+//! directly.
+
+#![allow(deprecated)]
 
 use std::sync::Arc;
 
 use pb_baseline::Baseline;
 use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
 use pb_sparse::{reference, Csr};
-use pb_spgemm::{PbConfig, Workspace};
+use pb_spgemm::{PbConfig, SpGemm, Workspace};
 
 /// Which SpGEMM implementation a graph kernel uses for its matrix products.
 ///
 /// Cheap to clone ([`PbConfig`] is a handful of scalars plus an optional
 /// shared `Arc`); not `Copy` because an auto-tuned `PbConfig` carries that
 /// shared autotuner handle.
+#[deprecated(
+    note = "use the unified `pb_spgemm::SpGemm` engine (`SpGemm::pb()`, `SpGemm::baseline(..)`, `SpGemm::reference()`, `SpGemm::auto()`) — see docs/API.md"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpGemmEngine {
     /// The paper's outer-product propagation-blocking algorithm.
@@ -30,6 +39,16 @@ pub enum SpGemmEngine {
 impl Default for SpGemmEngine {
     fn default() -> Self {
         SpGemmEngine::PropagationBlocking(PbConfig::default())
+    }
+}
+
+impl From<SpGemmEngine> for SpGemm {
+    fn from(engine: SpGemmEngine) -> SpGemm {
+        match engine {
+            SpGemmEngine::PropagationBlocking(cfg) => SpGemm::pb().config(cfg),
+            SpGemmEngine::Baseline(b) => SpGemm::baseline(b),
+            SpGemmEngine::Reference => SpGemm::reference(),
+        }
     }
 }
 
@@ -100,7 +119,7 @@ impl SpGemmEngine {
     {
         match self {
             SpGemmEngine::PropagationBlocking(cfg) => {
-                pb_spgemm::multiply_with::<S>(&a.to_csc(), b, cfg)
+                SpGemm::pb().config(cfg.clone()).multiply_with::<S>(a, b)
             }
             SpGemmEngine::Baseline(baseline) => baseline.multiply_with::<S>(a, b),
             SpGemmEngine::Reference => reference::multiply_csr_with::<S>(a, b),
@@ -184,5 +203,27 @@ mod tests {
             .with_iteration_workspace()
             .workspace()
             .is_none());
+    }
+
+    #[test]
+    fn every_variant_converts_into_the_unified_engine() {
+        let a = rmat_square(6, 4, 5);
+        let expected = reference::multiply_csr(&a, &a);
+        for old in [
+            SpGemmEngine::pb(),
+            SpGemmEngine::Baseline(Baseline::Hash),
+            SpGemmEngine::Reference,
+        ] {
+            let name = old.name();
+            let unified: SpGemm = old.into();
+            assert_eq!(unified.name(), name);
+            let c = unified.multiply(&a, &a);
+            assert!(csr_approx_eq(&c, &expected, 1e-9), "{name}");
+        }
+        // Workspace handles survive the conversion.
+        let old = SpGemmEngine::with_workspace();
+        let ws = old.workspace().cloned().unwrap();
+        let unified: SpGemm = old.into();
+        assert!(Arc::ptr_eq(unified.workspace_handle().unwrap(), &ws));
     }
 }

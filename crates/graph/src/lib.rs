@@ -7,9 +7,11 @@
 //! terms of the workspace's SpGEMM engines so they double as end-to-end,
 //! application-level exercises of the public API.
 //!
-//! Every kernel takes a [`SpGemmEngine`], so the same application code can
-//! run on PB-SpGEMM or on any of the column-SpGEMM baselines — which is how
-//! the application-level benchmarks compare them.
+//! Every kernel takes a unified [`SpGemm`] engine, so the same application
+//! code can run on PB-SpGEMM, on any of the column-SpGEMM baselines, or
+//! under the telemetry-driven planner (`SpGemm::auto()`) — which is how the
+//! application-level benchmarks compare them.  The old [`SpGemmEngine`]
+//! enum survives as a deprecated shim convertible `Into<SpGemm>`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -28,6 +30,8 @@ pub use apsp::{apsp_minplus, APSP_DENSE_LIMIT};
 pub use bc::betweenness_centrality;
 pub use bfs::{multi_source_bfs, single_source_bfs, BfsResult};
 pub use cycles::{count_closed_walks, has_cycle_of_length};
+#[allow(deprecated)]
 pub use engine::SpGemmEngine;
 pub use mcl::{markov_cluster, MclConfig, MclResult};
+pub use pb_spgemm::SpGemm;
 pub use triangles::{clustering_coefficients, count_triangles, triangle_counts_per_vertex};

@@ -15,7 +15,7 @@
 
 use pb_sparse::{ops, Csr};
 
-use crate::engine::SpGemmEngine;
+use pb_spgemm::SpGemm;
 
 /// Configuration of the Markov clustering iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,7 +29,7 @@ pub struct MclConfig {
     /// Hard cap on the number of expansion/inflation rounds.
     pub max_iterations: usize,
     /// SpGEMM engine used for the expansion step.
-    pub engine: SpGemmEngine,
+    pub engine: SpGemm,
     /// Weight added to the diagonal before normalisation (self loops make
     /// the iteration numerically robust; the classic choice is 1).
     pub self_loop_weight: f64,
@@ -42,7 +42,7 @@ impl Default for MclConfig {
             prune_threshold: 1e-5,
             tolerance: 1e-8,
             max_iterations: 60,
-            engine: SpGemmEngine::pb(),
+            engine: SpGemm::pb(),
             self_loop_weight: 1.0,
         }
     }
@@ -258,7 +258,7 @@ mod tests {
     fn all_engines_find_the_same_clustering() {
         let g = two_cliques();
         let reference = markov_cluster(&g, &MclConfig::default());
-        for engine in SpGemmEngine::paper_set() {
+        for engine in SpGemm::paper_set() {
             let cfg = MclConfig {
                 engine: engine.clone(),
                 ..MclConfig::default()
@@ -282,8 +282,8 @@ mod tests {
         // assemble staging reuses from iteration 2 onward even while the
         // flop is still growing toward its high-water mark).
         let g = two_cliques();
-        let engine = crate::engine::SpGemmEngine::with_workspace();
-        let ws = engine.workspace().cloned().unwrap();
+        let engine = SpGemm::with_workspace();
+        let ws = engine.workspace_handle().cloned().unwrap();
         let cfg = MclConfig {
             engine,
             ..MclConfig::default()

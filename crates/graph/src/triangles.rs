@@ -14,7 +14,7 @@
 
 use pb_sparse::{ops, Csr};
 
-use crate::engine::SpGemmEngine;
+use pb_spgemm::SpGemm;
 
 /// Canonicalises an arbitrary sparse matrix into a simple undirected 0/1
 /// adjacency matrix: symmetrised pattern, no self loops, unit values.
@@ -35,7 +35,7 @@ pub fn to_simple_undirected<T: pb_sparse::Scalar>(a: &Csr<T>) -> Csr<f64> {
 
 /// The masked common-neighbour matrix `(A·A) ∘ A` for a simple undirected
 /// adjacency matrix, computed with the given engine.
-fn common_neighbours(a: &Csr<f64>, engine: &SpGemmEngine) -> Csr<f64> {
+fn common_neighbours(a: &Csr<f64>, engine: &SpGemm) -> Csr<f64> {
     let squared = engine.multiply(a, a);
     ops::mask_by_pattern(&squared, a)
 }
@@ -43,7 +43,7 @@ fn common_neighbours(a: &Csr<f64>, engine: &SpGemmEngine) -> Csr<f64> {
 /// Total number of triangles in the graph whose (possibly directed, possibly
 /// weighted) adjacency matrix is `adjacency`.  The matrix is symmetrised and
 /// self loops are dropped before counting.
-pub fn count_triangles<T: pb_sparse::Scalar>(adjacency: &Csr<T>, engine: &SpGemmEngine) -> u64 {
+pub fn count_triangles<T: pb_sparse::Scalar>(adjacency: &Csr<T>, engine: &SpGemm) -> u64 {
     let a = to_simple_undirected(adjacency);
     let masked = common_neighbours(&a, engine);
     let total: f64 = masked.values().iter().sum();
@@ -53,7 +53,7 @@ pub fn count_triangles<T: pb_sparse::Scalar>(adjacency: &Csr<T>, engine: &SpGemm
 /// Number of triangles incident to every vertex.
 pub fn triangle_counts_per_vertex<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
-    engine: &SpGemmEngine,
+    engine: &SpGemm,
 ) -> Vec<u64> {
     let a = to_simple_undirected(adjacency);
     let masked = common_neighbours(&a, engine);
@@ -68,7 +68,7 @@ pub fn triangle_counts_per_vertex<T: pb_sparse::Scalar>(
 /// degree < 2), plus the graph's global triangle count.
 pub fn clustering_coefficients<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
-    engine: &SpGemmEngine,
+    engine: &SpGemm,
 ) -> (Vec<f64>, u64) {
     let a = to_simple_undirected(adjacency);
     let masked = common_neighbours(&a, engine);
@@ -138,15 +138,15 @@ mod tests {
     #[test]
     fn counts_a_hand_built_graph() {
         let g = triangle_graph();
-        assert_eq!(count_triangles(&g, &SpGemmEngine::pb()), 2);
-        let per_vertex = triangle_counts_per_vertex(&g, &SpGemmEngine::pb());
+        assert_eq!(count_triangles(&g, &SpGemm::pb()), 2);
+        let per_vertex = triangle_counts_per_vertex(&g, &SpGemm::pb());
         assert_eq!(per_vertex, vec![1, 2, 2, 1, 0]);
     }
 
     #[test]
     fn clustering_coefficients_of_the_hand_built_graph() {
         let g = triangle_graph();
-        let (cc, total) = clustering_coefficients(&g, &SpGemmEngine::pb());
+        let (cc, total) = clustering_coefficients(&g, &SpGemm::pb());
         assert_eq!(total, 2);
         // Vertex 0 has degree 2 and one triangle: coefficient 1.
         assert!((cc[0] - 1.0).abs() < 1e-12);
@@ -168,7 +168,7 @@ mod tests {
             }
         }
         let g = Coo::from_entries(n, n, entries).unwrap().to_csr();
-        assert_eq!(count_triangles(&g, &SpGemmEngine::pb()), 56); // C(8,3)
+        assert_eq!(count_triangles(&g, &SpGemm::pb()), 56); // C(8,3)
     }
 
     #[test]
@@ -177,9 +177,9 @@ mod tests {
         let star = Coo::from_entries(5, 5, (1..5).map(|v| (0usize, v, 1.0)).collect::<Vec<_>>())
             .unwrap()
             .to_csr();
-        assert_eq!(count_triangles(&star, &SpGemmEngine::pb()), 0);
+        assert_eq!(count_triangles(&star, &SpGemm::pb()), 0);
         let empty = Csr::<f64>::empty(10, 10);
-        assert_eq!(count_triangles(&empty, &SpGemmEngine::pb()), 0);
+        assert_eq!(count_triangles(&empty, &SpGemm::pb()), 0);
     }
 
     #[test]
@@ -187,7 +187,7 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let g = erdos_renyi_square(5, 3, seed);
             let expected = brute_force(&g);
-            for engine in SpGemmEngine::paper_set() {
+            for engine in SpGemm::paper_set() {
                 assert_eq!(
                     count_triangles(&g, &engine),
                     expected,
@@ -204,7 +204,7 @@ mod tests {
         let g = Coo::from_entries(3, 3, vec![(0, 1, 7.5), (1, 2, -2.0), (2, 0, 0.25)])
             .unwrap()
             .to_csr();
-        assert_eq!(count_triangles(&g, &SpGemmEngine::pb()), 1);
+        assert_eq!(count_triangles(&g, &SpGemm::pb()), 1);
         // Self loops must not create spurious triangles.
         let with_loops = Coo::from_entries(
             3,
@@ -213,14 +213,14 @@ mod tests {
         )
         .unwrap()
         .to_csr();
-        assert_eq!(count_triangles(&with_loops, &SpGemmEngine::pb()), 1);
+        assert_eq!(count_triangles(&with_loops, &SpGemm::pb()), 1);
     }
 
     #[test]
     fn per_vertex_counts_sum_to_three_times_the_total() {
         let g = rmat_square(6, 6, 11);
-        let total = count_triangles(&g, &SpGemmEngine::pb());
-        let per_vertex = triangle_counts_per_vertex(&g, &SpGemmEngine::pb());
+        let total = count_triangles(&g, &SpGemm::pb());
+        let per_vertex = triangle_counts_per_vertex(&g, &SpGemm::pb());
         assert_eq!(per_vertex.iter().sum::<u64>(), 3 * total);
     }
 }

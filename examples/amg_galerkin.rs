@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use pb_spgemm_suite::graph::{coarsen, SpGemmEngine};
+use pb_spgemm_suite::graph::{coarsen, SpGemm};
 use pb_spgemm_suite::prelude::*;
 use pb_spgemm_suite::sparse::Coo;
 
@@ -47,7 +47,7 @@ fn laplacian_2d(k: usize) -> Csr<f64> {
 fn main() {
     let grid = 96usize; // 9216 unknowns on the finest level
     let mut a = laplacian_2d(grid);
-    let engine = SpGemmEngine::pb();
+    let engine = SpGemm::pb();
 
     println!(
         "AMG setup with {} on a {grid}x{grid} Poisson problem\n",

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use pb_spgemm_suite::graph::{betweenness_centrality, SpGemmEngine};
+use pb_spgemm_suite::graph::{betweenness_centrality, SpGemm};
 use pb_spgemm_suite::prelude::*;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
     let batch = 32;
 
     let mut reference: Option<Vec<f64>> = None;
-    for engine in SpGemmEngine::paper_set() {
+    for engine in SpGemm::paper_set() {
         let start = Instant::now();
         let bc = betweenness_centrality(&a, &sources, batch, &engine);
         let elapsed = start.elapsed();

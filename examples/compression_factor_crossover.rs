@@ -44,8 +44,8 @@ fn main() {
         let stats = MultiplyStats::compute(&a, &a);
         let a_csc = a.to_csc();
 
-        let cfg = PbConfig::default();
-        let (t_pb, c_pb) = time(|| multiply(&a_csc, &a, &cfg));
+        let pb = SpGemm::pb();
+        let (t_pb, c_pb) = time(|| pb.multiply_csc(&a_csc, &a));
         let (t_hash, c_hash) = time(|| Baseline::Hash.multiply(&a, &a));
         assert!(reference::csr_approx_eq(&c_pb, &c_hash, 1e-9));
 

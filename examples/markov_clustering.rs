@@ -38,8 +38,8 @@ fn normalise_columns(m: &Csr<f64>) -> Csr<f64> {
 }
 
 /// One MCL iteration: expansion (SpGEMM), inflation, pruning.
-fn mcl_step(m: &Csr<f64>, inflation: f64, prune_threshold: f64, cfg: &PbConfig) -> Csr<f64> {
-    let expanded = multiply(&m.to_csc(), m, cfg);
+fn mcl_step(m: &Csr<f64>, inflation: f64, prune_threshold: f64, engine: &SpGemm) -> Csr<f64> {
+    let expanded = engine.multiply(m, m);
     let inflated = expanded.map_values(|v| v.powf(inflation));
     let normalised = normalise_columns(&inflated);
     normalise_columns(&normalised.prune(|_, _, v| v >= prune_threshold))
@@ -92,11 +92,11 @@ fn main() {
     println!("input graph: {n} vertices in {ncommunities} hidden communities of {community_size}");
 
     // MCL iterations (the SpGEMM inside mcl_step is PB-SpGEMM).
-    let cfg = PbConfig::default();
+    let engine = SpGemm::pb();
     let mut m = normalise_columns(&graph);
     for iter in 0..6 {
         let t = std::time::Instant::now();
-        m = mcl_step(&m, 2.0, 1e-4, &cfg);
+        m = mcl_step(&m, 2.0, 1e-4, &engine);
         println!(
             "iteration {}: nnz = {:6}, step took {:.1} ms",
             iter + 1,

@@ -71,13 +71,13 @@ fn main() {
         levels[i][s] = Some(0);
     }
 
-    let cfg = PbConfig::default();
+    let engine = SpGemm::pb();
     let mut depth = 0u32;
     let t = std::time::Instant::now();
     loop {
         depth += 1;
         // One step for all sources at once: Aᵀ ⊗ F under (∨, ∧).
-        let reached = multiply_with::<OrAnd>(&at_csc, &frontier, &cfg);
+        let reached = engine.multiply_csc_with::<OrAnd>(&at_csc, &frontier);
         // Keep only newly discovered vertices, update levels.
         let mut new_entries: Vec<(usize, usize, bool)> = Vec::new();
         for (v, src, _) in reached.iter() {

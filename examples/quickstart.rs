@@ -30,8 +30,8 @@ fn main() {
     // 2. Multiply with PB-SpGEMM.  A is passed column-wise (CSC), B row-wise
     //    (CSR); the default configuration auto-sizes the propagation bins.
     // ---------------------------------------------------------------------
-    let config = PbConfig::default();
-    let (c, profile) = multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &config);
+    let engine = SpGemm::pb().config(PbConfig::default());
+    let (c, profile) = engine.multiply_with_profile::<PlusTimes<f64>>(&a, &a);
     println!("PB-SpGEMM: {}", profile.summary());
 
     // ---------------------------------------------------------------------

@@ -40,8 +40,7 @@ fn main() {
     );
     for (scale, ef) in [(12u32, 8u32), (13, 8), (14, 8), (14, 16)] {
         let a = erdos_renyi_square(scale, ef, scale as u64);
-        let (_, profile) =
-            multiply_with_profile::<PlusTimes<f64>>(&a.to_csc(), &a, &PbConfig::default());
+        let (_, profile) = SpGemm::pb().multiply_with_profile::<PlusTimes<f64>>(&a, &a);
         let cf = profile.cf();
         let achieved_mflops = profile.gflops() * 1e3;
         let lower = model.outer_predicted_gflops(cf) * 1e3;

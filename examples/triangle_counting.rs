@@ -67,7 +67,7 @@ fn main() {
 
     // A² with PB-SpGEMM (counts 2-paths between every pair of vertices).
     let t = std::time::Instant::now();
-    let a2 = multiply(&a.to_csc(), &a, &PbConfig::default());
+    let a2 = SpGemm::pb().multiply(&a, &a);
     let spgemm_time = t.elapsed();
 
     // Mask with A and sum: every triangle {u, v, w} is counted 6 times.

@@ -28,15 +28,20 @@ pub use pb_spgemm as spgemm;
 pub use pb_spmv as spmv;
 
 /// The most common imports for application code.
+///
+/// The one way to multiply is the unified [`SpGemm`](pb_spgemm::SpGemm)
+/// engine (`SpGemm::pb()`, `SpGemm::auto()`, `SpGemm::baseline(..)`); the
+/// old free functions and the graph crate's `SpGemmEngine` survive one more
+/// release as deprecated shims (see `docs/API.md`) and are no longer
+/// re-exported here.
 pub mod prelude {
-    pub use pb_baseline::Baseline;
+    pub use pb_baseline::{Baseline, Kernel};
     pub use pb_gen::{erdos_renyi_square, rmat_square, standin_scaled};
-    pub use pb_graph::SpGemmEngine;
     pub use pb_model::{MachineInfo, RooflineModel, StreamConfig};
     pub use pb_sparse::prelude::*;
     pub use pb_sparse::{ops, reference};
     pub use pb_spgemm::{
-        multiply, multiply_masked, multiply_with, multiply_with_profile, PbConfig,
+        Algorithm, PbConfig, PlannedKernel, Planner, ProfileSink, Signals, SpGemm,
     };
     pub use pb_spmv::{csr_spmv, pagerank, pb_spmv, PageRankConfig, PbSpmvConfig, SpmvEngine};
 }

@@ -14,7 +14,14 @@ use proptest::prelude::*;
 
 use pb_spgemm_suite::prelude::*;
 use pb_spgemm_suite::sparse::reference::{csr_approx_eq, multiply_csr as reference_multiply};
-use pb_spgemm_suite::spgemm::{multiply, CompressSplit, ExpandStrategy, PbConfig};
+use pb_spgemm_suite::spgemm::{CompressSplit, ExpandStrategy, PbConfig};
+
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply` free
+/// function: call sites stay unchanged while routing through the unified
+/// [`SpGemm`] engine.
+fn multiply(a: &Csc<f64>, b: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+    SpGemm::pb().config(cfg.clone()).multiply_csc(a, b)
+}
 
 /// The thread counts every differential test sweeps.  8 exceeds this
 /// container's core count on purpose: oversubscription maximises
@@ -269,18 +276,14 @@ fn domain_partitioned_masked_multiply_is_bit_identical() {
     let a_csc = a.to_csc();
     for &t in &[2usize, 4] {
         let base = PbConfig::default().with_threads(t).with_local_bin_bytes(64);
-        let single = pb_spgemm_suite::spgemm::multiply_masked(
-            &a_csc,
-            &a,
-            &a,
-            &base.clone().with_numa_domains(1),
-        );
-        let parted = pb_spgemm_suite::spgemm::multiply_masked(
-            &a_csc,
-            &a,
-            &a,
-            &base.clone().with_numa_domains(2),
-        );
+        let single = SpGemm::pb()
+            .config(base.clone().with_numa_domains(1))
+            .mask(&a)
+            .multiply_csc(&a_csc, &a);
+        let parted = SpGemm::pb()
+            .config(base.clone().with_numa_domains(2))
+            .mask(&a)
+            .multiply_csc(&a_csc, &a);
         assert_csr_exact(&parted, &single, &format!("masked/threads={t}"));
     }
 }

@@ -8,6 +8,13 @@ use pb_spgemm_suite::prelude::*;
 use pb_spgemm_suite::sparse::reference::{csr_approx_eq, multiply_csr};
 use pb_spgemm_suite::spgemm::{BinMapping, SortAlgorithm};
 
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply` free
+/// function: call sites stay unchanged while routing through the unified
+/// [`SpGemm`] engine.
+fn multiply(a: &Csc<f64>, b: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+    SpGemm::pb().config(cfg.clone()).multiply_csc(a, b)
+}
+
 fn check_all(a: &Csr<f64>, b: &Csr<f64>) {
     let expected = multiply_csr(a, b);
     let pb = multiply(&a.to_csc(), b, &PbConfig::default());

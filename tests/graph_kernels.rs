@@ -7,6 +7,23 @@ use pb_spgemm_suite::gen::{block_diagonal, rmat_square};
 use pb_spgemm_suite::prelude::*;
 use pb_spgemm_suite::sparse::reference::{add_csr_with, hadamard_csr_with, sum_values_with};
 
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply` free
+/// function: call sites stay unchanged while routing through the unified
+/// [`SpGemm`] engine.
+fn multiply(a: &Csc<f64>, b: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+    SpGemm::pb().config(cfg.clone()).multiply_csc(a, b)
+}
+
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply_with`.
+fn multiply_with<S: Semiring>(a: &Csc<S::Elem>, b: &Csr<S::Elem>, cfg: &PbConfig) -> Csr<S::Elem>
+where
+    S::Elem: Default,
+{
+    SpGemm::pb()
+        .config(cfg.clone())
+        .multiply_csc_with::<S>(a, b)
+}
+
 /// Builds a small undirected, loop-free, binary graph.
 fn undirected_graph(scale: u32, edge_factor: u32, seed: u64) -> Csr<f64> {
     let raw = rmat_square(scale, edge_factor, seed);

@@ -6,7 +6,21 @@ use pb_spgemm_suite::gen::{erdos_renyi_square, rmat_square};
 use pb_spgemm_suite::model::access::{traffic_estimates, AlgorithmClass};
 use pb_spgemm_suite::model::roofline::RooflineModel;
 use pb_spgemm_suite::prelude::*;
-use pb_spgemm_suite::spgemm::{multiply_with_profile, BinnedTuples, Phase};
+use pb_spgemm_suite::spgemm::{BinnedTuples, Phase};
+
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply_with_profile`.
+fn multiply_with_profile<S: Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    cfg: &PbConfig,
+) -> (Csr<S::Elem>, pb_spgemm_suite::spgemm::SpGemmProfile)
+where
+    S::Elem: Default,
+{
+    SpGemm::pb()
+        .config(cfg.clone())
+        .multiply_csc_with_profile::<S>(a, b)
+}
 
 #[test]
 fn profile_flop_and_nnz_match_the_statistics_module() {

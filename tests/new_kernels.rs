@@ -3,12 +3,28 @@
 //! through the public facade exactly as a downstream user would.
 
 use pb_spgemm_suite::graph::{
-    self, betweenness_centrality, count_triangles, markov_cluster, MclConfig, SpGemmEngine,
+    self, betweenness_centrality, count_triangles, markov_cluster, MclConfig,
 };
 use pb_spgemm_suite::prelude::*;
 use pb_spgemm_suite::sparse::ops::mask_by_pattern;
 use pb_spgemm_suite::sparse::{binfmt, reference};
-use pb_spgemm_suite::spgemm::{multiply_masked, BinMapping};
+use pb_spgemm_suite::spgemm::BinMapping;
+
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply` free
+/// function: call sites stay unchanged while routing through the unified
+/// [`SpGemm`] engine.
+fn multiply(a: &Csc<f64>, b: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+    SpGemm::pb().config(cfg.clone()).multiply_csc(a, b)
+}
+
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply_masked`.
+fn multiply_masked(a: &Csc<f64>, b: &Csr<f64>, mask: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+    SpGemm::pb()
+        .config(cfg.clone())
+        .mask(mask)
+        .multiply_csc(a, b)
+}
+
 use pb_spgemm_suite::spmv::{csc_spmv, csr_spmv, pb_spmv, spmspv, PbSpmvConfig};
 
 #[test]
@@ -95,7 +111,7 @@ fn triangle_counting_via_masked_multiply_matches_the_graph_kernel() {
     // The graph kernel computes (A·A) ∘ A with a full multiply + filter; the
     // masked PB-SpGEMM entry point must reach the same triangle count.
     let g = rmat_square(8, 6, 17);
-    let engine = SpGemmEngine::pb();
+    let engine = SpGemm::pb();
     let expected = count_triangles(&g, &engine);
 
     let a = graph::triangles::to_simple_undirected(&g);
@@ -118,7 +134,7 @@ fn markov_clustering_and_betweenness_run_end_to_end_on_standins() {
     assert!(clusters.num_clusters >= 1 && clusters.num_clusters <= g.nrows());
 
     let sources: Vec<usize> = (0..16).map(|k| (k * 31) % g.nrows()).collect();
-    let bc = betweenness_centrality(&g, &sources, 8, &SpGemmEngine::pb());
+    let bc = betweenness_centrality(&g, &sources, 8, &SpGemm::pb());
     assert_eq!(bc.len(), g.nrows());
     assert!(bc.iter().all(|&v| v >= 0.0 && v.is_finite()));
 }

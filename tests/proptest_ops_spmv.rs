@@ -6,7 +6,23 @@ use proptest::prelude::*;
 
 use pb_spgemm_suite::prelude::*;
 use pb_spgemm_suite::sparse::{binfmt, ops, reference};
-use pb_spgemm_suite::spgemm::{multiply_masked, BinMapping};
+use pb_spgemm_suite::spgemm::BinMapping;
+
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply` free
+/// function: call sites stay unchanged while routing through the unified
+/// [`SpGemm`] engine.
+fn multiply(a: &Csc<f64>, b: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+    SpGemm::pb().config(cfg.clone()).multiply_csc(a, b)
+}
+
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply_masked`.
+fn multiply_masked(a: &Csc<f64>, b: &Csr<f64>, mask: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+    SpGemm::pb()
+        .config(cfg.clone())
+        .mask(mask)
+        .multiply_csc(a, b)
+}
+
 use pb_spgemm_suite::spmv::{csc_spmv, csr_spmv, pb_spmv, PbSpmvConfig};
 
 /// Strategy: an arbitrary sparse matrix with dimensions in `[1, max_dim]`.

@@ -9,6 +9,23 @@ use pb_spgemm_suite::prelude::*;
 use pb_spgemm_suite::sparse::reference::{self, csr_approx_eq, multiply_csr};
 use pb_spgemm_suite::spgemm::{BinMapping, ExpandStrategy, SortAlgorithm};
 
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply` free
+/// function: call sites stay unchanged while routing through the unified
+/// [`SpGemm`] engine.
+fn multiply(a: &Csc<f64>, b: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+    SpGemm::pb().config(cfg.clone()).multiply_csc(a, b)
+}
+
+/// Engine-backed stand-in for the retired `pb_spgemm::multiply_with`.
+fn multiply_with<S: Semiring>(a: &Csc<S::Elem>, b: &Csr<S::Elem>, cfg: &PbConfig) -> Csr<S::Elem>
+where
+    S::Elem: Default,
+{
+    SpGemm::pb()
+        .config(cfg.clone())
+        .multiply_csc_with::<S>(a, b)
+}
+
 /// Strategy: an arbitrary sparse matrix with dimensions in `[1, max_dim]`
 /// and roughly `density` of its entries stored (values in [-1, 1]).
 fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {

@@ -19,8 +19,37 @@ use std::sync::Arc;
 use pb_gen::{erdos_renyi_square, rmat_square};
 use pb_sparse::reference::{csr_approx_eq, multiply_csr as reference_multiply};
 use pb_sparse::semiring::{OrAnd, PlusTimes};
+use pb_sparse::Csc;
 use pb_sparse::Csr;
-use pb_spgemm::{multiply, multiply_reusing, multiply_with_profile_reusing, PbConfig, Workspace};
+use pb_spgemm::{PbConfig, SpGemm, SpGemmProfile, Workspace};
+
+/// Engine-backed stand-ins for the retired free functions: call sites stay
+/// unchanged while routing through the unified [`SpGemm`] engine.
+fn multiply(a: &Csc<f64>, b: &Csr<f64>, cfg: &PbConfig) -> Csr<f64> {
+    SpGemm::pb().config(cfg.clone()).multiply_csc(a, b)
+}
+
+fn multiply_reusing(a: &Csc<f64>, b: &Csr<f64>, cfg: &PbConfig, ws: &Arc<Workspace>) -> Csr<f64> {
+    SpGemm::pb()
+        .config(cfg.clone())
+        .workspace(ws.clone())
+        .multiply_csc(a, b)
+}
+
+fn multiply_with_profile_reusing<S: pb_sparse::Semiring>(
+    a: &Csc<S::Elem>,
+    b: &Csr<S::Elem>,
+    cfg: &PbConfig,
+    ws: &Arc<Workspace>,
+) -> (Csr<S::Elem>, SpGemmProfile)
+where
+    S::Elem: Default,
+{
+    SpGemm::pb()
+        .config(cfg.clone())
+        .workspace(ws.clone())
+        .multiply_csc_with_profile::<S>(a, b)
+}
 
 /// Iteration multiplier: 1 normally, 4 under the CI stress toggle.
 fn stress_factor() -> usize {
@@ -146,7 +175,9 @@ fn value_type_switch_mid_stream_rebuilds_and_stays_correct() {
 
     let b = a.map_values(|_| true);
     let expected_b = pb_sparse::reference::multiply_csr_with::<OrAnd>(&b, &b);
-    let pattern = pb_spgemm::multiply_with::<OrAnd>(&b.to_csc(), &b, &cfg);
+    let pattern = SpGemm::pb()
+        .config(cfg.clone())
+        .multiply_csc_with::<OrAnd>(&b.to_csc(), &b);
     assert_eq!(pattern.rowptr(), expected_b.rowptr());
     assert_eq!(pattern.colidx(), expected_b.colidx());
 
@@ -195,9 +226,12 @@ fn masked_multiplies_reuse_the_workspace_across_iterations() {
     let a_csc = a.to_csc();
     let ws = Arc::new(Workspace::new());
     let cfg = PbConfig::default().with_workspace(ws.clone());
-    let fresh = pb_spgemm::multiply_masked(&a_csc, &a, &a, &PbConfig::default());
+    let fresh = SpGemm::pb().mask(&a).multiply_csc(&a_csc, &a);
     for i in 0..3 * stress_factor() {
-        let c = pb_spgemm::multiply_masked(&a_csc, &a, &a, &cfg);
+        let c = SpGemm::pb()
+            .config(cfg.clone())
+            .mask(&a)
+            .multiply_csc(&a_csc, &a);
         assert_bit_identical(&c, &fresh, &format!("masked round {i}"));
     }
     assert!(

@@ -13,8 +13,8 @@ fn prelude_covers_generate_multiply_and_compare() {
     let a = rmat_square(6, 6, 42);
     assert!(a.nnz() > 0, "generator produced an empty matrix");
 
-    // Multiply with the paper's PB-SpGEMM under the default configuration.
-    let c_pb = multiply(&a.to_csc(), &a, &PbConfig::default());
+    // Multiply with the paper's PB-SpGEMM through the unified engine.
+    let c_pb = SpGemm::pb().config(PbConfig::default()).multiply(&a, &a);
 
     // Multiply with one of the column baselines.
     let c_hash = Baseline::Hash.multiply(&a, &a);
