@@ -1,14 +1,16 @@
 //! Criterion micro-benchmarks of the in-bin sorting ablation: LSD radix vs
 //! American-flag vs comparison sort, at the key widths produced by the
 //! paper's key-compression optimisation (4-byte keys) and without it
-//! (8-byte keys).
+//! (8-byte keys) — plus the SIMD dispatch ablation, pinning each radix
+//! sorter to every ISA level the host supports so the vectorised histogram
+//! and prefetched scatter show up as a per-level delta on the same data.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use pb_gen::Xoshiro256pp;
-use pb_spgemm::sort::sort_slice;
-use pb_spgemm::{Entry, SortAlgorithm};
+use pb_spgemm::sort::{sort_slice, sort_slice_with};
+use pb_spgemm::{simd, Entry, SortAlgorithm};
 
 fn make_entries(n: usize, key_bits: u32, seed: u64) -> Vec<Entry<f64>> {
     let mut rng = Xoshiro256pp::new(seed);
@@ -45,5 +47,31 @@ fn bench_sorters(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sorters);
+/// The SIMD ablation: the same L2-sized bin sorted by each radix algorithm
+/// at every dispatch level the host supports (scalar is always in the set,
+/// so the ISA delta is read directly off the group).
+fn bench_isa_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_sort_isa");
+    group.sample_size(20);
+    let n = 16 * 1024;
+    let data = make_entries(n, 30, 7);
+    let key_bytes = 4usize;
+    for isa in simd::Isa::supported() {
+        for (name, algo) in [
+            ("lsd_radix", SortAlgorithm::LsdRadix),
+            ("american_flag", SortAlgorithm::AmericanFlag),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, isa.name()), &data, |bench, data| {
+                bench.iter(|| {
+                    let mut copy = data.clone();
+                    sort_slice_with(&mut copy, key_bytes, algo, isa);
+                    black_box(copy.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorters, bench_isa_levels);
 criterion_main!(benches);

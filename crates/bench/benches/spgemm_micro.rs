@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks: PB-SpGEMM against every column baseline on
 //! fixed ER / R-MAT / banded workloads (the micro-scale counterpart of
-//! Figs. 7, 9 and 11).
+//! Figs. 7, 9 and 11), plus the end-to-end SIMD dispatch ablation (the full
+//! PB multiply pinned to each ISA level the host supports).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -8,7 +9,7 @@ use std::hint::black_box;
 use pb_baseline::Baseline;
 use pb_gen::{banded, erdos_renyi_square, rmat_square};
 use pb_sparse::Csr;
-use pb_spgemm::SpGemm;
+use pb_spgemm::{simd, PbConfig, SpGemm};
 
 fn workloads() -> Vec<(&'static str, Csr<f64>)> {
     vec![
@@ -36,5 +37,21 @@ fn bench_spgemm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spgemm);
+/// End-to-end ISA ablation: the whole PB multiply forced to each supported
+/// dispatch level on the R-MAT workload (the sort-heaviest of the three).
+fn bench_spgemm_isa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm_isa");
+    group.sample_size(10);
+    let a = rmat_square(12, 8, 2);
+    let a_csc = a.to_csc();
+    for isa in simd::Isa::supported() {
+        let engine = SpGemm::pb().config(PbConfig::default().with_simd(isa));
+        group.bench_function(BenchmarkId::from_parameter(isa.name()), |bench| {
+            bench.iter(|| black_box(engine.multiply_csc(&a_csc, &a)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm, bench_spgemm_isa);
 criterion_main!(benches);

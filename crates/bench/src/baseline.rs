@@ -328,10 +328,11 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
         .fold(f64::MIN, f64::max);
 
     PbBaseline {
-        // v4: the document gained a top-level `planner` regret report
-        // (`--planner` runs); v3 added per-point workspace telemetry and
-        // the top-level `workspace` reuse report; v2 the per-point `numa`
-        // section.
+        // v5: every sweep point gained an `isa` section (SIMD dispatch
+        // level plus kernel counters proving which path ran); v4 added the
+        // top-level `planner` regret report (`--planner` runs); v3 the
+        // per-point workspace telemetry and the top-level `workspace`
+        // reuse report; v2 the per-point `numa` section.
         schema: SCHEMA_TAG,
         op: "spgemm_square",
         workload: w.name.clone(),
@@ -352,7 +353,7 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
 }
 
 /// Current baseline schema tag (shared with `bench_pb --verify`/`--gate`).
-pub const SCHEMA_TAG: &str = "pb-bench-baseline/v4";
+pub const SCHEMA_TAG: &str = "pb-bench-baseline/v5";
 
 /// Multiplies of the repeated-multiply workspace smoke: enough that the
 /// last one is unambiguously steady-state (the arena is populated by the
@@ -475,6 +476,13 @@ mod tests {
         // must show a healthy steady state on a fixed-shape repeat.
         assert!(json.contains("\"workspace\""));
         assert!(json.contains("steady_workspace_hits"));
+        // The isa section (schema v5) rides along on every point and names
+        // the process-wide dispatch level.
+        assert!(json.contains("\"isa\""));
+        assert!(json.contains("prefetched_flushes"));
+        for p in &doc.sweep {
+            assert_eq!(p.telemetry.isa.isa, pb_spgemm::simd::active().name());
+        }
         let wsr = &doc.workspace;
         assert!(wsr.multiplies >= 2);
         assert!(wsr.first_bytes_allocated > 0);

@@ -23,15 +23,18 @@
 //!   section) to the JSON.  `--verify`/`--gate` then fail if any point's
 //!   calibrated pick costs more than 25% over best-in-hindsight.
 //! * `--verify` — after writing, re-read the file, parse it, check it
-//!   against the `pb-bench-baseline/v4` schema (including the per-point
-//!   `numa` and `workspace` sections) and generous per-phase sanity
+//!   against the `pb-bench-baseline/v5` schema (including the per-point
+//!   `numa`, `workspace` and `isa` sections) and generous per-phase sanity
 //!   ceilings, and assert PB-SpGEMM's product still matches the reference
 //!   oracle.  On multi-domain points the measured domain-local flush
 //!   fraction must clear [`NUMA_LOCAL_FLUSH_FLOOR`]; the repeated-multiply
 //!   workspace smoke must show a hit-serving, zero-allocation steady state
 //!   that is bit-identical to the fresh path; a `planner` section, when
-//!   present, must clear the regret ceiling on every corpus point.  Exits
-//!   non-zero on any violation (the CI perf-gate).
+//!   present, must clear the regret ceiling on every corpus point; every
+//!   point's `isa` section must name the dispatch level this process
+//!   actually resolved (`pb_spgemm::simd::active()`) with kernel counters
+//!   proving that path executed — not just that the binary was built with
+//!   the right flags.  Exits non-zero on any violation (the CI perf-gate).
 //! * `--gate PATH` — additionally load the *committed* baseline at `PATH`
 //!   and fail if any of its telemetry invariants regressed (schema
 //!   version, oversubscription-flag consistency, the ≥95% local-flush
@@ -237,6 +240,57 @@ fn verify_baseline(path: &str, w: &Workload) {
     let doc = load_baseline(path);
     check_document(&doc, path);
 
+    // --- ISA dispatch proof (fresh runs only; the committed file may have
+    //     been generated on a host with a different SIMD level). -----------
+    let active = pb_spgemm::simd::active();
+    let sweep = doc
+        .get("sweep")
+        .and_then(Value::as_array)
+        .expect("sweep must be an array");
+    for (i, point) in sweep.iter().enumerate() {
+        let isa = point
+            .get("telemetry")
+            .and_then(|t| t.get("isa"))
+            .unwrap_or_else(|| panic!("sweep[{i}] telemetry missing the isa section"));
+        assert_eq!(
+            isa.get("isa").and_then(Value::as_str),
+            Some(active.name()),
+            "sweep[{i}] dispatched a different ISA level than this process resolved"
+        );
+        let counter = |key: &str| {
+            isa.get(key)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("sweep[{i}] isa section missing {key}"))
+        };
+        if active == pb_spgemm::Isa::Scalar {
+            assert_eq!(
+                counter("simd_histograms"),
+                0,
+                "sweep[{i}] forced-scalar run still dispatched SIMD histograms"
+            );
+            assert_eq!(
+                counter("prefetched_flushes"),
+                0,
+                "sweep[{i}] forced-scalar run still prefetched flushes"
+            );
+            assert!(
+                counter("scalar_histograms") > 0,
+                "sweep[{i}] scalar run reports no histogram invocations at all"
+            );
+        } else {
+            assert!(
+                counter("simd_histograms") > 0,
+                "sweep[{i}] claims {} but no SIMD histogram kernel ever ran — \
+                 the dispatch is lying or the sort never engaged it",
+                active.name()
+            );
+            assert!(
+                counter("prefetched_scatters") > 0,
+                "sweep[{i}] scatter passes issued no prefetch hints"
+            );
+        }
+    }
+
     // --- Correctness oracle (fresh runs only; the committed gate file was
     //     measured on a different workload scale). -------------------------
     let c = pb_spgemm::SpGemm::pb().multiply_csc(&w.a_csc, &w.a);
@@ -357,6 +411,48 @@ fn check_document(doc: &Value, path: &str) {
             );
         }
 
+        // --- ISA section (schema v5): whatever level the point claims, its
+        //     own counters must prove it — a committed file asserting
+        //     `avx2` with zero SIMD histogram invocations is evidence the
+        //     dispatch silently fell back at generation time. ---------------
+        let isa = telemetry
+            .get("isa")
+            .unwrap_or_else(|| panic!("sweep[{i}] telemetry missing the isa section"));
+        let level = isa
+            .get("isa")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("sweep[{i}] isa section missing the level name"));
+        assert!(
+            ["avx512", "avx2", "neon", "scalar"].contains(&level),
+            "sweep[{i}] names unknown ISA level {level:?}"
+        );
+        let isa_counter = |key: &str| {
+            isa.get(key)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("sweep[{i}] isa section missing {key}"))
+        };
+        let prefetched_flushes = isa_counter("prefetched_flushes");
+        let simd_histograms = isa_counter("simd_histograms");
+        let scalar_histograms = isa_counter("scalar_histograms");
+        let prefetched_scatters = isa_counter("prefetched_scatters");
+        if level == "scalar" {
+            assert_eq!(
+                (simd_histograms, prefetched_scatters, prefetched_flushes),
+                (0, 0, 0),
+                "sweep[{i}] scalar point reports SIMD/prefetch activity"
+            );
+            assert!(
+                scalar_histograms > 0,
+                "sweep[{i}] reports no histogram invocations at all"
+            );
+        } else {
+            assert!(
+                simd_histograms > 0,
+                "sweep[{i}] claims {level} but its counters show no SIMD \
+                 histogram kernel ever ran"
+            );
+        }
+
         // --- NUMA section (schema v2). ------------------------------------
         let numa = telemetry
             .get("numa")
@@ -405,6 +501,13 @@ fn check_document(doc: &Value, path: &str) {
             local + remote,
             total_flushes,
             "sweep[{i}] flushes not fully accounted as local/remote"
+        );
+        // Flush prefetch is all-or-none per multiply: every flush prefetches
+        // its destination under a SIMD level, none under forced scalar.
+        assert_eq!(
+            prefetched_flushes,
+            if level == "scalar" { 0 } else { total_flushes },
+            "sweep[{i}] prefetched_flushes inconsistent with level {level}"
         );
         let fraction = numa
             .get("local_flush_fraction")

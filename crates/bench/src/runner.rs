@@ -216,6 +216,38 @@ pub struct Telemetry {
     pub numa: NumaTelemetry,
     /// Workspace buffer traffic of the run (schema v3).
     pub workspace: WorkspaceTelemetry,
+    /// SIMD dispatch proof of the run (schema v5).
+    pub isa: IsaTelemetry,
+}
+
+/// The `isa` section of one sweep point: which SIMD dispatch level the
+/// multiply resolved to and the kernel invocation counters that *prove* the
+/// path executed — the gate checks these instead of trusting build flags.
+#[derive(Debug, Clone, Serialize)]
+pub struct IsaTelemetry {
+    /// Name of the dispatched level (`avx512` | `avx2` | `neon` | `scalar`).
+    pub isa: String,
+    /// Radix histogram invocations that ran a SIMD kernel.
+    pub simd_histograms: u64,
+    /// Radix histogram invocations that ran the scalar loop.
+    pub scalar_histograms: u64,
+    /// Radix scatter passes that issued destination prefetch hints.
+    pub prefetched_scatters: u64,
+    /// Expand-phase bin flushes that prefetched their destination lines.
+    pub prefetched_flushes: u64,
+}
+
+impl IsaTelemetry {
+    /// Extracts the ISA section from a profiled run's stats.
+    pub fn from_stats(s: &pb_spgemm::PhaseStats) -> Self {
+        IsaTelemetry {
+            isa: s.isa.isa.name().to_string(),
+            simd_histograms: s.isa.simd_histograms,
+            scalar_histograms: s.isa.scalar_histograms,
+            prefetched_scatters: s.isa.prefetched_scatters,
+            prefetched_flushes: s.isa.prefetched_flushes,
+        }
+    }
 }
 
 /// The `workspace` section of one sweep point: how much of the multiply's
@@ -305,6 +337,7 @@ impl Telemetry {
             nonempty_rows: s.nonempty_rows,
             numa: NumaTelemetry::from_stats(s),
             workspace: WorkspaceTelemetry::from_stats(s),
+            isa: IsaTelemetry::from_stats(s),
         }
     }
 }
@@ -374,6 +407,11 @@ mod tests {
             "bytes_allocated",
             "bytes_reused",
             "workspace_hits",
+            "\"isa\"",
+            "simd_histograms",
+            "scalar_histograms",
+            "prefetched_scatters",
+            "prefetched_flushes",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
@@ -381,6 +419,17 @@ mod tests {
         assert!(t.workspace.bytes_allocated > 0);
         assert_eq!(t.workspace.bytes_reused, 0);
         assert_eq!(t.workspace.workspace_hits, 0);
+        // The ISA section names the process-wide dispatch level and its
+        // counters agree with it: a SIMD level proves itself with SIMD
+        // histogram invocations, forced scalar with scalar ones.
+        assert_eq!(t.isa.isa, pb_spgemm::simd::active().name());
+        if pb_spgemm::simd::active() == pb_spgemm::Isa::Scalar {
+            assert_eq!(t.isa.simd_histograms, 0);
+            assert_eq!(t.isa.prefetched_flushes, 0);
+        } else {
+            assert!(t.isa.simd_histograms + t.isa.scalar_histograms > 0);
+            assert_eq!(t.isa.prefetched_flushes, t.flushes);
+        }
     }
 
     #[test]

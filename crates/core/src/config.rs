@@ -147,9 +147,9 @@ pub const AUTOTUNE_MAX_NBINS_BOOST: usize = 8;
 /// Feedback policy adapting the local-bin width between multiplies.
 ///
 /// Shared by every clone of an auto-tuned [`PbConfig`] (the config holds it
-/// behind an [`Arc`]), so repeated calls of
-/// [`multiply`](crate::multiply)/[`multiply_with_profile`](crate::multiply_with_profile)
-/// with the same config observe each other's telemetry:
+/// behind an [`Arc`]), so repeated multiplies through the same config (an
+/// [`SpGemm`](crate::SpGemm) engine, or the profiled entry points) observe
+/// each other's telemetry:
 ///
 /// * **grow** — the measured flush rate is high (mean flush below
 ///   [`AUTOTUNE_GROW_FLUSH_BYTES`]) while most flushes are capacity-triggered
@@ -372,6 +372,14 @@ pub struct PbConfig {
     /// Whether the compress phase may split oversized bins at key
     /// boundaries (default [`CompressSplit::Auto`]).
     pub compress_split: CompressSplit,
+    /// SIMD dispatch level for the sort/expand kernels.  `None` (default)
+    /// uses the process-wide level — runtime detection, overridable via
+    /// `PB_SIMD` (see [`crate::simd::active`]).  An explicit level is
+    /// clamped to what the host supports and never exceeds it, so a config
+    /// can force the scalar oracle path but cannot force an illegal
+    /// instruction.  Per-config forcing exists for tests and benches that
+    /// compare levels inside one process, race-free.
+    pub simd: Option<crate::simd::Isa>,
     /// Optional shared autotuning policy.  When set,
     /// [`PbConfig::effective_local_bin_bytes`] reads the policy's current
     /// width instead of [`PbConfig::local_bin_bytes`], and every profiled
@@ -411,6 +419,7 @@ impl PartialEq for PbConfig {
             && self.threads == other.threads
             && self.numa_domains == other.numa_domains
             && self.compress_split == other.compress_split
+            && self.simd == other.simd
     }
 }
 
@@ -426,6 +435,7 @@ impl Default for PbConfig {
             threads: None,
             numa_domains: None,
             compress_split: CompressSplit::Auto,
+            simd: None,
             auto: None,
             workspace: None,
         }
@@ -541,6 +551,22 @@ impl PbConfig {
     pub fn with_compress_split(mut self, split: CompressSplit) -> Self {
         self.compress_split = split;
         self
+    }
+
+    /// Forces the SIMD dispatch level for this configuration's multiplies
+    /// (clamped to the host's support at resolve time; see
+    /// [`PbConfig::simd`]).
+    pub fn with_simd(mut self, isa: crate::simd::Isa) -> Self {
+        self.simd = Some(isa);
+        self
+    }
+
+    /// The [`Isa`](crate::simd::Isa) level the next multiply will dispatch
+    /// its sort/expand kernels at: the explicit [`PbConfig::simd`] clamped
+    /// to the host's support when set, the process-wide
+    /// [`active`](crate::simd::active) level otherwise.
+    pub fn resolve_simd(&self) -> crate::simd::Isa {
+        crate::simd::resolve(self.simd)
     }
 
     /// Forces the NUMA-domain count for this configuration's multiplies

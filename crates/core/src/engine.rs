@@ -6,9 +6,9 @@
 //! sequential reference) and the *how* (a [`PbConfig`], an optional shared
 //! [`Workspace`], an optional [`ProfileSink`]).  Graph kernels, benchmarks,
 //! the CLI and tests all multiply through it; the historical free functions
-//! (`multiply`, `multiply_with`, `multiply_reusing`, …) survive as
-//! `#[deprecated]` shims delegating here — see `docs/API.md` for the
-//! old-to-new mapping and the removal schedule.
+//! (`multiply`, `multiply_with`, `multiply_reusing`, …) were removed after
+//! their one-release deprecation window — `docs/API.md` keeps the
+//! old-to-new mapping for reference.
 //!
 //! ```
 //! use pb_spgemm::SpGemm;

@@ -35,6 +35,24 @@
 //! sub-segments of a bin are adjacent in fixed domain order, so the
 //! downstream phases (and the assembled product) are bit-identical to the
 //! single-domain schedule.
+//!
+//! # Software prefetch on the flush copy
+//!
+//! The flush `memcpy` is the dominant write stream of the whole algorithm,
+//! and its destination hops to a different global sub-segment on every
+//! flush — a pattern the hardware prefetcher cannot learn.  On any
+//! non-scalar [`Isa`](crate::simd::Isa) level (see
+//! [`PbConfig::resolve_simd`]) the flush therefore issues one software
+//! prefetch-for-write hint per destination cache line *before* the copy,
+//! so the line fills overlap the copy instead of serialising it.  Safety:
+//! the hinted addresses lie inside the reserved `[start, start + n)` range
+//! the copy is about to write (in-bounds by the `SharedBuf` invariant), and
+//! prefetch hints are architecturally defined never to fault in any case —
+//! the pointers are computed with `wrapping_add` and carry no `unsafe`
+//! obligations (see the safety argument in [`crate::simd`]).  Prefetched
+//! flushes are counted into
+//! [`PhaseStats::isa`](crate::profile::PhaseStats::isa) so telemetry proves
+//! whether the hints were on.
 
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -157,11 +175,15 @@ struct LocalBins<'a, V> {
     /// The executing worker's own domain id (flushes to any other domain's
     /// sub-segment count as remote).
     my_domain: usize,
+    /// Whether flushes hint their destination lines with software prefetch
+    /// (any non-scalar ISA level; see the module doc).
+    prefetch: bool,
     // Telemetry accumulated locally; merged into `stats` once per segment.
     flushes: u64,
     flushed: u64,
     local_flushes: u64,
     local_flushed: u64,
+    prefetched_flushes: u64,
     fill_hist: [u64; FLUSH_HIST_BUCKETS],
 }
 
@@ -176,6 +198,7 @@ impl<'a, V: Copy> LocalBins<'a, V> {
         zero: Entry<V>,
         domains: usize,
         col_domain_starts: &'a [usize],
+        prefetch: bool,
         stats: &'a StatsCollector,
     ) -> Self {
         LocalBins {
@@ -200,10 +223,12 @@ impl<'a, V: Copy> LocalBins<'a, V> {
             } else {
                 0
             },
+            prefetch,
             flushes: 0,
             flushed: 0,
             local_flushes: 0,
             local_flushed: 0,
+            prefetched_flushes: 0,
             fill_hist: [0; FLUSH_HIST_BUCKETS],
         }
     }
@@ -256,6 +281,19 @@ impl<'a, V: Copy> LocalBins<'a, V> {
         );
         debug_assert!(start + n <= self.buf.len);
         let src = &self.data[bin * self.capacity..bin * self.capacity + n];
+        if self.prefetch {
+            // Hint every destination line before the copy so the fills
+            // overlap it; the addresses are inside the range the copy is
+            // about to write and prefetch hints never fault regardless.
+            let dst_bytes = self.buf.ptr.wrapping_add(start) as *const u8;
+            let mut off = 0usize;
+            let total = n * std::mem::size_of::<Entry<V>>();
+            while off < total {
+                crate::simd::prefetch_write(dst_bytes.wrapping_add(off));
+                off += crate::simd::PREFETCH_LINE_BYTES;
+            }
+            self.prefetched_flushes += 1;
+        }
         // SAFETY: `start + n <= seg_ends[seg] <= buf.len` (the symbolic
         // phase sized every (bin, domain) sub-segment to the exact tuple
         // count and the fetch_add hands out disjoint ranges), `src` and the
@@ -291,6 +329,7 @@ impl<'a, V: Copy> LocalBins<'a, V> {
             &self.fill_hist,
             self.local_flushes,
             self.local_flushed,
+            self.prefetched_flushes,
         );
     }
 }
@@ -332,6 +371,9 @@ fn expand_reserved<S: Semiring>(
     // otherwise; recorded so the profile reports what actually ran.
     let capacity = local_bin_capacity::<S::Elem>(config.effective_local_bin_bytes());
     stats.record_local_bin_capacity(capacity);
+    // Forcing the scalar ISA level also turns the flush prefetch hints off,
+    // so PB_SIMD=scalar reproduces the pre-SIMD code paths exactly.
+    let prefetch = config.resolve_simd() != crate::simd::Isa::Scalar;
     let zero_entry = Entry {
         key: 0,
         val: S::zero(),
@@ -357,6 +399,7 @@ fn expand_reserved<S: Semiring>(
                     zero_entry,
                     domains,
                     &sym.col_domain_starts,
+                    prefetch,
                     stats,
                 )
             },
@@ -680,6 +723,34 @@ mod tests {
         let (_, _, stats) = run_with_stats(&a, &safe);
         assert_eq!(stats.flushes, 0);
         assert_eq!(stats.flushed_tuples, 0);
+    }
+
+    #[test]
+    fn flush_prefetch_follows_the_isa_level_and_is_counted() {
+        use crate::simd::Isa;
+        let a = erdos_renyi_square(8, 6, 23);
+        // Forced scalar: the pre-SIMD path, zero prefetched flushes.
+        let scalar = PbConfig::default()
+            .with_nbins(8)
+            .with_local_bin_bytes(64)
+            .with_simd(Isa::Scalar);
+        let (_, _, stats) = run_with_stats(&a, &scalar);
+        assert!(stats.flushes > 0);
+        assert_eq!(stats.isa.prefetched_flushes, 0);
+
+        // Any supported non-scalar level: every flush is prefetched.
+        if let Some(&isa) = Isa::supported().iter().find(|&&i| i != Isa::Scalar) {
+            let cfg = PbConfig::default()
+                .with_nbins(8)
+                .with_local_bin_bytes(64)
+                .with_simd(isa);
+            let (_, _, stats) = run_with_stats(&a, &cfg);
+            assert!(stats.flushes > 0);
+            assert_eq!(
+                stats.isa.prefetched_flushes, stats.flushes,
+                "{isa}: every reserved flush must be prefetched"
+            );
+        }
     }
 
     /// Domain-partitioned reservation must produce exactly the same tuple

@@ -49,8 +49,9 @@
 //! serves numeric SpGEMM, boolean reachability, tropical (min-plus)
 //! products and counting semirings — see [`SpGemm::multiply_with`].
 //!
-//! The pre-engine free functions (`multiply`, `multiply_with`, …) still
-//! exist as deprecated shims; `docs/API.md` maps each one to its engine
+//! The pre-engine free functions (`multiply`, `multiply_with`, …) have been
+//! removed after their one-release deprecation window; `docs/API.md` keeps
+//! the historical migration table mapping each one to its engine
 //! equivalent.
 
 #![warn(missing_docs)]
@@ -66,6 +67,7 @@ pub mod masked;
 pub mod partitioned;
 pub mod planner;
 pub mod profile;
+pub mod simd;
 pub mod sort;
 pub mod symbolic;
 pub mod topology;
@@ -74,11 +76,10 @@ pub mod workspace;
 pub use bins::{BinLayout, BinnedTuples, Entry};
 pub use config::{AutoTune, BinMapping, CompressSplit, ExpandStrategy, PbConfig, SortAlgorithm};
 pub use engine::{Algorithm, Masked, ProfileSink, SpGemm, ALGORITHM_ENV};
-#[allow(deprecated)]
-pub use masked::{multiply_masked, multiply_masked_with};
 pub use partitioned::{multiply_partitioned, multiply_partitioned_with};
 pub use planner::{PlannedKernel, Planner, Signals};
-pub use profile::{Phase, PhaseStats, PhaseTimings, SpGemmProfile, StatsCollector};
+pub use profile::{IsaDispatch, Phase, PhaseStats, PhaseTimings, SpGemmProfile, StatsCollector};
+pub use simd::{Isa, SIMD_ENV};
 pub use topology::{NumaDomain, Topology, TopologySource};
 pub use workspace::Workspace;
 
@@ -88,9 +89,9 @@ use pb_sparse::semiring::Semiring;
 use pb_sparse::{Csc, Csr};
 
 /// The PB pipeline primitive: `A` in CSC, `B` in CSR, result plus per-phase
-/// profile.  Everything — the [`SpGemm`] engine's PB arm, the deprecated
-/// free-function shims, the row-partitioned multiply — funnels through
-/// here, so there is exactly one implementation to trust.
+/// profile.  Everything — the [`SpGemm`] engine's PB arm and the
+/// row-partitioned multiply — funnels through here, so there is exactly one
+/// implementation to trust.
 pub(crate) fn pb_multiply_with_profile<S: Semiring>(
     a: &Csc<S::Elem>,
     b: &Csr<S::Elem>,
@@ -126,6 +127,10 @@ fn run_phases<S: Semiring>(
 ) -> (Csr<S::Elem>, SpGemmProfile) {
     let tuple_bytes = BinnedTuples::<S::Elem>::tuple_bytes();
     let stats = StatsCollector::new();
+    // Resolve the SIMD dispatch level once per multiply and stamp it into
+    // the telemetry; the kernel counters recorded below prove it ran.
+    let isa = config.resolve_simd();
+    stats.record_isa(isa);
     // The multiply's working memory: recycled from the configured
     // workspace, or fresh throwaway buffers — the *same* pipeline code runs
     // either way, so reuse can never change the product.
@@ -199,11 +204,12 @@ pub(crate) fn sort_with_lease<S: Semiring>(
     stats: &StatsCollector,
     lease: &mut workspace::WorkspaceLease<S::Elem>,
 ) {
+    let isa = config.resolve_simd();
     let needs_scratch = lease.is_pooled()
         && config.sort == SortAlgorithm::LsdRadix
         && sym.bin_flop.iter().any(|&f| f as usize > sort::SMALL_SORT);
     if !needs_scratch {
-        sort::sort_bins(tuples, config.sort, stats);
+        sort::sort_bins_with(tuples, config.sort, isa, stats);
         return;
     }
     let max_bin = sym.bin_flop.iter().copied().max().unwrap_or(0) as usize;
@@ -214,108 +220,8 @@ pub(crate) fn sort_with_lease<S: Semiring>(
     };
     lease.prepare_scratch(target, sym.domains, zero, stats);
     let slabs = lease.scratch_slabs(sym.domains);
-    sort::sort_bins_slabbed(tuples, config.sort, stats, &slabs);
+    sort::sort_bins_slabbed_with(tuples, config.sort, isa, stats, &slabs);
 }
-
-/// Deprecated free-function entry points, kept as thin shims over the
-/// [`SpGemm`] engine's PB pipeline for one more release so downstream call
-/// sites can migrate mechanically.  `docs/API.md` maps every shim to its
-/// engine-builder equivalent; the module is the *only* place in the
-/// workspace permitted to `allow(deprecated)` on these names.
-pub mod shims {
-    #![allow(deprecated)]
-
-    use super::*;
-    use pb_sparse::semiring::{Numeric, PlusTimes};
-
-    /// Runs PB-SpGEMM under an arbitrary semiring and returns the result
-    /// together with the per-phase profile.
-    ///
-    /// `A` must be provided in CSC (column access for the outer product)
-    /// and `B` in CSR (row access); the output is CSR.  If
-    /// [`PbConfig::threads`] is set, a dedicated rayon pool of that size is
-    /// used for the whole multiplication.
-    #[deprecated(
-        note = "use `SpGemm::pb().config(..).multiply_csc_with_profile::<S>(a, b)` — see docs/API.md"
-    )]
-    pub fn multiply_with_profile<S: Semiring>(
-        a: &Csc<S::Elem>,
-        b: &Csr<S::Elem>,
-        config: &PbConfig,
-    ) -> (Csr<S::Elem>, SpGemmProfile) {
-        pb_multiply_with_profile::<S>(a, b, config)
-    }
-
-    /// Runs PB-SpGEMM under an arbitrary semiring.
-    #[deprecated(
-        note = "use `SpGemm::pb().config(..).multiply_csc_with::<S>(a, b)` — see docs/API.md"
-    )]
-    pub fn multiply_with<S: Semiring>(
-        a: &Csc<S::Elem>,
-        b: &Csr<S::Elem>,
-        config: &PbConfig,
-    ) -> Csr<S::Elem> {
-        pb_multiply_with_profile::<S>(a, b, config).0
-    }
-
-    /// Runs PB-SpGEMM with ordinary `+`/`×` over a numeric type.
-    #[deprecated(note = "use `SpGemm::pb().config(..).multiply_csc(a, b)` — see docs/API.md")]
-    pub fn multiply<T: Numeric>(a: &Csc<T>, b: &Csr<T>, config: &PbConfig) -> Csr<T> {
-        pb_multiply_with_profile::<PlusTimes<T>>(a, b, config).0
-    }
-
-    /// Runs PB-SpGEMM drawing all working memory (expand tuple buffer, sort
-    /// scratch, staging vectors) from `workspace` instead of the heap.
-    /// Equivalent to attaching the workspace with
-    /// [`SpGemm::workspace`]; an already attached workspace on `config` is
-    /// overridden for this call.
-    #[deprecated(
-        note = "use `SpGemm::pb().config(..).workspace(ws).multiply_csc(a, b)` — see docs/API.md"
-    )]
-    pub fn multiply_reusing<T: Numeric>(
-        a: &Csc<T>,
-        b: &Csr<T>,
-        config: &PbConfig,
-        workspace: &std::sync::Arc<Workspace>,
-    ) -> Csr<T> {
-        multiply_with_profile_reusing::<PlusTimes<T>>(a, b, config, workspace).0
-    }
-
-    /// [`multiply_reusing`] under an arbitrary semiring, returning the
-    /// per-phase profile — whose
-    /// [`bytes_allocated`](PhaseStats::bytes_allocated) /
-    /// [`bytes_reused`](PhaseStats::bytes_reused) /
-    /// [`workspace_hits`](PhaseStats::workspace_hits) counters measure the
-    /// reuse instead of assuming it.
-    #[deprecated(
-        note = "use `SpGemm::pb().config(..).workspace(ws).multiply_csc_with_profile::<S>(a, b)` — see docs/API.md"
-    )]
-    pub fn multiply_with_profile_reusing<S: Semiring>(
-        a: &Csc<S::Elem>,
-        b: &Csr<S::Elem>,
-        config: &PbConfig,
-        workspace: &std::sync::Arc<Workspace>,
-    ) -> (Csr<S::Elem>, SpGemmProfile) {
-        let config = config
-            .clone()
-            .with_workspace(std::sync::Arc::clone(workspace));
-        pb_multiply_with_profile::<S>(a, b, &config)
-    }
-
-    /// Convenience wrapper taking both operands in CSR: `A` is converted to
-    /// CSC internally (one counting-sort transpose), then PB-SpGEMM runs as
-    /// usual.
-    #[deprecated(note = "use `SpGemm::pb().config(..).multiply(a, b)` — see docs/API.md")]
-    pub fn multiply_csr<T: Numeric + Default>(a: &Csr<T>, b: &Csr<T>, config: &PbConfig) -> Csr<T> {
-        multiply(&a.to_csc(), b, config)
-    }
-}
-
-#[allow(deprecated)]
-pub use shims::{
-    multiply, multiply_csr, multiply_reusing, multiply_with, multiply_with_profile,
-    multiply_with_profile_reusing,
-};
 
 #[cfg(test)]
 mod tests {
@@ -637,16 +543,38 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_delegate_to_the_same_pipeline() {
-        // The shims must keep working verbatim for one more release; they
-        // are the only deprecated calls allowed outside docs.
-        #![allow(deprecated)]
-        let a = erdos_renyi_square(7, 4, 14);
-        let via_shim = multiply_csr(&a, &a, &PbConfig::default());
-        let via_engine = SpGemm::pb().multiply(&a, &a);
-        assert!(csr_approx_eq(&via_shim, &via_engine, 1e-12));
-        let via_csc_shim = multiply(&a.to_csc(), &a, &PbConfig::default());
-        assert!(csr_approx_eq(&via_csc_shim, &via_engine, 1e-12));
+    fn forced_isa_levels_produce_bitwise_identical_products_and_prove_dispatch() {
+        // The success criterion of the SIMD work: every dispatch level the
+        // host supports yields a *bit-identical* product (the kernels only
+        // reorder bookkeeping, never arithmetic), and the telemetry proves
+        // which path actually ran rather than trusting the build flags.
+        let a = rmat_square(8, 8, 61).map_values(|_| 1.0);
+        let a_csc = a.to_csc();
+        let oracle_cfg = PbConfig::default().with_simd(simd::Isa::Scalar);
+        let (oracle, _) = pb_multiply_with_profile::<pb_sparse::semiring::PlusTimes<f64>>(
+            &a_csc,
+            &a,
+            &oracle_cfg,
+        );
+        for isa in simd::Isa::supported() {
+            let cfg = PbConfig::default().with_simd(isa);
+            let (c, profile) =
+                pb_multiply_with_profile::<pb_sparse::semiring::PlusTimes<f64>>(&a_csc, &a, &cfg);
+            assert_eq!(c.rowptr(), oracle.rowptr(), "{isa}: rowptr differs");
+            assert_eq!(c.colidx(), oracle.colidx(), "{isa}: colidx differs");
+            assert_eq!(c.values(), oracle.values(), "{isa}: values differ");
+            let d = profile.stats.isa;
+            assert_eq!(d.isa, isa, "telemetry must stamp the forced level");
+            if isa == simd::Isa::Scalar {
+                assert_eq!(d.simd_histograms, 0);
+                assert_eq!(d.prefetched_scatters, 0);
+                assert_eq!(d.prefetched_flushes, 0);
+            } else {
+                assert!(d.simd_histograms > 0, "{isa}: no SIMD histogram ran");
+                assert!(d.prefetched_scatters > 0, "{isa}: no scatter prefetch");
+                assert!(d.prefetched_flushes > 0, "{isa}: no flush prefetch");
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! The expand/sort/compress phases are unchanged, so the masked multiply
 //! inherits all of PB-SpGEMM's bandwidth behaviour.
 
-use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
+use pb_sparse::semiring::Semiring;
 use pb_sparse::{Csc, Csr, Scalar};
 use rayon::prelude::*;
 
@@ -22,8 +22,7 @@ use crate::{assemble, compress, expand, symbolic};
 
 /// The masked PB pipeline primitive: keeps only the output entries whose
 /// coordinates are stored in `mask` (values of the mask are ignored).  The
-/// [`SpGemm`](crate::SpGemm) engine's masked PB arm and the deprecated
-/// free-function shims both funnel through here.
+/// [`SpGemm`](crate::SpGemm) engine's masked PB arm funnels through here.
 pub(crate) fn pb_multiply_masked_with<S: Semiring, M: Scalar>(
     a: &Csc<S::Elem>,
     b: &Csr<S::Elem>,
@@ -41,20 +40,6 @@ pub(crate) fn pb_multiply_masked_with<S: Semiring, M: Scalar>(
     crate::install_config_pool(config, || run_masked_phases::<S, M>(a, b, mask, config))
 }
 
-/// Runs PB-SpGEMM and keeps only the output entries whose coordinates are
-/// stored in `mask` (values of the mask are ignored).
-#[deprecated(
-    note = "use `SpGemm::pb().config(..).mask(mask).multiply_csc_with::<S>(a, b)` — see docs/API.md"
-)]
-pub fn multiply_masked_with<S: Semiring, M: Scalar>(
-    a: &Csc<S::Elem>,
-    b: &Csr<S::Elem>,
-    mask: &Csr<M>,
-    config: &PbConfig,
-) -> Csr<S::Elem> {
-    pb_multiply_masked_with::<S, M>(a, b, mask, config)
-}
-
 fn run_masked_phases<S: Semiring, M: Scalar>(
     a: &Csc<S::Elem>,
     b: &Csr<S::Elem>,
@@ -63,6 +48,7 @@ fn run_masked_phases<S: Semiring, M: Scalar>(
 ) -> Csr<S::Elem> {
     let tuple_bytes = BinnedTuples::<S::Elem>::tuple_bytes();
     let stats = crate::profile::StatsCollector::new();
+    stats.record_isa(config.resolve_simd());
     // The masked pipeline shares the plain multiply's phases, so it also
     // shares its workspace discipline: iterated masked kernels holding a
     // workspace-carrying config reuse the same buffers across calls.
@@ -95,19 +81,6 @@ fn run_masked_phases<S: Semiring, M: Scalar>(
         });
     }
     c
-}
-
-/// Masked multiply with ordinary `+`/`×` over a numeric type.
-#[deprecated(
-    note = "use `SpGemm::pb().config(..).mask(mask).multiply_csc(a, b)` — see docs/API.md"
-)]
-pub fn multiply_masked<T: Numeric, M: Scalar>(
-    a: &Csc<T>,
-    b: &Csr<T>,
-    mask: &Csr<M>,
-    config: &PbConfig,
-) -> Csr<T> {
-    pb_multiply_masked_with::<PlusTimes<T>, M>(a, b, mask, config)
 }
 
 /// Drops from every bin the (already compressed) tuples whose coordinates are

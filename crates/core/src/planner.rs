@@ -517,7 +517,7 @@ impl Planner {
             self.counts[bucket][k].fetch_add(1, Ordering::Relaxed);
         }
         let seen = self.observations.fetch_add(1, Ordering::Relaxed) + 1;
-        if seen % PLANNER_PERSIST_EVERY == 0 {
+        if seen.is_multiple_of(PLANNER_PERSIST_EVERY) {
             self.persist_if_configured();
         }
     }

@@ -74,6 +74,45 @@ pub const FLUSH_HIST_BUCKETS: usize = 8;
 /// class of hardware ships in).
 pub const MAX_TELEMETRY_DOMAINS: usize = 8;
 
+/// Which SIMD code paths one multiplication actually executed.
+///
+/// The dispatch level ([`Isa`](crate::simd::Isa)) is resolved once per
+/// multiply, but the *counters* are the ground truth: they are incremented
+/// inside the kernels' dispatch points, so a profile claiming `avx512` with
+/// zero `simd_histograms` is immediately visible as a build or detection
+/// problem.  `bench_pb --gate` asserts on these instead of trusting the
+/// build (telemetry-as-proof).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsaDispatch {
+    /// The resolved dispatch level this multiply ran under.
+    pub isa: crate::simd::Isa,
+    /// Sort-phase byte-histogram invocations (LSD passes and MSD partition
+    /// counts) that ran a SIMD kernel.
+    pub simd_histograms: u64,
+    /// Byte-histogram invocations that ran the scalar loop (forced scalar,
+    /// unsupported host, or inputs below
+    /// [`SIMD_MIN_LEN`](crate::simd::SIMD_MIN_LEN)).
+    pub scalar_histograms: u64,
+    /// LSD scatter passes that issued software prefetch on the destination
+    /// stream.
+    pub prefetched_scatters: u64,
+    /// Expand-phase local-bin flushes that prefetched their destination
+    /// lines before the copy.
+    pub prefetched_flushes: u64,
+}
+
+impl Default for IsaDispatch {
+    fn default() -> Self {
+        IsaDispatch {
+            isa: crate::simd::Isa::Scalar,
+            simd_histograms: 0,
+            scalar_histograms: 0,
+            prefetched_scatters: 0,
+            prefetched_flushes: 0,
+        }
+    }
+}
+
 /// Runtime telemetry collected across the four phases of one multiplication.
 ///
 /// All fields are plain counters so the struct stays `Copy` and can ride
@@ -149,6 +188,9 @@ pub struct PhaseStats {
     pub split_chunks: usize,
     /// Output rows with at least one nonzero (assemble phase).
     pub nonempty_rows: usize,
+    /// Which SIMD code paths the multiply executed (dispatch level plus
+    /// per-kernel invocation counters — see [`IsaDispatch`]).
+    pub isa: IsaDispatch,
     /// Which kernel the [`Planner`](crate::planner::Planner) dispatched this
     /// multiply to, or
     /// [`PlannedKernel::Unplanned`](crate::planner::PlannedKernel::Unplanned)
@@ -196,6 +238,7 @@ impl Default for PhaseStats {
             split_bins: 0,
             split_chunks: 0,
             nonempty_rows: 0,
+            isa: IsaDispatch::default(),
             planned_algorithm: crate::planner::PlannedKernel::Unplanned,
             planned_cf_estimate: 0.0,
             planned_row_skew: 0.0,
@@ -301,6 +344,12 @@ pub struct StatsCollector {
     split_bins: AtomicUsize,
     split_chunks: AtomicUsize,
     nonempty_rows: AtomicUsize,
+    // Stored as Isa::index() so the collector stays lock-free.
+    isa_level: AtomicUsize,
+    simd_histograms: AtomicU64,
+    scalar_histograms: AtomicU64,
+    prefetched_scatters: AtomicU64,
+    prefetched_flushes: AtomicU64,
 }
 
 impl Default for StatsCollector {
@@ -336,6 +385,35 @@ impl StatsCollector {
             split_bins: AtomicUsize::new(0),
             split_chunks: AtomicUsize::new(0),
             nonempty_rows: AtomicUsize::new(0),
+            isa_level: AtomicUsize::new(crate::simd::Isa::Scalar.index()),
+            simd_histograms: AtomicU64::new(0),
+            scalar_histograms: AtomicU64::new(0),
+            prefetched_scatters: AtomicU64::new(0),
+            prefetched_flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Records the [`Isa`](crate::simd::Isa) dispatch level the pipeline
+    /// resolved for this multiply.
+    pub fn record_isa(&self, isa: crate::simd::Isa) {
+        self.isa_level.store(isa.index(), Ordering::Relaxed);
+    }
+
+    /// Merges one bin's (or one MSD bucket's) locally accumulated sort
+    /// kernel counters — the sort analogue of `record_expand_segment`'s
+    /// merge-once-per-segment discipline.
+    pub fn record_sort_kernels(&self, ctr: &crate::simd::KernelCounters) {
+        if ctr.simd_histograms > 0 {
+            self.simd_histograms
+                .fetch_add(ctr.simd_histograms, Ordering::Relaxed);
+        }
+        if ctr.scalar_histograms > 0 {
+            self.scalar_histograms
+                .fetch_add(ctr.scalar_histograms, Ordering::Relaxed);
+        }
+        if ctr.prefetched_scatters > 0 {
+            self.prefetched_scatters
+                .fetch_add(ctr.prefetched_scatters, Ordering::Relaxed);
         }
     }
 
@@ -348,7 +426,9 @@ impl StatsCollector {
     /// Merges one expand fold segment's locally accumulated flush counters.
     /// `local_flushes`/`local_tuples` are the subset that stayed inside the
     /// flushing worker's own NUMA domain (all of them on an unpartitioned
-    /// run); the remote counts are derived.
+    /// run); the remote counts are derived.  `prefetched_flushes` counts
+    /// the flushes that hinted their destination lines with software
+    /// prefetch (all or none per multiply, depending on the ISA level).
     pub fn record_expand_segment(
         &self,
         flushes: u64,
@@ -356,8 +436,14 @@ impl StatsCollector {
         hist: &[u64; FLUSH_HIST_BUCKETS],
         local_flushes: u64,
         local_tuples: u64,
+        prefetched_flushes: u64,
     ) {
         debug_assert!(local_flushes <= flushes && local_tuples <= tuples);
+        debug_assert!(prefetched_flushes <= flushes);
+        if prefetched_flushes > 0 {
+            self.prefetched_flushes
+                .fetch_add(prefetched_flushes, Ordering::Relaxed);
+        }
         self.expand_segments.fetch_add(1, Ordering::Relaxed);
         self.flushes.fetch_add(flushes, Ordering::Relaxed);
         self.flushed_tuples.fetch_add(tuples, Ordering::Relaxed);
@@ -472,6 +558,13 @@ impl StatsCollector {
             split_bins: self.split_bins.load(Ordering::Relaxed),
             split_chunks: self.split_chunks.load(Ordering::Relaxed),
             nonempty_rows: self.nonempty_rows.load(Ordering::Relaxed),
+            isa: IsaDispatch {
+                isa: crate::simd::Isa::from_index(self.isa_level.load(Ordering::Relaxed)),
+                simd_histograms: self.simd_histograms.load(Ordering::Relaxed),
+                scalar_histograms: self.scalar_histograms.load(Ordering::Relaxed),
+                prefetched_scatters: self.prefetched_scatters.load(Ordering::Relaxed),
+                prefetched_flushes: self.prefetched_flushes.load(Ordering::Relaxed),
+            },
             // The planner stamps its decision onto the profile after the
             // multiply returns (see `SpGemm::multiply_with_profile`); the
             // collector itself only ever sees a forced-kernel pipeline.
@@ -714,8 +807,8 @@ mod tests {
         let mut hist = [0u64; FLUSH_HIST_BUCKETS];
         hist[FLUSH_HIST_BUCKETS - 1] = 10;
         hist[0] = 2;
-        c.record_expand_segment(12, 330, &hist, 10, 300);
-        c.record_expand_segment(4, 100, &[0; FLUSH_HIST_BUCKETS], 4, 100);
+        c.record_expand_segment(12, 330, &hist, 10, 300, 12);
+        c.record_expand_segment(4, 100, &[0; FLUSH_HIST_BUCKETS], 4, 100, 0);
         c.record_bin_flop(&[100, 300, 200]);
         c.record_numa(2, &[250, 180]);
         c.record_par_sorted_bin();
@@ -724,6 +817,17 @@ mod tests {
         c.record_nonempty_rows(77);
         c.record_workspace(1024, 0, false);
         c.record_workspace(0, 4096, true);
+        c.record_isa(crate::simd::Isa::Avx2);
+        c.record_sort_kernels(&crate::simd::KernelCounters {
+            simd_histograms: 5,
+            scalar_histograms: 2,
+            prefetched_scatters: 3,
+        });
+        c.record_sort_kernels(&crate::simd::KernelCounters {
+            simd_histograms: 1,
+            scalar_histograms: 0,
+            prefetched_scatters: 1,
+        });
 
         let s = c.snapshot();
         assert_eq!(s.local_bin_capacity, 32);
@@ -742,6 +846,13 @@ mod tests {
         assert_eq!(s.bytes_allocated, 1024);
         assert_eq!(s.bytes_reused, 4096);
         assert_eq!(s.workspace_hits, 1);
+
+        // ISA dispatch telemetry: level plus merged kernel counters.
+        assert_eq!(s.isa.isa, crate::simd::Isa::Avx2);
+        assert_eq!(s.isa.simd_histograms, 6);
+        assert_eq!(s.isa.scalar_histograms, 2);
+        assert_eq!(s.isa.prefetched_scatters, 4);
+        assert_eq!(s.isa.prefetched_flushes, 12);
 
         assert!((s.mean_flush_tuples() - 430.0 / 16.0).abs() < 1e-12);
         assert!((s.flush_rate() - 16.0 / 430.0).abs() < 1e-12);

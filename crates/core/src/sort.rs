@@ -16,33 +16,94 @@
 //!   Bostic & McIlroy), the variant the paper cites;
 //! * [`SortAlgorithm::Comparison`] — `sort_unstable_by_key`, the correctness
 //!   oracle and an ablation point.
+//!
+//! # SIMD kernels, digit planning and software prefetch
+//!
+//! On any non-scalar [`Isa`] level, a bin above [`simd::SIMD_MIN_LEN`]
+//! takes a *planned* LSD path: one [`simd::key_bits`] OR-reduction measures
+//! the keys' actual significant width (packed bin keys are usually well
+//! under their declared byte count), [`simd::plan_lsd`] schedules the
+//! fewest balanced digit passes that cover it (e.g. two 10-bit passes for
+//! 19-bit keys where the byte path takes three), and one
+//! [`simd::fused_histograms`] sweep fills every pass's counting table
+//! against a single vectorised read of the data.  The scatter passes write
+//! through unchecked cursors — each cursor is bounded by the pass's own
+//! histogram prefix sum, see `scatter_prefetched` — and hint the
+//! destination stream with a software prefetch on every fourth entry,
+//! peeking `SCATTER_PREFETCH_AHEAD` entries ahead.  Keys too wide for the
+//! plan (over `FUSED_MAX_PASSES · FUSED_MAX_DIGIT_BITS` bits) fall back to
+//! the classic per-byte passes, whose histogram still dispatches through
+//! [`simd::byte_histogram`] (as does the american-flag MSD partition
+//! count).  The scalar level runs the pre-SIMD per-byte code verbatim —
+//! fallback and bitwise oracle: a stable LSD sort's result depends only on
+//! the key order and input order, not on how the significant bits are cut
+//! into digits, so the planned path is a bitwise no-op relative to scalar.
+//! Every kernel invocation is counted into [`KernelCounters`] and merged
+//! into [`PhaseStats::isa`](crate::profile::PhaseStats::isa), so telemetry
+//! proves which path ran.  The safety argument for the intrinsics lives in
+//! the [`simd`] module doc: the kernels here only ever pass in-bounds
+//! slices, and the prefetch addresses are computed with `wrapping_add`
+//! because prefetch hints are architecturally defined never to fault.
 
 use rayon::prelude::*;
 
 use crate::bins::{BinnedTuples, Entry};
 use crate::config::SortAlgorithm;
 use crate::profile::StatsCollector;
+use crate::simd::{self, Isa, KernelCounters};
 use crate::workspace::ScratchSlabs;
 
 /// A bin smaller than this is never worth splitting across threads.
+///
+/// Note the in-bin parallel path is *doubly* gated: it also requires fewer
+/// bins than pool threads (see [`sort_bins`]).  On the committed benchmark
+/// corpus that first gate never opens — bins are sized to L2, so a
+/// 2.3 Mflop smoke product needs ceil(2.3e6·16 B / 1 MiB) ≈ 35 bins, an
+/// order of magnitude more than the 4-thread CI pool — which is why
+/// `par_sorted_bins` is legitimately 0 on every committed corpus point.
+/// The threshold itself is right where it should be: one bin of
+/// `PAR_BIN_MIN` entries is ~256 KiB of tuples, below which the sequential
+/// sorter finishes before the MSD partition pass would even pay for itself.
+/// The few-huge-bins regime it protects is covered by the
+/// `in_bin_parallel_sort_engages_on_few_huge_bins` regression test.
 pub const PAR_BIN_MIN: usize = 1 << 14;
 
+/// How many entries ahead of the write cursor the LSD scatter peeks to
+/// prefetch its destination stream (non-scalar ISA levels only; one hint
+/// per four entries — a 16-byte entry stream needs at most one hint per
+/// destination cache line, and hinting every entry measurably costs more
+/// than the misses it hides on cache-resident bins).
+pub(crate) const SCATTER_PREFETCH_AHEAD: usize = 16;
+
 /// Sorts every bin of the expanded matrix by its packed key, allocating
-/// LSD-radix scratch per bin from the heap.
+/// LSD-radix scratch per bin from the heap and dispatching SIMD kernels at
+/// the process-wide [`simd::active`] level.
 ///
-/// The pipeline itself runs [`sort_bins_slabbed`] instead, which leases the
-/// scratch from the multiply's [`Workspace`](crate::Workspace) slabs; this
-/// entry point serves direct callers (benchmarks, tests) that have no
-/// workspace at hand.
+/// The pipeline itself runs [`sort_bins_slabbed_with`] instead, which
+/// leases the scratch from the multiply's [`Workspace`](crate::Workspace)
+/// slabs and resolves the ISA level from the config; this entry point
+/// serves direct callers (benchmarks, tests) that have no workspace at
+/// hand.
 pub fn sort_bins<V: Copy + Send + Sync>(
     tuples: &mut BinnedTuples<V>,
     algorithm: SortAlgorithm,
     stats: &StatsCollector,
 ) {
-    sort_bins_impl(tuples, algorithm, stats, None)
+    sort_bins_impl(tuples, algorithm, simd::active(), stats, None)
 }
 
-/// Sorts every bin, leasing LSD-radix scratch from per-NUMA-domain slabs.
+/// [`sort_bins`] at an explicit [`Isa`] dispatch level.
+pub fn sort_bins_with<V: Copy + Send + Sync>(
+    tuples: &mut BinnedTuples<V>,
+    algorithm: SortAlgorithm,
+    isa: Isa,
+    stats: &StatsCollector,
+) {
+    sort_bins_impl(tuples, algorithm, isa, stats, None)
+}
+
+/// Sorts every bin, leasing LSD-radix scratch from per-NUMA-domain slabs,
+/// at the process-wide [`simd::active`] dispatch level.
 ///
 /// A worker sorting a bin draws scratch from *its own domain's* slab (see
 /// [`ScratchSlabs::lease`]), so the sort phase's scratch streams stay
@@ -57,7 +118,18 @@ pub fn sort_bins_slabbed<V: Copy + Send + Sync>(
     stats: &StatsCollector,
     slabs: &ScratchSlabs<'_, V>,
 ) {
-    sort_bins_impl(tuples, algorithm, stats, Some(slabs))
+    sort_bins_impl(tuples, algorithm, simd::active(), stats, Some(slabs))
+}
+
+/// [`sort_bins_slabbed`] at an explicit [`Isa`] dispatch level.
+pub fn sort_bins_slabbed_with<V: Copy + Send + Sync>(
+    tuples: &mut BinnedTuples<V>,
+    algorithm: SortAlgorithm,
+    isa: Isa,
+    stats: &StatsCollector,
+    slabs: &ScratchSlabs<'_, V>,
+) {
+    sort_bins_impl(tuples, algorithm, isa, stats, Some(slabs))
 }
 
 /// Sorts every bin of the expanded matrix by its packed key.
@@ -73,6 +145,7 @@ pub fn sort_bins_slabbed<V: Copy + Send + Sync>(
 fn sort_bins_impl<V: Copy + Send + Sync>(
     tuples: &mut BinnedTuples<V>,
     algorithm: SortAlgorithm,
+    isa: Isa,
     stats: &StatsCollector,
     slabs: Option<&ScratchSlabs<'_, V>>,
 ) {
@@ -109,9 +182,13 @@ fn sort_bins_impl<V: Copy + Send + Sync>(
         let scratch = lease_scratch(slabs, seg.len(), algorithm, stats);
         if split_within_bins && seg.len() >= PAR_BIN_MIN {
             stats.record_par_sorted_bin();
-            par_sort_slice_in(seg, key_bytes, algorithm, scratch)
+            par_sort_slice_in(seg, key_bytes, algorithm, isa, scratch, Some(stats))
         } else {
-            sort_slice_in(seg, key_bytes, algorithm, scratch)
+            // Kernel invocations accumulate in a thread-local counter and
+            // merge once per bin — the hot loops never touch an atomic.
+            let mut ctr = KernelCounters::default();
+            sort_slice_in(seg, key_bytes, algorithm, isa, scratch, &mut ctr);
+            stats.record_sort_kernels(&ctr);
         }
     });
 }
@@ -138,46 +215,57 @@ fn lease_scratch<'s, V: Copy + Send>(
 }
 
 /// Sorts one large bin with in-bin parallelism (same result as
-/// [`sort_slice`], different schedule).
+/// [`sort_slice`], different schedule), dispatching SIMD kernels at the
+/// process-wide [`simd::active`] level.
 ///
 /// For the radix algorithms the bin is partitioned once by its most
-/// significant key byte — a sequential counting pass plus in-place cycle
-/// permutation — and the 256 resulting buckets, which are already mutually
-/// ordered, are finished independently in parallel with the configured
-/// algorithm on the remaining bytes.  The comparison sort delegates to the
-/// pool's parallel quicksort.
+/// significant key byte — a counting pass plus in-place cycle permutation —
+/// and the 256 resulting buckets, which are already mutually ordered, are
+/// finished independently in parallel with the configured algorithm on the
+/// remaining bytes.  The comparison sort delegates to the pool's parallel
+/// quicksort.
 pub fn par_sort_slice<V: Copy + Send>(
     seg: &mut [Entry<V>],
     key_bytes: usize,
     algorithm: SortAlgorithm,
 ) {
-    par_sort_slice_in(seg, key_bytes, algorithm, None)
+    par_sort_slice_in(seg, key_bytes, algorithm, simd::active(), None, None)
 }
 
 /// One MSD bucket of a parallel in-bin sort, paired with its (optional)
 /// piece of the bin's leased scratch.
 type BucketTask<'a, V> = (&'a mut [Entry<V>], Option<&'a mut [Entry<V>]>);
 
-/// [`par_sort_slice`] with optional pre-leased LSD scratch of at least
-/// `seg.len()` entries; `None` (or the non-scratch algorithms) allocates as
-/// before.
+/// [`par_sort_slice`] with an explicit ISA level, optional pre-leased LSD
+/// scratch of at least `seg.len()` entries (`None`, and the non-scratch
+/// algorithms, allocate as before), and an optional collector to merge the
+/// per-bucket kernel counters into.
 fn par_sort_slice_in<V: Copy + Send>(
     seg: &mut [Entry<V>],
     key_bytes: usize,
     algorithm: SortAlgorithm,
+    isa: Isa,
     scratch: Option<&mut [Entry<V>]>,
+    stats: Option<&StatsCollector>,
 ) {
     let key_bytes = key_bytes.clamp(1, 8);
     match algorithm {
         SortAlgorithm::Comparison => seg.par_sort_unstable_by_key(|e| e.key),
         SortAlgorithm::LsdRadix | SortAlgorithm::AmericanFlag => {
+            let mut top_ctr = KernelCounters::default();
             if key_bytes == 1 {
                 // Single significant byte: the MSD partition *is* the sort.
-                flag_sort_level(seg, 0);
+                flag_sort_level(seg, 0, isa, &mut top_ctr);
+                if let Some(stats) = stats {
+                    stats.record_sort_kernels(&top_ctr);
+                }
                 return;
             }
             let top = (key_bytes - 1) as u32;
-            let (starts, ends) = msd_partition(seg, top);
+            let (starts, ends) = msd_partition(seg, top, isa, &mut top_ctr);
+            if let Some(stats) = stats {
+                stats.record_sort_kernels(&top_ctr);
+            }
             // Carve the bucket sub-slices (disjoint by construction), and
             // the scratch into matching pieces when one was leased.
             let mut buckets: Vec<BucketTask<'_, V>> = Vec::with_capacity(256);
@@ -202,11 +290,17 @@ fn par_sort_slice_in<V: Copy + Send>(
             debug_assert_eq!(consumed, ends[255]);
             buckets.into_par_iter().for_each(|(b, piece)| {
                 if b.len() > 1 {
+                    let mut ctr = KernelCounters::default();
                     match algorithm {
                         // Buckets share the top byte, so ordering the
                         // remaining low bytes completes the sort.
-                        SortAlgorithm::LsdRadix => lsd_radix_sort_in(b, key_bytes - 1, piece),
-                        _ => flag_sort_level(b, top - 1),
+                        SortAlgorithm::LsdRadix => {
+                            lsd_radix_sort_in(b, key_bytes - 1, isa, piece, &mut ctr)
+                        }
+                        _ => flag_sort_level(b, top - 1, isa, &mut ctr),
+                    }
+                    if let Some(stats) = stats {
+                        stats.record_sort_kernels(&ctr);
                     }
                 }
             });
@@ -214,22 +308,38 @@ fn par_sort_slice_in<V: Copy + Send>(
     }
 }
 
-/// Sorts one bin's tuples by key with the selected algorithm.
+/// Sorts one bin's tuples by key with the selected algorithm, dispatching
+/// SIMD kernels at the process-wide [`simd::active`] level.
 pub fn sort_slice<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize, algorithm: SortAlgorithm) {
-    sort_slice_in(seg, key_bytes, algorithm, None)
+    sort_slice_with(seg, key_bytes, algorithm, simd::active())
 }
 
-/// [`sort_slice`] with optional pre-leased LSD scratch.
+/// [`sort_slice`] at an explicit [`Isa`] dispatch level — the entry point
+/// the differential tests iterate over every supported level.
+pub fn sort_slice_with<V: Copy>(
+    seg: &mut [Entry<V>],
+    key_bytes: usize,
+    algorithm: SortAlgorithm,
+    isa: Isa,
+) {
+    let mut ctr = KernelCounters::default();
+    sort_slice_in(seg, key_bytes, algorithm, isa, None, &mut ctr)
+}
+
+/// [`sort_slice_with`] with optional pre-leased LSD scratch, counting
+/// kernel invocations into `ctr`.
 fn sort_slice_in<V: Copy>(
     seg: &mut [Entry<V>],
     key_bytes: usize,
     algorithm: SortAlgorithm,
+    isa: Isa,
     scratch: Option<&mut [Entry<V>]>,
+    ctr: &mut KernelCounters,
 ) {
     match algorithm {
         SortAlgorithm::Comparison => seg.sort_unstable_by_key(|e| e.key),
-        SortAlgorithm::LsdRadix => lsd_radix_sort_in(seg, key_bytes, scratch),
-        SortAlgorithm::AmericanFlag => american_flag_sort(seg, key_bytes),
+        SortAlgorithm::LsdRadix => lsd_radix_sort_in(seg, key_bytes, isa, scratch, ctr),
+        SortAlgorithm::AmericanFlag => american_flag_sort_with(seg, key_bytes, isa, ctr),
     }
 }
 
@@ -251,36 +361,52 @@ fn insertion_sort<V: Copy>(seg: &mut [Entry<V>]) {
 }
 
 /// LSD radix sort: one stable counting-sort pass per significant key byte,
-/// ping-ponging between the bin and a scratch buffer allocated here.
+/// ping-ponging between the bin and a scratch buffer allocated here; SIMD
+/// kernels dispatch at the process-wide [`simd::active`] level.
 pub fn lsd_radix_sort<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize) {
-    lsd_radix_sort_in(seg, key_bytes, None)
+    let mut ctr = KernelCounters::default();
+    lsd_radix_sort_in(seg, key_bytes, simd::active(), None, &mut ctr)
 }
 
-/// [`lsd_radix_sort`] with an optional caller-provided scratch buffer of at
-/// least `seg.len()` initialised entries (a workspace slab lease); `None`
-/// allocates its own.
+/// [`lsd_radix_sort`] with an explicit ISA level and an optional
+/// caller-provided scratch buffer of at least `seg.len()` initialised
+/// entries (a workspace slab lease); `None` allocates its own.
 fn lsd_radix_sort_in<V: Copy>(
     seg: &mut [Entry<V>],
     key_bytes: usize,
+    isa: Isa,
     scratch: Option<&mut [Entry<V>]>,
+    ctr: &mut KernelCounters,
 ) {
     if seg.len() <= SMALL_SORT {
         insertion_sort(seg);
         return;
     }
     match scratch {
-        Some(scratch) => lsd_radix_passes(seg, key_bytes, &mut scratch[..seg.len()]),
+        Some(scratch) => lsd_radix_passes(seg, key_bytes, isa, &mut scratch[..seg.len()], ctr),
         None => {
             let mut scratch: Vec<Entry<V>> = seg.to_vec();
-            lsd_radix_passes(seg, key_bytes, &mut scratch);
+            lsd_radix_passes(seg, key_bytes, isa, &mut scratch, ctr);
         }
     }
 }
 
 /// The counting-sort passes shared by both scratch sources.
-fn lsd_radix_passes<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize, scratch: &mut [Entry<V>]) {
+fn lsd_radix_passes<V: Copy>(
+    seg: &mut [Entry<V>],
+    key_bytes: usize,
+    isa: Isa,
+    scratch: &mut [Entry<V>],
+    ctr: &mut KernelCounters,
+) {
     debug_assert_eq!(seg.len(), scratch.len());
     let key_bytes = key_bytes.clamp(1, 8);
+    if isa != Isa::Scalar
+        && seg.len() >= simd::SIMD_MIN_LEN
+        && fused_lsd_passes(seg, key_bytes, isa, scratch, ctr)
+    {
+        return;
+    }
     // Tracks whether the current data lives in `seg` (true) or `scratch`.
     let mut data_in_seg = true;
     {
@@ -288,10 +414,7 @@ fn lsd_radix_passes<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize, scratch: &m
         let mut dst: &mut [Entry<V>] = scratch;
         for pass in 0..key_bytes {
             let shift = 8 * pass as u32;
-            let mut counts = [0usize; 256];
-            for e in src.iter() {
-                counts[((e.key >> shift) & 0xFF) as usize] += 1;
-            }
+            let counts = simd::byte_histogram(isa, src, shift, ctr);
             // Skip passes where every key shares the same byte value.
             if counts.contains(&src.len()) {
                 continue;
@@ -302,10 +425,14 @@ fn lsd_radix_passes<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize, scratch: &m
                 *o = acc;
                 acc += c;
             }
-            for e in src.iter() {
-                let b = ((e.key >> shift) & 0xFF) as usize;
-                dst[offsets[b]] = *e;
-                offsets[b] += 1;
+            if isa != Isa::Scalar && src.len() > SCATTER_PREFETCH_AHEAD {
+                scatter_prefetched(src, dst, shift, 0xFF, &mut offsets, ctr);
+            } else {
+                for e in src.iter() {
+                    let b = ((e.key >> shift) & 0xFF) as usize;
+                    dst[offsets[b]] = *e;
+                    offsets[b] += 1;
+                }
             }
             std::mem::swap(&mut src, &mut dst);
             data_in_seg = !data_in_seg;
@@ -316,22 +443,154 @@ fn lsd_radix_passes<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize, scratch: &m
     }
 }
 
+/// The digit-planned fused LSD path (non-scalar levels, large bins).
+/// Measures the keys' significant width, schedules the fewest balanced
+/// digit passes that cover it, fills every pass's counting table in one
+/// fused sweep, then runs the scatter passes.  Returns `false` (having
+/// touched nothing but the width probe) when the width exceeds the plan's
+/// reach and the caller must fall back to the per-byte passes.
+///
+/// Bit-identity with the scalar oracle: both are stable LSD sorts whose
+/// digit sequences jointly cover every bit position on which any two keys
+/// differ — the scalar path covers bits `[0, 8·key_bytes)` byte-wise, this
+/// path covers `[0, B)` where `B` is the measured width (all keys agree,
+/// on zero, at and above `B`; the engine-level clamp `min(B, 8·key_bytes)`
+/// keeps even a mis-declared `key_bytes` behaviourally identical to the
+/// scalar path, which cannot see those bits either).  A stable LSD sort's
+/// final permutation depends only on the key order and the input order,
+/// never on how the covered bits are cut into digits, so both paths place
+/// the exact same entries in the exact same slots.
+fn fused_lsd_passes<V: Copy>(
+    seg: &mut [Entry<V>],
+    key_bytes: usize,
+    isa: Isa,
+    scratch: &mut [Entry<V>],
+    ctr: &mut KernelCounters,
+) -> bool {
+    let n = seg.len();
+    let bits = simd::key_bits(isa, seg).min(8 * key_bytes as u32);
+    // Cap the digit width at ⌊log2 n⌋ so the counting tables never dwarf
+    // the bin they serve (a 4096-bucket table for a 1 K-entry bin would be
+    // all setup and no counting).
+    let digit_cap = (usize::BITS - 1 - n.leading_zeros()).min(simd::FUSED_MAX_DIGIT_BITS);
+    let Some(plan) = simd::plan_lsd(bits, digit_cap) else {
+        return false;
+    };
+    if plan.passes == 0 {
+        // Every key is zero: stably sorted already.
+        return true;
+    }
+    let mut tables: simd::FusedTables = [[0; simd::FUSED_RADIX]; simd::FUSED_MAX_PASSES];
+    simd::fused_histograms(isa, seg, &plan, &mut tables, ctr);
+    let mask = plan.digit_mask();
+    let mut data_in_seg = true;
+    {
+        let mut src: &mut [Entry<V>] = seg;
+        let mut dst: &mut [Entry<V>] = scratch;
+        for (pass, counts) in tables[..plan.passes].iter().enumerate() {
+            let counts = &counts[..plan.radix()];
+            // Skip passes where every key shares the same digit value.
+            if counts.contains(&n) {
+                continue;
+            }
+            let mut offsets = [0usize; simd::FUSED_RADIX];
+            let mut acc = 0usize;
+            for (o, &c) in offsets[..plan.radix()].iter_mut().zip(counts) {
+                *o = acc;
+                acc += c;
+            }
+            scatter_prefetched(src, dst, plan.shift(pass), mask, &mut offsets, ctr);
+            std::mem::swap(&mut src, &mut dst);
+            data_in_seg = !data_in_seg;
+        }
+    }
+    if !data_in_seg {
+        seg.copy_from_slice(scratch);
+    }
+    true
+}
+
+/// One stable counting-scatter pass over the digit `(key >> shift) & mask`,
+/// hinting the destination stream with a software prefetch on every fourth
+/// entry: the writes land at roaming per-bucket cursors the hardware
+/// prefetcher cannot track, and peeking at the key
+/// [`SCATTER_PREFETCH_AHEAD`] entries ahead reveals the destination line
+/// early enough to hint it.  A hinted address may be stale by the time the
+/// write lands (other buckets advance the cursor) — that only wastes the
+/// hint, never correctness — and the pointer is computed with
+/// `wrapping_add` because prefetch hints cannot fault (see `crate::simd`).
+///
+/// The data writes go through unchecked cursors.
+///
+/// # Safety (discharged internally)
+///
+/// `offsets` must be the exclusive prefix sum of the digit histogram of
+/// *this* `src` under *this* `(shift, mask)` — exactly how both callers
+/// build it.  Bucket `b`'s cursor then starts at `starts[b]`, is
+/// incremented once per entry whose digit is `b` (of which the histogram
+/// counted exactly `counts[b]`), and therefore never reaches
+/// `starts[b] + counts[b] = starts[b+1] ≤ dst.len()`: every write is in
+/// bounds by construction, which is why the bound check can be elided on
+/// this, the single hottest store in the whole multiply.
+fn scatter_prefetched<V: Copy>(
+    src: &[Entry<V>],
+    dst: &mut [Entry<V>],
+    shift: u32,
+    mask: u64,
+    offsets: &mut [usize],
+    ctr: &mut KernelCounters,
+) {
+    let n = src.len();
+    debug_assert_eq!(n, dst.len());
+    debug_assert!(src
+        .iter()
+        .all(|e| ((e.key >> shift) & mask) < offsets.len() as u64));
+    ctr.prefetched_scatters += 1;
+    let dst_base = dst.as_mut_ptr();
+    for i in 0..n {
+        if i % 4 == 0 && i + SCATTER_PREFETCH_AHEAD < n {
+            let ahead = ((src[i + SCATTER_PREFETCH_AHEAD].key >> shift) & mask) as usize;
+            simd::prefetch_write(dst.as_ptr().wrapping_add(offsets[ahead]));
+        }
+        let e = src[i];
+        let b = ((e.key >> shift) & mask) as usize;
+        // SAFETY: offsets[b] < dst.len() by the prefix-sum invariant above.
+        unsafe { *dst_base.add(offsets[b]) = e };
+        offsets[b] += 1;
+    }
+}
+
 /// In-place MSD radix sort ("American flag sort"): permutes entries into 256
-/// buckets of the most significant byte, then recurses into each bucket.
+/// buckets of the most significant byte, then recurses into each bucket;
+/// SIMD kernels dispatch at the process-wide [`simd::active`] level.
 pub fn american_flag_sort<V: Copy>(seg: &mut [Entry<V>], key_bytes: usize) {
+    let mut ctr = KernelCounters::default();
+    american_flag_sort_with(seg, key_bytes, simd::active(), &mut ctr)
+}
+
+/// [`american_flag_sort`] with an explicit ISA level, counting kernel
+/// invocations into `ctr`.
+fn american_flag_sort_with<V: Copy>(
+    seg: &mut [Entry<V>],
+    key_bytes: usize,
+    isa: Isa,
+    ctr: &mut KernelCounters,
+) {
     let key_bytes = key_bytes.clamp(1, 8);
-    flag_sort_level(seg, (key_bytes - 1) as u32);
+    flag_sort_level(seg, (key_bytes - 1) as u32, isa, ctr);
 }
 
 /// Partitions `seg` into 256 buckets of key byte `byte` (in-place
 /// cycle-following permutation); returns each bucket's `[start, end)`
 /// boundaries.
-fn msd_partition<V: Copy>(seg: &mut [Entry<V>], byte: u32) -> ([usize; 256], [usize; 256]) {
+fn msd_partition<V: Copy>(
+    seg: &mut [Entry<V>],
+    byte: u32,
+    isa: Isa,
+    ctr: &mut KernelCounters,
+) -> ([usize; 256], [usize; 256]) {
     let shift = 8 * byte;
-    let mut counts = [0usize; 256];
-    for e in seg.iter() {
-        counts[((e.key >> shift) & 0xFF) as usize] += 1;
-    }
+    let counts = simd::byte_histogram(isa, seg, shift, ctr);
     let mut starts = [0usize; 256];
     let mut ends = [0usize; 256];
     let mut acc = 0usize;
@@ -361,17 +620,17 @@ fn msd_partition<V: Copy>(seg: &mut [Entry<V>], byte: u32) -> ([usize; 256], [us
     (starts, ends)
 }
 
-fn flag_sort_level<V: Copy>(seg: &mut [Entry<V>], byte: u32) {
+fn flag_sort_level<V: Copy>(seg: &mut [Entry<V>], byte: u32, isa: Isa, ctr: &mut KernelCounters) {
     if seg.len() <= SMALL_SORT {
         insertion_sort(seg);
         return;
     }
-    let (starts, ends) = msd_partition(seg, byte);
+    let (starts, ends) = msd_partition(seg, byte, isa, ctr);
     if byte > 0 {
         for bucket in 0..256 {
             let (lo, hi) = (starts[bucket], ends[bucket]);
             if hi - lo > 1 {
-                flag_sort_level(&mut seg[lo..hi], byte - 1);
+                flag_sort_level(&mut seg[lo..hi], byte - 1, isa, ctr);
             }
         }
     }
@@ -426,6 +685,67 @@ mod tests {
     }
 
     #[test]
+    fn all_isa_levels_sort_bitwise_identically() {
+        // The tentpole's core promise: every dispatch level, under every
+        // algorithm, is a *bitwise* no-op relative to the scalar oracle —
+        // not just "also sorted" (radix sorts are stable, so the full
+        // entry permutation must match, values included).
+        for &bits in &[8u32, 20, 31, 48] {
+            let original = random_entries(20_000, bits, 400 + bits as u64);
+            let key_bytes = (bits as usize).div_ceil(8);
+            for algo in [
+                SortAlgorithm::LsdRadix,
+                SortAlgorithm::AmericanFlag,
+                SortAlgorithm::Comparison,
+            ] {
+                let mut oracle = original.clone();
+                sort_slice_with(&mut oracle, key_bytes, algo, Isa::Scalar);
+                for isa in Isa::supported() {
+                    let mut data = original.clone();
+                    sort_slice_with(&mut data, key_bytes, algo, isa);
+                    assert_eq!(data, oracle, "{algo:?} under {isa} diverged from scalar");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_telemetry_proves_the_dispatched_path() {
+        // One large single-byte-key bin: big enough for the SIMD histogram
+        // cutoff and the prefetched scatter.  The counters must say which
+        // path ran — that is the whole point of the IsaDispatch record.
+        let layout = BinLayout::new(30, 16, 1, BinMapping::Range);
+        let mut rng = Xoshiro256pp::new(21);
+        let n = 20_000usize;
+        let entries: Vec<Entry<u64>> = (0..n)
+            .map(|i| Entry {
+                key: rng.next_u64() & 0xFF,
+                val: i as u64,
+            })
+            .collect();
+        for isa in Isa::supported() {
+            let mut tuples = BinnedTuples {
+                entries: entries.clone(),
+                bin_offsets: vec![0, n],
+                compressed_len: vec![n],
+                layout: layout.clone(),
+            };
+            let stats = StatsCollector::new();
+            sort_bins_with(&mut tuples, SortAlgorithm::LsdRadix, isa, &stats);
+            assert!(is_sorted(&tuples.entries));
+            let snap = stats.snapshot();
+            if isa == Isa::Scalar {
+                assert!(snap.isa.scalar_histograms > 0);
+                assert_eq!(snap.isa.simd_histograms, 0);
+                assert_eq!(snap.isa.prefetched_scatters, 0);
+            } else {
+                assert!(snap.isa.simd_histograms > 0, "{isa} must count SIMD");
+                assert!(snap.isa.prefetched_scatters > 0, "{isa} must prefetch");
+            }
+        }
+    }
+
+    #[test]
     fn radix_sorts_keep_key_value_pairs_together() {
         // Values encode the original key so any mismatch is detected.
         let mut rng = Xoshiro256pp::new(3);
@@ -439,9 +759,11 @@ mod tests {
             })
             .collect();
         for algo in [SortAlgorithm::LsdRadix, SortAlgorithm::AmericanFlag] {
-            let mut data = original.clone();
-            sort_slice(&mut data, 4, algo);
-            assert!(data.iter().all(|e| e.val == e.key ^ 0xDEAD_BEEF));
+            for isa in Isa::supported() {
+                let mut data = original.clone();
+                sort_slice_with(&mut data, 4, algo, isa);
+                assert!(data.iter().all(|e| e.val == e.key ^ 0xDEAD_BEEF));
+            }
         }
     }
 
@@ -507,6 +829,52 @@ mod tests {
             &crate::profile::StatsCollector::new(),
         );
         for b in 0..3 {
+            assert!(is_sorted(
+                &tuples.entries[bin_offsets[b]..bin_offsets[b + 1]]
+            ));
+        }
+    }
+
+    #[test]
+    fn in_bin_parallel_sort_engages_on_few_huge_bins() {
+        // Regression guard for the `par_sorted_bins` path (satellite of
+        // ISSUE 7): the corpus never reaches it because bins sized to L2
+        // always outnumber the pool threads (see the `PAR_BIN_MIN` doc),
+        // so this synthetic few-huge-bins input is the only coverage that
+        // the double gate — fewer bins than threads AND a bin at least
+        // `PAR_BIN_MIN` entries — actually opens and gets counted.
+        let layout = BinLayout::new(30, 16, 2, BinMapping::Range);
+        let mut rng = Xoshiro256pp::new(17);
+        let per_bin = PAR_BIN_MIN; // exactly at the threshold: >= engages
+        let mut entries = Vec::new();
+        let mut bin_offsets = vec![0usize];
+        for _bin in 0..2 {
+            for _ in 0..per_bin {
+                entries.push(Entry {
+                    key: rng.next_u64() & 0xFF,
+                    val: 1.0f64,
+                });
+            }
+            bin_offsets.push(entries.len());
+        }
+        let mut tuples = BinnedTuples {
+            entries,
+            bin_offsets: bin_offsets.clone(),
+            compressed_len: vec![per_bin, per_bin],
+            layout,
+        };
+        let stats = crate::profile::StatsCollector::new();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| sort_bins(&mut tuples, SortAlgorithm::LsdRadix, &stats));
+        assert_eq!(
+            stats.snapshot().par_sorted_bins,
+            2,
+            "two huge bins under a 4-thread pool must both take the in-bin parallel path"
+        );
+        for b in 0..2 {
             assert!(is_sorted(
                 &tuples.entries[bin_offsets[b]..bin_offsets[b + 1]]
             ));

@@ -84,7 +84,7 @@ use crate::profile::StatsCollector;
 /// Create one with [`Workspace::new`], wrap it in an [`Arc`] and attach it
 /// to a configuration with
 /// [`PbConfig::with_workspace`](crate::config::PbConfig::with_workspace)
-/// (or use the [`multiply_reusing`](crate::multiply_reusing) entry points);
+/// (or via [`SpGemm::workspace`](crate::SpGemm::workspace));
 /// every profiled or unprofiled multiply through that configuration then
 /// draws its expand buffer, sort scratch and staging vectors from the
 /// workspace instead of the heap.  The buffers are type-specialised to the

@@ -10,8 +10,7 @@
 //! Every kernel takes a unified [`SpGemm`] engine, so the same application
 //! code can run on PB-SpGEMM, on any of the column-SpGEMM baselines, or
 //! under the telemetry-driven planner (`SpGemm::auto()`) — which is how the
-//! application-level benchmarks compare them.  The old [`SpGemmEngine`]
-//! enum survives as a deprecated shim convertible `Into<SpGemm>`.
+//! application-level benchmarks compare them.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -21,7 +20,6 @@ pub mod apsp;
 pub mod bc;
 pub mod bfs;
 pub mod cycles;
-pub mod engine;
 pub mod mcl;
 pub mod triangles;
 
@@ -30,8 +28,6 @@ pub use apsp::{apsp_minplus, APSP_DENSE_LIMIT};
 pub use bc::betweenness_centrality;
 pub use bfs::{multi_source_bfs, single_source_bfs, BfsResult};
 pub use cycles::{count_closed_walks, has_cycle_of_length};
-#[allow(deprecated)]
-pub use engine::SpGemmEngine;
 pub use mcl::{markov_cluster, MclConfig, MclResult};
 pub use pb_spgemm::SpGemm;
 pub use triangles::{clustering_coefficients, count_triangles, triangle_counts_per_vertex};

@@ -31,9 +31,9 @@ pub use pb_spmv as spmv;
 ///
 /// The one way to multiply is the unified [`SpGemm`](pb_spgemm::SpGemm)
 /// engine (`SpGemm::pb()`, `SpGemm::auto()`, `SpGemm::baseline(..)`); the
-/// old free functions and the graph crate's `SpGemmEngine` survive one more
-/// release as deprecated shims (see `docs/API.md`) and are no longer
-/// re-exported here.
+/// old free functions and the graph crate's `SpGemmEngine` have been removed
+/// after their one-release deprecation window — `docs/API.md` keeps the
+/// historical migration table.
 pub mod prelude {
     pub use pb_baseline::{Baseline, Kernel};
     pub use pb_gen::{erdos_renyi_square, rmat_square, standin_scaled};
@@ -41,7 +41,7 @@ pub mod prelude {
     pub use pb_sparse::prelude::*;
     pub use pb_sparse::{ops, reference};
     pub use pb_spgemm::{
-        Algorithm, PbConfig, PlannedKernel, Planner, ProfileSink, Signals, SpGemm,
+        Algorithm, Isa, PbConfig, PlannedKernel, Planner, ProfileSink, Signals, SpGemm,
     };
     pub use pb_spmv::{csr_spmv, pagerank, pb_spmv, PageRankConfig, PbSpmvConfig, SpmvEngine};
 }
