@@ -26,13 +26,48 @@ use pb_sparse::stats::MultiplyStats;
 use pb_sparse::{Coo, Csr, PlusTimes};
 use pb_spgemm::SpGemm;
 
-/// Errors surfaced to the CLI user.
+/// Exit code for usage/configuration mistakes (bad flags, malformed
+/// values, rejected `PB_*` environment settings).
+pub const EXIT_USAGE: i32 = 2;
+
+/// Exit code for runtime failures (I/O errors, oracle mismatches).
+pub const EXIT_RUNTIME: i32 = 1;
+
+/// Errors surfaced to the CLI user, carrying the process exit code so
+/// scripts can distinguish "you called it wrong" ([`EXIT_USAGE`]) from
+/// "it called you wrong" ([`EXIT_RUNTIME`]).
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    message: String,
+    code: i32,
+}
+
+impl CliError {
+    /// A usage/configuration error (exit code [`EXIT_USAGE`]).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_USAGE,
+        }
+    }
+
+    /// A runtime failure (exit code [`EXIT_RUNTIME`]).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_RUNTIME,
+        }
+    }
+
+    /// The exit code `main` should terminate with.
+    pub fn exit_code(&self) -> i32 {
+        self.code
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -40,12 +75,23 @@ impl std::error::Error for CliError {}
 
 impl From<pb_sparse::SparseError> for CliError {
     fn from(e: pb_sparse::SparseError) -> Self {
-        CliError(e.to_string())
+        CliError::runtime(e.to_string())
+    }
+}
+
+impl From<pb_spgemm::PbError> for CliError {
+    fn from(e: pb_spgemm::PbError) -> Self {
+        // Bad env vars and malformed config are the caller's mistake; a
+        // failed bind/read is the environment's.
+        match e {
+            pb_spgemm::PbError::Io(_) => CliError::runtime(e.to_string()),
+            _ => CliError::usage(e.to_string()),
+        }
     }
 }
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::usage(msg)
 }
 
 /// The algorithms selectable from the command line.
@@ -149,7 +195,11 @@ pub fn usage() -> String {
      \x20                    [--threads T] [--out C.mtx] [--profile]\n\
      \x20 pb-spgemm compare  A.mtx [--threads T]\n\
      \x20 pb-spgemm verify   A.mtx [B.mtx] [--threads T] [--reuse]\n\
-     \x20 pb-spgemm help\n"
+     \x20 pb-spgemm serve    [--addr HOST:PORT] [--budget-mb M] [--workers W]\n\
+     \x20                    [--algorithm auto|pb|...] [--check]\n\
+     \x20 pb-spgemm help\n\
+     \n\
+     EXIT CODES: 0 success, 1 runtime failure, 2 usage/configuration error\n"
         .to_string()
 }
 
@@ -163,6 +213,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Some("multiply") => cmd_multiply(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{}", usage()))),
     }
 }
@@ -309,7 +360,7 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
     let expected = pb_sparse::reference::multiply_csr(&a, &b);
     let c = engine.multiply_csc(&a_csc, &b);
     if !pb_sparse::reference::csr_approx_eq(&c, &expected, 1e-9) {
-        return Err(err(format!(
+        return Err(CliError::runtime(format!(
             "verify: PB-SpGEMM disagrees with the reference oracle on {a_path}"
         )));
     }
@@ -330,13 +381,13 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
             || second.colidx() != first.colidx()
             || !pb_sparse::reference::csr_approx_eq(&second, &expected, 1e-9)
         {
-            return Err(err(
-                "verify: workspace-reusing multiply changed the product".to_string(),
+            return Err(CliError::runtime(
+                "verify: workspace-reusing multiply changed the product",
             ));
         }
         if ws.total_bytes_reused() == 0 {
-            return Err(err(
-                "verify: the second multiply reused no workspace bytes".to_string()
+            return Err(CliError::runtime(
+                "verify: the second multiply reused no workspace bytes",
             ));
         }
         let _ = writeln!(
@@ -348,6 +399,55 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
         );
     }
     Ok(out)
+}
+
+/// `pb-spgemm serve [--addr A] [--budget-mb M] [--workers W]
+/// [--algorithm X] [--check]` — runs the resident pb-serve process.
+///
+/// Configuration starts from the `PB_SERVE_*` / `PB_*` environment (a
+/// rejected variable is a usage error, exit code 2), then flags override.
+/// The bound address is printed immediately so scripts can scrape it; the
+/// process then serves until a client sends the `shutdown` op.  With
+/// `--check` the server binds, reports, and shuts itself down — the
+/// configuration smoke used by tests and CI.
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let mut config = pb_serve::ServeConfig::from_env()?;
+    if let Some(addr) = flag_value(args, "--addr") {
+        config = config.addr(addr);
+    }
+    if let Some(mb) = flag_value(args, "--budget-mb") {
+        let mb: usize = mb
+            .parse()
+            .map_err(|_| err(format!("invalid value {mb:?} for --budget-mb")))?;
+        config = config.budget_bytes(mb << 20);
+    }
+    if let Some(w) = flag_value(args, "--workers") {
+        let w: usize = w
+            .parse()
+            .map_err(|_| err(format!("invalid value {w:?} for --workers")))?;
+        config = config.workers(w);
+    }
+    if let Some(name) = flag_value(args, "--algorithm") {
+        let algorithm = pb_spgemm::Algorithm::parse(name).ok_or_else(|| {
+            err(format!(
+                "unknown algorithm {name:?} for --algorithm (see `pb-spgemm help`)"
+            ))
+        })?;
+        config = config.algorithm(algorithm);
+    }
+    let check = has_flag(args, "--check");
+    let server = pb_serve::Server::start(config)?;
+    let addr = server.addr();
+    if check {
+        server.shutdown();
+        server.join();
+        return Ok(format!("serve config OK (bound {addr}, not serving)\n"));
+    }
+    // Print before blocking: the OS-assigned port is only knowable here.
+    println!("pb-serve listening on {addr}");
+    // Blocks until a client sends the shutdown op (join() would request it).
+    server.wait();
+    Ok(String::new())
 }
 
 fn cmd_compare(args: &[String]) -> Result<String, CliError> {
@@ -528,6 +628,41 @@ mod tests {
         assert!(run_cli(&strs(&["stats", &rmat]))
             .unwrap()
             .contains("avg degree"));
+    }
+
+    #[test]
+    fn serve_check_binds_and_reports() {
+        let out = run_cli(&strs(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--budget-mb",
+            "16",
+            "--workers",
+            "1",
+            "--algorithm",
+            "pb",
+            "--check",
+        ]))
+        .unwrap();
+        assert!(out.contains("serve config OK"), "{out}");
+    }
+
+    #[test]
+    fn exit_codes_distinguish_usage_from_runtime() {
+        // Bad flag value: the caller's mistake.
+        let e = run_cli(&strs(&["serve", "--budget-mb", "lots", "--check"])).unwrap_err();
+        assert_eq!(e.exit_code(), EXIT_USAGE);
+        let e = run_cli(&strs(&["serve", "--algorithm", "quantum", "--check"])).unwrap_err();
+        assert_eq!(e.exit_code(), EXIT_USAGE);
+        let e = run_cli(&strs(&["multiply"])).unwrap_err();
+        assert_eq!(e.exit_code(), EXIT_USAGE);
+        // Missing input file: a runtime (I/O) failure.
+        let e = run_cli(&strs(&["stats", "/nonexistent/file.mtx"])).unwrap_err();
+        assert_eq!(e.exit_code(), EXIT_RUNTIME);
+        // A bind to a non-local address fails at runtime, not usage.
+        let e = run_cli(&strs(&["serve", "--addr", "203.0.113.1:1", "--check"])).unwrap_err();
+        assert_eq!(e.exit_code(), EXIT_RUNTIME);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
 use pb_sparse::{reference, Csc, Csr, Scalar};
 
 use crate::config::PbConfig;
+use crate::error::PbError;
 use crate::planner::{PlannedKernel, Planner, Signals};
 use crate::profile::{PhaseTimings, SpGemmProfile};
 use crate::workspace::Workspace;
@@ -74,6 +75,24 @@ impl Algorithm {
             "outer-heap" | "outerheap" => Some(Algorithm::Baseline(Baseline::OuterHeap)),
             "reference" | "ref" => Some(Algorithm::Reference),
             _ => None,
+        }
+    }
+
+    /// Reads [`ALGORITHM_ENV`]: `Ok(None)` when unset, `Ok(Some(..))` for a
+    /// recognised name, and a typed [`PbError`] for anything else — the
+    /// fallible face of the env knob, for resident services that must
+    /// reject a bad environment instead of panicking.
+    pub fn from_env() -> Result<Option<Algorithm>, PbError> {
+        match std::env::var(ALGORITHM_ENV) {
+            Err(_) => Ok(None),
+            Ok(name) => match Algorithm::parse(&name) {
+                Some(alg) => Ok(Some(alg)),
+                None => Err(PbError::InvalidEnv {
+                    var: ALGORITHM_ENV,
+                    value: name,
+                    expected: "auto|pb|heap|hash|hashvec|spa|esc|outer-heap|reference",
+                }),
+            },
         }
     }
 
@@ -171,15 +190,20 @@ impl SpGemm {
     /// The environment-dependent default: the algorithm named by
     /// `PB_ALGORITHM` when set (panicking on an unrecognised name — a
     /// misspelt CI mode must fail loudly, not silently run PB), PB-SpGEMM
-    /// otherwise.
+    /// otherwise.  Resident services use [`SpGemm::try_from_env`] instead.
     pub fn from_env() -> Self {
-        match std::env::var(ALGORITHM_ENV) {
-            Ok(name) => match Algorithm::parse(&name) {
-                Some(alg) => SpGemm::with_algorithm(alg),
-                None => panic!("unrecognised {ALGORITHM_ENV}={name}"),
-            },
-            Err(_) => SpGemm::pb(),
-        }
+        SpGemm::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The fallible face of [`SpGemm::from_env`]: an unrecognised
+    /// `PB_ALGORITHM` is a typed [`PbError`] the caller can map to a
+    /// refusal (a service's error response, a CLI exit code) instead of a
+    /// process abort.
+    pub fn try_from_env() -> Result<Self, PbError> {
+        Ok(match Algorithm::from_env()? {
+            Some(alg) => SpGemm::with_algorithm(alg),
+            None => SpGemm::pb(),
+        })
     }
 
     /// Alias for [`SpGemm::from_env`] — the constructor application code
@@ -757,6 +781,11 @@ mod tests {
             Algorithm::from(Baseline::Spa),
             Algorithm::Baseline(Baseline::Spa)
         );
+        // Whatever PB_ALGORITHM the test process runs under is one of the
+        // recognised CI modes (or unset), so the fallible readers succeed.
+        assert!(Algorithm::from_env().is_ok());
+        assert!(SpGemm::try_from_env().is_ok());
+        assert_eq!(SpGemm::try_from_env().unwrap(), SpGemm::from_env());
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod bins;
 pub mod compress;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod expand;
 pub mod masked;
 pub mod partitioned;
@@ -76,12 +77,13 @@ pub mod workspace;
 pub use bins::{BinLayout, BinnedTuples, Entry};
 pub use config::{AutoTune, BinMapping, CompressSplit, ExpandStrategy, PbConfig, SortAlgorithm};
 pub use engine::{Algorithm, Masked, ProfileSink, SpGemm, ALGORITHM_ENV};
+pub use error::{validate_env, PbError};
 pub use partitioned::{multiply_partitioned, multiply_partitioned_with};
 pub use planner::{PlannedKernel, Planner, Signals};
 pub use profile::{IsaDispatch, Phase, PhaseStats, PhaseTimings, SpGemmProfile, StatsCollector};
 pub use simd::{Isa, SIMD_ENV};
 pub use topology::{NumaDomain, Topology, TopologySource};
-pub use workspace::Workspace;
+pub use workspace::{Workspace, DECAY_AFTER_LOW_LEASES};
 
 use std::time::Instant;
 

@@ -196,20 +196,39 @@ pub fn detected() -> Isa {
     *DETECTED.get_or_init(|| clamp_to_supported(Isa::Avx512))
 }
 
+/// Reads [`SIMD_ENV`] without caching: `Ok(None)` when unset,
+/// `Ok(Some(level))` for a recognised name (clamped to the host's support),
+/// and a typed [`PbError`](crate::PbError) otherwise.  Resident services
+/// validate through this *before* anything touches [`active`], whose
+/// `OnceLock` would otherwise cache a panic path; batch tools keep the
+/// panicking behaviour below.
+pub fn try_env_isa() -> Result<Option<Isa>, crate::PbError> {
+    match std::env::var(SIMD_ENV) {
+        Err(_) => Ok(None),
+        Ok(name) => match Isa::parse(&name) {
+            Some(isa) => Ok(Some(clamp_to_supported(isa))),
+            None => Err(crate::PbError::InvalidEnv {
+                var: SIMD_ENV,
+                value: name,
+                expected: "avx512|avx2|neon|scalar",
+            }),
+        },
+    }
+}
+
 /// The process-wide dispatch level: [`SIMD_ENV`] when set (unrecognised
 /// names panic, recognised-but-unsupported levels clamp down), the
 /// [`detected`] best otherwise.  Resolved once and cached — per-multiply
 /// overrides go through [`PbConfig::with_simd`](crate::PbConfig::with_simd).
 pub fn active() -> Isa {
     static ACTIVE: OnceLock<Isa> = OnceLock::new();
-    *ACTIVE.get_or_init(|| match std::env::var(SIMD_ENV) {
-        Ok(name) => match Isa::parse(&name) {
-            Some(isa) => clamp_to_supported(isa),
-            // A misspelt CI mode must fail loudly, not silently run the
-            // detected level (mirrors `SpGemm::from_env`).
-            None => panic!("unrecognised {SIMD_ENV}={name} (expected avx512|avx2|neon|scalar)"),
-        },
-        Err(_) => detected(),
+    *ACTIVE.get_or_init(|| {
+        // A misspelt CI mode must fail loudly, not silently run the
+        // detected level (mirrors `SpGemm::from_env`).
+        match try_env_isa().unwrap_or_else(|e| panic!("{e}")) {
+            Some(isa) => isa,
+            None => detected(),
+        }
     })
 }
 

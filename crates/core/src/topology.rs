@@ -154,6 +154,29 @@ impl Topology {
     }
 }
 
+/// Reads `PB_NUMA_DOMAINS` with a typed failure: `Ok(None)` when unset,
+/// `Ok(Some(k))` for a positive integer, and a
+/// [`PbError`](crate::PbError) for anything else.
+///
+/// The vendored pool's own reader ([`rayon::domains::forced_domains`])
+/// deliberately *ignores* malformed values — best-effort discovery must
+/// never abort a multiply — which means a typo like `PB_NUMA_DOMAINS=two`
+/// silently runs single-domain.  A resident service (or `validate_env`)
+/// calls this at startup so the typo is a refusal instead.
+pub fn try_forced_domains() -> Result<Option<usize>, crate::PbError> {
+    match std::env::var(rdomains::DOMAINS_ENV) {
+        Err(_) => Ok(None),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(crate::PbError::InvalidEnv {
+                var: rdomains::DOMAINS_ENV,
+                value: v,
+                expected: "a positive integer domain count",
+            }),
+        },
+    }
+}
+
 /// The range owning item `index` under the cumulative `starts` boundaries
 /// produced by [`balanced_boundaries`] (`parts + 1` entries): the last
 /// range whose start is at or before `index`, clamped into `0..parts`

@@ -64,6 +64,23 @@
 //! measured, not assumed: a steady-state repeat of the same shape shows
 //! `bytes_allocated == 0` with every acquisition a hit.
 //!
+//! # Decay
+//!
+//! High-water sizing alone is a one-way ratchet: one giant multiply pins
+//! the peak footprint forever, which is fine for a single MCL run and a
+//! slow memory leak in a resident service holding an engine (and so a
+//! workspace) per catalog entry.  The workspace therefore *decays*:
+//! after [`DECAY_AFTER_LOW_LEASES`] consecutive check-ins whose multiply
+//! used less than **half** of the pooled capacity (entries + sort scratch,
+//! measured in bytes), the two big buffers step down to half their
+//! capacity — never below the largest use observed in the current
+//! low-usage window, so the very next repeat still fits without
+//! re-allocating.  The step mirrors
+//! [`AutoTune`](crate::config::AutoTune)'s halving step-down, and every
+//! freed byte is counted in [`Workspace::total_bytes_released`] (with the
+//! shrink events in [`Workspace::decay_events`]), so bounded footprint is
+//! as measurable as zero-allocation steady state.
+//!
 //! [`BinnedTuples::entries`]: crate::bins::BinnedTuples::entries
 //! [`BinnedTuples::bin_offsets`]: crate::bins::BinnedTuples::bin_offsets
 //! [`BinnedTuples::compressed_len`]: crate::bins::BinnedTuples::compressed_len
@@ -99,7 +116,15 @@ pub struct Workspace {
     hits: AtomicU64,
     leases: AtomicU64,
     bypasses: AtomicU64,
+    bytes_released: AtomicU64,
+    decay_events: AtomicU64,
 }
+
+/// Consecutive low-usage (< half capacity) check-ins before the pooled
+/// buffers step down to half their capacity — the workspace face of
+/// [`AutoTune`](crate::config::AutoTune)'s step-down policy (one step
+/// halves, and a single high-usage multiply resets the streak).
+pub const DECAY_AFTER_LOW_LEASES: u64 = 4;
 
 impl std::fmt::Debug for Workspace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -127,6 +152,35 @@ struct Slot {
     /// The pooled buffers (`None` before the first multiply finished, or
     /// while they are checked out).
     pool: Option<Box<dyn Any + Send>>,
+    /// Consecutive check-ins that used less than half of the pooled
+    /// capacity (the decay streak).
+    low_streak: u64,
+    /// Largest entries use (in entries) seen in the current streak window —
+    /// the decay floor, so a shrink never evicts capacity the ongoing
+    /// traffic still touches.
+    peak_entries_used: usize,
+    /// Largest sort-scratch use (in entries) seen in the current window.
+    peak_scratch_used: usize,
+}
+
+impl Slot {
+    fn reset_decay(&mut self) {
+        self.low_streak = 0;
+        self.peak_entries_used = 0;
+        self.peak_scratch_used = 0;
+    }
+}
+
+/// How much of the pooled capacity the finishing multiply actually used,
+/// reported by [`WorkspaceLease::release`] so the decay policy can compare
+/// use against capacity.
+#[derive(Debug, Clone, Copy, Default)]
+struct Usage {
+    /// Tuples written into the expand buffer (== this multiply's flop).
+    entries_used: usize,
+    /// Sort-scratch entries requested via `prepare_scratch` (0 when the
+    /// sort needed no scratch).
+    scratch_used: usize,
 }
 
 impl Workspace {
@@ -140,6 +194,8 @@ impl Workspace {
             hits: AtomicU64::new(0),
             leases: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
+            bytes_released: AtomicU64::new(0),
+            decay_events: AtomicU64::new(0),
         }
     }
 
@@ -170,6 +226,17 @@ impl Workspace {
         self.bypasses.load(Ordering::Relaxed)
     }
 
+    /// Total bytes of pooled capacity returned to the allocator by the
+    /// decay policy (see the module docs) across this workspace's lifetime.
+    pub fn total_bytes_released(&self) -> u64 {
+        self.bytes_released.load(Ordering::Relaxed)
+    }
+
+    /// Number of decay steps (capacity halvings) the workspace has applied.
+    pub fn decay_events(&self) -> u64 {
+        self.decay_events.load(Ordering::Relaxed)
+    }
+
     /// Checks the pooled buffers out.  `None` means the slot is busy — a
     /// concurrent multiply holds the buffers — and the caller should run on
     /// fresh throwaway buffers instead (a *bypass*).  An idle slot always
@@ -185,16 +252,70 @@ impl Workspace {
         self.leases.fetch_add(1, Ordering::Relaxed);
         let pool = match slot.pool.take().map(|boxed| boxed.downcast::<PoolOf<V>>()) {
             Some(Ok(pool)) => *pool,
-            Some(Err(_)) | None => PoolOf::empty(),
+            Some(Err(_)) | None => {
+                // First use or a value-type change: the decay window is
+                // about the *new* buffers, so any old streak is stale.
+                slot.reset_decay();
+                PoolOf::empty()
+            }
         };
         Some(pool)
     }
 
-    /// Returns the buffers after a multiply and frees the slot.
-    fn checkin<V: Send + 'static>(&self, pool: PoolOf<V>) {
+    /// Returns the buffers after a multiply, applies the decay policy
+    /// against the reported `usage`, and frees the slot.
+    fn checkin<V: Send + 'static>(&self, mut pool: PoolOf<V>, usage: Usage) {
         let mut slot = self.slot.lock().expect("workspace lock poisoned");
+        self.decay(&mut slot, &mut pool, usage);
         slot.checked_out = false;
         slot.pool = Some(Box::new(pool));
+    }
+
+    /// One observation of the decay policy: a check-in that used less than
+    /// half of the pooled (entries + scratch) capacity extends the low
+    /// streak; [`DECAY_AFTER_LOW_LEASES`] of those in a row halve both big
+    /// buffers, floored at the window's peak use so the ongoing traffic
+    /// pattern keeps fitting allocation-free.
+    fn decay<V>(&self, slot: &mut Slot, pool: &mut PoolOf<V>, usage: Usage) {
+        let entry_bytes = std::mem::size_of::<Entry<V>>();
+        let cap_entries = pool.entries.capacity();
+        let cap_scratch = pool.scratch.len();
+        let used = (usage.entries_used + usage.scratch_used) * entry_bytes;
+        let capacity = (cap_entries + cap_scratch) * entry_bytes;
+        if capacity == 0 || used * 2 >= capacity {
+            slot.reset_decay();
+            return;
+        }
+        // Only low leases extend the window: the floor is the peak use of
+        // the *sustained small* traffic, not of the burst that grew the
+        // buffers in the first place.
+        slot.peak_entries_used = slot.peak_entries_used.max(usage.entries_used);
+        slot.peak_scratch_used = slot.peak_scratch_used.max(usage.scratch_used);
+        slot.low_streak += 1;
+        if slot.low_streak < DECAY_AFTER_LOW_LEASES {
+            return;
+        }
+        // Step down: halve each buffer, never below the window's peak use.
+        let mut released = 0usize;
+        let new_entries = (cap_entries / 2).max(slot.peak_entries_used);
+        if new_entries < cap_entries {
+            released += (cap_entries - new_entries) * entry_bytes;
+            // The buffer is empty between multiplies, so a shrink is a
+            // plain re-allocation, never a copy.
+            pool.entries = Vec::with_capacity(new_entries);
+        }
+        let new_scratch = (cap_scratch / 2).max(slot.peak_scratch_used);
+        if new_scratch < cap_scratch {
+            released += (cap_scratch - new_scratch) * entry_bytes;
+            pool.scratch.truncate(new_scratch);
+            pool.scratch.shrink_to_fit();
+        }
+        if released > 0 {
+            self.bytes_released
+                .fetch_add(released as u64, Ordering::Relaxed);
+            self.decay_events.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.reset_decay();
     }
 
     /// Frees the slot without returning buffers (a multiply that panicked
@@ -255,6 +376,8 @@ pub struct WorkspaceLease<V: Send + 'static> {
     /// The workspace the buffers must be returned to; `None` for fresh
     /// (no-workspace) and bypass leases, which just drop their buffers.
     origin: Option<Arc<Workspace>>,
+    /// Sort-scratch entries this multiply asked for (decay telemetry).
+    scratch_used: usize,
 }
 
 impl<V: Send + 'static> Drop for WorkspaceLease<V> {
@@ -292,15 +415,18 @@ impl<V: Copy + Send + Sync + 'static> WorkspaceLease<V> {
                 Some(pool) => WorkspaceLease {
                     pool,
                     origin: Some(ws),
+                    scratch_used: 0,
                 },
                 None => WorkspaceLease {
                     pool: PoolOf::empty(),
                     origin: None,
+                    scratch_used: 0,
                 },
             },
             None => WorkspaceLease {
                 pool: PoolOf::empty(),
                 origin: None,
+                scratch_used: 0,
             },
         }
     }
@@ -446,6 +572,7 @@ impl<V: Copy + Send + Sync + 'static> WorkspaceLease<V> {
         if target_len == 0 {
             return;
         }
+        self.scratch_used = self.scratch_used.max(target_len);
         let bytes = (target_len * std::mem::size_of::<Entry<V>>()) as u64;
         if self.pool.scratch.len() >= target_len {
             self.record(
@@ -488,6 +615,10 @@ impl<V: Copy + Send + Sync + 'static> WorkspaceLease<V> {
             mut compressed_len,
             ..
         } = tuples;
+        let usage = Usage {
+            entries_used: entries.len(),
+            scratch_used: self.scratch_used,
+        };
         entries.clear();
         bin_offsets.clear();
         compressed_len.clear();
@@ -495,7 +626,7 @@ impl<V: Copy + Send + Sync + 'static> WorkspaceLease<V> {
         self.pool.bin_offsets = bin_offsets;
         self.pool.compressed_len = compressed_len;
         if let Some(ws) = self.origin.take() {
-            ws.checkin(std::mem::replace(&mut self.pool, PoolOf::empty()));
+            ws.checkin(std::mem::replace(&mut self.pool, PoolOf::empty()), usage);
         }
     }
 }
@@ -831,6 +962,100 @@ mod tests {
         assert_eq!(slab_boundaries(10, 3), vec![0, 3, 6, 10]);
         assert_eq!(slab_boundaries(0, 2), vec![0, 0, 0]);
         assert_eq!(slab_boundaries(7, 1), vec![0, 7]);
+    }
+
+    /// Drives one synthetic multiply through the workspace: `flop` tuples
+    /// in the expand buffer, `scratch` sort-scratch entries.
+    fn synthetic_multiply(ws: &Arc<Workspace>, flop: usize, scratch: usize) -> crate::PhaseStats {
+        let stats = StatsCollector::new();
+        let mut lease = WorkspaceLease::<f64>::acquire(Some(ws.clone()));
+        let mut entries = lease.take_entries_vec(flop, &stats);
+        entries.resize(flop, zero());
+        if scratch > 0 {
+            lease.prepare_scratch(scratch, 1, zero(), &stats);
+        }
+        let tuples = BinnedTuples {
+            entries,
+            bin_offsets: Vec::new(),
+            compressed_len: Vec::new(),
+            layout: crate::bins::BinLayout::new(4, 4, 1, crate::config::BinMapping::Range),
+        };
+        lease.release(tuples);
+        stats.snapshot()
+    }
+
+    #[test]
+    fn decay_shrinks_after_consecutive_low_leases() {
+        let ws = Arc::new(Workspace::new());
+        // One giant multiply pins the high-water mark...
+        synthetic_multiply(&ws, 10_000, 10_000);
+        assert_eq!(ws.decay_events(), 0);
+        // ...then sustained small traffic uses < half of it.
+        for i in 0..DECAY_AFTER_LOW_LEASES {
+            assert_eq!(ws.decay_events(), 0, "no decay before the streak fills");
+            let _ = synthetic_multiply(&ws, 1_000, 1_000);
+            let _ = i;
+        }
+        assert_eq!(ws.decay_events(), 1, "streak of low leases steps down");
+        let released = ws.total_bytes_released();
+        // Both buffers halved: 5000 + 5000 entries freed.
+        assert_eq!(
+            released,
+            (10_000 * std::mem::size_of::<Entry<f64>>()) as u64
+        );
+        // The floor keeps the ongoing small shape allocation-free.
+        let s = synthetic_multiply(&ws, 1_000, 1_000);
+        assert_eq!(
+            s.bytes_allocated, 0,
+            "decayed capacity still fits the traffic"
+        );
+        assert!(s.bytes_reused > 0);
+    }
+
+    #[test]
+    fn high_usage_resets_the_decay_streak() {
+        let ws = Arc::new(Workspace::new());
+        synthetic_multiply(&ws, 8_000, 0);
+        for _ in 0..DECAY_AFTER_LOW_LEASES - 1 {
+            synthetic_multiply(&ws, 1_000, 0);
+        }
+        // A full-capacity multiply lands mid-streak: the streak restarts.
+        synthetic_multiply(&ws, 8_000, 0);
+        for _ in 0..DECAY_AFTER_LOW_LEASES - 1 {
+            synthetic_multiply(&ws, 1_000, 0);
+        }
+        assert_eq!(ws.decay_events(), 0, "interrupted streak must not decay");
+        synthetic_multiply(&ws, 1_000, 0);
+        assert_eq!(ws.decay_events(), 1);
+    }
+
+    #[test]
+    fn steady_same_size_traffic_never_decays() {
+        let ws = Arc::new(Workspace::new());
+        for _ in 0..4 * DECAY_AFTER_LOW_LEASES {
+            synthetic_multiply(&ws, 4_096, 2_048);
+        }
+        assert_eq!(ws.decay_events(), 0);
+        assert_eq!(ws.total_bytes_released(), 0);
+    }
+
+    #[test]
+    fn decay_converges_to_the_working_set_and_stops() {
+        let ws = Arc::new(Workspace::new());
+        synthetic_multiply(&ws, 8_000, 0);
+        // 3000-entry traffic: one step down (8000 -> 4000) makes usage
+        // 6000/4000 ≥ half, so exactly one decay ever fires.
+        for _ in 0..8 * DECAY_AFTER_LOW_LEASES {
+            synthetic_multiply(&ws, 3_000, 0);
+        }
+        assert_eq!(ws.decay_events(), 1, "decay stops at the working set");
+        assert_eq!(
+            ws.total_bytes_released(),
+            (4_000 * std::mem::size_of::<Entry<f64>>()) as u64
+        );
+        // And the post-decay steady state is still allocation-free.
+        let s = synthetic_multiply(&ws, 3_000, 0);
+        assert_eq!(s.bytes_allocated, 0);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub const APSP_DENSE_LIMIT: usize = 4096;
 /// unreachable pairs are simply not stored.  Diagonal entries are stored with
 /// distance zero.
 pub fn apsp_minplus(weights: &Csr<f64>, engine: &SpGemm) -> Csr<f64> {
+    crate::Apsp::new().engine(engine.clone()).run(weights)
+}
+
+pub(crate) fn apsp_minplus_impl(weights: &Csr<f64>, engine: &SpGemm) -> Csr<f64> {
     assert_eq!(
         weights.nrows(),
         weights.ncols(),

@@ -33,6 +33,19 @@ pub fn betweenness_centrality<T: pb_sparse::Scalar>(
     batch_size: usize,
     engine: &SpGemm,
 ) -> Vec<f64> {
+    crate::Bc::new()
+        .engine(engine.clone())
+        .sources(sources.iter().copied())
+        .batch_size(batch_size)
+        .run(adjacency)
+}
+
+pub(crate) fn betweenness_centrality_impl<T: pb_sparse::Scalar>(
+    adjacency: &Csr<T>,
+    sources: &[usize],
+    batch_size: usize,
+    engine: &SpGemm,
+) -> Vec<f64> {
     let a = to_simple_undirected(adjacency);
     let n = a.nrows();
     let mut centrality = vec![0.0f64; n];

@@ -78,6 +78,17 @@ pub fn multi_source_bfs<T: pb_sparse::Scalar>(
     sources: &[usize],
     engine: &SpGemm,
 ) -> BfsResult {
+    crate::Bfs::new()
+        .engine(engine.clone())
+        .sources(sources.iter().copied())
+        .run(adjacency)
+}
+
+pub(crate) fn multi_source_bfs_impl<T: pb_sparse::Scalar>(
+    adjacency: &Csr<T>,
+    sources: &[usize],
+    engine: &SpGemm,
+) -> BfsResult {
     assert_eq!(
         adjacency.nrows(),
         adjacency.ncols(),

@@ -1,0 +1,365 @@
+//! Builder-style entry points for the graph kernels.
+//!
+//! Every kernel in this crate is configured the same way: pick a shared
+//! [`SpGemm`] engine, set the kernel's knobs, call `run(&matrix)`.  The
+//! builders make that shape explicit and let one engine (with its planner,
+//! profile sink and workspace) be threaded through many analytics calls:
+//!
+//! ```
+//! use pb_graph::{Mcl, Triangles, SpGemm};
+//! use pb_sparse::{Coo, Csr};
+//!
+//! let g: Csr<f64> = Coo::from_entries(3, 3, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+//!     .unwrap()
+//!     .to_csr();
+//! let engine = SpGemm::auto();
+//! let clusters = Mcl::new().engine(engine.clone()).inflation(2.0).run(&g);
+//! let triangles = Triangles::new().engine(engine).run(&g);
+//! assert_eq!(triangles, 1);
+//! assert!(clusters.num_clusters >= 1);
+//! ```
+//!
+//! The original free functions ([`markov_cluster`](crate::markov_cluster),
+//! [`betweenness_centrality`](crate::betweenness_centrality), …) survive as
+//! thin wrappers over these builders; see `docs/API.md` for the migration
+//! table.
+
+use pb_sparse::Csr;
+
+use crate::apsp::apsp_minplus_impl;
+use crate::bc::betweenness_centrality_impl;
+use crate::bfs::{multi_source_bfs_impl, BfsResult};
+use crate::mcl::{markov_cluster_impl, MclConfig, MclResult};
+use crate::triangles::{
+    clustering_coefficients_impl, count_triangles_impl, triangle_counts_per_vertex_impl,
+};
+use pb_spgemm::SpGemm;
+
+/// Builder for Markov clustering; the builder-style face of
+/// [`markov_cluster`](crate::markov_cluster).
+///
+/// Each setter mirrors one [`MclConfig`] field; unset knobs keep the classic
+/// defaults (`inflation = 2`, `prune_threshold = 1e-5`, …).
+#[derive(Debug, Clone)]
+pub struct Mcl {
+    config: MclConfig,
+}
+
+impl Default for Mcl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mcl {
+    /// Starts from [`MclConfig::default`].
+    pub fn new() -> Self {
+        Mcl {
+            config: MclConfig::default(),
+        }
+    }
+
+    /// Starts from an existing configuration (how the free-function wrapper
+    /// funnels into the builder).
+    pub fn from_config(config: MclConfig) -> Self {
+        Mcl { config }
+    }
+
+    /// SpGEMM engine used for the expansion step.
+    pub fn engine(mut self, engine: SpGemm) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Inflation exponent `r` (> 1 sharpens; the classic default is 2).
+    pub fn inflation(mut self, r: f64) -> Self {
+        self.config.inflation = r;
+        self
+    }
+
+    /// Entries below this value are dropped after every iteration.
+    pub fn prune_threshold(mut self, threshold: f64) -> Self {
+        self.config.prune_threshold = threshold;
+        self
+    }
+
+    /// Convergence threshold on the largest entry-wise change.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.config.tolerance = tolerance;
+        self
+    }
+
+    /// Hard cap on the number of expansion/inflation rounds.
+    pub fn max_iterations(mut self, cap: usize) -> Self {
+        self.config.max_iterations = cap;
+        self
+    }
+
+    /// Weight added to the diagonal before normalisation.
+    pub fn self_loop_weight(mut self, weight: f64) -> Self {
+        self.config.self_loop_weight = weight;
+        self
+    }
+
+    /// Runs the clustering on `adjacency` (square; symmetrised internally).
+    pub fn run(&self, adjacency: &Csr<f64>) -> MclResult {
+        markov_cluster_impl(adjacency, &self.config)
+    }
+}
+
+/// Builder for batched Brandes betweenness centrality; the builder-style face
+/// of [`betweenness_centrality`](crate::betweenness_centrality).
+///
+/// Without an explicit [`sources`](Bc::sources) call, `run` computes *exact*
+/// betweenness from every vertex.
+#[derive(Debug, Clone)]
+pub struct Bc {
+    sources: Option<Vec<usize>>,
+    batch_size: usize,
+    engine: SpGemm,
+}
+
+impl Default for Bc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bc {
+    /// Default: exact scores (all sources), batches of 32, the PB engine.
+    pub fn new() -> Self {
+        Bc {
+            sources: None,
+            batch_size: 32,
+            engine: SpGemm::pb(),
+        }
+    }
+
+    /// SpGEMM engine that advances the frontier matrices.
+    pub fn engine(mut self, engine: SpGemm) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Restricts the search to this batch of source vertices (source-sampled
+    /// approximation when it does not cover every vertex).
+    pub fn sources(mut self, sources: impl IntoIterator<Item = usize>) -> Self {
+        self.sources = Some(sources.into_iter().collect());
+        self
+    }
+
+    /// How many sources are processed per SpGEMM batch.
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch;
+        self
+    }
+
+    /// Runs the forward/backward sweeps and returns one score per vertex.
+    pub fn run<T: pb_sparse::Scalar>(&self, adjacency: &Csr<T>) -> Vec<f64> {
+        match &self.sources {
+            Some(sources) => {
+                betweenness_centrality_impl(adjacency, sources, self.batch_size, &self.engine)
+            }
+            None => {
+                let all: Vec<usize> = (0..adjacency.nrows()).collect();
+                betweenness_centrality_impl(adjacency, &all, self.batch_size, &self.engine)
+            }
+        }
+    }
+}
+
+/// Builder for min-plus all-pairs shortest paths; the builder-style face of
+/// [`apsp_minplus`](crate::apsp_minplus).
+#[derive(Debug, Clone, Default)]
+pub struct Apsp {
+    engine: SpGemm,
+}
+
+impl Apsp {
+    /// Default: the PB engine.
+    pub fn new() -> Self {
+        Apsp {
+            engine: SpGemm::pb(),
+        }
+    }
+
+    /// SpGEMM engine used for the repeated min-plus squarings.
+    pub fn engine(mut self, engine: SpGemm) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Returns the all-pairs distance matrix of `weights` (unreachable pairs
+    /// are not stored).
+    pub fn run(&self, weights: &Csr<f64>) -> Csr<f64> {
+        apsp_minplus_impl(weights, &self.engine)
+    }
+}
+
+/// Builder for multi-source BFS; the builder-style face of
+/// [`multi_source_bfs`](crate::multi_source_bfs).
+#[derive(Debug, Clone, Default)]
+pub struct Bfs {
+    sources: Vec<usize>,
+    engine: SpGemm,
+}
+
+impl Bfs {
+    /// Default: no sources yet, the PB engine.
+    pub fn new() -> Self {
+        Bfs {
+            sources: Vec::new(),
+            engine: SpGemm::pb(),
+        }
+    }
+
+    /// SpGEMM engine that advances the `n × s` frontier matrix.
+    pub fn engine(mut self, engine: SpGemm) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Adds one source vertex (one more column in the frontier matrix).
+    pub fn source(mut self, vertex: usize) -> Self {
+        self.sources.push(vertex);
+        self
+    }
+
+    /// Adds a batch of source vertices.
+    pub fn sources(mut self, sources: impl IntoIterator<Item = usize>) -> Self {
+        self.sources.extend(sources);
+        self
+    }
+
+    /// Runs all searches at once; `levels[k]` belongs to the `k`-th source in
+    /// insertion order.
+    pub fn run<T: pb_sparse::Scalar>(&self, adjacency: &Csr<T>) -> BfsResult {
+        multi_source_bfs_impl(adjacency, &self.sources, &self.engine)
+    }
+}
+
+/// Builder for triangle analytics; the builder-style face of
+/// [`count_triangles`](crate::count_triangles) and friends.
+#[derive(Debug, Clone, Default)]
+pub struct Triangles {
+    engine: SpGemm,
+}
+
+impl Triangles {
+    /// Default: the PB engine.
+    pub fn new() -> Self {
+        Triangles {
+            engine: SpGemm::pb(),
+        }
+    }
+
+    /// SpGEMM engine used for the masked `A·A` product.
+    pub fn engine(mut self, engine: SpGemm) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Global triangle count of the simple undirected version of `adjacency`.
+    pub fn run<T: pb_sparse::Scalar>(&self, adjacency: &Csr<T>) -> u64 {
+        count_triangles_impl(adjacency, &self.engine)
+    }
+
+    /// Number of triangles incident to every vertex.
+    pub fn per_vertex<T: pb_sparse::Scalar>(&self, adjacency: &Csr<T>) -> Vec<u64> {
+        triangle_counts_per_vertex_impl(adjacency, &self.engine)
+    }
+
+    /// Local clustering coefficients plus the global triangle count.
+    pub fn clustering_coefficients<T: pb_sparse::Scalar>(
+        &self,
+        adjacency: &Csr<T>,
+    ) -> (Vec<f64>, u64) {
+        clustering_coefficients_impl(adjacency, &self.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_sparse::Coo;
+
+    /// A 5-vertex graph: a triangle {0,1,2} plus a path 2–3–4.
+    fn toy() -> Csr<f64> {
+        let mut entries = Vec::new();
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)] {
+            entries.push((u, v, 1.0));
+            entries.push((v, u, 1.0));
+        }
+        Coo::from_entries(5, 5, entries).unwrap().to_csr()
+    }
+
+    #[test]
+    fn builders_match_the_free_functions() {
+        let g = toy();
+        let engine = SpGemm::pb();
+
+        let via_builder = Mcl::new().engine(engine.clone()).inflation(2.0).run(&g);
+        let via_free = crate::markov_cluster(&g, &crate::MclConfig::default());
+        assert_eq!(via_builder, via_free);
+
+        let sources: Vec<usize> = (0..5).collect();
+        let bc_builder = Bc::new().engine(engine.clone()).batch_size(2).run(&g);
+        let bc_free = crate::betweenness_centrality(&g, &sources, 2, &engine);
+        assert_eq!(bc_builder, bc_free);
+
+        let apsp_builder = Apsp::new().engine(engine.clone()).run(&g);
+        let apsp_free = crate::apsp_minplus(&g, &engine);
+        assert_eq!(apsp_builder, apsp_free);
+
+        let bfs_builder = Bfs::new().engine(engine.clone()).sources([0, 4]).run(&g);
+        let bfs_free = crate::multi_source_bfs(&g, &[0, 4], &engine);
+        assert_eq!(bfs_builder, bfs_free);
+
+        let tri = Triangles::new().engine(engine.clone());
+        assert_eq!(tri.run(&g), crate::count_triangles(&g, &engine));
+        assert_eq!(
+            tri.per_vertex(&g),
+            crate::triangle_counts_per_vertex(&g, &engine)
+        );
+        assert_eq!(
+            tri.clustering_coefficients(&g),
+            crate::clustering_coefficients(&g, &engine)
+        );
+    }
+
+    #[test]
+    fn one_engine_threads_through_many_kernels() {
+        // The point of the redesign: one cheap-clone engine with a shared
+        // workspace feeds several analytics calls, and the workspace sees
+        // every one of the underlying multiplies.
+        let g = toy();
+        let engine = SpGemm::with_workspace();
+        let ws = engine.workspace_handle().cloned().unwrap();
+
+        let t = Triangles::new().engine(engine.clone()).run(&g);
+        assert_eq!(t, 1);
+        let d = Apsp::new().engine(engine.clone()).run(&g);
+        assert_eq!(d.get(0, 4), Some(3.0));
+        let b = Bfs::new().engine(engine).source(0).run(&g);
+        assert_eq!(b.levels[0][4], Some(3));
+
+        assert!(ws.leases() >= 3, "each kernel leased the shared workspace");
+    }
+
+    #[test]
+    fn bc_defaults_to_exact_scores() {
+        let g = toy();
+        let engine = SpGemm::pb();
+        let sources: Vec<usize> = (0..5).collect();
+        let exact = crate::betweenness_centrality(&g, &sources, 4, &engine);
+        let via_default = Bc::new().engine(engine).batch_size(4).run(&g);
+        assert_eq!(via_default, exact);
+        // Vertex 2 bridges the triangle and the path: strictly the most
+        // central.
+        let max = via_default
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(via_default[2], max);
+    }
+}

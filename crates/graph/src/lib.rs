@@ -11,6 +11,10 @@
 //! code can run on PB-SpGEMM, on any of the column-SpGEMM baselines, or
 //! under the telemetry-driven planner (`SpGemm::auto()`) — which is how the
 //! application-level benchmarks compare them.
+//!
+//! The preferred entry points are the builders in [`builders`]
+//! (`Mcl::new().engine(e).inflation(r).run(&m)` and friends); the original
+//! free functions remain as thin wrappers over them.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -19,6 +23,7 @@ pub mod amg;
 pub mod apsp;
 pub mod bc;
 pub mod bfs;
+pub mod builders;
 pub mod cycles;
 pub mod mcl;
 pub mod triangles;
@@ -27,6 +32,7 @@ pub use amg::{aggregate_coarsening, coarsen, galerkin_product, AmgLevel};
 pub use apsp::{apsp_minplus, APSP_DENSE_LIMIT};
 pub use bc::betweenness_centrality;
 pub use bfs::{multi_source_bfs, single_source_bfs, BfsResult};
+pub use builders::{Apsp, Bc, Bfs, Mcl, Triangles};
 pub use cycles::{count_closed_walks, has_cycle_of_length};
 pub use mcl::{markov_cluster, MclConfig, MclResult};
 pub use pb_spgemm::SpGemm;

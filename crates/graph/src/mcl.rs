@@ -69,7 +69,15 @@ fn inflate(m: &Csr<f64>, r: f64) -> Csr<f64> {
 
 /// Runs Markov clustering on the graph whose (symmetric or not, weighted or
 /// not) adjacency matrix is `adjacency`.
+///
+/// Thin wrapper over the [`crate::Mcl`] builder, kept for source
+/// compatibility; new code should prefer
+/// `Mcl::new().engine(e).inflation(r).run(&m)`.
 pub fn markov_cluster(adjacency: &Csr<f64>, config: &MclConfig) -> MclResult {
+    crate::Mcl::from_config(config.clone()).run(adjacency)
+}
+
+pub(crate) fn markov_cluster_impl(adjacency: &Csr<f64>, config: &MclConfig) -> MclResult {
     assert_eq!(
         adjacency.nrows(),
         adjacency.ncols(),

@@ -44,6 +44,15 @@ fn common_neighbours(a: &Csr<f64>, engine: &SpGemm) -> Csr<f64> {
 /// weighted) adjacency matrix is `adjacency`.  The matrix is symmetrised and
 /// self loops are dropped before counting.
 pub fn count_triangles<T: pb_sparse::Scalar>(adjacency: &Csr<T>, engine: &SpGemm) -> u64 {
+    crate::Triangles::new()
+        .engine(engine.clone())
+        .run(adjacency)
+}
+
+pub(crate) fn count_triangles_impl<T: pb_sparse::Scalar>(
+    adjacency: &Csr<T>,
+    engine: &SpGemm,
+) -> u64 {
     let a = to_simple_undirected(adjacency);
     let masked = common_neighbours(&a, engine);
     let total: f64 = masked.values().iter().sum();
@@ -52,6 +61,15 @@ pub fn count_triangles<T: pb_sparse::Scalar>(adjacency: &Csr<T>, engine: &SpGemm
 
 /// Number of triangles incident to every vertex.
 pub fn triangle_counts_per_vertex<T: pb_sparse::Scalar>(
+    adjacency: &Csr<T>,
+    engine: &SpGemm,
+) -> Vec<u64> {
+    crate::Triangles::new()
+        .engine(engine.clone())
+        .per_vertex(adjacency)
+}
+
+pub(crate) fn triangle_counts_per_vertex_impl<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
     engine: &SpGemm,
 ) -> Vec<u64> {
@@ -67,6 +85,15 @@ pub fn triangle_counts_per_vertex<T: pb_sparse::Scalar>(
 /// centred at the vertex that close into a triangle (`0` for vertices of
 /// degree < 2), plus the graph's global triangle count.
 pub fn clustering_coefficients<T: pb_sparse::Scalar>(
+    adjacency: &Csr<T>,
+    engine: &SpGemm,
+) -> (Vec<f64>, u64) {
+    crate::Triangles::new()
+        .engine(engine.clone())
+        .clustering_coefficients(adjacency)
+}
+
+pub(crate) fn clustering_coefficients_impl<T: pb_sparse::Scalar>(
     adjacency: &Csr<T>,
     engine: &SpGemm,
 ) -> (Vec<f64>, u64) {

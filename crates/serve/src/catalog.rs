@@ -1,0 +1,291 @@
+//! The byte-budgeted LRU catalog of resident matrices.
+//!
+//! Each entry pairs a named [`Csr`] matrix with its own [`SpGemm`] engine:
+//! a private [`Workspace`] (so repeated products over the entry amortise
+//! their working memory and the decay policy can shrink it per-entry) plus
+//! the server-wide shared planner and profile sink (so every request
+//! teaches the same planner and feeds the same `/metrics` endpoint).
+//! Storing past the byte budget evicts least-recently-used entries, and the
+//! eviction count is exported as telemetry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pb_sparse::Csr;
+use pb_spgemm::{Algorithm, Planner, ProfileSink, SpGemm, Workspace};
+
+/// Approximate resident bytes of a CSR matrix (row pointers + column
+/// indices + values); used against the catalog budget.
+pub fn matrix_bytes(m: &Csr<f64>) -> usize {
+    (m.nrows() + 1) * std::mem::size_of::<usize>()
+        + m.nnz() * (std::mem::size_of::<pb_sparse::Index>() + std::mem::size_of::<f64>())
+}
+
+/// One resident matrix with its engine.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The matrix (shared with in-flight requests, so eviction never
+    /// invalidates a running multiply).
+    pub matrix: Arc<Csr<f64>>,
+    /// The engine every request against this entry routes through.
+    pub engine: SpGemm,
+    /// The entry's workspace (also reachable through the engine; kept here
+    /// for telemetry).
+    pub workspace: Arc<Workspace>,
+    /// Approximate resident bytes, charged against the budget.
+    pub bytes: usize,
+    /// LRU stamp (ordinal of the last touch).
+    stamp: u64,
+}
+
+/// Summary of one entry for the `list` op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryInfo {
+    /// Catalog name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Bytes charged against the budget.
+    pub bytes: usize,
+}
+
+/// The catalog: named entries, a byte budget, and LRU eviction.
+#[derive(Debug)]
+pub struct Catalog {
+    entries: HashMap<String, Entry>,
+    budget_bytes: usize,
+    bytes_used: usize,
+    clock: u64,
+    evictions: u64,
+    default_algorithm: Algorithm,
+    planner: Arc<Planner>,
+    sink: Arc<ProfileSink>,
+}
+
+impl Catalog {
+    /// An empty catalog with the given byte budget and engine defaults.
+    pub fn new(budget_bytes: usize, default_algorithm: Algorithm) -> Self {
+        Catalog {
+            entries: HashMap::new(),
+            budget_bytes,
+            bytes_used: 0,
+            clock: 0,
+            evictions: 0,
+            default_algorithm,
+            planner: Arc::new(Planner::from_env()),
+            sink: ProfileSink::new(),
+        }
+    }
+
+    /// The shared profile sink every entry engine records into.
+    pub fn sink(&self) -> &Arc<ProfileSink> {
+        &self.sink
+    }
+
+    /// Builds the per-entry engine: entry-private workspace, shared planner
+    /// and sink.
+    fn engine_for(&self, workspace: Arc<Workspace>) -> SpGemm {
+        SpGemm::new()
+            .algorithm(self.default_algorithm)
+            .planner(Arc::clone(&self.planner))
+            .workspace(workspace)
+            .profile(Arc::clone(&self.sink))
+    }
+
+    /// Inserts (or replaces) `name`, evicting LRU entries if the budget
+    /// overflows.  Fails when the matrix alone exceeds the whole budget —
+    /// a resident service must bound its footprint, so the request is
+    /// rejected instead of silently blowing past the limit.
+    pub fn store(&mut self, name: &str, matrix: Csr<f64>) -> Result<(), String> {
+        let bytes = matrix_bytes(&matrix);
+        if bytes > self.budget_bytes {
+            return Err(format!(
+                "matrix `{name}` needs {bytes} bytes, over the catalog budget of {} bytes",
+                self.budget_bytes
+            ));
+        }
+        if let Some(old) = self.entries.remove(name) {
+            self.bytes_used -= old.bytes;
+        }
+        while self.bytes_used + bytes > self.budget_bytes {
+            self.evict_lru();
+        }
+        self.clock += 1;
+        let workspace = Arc::new(Workspace::new());
+        let entry = Entry {
+            matrix: Arc::new(matrix),
+            engine: self.engine_for(Arc::clone(&workspace)),
+            workspace,
+            bytes,
+            stamp: self.clock,
+        };
+        self.bytes_used += bytes;
+        self.entries.insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    fn evict_lru(&mut self) {
+        let Some(name) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(n, _)| n.clone())
+        else {
+            return;
+        };
+        if let Some(e) = self.entries.remove(&name) {
+            self.bytes_used -= e.bytes;
+            self.evictions += 1;
+        }
+    }
+
+    /// Fetches `name` and refreshes its LRU stamp.  The clone is cheap: the
+    /// matrix is an `Arc` and the engine's innards are shared handles.
+    pub fn get(&mut self, name: &str) -> Option<Entry> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(name).map(|e| {
+            e.stamp = clock;
+            e.clone()
+        })
+    }
+
+    /// Drops `name`; returns whether it existed (explicit drops are not
+    /// counted as evictions).
+    pub fn evict(&mut self, name: &str) -> bool {
+        match self.entries.remove(name) {
+            Some(e) => {
+                self.bytes_used -= e.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Entry summaries sorted by name (deterministic `list` output).
+    pub fn list(&self) -> Vec<EntryInfo> {
+        let mut infos: Vec<EntryInfo> = self
+            .entries
+            .iter()
+            .map(|(name, e)| EntryInfo {
+                name: name.clone(),
+                rows: e.matrix.nrows(),
+                cols: e.matrix.ncols(),
+                nnz: e.matrix.nnz(),
+                bytes: e.bytes,
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn bytes_used(&self) -> usize {
+        self.bytes_used
+    }
+
+    /// The byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// LRU evictions so far (budget pressure only, not explicit `evict`).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Sums a workspace counter over every resident entry.
+    pub fn sum_workspaces(&self, f: impl Fn(&Workspace) -> u64) -> u64 {
+        self.entries.values().map(|e| f(&e.workspace)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_sparse::Coo;
+
+    fn dense(n: usize, tag: f64) -> Csr<f64> {
+        let entries: Vec<(usize, usize, f64)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j, tag + (i * n + j) as f64)))
+            .collect();
+        Coo::from_entries(n, n, entries).unwrap().to_csr()
+    }
+
+    #[test]
+    fn stores_fetches_and_counts_bytes() {
+        let mut cat = Catalog::new(1 << 20, Algorithm::Pb);
+        cat.store("a", dense(4, 0.0)).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.bytes_used(), matrix_bytes(&dense(4, 0.0)));
+        let e = cat.get("a").expect("stored entry");
+        assert_eq!(e.matrix.nnz(), 16);
+        assert!(cat.get("missing").is_none());
+        assert!(cat.evict("a"));
+        assert!(!cat.evict("a"));
+        assert_eq!(cat.bytes_used(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_counts() {
+        let one = matrix_bytes(&dense(8, 0.0));
+        // Budget fits exactly two entries.
+        let mut cat = Catalog::new(2 * one + one / 2, Algorithm::Pb);
+        cat.store("a", dense(8, 0.0)).unwrap();
+        cat.store("b", dense(8, 1.0)).unwrap();
+        // Touch `a` so `b` becomes the LRU entry.
+        cat.get("a").unwrap();
+        cat.store("c", dense(8, 2.0)).unwrap();
+        assert_eq!(cat.evictions(), 1);
+        assert!(cat.get("b").is_none(), "LRU entry was evicted");
+        assert!(cat.get("a").is_some());
+        assert!(cat.get("c").is_some());
+    }
+
+    #[test]
+    fn oversized_matrices_are_rejected() {
+        let mut cat = Catalog::new(64, Algorithm::Pb);
+        let err = cat.store("big", dense(8, 0.0)).unwrap_err();
+        assert!(err.contains("over the catalog budget"));
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_leak_bytes() {
+        let mut cat = Catalog::new(1 << 20, Algorithm::Pb);
+        cat.store("a", dense(8, 0.0)).unwrap();
+        let before = cat.bytes_used();
+        cat.store("a", dense(8, 5.0)).unwrap();
+        assert_eq!(cat.bytes_used(), before);
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.evictions(), 0);
+    }
+
+    #[test]
+    fn entry_engines_share_planner_and_sink_but_not_workspaces() {
+        let mut cat = Catalog::new(1 << 20, Algorithm::Auto);
+        cat.store("a", dense(4, 0.0)).unwrap();
+        cat.store("b", dense(4, 1.0)).unwrap();
+        let ea = cat.get("a").unwrap();
+        let eb = cat.get("b").unwrap();
+        assert!(Arc::ptr_eq(
+            ea.engine.planner_handle().unwrap(),
+            eb.engine.planner_handle().unwrap()
+        ));
+        assert!(!Arc::ptr_eq(&ea.workspace, &eb.workspace));
+    }
+}

@@ -1,0 +1,152 @@
+//! Service configuration: defaults, environment overrides, and validation.
+//!
+//! A resident service must reject a bad environment instead of dying mid-
+//! traffic, so every knob parses into a typed [`PbError`] — the same
+//! fallible surface `SpGemm::try_from_env` uses.
+
+use pb_spgemm::{Algorithm, PbError};
+
+/// Address the server binds when `PB_SERVE_ADDR` is unset (port 0 = let the
+/// kernel pick, which is what the in-process tests and benches want).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:0";
+
+/// Catalog byte budget when `PB_SERVE_BUDGET_MB` is unset.
+pub const DEFAULT_BUDGET_MB: usize = 256;
+
+/// Worker threads when `PB_SERVE_WORKERS` is unset.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Environment variable overriding the bind address.
+pub const ADDR_ENV: &str = "PB_SERVE_ADDR";
+
+/// Environment variable overriding the catalog byte budget (in MiB).
+pub const BUDGET_ENV: &str = "PB_SERVE_BUDGET_MB";
+
+/// Environment variable overriding the worker-thread count.
+pub const WORKERS_ENV: &str = "PB_SERVE_WORKERS";
+
+/// Configuration of one [`Server`](crate::Server) instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// `host:port` the TCP listener binds.
+    pub addr: String,
+    /// Catalog byte budget; storing past it evicts least-recently-used
+    /// entries.
+    pub budget_bytes: usize,
+    /// Number of request-executing worker threads.
+    pub workers: usize,
+    /// Default algorithm for catalog engines (requests may override
+    /// per-call).
+    pub algorithm: Algorithm,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            budget_bytes: DEFAULT_BUDGET_MB << 20,
+            workers: DEFAULT_WORKERS,
+            algorithm: Algorithm::Auto,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builds the configuration from the environment, validating every
+    /// `PB_*` knob the service depends on (including `PB_ALGORITHM`,
+    /// `PB_SIMD` and `PB_NUMA_DOMAINS` via [`pb_spgemm::validate_env`]) —
+    /// a typed error instead of a panic on any malformed value.
+    pub fn from_env() -> Result<Self, PbError> {
+        pb_spgemm::validate_env()?;
+        let mut config = ServeConfig::default();
+        if let Ok(addr) = std::env::var(ADDR_ENV) {
+            if addr.trim().is_empty() || !addr.contains(':') {
+                return Err(PbError::InvalidEnv {
+                    var: ADDR_ENV,
+                    value: addr,
+                    expected: "a host:port bind address",
+                });
+            }
+            config.addr = addr.trim().to_string();
+        }
+        if let Ok(mb) = std::env::var(BUDGET_ENV) {
+            match mb.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => config.budget_bytes = n << 20,
+                _ => {
+                    return Err(PbError::InvalidEnv {
+                        var: BUDGET_ENV,
+                        value: mb,
+                        expected: "a positive catalog budget in MiB",
+                    })
+                }
+            }
+        }
+        if let Ok(w) = std::env::var(WORKERS_ENV) {
+            match w.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => config.workers = n,
+                _ => {
+                    return Err(PbError::InvalidEnv {
+                        var: WORKERS_ENV,
+                        value: w,
+                        expected: "a positive worker count",
+                    })
+                }
+            }
+        }
+        if let Some(alg) = Algorithm::from_env()? {
+            config.algorithm = alg;
+        }
+        Ok(config)
+    }
+
+    /// Sets the bind address.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the catalog byte budget directly.
+    pub fn budget_bytes(mut self, bytes: usize) -> Self {
+        self.budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the default engine algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert_eq!(c.addr, DEFAULT_ADDR);
+        assert_eq!(c.budget_bytes, DEFAULT_BUDGET_MB << 20);
+        assert!(c.workers >= 1);
+        assert_eq!(c.algorithm, Algorithm::Auto);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = ServeConfig::default()
+            .addr("0.0.0.0:9000")
+            .budget_bytes(1 << 20)
+            .workers(4)
+            .algorithm(Algorithm::Pb);
+        assert_eq!(c.addr, "0.0.0.0:9000");
+        assert_eq!(c.budget_bytes, 1 << 20);
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.algorithm, Algorithm::Pb);
+    }
+}

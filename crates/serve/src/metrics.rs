@@ -1,0 +1,201 @@
+//! The `/metrics`-style text endpoint.
+//!
+//! Renders server counters, catalog occupancy, aggregated workspace
+//! telemetry, the latest multiply's [`PhaseStats`](pb_spgemm::PhaseStats) (planner decision, ISA
+//! dispatch, NUMA routing) and planner progress in the conventional
+//! `name{label="v"} value` text format, one sample per line.  The `metrics`
+//! op returns this text in the `text` field of a normal JSON response, so
+//! the protocol stays one-line-per-message.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pb_spgemm::Workspace;
+
+use crate::catalog::Catalog;
+
+/// Monotonic server-side counters (every field is a `_total` metric).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Requests accepted, by outcome.
+    pub requests: AtomicU64,
+    /// Requests answered with `ok: false` (parse errors included).
+    pub errors: AtomicU64,
+    /// Multiply requests answered from a shared batch execution (batch
+    /// members beyond the first).
+    pub batched: AtomicU64,
+    /// Largest multiply batch executed so far.
+    pub max_batch: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl ServerCounters {
+    /// Records the size of one executed multiply batch.
+    pub fn record_batch(&self, size: usize) {
+        if size > 1 {
+            self.batched.fetch_add(size as u64 - 1, Ordering::Relaxed);
+        }
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+}
+
+fn sample(out: &mut String, name: &str, value: u64) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn sample_f64(out: &mut String, name: &str, value: f64) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&format!("{value:.6}"));
+    out.push('\n');
+}
+
+/// Renders the whole metrics page.  `catalog` is read under its lock by the
+/// caller; counters are lock-free.
+pub fn render(counters: &ServerCounters, catalog: &Catalog) -> String {
+    let mut out = String::with_capacity(2048);
+
+    // Server request counters.
+    sample(
+        &mut out,
+        "pb_serve_requests_total",
+        counters.requests.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "pb_serve_errors_total",
+        counters.errors.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "pb_serve_batched_requests_total",
+        counters.batched.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "pb_serve_max_batch",
+        counters.max_batch.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "pb_serve_connections_total",
+        counters.connections.load(Ordering::Relaxed),
+    );
+
+    // Catalog occupancy.
+    sample(&mut out, "pb_serve_catalog_entries", catalog.len() as u64);
+    sample(
+        &mut out,
+        "pb_serve_catalog_bytes_used",
+        catalog.bytes_used() as u64,
+    );
+    sample(
+        &mut out,
+        "pb_serve_catalog_bytes_budget",
+        catalog.budget_bytes() as u64,
+    );
+    sample(
+        &mut out,
+        "pb_serve_catalog_evictions_total",
+        catalog.evictions(),
+    );
+
+    // Workspace telemetry aggregated over every resident entry, including
+    // the decay policy's counters.
+    sample(
+        &mut out,
+        "pb_workspace_leases_total",
+        catalog.sum_workspaces(Workspace::leases),
+    );
+    sample(
+        &mut out,
+        "pb_workspace_hits_total",
+        catalog.sum_workspaces(Workspace::total_hits),
+    );
+    sample(
+        &mut out,
+        "pb_workspace_bytes_allocated_total",
+        catalog.sum_workspaces(Workspace::total_bytes_allocated),
+    );
+    sample(
+        &mut out,
+        "pb_workspace_bytes_reused_total",
+        catalog.sum_workspaces(Workspace::total_bytes_reused),
+    );
+    sample(
+        &mut out,
+        "pb_workspace_bytes_released_total",
+        catalog.sum_workspaces(Workspace::total_bytes_released),
+    );
+    sample(
+        &mut out,
+        "pb_workspace_decay_events_total",
+        catalog.sum_workspaces(Workspace::decay_events),
+    );
+
+    // Planner progress (shared across every entry engine).
+    if let Some(profile) = catalog.sink().latest() {
+        let planner_name = profile.stats.planned_algorithm.name();
+        out.push_str(&format!(
+            "pb_planner_last_decision{{kernel=\"{planner_name}\"}} 1\n"
+        ));
+        sample_f64(&mut out, "pb_spgemm_last_cf", profile.cf());
+        sample_f64(&mut out, "pb_spgemm_last_gflops", profile.gflops());
+        sample(&mut out, "pb_spgemm_last_flop", profile.flop);
+        sample(
+            &mut out,
+            "pb_spgemm_last_numa_domains",
+            profile.stats.numa_domains as u64,
+        );
+        sample(
+            &mut out,
+            "pb_spgemm_last_bytes_allocated",
+            profile.stats.bytes_allocated,
+        );
+        sample(
+            &mut out,
+            "pb_spgemm_last_bytes_reused",
+            profile.stats.bytes_reused,
+        );
+        let isa = profile.stats.isa.isa.name();
+        out.push_str(&format!("pb_simd_dispatch{{isa=\"{isa}\"}} 1\n"));
+    }
+
+    // Host-wide active ISA (what the dispatcher would pick right now).
+    let active = pb_spgemm::simd::active().name();
+    out.push_str(&format!("pb_simd_active{{isa=\"{active}\"}} 1\n"));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_spgemm::Algorithm;
+
+    #[test]
+    fn renders_required_families() {
+        let counters = ServerCounters::default();
+        counters.requests.fetch_add(3, Ordering::Relaxed);
+        counters.record_batch(4);
+        let catalog = Catalog::new(1 << 20, Algorithm::Pb);
+        let text = render(&counters, &catalog);
+        for family in [
+            "pb_serve_requests_total 3",
+            "pb_serve_errors_total 0",
+            "pb_serve_batched_requests_total 3",
+            "pb_serve_max_batch 4",
+            "pb_serve_catalog_entries 0",
+            "pb_serve_catalog_bytes_budget 1048576",
+            "pb_serve_catalog_evictions_total 0",
+            "pb_workspace_bytes_released_total 0",
+            "pb_workspace_decay_events_total 0",
+            "pb_simd_active{isa=",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+    }
+}

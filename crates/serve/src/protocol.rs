@@ -1,0 +1,447 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one JSON object per request, `"op"` selects the
+//! operation; the server answers with exactly one JSON object per request
+//! (`"ok": true` plus op-specific fields, or `"ok": false` plus
+//! `"error"`).  The vendored `serde_json` round-trips everything here — no
+//! crates.io parser involved.
+//!
+//! | op         | request fields                                           |
+//! |------------|----------------------------------------------------------|
+//! | `ping`     | —                                                        |
+//! | `store`    | `name`, `rows`, `cols`, `entries: [[r,c,v],…]`           |
+//! | `gen`      | `name`, `kind: "rmat"\|"er"`, `scale`, `edge_factor`, `seed` |
+//! | `multiply` | `a`, `b`, `algorithm?`, `store_as?`, `return?: "entries"` |
+//! | `mcl`      | `name`, `inflation?`, `max_iterations?`                  |
+//! | `bc`       | `name`, `sources?`, `batch_size?`                        |
+//! | `apsp`     | `name`                                                   |
+//! | `evict`    | `name`                                                   |
+//! | `list`     | —                                                        |
+//! | `metrics`  | —                                                        |
+//! | `shutdown` | —                                                        |
+
+use pb_sparse::Csr;
+use pb_spgemm::Algorithm;
+use serde::Value;
+
+/// Largest product (in nonzeros) a `return: "entries"` multiply will ship
+/// back — verification sampling works on small smoke matrices, and an
+/// unbounded reply would let one request monopolise the connection.
+pub const MAX_RETURNED_ENTRIES: usize = 1 << 20;
+
+/// A parsed request, one per input line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Store an explicit matrix under `name`.
+    Store {
+        /// Catalog name of the new entry.
+        name: String,
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// `(row, col, value)` triples.
+        entries: Vec<(usize, usize, f64)>,
+    },
+    /// Generate a synthetic matrix server-side and store it under `name`
+    /// (deterministic per seed, so clients can reproduce it locally for
+    /// verification).
+    Gen {
+        /// Catalog name of the new entry.
+        name: String,
+        /// `"rmat"` (Graph500 R-MAT) or `"er"` (Erdős–Rényi).
+        kind: GenKind,
+        /// log2 of the dimension.
+        scale: u32,
+        /// Average nonzeros per row.
+        edge_factor: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Multiply two resident matrices.
+    Multiply {
+        /// Left operand (catalog name) — its engine runs the product.
+        a: String,
+        /// Right operand (catalog name).
+        b: String,
+        /// Per-request algorithm override.
+        algorithm: Option<Algorithm>,
+        /// Store the product back into the catalog under this name.
+        store_as: Option<String>,
+        /// Ship the product's entries back (bounded by
+        /// [`MAX_RETURNED_ENTRIES`]).
+        want_entries: bool,
+    },
+    /// Markov clustering of a resident matrix.
+    Mcl {
+        /// Catalog name.
+        name: String,
+        /// Inflation exponent.
+        inflation: f64,
+        /// Iteration cap.
+        max_iterations: usize,
+    },
+    /// Betweenness centrality of a resident matrix.
+    Bc {
+        /// Catalog name.
+        name: String,
+        /// Number of BFS sources (`0..sources`); 0 = every vertex.
+        sources: usize,
+        /// Sources per SpGEMM batch.
+        batch_size: usize,
+    },
+    /// Min-plus all-pairs shortest paths of a resident matrix.
+    Apsp {
+        /// Catalog name.
+        name: String,
+    },
+    /// Drop a catalog entry.
+    Evict {
+        /// Catalog name.
+        name: String,
+    },
+    /// Enumerate the catalog.
+    List,
+    /// Render the telemetry text endpoint.
+    Metrics,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// Synthetic generator kinds the `gen` op accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenKind {
+    /// Graph500 R-MAT (skewed degrees).
+    Rmat,
+    /// Erdős–Rényi (uniform degrees).
+    Er,
+}
+
+impl Request {
+    /// Batching identity of a multiply: requests with equal keys produce
+    /// bit-identical products, so the dispatcher computes them once under a
+    /// single workspace lease.  `None` for every other op.
+    pub fn batch_key(&self) -> Option<(String, String, &'static str)> {
+        match self {
+            Request::Multiply {
+                a, b, algorithm, ..
+            } => Some((
+                a.clone(),
+                b.clone(),
+                algorithm.map(|alg| alg.name()).unwrap_or("default"),
+            )),
+            _ => None,
+        }
+    }
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+fn uint_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn uint_field_or(v: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(f) => f
+            .as_u64()
+            .ok_or_else(|| format!("non-integer field `{key}`")),
+    }
+}
+
+fn float_field_or(v: &Value, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(f) => f
+            .as_f64()
+            .ok_or_else(|| format!("non-number field `{key}`")),
+    }
+}
+
+/// Parses one protocol line into a [`Request`]; the error string is sent
+/// back verbatim in the `error` field.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let op = str_field(&v, "op")?;
+    match op.as_str() {
+        "ping" => Ok(Request::Ping),
+        "store" => {
+            let name = str_field(&v, "name")?;
+            let rows = uint_field(&v, "rows")? as usize;
+            let cols = uint_field(&v, "cols")? as usize;
+            let raw = v
+                .get("entries")
+                .and_then(Value::as_array)
+                .ok_or("missing or non-array field `entries`")?;
+            let mut entries = Vec::with_capacity(raw.len());
+            for e in raw {
+                let triple = e
+                    .as_array()
+                    .filter(|t| t.len() == 3)
+                    .ok_or("each entry must be a [row, col, value] triple")?;
+                let r = triple[0].as_u64().ok_or("entry row must be an integer")? as usize;
+                let c = triple[1].as_u64().ok_or("entry col must be an integer")? as usize;
+                let val = triple[2].as_f64().ok_or("entry value must be a number")?;
+                entries.push((r, c, val));
+            }
+            Ok(Request::Store {
+                name,
+                rows,
+                cols,
+                entries,
+            })
+        }
+        "gen" => {
+            let kind = match str_field(&v, "kind")?.as_str() {
+                "rmat" => GenKind::Rmat,
+                "er" => GenKind::Er,
+                other => return Err(format!("unknown generator kind `{other}` (rmat|er)")),
+            };
+            Ok(Request::Gen {
+                name: str_field(&v, "name")?,
+                kind,
+                scale: uint_field(&v, "scale")? as u32,
+                edge_factor: uint_field_or(&v, "edge_factor", 8)? as u32,
+                seed: uint_field_or(&v, "seed", 1)?,
+            })
+        }
+        "multiply" => {
+            let algorithm = match v.get("algorithm").and_then(Value::as_str) {
+                None => None,
+                Some(name) => Some(
+                    Algorithm::parse(name)
+                        .ok_or_else(|| format!("unrecognised algorithm `{name}`"))?,
+                ),
+            };
+            let want_entries = match v.get("return").and_then(Value::as_str) {
+                None | Some("summary") => false,
+                Some("entries") => true,
+                Some(other) => return Err(format!("unknown return mode `{other}`")),
+            };
+            Ok(Request::Multiply {
+                a: str_field(&v, "a")?,
+                b: str_field(&v, "b")?,
+                algorithm,
+                store_as: v
+                    .get("store_as")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                want_entries,
+            })
+        }
+        "mcl" => Ok(Request::Mcl {
+            name: str_field(&v, "name")?,
+            inflation: float_field_or(&v, "inflation", 2.0)?,
+            max_iterations: uint_field_or(&v, "max_iterations", 60)? as usize,
+        }),
+        "bc" => Ok(Request::Bc {
+            name: str_field(&v, "name")?,
+            sources: uint_field_or(&v, "sources", 0)? as usize,
+            batch_size: uint_field_or(&v, "batch_size", 32)?.max(1) as usize,
+        }),
+        "apsp" => Ok(Request::Apsp {
+            name: str_field(&v, "name")?,
+        }),
+        "evict" => Ok(Request::Evict {
+            name: str_field(&v, "name")?,
+        }),
+        "list" => Ok(Request::List),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Builds a JSON object [`Value`] from key/value pairs (field order kept).
+pub fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Serialises a success response: `{"ok": true, …fields}` as one line.
+pub fn ok_line(mut fields: Vec<(&str, Value)>) -> String {
+    fields.insert(0, ("ok", Value::Bool(true)));
+    serde_json::to_string(&object(fields)).expect("response serialisation cannot fail")
+}
+
+/// Serialises an error response: `{"ok": false, "error": msg}` as one line.
+pub fn error_line(msg: &str) -> String {
+    serde_json::to_string(&object(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(msg.to_string())),
+    ]))
+    .expect("response serialisation cannot fail")
+}
+
+/// Order-sensitive FNV-1a fingerprint of a CSR matrix (dims, row pointers,
+/// column indices, value bits).  Bit-identical products — the batching
+/// guarantee — have equal fingerprints.
+pub fn fingerprint(m: &Csr<f64>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(m.nrows() as u64);
+    mix(m.ncols() as u64);
+    for &p in m.rowptr() {
+        mix(p as u64);
+    }
+    for &c in m.colidx() {
+        mix(u64::from(c));
+    }
+    for &v in m.values() {
+        mix(v.to_bits());
+    }
+    h
+}
+
+/// Serialises a small matrix as `[[r, c, v], …]` for `return: "entries"`.
+pub fn entries_value(m: &Csr<f64>) -> Value {
+    Value::Array(
+        m.iter()
+            .map(|(r, c, v)| {
+                Value::Array(vec![
+                    Value::UInt(u64::from(r)),
+                    Value::UInt(u64::from(c)),
+                    Value::Float(v),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(parse_request(r#"{"op":"list"}"#), Ok(Request::List));
+        assert_eq!(parse_request(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+        assert_eq!(
+            parse_request(r#"{"op":"store","name":"a","rows":2,"cols":2,"entries":[[0,1,2.5]]}"#),
+            Ok(Request::Store {
+                name: "a".into(),
+                rows: 2,
+                cols: 2,
+                entries: vec![(0, 1, 2.5)],
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"gen","name":"g","kind":"rmat","scale":6}"#),
+            Ok(Request::Gen {
+                name: "g".into(),
+                kind: GenKind::Rmat,
+                scale: 6,
+                edge_factor: 8,
+                seed: 1,
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"multiply","a":"x","b":"y","algorithm":"pb"}"#),
+            Ok(Request::Multiply {
+                a: "x".into(),
+                b: "y".into(),
+                algorithm: Some(Algorithm::Pb),
+                store_as: None,
+                want_entries: false,
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"mcl","name":"g","inflation":1.5}"#),
+            Ok(Request::Mcl {
+                name: "g".into(),
+                inflation: 1.5,
+                max_iterations: 60,
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"bc","name":"g","sources":4,"batch_size":2}"#),
+            Ok(Request::Bc {
+                name: "g".into(),
+                sources: 4,
+                batch_size: 2,
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"apsp","name":"g"}"#),
+            Ok(Request::Apsp { name: "g".into() })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"evict","name":"g"}"#),
+            Ok(Request::Evict { name: "g".into() })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op":"fly"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(parse_request(r#"{"op":"multiply","a":"x"}"#)
+            .unwrap_err()
+            .contains("`b`"));
+        assert!(
+            parse_request(r#"{"op":"multiply","a":"x","b":"y","algorithm":"quantum"}"#)
+                .unwrap_err()
+                .contains("unrecognised algorithm")
+        );
+        assert!(
+            parse_request(r#"{"op":"store","name":"a","rows":2,"cols":2,"entries":[[0,1]]}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn batch_keys_identify_identical_products() {
+        let a = parse_request(r#"{"op":"multiply","a":"x","b":"y"}"#).unwrap();
+        let b = parse_request(r#"{"op":"multiply","a":"x","b":"y","return":"entries"}"#).unwrap();
+        let c = parse_request(r#"{"op":"multiply","a":"x","b":"z"}"#).unwrap();
+        assert_eq!(a.batch_key(), b.batch_key());
+        assert_ne!(a.batch_key(), c.batch_key());
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap().batch_key(), None);
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        let line = ok_line(vec![("nnz", Value::UInt(7))]);
+        let v = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("nnz").and_then(Value::as_u64), Some(7));
+        let e = error_line("boom");
+        let v = serde_json::from_str(&e).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("boom"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_matrices() {
+        use pb_sparse::Coo;
+        let a = Coo::from_entries(2, 2, vec![(0, 1, 2.0)]).unwrap().to_csr();
+        let b = Coo::from_entries(2, 2, vec![(1, 0, 2.0)]).unwrap().to_csr();
+        assert_eq!(fingerprint(&a), fingerprint(&a));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+}

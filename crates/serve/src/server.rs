@@ -1,0 +1,625 @@
+//! The resident server: reactor-driven I/O plus batching request workers.
+//!
+//! One I/O thread owns the listener and every client socket, blocking in
+//! [`miniloop::poll_readable`] and slicing the byte stream into protocol
+//! lines; parsed requests are enqueued on a [`miniloop::TaskQueue`].  A
+//! small pool of worker threads drains the queue, and a worker that pops a
+//! multiply also *drains every queued multiply with the same batch key*:
+//! identical products are computed once — one engine call, one
+//! [`Workspace`](pb_spgemm::Workspace) lease — and the single result
+//! answers every member of the batch.  Workers write responses straight to
+//! the (mutex-guarded) client socket, so slow clients never stall the
+//! reactor.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pb_sparse::semiring::PlusTimes;
+use pb_sparse::{Coo, Csr};
+use pb_spgemm::PbError;
+use serde::Value;
+
+use crate::catalog::{matrix_bytes, Catalog};
+use crate::config::ServeConfig;
+use crate::metrics::{render, ServerCounters};
+use crate::protocol::{
+    entries_value, error_line, fingerprint, object, ok_line, parse_request, GenKind, Request,
+    MAX_RETURNED_ENTRIES,
+};
+
+/// Most multiply requests one batch execution may answer.
+pub const BATCH_LIMIT: usize = 64;
+
+/// How long the reactor and the workers sleep per idle tick.
+const TICK: Duration = Duration::from_millis(50);
+
+/// One parsed request waiting for a worker, with the socket to answer on.
+struct Job {
+    request: Request,
+    reply: Arc<Mutex<TcpStream>>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("request", &self.request)
+            .finish()
+    }
+}
+
+/// Shared server state.
+#[derive(Debug)]
+struct State {
+    catalog: Mutex<Catalog>,
+    counters: ServerCounters,
+    queue: miniloop::TaskQueue<Job>,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping it requests shutdown.
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<State>,
+    addr: SocketAddr,
+    io: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr`, spawns the reactor and `config.workers` request
+    /// workers, and starts serving immediately.
+    pub fn start(config: ServeConfig) -> Result<Server, PbError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            catalog: Mutex::new(Catalog::new(config.budget_bytes, config.algorithm)),
+            counters: ServerCounters::default(),
+            queue: miniloop::TaskQueue::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let io = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("pb-serve-io".into())
+                .spawn(move || io_loop(&listener, &state))
+                .map_err(PbError::Io)?
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("pb-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .map_err(PbError::Io)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Server {
+            state,
+            addr,
+            io: Some(io),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the kernel's pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown; threads exit within one reactor tick.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.wake_all();
+    }
+
+    /// Requests shutdown and waits for every thread to exit (teardown).
+    pub fn join(mut self) {
+        self.shutdown();
+        self.drain();
+    }
+
+    /// Blocks until the server shuts down — via a client's `shutdown` op
+    /// or a concurrent [`Server::shutdown`] — and every thread has exited.
+    /// This is the resident-process entry point: unlike [`Server::join`],
+    /// it does not request the shutdown itself.
+    pub fn wait(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        if let Some(io) = self.io.take() {
+            let _ = io.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connected client on the reactor.
+struct Conn {
+    stream: TcpStream,
+    reply: Arc<Mutex<TcpStream>>,
+    buf: Vec<u8>,
+}
+
+fn io_loop(listener: &TcpListener, state: &Arc<State>) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    const LISTENER_KEY: usize = usize::MAX;
+    while !state.shutdown.load(Ordering::SeqCst) {
+        let mut sources: Vec<(miniloop::RawFd, usize)> =
+            vec![(listener.as_raw_fd() as miniloop::RawFd, LISTENER_KEY)];
+        for (idx, conn) in conns.iter().enumerate() {
+            if let Some(c) = conn {
+                sources.push((c.stream.as_raw_fd() as miniloop::RawFd, idx));
+            }
+        }
+        let events = match miniloop::poll_readable(&sources, TICK) {
+            Ok(events) => events,
+            Err(_) => continue,
+        };
+        for event in events {
+            if event.key == LISTENER_KEY {
+                accept_all(listener, state, &mut conns);
+            } else if event.readable || event.closed {
+                service_conn(state, &mut conns, event.key);
+            }
+        }
+    }
+}
+
+fn accept_all(listener: &TcpListener, state: &Arc<State>, conns: &mut Vec<Option<Conn>>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.counters.connections.fetch_add(1, Ordering::Relaxed);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                let conn = Conn {
+                    stream,
+                    reply: Arc::new(Mutex::new(write_half)),
+                    buf: Vec::new(),
+                };
+                match conns.iter().position(Option::is_none) {
+                    Some(slot) => conns[slot] = Some(conn),
+                    None => conns.push(Some(conn)),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads everything available on connection `idx`, enqueues each complete
+/// line, and drops the connection on EOF or error.
+fn service_conn(state: &Arc<State>, conns: &mut [Option<Conn>], idx: usize) {
+    let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+        return;
+    };
+    let mut closed = false;
+    let mut tmp = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => {
+                closed = true;
+                break;
+            }
+            Ok(n) => conn.buf.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                closed = true;
+                break;
+            }
+        }
+    }
+    while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = conn.buf.drain(..=pos).collect();
+        let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_request(line) {
+            Ok(request) => state.queue.push(Job {
+                request,
+                reply: Arc::clone(&conn.reply),
+            }),
+            Err(msg) => {
+                state.counters.requests.fetch_add(1, Ordering::Relaxed);
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                write_line(&conn.reply, &error_line(&msg));
+            }
+        }
+    }
+    if closed {
+        conns[idx] = None;
+    }
+}
+
+/// Blocking line write to a non-blocking socket (short sleeps on
+/// `WouldBlock`); errors drop the response — the client is gone.
+fn write_line(reply: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut bytes = line.as_bytes().to_vec();
+    bytes.push(b'\n');
+    let mut stream = reply.lock().expect("reply lock poisoned");
+    let mut off = 0;
+    while off < bytes.len() {
+        match stream.write(&bytes[off..]) {
+            Ok(0) => return,
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    let _ = stream.flush();
+}
+
+fn worker_loop(state: &Arc<State>) {
+    loop {
+        match state.queue.pop(TICK) {
+            Some(job) => handle(state, job),
+            None => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn respond_ok(state: &State, reply: &Arc<Mutex<TcpStream>>, fields: Vec<(&str, Value)>) {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    write_line(reply, &ok_line(fields));
+}
+
+fn respond_err(state: &State, reply: &Arc<Mutex<TcpStream>>, msg: &str) {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+    write_line(reply, &error_line(msg));
+}
+
+fn handle(state: &Arc<State>, job: Job) {
+    match job.request.clone() {
+        Request::Ping => respond_ok(state, &job.reply, vec![("op", Value::Str("pong".into()))]),
+        Request::Store {
+            name,
+            rows,
+            cols,
+            entries,
+        } => {
+            let matrix = match Coo::from_entries(rows, cols, entries) {
+                Ok(coo) => coo.to_csr(),
+                Err(e) => return respond_err(state, &job.reply, &format!("bad matrix: {e}")),
+            };
+            store_and_respond(state, &job, &name, matrix);
+        }
+        Request::Gen {
+            name,
+            kind,
+            scale,
+            edge_factor,
+            seed,
+        } => {
+            if scale > 24 {
+                return respond_err(state, &job.reply, "scale over 24 is not servable");
+            }
+            let matrix = match kind {
+                GenKind::Rmat => pb_gen::rmat_square(scale, edge_factor, seed),
+                GenKind::Er => pb_gen::erdos_renyi_square(scale, edge_factor, seed),
+            };
+            store_and_respond(state, &job, &name, matrix);
+        }
+        Request::Multiply { .. } => handle_multiply_batch(state, job),
+        Request::Mcl {
+            name,
+            inflation,
+            max_iterations,
+        } => {
+            let Some(entry) = state.catalog.lock().expect("catalog lock").get(&name) else {
+                return respond_err(state, &job.reply, &format!("no matrix named `{name}`"));
+            };
+            let result = pb_graph::Mcl::new()
+                .engine(entry.engine.clone())
+                .inflation(inflation)
+                .max_iterations(max_iterations)
+                .run(&entry.matrix);
+            respond_ok(
+                state,
+                &job.reply,
+                vec![
+                    ("clusters", Value::UInt(result.num_clusters as u64)),
+                    ("iterations", Value::UInt(result.iterations as u64)),
+                    ("converged", Value::Bool(result.converged)),
+                ],
+            );
+        }
+        Request::Bc {
+            name,
+            sources,
+            batch_size,
+        } => {
+            let Some(entry) = state.catalog.lock().expect("catalog lock").get(&name) else {
+                return respond_err(state, &job.reply, &format!("no matrix named `{name}`"));
+            };
+            let n = entry.matrix.nrows();
+            let count = if sources == 0 { n } else { sources.min(n) };
+            let mut bc = pb_graph::Bc::new()
+                .engine(entry.engine.clone())
+                .batch_size(batch_size);
+            if count < n {
+                bc = bc.sources(0..count);
+            }
+            let scores = bc.run(&entry.matrix);
+            let sum: f64 = scores.iter().sum();
+            let (max_vertex, max_score) =
+                scores
+                    .iter()
+                    .enumerate()
+                    .fold((0usize, f64::NEG_INFINITY), |best, (v, &s)| {
+                        if s > best.1 {
+                            (v, s)
+                        } else {
+                            best
+                        }
+                    });
+            respond_ok(
+                state,
+                &job.reply,
+                vec![
+                    ("n", Value::UInt(n as u64)),
+                    ("sources", Value::UInt(count as u64)),
+                    ("sum", Value::Float(sum)),
+                    ("max_vertex", Value::UInt(max_vertex as u64)),
+                    (
+                        "max_score",
+                        Value::Float(if n == 0 { 0.0 } else { max_score }),
+                    ),
+                ],
+            );
+        }
+        Request::Apsp { name } => {
+            let Some(entry) = state.catalog.lock().expect("catalog lock").get(&name) else {
+                return respond_err(state, &job.reply, &format!("no matrix named `{name}`"));
+            };
+            if entry.matrix.nrows() > pb_graph::APSP_DENSE_LIMIT {
+                return respond_err(
+                    state,
+                    &job.reply,
+                    &format!(
+                        "APSP on {} vertices would densify (limit {})",
+                        entry.matrix.nrows(),
+                        pb_graph::APSP_DENSE_LIMIT
+                    ),
+                );
+            }
+            let dist = pb_graph::Apsp::new()
+                .engine(entry.engine.clone())
+                .run(&entry.matrix);
+            let sum: f64 = dist.values().iter().sum();
+            respond_ok(
+                state,
+                &job.reply,
+                vec![
+                    ("nnz", Value::UInt(dist.nnz() as u64)),
+                    ("sum", Value::Float(sum)),
+                    ("fingerprint", Value::UInt(fingerprint(&dist))),
+                ],
+            );
+        }
+        Request::Evict { name } => {
+            let evicted = state.catalog.lock().expect("catalog lock").evict(&name);
+            respond_ok(state, &job.reply, vec![("evicted", Value::Bool(evicted))]);
+        }
+        Request::List => {
+            let catalog = state.catalog.lock().expect("catalog lock");
+            let entries = Value::Array(
+                catalog
+                    .list()
+                    .into_iter()
+                    .map(|info| {
+                        object(vec![
+                            ("name", Value::Str(info.name)),
+                            ("rows", Value::UInt(info.rows as u64)),
+                            ("cols", Value::UInt(info.cols as u64)),
+                            ("nnz", Value::UInt(info.nnz as u64)),
+                            ("bytes", Value::UInt(info.bytes as u64)),
+                        ])
+                    })
+                    .collect(),
+            );
+            let fields = vec![
+                ("entries", entries),
+                ("bytes_used", Value::UInt(catalog.bytes_used() as u64)),
+                ("bytes_budget", Value::UInt(catalog.budget_bytes() as u64)),
+                ("evictions", Value::UInt(catalog.evictions())),
+            ];
+            drop(catalog);
+            respond_ok(state, &job.reply, fields);
+        }
+        Request::Metrics => {
+            let text = {
+                let catalog = state.catalog.lock().expect("catalog lock");
+                render(&state.counters, &catalog)
+            };
+            respond_ok(state, &job.reply, vec![("text", Value::Str(text))]);
+        }
+        Request::Shutdown => {
+            respond_ok(state, &job.reply, vec![("op", Value::Str("bye".into()))]);
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue.wake_all();
+        }
+    }
+}
+
+fn store_and_respond(state: &Arc<State>, job: &Job, name: &str, matrix: Csr<f64>) {
+    let (rows, cols, nnz) = (matrix.nrows(), matrix.ncols(), matrix.nnz());
+    let bytes = matrix_bytes(&matrix);
+    let print = fingerprint(&matrix);
+    match state
+        .catalog
+        .lock()
+        .expect("catalog lock")
+        .store(name, matrix)
+    {
+        Ok(()) => respond_ok(
+            state,
+            &job.reply,
+            vec![
+                ("name", Value::Str(name.to_string())),
+                ("rows", Value::UInt(rows as u64)),
+                ("cols", Value::UInt(cols as u64)),
+                ("nnz", Value::UInt(nnz as u64)),
+                ("bytes", Value::UInt(bytes as u64)),
+                ("fingerprint", Value::UInt(print)),
+            ],
+        ),
+        Err(msg) => respond_err(state, &job.reply, &msg),
+    }
+}
+
+/// Executes one multiply batch: the popped job plus every queued multiply
+/// with the same `(a, b, algorithm)` key.  The product is computed once —
+/// one engine call, one workspace lease — and answers every member.
+fn handle_multiply_batch(state: &Arc<State>, job: Job) {
+    let key = job.request.batch_key();
+    let mut batch = vec![job];
+    batch.extend(
+        state
+            .queue
+            .drain_matching(BATCH_LIMIT - 1, |j| j.request.batch_key() == key),
+    );
+    state.counters.record_batch(batch.len());
+
+    let Some(Request::Multiply {
+        a, b, algorithm, ..
+    }) = batch.first().map(|j| &j.request)
+    else {
+        unreachable!("batch heads are multiply requests");
+    };
+    let (a, b, algorithm) = (a.clone(), b.clone(), *algorithm);
+
+    // Resolve operands under the lock, multiply outside it.
+    let (entry_a, entry_b) = {
+        let mut catalog = state.catalog.lock().expect("catalog lock");
+        (catalog.get(&a), catalog.get(&b))
+    };
+    let (Some(ea), Some(eb)) = (entry_a, entry_b) else {
+        let missing = format!(
+            "no matrix named `{}`",
+            if state
+                .catalog
+                .lock()
+                .expect("catalog lock")
+                .get(&a)
+                .is_none()
+            {
+                &a
+            } else {
+                &b
+            }
+        );
+        for j in &batch {
+            respond_err(state, &j.reply, &missing);
+        }
+        return;
+    };
+    if ea.matrix.ncols() != eb.matrix.nrows() {
+        let msg = format!(
+            "dimension mismatch: `{a}` is {}x{}, `{b}` is {}x{}",
+            ea.matrix.nrows(),
+            ea.matrix.ncols(),
+            eb.matrix.nrows(),
+            eb.matrix.ncols()
+        );
+        for j in &batch {
+            respond_err(state, &j.reply, &msg);
+        }
+        return;
+    }
+
+    let engine = match algorithm {
+        Some(alg) => ea.engine.clone().algorithm(alg),
+        None => ea.engine.clone(),
+    };
+    let (product, profile) = engine.multiply_with_profile::<PlusTimes<f64>>(&ea.matrix, &eb.matrix);
+    let print = fingerprint(&product);
+    let batch_size = batch.len();
+
+    for j in &batch {
+        let Request::Multiply {
+            store_as,
+            want_entries,
+            ..
+        } = &j.request
+        else {
+            continue;
+        };
+        if let Some(target) = store_as {
+            if let Err(msg) = state
+                .catalog
+                .lock()
+                .expect("catalog lock")
+                .store(target, product.clone())
+            {
+                respond_err(state, &j.reply, &msg);
+                continue;
+            }
+        }
+        let mut fields = vec![
+            ("rows", Value::UInt(product.nrows() as u64)),
+            ("cols", Value::UInt(product.ncols() as u64)),
+            ("nnz", Value::UInt(product.nnz() as u64)),
+            ("fingerprint", Value::UInt(print)),
+            ("algorithm", Value::Str(engine.name().to_string())),
+            (
+                "planned",
+                Value::Str(profile.stats.planned_algorithm.name().to_string()),
+            ),
+            ("batched_with", Value::UInt(batch_size as u64)),
+            (
+                "bytes_allocated",
+                Value::UInt(profile.stats.bytes_allocated),
+            ),
+            ("bytes_reused", Value::UInt(profile.stats.bytes_reused)),
+            ("flop", Value::UInt(profile.flop)),
+        ];
+        if *want_entries {
+            if product.nnz() > MAX_RETURNED_ENTRIES {
+                respond_err(
+                    state,
+                    &j.reply,
+                    &format!(
+                        "product has {} nonzeros, over the {} returnable limit",
+                        product.nnz(),
+                        MAX_RETURNED_ENTRIES
+                    ),
+                );
+                continue;
+            }
+            fields.push(("entries", entries_value(&product)));
+        }
+        respond_ok(state, &j.reply, fields);
+    }
+}

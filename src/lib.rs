@@ -14,7 +14,9 @@
 //!   paper's technique originates from (`pb-spmv`);
 //! * [`graph`] — graph-analytics kernels built on the SpGEMM engines
 //!   (`pb-graph`);
-//! * [`model`] — Roofline model, STREAM and machine probes (`pb-model`).
+//! * [`model`] — Roofline model, STREAM and machine probes (`pb-model`);
+//! * [`serve`] — the resident TCP service with its engine catalog and
+//!   request batching (`pb-serve`).
 //!
 //! See `README.md` for a tour and `examples/` for runnable end-to-end
 //! programs.
@@ -23,6 +25,7 @@ pub use pb_baseline as baseline;
 pub use pb_gen as gen;
 pub use pb_graph as graph;
 pub use pb_model as model;
+pub use pb_serve as serve;
 pub use pb_sparse as sparse;
 pub use pb_spgemm as spgemm;
 pub use pb_spmv as spmv;
@@ -38,6 +41,7 @@ pub mod prelude {
     pub use pb_baseline::{Baseline, Kernel};
     pub use pb_gen::{erdos_renyi_square, rmat_square, standin_scaled};
     pub use pb_model::{MachineInfo, RooflineModel, StreamConfig};
+    pub use pb_serve::{ServeConfig, Server};
     pub use pb_sparse::prelude::*;
     pub use pb_sparse::{ops, reference};
     pub use pb_spgemm::{

@@ -1,0 +1,309 @@
+//! End-to-end exercises of the resident service: an in-process server,
+//! real TCP clients, concurrent traffic, the batching guarantee, and the
+//! steady-state zero-allocation property.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use pb_spgemm_suite::serve::{ServeConfig, Server};
+use pb_spgemm_suite::spgemm::Algorithm;
+
+/// A tiny line-oriented protocol client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to in-process server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn call(&mut self, request: &str) -> serde::Value {
+        self.writer
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("send request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        serde_json::from_str(&line).expect("response is valid JSON")
+    }
+
+    /// Sends without reading; responses are collected later (used to queue
+    /// a burst the dispatcher can batch).
+    fn send(&mut self, request: &str) {
+        self.writer
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("send request");
+    }
+
+    fn recv(&mut self) -> serde::Value {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        serde_json::from_str(&line).expect("response is valid JSON")
+    }
+}
+
+fn ok(v: &serde::Value) -> bool {
+    v.get("ok").and_then(serde::Value::as_bool) == Some(true)
+}
+
+fn u(v: &serde::Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(serde::Value::as_u64)
+        .unwrap_or_else(|| panic!("missing integer `{key}` in {v:?}"))
+}
+
+fn start_server() -> Server {
+    Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .budget_bytes(64 << 20),
+    )
+    .expect("bind in-process server")
+}
+
+#[test]
+fn ping_store_multiply_and_evict_round_trip() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr());
+
+    let pong = c.call(r#"{"op":"ping"}"#);
+    assert!(ok(&pong));
+    assert_eq!(pong.get("op").and_then(serde::Value::as_str), Some("pong"));
+
+    // Store I2 and a 2x2, multiply, check the product comes back exactly.
+    let r = c.call(
+        r#"{"op":"store","name":"a","rows":2,"cols":2,"entries":[[0,0,1.0],[0,1,2.0],[1,1,3.0]]}"#,
+    );
+    assert!(ok(&r), "{r:?}");
+    assert_eq!(u(&r, "nnz"), 3);
+    let r =
+        c.call(r#"{"op":"store","name":"i","rows":2,"cols":2,"entries":[[0,0,1.0],[1,1,1.0]]}"#);
+    assert!(ok(&r));
+
+    let product = c.call(r#"{"op":"multiply","a":"a","b":"i","return":"entries"}"#);
+    assert!(ok(&product), "{product:?}");
+    assert_eq!(u(&product, "nnz"), 3);
+    assert_eq!(u(&product, "rows"), 2);
+    let entries = product
+        .get("entries")
+        .and_then(serde::Value::as_array)
+        .expect("entries returned");
+    let triples: Vec<(u64, u64, f64)> = entries
+        .iter()
+        .map(|e| {
+            let t = e.as_array().unwrap();
+            (
+                t[0].as_u64().unwrap(),
+                t[1].as_u64().unwrap(),
+                t[2].as_f64().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(triples, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]);
+
+    // list sees both operands; evict removes one.
+    let listing = c.call(r#"{"op":"list"}"#);
+    assert_eq!(
+        listing
+            .get("entries")
+            .and_then(serde::Value::as_array)
+            .unwrap()
+            .len(),
+        2
+    );
+    let e = c.call(r#"{"op":"evict","name":"i"}"#);
+    assert_eq!(e.get("evicted").and_then(serde::Value::as_bool), Some(true));
+    let gone = c.call(r#"{"op":"multiply","a":"a","b":"i"}"#);
+    assert!(!ok(&gone));
+    assert!(gone
+        .get("error")
+        .and_then(serde::Value::as_str)
+        .unwrap()
+        .contains("no matrix named"));
+
+    server.join();
+}
+
+#[test]
+fn protocol_errors_are_answered_not_fatal() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr());
+
+    let bad = c.call("this is not json");
+    assert!(!ok(&bad));
+    let unknown = c.call(r#"{"op":"teleport"}"#);
+    assert!(!ok(&unknown));
+    // The connection survives both.
+    assert!(ok(&c.call(r#"{"op":"ping"}"#)));
+
+    server.join();
+}
+
+#[test]
+fn concurrent_clients_store_multiply_mcl_and_evict() {
+    let server = start_server();
+    let addr = server.addr();
+
+    // Seed a shared graph.
+    let mut seed = Client::connect(addr);
+    let r =
+        seed.call(r#"{"op":"gen","name":"g","kind":"rmat","scale":6,"edge_factor":4,"seed":7}"#);
+    assert!(ok(&r), "{r:?}");
+
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for i in 0..3 {
+                    // Private per-thread matrix churn plus shared-graph ops.
+                    let name = format!("t{t}x{i}");
+                    let r = c.call(&format!(
+                        r#"{{"op":"gen","name":"{name}","kind":"er","scale":5,"edge_factor":4,"seed":{}}}"#,
+                        t * 100 + i
+                    ));
+                    assert!(ok(&r), "{r:?}");
+                    let r = c.call(&format!(r#"{{"op":"multiply","a":"{name}","b":"{name}"}}"#));
+                    assert!(ok(&r), "{r:?}");
+                    let r = c.call(r#"{"op":"multiply","a":"g","b":"g"}"#);
+                    assert!(ok(&r), "{r:?}");
+                    let r = c.call(&format!(r#"{{"op":"evict","name":"{name}"}}"#));
+                    assert!(ok(&r));
+                }
+                let r = c.call(r#"{"op":"mcl","name":"g","max_iterations":8}"#);
+                assert!(ok(&r), "{r:?}");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    // Telemetry shows real traffic flowed.
+    let metrics = seed.call(r#"{"op":"metrics"}"#);
+    let text = metrics
+        .get("text")
+        .and_then(serde::Value::as_str)
+        .expect("metrics text");
+    assert!(text.contains("pb_serve_requests_total"));
+    assert!(text.contains("pb_workspace_leases_total"));
+    assert!(text.contains("pb_serve_errors_total 0"), "{text}");
+
+    server.join();
+}
+
+#[test]
+fn batched_multiplies_are_bit_identical_to_unbatched() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut c = Client::connect(addr);
+    assert!(ok(&c.call(
+        r#"{"op":"gen","name":"m","kind":"rmat","scale":7,"edge_factor":8,"seed":3}"#
+    )));
+
+    // Unbatched reference fingerprint.
+    let alone = c.call(r#"{"op":"multiply","a":"m","b":"m"}"#);
+    assert!(ok(&alone), "{alone:?}");
+    let reference_print = u(&alone, "fingerprint");
+
+    // Queue a burst from independent connections, then read every reply:
+    // the dispatcher coalesces whatever is queued together, and each reply
+    // must carry the identical product fingerprint, batched or not.
+    let mut burst: Vec<Client> = (0..8).map(|_| Client::connect(addr)).collect();
+    for b in burst.iter_mut() {
+        b.send(r#"{"op":"multiply","a":"m","b":"m"}"#);
+    }
+    let mut max_batch = 0;
+    for b in burst.iter_mut() {
+        let r = b.recv();
+        assert!(ok(&r), "{r:?}");
+        assert_eq!(
+            u(&r, "fingerprint"),
+            reference_print,
+            "bit-identical product"
+        );
+        max_batch = max_batch.max(u(&r, "batched_with"));
+    }
+    // With 8 queued requests and 2 workers, at least one execution answered
+    // more than one request.
+    assert!(
+        max_batch >= 2,
+        "no batch formed across the burst (max batched_with = {max_batch})"
+    );
+
+    server.join();
+}
+
+#[test]
+fn steady_state_batches_allocate_nothing() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut c = Client::connect(addr);
+    assert!(ok(&c.call(
+        r#"{"op":"gen","name":"s","kind":"er","scale":7,"edge_factor":8,"seed":11}"#
+    )));
+
+    // Warm the entry's workspace past its high-water mark (forcing PB: the
+    // planner may legitimately route a small product to a baseline kernel,
+    // and only the PB path exercises the workspace).
+    for _ in 0..3 {
+        let r = c.call(r#"{"op":"multiply","a":"s","b":"s","algorithm":"pb"}"#);
+        assert!(ok(&r));
+    }
+    // Steady state: same-shape products draw everything from the workspace.
+    for _ in 0..3 {
+        let r = c.call(r#"{"op":"multiply","a":"s","b":"s","algorithm":"pb"}"#);
+        assert!(ok(&r));
+        assert_eq!(
+            u(&r, "bytes_allocated"),
+            0,
+            "steady-state multiply allocated: {r:?}"
+        );
+        assert!(u(&r, "bytes_reused") > 0);
+    }
+
+    server.join();
+}
+
+#[test]
+fn per_request_algorithm_override_and_shutdown_op() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut c = Client::connect(addr);
+    assert!(ok(&c.call(
+        r#"{"op":"gen","name":"q","kind":"er","scale":5,"edge_factor":4,"seed":2}"#
+    )));
+
+    // The same product under the planner, PB, a baseline and the reference
+    // oracle must agree bit-for-bit.
+    let mut prints = Vec::new();
+    for alg in ["auto", "pb", "hash", "reference"] {
+        let r = c.call(&format!(
+            r#"{{"op":"multiply","a":"q","b":"q","algorithm":"{alg}"}}"#
+        ));
+        assert!(ok(&r), "{alg}: {r:?}");
+        assert_eq!(
+            r.get("algorithm").and_then(serde::Value::as_str),
+            Some(Algorithm::parse(alg).unwrap().name())
+        );
+        prints.push(u(&r, "fingerprint"));
+    }
+    assert!(
+        prints.windows(2).all(|w| w[0] == w[1]),
+        "engines disagree: {prints:?}"
+    );
+
+    // shutdown answers, then the server exits on its own.
+    let bye = c.call(r#"{"op":"shutdown"}"#);
+    assert!(ok(&bye));
+    server.join();
+}
