@@ -16,6 +16,13 @@ pub const DEFAULT_BUDGET_MB: usize = 256;
 /// Worker threads when `PB_SERVE_WORKERS` is unset.
 pub const DEFAULT_WORKERS: usize = 2;
 
+/// Longest protocol line (in MiB) accepted when `PB_SERVE_MAX_LINE_MB` is
+/// unset.  A client streaming bytes without a newline past this bound gets
+/// an error response and is disconnected — otherwise a single connection
+/// could grow the reactor's buffer without limit, bypassing the catalog
+/// byte budget that bounds every other allocation.
+pub const DEFAULT_MAX_LINE_MB: usize = 256;
+
 /// Environment variable overriding the bind address.
 pub const ADDR_ENV: &str = "PB_SERVE_ADDR";
 
@@ -24,6 +31,9 @@ pub const BUDGET_ENV: &str = "PB_SERVE_BUDGET_MB";
 
 /// Environment variable overriding the worker-thread count.
 pub const WORKERS_ENV: &str = "PB_SERVE_WORKERS";
+
+/// Environment variable overriding the maximum protocol line length (MiB).
+pub const MAX_LINE_ENV: &str = "PB_SERVE_MAX_LINE_MB";
 
 /// Configuration of one [`Server`](crate::Server) instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +48,9 @@ pub struct ServeConfig {
     /// Default algorithm for catalog engines (requests may override
     /// per-call).
     pub algorithm: Algorithm,
+    /// Longest protocol line accepted before the connection is dropped
+    /// with an error (bounds per-connection buffer growth).
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +60,7 @@ impl Default for ServeConfig {
             budget_bytes: DEFAULT_BUDGET_MB << 20,
             workers: DEFAULT_WORKERS,
             algorithm: Algorithm::Auto,
+            max_line_bytes: DEFAULT_MAX_LINE_MB << 20,
         }
     }
 }
@@ -93,6 +107,18 @@ impl ServeConfig {
                 }
             }
         }
+        if let Ok(mb) = std::env::var(MAX_LINE_ENV) {
+            match mb.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => config.max_line_bytes = n << 20,
+                _ => {
+                    return Err(PbError::InvalidEnv {
+                        var: MAX_LINE_ENV,
+                        value: mb,
+                        expected: "a positive line limit in MiB",
+                    })
+                }
+            }
+        }
         if let Some(alg) = Algorithm::from_env()? {
             config.algorithm = alg;
         }
@@ -122,6 +148,12 @@ impl ServeConfig {
         self.algorithm = algorithm;
         self
     }
+
+    /// Sets the maximum accepted protocol line length in bytes.
+    pub fn max_line_bytes(mut self, bytes: usize) -> Self {
+        self.max_line_bytes = bytes.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +167,7 @@ mod tests {
         assert_eq!(c.budget_bytes, DEFAULT_BUDGET_MB << 20);
         assert!(c.workers >= 1);
         assert_eq!(c.algorithm, Algorithm::Auto);
+        assert_eq!(c.max_line_bytes, DEFAULT_MAX_LINE_MB << 20);
     }
 
     #[test]
@@ -143,10 +176,12 @@ mod tests {
             .addr("0.0.0.0:9000")
             .budget_bytes(1 << 20)
             .workers(4)
-            .algorithm(Algorithm::Pb);
+            .algorithm(Algorithm::Pb)
+            .max_line_bytes(4096);
         assert_eq!(c.addr, "0.0.0.0:9000");
         assert_eq!(c.budget_bytes, 1 << 20);
         assert_eq!(c.workers, 4);
         assert_eq!(c.algorithm, Algorithm::Pb);
+        assert_eq!(c.max_line_bytes, 4096);
     }
 }

@@ -3,8 +3,12 @@
 //! One request per line, one JSON object per request, `"op"` selects the
 //! operation; the server answers with exactly one JSON object per request
 //! (`"ok": true` plus op-specific fields, or `"ok": false` plus
-//! `"error"`).  The vendored `serde_json` round-trips everything here — no
-//! crates.io parser involved.
+//! `"error"`).  Any request may carry an `"id"` field (any JSON value);
+//! it is echoed verbatim in the response.  Because multiple workers answer
+//! one connection concurrently, a client that pipelines requests may see
+//! responses out of request order — `id` is how it re-correlates them.
+//! The vendored `serde_json` round-trips everything here — no crates.io
+//! parser involved.
 //!
 //! | op         | request fields                                           |
 //! |------------|----------------------------------------------------------|
@@ -19,6 +23,8 @@
 //! | `list`     | —                                                        |
 //! | `metrics`  | —                                                        |
 //! | `shutdown` | —                                                        |
+//!
+//! Every op additionally accepts `id` (any JSON value, echoed back).
 
 use pb_sparse::Csr;
 use pb_spgemm::Algorithm;
@@ -168,17 +174,48 @@ fn float_field_or(v: &Value, key: &str, default: f64) -> Result<f64, String> {
     }
 }
 
+/// One parsed protocol line: the request (or the error string to answer
+/// with) plus the client's optional correlation `id`, recovered whenever
+/// the line was at least valid JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parsed {
+    /// The `id` field of the request object, if present — echoed verbatim
+    /// in the response so pipelined clients can match out-of-order
+    /// responses to requests.
+    pub id: Option<Value>,
+    /// The parsed request, or the error string to send back.
+    pub request: Result<Request, String>,
+}
+
+/// Parses one protocol line, preserving the correlation `id` even when the
+/// request itself is rejected (so the error response still correlates).
+pub fn parse_line(line: &str) -> Parsed {
+    match serde_json::from_str(line) {
+        Err(e) => Parsed {
+            id: None,
+            request: Err(format!("malformed JSON: {e}")),
+        },
+        Ok(v) => Parsed {
+            id: v.get("id").cloned(),
+            request: request_of(&v),
+        },
+    }
+}
+
 /// Parses one protocol line into a [`Request`]; the error string is sent
 /// back verbatim in the `error` field.
 pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
-    let op = str_field(&v, "op")?;
+    parse_line(line).request
+}
+
+fn request_of(v: &Value) -> Result<Request, String> {
+    let op = str_field(v, "op")?;
     match op.as_str() {
         "ping" => Ok(Request::Ping),
         "store" => {
-            let name = str_field(&v, "name")?;
-            let rows = uint_field(&v, "rows")? as usize;
-            let cols = uint_field(&v, "cols")? as usize;
+            let name = str_field(v, "name")?;
+            let rows = uint_field(v, "rows")? as usize;
+            let cols = uint_field(v, "cols")? as usize;
             let raw = v
                 .get("entries")
                 .and_then(Value::as_array)
@@ -202,17 +239,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "gen" => {
-            let kind = match str_field(&v, "kind")?.as_str() {
+            let kind = match str_field(v, "kind")?.as_str() {
                 "rmat" => GenKind::Rmat,
                 "er" => GenKind::Er,
                 other => return Err(format!("unknown generator kind `{other}` (rmat|er)")),
             };
             Ok(Request::Gen {
-                name: str_field(&v, "name")?,
+                name: str_field(v, "name")?,
                 kind,
-                scale: uint_field(&v, "scale")? as u32,
-                edge_factor: uint_field_or(&v, "edge_factor", 8)? as u32,
-                seed: uint_field_or(&v, "seed", 1)?,
+                scale: uint_field(v, "scale")? as u32,
+                edge_factor: uint_field_or(v, "edge_factor", 8)? as u32,
+                seed: uint_field_or(v, "seed", 1)?,
             })
         }
         "multiply" => {
@@ -229,8 +266,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Some(other) => return Err(format!("unknown return mode `{other}`")),
             };
             Ok(Request::Multiply {
-                a: str_field(&v, "a")?,
-                b: str_field(&v, "b")?,
+                a: str_field(v, "a")?,
+                b: str_field(v, "b")?,
                 algorithm,
                 store_as: v
                     .get("store_as")
@@ -240,20 +277,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "mcl" => Ok(Request::Mcl {
-            name: str_field(&v, "name")?,
-            inflation: float_field_or(&v, "inflation", 2.0)?,
-            max_iterations: uint_field_or(&v, "max_iterations", 60)? as usize,
+            name: str_field(v, "name")?,
+            inflation: float_field_or(v, "inflation", 2.0)?,
+            max_iterations: uint_field_or(v, "max_iterations", 60)? as usize,
         }),
         "bc" => Ok(Request::Bc {
-            name: str_field(&v, "name")?,
-            sources: uint_field_or(&v, "sources", 0)? as usize,
-            batch_size: uint_field_or(&v, "batch_size", 32)?.max(1) as usize,
+            name: str_field(v, "name")?,
+            sources: uint_field_or(v, "sources", 0)? as usize,
+            batch_size: uint_field_or(v, "batch_size", 32)?.max(1) as usize,
         }),
         "apsp" => Ok(Request::Apsp {
-            name: str_field(&v, "name")?,
+            name: str_field(v, "name")?,
         }),
         "evict" => Ok(Request::Evict {
-            name: str_field(&v, "name")?,
+            name: str_field(v, "name")?,
         }),
         "list" => Ok(Request::List),
         "metrics" => Ok(Request::Metrics),
@@ -272,19 +309,27 @@ pub fn object(fields: Vec<(&str, Value)>) -> Value {
     )
 }
 
-/// Serialises a success response: `{"ok": true, …fields}` as one line.
-pub fn ok_line(mut fields: Vec<(&str, Value)>) -> String {
+/// Serialises a success response: `{"ok": true, …fields}` as one line,
+/// echoing the request's correlation `id` when it carried one.
+pub fn ok_line(mut fields: Vec<(&str, Value)>, id: Option<&Value>) -> String {
     fields.insert(0, ("ok", Value::Bool(true)));
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
     serde_json::to_string(&object(fields)).expect("response serialisation cannot fail")
 }
 
-/// Serialises an error response: `{"ok": false, "error": msg}` as one line.
-pub fn error_line(msg: &str) -> String {
-    serde_json::to_string(&object(vec![
+/// Serialises an error response: `{"ok": false, "error": msg}` as one
+/// line, echoing the request's correlation `id` when it carried one.
+pub fn error_line(msg: &str, id: Option<&Value>) -> String {
+    let mut fields = vec![
         ("ok", Value::Bool(false)),
         ("error", Value::Str(msg.to_string())),
-    ]))
-    .expect("response serialisation cannot fail")
+    ];
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    serde_json::to_string(&object(fields)).expect("response serialisation cannot fail")
 }
 
 /// Order-sensitive FNV-1a fingerprint of a CSR matrix (dims, row pointers,
@@ -426,14 +471,38 @@ mod tests {
 
     #[test]
     fn response_lines_round_trip() {
-        let line = ok_line(vec![("nnz", Value::UInt(7))]);
+        let line = ok_line(vec![("nnz", Value::UInt(7))], None);
         let v = serde_json::from_str(&line).unwrap();
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
         assert_eq!(v.get("nnz").and_then(Value::as_u64), Some(7));
-        let e = error_line("boom");
+        assert!(v.get("id").is_none());
+        let e = error_line("boom", None);
         let v = serde_json::from_str(&e).unwrap();
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
         assert_eq!(v.get("error").and_then(Value::as_str), Some("boom"));
+    }
+
+    #[test]
+    fn correlation_ids_survive_parsing_and_serialisation() {
+        // Present on a good request.
+        let parsed = parse_line(r#"{"op":"ping","id":42}"#);
+        assert_eq!(parsed.id, Some(Value::UInt(42)));
+        assert_eq!(parsed.request, Ok(Request::Ping));
+        // Present on a bad request that is still valid JSON, so the error
+        // response can correlate.
+        let parsed = parse_line(r#"{"op":"fly","id":"r1"}"#);
+        assert_eq!(parsed.id, Some(Value::Str("r1".into())));
+        assert!(parsed.request.is_err());
+        // Absent when the line is not JSON at all.
+        let parsed = parse_line("not json");
+        assert_eq!(parsed.id, None);
+        assert!(parsed.request.is_err());
+        // Echoed on both response kinds.
+        let id = Value::Str("r1".into());
+        let v = serde_json::from_str(&ok_line(vec![], Some(&id))).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("r1"));
+        let v = serde_json::from_str(&error_line("boom", Some(&id))).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("r1"));
     }
 
     #[test]

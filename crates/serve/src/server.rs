@@ -7,8 +7,10 @@
 //! multiply also *drains every queued multiply with the same batch key*:
 //! identical products are computed once — one engine call, one
 //! [`Workspace`](pb_spgemm::Workspace) lease — and the single result
-//! answers every member of the batch.  Workers write responses straight to
-//! the (mutex-guarded) client socket, so slow clients never stall the
+//! answers every member of the batch.  Draining skips any multiply whose
+//! connection has an earlier queued request outside the batch, so batching
+//! never reorders one client's pipeline.  Workers write responses straight
+//! to the (mutex-guarded) client socket, so slow clients never stall the
 //! reactor.
 
 use std::io::{Read, Write};
@@ -28,7 +30,7 @@ use crate::catalog::{matrix_bytes, Catalog};
 use crate::config::ServeConfig;
 use crate::metrics::{render, ServerCounters};
 use crate::protocol::{
-    entries_value, error_line, fingerprint, object, ok_line, parse_request, GenKind, Request,
+    entries_value, error_line, fingerprint, object, ok_line, parse_line, GenKind, Request,
     MAX_RETURNED_ENTRIES,
 };
 
@@ -38,9 +40,11 @@ pub const BATCH_LIMIT: usize = 64;
 /// How long the reactor and the workers sleep per idle tick.
 const TICK: Duration = Duration::from_millis(50);
 
-/// One parsed request waiting for a worker, with the socket to answer on.
+/// One parsed request waiting for a worker, with the socket to answer on
+/// and the client's correlation id to echo.
 struct Job {
     request: Request,
+    id: Option<Value>,
     reply: Arc<Mutex<TcpStream>>,
 }
 
@@ -48,6 +52,7 @@ impl std::fmt::Debug for Job {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Job")
             .field("request", &self.request)
+            .field("id", &self.id)
             .finish()
     }
 }
@@ -59,6 +64,7 @@ struct State {
     counters: ServerCounters,
     queue: miniloop::TaskQueue<Job>,
     shutdown: AtomicBool,
+    max_line_bytes: usize,
 }
 
 /// A running server; dropping it requests shutdown.
@@ -82,6 +88,7 @@ impl Server {
             counters: ServerCounters::default(),
             queue: miniloop::TaskQueue::new(),
             shutdown: AtomicBool::new(false),
+            max_line_bytes: config.max_line_bytes,
         });
         let io = {
             let state = Arc::clone(&state);
@@ -209,7 +216,11 @@ fn accept_all(listener: &TcpListener, state: &Arc<State>, conns: &mut Vec<Option
 }
 
 /// Reads everything available on connection `idx`, enqueues each complete
-/// line, and drops the connection on EOF or error.
+/// line, and drops the connection on EOF or error.  A partial line that
+/// outgrows [`ServeConfig::max_line_bytes`](crate::ServeConfig) gets an
+/// error response and the connection is dropped — otherwise one client
+/// streaming bytes with no newline would grow the reactor's buffer without
+/// bound, bypassing the catalog byte budget.
 fn service_conn(state: &Arc<State>, conns: &mut [Option<Conn>], idx: usize) {
     let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
         return;
@@ -222,7 +233,28 @@ fn service_conn(state: &Arc<State>, conns: &mut [Option<Conn>], idx: usize) {
                 closed = true;
                 break;
             }
-            Ok(n) => conn.buf.extend_from_slice(&tmp[..n]),
+            Ok(n) => {
+                conn.buf.extend_from_slice(&tmp[..n]);
+                // Drain complete lines as they arrive so only an
+                // *unterminated* line counts against the length limit.
+                enqueue_lines(state, conn);
+                if conn.buf.len() > state.max_line_bytes {
+                    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_line(
+                        &conn.reply,
+                        &error_line(
+                            &format!(
+                                "request line exceeds the {} byte limit",
+                                state.max_line_bytes
+                            ),
+                            None,
+                        ),
+                    );
+                    closed = true;
+                    break;
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => {
@@ -231,6 +263,16 @@ fn service_conn(state: &Arc<State>, conns: &mut [Option<Conn>], idx: usize) {
             }
         }
     }
+    enqueue_lines(state, conn);
+    if closed {
+        conns[idx] = None;
+    }
+}
+
+/// Slices every complete line out of the connection's buffer: parsed
+/// requests are queued for the workers, parse failures are answered
+/// immediately (with the correlation id when one was recoverable).
+fn enqueue_lines(state: &Arc<State>, conn: &mut Conn) {
     while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
         let line: Vec<u8> = conn.buf.drain(..=pos).collect();
         let line = String::from_utf8_lossy(&line[..line.len() - 1]);
@@ -238,20 +280,19 @@ fn service_conn(state: &Arc<State>, conns: &mut [Option<Conn>], idx: usize) {
         if line.is_empty() {
             continue;
         }
-        match parse_request(line) {
+        let parsed = parse_line(line);
+        match parsed.request {
             Ok(request) => state.queue.push(Job {
                 request,
+                id: parsed.id,
                 reply: Arc::clone(&conn.reply),
             }),
             Err(msg) => {
                 state.counters.requests.fetch_add(1, Ordering::Relaxed);
                 state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                write_line(&conn.reply, &error_line(&msg));
+                write_line(&conn.reply, &error_line(&msg, parsed.id.as_ref()));
             }
         }
-    }
-    if closed {
-        conns[idx] = None;
     }
 }
 
@@ -279,7 +320,24 @@ fn write_line(reply: &Arc<Mutex<TcpStream>>, line: &str) {
 fn worker_loop(state: &Arc<State>) {
     loop {
         match state.queue.pop(TICK) {
-            Some(job) => handle(state, job),
+            Some(job) => {
+                // A panicking handler must cost one error response, not a
+                // worker thread: workers are never respawned, so without
+                // this net a few panicking requests would leave the server
+                // accepting connections it can never answer.
+                let reply = Arc::clone(&job.reply);
+                let id = job.id.clone();
+                let caught =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(state, job)));
+                if caught.is_err() {
+                    respond_err(
+                        state,
+                        &reply,
+                        id.as_ref(),
+                        "internal error handling request",
+                    );
+                }
+            }
             None => {
                 if state.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -289,20 +347,81 @@ fn worker_loop(state: &Arc<State>) {
     }
 }
 
-fn respond_ok(state: &State, reply: &Arc<Mutex<TcpStream>>, fields: Vec<(&str, Value)>) {
+fn respond_ok(
+    state: &State,
+    reply: &Arc<Mutex<TcpStream>>,
+    id: Option<&Value>,
+    fields: Vec<(&str, Value)>,
+) {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
-    write_line(reply, &ok_line(fields));
+    write_line(reply, &ok_line(fields, id));
 }
 
-fn respond_err(state: &State, reply: &Arc<Mutex<TcpStream>>, msg: &str) {
+fn respond_err(state: &State, reply: &Arc<Mutex<TcpStream>>, id: Option<&Value>, msg: &str) {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
     state.counters.errors.fetch_add(1, Ordering::Relaxed);
-    write_line(reply, &error_line(msg));
+    write_line(reply, &error_line(msg, id));
+}
+
+/// Largest `gen` scale the service accepts (2^24 vertices).
+pub const MAX_GEN_SCALE: u32 = 24;
+
+/// Largest `gen` edge factor the service accepts; with the scale cap this
+/// bounds how much memory a single generation request can ask for.
+pub const MAX_GEN_EDGE_FACTOR: u32 = 1024;
+
+/// Upper bound on the resident bytes a `gen` request can produce (CSR row
+/// pointers + one entry per requested edge; duplicates only shrink it).
+/// Checked against the catalog budget *before* generating, so an absurd
+/// request is rejected instead of exhausting memory mid-generation.
+fn estimated_gen_bytes(scale: u32, edge_factor: u32) -> usize {
+    let n = 1usize << scale;
+    let nnz = n.saturating_mul(edge_factor as usize);
+    (n + 1) * std::mem::size_of::<usize>()
+        + nnz * (std::mem::size_of::<pb_sparse::Index>() + std::mem::size_of::<f64>())
+}
+
+/// Fetches `name` from the catalog, requiring a square matrix — the graph
+/// kernels (MCL, BC, APSP) assert squareness, and a panicking kernel must
+/// surface as an error response, not a dead worker.
+fn get_square(
+    state: &Arc<State>,
+    job: &Job,
+    name: &str,
+    op: &str,
+) -> Option<crate::catalog::Entry> {
+    let Some(entry) = state.catalog.lock().expect("catalog lock").get(name) else {
+        respond_err(
+            state,
+            &job.reply,
+            job.id.as_ref(),
+            &format!("no matrix named `{name}`"),
+        );
+        return None;
+    };
+    let (rows, cols) = (entry.matrix.nrows(), entry.matrix.ncols());
+    if rows != cols {
+        respond_err(
+            state,
+            &job.reply,
+            job.id.as_ref(),
+            &format!("{op} needs a square matrix; `{name}` is {rows}x{cols}"),
+        );
+        return None;
+    }
+    Some(entry)
 }
 
 fn handle(state: &Arc<State>, job: Job) {
+    let id = job.id.clone();
+    let id = id.as_ref();
     match job.request.clone() {
-        Request::Ping => respond_ok(state, &job.reply, vec![("op", Value::Str("pong".into()))]),
+        Request::Ping => respond_ok(
+            state,
+            &job.reply,
+            id,
+            vec![("op", Value::Str("pong".into()))],
+        ),
         Request::Store {
             name,
             rows,
@@ -311,7 +430,7 @@ fn handle(state: &Arc<State>, job: Job) {
         } => {
             let matrix = match Coo::from_entries(rows, cols, entries) {
                 Ok(coo) => coo.to_csr(),
-                Err(e) => return respond_err(state, &job.reply, &format!("bad matrix: {e}")),
+                Err(e) => return respond_err(state, &job.reply, id, &format!("bad matrix: {e}")),
             };
             store_and_respond(state, &job, &name, matrix);
         }
@@ -322,8 +441,34 @@ fn handle(state: &Arc<State>, job: Job) {
             edge_factor,
             seed,
         } => {
-            if scale > 24 {
-                return respond_err(state, &job.reply, "scale over 24 is not servable");
+            if scale > MAX_GEN_SCALE {
+                return respond_err(
+                    state,
+                    &job.reply,
+                    id,
+                    &format!("scale over {MAX_GEN_SCALE} is not servable"),
+                );
+            }
+            if edge_factor > MAX_GEN_EDGE_FACTOR {
+                return respond_err(
+                    state,
+                    &job.reply,
+                    id,
+                    &format!("edge_factor over {MAX_GEN_EDGE_FACTOR} is not servable"),
+                );
+            }
+            let estimate = estimated_gen_bytes(scale, edge_factor);
+            let budget = state.catalog.lock().expect("catalog lock").budget_bytes();
+            if estimate > budget {
+                return respond_err(
+                    state,
+                    &job.reply,
+                    id,
+                    &format!(
+                        "generating scale {scale} with edge_factor {edge_factor} needs up to \
+                         {estimate} bytes, over the catalog budget of {budget} bytes"
+                    ),
+                );
             }
             let matrix = match kind {
                 GenKind::Rmat => pb_gen::rmat_square(scale, edge_factor, seed),
@@ -337,8 +482,8 @@ fn handle(state: &Arc<State>, job: Job) {
             inflation,
             max_iterations,
         } => {
-            let Some(entry) = state.catalog.lock().expect("catalog lock").get(&name) else {
-                return respond_err(state, &job.reply, &format!("no matrix named `{name}`"));
+            let Some(entry) = get_square(state, &job, &name, "mcl") else {
+                return;
             };
             let result = pb_graph::Mcl::new()
                 .engine(entry.engine.clone())
@@ -348,6 +493,7 @@ fn handle(state: &Arc<State>, job: Job) {
             respond_ok(
                 state,
                 &job.reply,
+                id,
                 vec![
                     ("clusters", Value::UInt(result.num_clusters as u64)),
                     ("iterations", Value::UInt(result.iterations as u64)),
@@ -360,8 +506,8 @@ fn handle(state: &Arc<State>, job: Job) {
             sources,
             batch_size,
         } => {
-            let Some(entry) = state.catalog.lock().expect("catalog lock").get(&name) else {
-                return respond_err(state, &job.reply, &format!("no matrix named `{name}`"));
+            let Some(entry) = get_square(state, &job, &name, "bc") else {
+                return;
             };
             let n = entry.matrix.nrows();
             let count = if sources == 0 { n } else { sources.min(n) };
@@ -387,6 +533,7 @@ fn handle(state: &Arc<State>, job: Job) {
             respond_ok(
                 state,
                 &job.reply,
+                id,
                 vec![
                     ("n", Value::UInt(n as u64)),
                     ("sources", Value::UInt(count as u64)),
@@ -400,13 +547,14 @@ fn handle(state: &Arc<State>, job: Job) {
             );
         }
         Request::Apsp { name } => {
-            let Some(entry) = state.catalog.lock().expect("catalog lock").get(&name) else {
-                return respond_err(state, &job.reply, &format!("no matrix named `{name}`"));
+            let Some(entry) = get_square(state, &job, &name, "apsp") else {
+                return;
             };
             if entry.matrix.nrows() > pb_graph::APSP_DENSE_LIMIT {
                 return respond_err(
                     state,
                     &job.reply,
+                    id,
                     &format!(
                         "APSP on {} vertices would densify (limit {})",
                         entry.matrix.nrows(),
@@ -421,6 +569,7 @@ fn handle(state: &Arc<State>, job: Job) {
             respond_ok(
                 state,
                 &job.reply,
+                id,
                 vec![
                     ("nnz", Value::UInt(dist.nnz() as u64)),
                     ("sum", Value::Float(sum)),
@@ -430,7 +579,12 @@ fn handle(state: &Arc<State>, job: Job) {
         }
         Request::Evict { name } => {
             let evicted = state.catalog.lock().expect("catalog lock").evict(&name);
-            respond_ok(state, &job.reply, vec![("evicted", Value::Bool(evicted))]);
+            respond_ok(
+                state,
+                &job.reply,
+                id,
+                vec![("evicted", Value::Bool(evicted))],
+            );
         }
         Request::List => {
             let catalog = state.catalog.lock().expect("catalog lock");
@@ -456,17 +610,22 @@ fn handle(state: &Arc<State>, job: Job) {
                 ("evictions", Value::UInt(catalog.evictions())),
             ];
             drop(catalog);
-            respond_ok(state, &job.reply, fields);
+            respond_ok(state, &job.reply, id, fields);
         }
         Request::Metrics => {
             let text = {
                 let catalog = state.catalog.lock().expect("catalog lock");
                 render(&state.counters, &catalog)
             };
-            respond_ok(state, &job.reply, vec![("text", Value::Str(text))]);
+            respond_ok(state, &job.reply, id, vec![("text", Value::Str(text))]);
         }
         Request::Shutdown => {
-            respond_ok(state, &job.reply, vec![("op", Value::Str("bye".into()))]);
+            respond_ok(
+                state,
+                &job.reply,
+                id,
+                vec![("op", Value::Str("bye".into()))],
+            );
             state.shutdown.store(true, Ordering::SeqCst);
             state.queue.wake_all();
         }
@@ -486,6 +645,7 @@ fn store_and_respond(state: &Arc<State>, job: &Job, name: &str, matrix: Csr<f64>
         Ok(()) => respond_ok(
             state,
             &job.reply,
+            job.id.as_ref(),
             vec![
                 ("name", Value::Str(name.to_string())),
                 ("rows", Value::UInt(rows as u64)),
@@ -495,21 +655,42 @@ fn store_and_respond(state: &Arc<State>, job: &Job, name: &str, matrix: Csr<f64>
                 ("fingerprint", Value::UInt(print)),
             ],
         ),
-        Err(msg) => respond_err(state, &job.reply, &msg),
+        Err(msg) => respond_err(state, &job.reply, job.id.as_ref(), &msg),
     }
 }
 
+/// Drains every queued multiply that shares `key` — except jobs whose
+/// connection has an *earlier* queued request that is not part of the
+/// batch.  Batching must never reorder one connection's pipeline: a client
+/// that queues `store a` then `multiply a b` would otherwise have its
+/// multiply pulled ahead of the store and computed from the stale matrix.
+fn drain_batchable(
+    queue: &miniloop::TaskQueue<Job>,
+    key: &Option<(String, String, &'static str)>,
+    limit: usize,
+) -> Vec<Job> {
+    let mut held_back: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    queue.drain_matching(limit, |j| {
+        let conn = Arc::as_ptr(&j.reply) as usize;
+        if held_back.contains(&conn) {
+            false
+        } else if j.request.batch_key() == *key {
+            true
+        } else {
+            held_back.insert(conn);
+            false
+        }
+    })
+}
+
 /// Executes one multiply batch: the popped job plus every queued multiply
-/// with the same `(a, b, algorithm)` key.  The product is computed once —
+/// with the same `(a, b, algorithm)` key (see [`drain_batchable`] for the
+/// per-connection ordering guarantee).  The product is computed once —
 /// one engine call, one workspace lease — and answers every member.
 fn handle_multiply_batch(state: &Arc<State>, job: Job) {
     let key = job.request.batch_key();
     let mut batch = vec![job];
-    batch.extend(
-        state
-            .queue
-            .drain_matching(BATCH_LIMIT - 1, |j| j.request.batch_key() == key),
-    );
+    batch.extend(drain_batchable(&state.queue, &key, BATCH_LIMIT - 1));
     state.counters.record_batch(batch.len());
 
     let Some(Request::Multiply {
@@ -525,25 +706,16 @@ fn handle_multiply_batch(state: &Arc<State>, job: Job) {
         let mut catalog = state.catalog.lock().expect("catalog lock");
         (catalog.get(&a), catalog.get(&b))
     };
-    let (Some(ea), Some(eb)) = (entry_a, entry_b) else {
-        let missing = format!(
-            "no matrix named `{}`",
-            if state
-                .catalog
-                .lock()
-                .expect("catalog lock")
-                .get(&a)
-                .is_none()
-            {
-                &a
-            } else {
-                &b
+    let (ea, eb) = match (entry_a, entry_b) {
+        (Some(ea), Some(eb)) => (ea, eb),
+        (found_a, _) => {
+            let name = if found_a.is_none() { &a } else { &b };
+            let missing = format!("no matrix named `{name}`");
+            for j in &batch {
+                respond_err(state, &j.reply, j.id.as_ref(), &missing);
             }
-        );
-        for j in &batch {
-            respond_err(state, &j.reply, &missing);
+            return;
         }
-        return;
     };
     if ea.matrix.ncols() != eb.matrix.nrows() {
         let msg = format!(
@@ -554,7 +726,7 @@ fn handle_multiply_batch(state: &Arc<State>, job: Job) {
             eb.matrix.ncols()
         );
         for j in &batch {
-            respond_err(state, &j.reply, &msg);
+            respond_err(state, &j.reply, j.id.as_ref(), &msg);
         }
         return;
     }
@@ -583,7 +755,7 @@ fn handle_multiply_batch(state: &Arc<State>, job: Job) {
                 .expect("catalog lock")
                 .store(target, product.clone())
             {
-                respond_err(state, &j.reply, &msg);
+                respond_err(state, &j.reply, j.id.as_ref(), &msg);
                 continue;
             }
         }
@@ -610,6 +782,7 @@ fn handle_multiply_batch(state: &Arc<State>, job: Job) {
                 respond_err(
                     state,
                     &j.reply,
+                    j.id.as_ref(),
                     &format!(
                         "product has {} nonzeros, over the {} returnable limit",
                         product.nnz(),
@@ -620,6 +793,93 @@ fn handle_multiply_batch(state: &Arc<State>, job: Job) {
             }
             fields.push(("entries", entries_value(&product)));
         }
-        respond_ok(state, &j.reply, fields);
+        respond_ok(state, &j.reply, j.id.as_ref(), fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A connected socket to stand in for a client's write half; the peer
+    /// end is leaked so writes would succeed if a test ever made any.
+    fn test_reply() -> Arc<Mutex<TcpStream>> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).expect("connect loopback");
+        let (peer, _) = listener.accept().expect("accept loopback");
+        std::mem::forget(peer);
+        Arc::new(Mutex::new(stream))
+    }
+
+    fn multiply(a: &str, b: &str) -> Request {
+        Request::Multiply {
+            a: a.into(),
+            b: b.into(),
+            algorithm: None,
+            store_as: None,
+            want_entries: false,
+        }
+    }
+
+    fn job(request: Request, reply: &Arc<Mutex<TcpStream>>) -> Job {
+        Job {
+            request,
+            id: None,
+            reply: Arc::clone(reply),
+        }
+    }
+
+    #[test]
+    fn batching_does_not_reorder_one_connections_pipeline() {
+        let queue: miniloop::TaskQueue<Job> = miniloop::TaskQueue::new();
+        let pipelining = test_reply();
+        let other = test_reply();
+        // The pipelining connection queued a store *before* its multiply;
+        // draining the multiply into someone else's batch would compute it
+        // from the matrix the store is about to replace.
+        queue.push(job(Request::Evict { name: "m".into() }, &pipelining));
+        queue.push(job(multiply("m", "m"), &pipelining));
+        // A multiply with nothing queued ahead of it on its connection is
+        // fair game.
+        queue.push(job(multiply("m", "m"), &other));
+        let key = multiply("m", "m").batch_key();
+
+        let batch = drain_batchable(&queue, &key, BATCH_LIMIT);
+        assert_eq!(batch.len(), 1, "only the unordered-safe multiply joins");
+        assert!(Arc::ptr_eq(&batch[0].reply, &other));
+        // The pipelining connection's jobs are still queued, in order.
+        let first = queue.pop(Duration::from_millis(10)).unwrap();
+        assert!(matches!(first.request, Request::Evict { .. }));
+        let second = queue.pop(Duration::from_millis(10)).unwrap();
+        assert_eq!(second.request, multiply("m", "m"));
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn batching_takes_every_safe_match_up_to_the_limit() {
+        let queue: miniloop::TaskQueue<Job> = miniloop::TaskQueue::new();
+        let conns: Vec<_> = (0..4).map(|_| test_reply()).collect();
+        for c in &conns {
+            queue.push(job(multiply("x", "x"), c));
+        }
+        // A same-connection *matching* pipeline is safe to batch whole.
+        queue.push(job(multiply("x", "x"), &conns[0]));
+        let key = multiply("x", "x").batch_key();
+        let batch = drain_batchable(&queue, &key, BATCH_LIMIT);
+        assert_eq!(batch.len(), 5);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn gen_estimate_is_an_upper_bound_on_stored_bytes() {
+        let (scale, edge_factor, seed) = (6u32, 4u32, 7u64);
+        let estimate = estimated_gen_bytes(scale, edge_factor);
+        let rmat = pb_gen::rmat_square(scale, edge_factor, seed);
+        let er = pb_gen::erdos_renyi_square(scale, edge_factor, seed);
+        assert!(matrix_bytes(&rmat) <= estimate);
+        assert!(matrix_bytes(&er) <= estimate);
+        // And it saturates instead of overflowing on absurd requests.
+        let _ = estimated_gen_bytes(24, u32::MAX);
     }
 }

@@ -307,3 +307,123 @@ fn per_request_algorithm_override_and_shutdown_op() {
     assert!(ok(&bye));
     server.join();
 }
+
+#[test]
+fn non_square_graph_ops_error_instead_of_killing_workers() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr());
+    // A perfectly storable rectangular matrix...
+    let r =
+        c.call(r#"{"op":"store","name":"rect","rows":2,"cols":3,"entries":[[0,0,1.0],[1,2,2.0]]}"#);
+    assert!(ok(&r), "{r:?}");
+    // ...must be *rejected* by the square-only graph kernels, not crash
+    // them.  Repeat past the worker count: a panicking handler would kill
+    // a worker each time and the later calls would hang forever.
+    for op in [
+        r#"{"op":"mcl","name":"rect"}"#,
+        r#"{"op":"bc","name":"rect"}"#,
+        r#"{"op":"apsp","name":"rect"}"#,
+        r#"{"op":"mcl","name":"rect","inflation":1.5}"#,
+    ] {
+        let r = c.call(op);
+        assert!(!ok(&r), "{op} accepted a non-square matrix: {r:?}");
+        assert!(
+            r.get("error")
+                .and_then(serde::Value::as_str)
+                .unwrap()
+                .contains("square"),
+            "{r:?}"
+        );
+    }
+    // Every worker is still alive and serving.
+    assert!(ok(&c.call(r#"{"op":"ping"}"#)));
+    let r = c.call(r#"{"op":"multiply","a":"rect","b":"rect"}"#);
+    assert!(!ok(&r), "2x3 times 2x3 is a dimension mismatch");
+    server.join();
+}
+
+#[test]
+fn correlation_ids_are_echoed_on_success_and_error() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr());
+    let r = c.call(r#"{"op":"ping","id":42}"#);
+    assert!(ok(&r));
+    assert_eq!(u(&r, "id"), 42);
+    let r = c.call(r#"{"op":"mcl","name":"nope","id":"req-7"}"#);
+    assert!(!ok(&r));
+    assert_eq!(
+        r.get("id").and_then(serde::Value::as_str),
+        Some("req-7"),
+        "error responses correlate too: {r:?}"
+    );
+    // Bad op but valid JSON: the id still comes back.
+    let r = c.call(r#"{"op":"fly","id":3}"#);
+    assert!(!ok(&r));
+    assert_eq!(u(&r, "id"), 3);
+    server.join();
+}
+
+#[test]
+fn oversized_lines_are_answered_and_disconnected() {
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(1)
+            .budget_bytes(64 << 20)
+            .max_line_bytes(1024),
+    )
+    .expect("bind in-process server");
+    let mut c = Client::connect(server.addr());
+    // Stream well past the limit without ever sending a newline.
+    let blob = vec![b'x'; 8 * 1024];
+    c.writer.write_all(&blob).expect("send oversized line");
+    let mut line = String::new();
+    c.reader.read_line(&mut line).expect("read error response");
+    let r: serde::Value = serde_json::from_str(&line).expect("error response is JSON");
+    assert!(!ok(&r), "{r:?}");
+    assert!(r
+        .get("error")
+        .and_then(serde::Value::as_str)
+        .unwrap()
+        .contains("byte limit"));
+    // The connection is closed afterwards: EOF or reset (the server drops
+    // the socket with our unread bytes still pending), never a hang.
+    line.clear();
+    match c.reader.read_line(&mut line) {
+        Ok(n) => assert_eq!(n, 0, "connection should be closed, got {line:?}"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e:?}"),
+    }
+    // The server itself keeps serving new connections.
+    let mut c2 = Client::connect(server.addr());
+    assert!(ok(&c2.call(r#"{"op":"ping"}"#)));
+    server.join();
+}
+
+#[test]
+fn gen_limits_are_enforced_before_generation() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr());
+    let r = c.call(r#"{"op":"gen","name":"g","kind":"rmat","scale":25}"#);
+    assert!(!ok(&r));
+    let r = c.call(r#"{"op":"gen","name":"g","kind":"rmat","scale":10,"edge_factor":4000000000}"#);
+    assert!(!ok(&r));
+    assert!(r
+        .get("error")
+        .and_then(serde::Value::as_str)
+        .unwrap()
+        .contains("edge_factor"));
+    // Within the caps but past the 64 MiB catalog budget: rejected by the
+    // up-front estimate (instantly — generation never starts).
+    let r = c.call(r#"{"op":"gen","name":"g","kind":"er","scale":20,"edge_factor":64}"#);
+    assert!(!ok(&r));
+    assert!(r
+        .get("error")
+        .and_then(serde::Value::as_str)
+        .unwrap()
+        .contains("catalog budget"));
+    // A sane request still lands.
+    assert!(ok(&c.call(
+        r#"{"op":"gen","name":"g","kind":"er","scale":6,"edge_factor":4}"#
+    )));
+    server.join();
+}
