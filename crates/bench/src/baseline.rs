@@ -195,6 +195,11 @@ pub struct WorkspaceReuseReport {
     /// 1-thread pool where the schedule — and therefore every float
     /// accumulation order — is deterministic.
     pub bit_identical_to_fresh: bool,
+    /// Whether the tracing subsystem was disabled during the smoke.  The
+    /// span call sites are always compiled into the pipeline, so the
+    /// zero-allocation steady state above proves the *dormant* tracer is
+    /// free; `--verify` rejects runs where tracing was left on.
+    pub tracer_off: bool,
 }
 
 /// Runs the repeated-multiply workspace smoke on `w` (squaring it
@@ -238,6 +243,7 @@ pub fn run_workspace_reuse(w: &Workload, multiplies: usize) -> WorkspaceReuseRep
         steady_bytes_reused: steady.bytes_reused,
         steady_workspace_hits: steady.workspace_hits,
         bit_identical_to_fresh: bit_identical,
+        tracer_off: !pb_spgemm::trace::enabled(),
     }
 }
 
@@ -353,7 +359,8 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
 }
 
 /// Current baseline schema tag (shared with `bench_pb --verify`/`--gate`).
-pub const SCHEMA_TAG: &str = "pb-bench-baseline/v5";
+/// v6 added `workspace.tracer_off` — the dormant-tracer zero-alloc proof.
+pub const SCHEMA_TAG: &str = "pb-bench-baseline/v6";
 
 /// Multiplies of the repeated-multiply workspace smoke: enough that the
 /// last one is unambiguously steady-state (the arena is populated by the

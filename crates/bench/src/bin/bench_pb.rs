@@ -23,7 +23,7 @@
 //!   section) to the JSON.  `--verify`/`--gate` then fail if any point's
 //!   calibrated pick costs more than 25% over best-in-hindsight.
 //! * `--verify` — after writing, re-read the file, parse it, check it
-//!   against the `pb-bench-baseline/v5` schema (including the per-point
+//!   against the `pb-bench-baseline/v6` schema (including the per-point
 //!   `numa`, `workspace` and `isa` sections) and generous per-phase sanity
 //!   ceilings, and assert PB-SpGEMM's product still matches the reference
 //!   oracle.  On multi-domain points the measured domain-local flush
@@ -558,6 +558,15 @@ fn check_document(doc: &Value, path: &str) {
         ws.get("bit_identical_to_fresh").and_then(Value::as_bool),
         Some(true),
         "{path}: workspace reuse changed the product"
+    );
+    // The zero-allocation proof above only covers the shipped configuration
+    // if the tracing subsystem was compiled in but dormant during the smoke:
+    // every span call site ran, none may have allocated.
+    assert_eq!(
+        ws.get("tracer_off").and_then(Value::as_bool),
+        Some(true),
+        "{path}: the workspace smoke ran with tracing enabled — the zero-alloc \
+         gate must measure the dormant-tracer configuration"
     );
 
     // --- Planner regret report (schema v4, `--planner` runs): every corpus

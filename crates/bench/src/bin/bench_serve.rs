@@ -20,9 +20,16 @@
 //!    workspace serves the whole request (`bytes_allocated == 0`).
 //!
 //! The run is written as `BENCH_serve.json` (schema
-//! [`SCHEMA_TAG`]) with p50/p95/p99 latencies plus the server's own
-//! catalog / workspace / planner / ISA telemetry scraped from the
-//! `metrics` op.
+//! [`SCHEMA_TAG`]) with client-observed p50/p95/p99 latencies, the
+//! server's own per-op latency histograms (scraped from the `metrics` op
+//! through the [`Exposition`] parser and embedded verbatim, buckets and
+//! all), plus catalog / workspace / planner / ISA telemetry.
+//!
+//! Client and server measure the same requests from opposite ends of the
+//! socket: the client sees queue + handling + network, the server records
+//! handling alone, so `--verify` can cross-check the two distributions
+//! (server percentiles must not exceed client ones beyond histogram
+//! bucket granularity).
 //!
 //! Flags:
 //!
@@ -38,12 +45,13 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use pb_bench::{fmt, print_table, Table};
-use pb_serve::{fingerprint, ServeConfig, Server};
+use pb_serve::{fingerprint, Exposition, ServeConfig, Server};
 use serde::Serialize;
 use serde_json::Value;
 
 /// Schema tag the emitted JSON must carry (bumped on breaking changes).
-const SCHEMA_TAG: &str = "pb-serve-baseline/v1";
+/// v2 added the `server_latency` per-op histogram section.
+const SCHEMA_TAG: &str = "pb-serve-baseline/v2";
 
 /// Burst attempts before conceding that no batch formed.  Batching is a
 /// property of queue pressure, so a single burst can legitimately drain
@@ -134,6 +142,28 @@ struct VerifyDoc {
     oracle_fingerprint: u64,
 }
 
+/// One cumulative histogram bucket, straight off the metrics page.
+#[derive(Debug, Clone, Serialize)]
+struct BucketDoc {
+    /// Upper bound in seconds (`le` label); `null` encodes `+Inf`.
+    le_seconds: Option<f64>,
+    cumulative: u64,
+}
+
+/// The server's own latency histogram for one op, scraped from
+/// `pb_serve_request_seconds` after the run.  Percentiles are bucket
+/// upper bounds, so they overestimate by at most one √2 bucket step.
+#[derive(Debug, Clone, Serialize)]
+struct OpLatencyDoc {
+    op: String,
+    count: u64,
+    sum_seconds: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    buckets: Vec<BucketDoc>,
+}
+
 /// Server-side telemetry scraped from the `metrics` op after the run.
 #[derive(Debug, Clone, Serialize)]
 struct TelemetryDoc {
@@ -169,6 +199,7 @@ struct ServeDoc {
     wall_seconds: f64,
     throughput_rps: f64,
     latency: LatencyDoc,
+    server_latency: Vec<OpLatencyDoc>,
     batching: BatchingDoc,
     steady_state: SteadyDoc,
     verification: VerifyDoc,
@@ -323,7 +354,11 @@ fn main() {
         .and_then(Value::as_str)
         .expect("metrics text")
         .to_string();
+    let page = Exposition::parse(&text).unwrap_or_else(|e| panic!("metrics page malformed: {e}"));
+    page.check()
+        .unwrap_or_else(|e| panic!("metrics page inconsistent: {e}"));
     let telemetry = scrape_telemetry(&text);
+    let server_latency = scrape_server_latency(&page);
 
     server.shutdown();
     server.join();
@@ -340,6 +375,7 @@ fn main() {
         wall_seconds,
         throughput_rps: sampled as f64 / wall_seconds,
         latency,
+        server_latency,
         batching,
         steady_state: SteadyDoc {
             samples: steady_samples,
@@ -380,6 +416,22 @@ fn main() {
         format!("{}/{}", doc.verification.matched, doc.verification.sampled),
     ]);
     print_table(&table);
+
+    let mut ops = Table::new(
+        "pb-serve server-side latency (handling only, histogram bucket bounds)".to_string(),
+        &["op", "count", "p50 us", "p95 us", "p99 us", "mean us"],
+    );
+    for op in &doc.server_latency {
+        ops.push_row(vec![
+            op.op.clone(),
+            op.count.to_string(),
+            fmt(op.p50_us, 1),
+            fmt(op.p95_us, 1),
+            fmt(op.p99_us, 1),
+            fmt(op.sum_seconds * 1e6 / op.count.max(1) as f64, 1),
+        ]);
+    }
+    print_table(&ops);
 
     let json = serde_json::to_string_pretty(&doc).expect("serialize serve baseline");
     std::fs::write(&out_path, json + "\n").expect("write serve baseline JSON");
@@ -430,6 +482,70 @@ fn scrape_telemetry(text: &str) -> TelemetryDoc {
     }
 }
 
+/// Extracts every op's `pb_serve_request_seconds` histogram from the
+/// parsed metrics page.  Percentiles are read off the cumulative buckets
+/// as upper bounds: the smallest `le` whose cumulative count covers the
+/// quantile.
+fn scrape_server_latency(page: &Exposition) -> Vec<OpLatencyDoc> {
+    let mut ops: Vec<String> = page
+        .series("pb_serve_request_seconds_count")
+        .iter()
+        .filter_map(|s| s.label("op").map(str::to_string))
+        .collect();
+    ops.sort();
+    ops.iter()
+        .map(|op| {
+            let count = page
+                .value("pb_serve_request_seconds_count", &[("op", op)])
+                .expect("histogram _count") as u64;
+            let sum_seconds = page
+                .value("pb_serve_request_seconds_sum", &[("op", op)])
+                .expect("histogram _sum");
+            let mut buckets: Vec<(f64, u64)> = page
+                .series("pb_serve_request_seconds_bucket")
+                .iter()
+                .filter(|s| s.label("op") == Some(op))
+                .map(|s| {
+                    let le = s.label("le").expect("bucket le label");
+                    let le = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse().expect("finite le")
+                    };
+                    (le, s.value as u64)
+                })
+                .collect();
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let pct = |q: f64| -> f64 {
+                let target = (count as f64 * q).ceil().max(1.0) as u64;
+                for &(le, cum) in &buckets {
+                    if cum >= target && le.is_finite() {
+                        return le * 1e6;
+                    }
+                }
+                // Quantile landed in +Inf: report the mean as the best
+                // finite stand-in.
+                sum_seconds * 1e6 / count.max(1) as f64
+            };
+            OpLatencyDoc {
+                op: op.clone(),
+                count,
+                sum_seconds,
+                p50_us: pct(0.50),
+                p95_us: pct(0.95),
+                p99_us: pct(0.99),
+                buckets: buckets
+                    .iter()
+                    .map(|&(le, cumulative)| BucketDoc {
+                        le_seconds: le.is_finite().then_some(le),
+                        cumulative,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
 /// Re-reads an emitted serve baseline and asserts the service guarantees.
 /// Panics (non-zero exit) on any violation — this is the CI serve-smoke
 /// gate.
@@ -464,6 +580,65 @@ fn verify_baseline(path: &str) {
             .and_then(Value::as_u64),
         "{path}: latency count disagrees with the sampled request count"
     );
+
+    // Server-side histograms: present, self-consistent, and agreeing with
+    // what the clients measured from their end of the socket.
+    let server_latency = doc
+        .get("server_latency")
+        .and_then(Value::as_array)
+        .expect("server_latency section");
+    let multiply = server_latency
+        .iter()
+        .find(|o| o.get("op").and_then(Value::as_str) == Some("multiply"))
+        .unwrap_or_else(|| panic!("{path}: no server-side multiply histogram"));
+    let server_count = u(multiply, "count");
+    let sampled_requests = doc
+        .get("verification")
+        .and_then(|v| v.get("sampled"))
+        .and_then(Value::as_u64)
+        .expect("verification.sampled");
+    assert!(
+        server_count >= sampled_requests,
+        "{path}: server multiply histogram ({server_count}) missed closed-loop requests \
+         ({sampled_requests})"
+    );
+    let buckets = multiply
+        .get("buckets")
+        .and_then(Value::as_array)
+        .expect("bucket array");
+    let mut prev = 0u64;
+    for b in buckets {
+        let c = u(b, "cumulative");
+        assert!(c >= prev, "{path}: multiply buckets not cumulative");
+        prev = c;
+    }
+    assert_eq!(
+        prev, server_count,
+        "{path}: +Inf bucket disagrees with the histogram count"
+    );
+    // The server records handling alone; the client adds queue + network on
+    // top, and the server's percentiles are √2-bucket upper bounds.  A
+    // generous 4x + 1ms envelope keeps the check meaningful (the server
+    // can never be an order of magnitude slower than what clients saw)
+    // without flaking on scheduler noise.
+    let server_pct = |key: &str| {
+        multiply
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("{path}: server multiply histogram missing {key}"))
+    };
+    for (client_q, server_q, client_v) in [
+        ("p50_us", "p50_us", p50),
+        ("p95_us", "p95_us", p95),
+        ("p99_us", "p99_us", p99),
+    ] {
+        let server_v = server_pct(server_q);
+        assert!(
+            server_v <= client_v * 4.0 + 1000.0,
+            "{path}: server {server_q}={server_v}us exceeds client {client_q}={client_v}us \
+             beyond bucket granularity"
+        );
+    }
 
     // Oracle sampling: every sampled response matched the reference product.
     let verification = doc.get("verification").expect("verification section");

@@ -192,11 +192,12 @@ pub fn usage() -> String {
      \x20                    [--seed X] --out FILE.mtx\n\
      \x20 pb-spgemm stats    A.mtx\n\
      \x20 pb-spgemm multiply A.mtx [B.mtx] [--algorithm auto|pb|heap|hash|hashvec|spa]\n\
-     \x20                    [--threads T] [--out C.mtx] [--profile]\n\
+     \x20                    [--threads T] [--out C.mtx] [--profile] [--trace-out T.json]\n\
      \x20 pb-spgemm compare  A.mtx [--threads T]\n\
      \x20 pb-spgemm verify   A.mtx [B.mtx] [--threads T] [--reuse]\n\
      \x20 pb-spgemm serve    [--addr HOST:PORT] [--budget-mb M] [--workers W]\n\
-     \x20                    [--algorithm auto|pb|...] [--check]\n\
+     \x20                    [--algorithm auto|pb|...] [--slow-ms MS] [--check]\n\
+     \x20 pb-spgemm trace-check T.json\n\
      \x20 pb-spgemm help\n\
      \n\
      EXIT CODES: 0 success, 1 runtime failure, 2 usage/configuration error\n"
@@ -214,6 +215,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Some("compare") => cmd_compare(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{}", usage()))),
     }
 }
@@ -300,6 +302,16 @@ fn cmd_multiply(args: &[String]) -> Result<String, CliError> {
         .transpose()?;
     let stats = MultiplyStats::compute(&a, &b);
 
+    // `--trace-out FILE` records the multiply through the span tracer and
+    // writes a Chrome trace-event JSON loadable in Perfetto.  The tracer is
+    // process-global; restore its prior state so library callers (tests)
+    // see no side effect.
+    let trace_out = flag_value(args, "--trace-out");
+    let trace_was_on = pb_spgemm::trace::enabled();
+    if trace_out.is_some() {
+        pb_spgemm::trace::set_enabled(true);
+    }
+
     let mut out = String::new();
     let profiled = matches!(algorithm, CliAlgorithm::Pb | CliAlgorithm::Auto);
     let c = if profiled && has_flag(args, "--profile") {
@@ -328,11 +340,43 @@ fn cmd_multiply(args: &[String]) -> Result<String, CliError> {
         c.nnz(),
         stats.cf
     );
+    if let Some(path) = trace_out {
+        let snapshot = pb_spgemm::trace::snapshot();
+        pb_spgemm::trace::set_enabled(trace_was_on);
+        let json = snapshot.to_chrome_json();
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "wrote {} trace events ({} threads) to {path}",
+            snapshot.len(),
+            snapshot.threads.len()
+        );
+    }
     if let Some(path) = flag_value(args, "--out") {
         write_matrix_market(path, &c.to_coo())?;
         let _ = writeln!(out, "wrote result to {path}");
     }
     Ok(out)
+}
+
+/// `pb-spgemm trace-check T.json` — validates a Chrome trace-event file
+/// written by `multiply --trace-out` (or the serve `trace` op): valid
+/// JSON, non-empty, per-thread monotonic timestamps, balanced begin/end
+/// nesting.  Exits non-zero on any violation — the CI trace-smoke gate.
+fn cmd_trace_check(args: &[String]) -> Result<String, CliError> {
+    let path = args
+        .first()
+        .filter(|s| !s.starts_with("--"))
+        .ok_or_else(|| err("trace-check: missing trace file"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let summary = pb_spgemm::trace::validate_chrome_trace(&text)
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    Ok(format!(
+        "{path} OK: {} events across {} threads ({} complete spans, {} instants)\n",
+        summary.events, summary.threads, summary.spans, summary.instants
+    ))
 }
 
 /// `pb-spgemm verify A.mtx [B.mtx] [--threads T] [--reuse]` — multiplies
@@ -434,6 +478,12 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             ))
         })?;
         config = config.algorithm(algorithm);
+    }
+    if let Some(ms) = flag_value(args, "--slow-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| err(format!("invalid value {ms:?} for --slow-ms")))?;
+        config = config.slow_ms(Some(ms));
     }
     let check = has_flag(args, "--check");
     let server = pb_serve::Server::start(config)?;
@@ -631,6 +681,43 @@ mod tests {
     }
 
     #[test]
+    fn trace_out_writes_a_checkable_chrome_trace() {
+        let mtx = temp_path("trace_er.mtx");
+        run_cli(&strs(&[
+            "generate",
+            "er",
+            "--scale",
+            "7",
+            "--edge-factor",
+            "4",
+            "--out",
+            &mtx,
+        ]))
+        .unwrap();
+        let trace = temp_path("multiply_trace.json");
+        let out = run_cli(&strs(&[
+            "multiply",
+            &mtx,
+            "--algorithm",
+            "pb",
+            "--trace-out",
+            &trace,
+        ]))
+        .unwrap();
+        assert!(out.contains("trace events"), "{out}");
+        let checked = run_cli(&strs(&["trace-check", &trace])).unwrap();
+        assert!(checked.contains("OK"), "{checked}");
+        // The validator rejects garbage and missing files.
+        let bad = temp_path("not_a_trace.json");
+        std::fs::write(&bad, "{}").unwrap();
+        let e = run_cli(&strs(&["trace-check", &bad])).unwrap_err();
+        assert_eq!(e.exit_code(), EXIT_RUNTIME);
+        let e = run_cli(&strs(&["trace-check", "/nonexistent.json"])).unwrap_err();
+        assert_eq!(e.exit_code(), EXIT_RUNTIME);
+        assert!(run_cli(&strs(&["trace-check"])).is_err());
+    }
+
+    #[test]
     fn serve_check_binds_and_reports() {
         let out = run_cli(&strs(&[
             "serve",
@@ -642,10 +729,14 @@ mod tests {
             "1",
             "--algorithm",
             "pb",
+            "--slow-ms",
+            "500",
             "--check",
         ]))
         .unwrap();
         assert!(out.contains("serve config OK"), "{out}");
+        let e = run_cli(&strs(&["serve", "--slow-ms", "soon", "--check"])).unwrap_err();
+        assert_eq!(e.exit_code(), EXIT_USAGE);
     }
 
     #[test]

@@ -360,6 +360,7 @@ impl SpGemm {
     where
         S::Elem: Default,
     {
+        let _span = crate::trace::span(crate::trace::SpanName::EngineMultiply);
         let (c, profile) = match &self.algorithm {
             Algorithm::Pb => crate::pb_multiply_with_profile::<S>(&a.to_csc(), b, &self.config),
             Algorithm::Baseline(baseline) => {
@@ -430,6 +431,7 @@ impl SpGemm {
     where
         S::Elem: Default,
     {
+        let _span = crate::trace::span(crate::trace::SpanName::EngineMultiplyCsc);
         let (c, profile) = match &self.algorithm {
             Algorithm::Pb | Algorithm::Auto => {
                 crate::pb_multiply_with_profile::<S>(a, b, &self.config)

@@ -72,6 +72,7 @@ pub mod simd;
 pub mod sort;
 pub mod symbolic;
 pub mod topology;
+pub mod trace;
 pub mod workspace;
 
 pub use bins::{BinLayout, BinnedTuples, Entry};
@@ -83,6 +84,10 @@ pub use planner::{PlannedKernel, Planner, Signals};
 pub use profile::{IsaDispatch, Phase, PhaseStats, PhaseTimings, SpGemmProfile, StatsCollector};
 pub use simd::{Isa, SIMD_ENV};
 pub use topology::{NumaDomain, Topology, TopologySource};
+pub use trace::{
+    ChromeTraceSummary, EventKind, HistogramSnapshot, LatencyHistogram, SpanName, TraceEvent,
+    TraceSnapshot, LATENCY_BUCKETS, TRACE_ENV, TRACE_EVENTS_ENV,
+};
 pub use workspace::{Workspace, DECAY_AFTER_LOW_LEASES};
 
 use std::time::Instant;
@@ -116,7 +121,11 @@ pub(crate) fn install_config_pool<R>(config: &PbConfig, f: impl FnOnce() -> R) -
                 .domains(config.numa_domains.unwrap_or(0))
                 .build()
                 .expect("failed to build rayon pool");
-            pool.install(f)
+            // The closure may run on a pool worker: forward the caller's
+            // correlation id so the phase spans emitted inside still carry
+            // the originating request.
+            let corr = trace::current_corr();
+            pool.install(|| trace::with_corr(corr, f))
         }
         None => f(),
     }
@@ -138,27 +147,40 @@ fn run_phases<S: Semiring>(
     // either way, so reuse can never change the product.
     let mut lease = workspace::WorkspaceLease::<S::Elem>::acquire(config.workspace.clone());
 
+    // Each phase span brackets exactly the `Instant` window feeding
+    // `PhaseTimings`, so the trace and the aggregate telemetry agree on
+    // what "the expand phase" cost (tests hold them to within 5%).
+    let span = trace::span(trace::SpanName::PhaseSymbolic);
     let t0 = Instant::now();
     let sym = symbolic::symbolic(a, b, config, tuple_bytes);
     let t_symbolic = t0.elapsed();
+    drop(span);
     stats.record_bin_flop(&sym.bin_flop);
     stats.record_numa(sym.domains, &sym.domain_flop);
 
+    let span = trace::span(trace::SpanName::PhaseExpand);
     let t1 = Instant::now();
     let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats, &mut lease);
     let t_expand = t1.elapsed();
+    drop(span);
 
+    let span = trace::span(trace::SpanName::PhaseSort);
     let t2 = Instant::now();
     sort_with_lease::<S>(&mut tuples, &sym, config, &stats, &mut lease);
     let t_sort = t2.elapsed();
+    drop(span);
 
+    let span = trace::span(trace::SpanName::PhaseCompress);
     let t3 = Instant::now();
     compress::compress_bins::<S>(&mut tuples, config.compress_split, &stats);
     let t_compress = t3.elapsed();
+    drop(span);
 
+    let span = trace::span(trace::SpanName::PhaseAssemble);
     let t4 = Instant::now();
     let c = assemble::assemble_reusing(&tuples, &stats, &mut lease);
     let t_assemble = t4.elapsed();
+    drop(span);
     lease.release(tuples);
 
     let profile = SpGemmProfile {

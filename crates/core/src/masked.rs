@@ -53,14 +53,27 @@ fn run_masked_phases<S: Semiring, M: Scalar>(
     // shares its workspace discipline: iterated masked kernels holding a
     // workspace-carrying config reuse the same buffers across calls.
     let mut lease = crate::workspace::WorkspaceLease::<S::Elem>::acquire(config.workspace.clone());
+    let _masked = crate::trace::span(crate::trace::SpanName::EngineMasked);
+    let span = crate::trace::span(crate::trace::SpanName::PhaseSymbolic);
     let sym = symbolic::symbolic(a, b, config, tuple_bytes);
+    drop(span);
     stats.record_bin_flop(&sym.bin_flop);
     stats.record_numa(sym.domains, &sym.domain_flop);
+    let span = crate::trace::span(crate::trace::SpanName::PhaseExpand);
     let mut tuples = expand::expand::<S>(a, b, &sym, config, &stats, &mut lease);
+    drop(span);
+    let span = crate::trace::span(crate::trace::SpanName::PhaseSort);
     crate::sort_with_lease::<S>(&mut tuples, &sym, config, &stats, &mut lease);
+    drop(span);
+    let span = crate::trace::span(crate::trace::SpanName::PhaseCompress);
     compress::compress_bins::<S>(&mut tuples, config.compress_split, &stats);
+    drop(span);
+    let span = crate::trace::span(crate::trace::SpanName::PhaseMask);
     apply_mask(&mut tuples, mask);
+    drop(span);
+    let span = crate::trace::span(crate::trace::SpanName::PhaseAssemble);
     let c = assemble::assemble_reusing(&tuples, &stats, &mut lease);
+    drop(span);
     lease.release(tuples);
     // Close the AutoTune feedback loop on this path too: the masked
     // pipeline shares the expand phase, so its flush telemetry is exactly

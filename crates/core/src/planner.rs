@@ -435,6 +435,7 @@ impl Planner {
     /// return the same kernel, and the sticky/hysteresis state only ever
     /// *preserves* an earlier identical decision, never flips it.
     pub fn decide(&self, signals: &Signals) -> PlannedKernel {
+        let _span = crate::trace::span(crate::trace::SpanName::PlannerDecide);
         self.decisions.fetch_add(1, Ordering::Relaxed);
         let bucket = signals.bucket();
 
@@ -478,6 +479,9 @@ impl Planner {
         };
 
         self.sticky[slot].store((sig & !0x7) | choice.index() as u64, Ordering::Relaxed);
+        // Point event carrying the chosen kernel's index, so a trace shows
+        // *what* was decided, not just how long deciding took.
+        crate::trace::instant(crate::trace::SpanName::PlannerDecide, choice.index() as u64);
         choice
     }
 
@@ -488,6 +492,10 @@ impl Planner {
     /// [`AutoTune`](crate::config::AutoTune): a lost race drops this step
     /// (the next observation re-converges the average) instead of looping.
     pub fn observe(&self, kernel: PlannedKernel, signals: &Signals, seconds: f64) {
+        crate::trace::instant(
+            crate::trace::SpanName::PlannerObserve,
+            kernel.index() as u64,
+        );
         let k = kernel.index();
         // `seconds` must be a positive finite measurement; NaN and zero both
         // land in the reject arm.

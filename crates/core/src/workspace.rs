@@ -246,19 +246,21 @@ impl Workspace {
         let mut slot = self.slot.lock().expect("workspace lock poisoned");
         if slot.checked_out {
             self.bypasses.fetch_add(1, Ordering::Relaxed);
+            crate::trace::instant(crate::trace::SpanName::WorkspaceBypass, 0);
             return None;
         }
         slot.checked_out = true;
         self.leases.fetch_add(1, Ordering::Relaxed);
-        let pool = match slot.pool.take().map(|boxed| boxed.downcast::<PoolOf<V>>()) {
-            Some(Ok(pool)) => *pool,
+        let (pool, reused) = match slot.pool.take().map(|boxed| boxed.downcast::<PoolOf<V>>()) {
+            Some(Ok(pool)) => (*pool, 1u64),
             Some(Err(_)) | None => {
                 // First use or a value-type change: the decay window is
                 // about the *new* buffers, so any old streak is stale.
                 slot.reset_decay();
-                PoolOf::empty()
+                (PoolOf::empty(), 0)
             }
         };
+        crate::trace::instant(crate::trace::SpanName::WorkspaceCheckout, reused);
         Some(pool)
     }
 
@@ -269,6 +271,7 @@ impl Workspace {
         self.decay(&mut slot, &mut pool, usage);
         slot.checked_out = false;
         slot.pool = Some(Box::new(pool));
+        crate::trace::instant(crate::trace::SpanName::WorkspaceCheckin, 0);
     }
 
     /// One observation of the decay policy: a check-in that used less than
@@ -314,6 +317,7 @@ impl Workspace {
             self.bytes_released
                 .fetch_add(released as u64, Ordering::Relaxed);
             self.decay_events.fetch_add(1, Ordering::Relaxed);
+            crate::trace::instant(crate::trace::SpanName::WorkspaceDecay, released as u64);
         }
         slot.reset_decay();
     }

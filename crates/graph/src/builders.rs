@@ -102,7 +102,12 @@ impl Mcl {
     }
 
     /// Runs the clustering on `adjacency` (square; symmetrised internally).
+    ///
+    /// Runs under a `graph.mcl` trace span; the engine and phase spans it
+    /// encloses inherit the caller's correlation id (see
+    /// [`pb_spgemm::trace`]).
     pub fn run(&self, adjacency: &Csr<f64>) -> MclResult {
+        let _span = pb_spgemm::trace::span(pb_spgemm::trace::SpanName::GraphMcl);
         markov_cluster_impl(adjacency, &self.config)
     }
 }
@@ -156,6 +161,7 @@ impl Bc {
 
     /// Runs the forward/backward sweeps and returns one score per vertex.
     pub fn run<T: pb_sparse::Scalar>(&self, adjacency: &Csr<T>) -> Vec<f64> {
+        let _span = pb_spgemm::trace::span(pb_spgemm::trace::SpanName::GraphBc);
         match &self.sources {
             Some(sources) => {
                 betweenness_centrality_impl(adjacency, sources, self.batch_size, &self.engine)
@@ -192,6 +198,7 @@ impl Apsp {
     /// Returns the all-pairs distance matrix of `weights` (unreachable pairs
     /// are not stored).
     pub fn run(&self, weights: &Csr<f64>) -> Csr<f64> {
+        let _span = pb_spgemm::trace::span(pb_spgemm::trace::SpanName::GraphApsp);
         apsp_minplus_impl(weights, &self.engine)
     }
 }
@@ -234,6 +241,7 @@ impl Bfs {
     /// Runs all searches at once; `levels[k]` belongs to the `k`-th source in
     /// insertion order.
     pub fn run<T: pb_sparse::Scalar>(&self, adjacency: &Csr<T>) -> BfsResult {
+        let _span = pb_spgemm::trace::span(pb_spgemm::trace::SpanName::GraphBfs);
         multi_source_bfs_impl(adjacency, &self.sources, &self.engine)
     }
 }
@@ -261,6 +269,7 @@ impl Triangles {
 
     /// Global triangle count of the simple undirected version of `adjacency`.
     pub fn run<T: pb_sparse::Scalar>(&self, adjacency: &Csr<T>) -> u64 {
+        let _span = pb_spgemm::trace::span(pb_spgemm::trace::SpanName::GraphTriangles);
         count_triangles_impl(adjacency, &self.engine)
     }
 

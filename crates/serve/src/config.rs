@@ -35,6 +35,11 @@ pub const WORKERS_ENV: &str = "PB_SERVE_WORKERS";
 /// Environment variable overriding the maximum protocol line length (MiB).
 pub const MAX_LINE_ENV: &str = "PB_SERVE_MAX_LINE_MB";
 
+/// Environment variable enabling the slow-request log: any request handled
+/// slower than this many milliseconds is reported on stderr together with
+/// its span tree (when tracing is on).  Unset = no slow log.
+pub const SLOW_MS_ENV: &str = "PB_SERVE_SLOW_MS";
+
 /// Configuration of one [`Server`](crate::Server) instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -51,6 +56,9 @@ pub struct ServeConfig {
     /// Longest protocol line accepted before the connection is dropped
     /// with an error (bounds per-connection buffer growth).
     pub max_line_bytes: usize,
+    /// Handling-latency threshold (milliseconds) above which a request is
+    /// logged to stderr with its trace span tree; `None` disables the log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +69,7 @@ impl Default for ServeConfig {
             workers: DEFAULT_WORKERS,
             algorithm: Algorithm::Auto,
             max_line_bytes: DEFAULT_MAX_LINE_MB << 20,
+            slow_ms: None,
         }
     }
 }
@@ -119,6 +128,18 @@ impl ServeConfig {
                 }
             }
         }
+        if let Ok(ms) = std::env::var(SLOW_MS_ENV) {
+            match ms.trim().parse::<u64>() {
+                Ok(n) => config.slow_ms = Some(n),
+                _ => {
+                    return Err(PbError::InvalidEnv {
+                        var: SLOW_MS_ENV,
+                        value: ms,
+                        expected: "a slow-request threshold in milliseconds",
+                    })
+                }
+            }
+        }
         if let Some(alg) = Algorithm::from_env()? {
             config.algorithm = alg;
         }
@@ -154,6 +175,12 @@ impl ServeConfig {
         self.max_line_bytes = bytes.max(1);
         self
     }
+
+    /// Sets the slow-request log threshold in milliseconds (`None` off).
+    pub fn slow_ms(mut self, ms: Option<u64>) -> Self {
+        self.slow_ms = ms;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +195,7 @@ mod tests {
         assert!(c.workers >= 1);
         assert_eq!(c.algorithm, Algorithm::Auto);
         assert_eq!(c.max_line_bytes, DEFAULT_MAX_LINE_MB << 20);
+        assert_eq!(c.slow_ms, None);
     }
 
     #[test]
@@ -177,11 +205,13 @@ mod tests {
             .budget_bytes(1 << 20)
             .workers(4)
             .algorithm(Algorithm::Pb)
-            .max_line_bytes(4096);
+            .max_line_bytes(4096)
+            .slow_ms(Some(250));
         assert_eq!(c.addr, "0.0.0.0:9000");
         assert_eq!(c.budget_bytes, 1 << 20);
         assert_eq!(c.workers, 4);
         assert_eq!(c.algorithm, Algorithm::Pb);
         assert_eq!(c.max_line_bytes, 4096);
+        assert_eq!(c.slow_ms, Some(250));
     }
 }

@@ -1,0 +1,377 @@
+//! A vendored parser for the text exposition format [`metrics::render`]
+//! emits (`# HELP`/`# TYPE` headers, `name{label="v"} value` samples).
+//!
+//! The service's conformance tests and `bench_serve` scrape the `metrics`
+//! op through this parser instead of ad-hoc string matching, so a
+//! formatting regression (a missing header, broken label escaping, a
+//! non-cumulative histogram bucket) fails a structured check with a
+//! pointed message rather than silently corrupting a dashboard.
+//!
+//! [`metrics::render`]: crate::metrics::render
+
+use std::collections::BTreeMap;
+
+/// One sample line: `name{label="value",…} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (family name plus any `_bucket`/`_sum`/`_count`
+    /// histogram suffix).
+    pub name: String,
+    /// Label pairs in source order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition page: samples plus the `# HELP`/`# TYPE` headers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// Every sample line, in source order.
+    pub samples: Vec<Sample>,
+    /// `# HELP` text by family name.
+    pub help: BTreeMap<String, String>,
+    /// `# TYPE` kind (`counter`/`gauge`/`histogram`) by family name.
+    pub types: BTreeMap<String, String>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses one `{label="value",…}` block, unescaping `\\`, `\"` and `\n`.
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = block;
+    loop {
+        rest = rest.trim_start_matches(',');
+        if rest.is_empty() {
+            return Ok(labels);
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{{{block}}}`"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("invalid label name `{key}`"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted value for label `{key}`"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| format!("unterminated value for label `{key}`"))?;
+            match c {
+                '"' => break i,
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "bad escape `\\{}` in label `{key}`",
+                            other.map(|(_, c)| c).unwrap_or(' ')
+                        ))
+                    }
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((key, value));
+        rest = &rest[close + 1..];
+    }
+}
+
+/// The family a sample belongs to for header lookup: histogram series
+/// (`_bucket`/`_sum`/`_count`) resolve to their base name when that base
+/// is declared a histogram.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+impl Exposition {
+    /// Parses a whole exposition page.
+    pub fn parse(text: &str) -> Result<Exposition, String> {
+        let mut page = Exposition::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+            if let Some(comment) = line.strip_prefix('#') {
+                let comment = comment.trim_start();
+                let (keyword, rest) = match comment.split_once(' ') {
+                    Some(split) => split,
+                    None => continue,
+                };
+                let (name, text) = rest
+                    .split_once(' ')
+                    .map(|(n, t)| (n, t.to_string()))
+                    .unwrap_or((rest, String::new()));
+                match keyword {
+                    "HELP" | "TYPE" if !valid_name(name) => {
+                        return Err(fail(format!("{keyword} for invalid name `{name}`")));
+                    }
+                    "HELP" => {
+                        page.help.insert(name.to_string(), text);
+                    }
+                    "TYPE" => {
+                        let kind = text.trim();
+                        if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind)
+                        {
+                            return Err(fail(format!("unknown TYPE `{kind}` for `{name}`")));
+                        }
+                        page.types.insert(name.to_string(), kind.to_string());
+                    }
+                    _ => {} // plain comment
+                }
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (name_part, labels, value_part) = match line.find('{') {
+                Some(open) => {
+                    let close = line
+                        .rfind('}')
+                        .ok_or_else(|| fail("unterminated label block".into()))?;
+                    (
+                        &line[..open],
+                        parse_labels(&line[open + 1..close]).map_err(fail)?,
+                        line[close + 1..].trim(),
+                    )
+                }
+                None => {
+                    let (name, value) = line
+                        .split_once(' ')
+                        .ok_or_else(|| fail("sample without a value".into()))?;
+                    (name, Vec::new(), value.trim())
+                }
+            };
+            if !valid_name(name_part) {
+                return Err(fail(format!("invalid metric name `{name_part}`")));
+            }
+            let value = if value_part == "+Inf" {
+                f64::INFINITY
+            } else {
+                value_part
+                    .parse::<f64>()
+                    .map_err(|_| fail(format!("non-numeric value `{value_part}`")))?
+            };
+            page.samples.push(Sample {
+                name: name_part.to_string(),
+                labels,
+                value,
+            });
+        }
+        Ok(page)
+    }
+
+    /// The value of the sample with this exact name and label subset.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+            .map(|s| s.value)
+    }
+
+    /// Every sample of the named metric.
+    pub fn series(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Names of every `counter`-typed family on the page.
+    pub fn counter_names(&self) -> Vec<&str> {
+        self.types
+            .iter()
+            .filter(|(_, kind)| kind.as_str() == "counter")
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// Structural conformance: every sample belongs to a family with both
+    /// `# HELP` and `# TYPE` headers; counters are non-negative; histogram
+    /// buckets are cumulative, end in `le="+Inf"`, and agree with their
+    /// `_count` series.
+    pub fn check(&self) -> Result<(), String> {
+        for s in &self.samples {
+            let fam = family_of(&s.name, &self.types);
+            if !self.types.contains_key(fam) {
+                return Err(format!("sample `{}` has no # TYPE header", s.name));
+            }
+            if !self.help.contains_key(fam) {
+                return Err(format!("sample `{}` has no # HELP header", s.name));
+            }
+            let kind = self.types[fam].as_str();
+            if (kind == "counter" || kind == "histogram") && s.value < 0.0 {
+                return Err(format!("{kind} `{}` is negative ({})", s.name, s.value));
+            }
+        }
+        // Histogram shape: per label-set (minus `le`), buckets must be
+        // cumulative and reach the `_count` value at `+Inf`.
+        for (fam, kind) in &self.types {
+            if kind != "histogram" {
+                continue;
+            }
+            let buckets = self.series(&format!("{fam}_bucket"));
+            let mut by_key: BTreeMap<String, Vec<&Sample>> = BTreeMap::new();
+            for b in buckets {
+                let key: Vec<String> = b
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                by_key.entry(key.join(",")).or_default().push(b);
+            }
+            for (key, series) in by_key {
+                let mut last = f64::NEG_INFINITY;
+                let mut last_le = f64::NEG_INFINITY;
+                for b in &series {
+                    let le = match b.label("le") {
+                        Some("+Inf") => f64::INFINITY,
+                        Some(le) => le
+                            .parse::<f64>()
+                            .map_err(|_| format!("{fam}: bad le `{le}`"))?,
+                        None => return Err(format!("{fam}_bucket without le ({key})")),
+                    };
+                    if le <= last_le {
+                        return Err(format!("{fam}{{{key}}}: le bounds not ascending"));
+                    }
+                    if b.value < last {
+                        return Err(format!("{fam}{{{key}}}: buckets not cumulative"));
+                    }
+                    (last, last_le) = (b.value, le);
+                }
+                let tail = series.last().unwrap();
+                if tail.label("le") != Some("+Inf") {
+                    return Err(format!("{fam}{{{key}}}: missing +Inf bucket"));
+                }
+                let count_labels: Vec<(&str, &str)> = tail
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let count = self
+                    .value(&format!("{fam}_count"), &count_labels)
+                    .ok_or_else(|| format!("{fam}{{{key}}}: missing _count"))?;
+                if (tail.value - count).abs() > f64::EPSILON {
+                    return Err(format!(
+                        "{fam}{{{key}}}: +Inf bucket {} != count {count}",
+                        tail.value
+                    ));
+                }
+                if self.value(&format!("{fam}_sum"), &count_labels).is_none() {
+                    return Err(format!("{fam}{{{key}}}: missing _sum"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::metrics::{render, OpLatencies, ServerCounters};
+    use pb_spgemm::Algorithm;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn parses_samples_headers_and_escapes() {
+        let page = Exposition::parse(
+            "# HELP x_total Things.\n\
+             # TYPE x_total counter\n\
+             x_total 3\n\
+             # HELP y A gauge.\n\
+             # TYPE y gauge\n\
+             y{isa=\"avx2\",note=\"a\\\"b\\\\c\\nd\"} 1.5\n",
+        )
+        .unwrap();
+        assert_eq!(page.value("x_total", &[]), Some(3.0));
+        assert_eq!(page.value("y", &[("isa", "avx2")]), Some(1.5));
+        let y = &page.series("y")[0];
+        assert_eq!(y.label("note"), Some("a\"b\\c\nd"));
+        assert_eq!(page.types["x_total"], "counter");
+        assert_eq!(page.help["y"], "A gauge.");
+        assert_eq!(page.counter_names(), vec!["x_total"]);
+        page.check().unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_pages() {
+        assert!(Exposition::parse("1bad_name 3\n").is_err());
+        assert!(Exposition::parse("x notanumber\n").is_err());
+        assert!(Exposition::parse("x{k=\"unterminated} 1\n").is_err());
+        assert!(Exposition::parse("# TYPE x rainbow\n").is_err());
+        assert!(Exposition::parse("x{k=v} 1\n").is_err());
+    }
+
+    #[test]
+    fn check_catches_structural_violations() {
+        // Sample without headers.
+        let page = Exposition::parse("x_total 3\n").unwrap();
+        assert!(page.check().unwrap_err().contains("TYPE"));
+        // Non-cumulative histogram.
+        let page = Exposition::parse(
+            "# HELP h H.\n# TYPE h histogram\n\
+             h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 3\n\
+             h_sum 1\nh_count 3\n",
+        )
+        .unwrap();
+        assert!(page.check().unwrap_err().contains("cumulative"));
+        // +Inf bucket disagreeing with _count.
+        let page = Exposition::parse(
+            "# HELP h H.\n# TYPE h histogram\n\
+             h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+        )
+        .unwrap();
+        assert!(page.check().unwrap_err().contains("count"));
+    }
+
+    #[test]
+    fn rendered_metrics_page_conforms() {
+        let counters = ServerCounters::default();
+        counters.requests.fetch_add(5, Ordering::Relaxed);
+        counters.record_batch(3);
+        let latencies = OpLatencies::default();
+        latencies.record("multiply", 1_500_000);
+        latencies.record("multiply", 40_000_000);
+        latencies.record("metrics", 12_000);
+        let catalog = Catalog::new(1 << 20, Algorithm::Pb);
+        let text = render(&counters, &latencies, &catalog);
+        let page = Exposition::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        page.check().unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(page.value("pb_serve_requests_total", &[]), Some(5.0));
+        assert_eq!(
+            page.value("pb_serve_request_seconds_count", &[("op", "multiply")]),
+            Some(2.0)
+        );
+        assert!(page.counter_names().contains(&"pb_serve_requests_total"));
+    }
+}

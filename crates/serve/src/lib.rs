@@ -17,7 +17,13 @@
 //!   graph crate's builder API, **batching same-key multiply requests** so
 //!   one engine call (one workspace lease) answers all of them;
 //! * a `/metrics`-style text endpoint ([`metrics`]) exposing `PhaseStats`,
-//!   planner and ISA telemetry plus catalog occupancy.
+//!   planner and ISA telemetry, per-op request-latency histograms and
+//!   catalog occupancy, with a vendored [`exposition`] parser to consume
+//!   it;
+//! * end-to-end request tracing: every request carries a correlation id
+//!   through `accept → parse → queue → handle → respond` (and down into
+//!   the engine's phase spans), exported as Chrome trace-event JSON by the
+//!   `trace` op and surfaced by the `PB_SERVE_SLOW_MS` slow-request log.
 //!
 //! ```no_run
 //! use pb_serve::{ServeConfig, Server};
@@ -33,12 +39,14 @@
 
 pub mod catalog;
 pub mod config;
+pub mod exposition;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use catalog::{Catalog, Entry, EntryInfo};
-pub use config::{ServeConfig, ADDR_ENV, BUDGET_ENV, WORKERS_ENV};
-pub use metrics::ServerCounters;
+pub use config::{ServeConfig, ADDR_ENV, BUDGET_ENV, SLOW_MS_ENV, WORKERS_ENV};
+pub use exposition::Exposition;
+pub use metrics::{OpLatencies, ServerCounters, OP_NAMES};
 pub use protocol::{fingerprint, parse_request, GenKind, Request};
 pub use server::{Server, BATCH_LIMIT};

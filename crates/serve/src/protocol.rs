@@ -22,6 +22,7 @@
 //! | `evict`    | `name`                                                   |
 //! | `list`     | —                                                        |
 //! | `metrics`  | —                                                        |
+//! | `trace`    | `enable?: bool`                                          |
 //! | `shutdown` | —                                                        |
 //!
 //! Every op additionally accepts `id` (any JSON value, echoed back).
@@ -112,6 +113,13 @@ pub enum Request {
     List,
     /// Render the telemetry text endpoint.
     Metrics,
+    /// Snapshot the process trace as Chrome trace-event JSON, optionally
+    /// toggling the tracer first.
+    Trace {
+        /// `Some(true)`/`Some(false)` flips the tracer before snapshotting;
+        /// `None` leaves it as configured (`PB_TRACE`).
+        enable: Option<bool>,
+    },
     /// Stop the server.
     Shutdown,
 }
@@ -126,6 +134,26 @@ pub enum GenKind {
 }
 
 impl Request {
+    /// The wire name of this request's op — the `op` label on the server's
+    /// per-op latency histograms, so every label value is a fixed, known
+    /// string (never client-controlled text).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Store { .. } => "store",
+            Request::Gen { .. } => "gen",
+            Request::Multiply { .. } => "multiply",
+            Request::Mcl { .. } => "mcl",
+            Request::Bc { .. } => "bc",
+            Request::Apsp { .. } => "apsp",
+            Request::Evict { .. } => "evict",
+            Request::List => "list",
+            Request::Metrics => "metrics",
+            Request::Trace { .. } => "trace",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
     /// Batching identity of a multiply: requests with equal keys produce
     /// bit-identical products, so the dispatcher computes them once under a
     /// single workspace lease.  `None` for every other op.
@@ -294,6 +322,13 @@ fn request_of(v: &Value) -> Result<Request, String> {
         }),
         "list" => Ok(Request::List),
         "metrics" => Ok(Request::Metrics),
+        "trace" => {
+            let enable = match v.get("enable") {
+                None => None,
+                Some(b) => Some(b.as_bool().ok_or("non-boolean field `enable`")?),
+            };
+            Ok(Request::Trace { enable })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op `{other}`")),
     }
@@ -383,6 +418,14 @@ mod tests {
         assert_eq!(parse_request(r#"{"op":"ping"}"#), Ok(Request::Ping));
         assert_eq!(parse_request(r#"{"op":"list"}"#), Ok(Request::List));
         assert_eq!(parse_request(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
+        assert_eq!(
+            parse_request(r#"{"op":"trace"}"#),
+            Ok(Request::Trace { enable: None })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"trace","enable":true}"#),
+            Ok(Request::Trace { enable: Some(true) })
+        );
         assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
         assert_eq!(
             parse_request(r#"{"op":"store","name":"a","rows":2,"cols":2,"entries":[[0,1,2.5]]}"#),
@@ -457,6 +500,25 @@ mod tests {
             parse_request(r#"{"op":"store","name":"a","rows":2,"cols":2,"entries":[[0,1]]}"#)
                 .is_err()
         );
+        assert!(parse_request(r#"{"op":"trace","enable":"yes"}"#)
+            .unwrap_err()
+            .contains("`enable`"));
+    }
+
+    #[test]
+    fn every_op_has_a_wire_name() {
+        for (line, name) in [
+            (r#"{"op":"ping"}"#, "ping"),
+            (r#"{"op":"list"}"#, "list"),
+            (r#"{"op":"metrics"}"#, "metrics"),
+            (r#"{"op":"trace"}"#, "trace"),
+            (r#"{"op":"shutdown"}"#, "shutdown"),
+            (r#"{"op":"apsp","name":"g"}"#, "apsp"),
+            (r#"{"op":"evict","name":"g"}"#, "evict"),
+            (r#"{"op":"multiply","a":"x","b":"y"}"#, "multiply"),
+        ] {
+            assert_eq!(parse_request(line).unwrap().op_name(), name);
+        }
     }
 
     #[test]

@@ -16,19 +16,20 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pb_sparse::semiring::PlusTimes;
 use pb_sparse::{Coo, Csr};
+use pb_spgemm::trace::{self, SpanName};
 use pb_spgemm::PbError;
 use serde::Value;
 
 use crate::catalog::{matrix_bytes, Catalog};
 use crate::config::ServeConfig;
-use crate::metrics::{render, ServerCounters};
+use crate::metrics::{render, OpLatencies, ServerCounters};
 use crate::protocol::{
     entries_value, error_line, fingerprint, object, ok_line, parse_line, GenKind, Request,
     MAX_RETURNED_ENTRIES,
@@ -46,6 +47,14 @@ struct Job {
     request: Request,
     id: Option<Value>,
     reply: Arc<Mutex<TcpStream>>,
+    /// Trace correlation id: derived from the protocol `id` when the
+    /// request carried one, otherwise a server-assigned serial.  Stamped on
+    /// every span the request's handling emits, so a Chrome trace (or the
+    /// slow-request log) can isolate one request's work across threads.
+    corr: u64,
+    /// [`trace::now_nanos`] at enqueue time; the popping worker turns the
+    /// difference into a `serve.queue_wait` completion span.
+    enqueued_nanos: u64,
 }
 
 impl std::fmt::Debug for Job {
@@ -53,7 +62,31 @@ impl std::fmt::Debug for Job {
         f.debug_struct("Job")
             .field("request", &self.request)
             .field("id", &self.id)
+            .field("corr", &self.corr)
             .finish()
+    }
+}
+
+/// Derives a trace correlation id from the client's protocol `id`: integer
+/// ids map to themselves (so a client-chosen `"id": 7` is findable as
+/// `corr=7` in the trace), anything else hashes, and id-less requests get a
+/// server serial with the top bit set to keep it out of the client space.
+fn corr_of(id: Option<&Value>) -> u64 {
+    static SERIAL: AtomicU64 = AtomicU64::new(1);
+    match id {
+        Some(Value::UInt(n)) => *n,
+        Some(v) => {
+            const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let text = serde_json::to_string(v).unwrap_or_default();
+            let mut h = OFFSET;
+            for byte in text.bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        None => SERIAL.fetch_add(1, Ordering::Relaxed) | (1 << 63),
     }
 }
 
@@ -62,9 +95,11 @@ impl std::fmt::Debug for Job {
 struct State {
     catalog: Mutex<Catalog>,
     counters: ServerCounters,
+    latency: OpLatencies,
     queue: miniloop::TaskQueue<Job>,
     shutdown: AtomicBool,
     max_line_bytes: usize,
+    slow_ms: Option<u64>,
 }
 
 /// A running server; dropping it requests shutdown.
@@ -86,9 +121,11 @@ impl Server {
         let state = Arc::new(State {
             catalog: Mutex::new(Catalog::new(config.budget_bytes, config.algorithm)),
             counters: ServerCounters::default(),
+            latency: OpLatencies::default(),
             queue: miniloop::TaskQueue::new(),
             shutdown: AtomicBool::new(false),
             max_line_bytes: config.max_line_bytes,
+            slow_ms: config.slow_ms,
         });
         let io = {
             let state = Arc::clone(&state);
@@ -192,6 +229,7 @@ fn accept_all(listener: &TcpListener, state: &Arc<State>, conns: &mut Vec<Option
         match listener.accept() {
             Ok((stream, _)) => {
                 state.counters.connections.fetch_add(1, Ordering::Relaxed);
+                trace::instant(SpanName::ServeAccept, 0);
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
@@ -280,14 +318,20 @@ fn enqueue_lines(state: &Arc<State>, conn: &mut Conn) {
         if line.is_empty() {
             continue;
         }
+        let parse_span = trace::span(SpanName::ServeParse);
         let parsed = parse_line(line);
+        drop(parse_span);
+        let corr = corr_of(parsed.id.as_ref());
         match parsed.request {
             Ok(request) => state.queue.push(Job {
                 request,
                 id: parsed.id,
                 reply: Arc::clone(&conn.reply),
+                corr,
+                enqueued_nanos: trace::now_nanos(),
             }),
             Err(msg) => {
+                let _corr = trace::corr_scope(corr);
                 state.counters.requests.fetch_add(1, Ordering::Relaxed);
                 state.counters.errors.fetch_add(1, Ordering::Relaxed);
                 write_line(&conn.reply, &error_line(&msg, parsed.id.as_ref()));
@@ -327,8 +371,26 @@ fn worker_loop(state: &Arc<State>) {
                 // accepting connections it can never answer.
                 let reply = Arc::clone(&job.reply);
                 let id = job.id.clone();
+                let op = job.request.op_name();
+                let corr = job.corr;
+                // Every span below (and everything the handler calls into:
+                // engine phases, planner, workspace, graph builders) carries
+                // this request's correlation id.
+                let _corr = trace::corr_scope(corr);
+                let wait = trace::now_nanos().saturating_sub(job.enqueued_nanos);
+                trace::complete(SpanName::ServeQueueWait, wait);
+                let started = Instant::now();
+                let span = trace::span(SpanName::ServeRequest);
                 let caught =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(state, job)));
+                drop(span);
+                let elapsed = started.elapsed();
+                state.latency.record(op, elapsed.as_nanos() as u64);
+                if let Some(slow_ms) = state.slow_ms {
+                    if elapsed.as_millis() as u64 >= slow_ms {
+                        log_slow_request(op, corr, elapsed);
+                    }
+                }
                 if caught.is_err() {
                     respond_err(
                         state,
@@ -347,6 +409,25 @@ fn worker_loop(state: &Arc<State>) {
     }
 }
 
+/// Reports a request slower than `PB_SERVE_SLOW_MS` on stderr; when the
+/// tracer is on, the request's span tree shows where the time went.
+fn log_slow_request(op: &str, corr: u64, elapsed: Duration) {
+    let mut report = format!(
+        "pb-serve: slow request op={op} corr={corr} took {:.3}ms",
+        elapsed.as_secs_f64() * 1e3
+    );
+    if trace::enabled() {
+        let tree = trace::render_span_tree(&trace::snapshot(), corr);
+        if !tree.is_empty() {
+            report.push('\n');
+            report.push_str(&tree);
+        }
+    } else {
+        report.push_str(" (set PB_TRACE=1 for a span tree)");
+    }
+    eprintln!("{report}");
+}
+
 fn respond_ok(
     state: &State,
     reply: &Arc<Mutex<TcpStream>>,
@@ -354,12 +435,14 @@ fn respond_ok(
     fields: Vec<(&str, Value)>,
 ) {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let _span = trace::span(SpanName::ServeRespond);
     write_line(reply, &ok_line(fields, id));
 }
 
 fn respond_err(state: &State, reply: &Arc<Mutex<TcpStream>>, id: Option<&Value>, msg: &str) {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
     state.counters.errors.fetch_add(1, Ordering::Relaxed);
+    let _span = trace::span(SpanName::ServeRespond);
     write_line(reply, &error_line(msg, id));
 }
 
@@ -615,9 +698,27 @@ fn handle(state: &Arc<State>, job: Job) {
         Request::Metrics => {
             let text = {
                 let catalog = state.catalog.lock().expect("catalog lock");
-                render(&state.counters, &catalog)
+                render(&state.counters, &state.latency, &catalog)
             };
             respond_ok(state, &job.reply, id, vec![("text", Value::Str(text))]);
+        }
+        Request::Trace { enable } => {
+            if let Some(on) = enable {
+                trace::set_enabled(on);
+            }
+            let snapshot = trace::snapshot();
+            let dropped: u64 = snapshot.threads.iter().map(|t| t.dropped).sum();
+            respond_ok(
+                state,
+                &job.reply,
+                id,
+                vec![
+                    ("enabled", Value::Bool(trace::enabled())),
+                    ("events", Value::UInt(snapshot.len() as u64)),
+                    ("dropped", Value::UInt(dropped)),
+                    ("chrome", Value::Str(snapshot.to_chrome_json())),
+                ],
+            );
         }
         Request::Shutdown => {
             respond_ok(
@@ -689,8 +790,11 @@ fn drain_batchable(
 /// one engine call, one workspace lease — and answers every member.
 fn handle_multiply_batch(state: &Arc<State>, job: Job) {
     let key = job.request.batch_key();
+    let join_span = trace::span(SpanName::ServeBatchJoin);
     let mut batch = vec![job];
     batch.extend(drain_batchable(&state.queue, &key, BATCH_LIMIT - 1));
+    drop(join_span);
+    trace::instant(SpanName::ServeBatchJoin, batch.len() as u64);
     state.counters.record_batch(batch.len());
 
     let Some(Request::Multiply {
@@ -735,11 +839,22 @@ fn handle_multiply_batch(state: &Arc<State>, job: Job) {
         Some(alg) => ea.engine.clone().algorithm(alg),
         None => ea.engine.clone(),
     };
+    // Batched followers never pass back through `worker_loop`, so their
+    // latency is recorded here, covering the shared engine call.  The
+    // popped job (index 0) is recorded by its worker as usual.
+    let followers_started = Instant::now();
+    let engine_span = trace::span_with_arg(SpanName::ServeEngineCall, batch.len() as u64);
     let (product, profile) = engine.multiply_with_profile::<PlusTimes<f64>>(&ea.matrix, &eb.matrix);
+    drop(engine_span);
     let print = fingerprint(&product);
     let batch_size = batch.len();
 
-    for j in &batch {
+    for (member, j) in batch.iter().enumerate() {
+        if member > 0 {
+            state
+                .latency
+                .record("multiply", followers_started.elapsed().as_nanos() as u64);
+        }
         let Request::Multiply {
             store_as,
             want_entries,
@@ -827,7 +942,26 @@ mod tests {
             request,
             id: None,
             reply: Arc::clone(reply),
+            corr: corr_of(None),
+            enqueued_nanos: trace::now_nanos(),
         }
+    }
+
+    #[test]
+    fn corr_ids_are_stable_and_distinct() {
+        // Integer protocol ids are used verbatim.
+        assert_eq!(corr_of(Some(&Value::UInt(7))), 7);
+        // Other JSON ids hash deterministically.
+        let s = Value::Str("req-1".into());
+        assert_eq!(corr_of(Some(&s)), corr_of(Some(&s)));
+        assert_ne!(
+            corr_of(Some(&s)),
+            corr_of(Some(&Value::Str("req-2".into())))
+        );
+        // Id-less requests get distinct serials outside the client space.
+        let (a, b) = (corr_of(None), corr_of(None));
+        assert_ne!(a, b);
+        assert!(a & (1 << 63) != 0 && b & (1 << 63) != 0);
     }
 
     #[test]

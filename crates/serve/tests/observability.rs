@@ -1,0 +1,180 @@
+//! End-to-end observability checks against a live in-process server: the
+//! metrics page conforms to the text exposition grammar and its counters
+//! are monotonic across scrapes, and the `trace` op exports a valid Chrome
+//! trace covering the whole request path.
+//!
+//! Everything runs in ONE test: the tracer is process-global state, and
+//! the default Rust harness runs `#[test]` functions concurrently.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use pb_serve::{Exposition, ServeConfig, Server};
+use pb_spgemm::trace;
+use serde::Value;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn call(&mut self, request: &str) -> Value {
+        self.writer
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        serde_json::from_str(&line).expect("response JSON")
+    }
+}
+
+fn ok(v: &Value) -> bool {
+    v.get("ok").and_then(Value::as_bool) == Some(true)
+}
+
+fn scrape(client: &mut Client) -> Exposition {
+    let r = client.call(r#"{"op":"metrics"}"#);
+    assert!(ok(&r), "{r:?}");
+    let text = r.get("text").and_then(Value::as_str).expect("metrics text");
+    let page = Exposition::parse(text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    page.check().unwrap_or_else(|e| panic!("{e}\n{text}"));
+    page
+}
+
+/// Scrapes until `pred` holds: a worker records its latency sample *after*
+/// writing the response, so a scrape racing right behind a response can
+/// miss the last request's bookkeeping for an instant.
+fn scrape_when(client: &mut Client, pred: impl Fn(&Exposition) -> bool) -> Exposition {
+    for _ in 0..200 {
+        let page = scrape(client);
+        if pred(&page) {
+            return page;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("metrics never reached the expected state");
+}
+
+#[test]
+fn metrics_conform_and_traces_cover_the_request_path() {
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .budget_bytes(64 << 20),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr());
+
+    let r =
+        client.call(r#"{"op":"gen","name":"g","kind":"er","scale":6,"edge_factor":4,"seed":3}"#);
+    assert!(ok(&r), "{r:?}");
+    for _ in 0..3 {
+        let r = client.call(r#"{"op":"multiply","a":"g","b":"g"}"#);
+        assert!(ok(&r), "{r:?}");
+    }
+
+    // --- Scrape 1: grammar + expected families. --------------------------
+    let first = scrape_when(&mut client, |page| {
+        page.value("pb_serve_request_seconds_count", &[("op", "multiply")])
+            .is_some_and(|count| count >= 3.0)
+    });
+    assert!(
+        first.value("pb_serve_requests_total", &[]).unwrap() >= 4.0,
+        "gen + 3 multiplies must be counted"
+    );
+    assert!(
+        first
+            .value(
+                "pb_serve_request_seconds_bucket",
+                &[("op", "multiply"), ("le", "+Inf")]
+            )
+            .is_some(),
+        "histogram must expose an +Inf bucket"
+    );
+    for family in ["pb_serve_requests_total", "pb_serve_request_seconds"] {
+        assert!(
+            first.types.contains_key(family),
+            "missing TYPE for {family}"
+        );
+        assert!(first.help.contains_key(family), "missing HELP for {family}");
+    }
+
+    // --- Scrape 2: every counter family is monotonic. --------------------
+    for _ in 0..2 {
+        let r = client.call(r#"{"op":"multiply","a":"g","b":"g"}"#);
+        assert!(ok(&r), "{r:?}");
+    }
+    let threshold = first
+        .value("pb_serve_request_seconds_count", &[("op", "multiply")])
+        .unwrap()
+        + 2.0;
+    let second = scrape_when(&mut client, |page| {
+        page.value("pb_serve_request_seconds_count", &[("op", "multiply")])
+            .is_some_and(|count| count >= threshold)
+    });
+    for name in first.counter_names() {
+        for sample in first.series(name) {
+            let labels: Vec<(&str, &str)> = sample
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let later = second
+                .value(name, &labels)
+                .unwrap_or_else(|| panic!("counter {name} vanished between scrapes"));
+            assert!(
+                later >= sample.value,
+                "counter {name}{labels:?} went backwards: {} -> {later}",
+                sample.value
+            );
+        }
+    }
+    // --- Trace op: enable, run traffic, export, validate. ----------------
+    let r = client.call(r#"{"op":"trace","enable":true,"id":900}"#);
+    assert!(ok(&r), "{r:?}");
+    assert_eq!(r.get("enabled").and_then(Value::as_bool), Some(true));
+    // Force the PB pipeline so the phase spans appear regardless of what
+    // the planner would pick for a graph this small.
+    let r = client.call(r#"{"op":"multiply","a":"g","b":"g","algorithm":"pb","id":901}"#);
+    assert!(ok(&r), "{r:?}");
+    let r = client.call(r#"{"op":"trace","enable":false,"id":902}"#);
+    assert!(ok(&r), "{r:?}");
+    assert_eq!(r.get("enabled").and_then(Value::as_bool), Some(false));
+    assert!(r.get("events").and_then(Value::as_u64).unwrap() > 0);
+    let chrome = r
+        .get("chrome")
+        .and_then(Value::as_str)
+        .expect("chrome JSON");
+    let summary = trace::validate_chrome_trace(chrome)
+        .unwrap_or_else(|e| panic!("exported trace invalid: {e}"));
+    assert!(summary.events > 0 && summary.threads >= 1);
+    // The request path and the engine's phases both appear, and the traced
+    // multiply is findable by its protocol id (corr=901).
+    for needle in [
+        "serve.queue_wait",
+        "serve.request",
+        "serve.engine_call",
+        "serve.respond",
+        "phase.expand",
+        "\"corr\":901",
+    ] {
+        assert!(chrome.contains(needle), "trace missing {needle}");
+    }
+
+    server.shutdown();
+    server.join();
+}
