@@ -164,6 +164,10 @@ pub struct PbBaseline {
     /// Workspace amortisation on repeated same-shape multiplies (schema
     /// v3): the counters `--verify` gates reuse on.
     pub workspace: WorkspaceReuseReport,
+    /// Out-of-core tiled multiply smoke (schema v7): the baseline workload
+    /// squared under a starvation budget that forces spills, gated on
+    /// bit-identity to the resident product and on the resident-bytes bound.
+    pub tiled: TiledOocReport,
     /// Autotuning convergence report (`--tune` runs only).
     pub tune: Option<TuneReport>,
     /// Planner regret sweep (`--planner` runs only, schema v4): every
@@ -200,6 +204,76 @@ pub struct WorkspaceReuseReport {
     /// zero-allocation steady state above proves the *dormant* tracer is
     /// free; `--verify` rejects runs where tracing was left on.
     pub tracer_off: bool,
+}
+
+/// The out-of-core tiled multiply smoke: the baseline workload squared
+/// through [`SpGemm::multiply_tiled`](pb_spgemm::SpGemm::multiply_tiled)
+/// under a byte budget deliberately too small for even one tile, so every
+/// tile round-trips through the scratch file.  Unit-valued inputs make the
+/// resident comparison *exact* — any bit difference is a real accumulation
+/// bug, not float reassociation.
+#[derive(Debug, Clone, Serialize)]
+pub struct TiledOocReport {
+    /// The tile grid (row blocks × inner blocks × column blocks).
+    pub grid: (usize, usize, usize),
+    /// The resident byte budget the run was starved to.
+    pub budget_bytes: u64,
+    /// Tile-pair multiplies executed.
+    pub tiles_processed: u64,
+    /// Bytes written to the scratch file (`--verify` fails when 0: the
+    /// starvation budget no longer exercises the spill path).
+    pub spill_bytes: u64,
+    /// Tiles evicted to scratch at least once.
+    pub spilled_tiles: u64,
+    /// Tile fetches served from scratch rather than memory.
+    pub spill_fetches: u64,
+    /// Peak resident tile bytes observed by the store.
+    pub resident_high_water: u64,
+    /// Largest single tile — the store must admit one tile even over
+    /// budget, so the bound below carries this slack.
+    pub max_tile_bytes: u64,
+    /// Whether `resident_high_water <= budget_bytes + max_tile_bytes`.
+    pub within_budget_slack: bool,
+    /// Whether the tiled product matched the resident engine's product
+    /// bit-for-bit (`rowptr`/`colidx`/`values`) on unit values.
+    pub bit_identical_to_resident: bool,
+}
+
+/// Starvation budget of the tiled smoke: 64 KiB holds no tile of any
+/// baseline-scale product, so spills are guaranteed.
+pub const TILED_SMOKE_BUDGET_BYTES: u64 = 64 * 1024;
+
+/// Tile grid of the tiled smoke (fixed rather than derived so the committed
+/// numbers are comparable across hosts and budgets).
+pub const TILED_SMOKE_GRID: (usize, usize, usize) = (4, 4, 4);
+
+/// Runs the out-of-core tiled smoke on `w`: squares a unit-valued copy both
+/// resident and tiled-under-starvation, and reports the spill telemetry
+/// plus the bit-identity verdict.
+pub fn run_tiled_ooc(w: &Workload) -> TiledOocReport {
+    let unit = w.a.map_values(|_| 1.0f64);
+    let engine = pb_spgemm::SpGemm::pb();
+    let resident = engine.multiply(&unit, &unit);
+    let (p, q, r) = TILED_SMOKE_GRID;
+    let cfg = pb_spgemm::TiledConfig::new(TILED_SMOKE_BUDGET_BYTES).with_grid(p, q, r);
+    let (tiled, report) = engine
+        .multiply_tiled(&unit, &unit, &cfg)
+        .expect("tiled smoke multiply");
+    let bit_identical = resident.rowptr() == tiled.rowptr()
+        && resident.colidx() == tiled.colidx()
+        && resident.values() == tiled.values();
+    TiledOocReport {
+        grid: report.grid,
+        budget_bytes: report.budget_bytes,
+        tiles_processed: report.tiles_processed,
+        spill_bytes: report.spill_bytes,
+        spilled_tiles: report.spilled_tiles,
+        spill_fetches: report.spill_fetches,
+        resident_high_water: report.resident_high_water,
+        max_tile_bytes: report.max_tile_bytes,
+        within_budget_slack: report.within_budget_slack(),
+        bit_identical_to_resident: bit_identical,
+    }
 }
 
 /// Runs the repeated-multiply workspace smoke on `w` (squaring it
@@ -334,11 +408,12 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
         .fold(f64::MIN, f64::max);
 
     PbBaseline {
-        // v5: every sweep point gained an `isa` section (SIMD dispatch
-        // level plus kernel counters proving which path ran); v4 added the
-        // top-level `planner` regret report (`--planner` runs); v3 the
-        // per-point workspace telemetry and the top-level `workspace`
-        // reuse report; v2 the per-point `numa` section.
+        // v7: the top-level `tiled` out-of-core smoke; v5: every sweep
+        // point gained an `isa` section (SIMD dispatch level plus kernel
+        // counters proving which path ran); v4 added the top-level
+        // `planner` regret report (`--planner` runs); v3 the per-point
+        // workspace telemetry and the top-level `workspace` reuse report;
+        // v2 the per-point `numa` section.
         schema: SCHEMA_TAG,
         op: "spgemm_square",
         workload: w.name.clone(),
@@ -353,14 +428,17 @@ pub fn run_pb_baseline_on(w: &Workload, max_threads: usize, reps: usize) -> PbBa
         sweep,
         best_speedup,
         workspace: run_workspace_reuse(w, WORKSPACE_SMOKE_MULTIPLIES),
+        tiled: run_tiled_ooc(w),
         tune: None,
         planner: None,
     }
 }
 
 /// Current baseline schema tag (shared with `bench_pb --verify`/`--gate`).
-/// v6 added `workspace.tracer_off` — the dormant-tracer zero-alloc proof.
-pub const SCHEMA_TAG: &str = "pb-bench-baseline/v6";
+/// v7 added the `tiled` out-of-core smoke (spill telemetry gated on
+/// bit-identity and the resident-bytes bound); v6 added
+/// `workspace.tracer_off` — the dormant-tracer zero-alloc proof.
+pub const SCHEMA_TAG: &str = "pb-bench-baseline/v7";
 
 /// Multiplies of the repeated-multiply workspace smoke: enough that the
 /// last one is unambiguously steady-state (the arena is populated by the
@@ -490,6 +568,18 @@ mod tests {
         for p in &doc.sweep {
             assert_eq!(p.telemetry.isa.isa, pb_spgemm::simd::active().name());
         }
+        // The tiled out-of-core smoke (schema v7) rides along, spills under
+        // the starvation budget, and reproduces the resident product.
+        assert!(json.contains("\"tiled\""));
+        assert!(json.contains("bit_identical_to_resident"));
+        let t = &doc.tiled;
+        assert_eq!(t.grid, TILED_SMOKE_GRID);
+        assert_eq!(t.budget_bytes, TILED_SMOKE_BUDGET_BYTES);
+        assert!(t.tiles_processed >= 1);
+        assert!(t.spill_bytes > 0, "starvation budget did not spill: {t:?}");
+        assert!(t.spill_fetches > 0);
+        assert!(t.within_budget_slack, "{t:?}");
+        assert!(t.bit_identical_to_resident, "{t:?}");
         let wsr = &doc.workspace;
         assert!(wsr.multiplies >= 2);
         assert!(wsr.first_bytes_allocated > 0);

@@ -23,8 +23,8 @@
 //!   section) to the JSON.  `--verify`/`--gate` then fail if any point's
 //!   calibrated pick costs more than 25% over best-in-hindsight.
 //! * `--verify` — after writing, re-read the file, parse it, check it
-//!   against the `pb-bench-baseline/v6` schema (including the per-point
-//!   `numa`, `workspace` and `isa` sections) and generous per-phase sanity
+//!   against the `pb-bench-baseline/v7` schema (including the per-point
+//!   `numa`, `workspace`, `isa` and top-level `tiled` sections) and generous per-phase sanity
 //!   ceilings, and assert PB-SpGEMM's product still matches the reference
 //!   oracle.  On multi-domain points the measured domain-local flush
 //!   fraction must clear [`NUMA_LOCAL_FLUSH_FLOOR`]; the repeated-multiply
@@ -146,6 +146,20 @@ fn main() {
         ]);
     }
     print_table(&table);
+    let t = &doc.tiled;
+    println!(
+        "out-of-core smoke: {}x{}x{} grid under {} KiB, {} tile multiplies, \
+         {} B spilled over {} tiles, resident high water {} B, bit-identical: {}",
+        t.grid.0,
+        t.grid.1,
+        t.grid.2,
+        t.budget_bytes / 1024,
+        t.tiles_processed,
+        t.spill_bytes,
+        t.spilled_tiles,
+        t.resident_high_water,
+        t.bit_identical_to_resident,
+    );
 
     if tune {
         let report = run_autotune(&w, 1, TUNE_MAX_ITERS);
@@ -339,6 +353,7 @@ fn check_document(doc: &Value, path: &str) {
         "sweep",
         "best_speedup",
         "workspace",
+        "tiled",
         "planner",
     ] {
         assert!(
@@ -567,6 +582,47 @@ fn check_document(doc: &Value, path: &str) {
         Some(true),
         "{path}: the workspace smoke ran with tracing enabled — the zero-alloc \
          gate must measure the dormant-tracer configuration"
+    );
+
+    // --- Tiled out-of-core smoke (schema v7): the starvation budget must
+    //     actually spill, the store must honour its resident bound (budget
+    //     plus one tile's slack), and the tiled product must be bit-identical
+    //     to the resident engine's on the unit-valued workload.
+    let tiled = doc.get("tiled").expect("tiled report");
+    let tiled_u64 = |key: &str| {
+        tiled
+            .get(key)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("{path}: tiled section missing {key}"))
+    };
+    assert!(
+        tiled_u64("tiles_processed") >= 1,
+        "{path}: tiled smoke processed no tiles"
+    );
+    assert!(
+        tiled_u64("spill_bytes") > 0,
+        "{path}: tiled smoke never spilled — the starvation budget no longer \
+         exercises the out-of-core path"
+    );
+    assert!(
+        tiled_u64("spill_fetches") > 0,
+        "{path}: tiled smoke never read a tile back from scratch"
+    );
+    assert!(
+        tiled_u64("resident_high_water") <= tiled_u64("budget_bytes") + tiled_u64("max_tile_bytes"),
+        "{path}: tiled resident high water exceeds budget + one tile's slack"
+    );
+    assert_eq!(
+        tiled.get("within_budget_slack").and_then(Value::as_bool),
+        Some(true),
+        "{path}: tiled smoke breached its resident-bytes bound"
+    );
+    assert_eq!(
+        tiled
+            .get("bit_identical_to_resident")
+            .and_then(Value::as_bool),
+        Some(true),
+        "{path}: tiled product no longer matches the resident engine bit-for-bit"
     );
 
     // --- Planner regret report (schema v4, `--planner` runs): every corpus

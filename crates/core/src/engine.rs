@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use pb_baseline::{Baseline, Kernel};
+use pb_sparse::binfmt::BinaryScalar;
 use pb_sparse::ops::mask_by_pattern;
 use pb_sparse::semiring::{Numeric, PlusTimes, Semiring};
 use pb_sparse::{reference, Csc, Csr, Scalar};
@@ -39,6 +40,7 @@ use crate::config::PbConfig;
 use crate::error::PbError;
 use crate::planner::{PlannedKernel, Planner, Signals};
 use crate::profile::{PhaseTimings, SpGemmProfile};
+use crate::tiled::{TiledConfig, TiledReport};
 use crate::workspace::Workspace;
 
 /// Environment variable selecting the default algorithm of
@@ -469,6 +471,36 @@ impl SpGemm {
     pub fn multiply_csc<T: Numeric + Default>(&self, a: &Csc<T>, b: &Csr<T>) -> Csr<T> {
         self.multiply_csc_with::<PlusTimes<T>>(a, b)
     }
+
+    /// Computes `A·B` out of core under an arbitrary semiring: operands
+    /// are cut into a flop-balanced tile grid, every tile pair runs
+    /// through this engine, partial products merge via a second
+    /// propagation-blocking pass, and tiles spill to a memory-mapped
+    /// scratch file once `cfg`'s byte budget is exceeded (see
+    /// [`crate::tiled`]).  Returns the product and the run's
+    /// [`TiledReport`].
+    pub fn multiply_tiled_with<S: Semiring>(
+        &self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        cfg: &TiledConfig,
+    ) -> Result<(Csr<S::Elem>, TiledReport), PbError>
+    where
+        S::Elem: Default + BinaryScalar,
+    {
+        crate::tiled::multiply_tiled_impl::<S, S::Elem>(self, a, b, None, cfg)
+    }
+
+    /// Computes `A·B` out of core with ordinary `+`/`×` over a numeric
+    /// type (see [`multiply_tiled_with`](Self::multiply_tiled_with)).
+    pub fn multiply_tiled<T: Numeric + Default + BinaryScalar>(
+        &self,
+        a: &Csr<T>,
+        b: &Csr<T>,
+        cfg: &TiledConfig,
+    ) -> Result<(Csr<T>, TiledReport), PbError> {
+        self.multiply_tiled_with::<PlusTimes<T>>(a, b, cfg)
+    }
 }
 
 impl Kernel for SpGemm {
@@ -565,6 +597,31 @@ impl<M: Scalar> Masked<'_, M> {
     /// The masked CSC fast path with ordinary `+`/`×`.
     pub fn multiply_csc<T: Numeric + Default>(&self, a: &Csc<T>, b: &Csr<T>) -> Csr<T> {
         self.multiply_csc_with::<PlusTimes<T>>(a, b)
+    }
+
+    /// Computes `(A·B) ∘ pattern(mask)` out of core: the mask is cut
+    /// along the same output-tile boundaries and applied per accumulated
+    /// tile, which is equivalent to masking the assembled product.
+    pub fn multiply_tiled_with<S: Semiring>(
+        &self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        cfg: &TiledConfig,
+    ) -> Result<(Csr<S::Elem>, TiledReport), PbError>
+    where
+        S::Elem: Default + BinaryScalar,
+    {
+        crate::tiled::multiply_tiled_impl::<S, M>(self.engine, a, b, Some(self.mask), cfg)
+    }
+
+    /// The masked out-of-core multiply with ordinary `+`/`×`.
+    pub fn multiply_tiled<T: Numeric + Default + BinaryScalar>(
+        &self,
+        a: &Csr<T>,
+        b: &Csr<T>,
+        cfg: &TiledConfig,
+    ) -> Result<(Csr<T>, TiledReport), PbError> {
+        self.multiply_tiled_with::<PlusTimes<T>>(a, b, cfg)
     }
 }
 

@@ -20,6 +20,8 @@
 //! * [`topology::try_forced_domains`](crate::topology::try_forced_domains)
 //!   — `PB_NUMA_DOMAINS` (the vendored pool's own reader silently ignores
 //!   malformed values, so this is the *only* loud check for that knob);
+//! * [`TiledConfig::from_env`](crate::tiled::TiledConfig::from_env) —
+//!   `PB_OOC_BUDGET_MB`, the out-of-core tile-store byte budget;
 //! * [`validate_env`] — all of the above in one call, for process startup.
 //!
 //! [`SpGemm::from_env`]: crate::SpGemm::from_env
@@ -44,6 +46,10 @@ pub enum PbError {
     InvalidConfig(String),
     /// An underlying I/O failure (binding a listener, reading a file).
     Io(std::io::Error),
+    /// A matrix could not be loaded, decoded or validated (wraps the
+    /// sparse substrate's typed error — malformed Matrix Market text, a
+    /// truncated binary file, a shape mismatch, …).
+    Matrix(pb_sparse::SparseError),
 }
 
 impl fmt::Display for PbError {
@@ -60,6 +66,7 @@ impl fmt::Display for PbError {
             }
             PbError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PbError::Io(e) => write!(f, "i/o error: {e}"),
+            PbError::Matrix(e) => write!(f, "matrix error: {e}"),
         }
     }
 }
@@ -68,6 +75,7 @@ impl std::error::Error for PbError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PbError::Io(e) => Some(e),
+            PbError::Matrix(e) => Some(e),
             _ => None,
         }
     }
@@ -76,6 +84,12 @@ impl std::error::Error for PbError {
 impl From<std::io::Error> for PbError {
     fn from(e: std::io::Error) -> Self {
         PbError::Io(e)
+    }
+}
+
+impl From<pb_sparse::SparseError> for PbError {
+    fn from(e: pb_sparse::SparseError) -> Self {
+        PbError::Matrix(e)
     }
 }
 
@@ -89,6 +103,7 @@ pub fn validate_env() -> Result<(), PbError> {
     crate::engine::Algorithm::from_env()?;
     crate::simd::try_env_isa()?;
     crate::topology::try_forced_domains()?;
+    crate::tiled::TiledConfig::from_env()?;
     Ok(())
 }
 

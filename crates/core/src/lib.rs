@@ -71,6 +71,7 @@ pub mod profile;
 pub mod simd;
 pub mod sort;
 pub mod symbolic;
+pub mod tiled;
 pub mod topology;
 pub mod trace;
 pub mod workspace;
@@ -83,6 +84,7 @@ pub use partitioned::{multiply_partitioned, multiply_partitioned_with};
 pub use planner::{PlannedKernel, Planner, Signals};
 pub use profile::{IsaDispatch, Phase, PhaseStats, PhaseTimings, SpGemmProfile, StatsCollector};
 pub use simd::{Isa, SIMD_ENV};
+pub use tiled::{TileKey, TileStore, TiledConfig, TiledReport, OOC_BUDGET_ENV};
 pub use topology::{NumaDomain, Topology, TopologySource};
 pub use trace::{
     ChromeTraceSummary, EventKind, HistogramSnapshot, LatencyHistogram, SpanName, TraceEvent,

@@ -211,6 +211,15 @@ pub struct PhaseStats {
     /// Arithmetic intensity signal `flop / (nnz(A) + nnz(B))` the planner
     /// saw; 0 when unplanned.
     pub planned_flop_per_nnz: f64,
+    /// Tiles multiplied by an out-of-core tiled run (see
+    /// [`tiled`](crate::tiled)); 0 for resident multiplies.
+    pub ooc_tiles: u64,
+    /// Bytes the tile store spilled to its scratch file; 0 for resident
+    /// multiplies (and for tiled runs whose working set fit the budget).
+    pub ooc_spill_bytes: u64,
+    /// Peak resident bytes of the tile store.  Bounded by the configured
+    /// budget plus one tile's slack; 0 for resident multiplies.
+    pub ooc_resident_high_water: u64,
 }
 
 impl Default for PhaseStats {
@@ -244,6 +253,9 @@ impl Default for PhaseStats {
             planned_row_skew: 0.0,
             planned_bin_skew: 0.0,
             planned_flop_per_nnz: 0.0,
+            ooc_tiles: 0,
+            ooc_spill_bytes: 0,
+            ooc_resident_high_water: 0,
         }
     }
 }
@@ -573,6 +585,11 @@ impl StatsCollector {
             planned_row_skew: 0.0,
             planned_bin_skew: 0.0,
             planned_flop_per_nnz: 0.0,
+            // Stamped by the tiled driver (see `tiled`), never by the
+            // per-multiply collector.
+            ooc_tiles: 0,
+            ooc_spill_bytes: 0,
+            ooc_resident_high_water: 0,
         }
     }
 }

@@ -206,11 +206,25 @@ pub enum SpanName {
     GraphBfs = 25,
     /// Triangle-counting builder kernel.
     GraphTriangles = 26,
+    /// Whole out-of-core tiled multiply (`SpGemm::multiply_tiled`).
+    TiledMultiply = 27,
+    /// Flop-balanced boundary computation and tile cutting.
+    TiledPartition = 28,
+    /// One per-tile engine multiply inside the tiled pipeline.
+    TiledTileMultiply = 29,
+    /// Hierarchical-PB accumulation of one output tile's partials.
+    TiledAccumulate = 30,
+    /// A tile evicted from the store to the scratch file (`arg` = bytes).
+    TiledSpill = 31,
+    /// A spilled tile mapped back in from scratch (`arg` = bytes).
+    TiledFetch = 32,
+    /// Final row-stripe assembly of the output matrix.
+    TiledAssemble = 33,
 }
 
 impl SpanName {
     /// All span names, in id order.
-    pub const ALL: [SpanName; 27] = [
+    pub const ALL: [SpanName; 34] = [
         SpanName::EngineMultiply,
         SpanName::EngineMultiplyCsc,
         SpanName::EngineMasked,
@@ -238,6 +252,13 @@ impl SpanName {
         SpanName::GraphApsp,
         SpanName::GraphBfs,
         SpanName::GraphTriangles,
+        SpanName::TiledMultiply,
+        SpanName::TiledPartition,
+        SpanName::TiledTileMultiply,
+        SpanName::TiledAccumulate,
+        SpanName::TiledSpill,
+        SpanName::TiledFetch,
+        SpanName::TiledAssemble,
     ];
 
     /// The event name written to Chrome traces.
@@ -270,6 +291,13 @@ impl SpanName {
             SpanName::GraphApsp => "graph.apsp",
             SpanName::GraphBfs => "graph.bfs",
             SpanName::GraphTriangles => "graph.triangles",
+            SpanName::TiledMultiply => "tiled.multiply",
+            SpanName::TiledPartition => "tiled.partition",
+            SpanName::TiledTileMultiply => "tiled.tile_multiply",
+            SpanName::TiledAccumulate => "tiled.accumulate",
+            SpanName::TiledSpill => "tiled.spill",
+            SpanName::TiledFetch => "tiled.fetch",
+            SpanName::TiledAssemble => "tiled.assemble",
         }
     }
 
@@ -302,6 +330,13 @@ impl SpanName {
             | SpanName::GraphApsp
             | SpanName::GraphBfs
             | SpanName::GraphTriangles => "graph",
+            SpanName::TiledMultiply
+            | SpanName::TiledPartition
+            | SpanName::TiledTileMultiply
+            | SpanName::TiledAccumulate
+            | SpanName::TiledSpill
+            | SpanName::TiledFetch
+            | SpanName::TiledAssemble => "tiled",
         }
     }
 

@@ -118,6 +118,7 @@ pub struct Workspace {
     bypasses: AtomicU64,
     bytes_released: AtomicU64,
     decay_events: AtomicU64,
+    pool_bytes: AtomicU64,
 }
 
 /// Consecutive low-usage (< half capacity) check-ins before the pooled
@@ -196,6 +197,7 @@ impl Workspace {
             bypasses: AtomicU64::new(0),
             bytes_released: AtomicU64::new(0),
             decay_events: AtomicU64::new(0),
+            pool_bytes: AtomicU64::new(0),
         }
     }
 
@@ -237,6 +239,19 @@ impl Workspace {
         self.decay_events.load(Ordering::Relaxed)
     }
 
+    /// Bytes of pooled capacity currently parked in this workspace's slot
+    /// (recomputed at every check-in, after the decay policy ran).
+    ///
+    /// This is the *per-workspace* resident figure: the decay policy bounds
+    /// it per arena, while the out-of-core tile budget
+    /// ([`tiled`](crate::tiled)) bounds a *per-multiply* tile cache — two
+    /// independent knobs.  The serve metrics sum this across the catalog and
+    /// add the catalog's matrix bytes to expose the combined resident
+    /// high-water of the process.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pool_bytes.load(Ordering::Relaxed)
+    }
+
     /// Checks the pooled buffers out.  `None` means the slot is busy — a
     /// concurrent multiply holds the buffers — and the caller should run on
     /// fresh throwaway buffers instead (a *bypass*).  An idle slot always
@@ -269,6 +284,9 @@ impl Workspace {
     fn checkin<V: Send + 'static>(&self, mut pool: PoolOf<V>, usage: Usage) {
         let mut slot = self.slot.lock().expect("workspace lock poisoned");
         self.decay(&mut slot, &mut pool, usage);
+        let entry_bytes = std::mem::size_of::<Entry<V>>();
+        let capacity = (pool.entries.capacity() + pool.scratch.len()) * entry_bytes;
+        self.pool_bytes.store(capacity as u64, Ordering::Relaxed);
         slot.checked_out = false;
         slot.pool = Some(Box::new(pool));
         crate::trace::instant(crate::trace::SpanName::WorkspaceCheckin, 0);

@@ -1,0 +1,505 @@
+//! Unified matrix input — files and generators behind one trait.
+//!
+//! Every entry point that consumes a matrix (CLI subcommands, the serve
+//! `load`/`gen` ops, the bench corpus builders) historically hard-coded its
+//! input kind: Matrix Market text here, an R-MAT generator call there.  This
+//! module puts the three kinds behind one [`MatrixSource`] trait:
+//!
+//! * [`MatrixMarketSource`] — `.mtx` text files (pattern/real/integer ×
+//!   general/symmetric/skew-symmetric), via [`pb_sparse::io`];
+//! * [`BinarySource`] — the versioned `PBSM` binary format, memory-mapped
+//!   zero-copy for version-2 files ([`pb_sparse::binfmt::MappedCsr`]) with a
+//!   transparent copying fallback for legacy version-1 files;
+//! * [`GeneratorSource`] — the deterministic R-MAT / Erdős–Rényi /
+//!   stand-in generators, addressed by a compact spec string.
+//!
+//! [`open_source`] dispatches a spec string to the right implementation:
+//! paths by extension (`.mtx` → Matrix Market, `.pbsm`/`.bin` → binary),
+//! generator specs by prefix:
+//!
+//! ```text
+//! rmat:scale=8,edge_factor=8,seed=42
+//! er:scale=10,edge_factor=6,seed=7
+//! standin:name=wb-edu,fraction=0.05,seed=42
+//! ```
+//!
+//! Every failure is a typed [`SparseError`] — a malformed file, a truncated
+//! header, an unknown generator family or stand-in name never panics.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+use pb_sparse::binfmt::{self, MappedCsr};
+use pb_sparse::io::read_matrix_market;
+use pb_sparse::{Csr, SparseError};
+
+fn spec_err(detail: impl Into<String>) -> SparseError {
+    SparseError::Spec {
+        detail: detail.into(),
+    }
+}
+
+/// One place a matrix can come from: a file on disk or a deterministic
+/// generator.  Implementations are cheap to construct — nothing is read or
+/// generated until [`MatrixSource::load`].
+pub trait MatrixSource: fmt::Debug + Send + Sync {
+    /// Loads (or generates) the matrix as CSR.
+    fn load(&self) -> Result<Csr<f64>, SparseError>;
+
+    /// A short human-readable description (shown in CLI output and serve
+    /// responses).
+    fn describe(&self) -> String;
+
+    /// A cheap estimate of the loaded matrix's resident CSR bytes, derived
+    /// from the file header or the generator parameters alone — used for
+    /// admission/budget checks *before* committing to a full load.
+    fn estimated_bytes(&self) -> Result<u64, SparseError>;
+}
+
+fn csr_bytes(nrows: usize, nnz: usize) -> u64 {
+    ((nrows + 1) * 8 + nnz * (4 + 8)) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Matrix Market files
+// ---------------------------------------------------------------------------
+
+/// A Matrix Market (`.mtx`) text file.
+#[derive(Debug, Clone)]
+pub struct MatrixMarketSource {
+    path: PathBuf,
+}
+
+impl MatrixMarketSource {
+    /// Wraps `path` (not opened until [`MatrixSource::load`]).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        MatrixMarketSource { path: path.into() }
+    }
+
+    /// The wrapped path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl MatrixSource for MatrixMarketSource {
+    fn load(&self) -> Result<Csr<f64>, SparseError> {
+        Ok(read_matrix_market(&self.path)?.to_csr())
+    }
+
+    fn describe(&self) -> String {
+        format!("matrix-market:{}", self.path.display())
+    }
+
+    fn estimated_bytes(&self) -> Result<u64, SparseError> {
+        // Parse only the header and size line; a symmetric file may expand
+        // to up to twice its declared entry count.
+        let file = File::open(&self.path).map_err(SparseError::from)?;
+        let reader = BufReader::new(file);
+        let mut symmetric = false;
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.map_err(SparseError::from)?;
+            let trimmed = line.trim();
+            if i == 0 {
+                symmetric = trimmed.to_ascii_lowercase().contains("symmetric");
+                continue;
+            }
+            if trimmed.is_empty() || trimmed.starts_with('%') {
+                continue;
+            }
+            let mut it = trimmed.split_whitespace();
+            let nrows: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| spec_err(format!("{}: malformed size line", self.path.display())))?;
+            let nnz: usize = it
+                .nth(1)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| spec_err(format!("{}: malformed size line", self.path.display())))?;
+            let factor = if symmetric { 2 } else { 1 };
+            return Ok(csr_bytes(nrows, nnz.saturating_mul(factor)));
+        }
+        Err(spec_err(format!(
+            "{}: no size line found",
+            self.path.display()
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary (PBSM) files
+// ---------------------------------------------------------------------------
+
+/// A `PBSM` binary file (see [`pb_sparse::binfmt`]).
+///
+/// Version-2 files are memory-mapped and decoded zero-copy; legacy
+/// version-1 files fall back to the streaming copy reader transparently.
+#[derive(Debug, Clone)]
+pub struct BinarySource {
+    path: PathBuf,
+}
+
+impl BinarySource {
+    /// Wraps `path` (not opened until [`MatrixSource::load`]).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        BinarySource { path: path.into() }
+    }
+
+    /// The wrapped path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Opens the file as a zero-copy mapped view (version-2 files only).
+    pub fn map(&self) -> Result<MappedCsr<f64>, SparseError> {
+        MappedCsr::open(&self.path)
+    }
+}
+
+impl MatrixSource for BinarySource {
+    fn load(&self) -> Result<Csr<f64>, SparseError> {
+        let (version, _, _, _, _) = binfmt::peek_header(&self.path)?;
+        if version == binfmt::LEGACY_VERSION {
+            return binfmt::read_csr(&self.path);
+        }
+        MappedCsr::<f64>::open(&self.path)?.to_csr()
+    }
+
+    fn describe(&self) -> String {
+        format!("binary:{}", self.path.display())
+    }
+
+    fn estimated_bytes(&self) -> Result<u64, SparseError> {
+        let (_, _, nrows, _, nnz) = binfmt::peek_header(&self.path)?;
+        Ok(csr_bytes(nrows, nnz))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// The generator family named by a spec string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenFamily {
+    /// Graph500 R-MAT (`rmat:`).
+    Rmat,
+    /// Erdős–Rényi (`er:`).
+    ErdosRenyi,
+    /// A Table VI SuiteSparse stand-in by name (`standin:`).
+    Standin(String),
+}
+
+/// A parsed generator specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSpec {
+    /// Which generator to run.
+    pub family: GenFamily,
+    /// log2 of the matrix dimension (R-MAT / ER).
+    pub scale: u32,
+    /// Average nonzeros per row/column (R-MAT / ER).
+    pub edge_factor: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// Dimension fraction of the original matrix (stand-ins).
+    pub fraction: f64,
+}
+
+impl GenSpec {
+    /// Parses the part after the family prefix: comma-separated `key=value`
+    /// pairs.
+    fn parse(family: &str, params: &str) -> Result<GenSpec, SparseError> {
+        let mut spec = GenSpec {
+            family: match family {
+                "rmat" => GenFamily::Rmat,
+                "er" => GenFamily::ErdosRenyi,
+                "standin" => GenFamily::Standin(String::new()),
+                other => {
+                    return Err(spec_err(format!(
+                        "unknown generator family {other:?} (expected rmat, er or standin)"
+                    )))
+                }
+            },
+            scale: 0,
+            edge_factor: 8,
+            seed: 42,
+            fraction: 1.0,
+        };
+        let mut have_scale = false;
+        for pair in params.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| spec_err(format!("expected key=value, got {pair:?}")))?;
+            let bad = |what: &str| spec_err(format!("invalid {what} {value:?} in {pair:?}"));
+            match key {
+                "scale" => {
+                    spec.scale = value.parse().map_err(|_| bad("scale"))?;
+                    have_scale = true;
+                }
+                "edge_factor" | "edge-factor" => {
+                    spec.edge_factor = value.parse().map_err(|_| bad("edge factor"))?;
+                }
+                "seed" => spec.seed = value.parse().map_err(|_| bad("seed"))?,
+                "fraction" => spec.fraction = value.parse().map_err(|_| bad("fraction"))?,
+                "name" => {
+                    if let GenFamily::Standin(name) = &mut spec.family {
+                        *name = value.to_string();
+                    } else {
+                        return Err(spec_err(format!(
+                            "key {key:?} only applies to standin: specs"
+                        )));
+                    }
+                }
+                other => return Err(spec_err(format!("unknown generator key {other:?}"))),
+            }
+        }
+        match &spec.family {
+            GenFamily::Standin(name) if crate::standins::spec(name).is_none() => {
+                return Err(spec_err(format!(
+                    "unknown stand-in matrix {name:?} (see standin_names())"
+                )));
+            }
+            GenFamily::Standin(_) => {}
+            _ if !have_scale => {
+                return Err(spec_err(format!(
+                    "{family}: specs require scale=<log2 dim>"
+                )))
+            }
+            _ if spec.scale > 30 => {
+                return Err(spec_err(format!(
+                    "scale {} is out of range (max 30)",
+                    spec.scale
+                )))
+            }
+            _ => {}
+        }
+        Ok(spec)
+    }
+}
+
+/// A deterministic generator behind the [`MatrixSource`] trait.
+#[derive(Debug, Clone)]
+pub struct GeneratorSource {
+    spec: GenSpec,
+}
+
+impl GeneratorSource {
+    /// Wraps a parsed spec.
+    pub fn new(spec: GenSpec) -> Self {
+        GeneratorSource { spec }
+    }
+
+    /// The wrapped spec.
+    pub fn spec(&self) -> &GenSpec {
+        &self.spec
+    }
+}
+
+impl MatrixSource for GeneratorSource {
+    fn load(&self) -> Result<Csr<f64>, SparseError> {
+        let s = &self.spec;
+        Ok(match &s.family {
+            GenFamily::Rmat => crate::rmat_square(s.scale, s.edge_factor, s.seed),
+            GenFamily::ErdosRenyi => crate::erdos_renyi_square(s.scale, s.edge_factor, s.seed),
+            // The name was validated at parse time, so this cannot panic.
+            GenFamily::Standin(name) => crate::standin_scaled(name, s.fraction, s.seed),
+        })
+    }
+
+    fn describe(&self) -> String {
+        let s = &self.spec;
+        match &s.family {
+            GenFamily::Rmat => format!(
+                "rmat:scale={},edge_factor={},seed={}",
+                s.scale, s.edge_factor, s.seed
+            ),
+            GenFamily::ErdosRenyi => format!(
+                "er:scale={},edge_factor={},seed={}",
+                s.scale, s.edge_factor, s.seed
+            ),
+            GenFamily::Standin(name) => format!(
+                "standin:name={},fraction={},seed={}",
+                name, s.fraction, s.seed
+            ),
+        }
+    }
+
+    fn estimated_bytes(&self) -> Result<u64, SparseError> {
+        let s = &self.spec;
+        Ok(match &s.family {
+            GenFamily::Rmat | GenFamily::ErdosRenyi => {
+                let dim = 1usize << s.scale;
+                csr_bytes(dim, dim.saturating_mul(s.edge_factor as usize))
+            }
+            GenFamily::Standin(name) => {
+                let spec = crate::standins::spec(name)
+                    .ok_or_else(|| spec_err(format!("unknown stand-in matrix {name:?}")))?;
+                let fraction = s.fraction.clamp(1e-6, 1.0);
+                let nrows = ((spec.nrows as f64 * fraction) as usize).max(64);
+                let nnz = (spec.nnz as f64 * fraction) as usize;
+                csr_bytes(nrows, nnz)
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Whether `spec` names a generator (as opposed to a file path).
+pub fn is_generator_spec(spec: &str) -> bool {
+    ["rmat:", "er:", "standin:"]
+        .iter()
+        .any(|p| spec.starts_with(p))
+}
+
+/// Opens a matrix source from a spec string: a generator spec
+/// (`rmat:…`/`er:…`/`standin:…`) or a file path dispatched by extension
+/// (`.mtx` → Matrix Market, `.pbsm`/`.bin` → PBSM binary).
+pub fn open_source(spec: &str) -> Result<Box<dyn MatrixSource>, SparseError> {
+    if let Some((family, params)) = spec.split_once(':') {
+        if matches!(family, "rmat" | "er" | "standin") {
+            return Ok(Box::new(GeneratorSource::new(GenSpec::parse(
+                family, params,
+            )?)));
+        }
+    }
+    let path = Path::new(spec);
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => Ok(Box::new(MatrixMarketSource::new(path))),
+        Some("pbsm") | Some("bin") => Ok(Box::new(BinarySource::new(path))),
+        _ => Err(spec_err(format!(
+            "unrecognised matrix spec {spec:?}: expected a .mtx/.pbsm/.bin path \
+             or a rmat:/er:/standin: generator spec"
+        ))),
+    }
+}
+
+/// Convenience: [`open_source`] followed by [`MatrixSource::load`].
+pub fn load_matrix(spec: &str) -> Result<Csr<f64>, SparseError> {
+    open_source(spec)?.load()
+}
+
+/// Writes `m` to `path`, choosing the format by extension (`.mtx` Matrix
+/// Market text, `.pbsm`/`.bin` PBSM binary v2).
+pub fn save_matrix(path: impl AsRef<Path>, m: &Csr<f64>) -> Result<(), SparseError> {
+    let path = path.as_ref();
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => pb_sparse::io::write_matrix_market(path, &m.to_coo()),
+        Some("pbsm") | Some("bin") => binfmt::write_csr(path, m),
+        _ => Err(spec_err(format!(
+            "unrecognised output extension on {:?}: expected .mtx, .pbsm or .bin",
+            path.display()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pb_gen_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}_{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn generator_spec_parses_and_loads() {
+        let src = open_source("rmat:scale=5,edge_factor=4,seed=7").unwrap();
+        let m = src.load().unwrap();
+        assert_eq!(m.nrows(), 32);
+        assert_eq!(m, crate::rmat_square(5, 4, 7));
+        assert!(src.describe().starts_with("rmat:"));
+        assert!(src.estimated_bytes().unwrap() > 0);
+    }
+
+    #[test]
+    fn er_spec_with_defaults() {
+        let src = open_source("er:scale=4").unwrap();
+        let m = src.load().unwrap();
+        assert_eq!(m, crate::erdos_renyi_square(4, 8, 42));
+    }
+
+    #[test]
+    fn standin_spec_round_trips() {
+        let name = crate::standin_names()[0];
+        let spec = format!("standin:name={name},fraction=0.01,seed=3");
+        let src = open_source(&spec).unwrap();
+        let m = src.load().unwrap();
+        assert_eq!(m, crate::standin_scaled(name, 0.01, 3));
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        for bad in [
+            "rmat:edge_factor=4",          // missing scale
+            "rmat:scale=99",               // out of range
+            "rmat:scale=abc",              // not a number
+            "rmat:scale",                  // not key=value
+            "rmat:scale=5,bogus=1",        // unknown key
+            "er:scale=5,name=x",           // name on a non-standin
+            "standin:name=no-such-matrix", // unknown stand-in
+            "weird:scale=5",               // unknown family treated as path
+            "plainfile.xyz",               // unknown extension
+        ] {
+            let err = open_source(bad).unwrap_err();
+            assert!(
+                matches!(err, SparseError::Spec { .. }),
+                "{bad:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_sources_dispatch_by_extension() {
+        let m = crate::rmat_square(4, 4, 1);
+
+        let mtx = temp_path("dispatch.mtx");
+        save_matrix(&mtx, &m).unwrap();
+        let back = load_matrix(mtx.to_str().unwrap()).unwrap();
+        assert_eq!(back.colidx(), m.colidx());
+
+        let pbsm = temp_path("dispatch.pbsm");
+        save_matrix(&pbsm, &m).unwrap();
+        let back = load_matrix(pbsm.to_str().unwrap()).unwrap();
+        assert_eq!(back.rowptr(), m.rowptr());
+        assert_eq!(back.colidx(), m.colidx());
+        assert_eq!(back.values(), m.values());
+
+        std::fs::remove_file(&mtx).ok();
+        std::fs::remove_file(&pbsm).ok();
+    }
+
+    #[test]
+    fn estimated_bytes_is_cheap_and_sane() {
+        let m = crate::rmat_square(5, 4, 9);
+        let pbsm = temp_path("estimate.pbsm");
+        save_matrix(&pbsm, &m).unwrap();
+        let src = open_source(pbsm.to_str().unwrap()).unwrap();
+        let est = src.estimated_bytes().unwrap();
+        let actual = csr_bytes(m.nrows(), m.nnz());
+        assert_eq!(est, actual);
+
+        let mtx = temp_path("estimate.mtx");
+        save_matrix(&mtx, &m).unwrap();
+        let src = open_source(mtx.to_str().unwrap()).unwrap();
+        // The text estimate must be within 2x of the real resident size.
+        let est = src.estimated_bytes().unwrap();
+        assert!(est >= actual && est <= actual * 2, "est {est} vs {actual}");
+
+        std::fs::remove_file(&pbsm).ok();
+        std::fs::remove_file(&mtx).ok();
+    }
+
+    #[test]
+    fn missing_files_are_typed_errors() {
+        let src = open_source("/no/such/file.mtx").unwrap();
+        assert!(matches!(src.load().unwrap_err(), SparseError::Io(_)));
+        let src = open_source("/no/such/file.pbsm").unwrap();
+        assert!(matches!(src.load().unwrap_err(), SparseError::Io(_)));
+    }
+}

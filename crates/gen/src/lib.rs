@@ -20,12 +20,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod er;
+pub mod io;
 pub mod rmat;
 pub mod rng;
 pub mod standins;
 pub mod structured;
 
 pub use er::{erdos_renyi, erdos_renyi_square, ErConfig};
+pub use io::{
+    load_matrix, open_source, save_matrix, BinarySource, GenFamily, GenSpec, GeneratorSource,
+    MatrixMarketSource, MatrixSource,
+};
 pub use rmat::{rmat, rmat_square, RmatConfig, GRAPH500_PARAMS, UNIFORM_PARAMS};
 pub use rng::{SplitMix64, Xoshiro256pp};
 pub use standins::{standin, standin_names, standin_scaled, StandinClass, StandinSpec, STANDINS};

@@ -40,6 +40,11 @@ pub const MAX_LINE_ENV: &str = "PB_SERVE_MAX_LINE_MB";
 /// its span tree (when tracing is on).  Unset = no slow log.
 pub const SLOW_MS_ENV: &str = "PB_SERVE_SLOW_MS";
 
+/// Environment variable enabling the `load` op: the directory matrix files
+/// may be loaded from.  Unset = the op is disabled (a server must opt in
+/// to reading the filesystem on client request).
+pub const LOAD_DIR_ENV: &str = "PB_SERVE_LOAD_DIR";
+
 /// Configuration of one [`Server`](crate::Server) instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -59,6 +64,10 @@ pub struct ServeConfig {
     /// Handling-latency threshold (milliseconds) above which a request is
     /// logged to stderr with its trace span tree; `None` disables the log.
     pub slow_ms: Option<u64>,
+    /// Directory the `load` op may read matrix files from; `None` disables
+    /// the op entirely (the service never touches the filesystem on client
+    /// request unless the operator allowlisted a directory).
+    pub load_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +79,7 @@ impl Default for ServeConfig {
             algorithm: Algorithm::Auto,
             max_line_bytes: DEFAULT_MAX_LINE_MB << 20,
             slow_ms: None,
+            load_dir: None,
         }
     }
 }
@@ -140,6 +150,17 @@ impl ServeConfig {
                 }
             }
         }
+        if let Ok(dir) = std::env::var(LOAD_DIR_ENV) {
+            let trimmed = dir.trim();
+            if trimmed.is_empty() || !std::path::Path::new(trimmed).is_dir() {
+                return Err(PbError::InvalidEnv {
+                    var: LOAD_DIR_ENV,
+                    value: dir,
+                    expected: "an existing directory to serve matrix files from",
+                });
+            }
+            config.load_dir = Some(std::path::PathBuf::from(trimmed));
+        }
         if let Some(alg) = Algorithm::from_env()? {
             config.algorithm = alg;
         }
@@ -181,6 +202,12 @@ impl ServeConfig {
         self.slow_ms = ms;
         self
     }
+
+    /// Allowlists a directory for the `load` op (`None` disables it).
+    pub fn load_dir(mut self, dir: Option<std::path::PathBuf>) -> Self {
+        self.load_dir = dir;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +223,7 @@ mod tests {
         assert_eq!(c.algorithm, Algorithm::Auto);
         assert_eq!(c.max_line_bytes, DEFAULT_MAX_LINE_MB << 20);
         assert_eq!(c.slow_ms, None);
+        assert_eq!(c.load_dir, None);
     }
 
     #[test]
@@ -206,8 +234,10 @@ mod tests {
             .workers(4)
             .algorithm(Algorithm::Pb)
             .max_line_bytes(4096)
-            .slow_ms(Some(250));
+            .slow_ms(Some(250))
+            .load_dir(Some(std::env::temp_dir()));
         assert_eq!(c.addr, "0.0.0.0:9000");
+        assert_eq!(c.load_dir, Some(std::env::temp_dir()));
         assert_eq!(c.budget_bytes, 1 << 20);
         assert_eq!(c.workers, 4);
         assert_eq!(c.algorithm, Algorithm::Pb);

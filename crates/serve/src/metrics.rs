@@ -33,6 +33,12 @@ pub struct ServerCounters {
     pub max_batch: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Out-of-core (tiled) multiplies executed.
+    pub ooc_multiplies: AtomicU64,
+    /// Bytes tiled multiplies spilled to scratch files.
+    pub ooc_spill_bytes: AtomicU64,
+    /// Peak tile-store resident bytes any tiled multiply reached.
+    pub ooc_high_water: AtomicU64,
 }
 
 impl ServerCounters {
@@ -48,9 +54,9 @@ impl ServerCounters {
 /// Every request op carrying a latency histogram, in exposition order.
 /// These are the only values the `op` label ever takes — fixed strings
 /// from [`Request::op_name`](crate::Request::op_name), never client text.
-pub const OP_NAMES: [&str; 12] = [
-    "ping", "store", "gen", "multiply", "mcl", "bc", "apsp", "evict", "list", "metrics", "trace",
-    "shutdown",
+pub const OP_NAMES: [&str; 13] = [
+    "ping", "store", "gen", "load", "multiply", "mcl", "bc", "apsp", "evict", "list", "metrics",
+    "trace", "shutdown",
 ];
 
 /// One lock-free latency histogram per request op, recorded by the workers
@@ -233,6 +239,40 @@ pub fn render(counters: &ServerCounters, latencies: &OpLatencies, catalog: &Cata
         catalog.evictions(),
     );
 
+    // Out-of-core tiled-multiply telemetry.
+    counter(
+        &mut out,
+        "pb_ooc_multiplies_total",
+        "Out-of-core tiled multiplies executed.",
+        counters.ooc_multiplies.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pb_ooc_spill_bytes_total",
+        "Bytes tiled multiplies spilled to scratch files.",
+        counters.ooc_spill_bytes.load(Ordering::Relaxed),
+    );
+    gauge(
+        &mut out,
+        "pb_ooc_resident_high_water_bytes",
+        "Peak tile-store resident bytes any tiled multiply reached.",
+        counters.ooc_high_water.load(Ordering::Relaxed),
+    );
+
+    // Combined resident footprint: catalog matrices + pooled workspace
+    // buffers + the OOC tile-store high water.  The catalog budget bounds
+    // the first term, the per-workspace decay policy the second, and the
+    // per-multiply OOC budget the third — three separate knobs, summed
+    // here so one gauge answers "how much does this process hold".
+    gauge(
+        &mut out,
+        "pb_serve_resident_bytes_combined",
+        "Catalog + pooled workspace + OOC tile-store resident bytes.",
+        catalog.bytes_used() as u64
+            + catalog.sum_workspaces(Workspace::resident_bytes)
+            + counters.ooc_high_water.load(Ordering::Relaxed),
+    );
+
     // Workspace telemetry aggregated over every resident entry, including
     // the decay policy's counters.
     counter(
@@ -370,6 +410,10 @@ mod tests {
             "pb_serve_catalog_evictions_total 0",
             "pb_workspace_bytes_released_total 0",
             "pb_workspace_decay_events_total 0",
+            "pb_ooc_multiplies_total 0",
+            "pb_ooc_spill_bytes_total 0",
+            "pb_ooc_resident_high_water_bytes 0",
+            "pb_serve_resident_bytes_combined 0",
             "pb_simd_active{isa=",
             "# TYPE pb_serve_requests_total counter",
             "# HELP pb_serve_request_seconds ",

@@ -15,7 +15,8 @@
 //! | `ping`     | —                                                        |
 //! | `store`    | `name`, `rows`, `cols`, `entries: [[r,c,v],…]`           |
 //! | `gen`      | `name`, `kind: "rmat"\|"er"`, `scale`, `edge_factor`, `seed` |
-//! | `multiply` | `a`, `b`, `algorithm?`, `store_as?`, `return?: "entries"` |
+//! | `load`     | `name`, `path` (under the configured load dir)           |
+//! | `multiply` | `a`, `b`, `algorithm?`, `store_as?`, `return?: "entries"`, `ooc_budget_mb?` |
 //! | `mcl`      | `name`, `inflation?`, `max_iterations?`                  |
 //! | `bc`       | `name`, `sources?`, `batch_size?`                        |
 //! | `apsp`     | `name`                                                   |
@@ -67,6 +68,17 @@ pub enum Request {
         /// RNG seed.
         seed: u64,
     },
+    /// Load a matrix from disk (any [`pb_gen::MatrixSource`] file: Matrix
+    /// Market or PBSM binary) and store it under `name`.  The path must
+    /// resolve under the server's configured load directory, and the
+    /// estimated size is checked against the memory budget *before* any
+    /// allocation — same discipline as `gen`.
+    Load {
+        /// Catalog name of the new entry.
+        name: String,
+        /// File path, relative to (or absolute under) the load directory.
+        path: String,
+    },
     /// Multiply two resident matrices.
     Multiply {
         /// Left operand (catalog name) — its engine runs the product.
@@ -80,6 +92,12 @@ pub enum Request {
         /// Ship the product's entries back (bounded by
         /// [`MAX_RETURNED_ENTRIES`]).
         want_entries: bool,
+        /// Run the tiled out-of-core driver with this tile-store budget
+        /// (MiB) instead of the resident engine.  OOC multiplies are never
+        /// batched: their accumulation order differs from the resident
+        /// kernels', so the bit-identity batching guarantee cannot hold
+        /// across the two paths.
+        ooc_budget_mb: Option<u64>,
     },
     /// Markov clustering of a resident matrix.
     Mcl {
@@ -142,6 +160,7 @@ impl Request {
             Request::Ping => "ping",
             Request::Store { .. } => "store",
             Request::Gen { .. } => "gen",
+            Request::Load { .. } => "load",
             Request::Multiply { .. } => "multiply",
             Request::Mcl { .. } => "mcl",
             Request::Bc { .. } => "bc",
@@ -159,6 +178,14 @@ impl Request {
     /// single workspace lease.  `None` for every other op.
     pub fn batch_key(&self) -> Option<(String, String, &'static str)> {
         match self {
+            // OOC multiplies are excluded: the tiled accumulation order is
+            // deterministic but differs from the resident kernels', so a
+            // tiled and a resident request for the same operands would not
+            // be bit-identical.
+            Request::Multiply {
+                ooc_budget_mb: Some(_),
+                ..
+            } => None,
             Request::Multiply {
                 a, b, algorithm, ..
             } => Some((
@@ -280,6 +307,10 @@ fn request_of(v: &Value) -> Result<Request, String> {
                 seed: uint_field_or(v, "seed", 1)?,
             })
         }
+        "load" => Ok(Request::Load {
+            name: str_field(v, "name")?,
+            path: str_field(v, "path")?,
+        }),
         "multiply" => {
             let algorithm = match v.get("algorithm").and_then(Value::as_str) {
                 None => None,
@@ -293,6 +324,16 @@ fn request_of(v: &Value) -> Result<Request, String> {
                 Some("entries") => true,
                 Some(other) => return Err(format!("unknown return mode `{other}`")),
             };
+            let ooc_budget_mb = match v.get("ooc_budget_mb") {
+                None => None,
+                Some(f) => {
+                    let mb = f.as_u64().ok_or("non-integer field `ooc_budget_mb`")?;
+                    if mb == 0 {
+                        return Err("`ooc_budget_mb` must be positive".into());
+                    }
+                    Some(mb)
+                }
+            };
             Ok(Request::Multiply {
                 a: str_field(v, "a")?,
                 b: str_field(v, "b")?,
@@ -302,6 +343,7 @@ fn request_of(v: &Value) -> Result<Request, String> {
                     .and_then(Value::as_str)
                     .map(str::to_string),
                 want_entries,
+                ooc_budget_mb,
             })
         }
         "mcl" => Ok(Request::Mcl {
@@ -454,6 +496,25 @@ mod tests {
                 algorithm: Some(Algorithm::Pb),
                 store_as: None,
                 want_entries: false,
+                ooc_budget_mb: None,
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"load","name":"a","path":"a.pbsm"}"#),
+            Ok(Request::Load {
+                name: "a".into(),
+                path: "a.pbsm".into(),
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"multiply","a":"x","b":"y","ooc_budget_mb":64}"#),
+            Ok(Request::Multiply {
+                a: "x".into(),
+                b: "y".into(),
+                algorithm: None,
+                store_as: None,
+                want_entries: false,
+                ooc_budget_mb: Some(64),
             })
         );
         assert_eq!(
@@ -503,6 +564,19 @@ mod tests {
         assert!(parse_request(r#"{"op":"trace","enable":"yes"}"#)
             .unwrap_err()
             .contains("`enable`"));
+        assert!(parse_request(r#"{"op":"load","name":"a"}"#)
+            .unwrap_err()
+            .contains("`path`"));
+        assert!(
+            parse_request(r#"{"op":"multiply","a":"x","b":"y","ooc_budget_mb":0}"#)
+                .unwrap_err()
+                .contains("ooc_budget_mb")
+        );
+        assert!(
+            parse_request(r#"{"op":"multiply","a":"x","b":"y","ooc_budget_mb":"big"}"#)
+                .unwrap_err()
+                .contains("ooc_budget_mb")
+        );
     }
 
     #[test]
@@ -516,6 +590,7 @@ mod tests {
             (r#"{"op":"apsp","name":"g"}"#, "apsp"),
             (r#"{"op":"evict","name":"g"}"#, "evict"),
             (r#"{"op":"multiply","a":"x","b":"y"}"#, "multiply"),
+            (r#"{"op":"load","name":"a","path":"a.pbsm"}"#, "load"),
         ] {
             assert_eq!(parse_request(line).unwrap().op_name(), name);
         }
@@ -529,6 +604,10 @@ mod tests {
         assert_eq!(a.batch_key(), b.batch_key());
         assert_ne!(a.batch_key(), c.batch_key());
         assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap().batch_key(), None);
+        // OOC multiplies never batch: a tiled product is not bit-identical
+        // to a resident one.
+        let ooc = parse_request(r#"{"op":"multiply","a":"x","b":"y","ooc_budget_mb":8}"#).unwrap();
+        assert_eq!(ooc.batch_key(), None);
     }
 
     #[test]

@@ -100,6 +100,8 @@ struct State {
     shutdown: AtomicBool,
     max_line_bytes: usize,
     slow_ms: Option<u64>,
+    /// Allowlisted directory for the `load` op; `None` = op disabled.
+    load_dir: Option<std::path::PathBuf>,
 }
 
 /// A running server; dropping it requests shutdown.
@@ -126,6 +128,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             max_line_bytes: config.max_line_bytes,
             slow_ms: config.slow_ms,
+            load_dir: config.load_dir.clone(),
         });
         let io = {
             let state = Arc::clone(&state);
@@ -559,6 +562,7 @@ fn handle(state: &Arc<State>, job: Job) {
             };
             store_and_respond(state, &job, &name, matrix);
         }
+        Request::Load { name, path } => handle_load(state, &job, &name, &path),
         Request::Multiply { .. } => handle_multiply_batch(state, job),
         Request::Mcl {
             name,
@@ -733,6 +737,75 @@ fn handle(state: &Arc<State>, job: Job) {
     }
 }
 
+/// Executes the `load` op: resolves `path` strictly inside the allowlisted
+/// load directory, pre-checks the source's estimated size against the
+/// catalog budget (same discipline as `gen`: reject before allocating),
+/// then loads through the [`pb_gen::MatrixSource`] API and stores.
+fn handle_load(state: &Arc<State>, job: &Job, name: &str, path: &str) {
+    let id = job.id.as_ref();
+    let Some(dir) = &state.load_dir else {
+        return respond_err(
+            state,
+            &job.reply,
+            id,
+            "the load op is disabled (start the server with PB_SERVE_LOAD_DIR set \
+             to an allowlisted directory)",
+        );
+    };
+    // Containment check on canonical paths: symlinks and `..` segments in
+    // the client-supplied path must not escape the allowlisted directory.
+    let root = match dir.canonicalize() {
+        Ok(root) => root,
+        Err(e) => {
+            return respond_err(state, &job.reply, id, &format!("load directory: {e}"));
+        }
+    };
+    let full = match root.join(path).canonicalize() {
+        Ok(full) => full,
+        Err(e) => {
+            return respond_err(
+                state,
+                &job.reply,
+                id,
+                &format!("cannot resolve `{path}`: {e}"),
+            );
+        }
+    };
+    if !full.starts_with(&root) {
+        return respond_err(
+            state,
+            &job.reply,
+            id,
+            &format!("`{path}` escapes the load directory"),
+        );
+    }
+    let spec = full.to_string_lossy().into_owned();
+    let source = match pb_gen::open_source(&spec) {
+        Ok(source) => source,
+        Err(e) => return respond_err(state, &job.reply, id, &e.to_string()),
+    };
+    let estimate = match source.estimated_bytes() {
+        Ok(estimate) => estimate,
+        Err(e) => return respond_err(state, &job.reply, id, &e.to_string()),
+    };
+    let budget = state.catalog.lock().expect("catalog lock").budget_bytes() as u64;
+    if estimate > budget {
+        return respond_err(
+            state,
+            &job.reply,
+            id,
+            &format!(
+                "loading `{path}` needs an estimated {estimate} bytes, over the \
+                 catalog budget of {budget} bytes"
+            ),
+        );
+    }
+    match source.load() {
+        Ok(matrix) => store_and_respond(state, job, name, matrix),
+        Err(e) => respond_err(state, &job.reply, id, &e.to_string()),
+    }
+}
+
 fn store_and_respond(state: &Arc<State>, job: &Job, name: &str, matrix: Csr<f64>) {
     let (rows, cols, nnz) = (matrix.nrows(), matrix.ncols(), matrix.nnz());
     let bytes = matrix_bytes(&matrix);
@@ -792,18 +865,26 @@ fn handle_multiply_batch(state: &Arc<State>, job: Job) {
     let key = job.request.batch_key();
     let join_span = trace::span(SpanName::ServeBatchJoin);
     let mut batch = vec![job];
-    batch.extend(drain_batchable(&state.queue, &key, BATCH_LIMIT - 1));
+    // OOC multiplies carry no batch key; draining with a `None` key would
+    // sweep unrelated keyless ops into the batch, so they run alone.
+    if key.is_some() {
+        batch.extend(drain_batchable(&state.queue, &key, BATCH_LIMIT - 1));
+    }
     drop(join_span);
     trace::instant(SpanName::ServeBatchJoin, batch.len() as u64);
     state.counters.record_batch(batch.len());
 
     let Some(Request::Multiply {
-        a, b, algorithm, ..
+        a,
+        b,
+        algorithm,
+        ooc_budget_mb,
+        ..
     }) = batch.first().map(|j| &j.request)
     else {
         unreachable!("batch heads are multiply requests");
     };
-    let (a, b, algorithm) = (a.clone(), b.clone(), *algorithm);
+    let (a, b, algorithm, ooc_budget_mb) = (a.clone(), b.clone(), *algorithm, *ooc_budget_mb);
 
     // Resolve operands under the lock, multiply outside it.
     let (entry_a, entry_b) = {
@@ -844,7 +925,37 @@ fn handle_multiply_batch(state: &Arc<State>, job: Job) {
     // popped job (index 0) is recorded by its worker as usual.
     let followers_started = Instant::now();
     let engine_span = trace::span_with_arg(SpanName::ServeEngineCall, batch.len() as u64);
-    let (product, profile) = engine.multiply_with_profile::<PlusTimes<f64>>(&ea.matrix, &eb.matrix);
+    let (product, stats, flop, ooc_report) = if let Some(mb) = ooc_budget_mb {
+        let cfg = pb_spgemm::TiledConfig::default().with_budget_mb(mb);
+        match engine.multiply_tiled(&ea.matrix, &eb.matrix, &cfg) {
+            Ok((product, report)) => {
+                state
+                    .counters
+                    .ooc_multiplies
+                    .fetch_add(1, Ordering::Relaxed);
+                state
+                    .counters
+                    .ooc_spill_bytes
+                    .fetch_add(report.spill_bytes, Ordering::Relaxed);
+                state
+                    .counters
+                    .ooc_high_water
+                    .fetch_max(report.resident_high_water, Ordering::Relaxed);
+                (product, report.stats, 0u64, Some(report))
+            }
+            Err(e) => {
+                let msg = format!("tiled multiply failed: {e}");
+                for j in &batch {
+                    respond_err(state, &j.reply, j.id.as_ref(), &msg);
+                }
+                return;
+            }
+        }
+    } else {
+        let (product, profile) =
+            engine.multiply_with_profile::<PlusTimes<f64>>(&ea.matrix, &eb.matrix);
+        (product, profile.stats, profile.flop, None)
+    };
     drop(engine_span);
     let print = fingerprint(&product);
     let batch_size = batch.len();
@@ -882,16 +993,28 @@ fn handle_multiply_batch(state: &Arc<State>, job: Job) {
             ("algorithm", Value::Str(engine.name().to_string())),
             (
                 "planned",
-                Value::Str(profile.stats.planned_algorithm.name().to_string()),
+                Value::Str(stats.planned_algorithm.name().to_string()),
             ),
             ("batched_with", Value::UInt(batch_size as u64)),
-            (
-                "bytes_allocated",
-                Value::UInt(profile.stats.bytes_allocated),
-            ),
-            ("bytes_reused", Value::UInt(profile.stats.bytes_reused)),
-            ("flop", Value::UInt(profile.flop)),
+            ("bytes_allocated", Value::UInt(stats.bytes_allocated)),
+            ("bytes_reused", Value::UInt(stats.bytes_reused)),
+            ("flop", Value::UInt(flop)),
         ];
+        if let Some(report) = &ooc_report {
+            fields.push(("ooc_tiles", Value::UInt(report.tiles_processed)));
+            fields.push(("ooc_spill_bytes", Value::UInt(report.spill_bytes)));
+            fields.push((
+                "ooc_resident_high_water",
+                Value::UInt(report.resident_high_water),
+            ));
+            fields.push((
+                "ooc_grid",
+                Value::Str(format!(
+                    "{}x{}x{}",
+                    report.grid.0, report.grid.1, report.grid.2
+                )),
+            ));
+        }
         if *want_entries {
             if product.nnz() > MAX_RETURNED_ENTRIES {
                 respond_err(
@@ -934,6 +1057,7 @@ mod tests {
             algorithm: None,
             store_as: None,
             want_entries: false,
+            ooc_budget_mb: None,
         }
     }
 

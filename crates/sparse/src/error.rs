@@ -58,6 +58,12 @@ pub enum SparseError {
         /// Human-readable description of the problem.
         detail: String,
     },
+    /// A matrix-source specification string (path or generator spec) could
+    /// not be understood.
+    Spec {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
     /// An I/O error occurred while reading or writing a matrix file.
     Io(String),
 }
@@ -98,6 +104,9 @@ impl fmt::Display for SparseError {
             }
             SparseError::Binary { detail } => {
                 write!(f, "binary matrix format error: {detail}")
+            }
+            SparseError::Spec { detail } => {
+                write!(f, "matrix source spec error: {detail}")
             }
             SparseError::Io(msg) => write!(f, "I/O error: {msg}"),
         }

@@ -42,6 +42,7 @@ pub mod csr;
 pub mod dense;
 pub mod error;
 pub mod io;
+pub mod mmapio;
 pub mod ops;
 pub mod permute;
 pub mod reference;

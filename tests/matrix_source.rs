@@ -1,0 +1,275 @@
+//! End-to-end exercises of the unified `MatrixSource` I/O layer: format
+//! round trips are bit-identical, zero-copy mapped views agree with the
+//! copying reader, generator specs are deterministic, and adversarial
+//! inputs — malformed, truncated, or with lying headers — come back as
+//! typed errors instead of panics or aborts.
+
+use proptest::prelude::*;
+
+use pb_spgemm_suite::gen::io::{open_source, BinarySource, MatrixSource};
+use pb_spgemm_suite::gen::{erdos_renyi_square, load_matrix, rmat_square, save_matrix};
+use pb_spgemm_suite::sparse::binfmt::{self, read_csr_from, write_csr_to, MappedCsr, HEADER_BYTES};
+use pb_spgemm_suite::sparse::{Coo, Csr, SparseError};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pb_matrix_source_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Bit-exact equality: rounded-trip floats must come back identical to the
+/// last bit, not merely approximately.
+fn bits_equal(a: &Csr<f64>, b: &Csr<f64>) -> bool {
+    a.shape() == b.shape()
+        && a.rowptr() == b.rowptr()
+        && a.colidx() == b.colidx()
+        && a.values().len() == b.values().len()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mtx_to_binary_to_mmap_is_bit_identical() {
+    // Matrix Market is a decimal text format, so the canonical reference is
+    // the matrix *as loaded from text*; from there every binary hop must be
+    // exact to the last bit.
+    let m = rmat_square(6, 8, 42);
+    let mtx = temp_path("rt.mtx");
+    let pbsm = temp_path("rt.pbsm");
+    save_matrix(&mtx, &m).unwrap();
+
+    let from_text = load_matrix(mtx.to_str().unwrap()).unwrap();
+    assert_eq!(from_text.shape(), m.shape());
+    assert_eq!(from_text.nnz(), m.nnz());
+
+    save_matrix(&pbsm, &from_text).unwrap();
+    let from_binary = load_matrix(pbsm.to_str().unwrap()).unwrap();
+    assert!(bits_equal(&from_text, &from_binary));
+
+    // The zero-copy mapped view serves the identical bytes without a heap
+    // copy of the matrix.
+    let mapped = MappedCsr::<f64>::open(&pbsm).unwrap();
+    assert_eq!(mapped.shape(), from_text.shape());
+    assert_eq!(mapped.nnz(), from_text.nnz());
+    assert_eq!(mapped.colidx(), from_text.colidx());
+    assert!(mapped
+        .values()
+        .iter()
+        .zip(from_text.values())
+        .all(|(x, y)| x.to_bits() == y.to_bits()));
+    assert!(bits_equal(&mapped.to_csr().unwrap(), &from_binary));
+}
+
+#[test]
+fn legacy_v1_files_load_through_the_same_source() {
+    let m = erdos_renyi_square(5, 4, 7);
+    let path = temp_path("legacy.pbsm");
+    let file = std::fs::File::create(&path).unwrap();
+    binfmt::write_csr_v1_to(std::io::BufWriter::new(file), &m).unwrap();
+
+    // The mapped view refuses unaligned v1 sections with a typed error...
+    let err = MappedCsr::<f64>::open(&path).unwrap_err();
+    assert!(err.to_string().contains("version 1"), "{err}");
+    // ...but the BinarySource falls back to the copying reader transparently.
+    let back = BinarySource::new(&path).load().unwrap();
+    assert!(bits_equal(&m, &back));
+}
+
+#[test]
+fn generator_specs_are_deterministic_and_described() {
+    let spec = "er:scale=6,edge_factor=4,seed=11";
+    let source = open_source(spec).unwrap();
+    assert_eq!(source.describe(), spec);
+    let a = source.load().unwrap();
+    let b = load_matrix(spec).unwrap();
+    assert!(bits_equal(&a, &b), "same spec, same matrix");
+    assert!(bits_equal(&a, &erdos_renyi_square(6, 4, 11)));
+
+    // The admission estimate is an upper bound on the real resident bytes.
+    let estimate = source.estimated_bytes().unwrap();
+    let actual = ((a.nrows() + 1) * 8 + a.nnz() * 12) as u64;
+    assert!(estimate >= actual, "estimate {estimate} < actual {actual}");
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial inputs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_specs_and_files_are_typed_errors() {
+    // Unknown extensions, families and parameters.
+    assert!(matches!(
+        open_source("matrix.xyz").unwrap_err(),
+        SparseError::Spec { .. }
+    ));
+    assert!(matches!(
+        open_source("wormhole:scale=4").unwrap_err(),
+        SparseError::Spec { .. }
+    ));
+    assert!(open_source("rmat:scale=banana").is_err());
+    assert!(open_source("standin:name=no-such-matrix").is_err());
+
+    // Nonexistent files surface I/O errors at load time, not panics.
+    assert!(load_matrix("/nonexistent/dir/m.mtx").is_err());
+    assert!(load_matrix("/nonexistent/dir/m.pbsm").is_err());
+
+    // Matrix Market garbage: wrong banner, non-numeric entries, indices out
+    // of the declared bounds.
+    for (name, text) in [
+        ("bad_banner.mtx", "%%NotMatrixMarket\n2 2 1\n1 1 1.0\n"),
+        (
+            "bad_entry.mtx",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 one 1.0\n",
+        ),
+        (
+            "oob_entry.mtx",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n",
+        ),
+        (
+            "short.mtx",
+            "%%MatrixMarket matrix coordinate real general\n4 4 9\n1 1 1.0\n",
+        ),
+    ] {
+        let path = temp_path(name);
+        std::fs::write(&path, text).unwrap();
+        let err =
+            load_matrix(path.to_str().unwrap()).expect_err(&format!("{name} should fail to parse"));
+        assert!(
+            !err.to_string().is_empty(),
+            "{name}: error must carry detail"
+        );
+    }
+}
+
+#[test]
+fn truncated_and_lying_binary_headers_never_panic() {
+    let m = erdos_renyi_square(5, 4, 3);
+    let mut good = Vec::new();
+    write_csr_to(&mut good, &m).unwrap();
+
+    // Every strict prefix is a typed error from both readers.
+    for cut in [
+        0,
+        3,
+        HEADER_BYTES - 1,
+        HEADER_BYTES,
+        good.len() / 2,
+        good.len() - 1,
+    ] {
+        let err = read_csr_from::<_, f64>(&good[..cut]).unwrap_err();
+        assert!(
+            matches!(err, SparseError::Binary { .. }),
+            "cut={cut}: {err}"
+        );
+        let path = temp_path("trunc.pbsm");
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(MappedCsr::<f64>::open(&path).is_err(), "mapped cut={cut}");
+    }
+
+    // Bad magic and unsupported version.
+    let mut bad = good.clone();
+    bad[..4].copy_from_slice(b"NOPE");
+    assert!(read_csr_from::<_, f64>(bad.as_slice()).is_err());
+    let mut bad = good.clone();
+    bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(read_csr_from::<_, f64>(bad.as_slice()).is_err());
+
+    // A header declaring an absurd nnz must be rejected up front — not
+    // drive a pre-allocation or layout-arithmetic abort.  (Offsets: magic 4,
+    // version 4, tag 4, nrows 8, ncols 8, then nnz.)
+    let mut lying = good.clone();
+    lying[28..36].copy_from_slice(&u64::MAX.to_le_bytes());
+    let err = read_csr_from::<_, f64>(lying.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("nnz"), "{err}");
+    let path = temp_path("lying.pbsm");
+    std::fs::write(&path, &lying).unwrap();
+    assert!(MappedCsr::<f64>::open(&path).is_err());
+
+    // A shape past the u32 index space is refused before any read.
+    let mut huge = good.clone();
+    huge[12..20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    let err = read_csr_from::<_, f64>(huge.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("index space"), "{err}");
+
+    // Extra trailing bytes: the exact-length mapped reader refuses them.
+    let mut oversized = good.clone();
+    oversized.extend_from_slice(&[0u8; 128]);
+    let path = temp_path("oversized.pbsm");
+    std::fs::write(&path, &oversized).unwrap();
+    let err = MappedCsr::<f64>::open(&path).unwrap_err();
+    assert!(err.to_string().contains("bytes"), "{err}");
+
+    // The untouched original still loads, bit-exact.
+    let back = read_csr_from::<_, f64>(good.as_slice()).unwrap();
+    assert!(bits_equal(&m, &back));
+}
+
+#[test]
+fn wrong_element_type_tag_is_rejected() {
+    let m = erdos_renyi_square(4, 2, 1).map_values(|v: f64| v as u64);
+    let mut buf = Vec::new();
+    write_csr_to(&mut buf, &m).unwrap();
+    let err = read_csr_from::<_, f64>(buf.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("type"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+/// Strategy: an arbitrary COO matrix (may contain duplicate coordinates).
+fn coo_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Coo<f64>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(nrows, ncols)| {
+        let entry = (0..nrows, 0..ncols, -100.0f64..100.0f64);
+        proptest::collection::vec(entry, 0..=max_nnz)
+            .prop_map(move |entries| Coo::from_entries(nrows, ncols, entries).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// v2 write -> read is bit-identical for arbitrary matrices, and every
+    /// strict prefix of the serialised bytes is a typed error.
+    #[test]
+    fn binary_roundtrip_is_bit_exact_and_prefixes_fail(
+        coo in coo_matrix(40, 200),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let m = coo.to_csr();
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &m).unwrap();
+        let back = read_csr_from::<_, f64>(buf.as_slice()).unwrap();
+        prop_assert!(bits_equal(&m, &back));
+
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        if cut < buf.len() {
+            prop_assert!(read_csr_from::<_, f64>(&buf[..cut]).is_err());
+        }
+    }
+
+    /// Single-byte corruption anywhere in the stream never panics: the
+    /// reader either returns a typed error or a structurally valid matrix
+    /// (a flipped *value* byte is invisible to structural validation).
+    #[test]
+    fn corrupted_bytes_never_panic(
+        coo in coo_matrix(24, 96),
+        offset_fraction in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let m = coo.to_csr();
+        let mut buf = Vec::new();
+        write_csr_to(&mut buf, &m).unwrap();
+        let offset = (((buf.len() - 1) as f64) * offset_fraction) as usize;
+        buf[offset] ^= flip;
+        if let Ok(parsed) = read_csr_from::<_, f64>(buf.as_slice()) {
+            prop_assert!(parsed.validate().is_ok());
+        }
+    }
+}

@@ -400,6 +400,120 @@ fn oversized_lines_are_answered_and_disconnected() {
 }
 
 #[test]
+fn load_op_is_gated_contained_and_budgeted() {
+    // Disabled by default: a server without an allowlisted directory never
+    // touches the filesystem on client request.
+    let server = start_server();
+    let mut c = Client::connect(server.addr());
+    let r = c.call(r#"{"op":"load","name":"m","path":"m.pbsm"}"#);
+    assert!(!ok(&r));
+    assert!(r
+        .get("error")
+        .and_then(serde::Value::as_str)
+        .unwrap()
+        .contains("disabled"));
+    server.join();
+
+    // Allowlisted directory: a saved matrix loads and multiplies, while a
+    // path pointing at an existing file *outside* the directory is refused.
+    let dir = std::env::temp_dir().join("pb_serve_load_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let m = pb_spgemm_suite::gen::erdos_renyi_square(6, 4, 9);
+    pb_spgemm_suite::gen::save_matrix(dir.join("m.pbsm"), &m).expect("save matrix");
+    std::fs::write(dir.join("../pb_serve_load_outside.mtx"), b"not reachable").unwrap();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .budget_bytes(64 << 20)
+            .load_dir(Some(dir.clone())),
+    )
+    .expect("bind in-process server");
+    let mut c = Client::connect(server.addr());
+    let r = c.call(r#"{"op":"load","name":"m","path":"m.pbsm"}"#);
+    assert!(ok(&r), "{r:?}");
+    assert_eq!(u(&r, "nnz"), m.nnz() as u64);
+    assert_eq!(u(&r, "rows"), m.nrows() as u64);
+    let r = c.call(r#"{"op":"multiply","a":"m","b":"m"}"#);
+    assert!(ok(&r), "loaded matrix multiplies: {r:?}");
+    let r = c.call(r#"{"op":"load","name":"x","path":"../pb_serve_load_outside.mtx"}"#);
+    assert!(!ok(&r));
+    assert!(
+        r.get("error")
+            .and_then(serde::Value::as_str)
+            .unwrap()
+            .contains("escapes the load directory"),
+        "{r:?}"
+    );
+    let r = c.call(r#"{"op":"load","name":"x","path":"missing.pbsm"}"#);
+    assert!(!ok(&r), "nonexistent files are a typed error: {r:?}");
+    server.join();
+
+    // A tiny catalog budget rejects the load on the up-front size estimate,
+    // before any allocation happens.
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(1)
+            .budget_bytes(1 << 10)
+            .load_dir(Some(dir)),
+    )
+    .expect("bind in-process server");
+    let mut c = Client::connect(server.addr());
+    let r = c.call(r#"{"op":"load","name":"m","path":"m.pbsm"}"#);
+    assert!(!ok(&r));
+    assert!(
+        r.get("error")
+            .and_then(serde::Value::as_str)
+            .unwrap()
+            .contains("catalog budget"),
+        "{r:?}"
+    );
+    server.join();
+}
+
+#[test]
+fn ooc_multiply_spills_reports_and_shows_in_metrics() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr());
+    assert!(ok(&c.call(
+        r#"{"op":"gen","name":"o","kind":"er","scale":11,"edge_factor":16,"seed":5}"#
+    )));
+    let resident = c.call(r#"{"op":"multiply","a":"o","b":"o"}"#);
+    assert!(ok(&resident), "{resident:?}");
+
+    // The same product out-of-core under a 1 MiB budget: the derived grid
+    // tiles the operands, the product spills to scratch, and the response
+    // carries the OOC report alongside the usual fields.
+    let tiled = c.call(r#"{"op":"multiply","a":"o","b":"o","ooc_budget_mb":1}"#);
+    assert!(ok(&tiled), "{tiled:?}");
+    assert_eq!(u(&tiled, "nnz"), u(&resident, "nnz"));
+    assert_eq!(u(&tiled, "rows"), u(&resident, "rows"));
+    assert!(u(&tiled, "ooc_tiles") >= 8, "{tiled:?}");
+    assert!(u(&tiled, "ooc_spill_bytes") > 0, "{tiled:?}");
+    assert!(u(&tiled, "ooc_resident_high_water") > 0, "{tiled:?}");
+    assert!(tiled
+        .get("ooc_grid")
+        .and_then(serde::Value::as_str)
+        .unwrap()
+        .contains('x'));
+    // OOC multiplies are never coalesced with other requests.
+    assert_eq!(u(&tiled, "batched_with"), 1);
+
+    let metrics = c.call(r#"{"op":"metrics"}"#);
+    let text = metrics
+        .get("text")
+        .and_then(serde::Value::as_str)
+        .expect("metrics text");
+    assert!(text.contains("pb_ooc_multiplies_total 1"), "{text}");
+    assert!(!text.contains("pb_ooc_spill_bytes_total 0"), "{text}");
+    assert!(text.contains("pb_ooc_resident_high_water_bytes"), "{text}");
+    assert!(text.contains("pb_serve_resident_bytes_combined"), "{text}");
+
+    server.join();
+}
+
+#[test]
 fn gen_limits_are_enforced_before_generation() {
     let server = start_server();
     let mut c = Client::connect(server.addr());
